@@ -1,0 +1,147 @@
+// Package armsefi is a full-system soft-error assessment laboratory for an
+// ARM-Cortex-A9-class platform, reproducing the methodology of
+// "Demystifying Soft Error Assessment Strategies on ARM CPUs:
+// Microarchitectural Fault Injection vs. Neutron Beam Experiments"
+// (Chatzidimitriou et al., DSN 2019).
+//
+// The package is a facade over the internal substrates:
+//
+//   - a cycle-approximate out-of-order CPU model and a fast atomic model
+//     over a shared ISA (internal/cpu, internal/isa);
+//   - a memory system with real content bits in caches and TLBs
+//     (internal/mem), a miniature operating system (internal/kernel), and
+//     a full machine with snapshot/restore (internal/soc);
+//   - the thirteen MiBench-derived workloads of the paper's Table III as
+//     real machine code with native golden references (internal/bench);
+//   - GeFIN-style statistical fault injection (internal/core/gefin), a
+//     Monte-Carlo neutron-beam experiment (internal/core/beam), and the
+//     FIT conversion and comparison mathematics (internal/core/fit).
+//
+// See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure.
+package armsefi
+
+import (
+	"armsefi/internal/bench"
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/fit"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/core/harness"
+	"armsefi/internal/soc"
+)
+
+// Re-exported core types: the stable public surface of the library.
+type (
+	// Machine is a complete simulated platform (CPU, memory system,
+	// kernel, devices).
+	Machine = soc.Machine
+	// MachineConfig is a platform preset.
+	MachineConfig = soc.Config
+	// ModelKind selects the atomic or detailed CPU model.
+	ModelKind = soc.ModelKind
+	// Workload is one benchmark specification.
+	Workload = bench.Spec
+	// BuiltWorkload is a workload instantiated at a scale.
+	BuiltWorkload = bench.Built
+	// Scale selects workload input sizes.
+	Scale = bench.Scale
+	// Fault is a single-event upset.
+	Fault = fault.Fault
+	// Component is an injectable hardware structure.
+	Component = fault.Component
+	// OutcomeClass is the Masked/SDC/AppCrash/SysCrash classification.
+	OutcomeClass = fault.Class
+	// InjectionConfig parameterises a fault-injection campaign.
+	InjectionConfig = gefin.Config
+	// InjectionResult is a fault-injection campaign outcome.
+	InjectionResult = gefin.Result
+	// BeamConfig parameterises a beam campaign.
+	BeamConfig = beam.Config
+	// BeamResult is a beam campaign outcome.
+	BeamResult = beam.Result
+	// Workbench is a machine prepared for repeated single-fault runs.
+	Workbench = harness.Workbench
+	// FITComparison pairs beam and injection FIT rates for one workload.
+	FITComparison = fit.Comparison
+)
+
+// Model kinds.
+const (
+	ModelAtomic   = soc.ModelAtomic
+	ModelDetailed = soc.ModelDetailed
+)
+
+// Workload scales.
+const (
+	ScaleTiny  = bench.ScaleTiny
+	ScaleSmall = bench.ScaleSmall
+	ScalePaper = bench.ScalePaper
+)
+
+// Outcome classes.
+const (
+	Masked   = fault.ClassMasked
+	SDC      = fault.ClassSDC
+	AppCrash = fault.ClassAppCrash
+	SysCrash = fault.ClassSysCrash
+)
+
+// Injectable components (the paper's six targets).
+const (
+	CompRegFile = fault.CompRegFile
+	CompL1I     = fault.CompL1I
+	CompL1D     = fault.CompL1D
+	CompL2      = fault.CompL2
+	CompITLB    = fault.CompITLB
+	CompDTLB    = fault.CompDTLB
+)
+
+// PresetZynq returns the physical-board platform preset (Table II, left).
+func PresetZynq() MachineConfig { return soc.PresetZynq() }
+
+// PresetModel returns the simulator platform preset (Table II, right).
+func PresetModel() MachineConfig { return soc.PresetModel() }
+
+// NewMachine builds a platform with the kernel loaded.
+func NewMachine(cfg MachineConfig, model ModelKind) (*Machine, error) {
+	return soc.NewMachine(cfg, model)
+}
+
+// Workloads returns the thirteen Table III workloads.
+func Workloads() []Workload { return bench.All() }
+
+// WorkloadByName resolves a workload (including the "fitraw_probe").
+func WorkloadByName(name string) (Workload, bool) { return bench.ByName(name) }
+
+// NewWorkbench prepares a machine for repeated fault runs of one workload.
+func NewWorkbench(cfg MachineConfig, model ModelKind, built *BuiltWorkload) (*Workbench, error) {
+	return harness.New(cfg, model, built)
+}
+
+// RunInjection runs a GeFIN-style statistical fault-injection campaign.
+func RunInjection(cfg InjectionConfig, specs []Workload, progress gefin.Progress) (*InjectionResult, error) {
+	return gefin.Run(cfg, specs, progress)
+}
+
+// RunBeam runs a Monte-Carlo neutron-beam campaign.
+func RunBeam(cfg BeamConfig, specs []Workload, progress beam.Progress) (*BeamResult, error) {
+	return beam.Run(cfg, specs, progress)
+}
+
+// CompareFIT converts an injection campaign to FIT rates and pairs it with
+// beam measurements, yielding the per-workload comparisons behind the
+// paper's Figures 6-10.
+func CompareFIT(beamRes *BeamResult, injRes *InjectionResult, fitRawPerBit float64) []FITComparison {
+	if fitRawPerBit == 0 {
+		fitRawPerBit = fit.DefaultFITRawPerBit
+	}
+	var out []FITComparison
+	for i := range injRes.Workloads {
+		inj := fit.FromInjection(&injRes.Workloads[i], fitRawPerBit)
+		if bw, ok := beamRes.Workload(inj.Workload); ok {
+			out = append(out, fit.Compare(bw, inj))
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+// Command beamsim exposes workloads to the simulated neutron beam (the
+// LANSCE stand-in) and prints the Figure 3 beam FIT rates, or measures the
+// raw per-bit FIT with the Section VI L1 probe.
+//
+// Usage:
+//
+//	beamsim [-workloads crc32,qsort] [-hours 4] [-scale tiny] [-seed 1]
+//	beamsim -fitraw [-hours 20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fit"
+	"armsefi/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "beamsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloads = flag.String("workloads", "", "comma-separated workload names (default: all 13)")
+		hours     = flag.Float64("hours", 4, "effective beam hours per workload (paper: ~20)")
+		scaleFlag = flag.String("scale", "tiny", "input scale (tiny|small|paper)")
+		seed      = flag.Int64("seed", 1, "Monte-Carlo seed")
+		fitRaw    = flag.Bool("fitraw", false, "run the L1 FIT-raw probe measurement instead")
+		jsonOut   = flag.String("json", "", "also write the raw campaign result as JSON to this file")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	scale := bench.ScaleTiny
+	switch *scaleFlag {
+	case "tiny":
+	case "small":
+		scale = bench.ScaleSmall
+	case "paper":
+		scale = bench.ScalePaper
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+	cfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours}
+	var progress beam.Progress
+	if !*quiet {
+		progress = func(w string, s, total int) {
+			fmt.Fprintf(os.Stderr, "\r%-14s strike %5d/%d", w, s, total)
+			if s == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	if *fitRaw {
+		measured, res, err := beam.MeasureFITRaw(cfg, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("FIT-raw probe: %d mismatches over fluence %.3g n/cm^2\n",
+			res.TotalMismatches, res.Fluence)
+		fmt.Printf("measured FIT_raw: %.3g FIT/bit (paper: %.3g; configured cross-section implies %.3g)\n",
+			measured, fit.DefaultFITRawPerBit, beam.DefaultBitXS*beam.FluxNYC*beam.FITHours)
+		return nil
+	}
+
+	var specs []bench.Spec
+	if *workloads == "" {
+		specs = bench.All()
+	} else {
+		for _, name := range strings.Split(*workloads, ",") {
+			s, ok := bench.ByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown workload %q", name)
+			}
+			specs = append(specs, s)
+		}
+	}
+	res, err := beam.Run(cfg, specs, progress)
+	if err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Println(report.Fig3(res))
+	return nil
+}

@@ -1,0 +1,308 @@
+// Command fitcompare runs the paper's full cross-validation pipeline: a
+// beam campaign and a fault-injection campaign over the same workloads,
+// followed by the FIT comparison of Figures 6-10. It also regenerates the
+// static methodology tables (I, II, III) and the Section IV-D counter
+// study.
+//
+// Usage:
+//
+//	fitcompare -static                  # Tables I-III only (fast)
+//	fitcompare -counters                # Section IV-D counter deviations
+//	fitcompare [-workloads a,b] [-faults 200] [-hours 2] [-scale tiny]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/fit"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/cpu"
+	"armsefi/internal/report"
+	"armsefi/internal/rtl"
+	"armsefi/internal/soc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fitcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloads = flag.String("workloads", "", "comma-separated workloads (default: all 13)")
+		faults    = flag.Int("faults", 200, "faults per component for the injection campaign")
+		hours     = flag.Float64("hours", 2, "beam hours per workload")
+		scaleFlag = flag.String("scale", "tiny", "input scale (tiny|small|paper)")
+		seed      = flag.Int64("seed", 1, "seed for both campaigns")
+		static    = flag.Bool("static", false, "print Tables I-III and exit")
+		counters  = flag.Bool("counters", false, "print the Section IV-D counter study and exit")
+		jsonOut   = flag.String("json", "", "also write beam+injection results and comparisons as JSON")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	scale := bench.ScaleTiny
+	switch *scaleFlag {
+	case "tiny":
+	case "small":
+		scale = bench.ScaleSmall
+	case "paper":
+		scale = bench.ScalePaper
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	specs := bench.All()
+	if *workloads != "" {
+		specs = specs[:0]
+		for _, name := range strings.Split(*workloads, ",") {
+			s, ok := bench.ByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown workload %q", name)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	if *static {
+		rows, err := MeasureTableI()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.TableI(rows))
+		fmt.Println(report.TableII(soc.PresetZynq(), soc.PresetModel()))
+		fmt.Println(report.TableIII(bench.All()))
+		return nil
+	}
+	if *counters {
+		return runCounterStudy(specs, scale)
+	}
+
+	// Beam campaign on the board preset.
+	beamCfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours}
+	var beamProg beam.Progress
+	var gefinProg gefin.Progress
+	if !*quiet {
+		beamProg = func(w string, s, total int) {
+			fmt.Fprintf(os.Stderr, "\rbeam  %-14s %5d/%d", w, s, total)
+			if s == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+		gefinProg = func(w string, comp fault.Component, done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rgefin %-14s %-8s %5d/%d", w, comp, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	beamRes, err := beam.Run(beamCfg, specs, beamProg)
+	if err != nil {
+		return err
+	}
+
+	// Injection campaign on the model preset.
+	injCfg := gefin.Config{Scale: scale, Seed: *seed, FaultsPerComponent: *faults}
+	injRes, err := gefin.Run(injCfg, specs, gefinProg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(report.Fig3(beamRes))
+	fmt.Println(report.Fig4(injRes))
+
+	var injs []fit.Injection
+	var comparisons []fit.Comparison
+	for i := range injRes.Workloads {
+		inj := fit.FromInjection(&injRes.Workloads[i], fit.DefaultFITRawPerBit)
+		injs = append(injs, inj)
+		if bw, ok := beamRes.Workload(inj.Workload); ok {
+			comparisons = append(comparisons, fit.Compare(bw, inj))
+		}
+	}
+	fmt.Println(report.Fig5(injs))
+	fmt.Println(report.FigRatio("Figure 6: SDC FIT comparison (beam vs injection)", comparisons, fault.ClassSDC))
+	fmt.Println(report.FigRatio("Figure 7: Application Crash FIT comparison", comparisons, fault.ClassAppCrash))
+	fmt.Println(report.FigRatio("Figure 8: System Crash FIT comparison", comparisons, fault.ClassSysCrash))
+	fmt.Println(report.Fig9(comparisons))
+	fmt.Println(report.Fig10(fit.AggregateComparisons(comparisons)))
+	fmt.Println(report.TableIV(injRes))
+	if *jsonOut != "" {
+		payload := struct {
+			Beam        *beam.Result
+			Injection   *gefin.Result
+			Comparisons []fit.Comparison
+			Aggregate   fit.Aggregate
+		}{beamRes, injRes, comparisons, fit.AggregateComparisons(comparisons)}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeasureTableI measures the cycles/sec of each abstraction layer on this
+// host, reproducing the shape of the paper's Table I.
+func MeasureTableI() ([]report.AbstractionRow, error) {
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		return nil, fmt.Errorf("crc32 workload missing")
+	}
+	built, err := spec.Build(soc.UserAsmConfig(), bench.ScaleSmall)
+	if err != nil {
+		return nil, err
+	}
+
+	simRate := func(model soc.ModelKind) (float64, error) {
+		m, err := soc.NewMachine(soc.PresetModel(), model)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.LoadApp(built.Program); err != nil {
+			return 0, err
+		}
+		if err := m.PokeBytes(built.InputAddr, built.Input); err != nil {
+			return 0, err
+		}
+		if err := m.Boot(50_000_000); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		res := m.Run(4_000_000_000)
+		return float64(res.Cycles) / time.Since(start).Seconds(), nil
+	}
+
+	// Native: the Go reference computation, scored in nominal CPU cycles
+	// (one cycle per processed byte-step, matching the simulated inner
+	// loop's work).
+	data := make([]byte, 8<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	start := time.Now()
+	sum := nativeCRC32(data)
+	nativeRate := float64(len(data)) * 9 / time.Since(start).Seconds()
+	_ = sum
+
+	atomicRate, err := simRate(soc.ModelAtomic)
+	if err != nil {
+		return nil, err
+	}
+	detailedRate, err := simRate(soc.ModelDetailed)
+	if err != nil {
+		return nil, err
+	}
+
+	// RTL: one gate-network evaluation per cycle.
+	alu := rtl.NewALU()
+	start = time.Now()
+	const evals = 20000
+	for i := 0; i < evals; i++ {
+		alu.Exec(rtl.ALUOp(i%int(rtl.NumALUOps)), uint32(i), uint32(i*7))
+	}
+	rtlRate := evals / time.Since(start).Seconds()
+
+	return []report.AbstractionRow{
+		{Layer: "Software (native)", Model: "host Go reference", CyclesPerSec: nativeRate},
+		{Layer: "Architecture", Model: "atomic model", CyclesPerSec: atomicRate},
+		{Layer: "Microarchitecture", Model: "detailed out-of-order model", CyclesPerSec: detailedRate},
+		{Layer: "RTL", Model: "gate-level ALU network", CyclesPerSec: rtlRate},
+	}, nil
+}
+
+// nativeCRC32 is the host-speed reference for the Table I native row.
+func nativeCRC32(data []byte) uint32 {
+	var tab [256]uint32
+	for i := range tab {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = 0xEDB88320 ^ c>>1
+			} else {
+				c >>= 1
+			}
+		}
+		tab[i] = c
+	}
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc>>8 ^ tab[(crc^uint32(b))&0xFF]
+	}
+	return ^crc
+}
+
+// runCounterStudy reproduces Section IV-D: run each workload on both
+// platform presets and report per-counter deviations.
+func runCounterStudy(specs []bench.Spec, scale bench.Scale) error {
+	within := 0
+	total := 0
+	for _, spec := range specs {
+		built, err := spec.Build(soc.UserAsmConfig(), scale)
+		if err != nil {
+			return err
+		}
+		zm, err := runOn(soc.PresetZynq(), built)
+		if err != nil {
+			return err
+		}
+		mm, err := runOn(soc.PresetModel(), built)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.CounterDeviation(spec.Name, zm, mm))
+		for _, name := range cpu.CounterNames {
+			zv, _ := zm.Value(name)
+			mv, _ := mm.Value(name)
+			total++
+			if zv == 0 && mv == 0 {
+				within++
+				continue
+			}
+			if zv != 0 {
+				dev := (float64(mv) - float64(zv)) / float64(zv)
+				if dev < 0.10 && dev > -0.10 {
+					within++
+				}
+			}
+		}
+	}
+	fmt.Printf("%d of %d counters (%.0f%%) deviate by less than 10%% between the two setups\n",
+		within, total, 100*float64(within)/float64(total))
+	return nil
+}
+
+func runOn(preset soc.Config, built *bench.Built) (c cpu.Counters, err error) {
+	m, err := soc.NewMachine(preset, soc.ModelDetailed)
+	if err != nil {
+		return c, err
+	}
+	if err := m.LoadApp(built.Program); err != nil {
+		return c, err
+	}
+	if len(built.Input) > 0 {
+		if err := m.PokeBytes(built.InputAddr, built.Input); err != nil {
+			return c, err
+		}
+	}
+	if err := m.Boot(50_000_000); err != nil {
+		return c, err
+	}
+	m.Run(4_000_000_000)
+	return m.Core().Counters(), nil
+}

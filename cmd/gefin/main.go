@@ -1,0 +1,153 @@
+// Command gefin runs microarchitectural statistical fault-injection
+// campaigns (the paper's GeFIN-over-gem5 methodology) and prints the
+// Figure 4 classification, the Figure 5 FIT conversion, and the Table IV
+// error margins.
+//
+// Usage:
+//
+//	gefin [-workloads crc32,qsort] [-faults 1000] [-scale tiny]
+//	      [-seed 1] [-warm] [-tlb-full] [-model detailed] [-quiet]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/ace"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/fit"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/report"
+	"armsefi/internal/soc"
+)
+
+// writeJSON exports a campaign result when a path is given.
+func writeJSON(path string, v any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gefin:", err)
+		os.Exit(1)
+	}
+}
+
+func selectWorkloads(list string) ([]bench.Spec, error) {
+	if list == "" {
+		return bench.All(), nil
+	}
+	var specs []bench.Spec
+	for _, name := range strings.Split(list, ",") {
+		s, ok := bench.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+func run() error {
+	var (
+		workloads = flag.String("workloads", "", "comma-separated workload names (default: all 13)")
+		faults    = flag.Int("faults", 1000, "faults per component (paper: 1000)")
+		scaleFlag = flag.String("scale", "tiny", "input scale (tiny|small|paper)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		warm      = flag.Bool("warm", false, "ablation: start injection runs with warm caches")
+		tlbFull   = flag.Bool("tlb-full", false, "ablation: inject whole TLB entries incl. virtual tags")
+		modelFlag = flag.String("model", "detailed", "CPU model (atomic|detailed)")
+		fitRaw    = flag.Float64("fitraw", fit.DefaultFITRawPerBit, "raw FIT per bit for the FIT conversion")
+		aceMode   = flag.Bool("ace", false, "also run ACE lifetime analysis and compare AVFs")
+		jsonOut   = flag.String("json", "", "also write the raw campaign result as JSON to this file")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	specs, err := selectWorkloads(*workloads)
+	if err != nil {
+		return err
+	}
+	scale := bench.ScaleTiny
+	switch *scaleFlag {
+	case "tiny":
+	case "small":
+		scale = bench.ScaleSmall
+	case "paper":
+		scale = bench.ScalePaper
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+	model := soc.ModelDetailed
+	if *modelFlag == "atomic" {
+		model = soc.ModelAtomic
+	}
+	cfg := gefin.Config{
+		Model:              model,
+		Scale:              scale,
+		FaultsPerComponent: *faults,
+		Seed:               *seed,
+		WarmCaches:         *warm,
+		TLBFullEntry:       *tlbFull,
+	}
+	var progress gefin.Progress
+	if !*quiet {
+		progress = func(w string, comp fault.Component, done, total int) {
+			if done == total || done%100 == 0 {
+				fmt.Fprintf(os.Stderr, "\r%-14s %-8s %5d/%d", w, comp, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	res, err := gefin.Run(cfg, specs, progress)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*jsonOut, res); err != nil {
+		return err
+	}
+	fmt.Println(report.Fig4(res))
+	injs := make([]fit.Injection, 0, len(res.Workloads))
+	for i := range res.Workloads {
+		injs = append(injs, fit.FromInjection(&res.Workloads[i], *fitRaw))
+	}
+	fmt.Println(report.Fig5(injs))
+	fmt.Println(report.TableIV(res))
+	fmt.Println(report.StrikeContext(res))
+	if *aceMode {
+		for i := range res.Workloads {
+			w := &res.Workloads[i]
+			spec, _ := bench.ByName(w.Workload)
+			aceRes, err := ace.Run(ace.Config{Scale: scale, Model: model}, spec)
+			if err != nil {
+				return err
+			}
+			var rows []report.ACERow
+			for _, est := range aceRes.Components {
+				if inj, ok := w.Component(est.Comp); ok {
+					rows = append(rows, report.ACERow{
+						Comp:         est.Comp,
+						ACEAVF:       est.AVF,
+						InjectionAVF: inj.AVF(),
+						Margin:       inj.ErrorMargin(),
+					})
+				}
+			}
+			fmt.Println(report.ACEComparison(w.Workload, rows))
+		}
+	}
+	return nil
+}

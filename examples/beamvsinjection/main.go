@@ -1,0 +1,57 @@
+// Beamvsinjection: the paper's headline experiment in miniature — expose a
+// few workloads to the simulated neutron beam, run a fault-injection
+// campaign on the same workloads, convert both to FIT, and print the
+// Figure 10 style aggregate comparison.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fit"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "beamvsinjection:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var specs []bench.Spec
+	for _, name := range []string{"crc32", "qsort", "susan_s"} {
+		s, ok := bench.ByName(name)
+		if !ok {
+			return fmt.Errorf("workload %s missing", name)
+		}
+		specs = append(specs, s)
+	}
+
+	fmt.Println("beam campaign (simulated LANSCE)...")
+	beamRes, err := beam.Run(beam.Config{Seed: 11, BeamHours: 1}, specs, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fault-injection campaign (GeFIN-style)...")
+	injRes, err := gefin.Run(gefin.Config{Seed: 11, FaultsPerComponent: 60}, specs, nil)
+	if err != nil {
+		return err
+	}
+
+	var comparisons []fit.Comparison
+	for i := range injRes.Workloads {
+		inj := fit.FromInjection(&injRes.Workloads[i], fit.DefaultFITRawPerBit)
+		if bw, ok := beamRes.Workload(inj.Workload); ok {
+			comparisons = append(comparisons, fit.Compare(bw, inj))
+		}
+	}
+	fmt.Println()
+	fmt.Println(report.Fig3(beamRes))
+	fmt.Println(report.Fig10(fit.AggregateComparisons(comparisons)))
+	return nil
+}

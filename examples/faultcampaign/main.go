@@ -1,0 +1,52 @@
+// Faultcampaign: a miniature GeFIN-style statistical injection campaign on
+// one workload, printing per-component AVF and the FIT conversion — the
+// core of the paper's Figures 4 and 5 at example scale.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/fit"
+	"armsefi/internal/core/gefin"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec, ok := bench.ByName("qsort")
+	if !ok {
+		return fmt.Errorf("qsort workload missing")
+	}
+	cfg := gefin.Config{FaultsPerComponent: 60, Seed: 2024}
+	res, err := gefin.RunWorkload(cfg, spec, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s: golden run %d cycles, %d instructions\n\n",
+		res.Workload, res.GoldenCycles, res.GoldenInstrs)
+	fmt.Printf("%-10s %9s %8s %8s %8s %8s %8s\n",
+		"component", "bits", "masked", "sdc", "appcrash", "syscrash", "AVF")
+	for _, c := range res.Components {
+		fmt.Printf("%-10s %9d %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			c.Comp, c.SizeBits,
+			c.ClassFraction(fault.ClassMasked),
+			c.ClassFraction(fault.ClassSDC),
+			c.ClassFraction(fault.ClassAppCrash),
+			c.ClassFraction(fault.ClassSysCrash),
+			c.AVF())
+	}
+	inj := fit.FromInjection(res, fit.DefaultFITRawPerBit)
+	fmt.Printf("\nFIT conversion (FIT_raw = %.3g/bit):\n", fit.DefaultFITRawPerBit)
+	fmt.Printf("  SDC %.2f  AppCrash %.2f  SysCrash %.2f  total %.2f FIT\n",
+		inj.PerClass[fault.ClassSDC], inj.PerClass[fault.ClassAppCrash],
+		inj.PerClass[fault.ClassSysCrash], inj.Total())
+	return nil
+}

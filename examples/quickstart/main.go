@@ -1,0 +1,84 @@
+// Quickstart: assemble a small program, boot the simulated ARM platform
+// (kernel included), run it, then flip one bit mid-run and watch the
+// outcome classification change.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"armsefi/internal/asm"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/soc"
+)
+
+const program = `
+.text
+_start:
+	ldr sp, =0x3F0000
+	; sum the integers 1..100 and print the result bytes
+	mov r0, #0
+	mov r1, #1
+loop:
+	add r0, r0, r1
+	add r1, #1
+	cmp r1, #101
+	blt loop
+	ldr r2, =result
+	str r0, [r2]
+	mov r0, r2
+	mov r1, #4
+	mov r7, #2        ; write(buf, len)
+	svc #0
+	mov r0, #0
+	mov r7, #1        ; exit(0)
+	svc #0
+.data
+result: .word 0
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	prog, err := asm.Assemble("sum.s", program, soc.UserAsmConfig())
+	if err != nil {
+		return err
+	}
+
+	m, err := soc.NewMachine(soc.PresetZynq(), soc.ModelDetailed)
+	if err != nil {
+		return err
+	}
+	if err := m.LoadApp(prog); err != nil {
+		return err
+	}
+	if err := m.Boot(50_000_000); err != nil {
+		return err
+	}
+	snap := m.SaveSnapshot()
+
+	// Golden run.
+	golden := m.Run(10_000_000)
+	fmt.Printf("golden: outcome=%v output=% x cycles=%d\n",
+		golden.Outcome, golden.Output, golden.Cycles)
+
+	// Re-run with a single-bit flip in the L1 data cache halfway through.
+	m.RestoreSnapshot(snap, false)
+	f := fault.Fault{Comp: fault.CompL1D, Bit: 123_456, Cycle: golden.Cycles / 2}
+	res := m.RunWithInjection(10_000_000, f.Cycle, func() { fault.Apply(m, f) })
+	class := fault.Classify(res, golden.Output, m.Cfg.TimerPeriod)
+	fmt.Printf("with %v -> %v (output=% x)\n", f, class, res.Output)
+
+	// And one in the physical register file, which is rarely benign.
+	m.RestoreSnapshot(snap, false)
+	f = fault.Fault{Comp: fault.CompRegFile, Bit: 42, Cycle: golden.Cycles / 3}
+	res = m.RunWithInjection(10_000_000, f.Cycle, func() { fault.Apply(m, f) })
+	class = fault.Classify(res, golden.Output, m.Cfg.TimerPeriod)
+	fmt.Printf("with %v -> %v\n", f, class)
+	return nil
+}

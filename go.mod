@@ -1,0 +1,3 @@
+module armsefi
+
+go 1.22

@@ -1,0 +1,371 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"armsefi/internal/isa"
+)
+
+func testCfg() Config { return Config{TextBase: 0x1000, DataBase: 0x8000} }
+
+func mustAsm(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test.s", src, testCfg())
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func word(t *testing.T, p *Program, idx int) uint32 {
+	t.Helper()
+	w, ok := p.Word(p.TextBase + uint32(4*idx))
+	if !ok {
+		t.Fatalf("no word %d", idx)
+	}
+	return w
+}
+
+func TestEvalExpr(t *testing.T) {
+	resolve := func(name string) (int64, bool) {
+		if name == "sym" {
+			return 100, true
+		}
+		return 0, false
+	}
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"42", 42},
+		{"0x2A", 42},
+		{"0b101", 5},
+		{"'A'", 65},
+		{"'\\n'", 10},
+		{"-7", -7},
+		{"~0", -1},
+		{"2+3*4", 14},
+		{"(2+3)*4", 20},
+		{"1<<10", 1024},
+		{"256>>4", 16},
+		{"0xFF & 0x0F", 15},
+		{"8 | 1", 9},
+		{"5 ^ 1", 4},
+		{"17 % 5", 2},
+		{"sym + 4", 104},
+		{"sym*2-1", 199},
+		{"10/3", 3},
+	}
+	for _, tt := range tests {
+		got, err := evalExpr(tt.src, resolve)
+		if err != nil {
+			t.Errorf("evalExpr(%q): %v", tt.src, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("evalExpr(%q) = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEvalExprErrors(t *testing.T) {
+	for _, src := range []string{"", "1+", "nosuch", "1/0", "(1", "1 2", "5%0"} {
+		if _, err := evalExpr(src, func(string) (int64, bool) { return 0, false }); err == nil {
+			t.Errorf("evalExpr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestBasicEncodings(t *testing.T) {
+	p := mustAsm(t, `
+	add r1, r2, r3
+	subs r4, r5, #12
+	moveq r0, r1
+	cmp r2, r3, lsl #4
+	ldr r0, [r1, #-8]
+	strb r2, [r3, r4]
+	bx lr
+	svc #3
+	mrs r2, spsr
+	msr ttbr, r0
+	nop
+`)
+	want := []isa.Instruction{
+		{Op: isa.OpADD, Cond: isa.CondAL, Rd: isa.R1, Rn: isa.R2, Rm: isa.R3},
+		{Op: isa.OpSUB, Cond: isa.CondAL, SetFlags: true, Rd: isa.R4, Rn: isa.R5, UseImm: true, Imm: 12},
+		{Op: isa.OpMOV, Cond: isa.CondEQ, Rd: isa.R0, Rm: isa.R1},
+		{Op: isa.OpCMP, Cond: isa.CondAL, Rn: isa.R2, Rm: isa.R3, Shift: isa.ShiftLSL, ShAmt: 4},
+		{Op: isa.OpLDR, Cond: isa.CondAL, Rd: isa.R0, Rn: isa.R1, UseImm: true, Imm: -8},
+		{Op: isa.OpSTRB, Cond: isa.CondAL, Rd: isa.R2, Rn: isa.R3, Rm: isa.R4},
+		{Op: isa.OpBX, Cond: isa.CondAL, Rm: isa.LR},
+		{Op: isa.OpSVC, Cond: isa.CondAL, Imm: 3},
+		{Op: isa.OpMRS, Cond: isa.CondAL, Rd: isa.R2, Imm: int32(isa.SysSPSR)},
+		{Op: isa.OpMSR, Cond: isa.CondAL, Rd: isa.R0, Imm: int32(isa.SysTTBR)},
+		{Op: isa.OpNOP, Cond: isa.CondAL},
+	}
+	if p.TextWords() != len(want) {
+		t.Fatalf("assembled %d words, want %d", p.TextWords(), len(want))
+	}
+	for i, w := range want {
+		got := isa.Decode(word(t, p, i))
+		if got != w {
+			t.Errorf("instr %d:\n got %+v\nwant %+v", i, got, w)
+		}
+	}
+}
+
+func TestTwoOperandShorthand(t *testing.T) {
+	p := mustAsm(t, "add r1, #4\nsub r2, r3\n")
+	in := isa.Decode(word(t, p, 0))
+	if in.Rd != isa.R1 || in.Rn != isa.R1 || !in.UseImm || in.Imm != 4 {
+		t.Errorf("add shorthand decoded as %+v", in)
+	}
+	in = isa.Decode(word(t, p, 1))
+	if in.Rd != isa.R2 || in.Rn != isa.R2 || in.Rm != isa.R3 {
+		t.Errorf("sub shorthand decoded as %+v", in)
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	p := mustAsm(t, `
+start:
+	b next
+	nop
+next:
+	bne start
+	bl start
+`)
+	// b next: from 0x1000 to 0x1008 -> offset (0x1008-0x1004)/4 = 1.
+	in := isa.Decode(word(t, p, 0))
+	if in.Op != isa.OpB || in.Imm != 1 {
+		t.Errorf("b next = %+v", in)
+	}
+	// bne start: from 0x1008 to 0x1000 -> (0x1000-0x100C)/4 = -3.
+	in = isa.Decode(word(t, p, 2))
+	if in.Op != isa.OpB || in.Cond != isa.CondNE || in.Imm != -3 {
+		t.Errorf("bne start = %+v", in)
+	}
+	in = isa.Decode(word(t, p, 3))
+	if in.Op != isa.OpBL || in.Rd != isa.LR {
+		t.Errorf("bl start = %+v", in)
+	}
+}
+
+func TestLdrPseudo(t *testing.T) {
+	p := mustAsm(t, `
+	ldr r3, =0xDEADBEEF
+	ldr r4, =buf
+	adr r5, lbl
+lbl:
+	nop
+.data
+buf: .word 1
+`)
+	in0 := isa.Decode(word(t, p, 0))
+	in1 := isa.Decode(word(t, p, 1))
+	if in0.Op != isa.OpMOVW || uint32(in0.Imm) != 0xBEEF {
+		t.Errorf("movw = %+v", in0)
+	}
+	if in1.Op != isa.OpMOVT || uint32(in1.Imm) != 0xDEAD {
+		t.Errorf("movt = %+v", in1)
+	}
+	in2 := isa.Decode(word(t, p, 2))
+	if uint32(in2.Imm) != p.MustSymbol("buf")&0xFFFF {
+		t.Errorf("ldr =buf low half = %#x", in2.Imm)
+	}
+	in4 := isa.Decode(word(t, p, 4))
+	if uint32(in4.Imm) != p.MustSymbol("lbl")&0xFFFF {
+		t.Errorf("adr low half = %#x", in4.Imm)
+	}
+}
+
+func TestPushPopExpansion(t *testing.T) {
+	p := mustAsm(t, "push {r4-r6, lr}\npop {r4-r6, lr}\n")
+	// push: sub sp + 4 stores; pop: 4 loads + add sp.
+	if p.TextWords() != 10 {
+		t.Fatalf("expanded to %d words, want 10", p.TextWords())
+	}
+	in := isa.Decode(word(t, p, 0))
+	if in.Op != isa.OpSUB || in.Rd != isa.SP || in.Imm != 16 {
+		t.Errorf("push prologue = %+v", in)
+	}
+	in = isa.Decode(word(t, p, 1))
+	if in.Op != isa.OpSTR || in.Rd != isa.R4 || in.Rn != isa.SP || in.Imm != 0 {
+		t.Errorf("push first store = %+v", in)
+	}
+	in = isa.Decode(word(t, p, 9))
+	if in.Op != isa.OpADD || in.Rd != isa.SP || in.Imm != 16 {
+		t.Errorf("pop epilogue = %+v", in)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAsm(t, `
+.data
+w: .word 1, -1, 0x1234, after
+h: .half 2, 0xFFFF
+b: .byte 1, 2, 255
+s: .asciz "hi\n"
+.align 8
+f: .float 1.5
+after:
+sp: .space 4, 0xAB
+`)
+	data := p.Data
+	if binary.LittleEndian.Uint32(data[0:]) != 1 ||
+		binary.LittleEndian.Uint32(data[4:]) != 0xFFFFFFFF ||
+		binary.LittleEndian.Uint32(data[8:]) != 0x1234 {
+		t.Errorf("word data wrong: % x", data[:16])
+	}
+	if binary.LittleEndian.Uint32(data[12:]) != p.MustSymbol("after") {
+		t.Errorf("label in .word = %#x, want %#x", binary.LittleEndian.Uint32(data[12:]), p.MustSymbol("after"))
+	}
+	hOff := p.MustSymbol("h") - p.DataBase
+	if binary.LittleEndian.Uint16(data[hOff:]) != 2 || binary.LittleEndian.Uint16(data[hOff+2:]) != 0xFFFF {
+		t.Errorf("half data wrong")
+	}
+	bOff := p.MustSymbol("b") - p.DataBase
+	if data[bOff] != 1 || data[bOff+2] != 255 {
+		t.Errorf("byte data wrong")
+	}
+	sOff := p.MustSymbol("s") - p.DataBase
+	if string(data[sOff:sOff+4]) != "hi\n\x00" {
+		t.Errorf("asciz = %q", data[sOff:sOff+4])
+	}
+	fOff := p.MustSymbol("f") - p.DataBase
+	if fOff%8 != 0 {
+		t.Errorf(".align 8 violated: offset %d", fOff)
+	}
+	if math.Float32frombits(binary.LittleEndian.Uint32(data[fOff:])) != 1.5 {
+		t.Errorf("float data wrong")
+	}
+	spOff := p.MustSymbol("sp") - p.DataBase
+	if data[spOff] != 0xAB || data[spOff+3] != 0xAB {
+		t.Errorf(".space fill wrong: % x", data[spOff:spOff+4])
+	}
+}
+
+func TestEquAndComments(t *testing.T) {
+	p := mustAsm(t, `
+.equ SIZE, 16
+.equ DOUBLE, SIZE*2   ; trailing comment
+	mov r0, #SIZE      @ another style
+	mov r1, #DOUBLE    // third style
+`)
+	if in := isa.Decode(word(t, p, 0)); in.Imm != 16 {
+		t.Errorf("SIZE = %d", in.Imm)
+	}
+	if in := isa.Decode(word(t, p, 1)); in.Imm != 32 {
+		t.Errorf("DOUBLE = %d", in.Imm)
+	}
+}
+
+func TestEntryPoint(t *testing.T) {
+	p := mustAsm(t, "nop\n_start:\nnop\n")
+	if p.Entry != p.TextBase+4 {
+		t.Errorf("entry = %#x, want %#x", p.Entry, p.TextBase+4)
+	}
+	p = mustAsm(t, "nop\n")
+	if p.Entry != p.TextBase {
+		t.Errorf("default entry = %#x, want text base", p.Entry)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"unknown mnemonic", "frobnicate r0\n", "unknown mnemonic"},
+		{"imm range", "mov r0, #4096\n", "out of signed 12-bit range"},
+		{"movw range", "movw r0, #70000\n", "16-bit range"},
+		{"undefined symbol", "b nowhere\n", "undefined symbol"},
+		{"duplicate label", "a:\na:\n", "redefined"},
+		{"bad register", "mov r16, #0\n", "expected register"},
+		{"data in text", ".word 1\n.text\n", ""}, // .word allowed in text? no section switch: .word at top goes to text... base case below
+		{"instr in data", ".data\nmov r0, #1\n", "outside .text"},
+		{"shift range", "add r0, r1, r2, lsl #32\n", "out of range"},
+		{"pc in reglist", "push {r0, pc}\n", "pc not allowed"},
+		{"bad directive", ".bogus 1\n", "unknown directive"},
+		{"svc range", "svc #9999\n", "out of range"},
+		{"equ conflict", ".equ x, 1\nx:\n", "conflicts"},
+	}
+	for _, tt := range tests {
+		if tt.frag == "" {
+			continue
+		}
+		_, err := Assemble("err.s", tt.src, testCfg())
+		if err == nil {
+			t.Errorf("%s: no error", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.frag) {
+			t.Errorf("%s: error %q does not contain %q", tt.name, err, tt.frag)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("lines.s", "nop\nnop\nbadop r1\n", testCfg())
+	if err == nil || !strings.Contains(err.Error(), "lines.s:3") {
+		t.Errorf("error %v does not carry file:line", err)
+	}
+}
+
+func TestMnemonicSuffixAmbiguity(t *testing.T) {
+	// "bls" must parse as b+ls (branch if lower-or-same), never bl+s.
+	p := mustAsm(t, "x:\nbls x\nteq r0, r1\nmuls r2, r3, r4\n")
+	in := isa.Decode(word(t, p, 0))
+	if in.Op != isa.OpB || in.Cond != isa.CondLS {
+		t.Errorf("bls = %v %v", in.Op, in.Cond)
+	}
+	// "teq" must not parse as t+eq.
+	in = isa.Decode(word(t, p, 1))
+	if in.Op != isa.OpTEQ || in.Cond != isa.CondAL {
+		t.Errorf("teq = %v %v", in.Op, in.Cond)
+	}
+	in = isa.Decode(word(t, p, 2))
+	if in.Op != isa.OpMUL || !in.SetFlags {
+		t.Errorf("muls = %+v", in)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+_start:
+	ldr sp, =0x3F0000
+	mov r0, #1
+loop:
+	add r0, r0, #1
+	cmp r0, #10
+	blt loop
+	bx lr
+`
+	p := mustAsm(t, src)
+	text := Disassemble(p)
+	for _, frag := range []string{"_start:", "loop:", "blt loop", "bx lr", "movw sp"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := mustAsm(t, "mov fp, sp\nmov ip, lr\nmov r13, r14\n")
+	in := isa.Decode(word(t, p, 0))
+	if in.Rd != isa.R11 || in.Rm != isa.SP {
+		t.Errorf("fp/sp alias = %+v", in)
+	}
+	in = isa.Decode(word(t, p, 1))
+	if in.Rd != isa.R12 || in.Rm != isa.LR {
+		t.Errorf("ip/lr alias = %+v", in)
+	}
+	in = isa.Decode(word(t, p, 2))
+	if in.Rd != isa.SP || in.Rm != isa.LR {
+		t.Errorf("r13/r14 alias = %+v", in)
+	}
+}

@@ -1,0 +1,481 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Config sets the load addresses of the two sections.
+type Config struct {
+	TextBase uint32
+	DataBase uint32
+}
+
+// DefaultUserConfig places sections at the conventional user-space bases
+// used by the platform memory map.
+func DefaultUserConfig() Config {
+	return Config{TextBase: 0x0010_0000, DataBase: 0x0020_0000}
+}
+
+type section uint8
+
+const (
+	secText section = 1 + iota
+	secData
+)
+
+// stmt is one parsed statement with its assigned address, encoded in pass 2.
+type stmt struct {
+	line   int
+	sec    section
+	addr   uint32
+	size   uint32
+	mnem   string   // instruction mnemonic ("" for data statements)
+	ops    []string // raw operand strings
+	dir    string   // directive name for data statements
+	args   []string
+	strArg string // for .asciz
+	fill   byte   // for .space
+}
+
+// assembler carries the state of one assembly unit.
+type assembler struct {
+	name  string
+	cfg   Config
+	stmts []*stmt
+	syms  map[string]uint32 // labels
+	equs  map[string]int64  // .equ constants
+	text  []byte
+	data  []byte
+}
+
+// Assemble translates source into a Program. Errors carry file:line context.
+func Assemble(name, source string, cfg Config) (*Program, error) {
+	a := &assembler{
+		name: name,
+		cfg:  cfg,
+		syms: make(map[string]uint32),
+		equs: make(map[string]int64),
+	}
+	if err := a.pass1(source); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Name:     name,
+		TextBase: cfg.TextBase,
+		Text:     a.text,
+		DataBase: cfg.DataBase,
+		Data:     a.data,
+		Symbols:  a.syms,
+		Entry:    cfg.TextBase,
+	}
+	if e, ok := a.syms["_start"]; ok {
+		prog.Entry = e
+	}
+	return prog, nil
+}
+
+// MustAssemble assembles trusted, in-tree sources and panics on error.
+func MustAssemble(name, source string, cfg Config) *Program {
+	p, err := Assemble(name, source, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("asm: %v", err))
+	}
+	return p
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", a.name, line, fmt.Sprintf(format, args...))
+}
+
+// pass1 parses every line, expands statement sizes, and assigns addresses
+// and label values.
+func (a *assembler) pass1(source string) error {
+	textAddr := a.cfg.TextBase
+	dataAddr := a.cfg.DataBase
+	cur := secText
+	addr := func() *uint32 {
+		if cur == secText {
+			return &textAddr
+		}
+		return &dataAddr
+	}
+	for i, raw := range strings.Split(source, "\n") {
+		line := i + 1
+		src := stripComment(raw)
+		// Peel off any leading labels.
+		for {
+			src = strings.TrimSpace(src)
+			idx := labelEnd(src)
+			if idx < 0 {
+				break
+			}
+			label := src[:idx]
+			if _, dup := a.syms[label]; dup {
+				return a.errf(line, "label %q redefined", label)
+			}
+			if _, dup := a.equs[label]; dup {
+				return a.errf(line, "label %q conflicts with .equ", label)
+			}
+			a.syms[label] = *addr()
+			src = src[idx+1:]
+		}
+		if src == "" {
+			continue
+		}
+		if strings.HasPrefix(src, ".") {
+			s, newSec, err := a.parseDirective(line, cur, src)
+			if err != nil {
+				return err
+			}
+			cur = newSec
+			if s == nil {
+				continue
+			}
+			s.addr = *addr()
+			if s.dir == ".align" {
+				n, err := a.constExpr(line, s.args[0])
+				if err != nil {
+					return err
+				}
+				if n <= 0 || n&(n-1) != 0 {
+					return a.errf(line, ".align requires a positive power of two, got %d", n)
+				}
+				aligned := (*addr() + uint32(n) - 1) &^ (uint32(n) - 1)
+				s.size = aligned - *addr()
+			}
+			*addr() += s.size
+			a.stmts = append(a.stmts, s)
+			continue
+		}
+		s, err := a.parseInstr(line, src)
+		if err != nil {
+			return err
+		}
+		if cur != secText {
+			return a.errf(line, "instruction %q outside .text", s.mnem)
+		}
+		s.sec = secText
+		s.addr = textAddr
+		textAddr += s.size
+		a.stmts = append(a.stmts, s)
+	}
+	return nil
+}
+
+// labelEnd returns the index of the ':' terminating a leading label, or -1.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			if i == 0 {
+				return -1
+			}
+			return i
+		}
+		if i == 0 && !isIdentStart(c) || i > 0 && !isIdentChar(c) {
+			return -1
+		}
+	}
+	return -1
+}
+
+func stripComment(s string) string {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\'':
+			q := s[i]
+			for i++; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+				} else if s[i] == q {
+					break
+				}
+			}
+		case ';', '@':
+			_ = depth
+			return s[:i]
+		case '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseDirective handles one directive line. It returns a nil stmt for
+// directives fully handled in pass 1 (.text/.data/.equ).
+func (a *assembler) parseDirective(line int, cur section, src string) (*stmt, section, error) {
+	name, rest := splitMnemonic(src)
+	switch name {
+	case ".text":
+		return nil, secText, nil
+	case ".data":
+		return nil, secData, nil
+	case ".equ":
+		args := splitOperands(rest)
+		if len(args) != 2 {
+			return nil, cur, a.errf(line, ".equ needs NAME, expr")
+		}
+		v, err := a.constExpr(line, args[1])
+		if err != nil {
+			return nil, cur, err
+		}
+		if _, dup := a.equs[args[0]]; dup {
+			return nil, cur, a.errf(line, ".equ %q redefined", args[0])
+		}
+		if _, dup := a.syms[args[0]]; dup {
+			return nil, cur, a.errf(line, ".equ %q conflicts with a label", args[0])
+		}
+		a.equs[args[0]] = v
+		return nil, cur, nil
+	}
+
+	s := &stmt{line: line, sec: cur, dir: name}
+	switch name {
+	case ".align":
+		args := splitOperands(rest)
+		if len(args) != 1 {
+			return nil, cur, a.errf(line, ".align needs one argument")
+		}
+		s.args = args // size computed by caller
+	case ".space":
+		args := splitOperands(rest)
+		if len(args) < 1 || len(args) > 2 {
+			return nil, cur, a.errf(line, ".space needs size [, fill]")
+		}
+		n, err := a.constExpr(line, args[0])
+		if err != nil {
+			return nil, cur, err
+		}
+		if n < 0 || n > 1<<24 {
+			return nil, cur, a.errf(line, ".space size %d out of range", n)
+		}
+		if len(args) == 2 {
+			f, err := a.constExpr(line, args[1])
+			if err != nil {
+				return nil, cur, err
+			}
+			s.fill = byte(f)
+		}
+		s.size = uint32(n)
+	case ".word", ".float":
+		s.args = splitOperands(rest)
+		if len(s.args) == 0 {
+			return nil, cur, a.errf(line, "%s needs at least one value", name)
+		}
+		s.size = uint32(4 * len(s.args))
+	case ".half":
+		s.args = splitOperands(rest)
+		if len(s.args) == 0 {
+			return nil, cur, a.errf(line, ".half needs at least one value")
+		}
+		s.size = uint32(2 * len(s.args))
+	case ".byte":
+		s.args = splitOperands(rest)
+		if len(s.args) == 0 {
+			return nil, cur, a.errf(line, ".byte needs at least one value")
+		}
+		s.size = uint32(len(s.args))
+	case ".asciz":
+		str, err := parseString(strings.TrimSpace(rest))
+		if err != nil {
+			return nil, cur, a.errf(line, "%v", err)
+		}
+		s.strArg = str
+		s.size = uint32(len(str) + 1)
+	default:
+		return nil, cur, a.errf(line, "unknown directive %q", name)
+	}
+	return s, cur, nil
+}
+
+// parseInstr splits a machine or pseudo instruction and computes its size.
+func (a *assembler) parseInstr(line int, src string) (*stmt, error) {
+	mnem, rest := splitMnemonic(src)
+	s := &stmt{line: line, mnem: mnem, ops: splitOperands(rest), size: 4}
+	switch {
+	case mnem == "push" || mnem == "pop":
+		regs, err := parseRegList(s.ops)
+		if err != nil {
+			return nil, a.errf(line, "%v", err)
+		}
+		s.size = uint32(4 * (len(regs) + 1))
+	case mnem == "adr":
+		s.size = 8
+	case strings.HasPrefix(mnem, "ldr") && len(s.ops) == 2 && strings.HasPrefix(s.ops[1], "="):
+		s.size = 8
+	}
+	return s, nil
+}
+
+// pass2 encodes every statement now that all label addresses are known.
+func (a *assembler) pass2() error {
+	for _, s := range a.stmts {
+		var buf []byte
+		var err error
+		if s.mnem != "" {
+			buf, err = a.encodeInstr(s)
+		} else {
+			buf, err = a.encodeData(s)
+		}
+		if err != nil {
+			return err
+		}
+		if uint32(len(buf)) != s.size {
+			return a.errf(s.line, "internal: statement size changed between passes (%d != %d)", len(buf), s.size)
+		}
+		if s.sec == secText {
+			a.text = append(a.text, buf...)
+		} else {
+			a.data = append(a.data, buf...)
+		}
+	}
+	return nil
+}
+
+// resolve looks up labels and .equ constants for pass-2 expressions.
+func (a *assembler) resolve(name string) (int64, bool) {
+	if v, ok := a.syms[name]; ok {
+		return int64(v), true
+	}
+	v, ok := a.equs[name]
+	return v, ok
+}
+
+// constExpr evaluates a pass-1 expression (numbers and .equ constants and
+// already-defined labels only).
+func (a *assembler) constExpr(line int, src string) (int64, error) {
+	v, err := evalExpr(strings.TrimSpace(src), a.resolve)
+	if err != nil {
+		return 0, a.errf(line, "%v", err)
+	}
+	return v, nil
+}
+
+func (a *assembler) encodeData(s *stmt) ([]byte, error) {
+	switch s.dir {
+	case ".align":
+		return make([]byte, s.size), nil
+	case ".space":
+		buf := make([]byte, s.size)
+		if s.fill != 0 {
+			for i := range buf {
+				buf[i] = s.fill
+			}
+		}
+		return buf, nil
+	case ".asciz":
+		return append([]byte(s.strArg), 0), nil
+	case ".float":
+		buf := make([]byte, 0, 4*len(s.args))
+		for _, arg := range s.args {
+			f, err := strconv.ParseFloat(strings.TrimSpace(arg), 32)
+			if err != nil {
+				return nil, a.errf(s.line, "bad float %q: %v", arg, err)
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(f)))
+		}
+		return buf, nil
+	}
+	width := map[string]int{".word": 4, ".half": 2, ".byte": 1}[s.dir]
+	buf := make([]byte, 0, width*len(s.args))
+	for _, arg := range s.args {
+		v, err := a.constExpr(s.line, arg)
+		if err != nil {
+			return nil, err
+		}
+		switch width {
+		case 4:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		case 2:
+			if v < math.MinInt16 || v > math.MaxUint16 {
+				return nil, a.errf(s.line, ".half value %d out of range", v)
+			}
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(v))
+		default:
+			if v < math.MinInt8 || v > math.MaxUint8 {
+				return nil, a.errf(s.line, ".byte value %d out of range", v)
+			}
+			buf = append(buf, byte(v))
+		}
+	}
+	return buf, nil
+}
+
+func splitMnemonic(src string) (string, string) {
+	src = strings.TrimSpace(src)
+	idx := strings.IndexAny(src, " \t")
+	if idx < 0 {
+		return strings.ToLower(src), ""
+	}
+	return strings.ToLower(src[:idx]), src[idx+1:]
+}
+
+// splitOperands splits on top-level commas, honouring brackets, braces, and
+// quotes.
+func splitOperands(src string) []string {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '[', '{', '(':
+			depth++
+		case ']', '}', ')':
+			depth--
+		case '"', '\'':
+			q := src[i]
+			for i++; i < len(src); i++ {
+				if src[i] == '\\' {
+					i++
+				} else if src[i] == q {
+					break
+				}
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(src[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(src[start:]))
+	return out
+}
+
+func parseString(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	var b strings.Builder
+	for i := 1; i < len(s)-1; i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s)-1 {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		u, ok := unescape(s[i])
+		if !ok {
+			return "", fmt.Errorf("bad escape \\%c in %q", s[i], s)
+		}
+		b.WriteByte(u)
+	}
+	return b.String(), nil
+}

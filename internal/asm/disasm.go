@@ -1,0 +1,50 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"armsefi/internal/isa"
+)
+
+// Disassemble renders the text section of a program as address-annotated
+// assembly, resolving branch targets against the symbol table.
+func Disassemble(p *Program) string {
+	labels := make(map[uint32]string, len(p.Symbols))
+	for name, addr := range p.Symbols {
+		labels[addr] = name
+	}
+	var b strings.Builder
+	for off := 0; off+4 <= len(p.Text); off += 4 {
+		addr := p.TextBase + uint32(off)
+		if name, ok := labels[addr]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		word := binary.LittleEndian.Uint32(p.Text[off:])
+		fmt.Fprintf(&b, "  %08x:  %08x  %s\n", addr, word, DisasmWord(addr, word, labels))
+	}
+	return b.String()
+}
+
+// DisasmWord disassembles a single instruction word at addr, substituting a
+// label for branch targets when available.
+func DisasmWord(addr, word uint32, labels map[uint32]string) string {
+	in := isa.Decode(word)
+	if !in.Op.Valid() {
+		return "<undefined>"
+	}
+	if in.Op.Info().Format == isa.FmtBr {
+		target := addr + 4 + uint32(in.Imm)*4
+		name, ok := labels[target]
+		if !ok {
+			name = fmt.Sprintf("%#x", target)
+		}
+		suffix := ""
+		if in.Cond != isa.CondAL {
+			suffix = in.Cond.String()
+		}
+		return fmt.Sprintf("%s%s %s", in.Op, suffix, name)
+	}
+	return in.String()
+}

@@ -1,0 +1,462 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"armsefi/internal/isa"
+)
+
+// regNames maps register spellings to register numbers.
+var regNames = map[string]isa.Reg{
+	"r0": isa.R0, "r1": isa.R1, "r2": isa.R2, "r3": isa.R3,
+	"r4": isa.R4, "r5": isa.R5, "r6": isa.R6, "r7": isa.R7,
+	"r8": isa.R8, "r9": isa.R9, "r10": isa.R10, "r11": isa.R11,
+	"r12": isa.R12, "r13": isa.SP, "r14": isa.LR, "r15": isa.PC,
+	"sp": isa.SP, "lr": isa.LR, "pc": isa.PC, "fp": isa.R11, "ip": isa.R12,
+}
+
+var condByName = map[string]isa.Cond{
+	"eq": isa.CondEQ, "ne": isa.CondNE, "cs": isa.CondCS, "cc": isa.CondCC,
+	"mi": isa.CondMI, "pl": isa.CondPL, "vs": isa.CondVS, "vc": isa.CondVC,
+	"hi": isa.CondHI, "ls": isa.CondLS, "ge": isa.CondGE, "lt": isa.CondLT,
+	"gt": isa.CondGT, "le": isa.CondLE, "al": isa.CondAL,
+	"hs": isa.CondCS, "lo": isa.CondCC,
+}
+
+var sysRegByName = map[string]isa.SysReg{
+	"cpsr": isa.SysCPSR, "spsr": isa.SysSPSR, "elr": isa.SysELR,
+	"ttbr": isa.SysTTBR, "vbar": isa.SysVBAR,
+}
+
+// parseMnemonic splits a mnemonic such as "addseq" into (op, cond, setFlags)
+// following the UAL suffix order op + "s"? + cond?.
+func parseMnemonic(mnem string) (isa.Op, isa.Cond, bool, bool) {
+	type cand struct {
+		base string
+		cond isa.Cond
+		set  bool
+	}
+	// Candidate order matters: the bare mnemonic wins over any suffix
+	// reading ("teq" is TEQ, not T+EQ), and a condition suffix wins over
+	// the S suffix ("bls" is B+LS, never BL+S).
+	cands := []cand{{mnem, isa.CondAL, false}}
+	if n := len(mnem); n > 2 {
+		if c, ok := condByName[mnem[n-2:]]; ok {
+			rest := mnem[:n-2]
+			cands = append(cands, cand{rest, c, false})
+			if m := len(rest); m > 1 && rest[m-1] == 's' {
+				cands = append(cands, cand{rest[:m-1], c, true})
+			}
+		}
+	}
+	if n := len(mnem); n > 1 && mnem[n-1] == 's' {
+		cands = append(cands, cand{mnem[:n-1], isa.CondAL, true})
+	}
+	for _, c := range cands {
+		if op, ok := isa.OpByName(c.base); ok {
+			return op, c.cond, c.set, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// encodeInstr encodes one (possibly pseudo) instruction statement.
+func (a *assembler) encodeInstr(s *stmt) ([]byte, error) {
+	switch s.mnem {
+	case "push", "pop":
+		return a.encodePushPop(s)
+	case "adr":
+		return a.encodeLoadAddr(s, s.ops, isa.CondAL)
+	}
+	op, cond, set, ok := parseMnemonic(s.mnem)
+	if !ok {
+		// `ldreq r0, =x` style pseudo with condition is not supported;
+		// report the plain unknown-mnemonic error.
+		return nil, a.errf(s.line, "unknown mnemonic %q", s.mnem)
+	}
+	if op == isa.OpLDR && len(s.ops) == 2 && strings.HasPrefix(s.ops[1], "=") {
+		if cond != isa.CondAL {
+			return nil, a.errf(s.line, "ldr=%s pseudo cannot be conditional", s.ops[1])
+		}
+		return a.encodeLoadAddr(s, []string{s.ops[0], strings.TrimPrefix(s.ops[1], "=")}, cond)
+	}
+	in := isa.Instruction{Op: op, Cond: cond, SetFlags: set}
+	info := op.Info()
+	if set && !info.WritesRd {
+		return nil, a.errf(s.line, "%s cannot take the s suffix", op)
+	}
+	var err error
+	switch info.Format {
+	case isa.FmtDP:
+		err = a.parseDPOperands(s, &in)
+	case isa.FmtMem:
+		err = a.parseMemOperands(s, &in)
+	case isa.FmtMovW:
+		err = a.parseMovWOperands(s, &in)
+	case isa.FmtBr:
+		err = a.parseBranchOperands(s, &in)
+	case isa.FmtBX:
+		err = a.parseBXOperands(s, &in)
+	case isa.FmtSys:
+		err = a.parseSysOperands(s, &in)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return binary.LittleEndian.AppendUint32(nil, in.Encode()), nil
+}
+
+func (a *assembler) reg(line int, tok string) (isa.Reg, error) {
+	r, ok := regNames[strings.ToLower(strings.TrimSpace(tok))]
+	if !ok {
+		return 0, a.errf(line, "expected register, got %q", tok)
+	}
+	return r, nil
+}
+
+// parseOp2 parses a second operand: "#expr", or "rM" with an optional
+// trailing shift operand consumed from ops.
+func (a *assembler) parseOp2(s *stmt, in *isa.Instruction, ops []string) error {
+	if len(ops) == 0 {
+		return a.errf(s.line, "missing second operand for %s", in.Op)
+	}
+	tok := ops[0]
+	if strings.HasPrefix(tok, "#") {
+		v, err := a.constExpr(s.line, strings.TrimPrefix(tok, "#"))
+		if err != nil {
+			return err
+		}
+		if v < -2048 || v > 2047 {
+			return a.errf(s.line, "immediate %d out of signed 12-bit range (use ldr %s, =%d)", v, in.Rd, v)
+		}
+		if len(ops) > 1 {
+			return a.errf(s.line, "unexpected operand %q", ops[1])
+		}
+		in.UseImm = true
+		in.Imm = int32(v)
+		return nil
+	}
+	r, err := a.reg(s.line, tok)
+	if err != nil {
+		return err
+	}
+	in.Rm = r
+	if len(ops) == 1 {
+		return nil
+	}
+	if len(ops) > 2 {
+		return a.errf(s.line, "too many operands")
+	}
+	return a.parseShift(s, in, ops[1])
+}
+
+func (a *assembler) parseShift(s *stmt, in *isa.Instruction, tok string) error {
+	parts := strings.Fields(tok)
+	if len(parts) != 2 {
+		return a.errf(s.line, "bad shift operand %q", tok)
+	}
+	var st isa.ShiftType
+	switch strings.ToLower(parts[0]) {
+	case "lsl":
+		st = isa.ShiftLSL
+	case "lsr":
+		st = isa.ShiftLSR
+	case "asr":
+		st = isa.ShiftASR
+	case "ror":
+		st = isa.ShiftROR
+	default:
+		return a.errf(s.line, "bad shift type %q", parts[0])
+	}
+	amt, err := a.constExpr(s.line, strings.TrimPrefix(parts[1], "#"))
+	if err != nil {
+		return err
+	}
+	if amt < 0 || amt > 31 {
+		return a.errf(s.line, "shift amount %d out of range 0..31", amt)
+	}
+	in.Shift = st
+	in.ShAmt = uint8(amt)
+	return nil
+}
+
+func (a *assembler) parseDPOperands(s *stmt, in *isa.Instruction) error {
+	info := in.Op.Info()
+	ops := s.ops
+	switch {
+	case info.WritesRd && info.ReadsRn: // three-operand (two-operand shorthand allowed)
+		if len(ops) < 2 {
+			return a.errf(s.line, "%s needs at least rd, op2", in.Op)
+		}
+		rd, err := a.reg(s.line, ops[0])
+		if err != nil {
+			return err
+		}
+		in.Rd = rd
+		if len(ops) == 2 || strings.HasPrefix(ops[1], "#") {
+			// "add rd, op2" or "add rd, #imm[, shift]" shorthand: rn = rd.
+			in.Rn = rd
+			return a.parseOp2(s, in, ops[1:])
+		}
+		rn, err := a.reg(s.line, ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rn = rn
+		return a.parseOp2(s, in, ops[2:])
+	case info.WritesRd || info.ReadsRd: // mov-class: rd, op2
+		if len(ops) < 2 {
+			return a.errf(s.line, "%s needs rd, op2", in.Op)
+		}
+		rd, err := a.reg(s.line, ops[0])
+		if err != nil {
+			return err
+		}
+		in.Rd = rd
+		return a.parseOp2(s, in, ops[1:])
+	default: // compare-class: rn, op2
+		if len(ops) < 2 {
+			return a.errf(s.line, "%s needs rn, op2", in.Op)
+		}
+		rn, err := a.reg(s.line, ops[0])
+		if err != nil {
+			return err
+		}
+		in.Rn = rn
+		return a.parseOp2(s, in, ops[1:])
+	}
+}
+
+func (a *assembler) parseMemOperands(s *stmt, in *isa.Instruction) error {
+	if len(s.ops) != 2 {
+		return a.errf(s.line, "%s needs rd, [rn, off]", in.Op)
+	}
+	rd, err := a.reg(s.line, s.ops[0])
+	if err != nil {
+		return err
+	}
+	in.Rd = rd
+	addr := s.ops[1]
+	if len(addr) < 2 || addr[0] != '[' || addr[len(addr)-1] != ']' {
+		return a.errf(s.line, "expected [base, offset] address, got %q", addr)
+	}
+	parts := splitOperands(addr[1 : len(addr)-1])
+	if len(parts) == 0 || len(parts) > 3 {
+		return a.errf(s.line, "bad address %q", addr)
+	}
+	rn, err := a.reg(s.line, parts[0])
+	if err != nil {
+		return err
+	}
+	in.Rn = rn
+	if len(parts) == 1 {
+		in.UseImm = true
+		in.Imm = 0
+		return nil
+	}
+	return a.parseOp2(s, in, parts[1:])
+}
+
+func (a *assembler) parseMovWOperands(s *stmt, in *isa.Instruction) error {
+	if len(s.ops) != 2 {
+		return a.errf(s.line, "%s needs rd, #imm16", in.Op)
+	}
+	rd, err := a.reg(s.line, s.ops[0])
+	if err != nil {
+		return err
+	}
+	in.Rd = rd
+	v, err := a.constExpr(s.line, strings.TrimPrefix(s.ops[1], "#"))
+	if err != nil {
+		return err
+	}
+	if v < 0 || v > 0xFFFF {
+		return a.errf(s.line, "%s immediate %d out of 16-bit range", in.Op, v)
+	}
+	in.Imm = int32(v)
+	return nil
+}
+
+func (a *assembler) parseBranchOperands(s *stmt, in *isa.Instruction) error {
+	if len(s.ops) != 1 {
+		return a.errf(s.line, "%s needs a target", in.Op)
+	}
+	target, err := a.constExpr(s.line, strings.TrimPrefix(s.ops[0], "#"))
+	if err != nil {
+		return err
+	}
+	delta := target - int64(s.addr) - 4
+	if delta%4 != 0 {
+		return a.errf(s.line, "branch target %#x misaligned", target)
+	}
+	words := delta / 4
+	if words < -(1<<21) || words >= 1<<21 {
+		return a.errf(s.line, "branch target %#x out of range", target)
+	}
+	in.Imm = int32(words)
+	if in.Op == isa.OpBL {
+		in.Rd = isa.LR
+	}
+	return nil
+}
+
+func (a *assembler) parseBXOperands(s *stmt, in *isa.Instruction) error {
+	if len(s.ops) != 1 {
+		return a.errf(s.line, "bx needs a register")
+	}
+	rm, err := a.reg(s.line, s.ops[0])
+	if err != nil {
+		return err
+	}
+	in.Rm = rm
+	return nil
+}
+
+func (a *assembler) parseSysOperands(s *stmt, in *isa.Instruction) error {
+	switch in.Op {
+	case isa.OpSVC:
+		if len(s.ops) != 1 {
+			return a.errf(s.line, "svc needs #imm")
+		}
+		v, err := a.constExpr(s.line, strings.TrimPrefix(s.ops[0], "#"))
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > 0xFFF {
+			return a.errf(s.line, "svc number %d out of range", v)
+		}
+		in.Imm = int32(v)
+	case isa.OpMRS:
+		if len(s.ops) != 2 {
+			return a.errf(s.line, "mrs needs rd, sysreg")
+		}
+		rd, err := a.reg(s.line, s.ops[0])
+		if err != nil {
+			return err
+		}
+		sr, ok := sysRegByName[strings.ToLower(s.ops[1])]
+		if !ok {
+			return a.errf(s.line, "unknown system register %q", s.ops[1])
+		}
+		in.Rd = rd
+		in.Imm = int32(sr)
+	case isa.OpMSR:
+		if len(s.ops) != 2 {
+			return a.errf(s.line, "msr needs sysreg, rd")
+		}
+		sr, ok := sysRegByName[strings.ToLower(s.ops[0])]
+		if !ok {
+			return a.errf(s.line, "unknown system register %q", s.ops[0])
+		}
+		rd, err := a.reg(s.line, s.ops[1])
+		if err != nil {
+			return err
+		}
+		in.Imm = int32(sr)
+		in.Rd = rd
+	default: // eret, wfi, nop
+		if len(s.ops) != 0 {
+			return a.errf(s.line, "%s takes no operands", in.Op)
+		}
+	}
+	return nil
+}
+
+// encodeLoadAddr expands `ldr rd, =expr` / `adr rd, label` into movw+movt.
+func (a *assembler) encodeLoadAddr(s *stmt, ops []string, cond isa.Cond) ([]byte, error) {
+	if len(ops) != 2 {
+		return nil, a.errf(s.line, "%s needs rd, value", s.mnem)
+	}
+	rd, err := a.reg(s.line, ops[0])
+	if err != nil {
+		return nil, err
+	}
+	v, err := a.constExpr(s.line, strings.TrimPrefix(strings.TrimPrefix(ops[1], "="), "#"))
+	if err != nil {
+		return nil, err
+	}
+	u := uint32(v)
+	movw := isa.Instruction{Op: isa.OpMOVW, Cond: cond, Rd: rd, Imm: int32(u & 0xFFFF)}
+	movt := isa.Instruction{Op: isa.OpMOVT, Cond: cond, Rd: rd, Imm: int32(u >> 16)}
+	buf := binary.LittleEndian.AppendUint32(nil, movw.Encode())
+	return binary.LittleEndian.AppendUint32(buf, movt.Encode()), nil
+}
+
+// parseRegList parses "{r4-r6, lr}" into an ascending register list.
+func parseRegList(ops []string) ([]isa.Reg, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("empty register list")
+	}
+	joined := strings.Join(ops, ",")
+	joined = strings.TrimSpace(joined)
+	if len(joined) < 2 || joined[0] != '{' || joined[len(joined)-1] != '}' {
+		return nil, fmt.Errorf("expected {reglist}, got %q", joined)
+	}
+	var seen [isa.NumRegs]bool
+	for _, part := range strings.Split(joined[1:len(joined)-1], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi := part, part
+		if idx := strings.IndexByte(part, '-'); idx >= 0 {
+			lo, hi = strings.TrimSpace(part[:idx]), strings.TrimSpace(part[idx+1:])
+		}
+		rlo, ok := regNames[strings.ToLower(lo)]
+		if !ok {
+			return nil, fmt.Errorf("bad register %q in list", lo)
+		}
+		rhi, ok := regNames[strings.ToLower(hi)]
+		if !ok {
+			return nil, fmt.Errorf("bad register %q in list", hi)
+		}
+		if rhi < rlo {
+			return nil, fmt.Errorf("descending range %q", part)
+		}
+		for r := rlo; r <= rhi; r++ {
+			if r == isa.PC {
+				return nil, fmt.Errorf("pc not allowed in register list")
+			}
+			seen[r] = true
+		}
+	}
+	var regs []isa.Reg
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if seen[r] {
+			regs = append(regs, r)
+		}
+	}
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("empty register list")
+	}
+	return regs, nil
+}
+
+// encodePushPop expands push/pop into sp-adjust plus individual word
+// stores/loads, keeping the CPU model free of multi-register memory ops.
+func (a *assembler) encodePushPop(s *stmt) ([]byte, error) {
+	regs, err := parseRegList(s.ops)
+	if err != nil {
+		return nil, a.errf(s.line, "%v", err)
+	}
+	n := int32(len(regs))
+	var buf []byte
+	emit := func(in isa.Instruction) {
+		in.Cond = isa.CondAL
+		buf = binary.LittleEndian.AppendUint32(buf, in.Encode())
+	}
+	if s.mnem == "push" {
+		emit(isa.Instruction{Op: isa.OpSUB, Rd: isa.SP, Rn: isa.SP, UseImm: true, Imm: 4 * n})
+		for i, r := range regs {
+			emit(isa.Instruction{Op: isa.OpSTR, Rd: r, Rn: isa.SP, UseImm: true, Imm: int32(4 * i)})
+		}
+		return buf, nil
+	}
+	for i, r := range regs {
+		emit(isa.Instruction{Op: isa.OpLDR, Rd: r, Rn: isa.SP, UseImm: true, Imm: int32(4 * i)})
+	}
+	emit(isa.Instruction{Op: isa.OpADD, Rd: isa.SP, Rn: isa.SP, UseImm: true, Imm: 4 * n})
+	return buf, nil
+}

@@ -1,0 +1,251 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// exprParser evaluates integer constant expressions. Supported: decimal,
+// hexadecimal (0x) and binary (0b) literals, character literals, symbol
+// references, parentheses, unary - and ~, and the binary operators
+// * / % << >> & ^ | + - with C-like precedence.
+type exprParser struct {
+	src     string
+	pos     int
+	resolve func(name string) (int64, bool)
+}
+
+// evalExpr evaluates src, resolving identifiers through resolve.
+func evalExpr(src string, resolve func(string) (int64, bool)) (int64, error) {
+	p := &exprParser{src: src, resolve: resolve}
+	v, err := p.parseBinary(0)
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("unexpected %q in expression %q", p.src[p.pos:], src)
+	}
+	return v, nil
+}
+
+// Binary operator precedence levels, loosest first.
+var exprOps = [][]string{
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *exprParser) parseBinary(level int) (int64, error) {
+	if level == len(exprOps) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op, ok := p.peekOp(level)
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case "|":
+			left |= right
+		case "^":
+			left ^= right
+		case "&":
+			left &= right
+		case "<<":
+			left <<= uint(right) & 63
+		case ">>":
+			left >>= uint(right) & 63
+		case "+":
+			left += right
+		case "-":
+			left -= right
+		case "*":
+			left *= right
+		case "/":
+			if right == 0 {
+				return 0, fmt.Errorf("division by zero in expression %q", p.src)
+			}
+			left /= right
+		case "%":
+			if right == 0 {
+				return 0, fmt.Errorf("modulo by zero in expression %q", p.src)
+			}
+			left %= right
+		}
+	}
+}
+
+// peekOp consumes and returns an operator of the given precedence level if
+// one is next.
+func (p *exprParser) peekOp(level int) (string, bool) {
+	p.skipSpace()
+	rest := p.src[p.pos:]
+	for _, op := range exprOps[level] {
+		if !strings.HasPrefix(rest, op) {
+			continue
+		}
+		// Avoid eating "<<" as "<" etc. (single-char ops that prefix a
+		// longer op at another level don't exist in this grammar, but "-"
+		// must not grab the start of a negative literal after an operator —
+		// that case never reaches here because parseBinary always consumes
+		// a full operand first.)
+		if op == "<" || op == ">" {
+			continue
+		}
+		p.pos += len(op)
+		return op, true
+	}
+	return "", false
+}
+
+func (p *exprParser) parseUnary() (int64, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '-':
+			p.pos++
+			v, err := p.parseUnary()
+			return -v, err
+		case '~':
+			p.pos++
+			v, err := p.parseUnary()
+			return ^v, err
+		case '+':
+			p.pos++
+			return p.parseUnary()
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (int64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseBinary(0)
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, fmt.Errorf("missing ')' in expression %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case c == '\'':
+		return p.parseChar()
+	case c >= '0' && c <= '9':
+		return p.parseNumber()
+	case isIdentStart(c):
+		return p.parseIdent()
+	default:
+		return 0, fmt.Errorf("unexpected %q in expression %q", string(c), p.src)
+	}
+}
+
+func (p *exprParser) parseChar() (int64, error) {
+	rest := p.src[p.pos:]
+	if len(rest) >= 4 && rest[1] == '\\' && rest[3] == '\'' {
+		v, ok := unescape(rest[2])
+		if !ok {
+			return 0, fmt.Errorf("bad escape in char literal %q", rest[:4])
+		}
+		p.pos += 4
+		return int64(v), nil
+	}
+	if len(rest) >= 3 && rest[2] == '\'' {
+		p.pos += 3
+		return int64(rest[1]), nil
+	}
+	return 0, fmt.Errorf("bad char literal in expression %q", p.src)
+}
+
+func (p *exprParser) parseNumber() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNumChar(p.src[p.pos]) {
+		p.pos++
+	}
+	tok := p.src[start:p.pos]
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		// Retry as unsigned for literals such as 0xFFFFFFFF.
+		u, uerr := strconv.ParseUint(tok, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad number %q: %v", tok, err)
+		}
+		v = int64(u)
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseIdent() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	if p.resolve == nil {
+		return 0, fmt.Errorf("symbol %q not allowed here", name)
+	}
+	v, ok := p.resolve(name)
+	if !ok {
+		return 0, fmt.Errorf("undefined symbol %q", name)
+	}
+	return v, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' ||
+		c == 'x' || c == 'X' || c == 'b' || c == 'B' || c == 'o' || c == 'O'
+}
+
+func unescape(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	default:
+		return 0, false
+	}
+}

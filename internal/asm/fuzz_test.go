@@ -1,0 +1,71 @@
+package asm
+
+import (
+	"testing"
+
+	"armsefi/internal/isa"
+)
+
+// FuzzAssemble feeds arbitrary source through the assembler: it must
+// either produce a program or an error, never panic.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"nop\n",
+		"add r1, r2, r3\n",
+		"ldr r0, =0xDEADBEEF\nb x\nx:\n",
+		".data\nbuf: .space 16\n.word buf, 1+2*3\n",
+		"push {r4-r6, lr}\npop {r4-r6, lr}\n",
+		".equ N, 4\nmov r0, #N\n",
+		"label: b label ; comment\n",
+		".asciz \"hi\\n\"\n",
+		"add r0, r1, r2, lsl #31\n",
+		"\x00\x01\x02",
+		".word",
+		"mov pc, lr\n",
+		"bls bls\nbls:\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz.s", src, Config{TextBase: 0x1000, DataBase: 0x8000})
+		if err != nil {
+			return
+		}
+		// Whatever assembles must also disassemble without panicking.
+		_ = Disassemble(prog)
+	})
+}
+
+// FuzzEvalExpr checks the expression evaluator never panics.
+func FuzzEvalExpr(f *testing.F) {
+	for _, s := range []string{"1+2", "(3*4)>>1", "~0", "'a'", "0xFF&sym", "1/0", "((((", "--1"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = evalExpr(src, func(name string) (int64, bool) {
+			return int64(len(name)), name != "undefined"
+		})
+	})
+}
+
+// FuzzDecode checks that every 32-bit word decodes and renders without
+// panicking — the property the I-cache fault path depends on.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(isa.Instruction{Op: isa.OpADD, Cond: isa.CondAL, Rd: isa.R1, Rn: isa.R2, Rm: isa.R3}.Encode())
+	f.Fuzz(func(t *testing.T, word uint32) {
+		in := isa.Decode(word)
+		_ = in.String()
+		if in.Op.Valid() {
+			// A valid decode must re-encode to something that decodes to
+			// the same instruction (encode/decode stability).
+			again := isa.Decode(in.Encode())
+			if again != in {
+				t.Fatalf("unstable decode: %#x -> %+v -> %+v", word, in, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+// Package asm implements a two-pass assembler and a disassembler for the
+// simulator's ISA (package isa). Workloads and the miniature kernel are
+// written in this assembly so that their instruction and data bits reside in
+// the simulated memory hierarchy, where the fault injector and the beam
+// simulator can flip them.
+//
+// Syntax summary:
+//
+//	; comment            @ comment            // comment
+//	.text / .data        section switch
+//	.equ NAME, expr      assemble-time constant
+//	.align N             pad current section to an N-byte boundary
+//	.space N [, fill]    reserve N bytes
+//	.word e1, e2, ...    32-bit little-endian values (labels allowed)
+//	.half / .byte        16- / 8-bit values
+//	.float f1, f2, ...   IEEE-754 single-precision bit patterns
+//	.asciz "s"           NUL-terminated string (escapes: \n \t \0 \\ \")
+//	label:               define a label at the current location
+//
+//	add r0, r1, r2, lsl #3      data processing, optional shifted operand
+//	addeq / adds / addseq       condition and/or S suffixes
+//	ldr r0, [r1, #-8]           memory, signed 12-bit offset
+//	str r0, [r1, r2, lsl #2]    memory, scaled register offset
+//	b loop / bl fn / bx lr      control flow
+//	ldr r0, =expr               pseudo: 32-bit constant or address (movw+movt)
+//	adr r0, label               pseudo: address of label (movw+movt)
+//	push {r4-r6, lr}            pseudo: multi-register store
+//	pop {r4-r6, lr}             pseudo: multi-register load
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Program is the output of assembling one source unit: two loadable images
+// and a symbol table.
+type Program struct {
+	Name     string
+	TextBase uint32
+	Text     []byte // little-endian instruction words
+	DataBase uint32
+	Data     []byte
+	Symbols  map[string]uint32
+	Entry    uint32 // address of `_start` if defined, else TextBase
+}
+
+// Word returns the instruction word at the given text address.
+func (p *Program) Word(addr uint32) (uint32, bool) {
+	off := addr - p.TextBase
+	if addr < p.TextBase || int(off)+4 > len(p.Text) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(p.Text[off:]), true
+}
+
+// Symbol resolves a label to its address.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// MustSymbol resolves a label and panics if undefined. Intended for test and
+// harness code that assembles trusted sources.
+func (p *Program) MustSymbol(name string) uint32 {
+	v, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: program %q has no symbol %q", p.Name, name))
+	}
+	return v
+}
+
+// SymbolNames returns all defined symbols in sorted order.
+func (p *Program) SymbolNames() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TextWords returns the number of encoded instruction words.
+func (p *Program) TextWords() int { return len(p.Text) / 4 }

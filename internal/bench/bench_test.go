@@ -1,0 +1,96 @@
+package bench_test
+
+import (
+	"bytes"
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/soc"
+)
+
+// runWorkload executes a built workload on a freshly booted machine and
+// returns its UART output.
+func runWorkload(t *testing.T, b *bench.Built, model soc.ModelKind) []byte {
+	t.Helper()
+	m, err := soc.NewMachine(soc.PresetZynq(), model)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	if err := m.LoadApp(b.Program); err != nil {
+		t.Fatalf("LoadApp: %v", err)
+	}
+	if len(b.Input) > 0 {
+		if err := m.PokeBytes(b.InputAddr, b.Input); err != nil {
+			t.Fatalf("PokeBytes: %v", err)
+		}
+	}
+	if err := m.Boot(50_000_000); err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	res := m.Run(4_000_000_000)
+	if !res.CleanExit() {
+		t.Fatalf("%s run: outcome=%v code=%#x pc=%#x mode=%v",
+			b.Spec.Name, res.Outcome, res.ExitCode, m.Core().PC(), m.Core().Mode())
+	}
+	return res.Output
+}
+
+// TestWorkloadsMatchReference runs every Table III workload at tiny scale
+// on the atomic model and compares the simulated output bit-for-bit with
+// the native Go reference.
+func TestWorkloadsMatchReference(t *testing.T) {
+	for _, spec := range bench.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			b, err := spec.Build(soc.UserAsmConfig(), bench.ScaleTiny)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			out := runWorkload(t, b, soc.ModelAtomic)
+			if !bytes.Equal(out, b.Golden) {
+				t.Fatalf("output mismatch: got %d bytes, want %d\n got: %.64x\nwant: %.64x",
+					len(out), len(b.Golden), out, b.Golden)
+			}
+		})
+	}
+}
+
+// TestWorkloadsMatchReferenceDetailed cross-checks that the detailed
+// out-of-order model computes identical outputs to the atomic model.
+func TestWorkloadsMatchReferenceDetailed(t *testing.T) {
+	for _, spec := range bench.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			b, err := spec.Build(soc.UserAsmConfig(), bench.ScaleTiny)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			out := runWorkload(t, b, soc.ModelDetailed)
+			if !bytes.Equal(out, b.Golden) {
+				t.Fatalf("output mismatch: got %d bytes, want %d", len(out), len(b.Golden))
+			}
+		})
+	}
+}
+
+// TestPaperScaleSmoke validates the -scale paper build path for a few
+// fast workloads end-to-end on the atomic model.
+func TestPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale runs are slow")
+	}
+	for _, name := range []string{"susan_e", "stringsearch", "dijkstra"} {
+		spec, _ := bench.ByName(name)
+		b, err := spec.Build(soc.UserAsmConfig(), bench.ScalePaper)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := runWorkload(t, b, soc.ModelAtomic)
+		if !bytes.Equal(out, b.Golden) {
+			t.Fatalf("%s: paper-scale output mismatch (%d vs %d bytes)",
+				name, len(out), len(b.Golden))
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"armsefi/internal/asm"
+)
+
+// Dijkstra sizes: node count and number of source nodes (the paper runs 100
+// paths over a 100x100 adjacency matrix).
+func dijkstraSize(s Scale) (n, nsrc int) {
+	switch s {
+	case ScaleTiny:
+		return 20, 8
+	case ScaleSmall:
+		return 48, 24
+	default:
+		return 100, 100
+	}
+}
+
+// Dijkstra is the shortest-path workload of Table III.
+var Dijkstra = register(Spec{
+	Name:            "dijkstra",
+	InputDesc:       "100x100 integer adjacency matrix (scaled: 20/48/100 nodes)",
+	Characteristics: "Control intensive, memory intensive",
+	SmallFootprint:  true,
+	build:           buildDijkstra,
+})
+
+const dijkstraInf = 0x7FFFFFFF
+
+// refDijkstra computes dist(src, n-1) for each source with the exact
+// selection and relaxation order of the assembly (first strict minimum).
+func refDijkstra(adj []uint32, n, nsrc int) []uint32 {
+	out := make([]uint32, nsrc)
+	dist := make([]uint32, n)
+	visited := make([]bool, n)
+	for src := 0; src < nsrc; src++ {
+		for i := range dist {
+			dist[i] = dijkstraInf
+			visited[i] = false
+		}
+		dist[src] = 0
+		for it := 0; it < n; it++ {
+			best := -1
+			bestDist := uint32(dijkstraInf)
+			for i := 0; i < n; i++ {
+				if !visited[i] && dist[i] < bestDist {
+					best, bestDist = i, dist[i]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			visited[best] = true
+			row := adj[best*n : best*n+n]
+			for i, w := range row {
+				if w == 0 || visited[i] {
+					continue
+				}
+				if cand := bestDist + w; cand < dist[i] {
+					dist[i] = cand
+				}
+			}
+		}
+		out[src] = dist[n-1]
+	}
+	return out
+}
+
+func buildDijkstra(cfg asm.Config, scale Scale) (*Built, error) {
+	n, nsrc := dijkstraSize(scale)
+	src := prologue() + fmt.Sprintf(`
+.equ N, %d
+.equ NSRC, %d
+.equ INF, 0x7FFFFFFF
+	mov r10, #0            ; source node
+src_loop:
+	ldr r0, =dist
+	ldr r1, =visited
+	mov r2, #0
+	ldr r3, =INF
+	mov r4, #0
+init_loop:
+	str r3, [r0, r2, lsl #2]
+	str r4, [r1, r2, lsl #2]
+	add r2, #1
+	cmp r2, #N
+	blt init_loop
+	mov r2, #0
+	str r2, [r0, r10, lsl #2]  ; dist[src] = 0
+	mov r9, #0                 ; iteration count
+iter_loop:
+	mvn r6, #0                 ; best index = -1
+	ldr r7, =INF               ; best distance
+	mov r2, #0
+find_loop:
+	ldr r3, [r1, r2, lsl #2]
+	cmp r3, #0
+	bne find_next
+	ldr r3, [r0, r2, lsl #2]
+	cmp r3, r7
+	bcs find_next
+	mov r7, r3
+	mov r6, r2
+find_next:
+	add r2, #1
+	cmp r2, #N
+	blt find_loop
+	cmn r6, #1
+	beq src_done               ; no reachable unvisited node
+	mov r3, #1
+	str r3, [r1, r6, lsl #2]   ; visited[best] = 1
+	ldr r4, =input
+	ldr r5, =N*4
+	mul r5, r6, r5
+	add r4, r4, r5             ; row base
+	mov r2, #0
+relax_loop:
+	ldr r3, [r4, r2, lsl #2]
+	cmp r3, #0
+	beq relax_next
+	ldr r5, [r1, r2, lsl #2]
+	cmp r5, #0
+	bne relax_next
+	add r3, r3, r7
+	ldr r5, [r0, r2, lsl #2]
+	cmp r3, r5
+	bcs relax_next
+	str r3, [r0, r2, lsl #2]
+relax_next:
+	add r2, #1
+	cmp r2, #N
+	blt relax_loop
+	add r9, #1
+	cmp r9, #N
+	blt iter_loop
+src_done:
+	ldr r0, =dist
+	ldr r3, =N-1
+	ldr r3, [r0, r3, lsl #2]
+	ldr r0, =outbuf
+	str r3, [r0, r10, lsl #2]
+	add r10, #1
+	cmp r10, #NSRC
+	blt src_loop
+	ldr r5, =NSRC*4
+	b finish
+`, n, nsrc) + exitSnippet + fmt.Sprintf(`
+.data
+dist:    .space %d
+visited: .space %d
+outbuf:  .space %d
+input:   .space %d
+`, 4*n, 4*n, 4*nsrc, 4*n*n)
+	prog, err := assemble("dijkstra.s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := newRNG(0xD17C5742)
+	adj := make([]uint32, n*n)
+	input := make([]byte, 4*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var w uint32
+			if i != j && r.uint32n(100) < 35 { // sparse-ish graph
+				w = 1 + r.uint32n(255)
+			}
+			adj[i*n+j] = w
+			binary.LittleEndian.PutUint32(input[4*(i*n+j):], w)
+		}
+	}
+	dists := refDijkstra(adj, n, nsrc)
+	golden := make([]byte, 0, 4*nsrc)
+	for _, d := range dists {
+		golden = binary.LittleEndian.AppendUint32(golden, d)
+	}
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     input,
+		Golden:    golden,
+	}, nil
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"armsefi/internal/asm"
+)
+
+// FFT sizes (paper: 32768-point single-precision transform).
+func fftSize(s Scale) int {
+	switch s {
+	case ScaleTiny:
+		return 256
+	case ScaleSmall:
+		return 1024
+	default:
+		return 32768
+	}
+}
+
+// FFT is the fast-Fourier-transform workload of Table III.
+var FFT = register(Spec{
+	Name:            "fft",
+	InputDesc:       "32768-element float array (scaled: 256/1024/32768)",
+	Characteristics: "Memory intensive",
+	build:           buildFFT,
+})
+
+// refFFT performs the iterative radix-2 decimation-in-time transform with
+// float32 arithmetic in exactly the assembly's operation order. a holds
+// interleaved (re, im) pairs and tw the twiddle table (re, im per index).
+func refFFT(a, tw []float32, n int) {
+	// Bit-reverse permutation.
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	for i := 0; i < n; i++ {
+		j := 0
+		v := i
+		for k := 0; k < logn; k++ {
+			j = j<<1 | v&1
+			v >>= 1
+		}
+		if i < j {
+			a[2*i], a[2*j] = a[2*j], a[2*i]
+			a[2*i+1], a[2*j+1] = a[2*j+1], a[2*i+1]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		half := length / 2
+		step := n / length
+		for i := 0; i < n; i += length {
+			for j := 0; j < half; j++ {
+				wr := tw[2*(j*step)]
+				wi := tw[2*(j*step)+1]
+				vr := a[2*(i+j+half)]
+				vi := a[2*(i+j+half)+1]
+				tr := vr*wr - vi*wi
+				ti := vr*wi + vi*wr
+				ur := a[2*(i+j)]
+				ui := a[2*(i+j)+1]
+				a[2*(i+j)] = ur + tr
+				a[2*(i+j)+1] = ui + ti
+				a[2*(i+j+half)] = ur - tr
+				a[2*(i+j+half)+1] = ui - ti
+			}
+		}
+	}
+}
+
+func buildFFT(cfg asm.Config, scale Scale) (*Built, error) {
+	n := fftSize(scale)
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	src := prologue() + fmt.Sprintf(`
+.equ N, %d
+.equ LOGN, %d
+	ldr r0, =input
+	; bit-reverse permutation
+	mov r1, #0
+brv_loop:
+	mov r2, #0
+	mov r3, #0
+	mov r4, r1
+brv_inner:
+	lsl r2, r2, #1
+	tst r4, #1
+	orrne r2, r2, #1
+	lsr r4, r4, #1
+	add r3, #1
+	cmp r3, #LOGN
+	blt brv_inner
+	cmp r1, r2
+	bge brv_next
+	add r4, r0, r1, lsl #3
+	add r5, r0, r2, lsl #3
+	ldr r6, [r4]
+	ldr r7, [r5]
+	str r7, [r4]
+	str r6, [r5]
+	ldr r6, [r4, #4]
+	ldr r7, [r5, #4]
+	str r7, [r4, #4]
+	str r6, [r5, #4]
+brv_next:
+	add r1, #1
+	ldr r2, =N
+	cmp r1, r2
+	blt brv_loop
+	; butterfly stages
+	mov r10, #2            ; len
+stage_loop:
+	lsr r11, r10, #1       ; half
+	ldr r2, =N
+	udiv r12, r2, r10      ; twiddle stride
+	mov r9, #0             ; block start
+block_loop:
+	mov r8, #0             ; j
+bfly_loop:
+	mul r2, r8, r12
+	ldr r3, =input + N*8
+	add r3, r3, r2, lsl #3
+	ldr r4, [r3]           ; wr
+	ldr r5, [r3, #4]       ; wi
+	add r2, r9, r8
+	add r3, r0, r2, lsl #3 ; &a[i+j]
+	add r2, r2, r11
+	add r2, r0, r2, lsl #3 ; &a[i+j+half]
+	ldr r6, [r2]           ; vr
+	ldr r7, [r2, #4]       ; vi
+	fmul r1, r6, r4        ; vr*wr
+	fmul r6, r6, r5        ; vr*wi
+	fmul r5, r7, r5        ; vi*wi
+	fmul r7, r7, r4        ; vi*wr
+	fsub r1, r1, r5        ; tr
+	fadd r6, r6, r7        ; ti
+	ldr r4, [r3]           ; ur
+	ldr r5, [r3, #4]       ; ui
+	fadd r7, r4, r1
+	str r7, [r3]
+	fadd r7, r5, r6
+	str r7, [r3, #4]
+	fsub r7, r4, r1
+	str r7, [r2]
+	fsub r7, r5, r6
+	str r7, [r2, #4]
+	add r8, #1
+	cmp r8, r11
+	blt bfly_loop
+	add r9, r9, r10
+	ldr r2, =N
+	cmp r9, r2
+	blt block_loop
+	lsl r10, r10, #1
+	ldr r2, =N
+	cmp r10, r2
+	ble stage_loop
+	; emit the transformed array
+	ldr r1, =outbuf
+	mov r2, #0
+	ldr r4, =N*2
+copy_loop:
+	ldr r3, [r0, r2, lsl #2]
+	str r3, [r1, r2, lsl #2]
+	add r2, #1
+	cmp r2, r4
+	blt copy_loop
+	ldr r5, =N*8
+	b finish
+`, n, logn) + exitSnippet + fmt.Sprintf(`
+.data
+outbuf: .space %d
+input:  .space %d
+`, 8*n, 8*n+8*n/2)
+	prog, err := assemble("fft.s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := newRNG(0xFF7C0DE5)
+	a := make([]float32, 2*n)
+	for i := range a {
+		a[i] = r.float32unit()*2 - 1
+	}
+	tw := make([]float32, n) // n/2 complex twiddles
+	for j := 0; j < n/2; j++ {
+		ang := -2 * math.Pi * float64(j) / float64(n)
+		tw[2*j] = float32(math.Cos(ang))
+		tw[2*j+1] = float32(math.Sin(ang))
+	}
+	input := make([]byte, 0, 4*len(a)+4*len(tw))
+	for _, v := range a {
+		input = binary.LittleEndian.AppendUint32(input, math.Float32bits(v))
+	}
+	for _, v := range tw {
+		input = binary.LittleEndian.AppendUint32(input, math.Float32bits(v))
+	}
+	work := append([]float32(nil), a...)
+	refFFT(work, tw, n)
+	golden := make([]byte, 0, 4*len(work))
+	for _, v := range work {
+		golden = binary.LittleEndian.AppendUint32(golden, math.Float32bits(v))
+	}
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     input,
+		Golden:    golden,
+	}, nil
+}

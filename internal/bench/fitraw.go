@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"armsefi/internal/asm"
+)
+
+// FITRawProbeName is the registry name of the L1 data-cache probe used to
+// measure the raw per-bit FIT, as in Section VI of the paper.
+const FITRawProbeName = "fitraw_probe"
+
+// fitRawPattern is the byte written to every probe location.
+const fitRawPattern = 0xA5
+
+// FITRawBufBytes is the probe buffer size: exactly the L1 data cache
+// capacity, so the fill claims the whole array.
+const FITRawBufBytes = 32 << 10
+
+// fitRawDelay returns the busy-wait iterations between fill and readback —
+// the exposure window during which beam strikes accumulate in the resident
+// lines.
+func fitRawDelay(s Scale) int {
+	switch s {
+	case ScaleTiny:
+		return 20_000
+	case ScaleSmall:
+		return 100_000
+	default:
+		return 400_000
+	}
+}
+
+// FITRawProbe is the Section VI cache-characterisation workload: fill the
+// L1 data cache byte-by-byte with a known pattern, wait, read it back, and
+// report mismatches. Under the beam simulator its detection rate per
+// fluence yields the measured FIT_raw per bit.
+var FITRawProbe = register(Spec{
+	Name:            FITRawProbeName,
+	InputDesc:       "L1D-sized pattern buffer (32 KB)",
+	Characteristics: "Cache characterisation probe",
+	build:           buildFITRawProbe,
+})
+
+func buildFITRawProbe(cfg asm.Config, scale Scale) (*Built, error) {
+	src := prologue() + fmt.Sprintf(`
+.equ BUFSZ, %d
+.equ PATTERN, %d
+.equ DELAY, %d
+	ldr r0, =patbuf
+	ldr r1, =BUFSZ
+	mov r2, #PATTERN
+	mov r3, #0
+fill:
+	strb r2, [r0, r3]
+	add r3, #1
+	cmp r3, r1
+	blt fill
+	; exposure window
+	ldr r3, =DELAY
+delay:
+	sub r3, #1
+	cmp r3, #0
+	bgt delay
+	; readback and compare
+	mov r3, #0
+	mov r4, #0          ; mismatch count
+	mvn r7, #0          ; first mismatch index (-1)
+rb:
+	ldrb r6, [r0, r3]
+	cmp r6, #PATTERN
+	beq rb_next
+	add r4, #1
+	cmn r7, #1
+	moveq r7, r3
+rb_next:
+	add r3, #1
+	cmp r3, r1
+	blt rb
+	ldr r0, =outbuf
+	str r4, [r0]
+	str r7, [r0, #4]
+	mov r5, #8
+	b finish
+`, FITRawBufBytes, fitRawPattern, fitRawDelay(scale)) + exitSnippet + fmt.Sprintf(`
+.data
+outbuf: .space 8
+.align 32
+patbuf: .space %d
+`, FITRawBufBytes)
+	prog, err := assemble("fitraw.s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	golden := binary.LittleEndian.AppendUint32(nil, 0)
+	golden = binary.LittleEndian.AppendUint32(golden, 0xFFFFFFFF)
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("patbuf"),
+		Input:     nil,
+		Golden:    golden,
+	}, nil
+}
+
+// FITRawMismatches decodes a probe run's output into (count, firstIndex).
+func FITRawMismatches(output []byte) (uint32, uint32, error) {
+	if len(output) != 8 {
+		return 0, 0, fmt.Errorf("bench: probe output has %d bytes, want 8", len(output))
+	}
+	return binary.LittleEndian.Uint32(output), binary.LittleEndian.Uint32(output[4:]), nil
+}

@@ -1,0 +1,532 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"armsefi/internal/asm"
+)
+
+// Jpeg image sizes (paper: 512x512). The codec is a DCT + quantise +
+// zigzag + run-length pipeline — libjpeg's computational core without its
+// entropy coder (documented substitution in DESIGN.md).
+func jpegSize(s Scale) (w, h int) {
+	switch s {
+	case ScaleTiny:
+		return 32, 32
+	case ScaleSmall:
+		return 64, 64
+	default:
+		return 512, 512
+	}
+}
+
+// jpegQuant is the standard JPEG luminance quantisation matrix.
+var jpegQuant = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// jpegZig maps zigzag scan position to row-major coefficient index.
+var jpegZig = [64]byte{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// jpegCosTab returns the fixed-point DCT basis: T[u*8+y] =
+// round(0.5*C(u)*cos((2y+1)u*pi/16) * 1024).
+func jpegCosTab() [64]int32 {
+	var t [64]int32
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for y := 0; y < 8; y++ {
+			v := 0.5 * cu * math.Cos(float64(2*y+1)*float64(u)*math.Pi/16) * 1024
+			t[u*8+y] = int32(math.Round(v))
+		}
+	}
+	return t
+}
+
+// jpegImage generates the deterministic test image.
+func jpegImage(w, h int) []byte {
+	r := newRNG(0x1457A6E5)
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := uint32(128 + 80*math.Sin(float64(x)/9)*math.Cos(float64(y)/7))
+			v += r.uint32n(9)
+			if v > 255 {
+				v = 255
+			}
+			img[y*w+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// refJpegEncode runs the forward pipeline with the exact integer operation
+// order of the assembly.
+func refJpegEncode(img []byte, w, h int) []byte {
+	t := jpegCosTab()
+	var out []byte
+	var blk, tmp, coef [64]int32
+	for by := 0; by < h/8; by++ {
+		for bx := 0; bx < w/8; bx++ {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					blk[y*8+x] = int32(img[(by*8+y)*w+bx*8+x]) - 128
+				}
+			}
+			for u := 0; u < 8; u++ { // pass 1: rows
+				for x := 0; x < 8; x++ {
+					var acc int32
+					for y := 0; y < 8; y++ {
+						acc += t[u*8+y] * blk[y*8+x]
+					}
+					tmp[u*8+x] = acc >> 10
+				}
+			}
+			for u := 0; u < 8; u++ { // pass 2: columns
+				for v := 0; v < 8; v++ {
+					var acc int32
+					for x := 0; x < 8; x++ {
+						acc += t[v*8+x] * tmp[u*8+x]
+					}
+					coef[u*8+v] = acc >> 10
+				}
+			}
+			for i := 0; i < 64; i++ {
+				coef[i] /= jpegQuant[i]
+			}
+			run := byte(0)
+			for k := 0; k < 64; k++ {
+				c := coef[jpegZig[k]]
+				if c == 0 {
+					run++
+					continue
+				}
+				out = append(out, run, byte(c), byte(c>>8))
+				run = 0
+			}
+			out = append(out, 0xFF, 0, 0)
+		}
+	}
+	return out
+}
+
+// refJpegDecode runs the inverse pipeline with the exact integer operation
+// order of the assembly.
+func refJpegDecode(stream []byte, w, h int) []byte {
+	t := jpegCosTab()
+	out := make([]byte, w*h)
+	pos := 0
+	var coef, tmp, blk [64]int32
+	for by := 0; by < h/8; by++ {
+		for bx := 0; bx < w/8; bx++ {
+			coef = [64]int32{}
+			k := int32(0)
+			for {
+				run := stream[pos]
+				lo := stream[pos+1]
+				hi := stream[pos+2]
+				pos += 3
+				if run == 0xFF {
+					break
+				}
+				k += int32(run)
+				v := int32(int16(uint16(lo) | uint16(hi)<<8))
+				coef[jpegZig[k]] = v
+				k++
+			}
+			for i := 0; i < 64; i++ {
+				coef[i] *= jpegQuant[i]
+			}
+			for u := 0; u < 8; u++ { // inverse pass 1
+				for x := 0; x < 8; x++ {
+					var acc int32
+					for v := 0; v < 8; v++ {
+						acc += t[v*8+x] * coef[u*8+v]
+					}
+					tmp[u*8+x] = acc >> 10
+				}
+			}
+			for y := 0; y < 8; y++ { // inverse pass 2
+				for x := 0; x < 8; x++ {
+					var acc int32
+					for u := 0; u < 8; u++ {
+						acc += t[u*8+y] * tmp[u*8+x]
+					}
+					blk[y*8+x] = acc >> 10
+				}
+			}
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := blk[y*8+x] + 128
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					out[(by*8+y)*w+bx*8+x] = byte(v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// wordTable renders a labelled .word table of int32 values.
+func wordTable(label string, data []int32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", label)
+	for i := 0; i < len(data); i += 8 {
+		b.WriteString("\t.word ")
+		for j := i; j < i+8 && j < len(data); j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", data[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// jpegPass emits an 8x8 fixed-point matrix pass:
+//
+//	dst[i*8+j] = (sum over k of costab[tIdx] * src[sIdx]) >> 10
+//
+// with tIdx and sIdx given as (rowReg, colReg) pairs over the loop
+// registers i=r4, j=r5, k=r7.
+func jpegPass(pfx, dst, src string, tRow, tCol, sRow, sCol byte) string {
+	reg := func(c byte) string {
+		switch c {
+		case 'i':
+			return "r4"
+		case 'j':
+			return "r5"
+		default:
+			return "r7"
+		}
+	}
+	idx := func(dest string, row, col byte) string {
+		return fmt.Sprintf("\tlsl %s, %s, #3\n\tadd %s, %s, %s\n",
+			dest, reg(row), dest, dest, reg(col))
+	}
+	return fmt.Sprintf(`
+	mov r4, #0
+%[1]s_i:
+	mov r5, #0
+%[1]s_j:
+	mov r6, #0
+	mov r7, #0
+%[1]s_k:
+	ldr r1, =costab
+%[2]s	ldr r2, [r1, r2, lsl #2]
+	ldr r1, =%[4]s
+%[3]s	ldr r3, [r1, r3, lsl #2]
+	mla r6, r2, r3
+	add r7, #1
+	cmp r7, #8
+	blt %[1]s_k
+	asr r6, r6, #10
+	ldr r1, =%[5]s
+	lsl r2, r4, #3
+	add r2, r2, r5
+	str r6, [r1, r2, lsl #2]
+	add r5, #1
+	cmp r5, #8
+	blt %[1]s_j
+	add r4, #1
+	cmp r4, #8
+	blt %[1]s_i
+`, pfx, idx("r2", tRow, tCol), idx("r3", sRow, sCol), src, dst)
+}
+
+// JpegC is the image-encode workload of Table III.
+var JpegC = register(Spec{
+	Name:            "jpeg_c",
+	InputDesc:       "512x512 PPM image, 786.5 KB (scaled: 32x32 / 64x64 / 512x512)",
+	Characteristics: "CPU intensive",
+	build: func(cfg asm.Config, scale Scale) (*Built, error) {
+		return buildJpeg(cfg, scale, false)
+	},
+})
+
+// JpegD is the image-decode workload of Table III.
+var JpegD = register(Spec{
+	Name:            "jpeg_d",
+	InputDesc:       "512x512 compressed image (scaled: 32x32 / 64x64 / 512x512)",
+	Characteristics: "CPU intensive",
+	build: func(cfg asm.Config, scale Scale) (*Built, error) {
+		return buildJpeg(cfg, scale, true)
+	},
+})
+
+func jpegCommonData(w, h, outCap, inCap int) string {
+	t := jpegCosTab()
+	return ".data\n" +
+		wordTable("costab", t[:]) +
+		wordTable("quanttab", jpegQuant[:]) +
+		byteTable("zigtab", jpegZig[:]) +
+		fmt.Sprintf(`blockbuf: .space 256
+tmpbuf:   .space 256
+coefbuf:  .space 256
+outptr:   .word 0
+inptr:    .word 0
+outbuf:   .space %d
+input:    .space %d
+`, outCap, inCap)
+}
+
+func buildJpeg(cfg asm.Config, scale Scale, decode bool) (*Built, error) {
+	w, h := jpegSize(scale)
+	img := jpegImage(w, h)
+	stream := refJpegEncode(img, w, h)
+	var src string
+	var input, golden []byte
+	if decode {
+		src = jpegDecodeAsm(w, h, len(stream))
+		input, golden = stream, refJpegDecode(stream, w, h)
+	} else {
+		src = jpegEncodeAsm(w, h, len(stream))
+		input, golden = img, stream
+	}
+	name := "jpeg_c"
+	if decode {
+		name = "jpeg_d"
+	}
+	prog, err := assemble(name+".s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     input,
+		Golden:    golden,
+	}, nil
+}
+
+func jpegEncodeAsm(w, h, streamLen int) string {
+	return prologue() + fmt.Sprintf(`
+.equ W, %d
+.equ H, %d
+.equ WB, %d
+.equ HB, %d
+	ldr r1, =outptr
+	ldr r2, =outbuf
+	str r2, [r1]
+	mov r10, #0          ; block row
+enc_by:
+	mov r9, #0           ; block col
+enc_bx:
+	; r0 = &input[(by*8)*W + bx*8]
+	ldr r0, =input
+	ldr r2, =W*8
+	mul r2, r10, r2
+	add r0, r0, r2
+	add r0, r0, r9, lsl #3
+	; load the block, centred at zero
+	ldr r1, =blockbuf
+	mov r4, #0
+ldb_y:
+	mov r5, #0
+ldb_x:
+	ldr r2, =W
+	mul r2, r4, r2
+	add r2, r2, r5
+	ldrb r3, [r0, r2]
+	sub r3, r3, #128
+	lsl r6, r4, #3
+	add r6, r6, r5
+	str r3, [r1, r6, lsl #2]
+	add r5, #1
+	cmp r5, #8
+	blt ldb_x
+	add r4, #1
+	cmp r4, #8
+	blt ldb_y
+`, w, h, w/8, h/8) +
+		jpegPass("p1", "tmpbuf", "blockbuf", 'i', 'k', 'k', 'j') +
+		jpegPass("p2", "coefbuf", "tmpbuf", 'j', 'k', 'i', 'k') + `
+	; quantise
+	mov r4, #0
+q_loop:
+	ldr r1, =coefbuf
+	ldr r2, [r1, r4, lsl #2]
+	ldr r3, =quanttab
+	ldr r3, [r3, r4, lsl #2]
+	sdiv r2, r2, r3
+	str r2, [r1, r4, lsl #2]
+	add r4, #1
+	cmp r4, #64
+	blt q_loop
+	; zigzag run-length emit
+	mov r4, #0
+	mov r5, #0           ; run
+rle_loop:
+	ldr r1, =zigtab
+	ldrb r2, [r1, r4]
+	ldr r1, =coefbuf
+	ldr r3, [r1, r2, lsl #2]
+	cmp r3, #0
+	addeq r5, r5, #1
+	beq rle_next
+	ldr r1, =outptr
+	ldr r2, [r1]
+	strb r5, [r2]
+	strb r3, [r2, #1]
+	asr r6, r3, #8
+	strb r6, [r2, #2]
+	add r2, #3
+	str r2, [r1]
+	mov r5, #0
+rle_next:
+	add r4, #1
+	cmp r4, #64
+	blt rle_loop
+	ldr r1, =outptr
+	ldr r2, [r1]
+	mov r3, #255
+	strb r3, [r2]
+	mov r3, #0
+	strb r3, [r2, #1]
+	strb r3, [r2, #2]
+	add r2, #3
+	str r2, [r1]
+	add r9, #1
+	ldr r2, =WB
+	cmp r9, r2
+	blt enc_bx
+	add r10, #1
+	ldr r2, =HB
+	cmp r10, r2
+	blt enc_by
+	ldr r1, =outptr
+	ldr r5, [r1]
+	ldr r1, =outbuf
+	sub r5, r5, r1
+	b finish
+` + exitSnippet + jpegCommonData(w, h, streamLen+256, w*h)
+}
+
+func jpegDecodeAsm(w, h, streamLen int) string {
+	return prologue() + fmt.Sprintf(`
+.equ W, %d
+.equ H, %d
+.equ WB, %d
+.equ HB, %d
+	ldr r1, =inptr
+	ldr r2, =input
+	str r2, [r1]
+	mov r10, #0
+dec_by:
+	mov r9, #0
+dec_bx:
+	; clear the coefficient block
+	ldr r1, =coefbuf
+	mov r2, #0
+	mov r4, #0
+z_loop:
+	str r2, [r1, r4, lsl #2]
+	add r4, #1
+	cmp r4, #64
+	blt z_loop
+	; parse the run-length stream
+	mov r4, #0           ; zigzag position
+parse_loop:
+	ldr r1, =inptr
+	ldr r2, [r1]
+	ldrb r3, [r2]
+	ldrb r6, [r2, #1]
+	ldrb r7, [r2, #2]
+	add r2, #3
+	str r2, [r1]
+	cmp r3, #255
+	beq parse_done
+	add r4, r4, r3
+	orr r6, r6, r7, lsl #8
+	lsl r6, r6, #16
+	asr r6, r6, #16      ; sign-extend the 16-bit value
+	ldr r1, =zigtab
+	ldrb r2, [r1, r4]
+	ldr r1, =coefbuf
+	str r6, [r1, r2, lsl #2]
+	add r4, #1
+	b parse_loop
+parse_done:
+	; dequantise
+	mov r4, #0
+dq_loop:
+	ldr r1, =coefbuf
+	ldr r2, [r1, r4, lsl #2]
+	ldr r3, =quanttab
+	ldr r3, [r3, r4, lsl #2]
+	mul r2, r2, r3
+	str r2, [r1, r4, lsl #2]
+	add r4, #1
+	cmp r4, #64
+	blt dq_loop
+`, w, h, w/8, h/8) +
+		jpegPass("ip1", "tmpbuf", "coefbuf", 'k', 'j', 'i', 'k') +
+		jpegPass("ip2", "blockbuf", "tmpbuf", 'k', 'i', 'k', 'j') + `
+	; clamp and store pixels
+	mov r4, #0
+st_y:
+	mov r5, #0
+st_x:
+	ldr r1, =blockbuf
+	lsl r2, r4, #3
+	add r2, r2, r5
+	ldr r3, [r1, r2, lsl #2]
+	add r3, r3, #128
+	cmp r3, #0
+	movlt r3, #0
+	mov r2, #255
+	cmp r3, r2
+	movgt r3, r2
+	ldr r1, =outbuf
+	ldr r2, =W*8
+	mul r2, r10, r2
+	add r1, r1, r2
+	add r1, r1, r9, lsl #3
+	ldr r2, =W
+	mul r2, r4, r2
+	add r2, r2, r5
+	strb r3, [r1, r2]
+	add r5, #1
+	cmp r5, #8
+	blt st_x
+	add r4, #1
+	cmp r4, #8
+	blt st_y
+	add r9, #1
+	ldr r2, =WB
+	cmp r9, r2
+	blt dec_bx
+	add r10, #1
+	ldr r2, =HB
+	cmp r10, r2
+	blt dec_by
+	ldr r5, =W*H
+	b finish
+` + exitSnippet + jpegCommonData(w, h, w*h, streamLen)
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"armsefi/internal/asm"
+)
+
+// MatMul sizes (paper: 128x128 single-precision floats).
+func matmulSize(s Scale) int {
+	switch s {
+	case ScaleTiny:
+		return 16
+	case ScaleSmall:
+		return 32
+	default:
+		return 128
+	}
+}
+
+// MatMul is the matrix-multiply workload of Table III.
+var MatMul = register(Spec{
+	Name:            "matmul",
+	InputDesc:       "128x128 single-precision floats (scaled: 16/32/128)",
+	Characteristics: "Memory intensive",
+	SmallFootprint:  true,
+	build:           buildMatMul,
+})
+
+// refMatMul computes C = A*B with float32 accumulation in the exact order
+// of the assembly inner loop.
+func refMatMul(a, b []float32, n int) []float32 {
+	c := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}
+
+func buildMatMul(cfg asm.Config, scale Scale) (*Built, error) {
+	n := matmulSize(scale)
+	src := prologue() + fmt.Sprintf(`
+.equ N, %d
+	ldr r0, =input          ; A
+	ldr r1, =input + N*N*4  ; B
+	ldr r2, =outbuf         ; C
+	mov r10, #0             ; i
+row_loop:
+	mov r9, #0              ; j
+col_loop:
+	mov r8, #0              ; k
+	mov r7, #0              ; acc = 0.0f
+	ldr r4, =N*4
+	mul r4, r10, r4
+	add r4, r0, r4          ; &A[i*N]
+	add r5, r1, r9, lsl #2  ; &B[0*N + j]
+inner_loop:
+	ldr r3, [r4, r8, lsl #2]     ; A[i*N+k]
+	ldr r6, [r5]                 ; B[k*N+j]
+	fmul r3, r3, r6
+	fadd r7, r7, r3
+	add r5, r5, #N*4
+	add r8, #1
+	cmp r8, #N
+	blt inner_loop
+	ldr r4, =N*4
+	mul r4, r10, r4
+	add r4, r2, r4
+	str r7, [r4, r9, lsl #2]     ; C[i*N+j]
+	add r9, #1
+	cmp r9, #N
+	blt col_loop
+	add r10, #1
+	cmp r10, #N
+	blt row_loop
+	ldr r5, =N*N*4
+	b finish
+`, n) + exitSnippet + fmt.Sprintf(`
+.data
+outbuf: .space %d
+input:  .space %d
+`, 4*n*n, 8*n*n)
+	prog, err := assemble("matmul.s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := newRNG(0x3A73A701)
+	a := make([]float32, n*n)
+	b := make([]float32, n*n)
+	input := make([]byte, 8*n*n)
+	for i := range a {
+		a[i] = r.float32unit()
+		binary.LittleEndian.PutUint32(input[4*i:], math.Float32bits(a[i]))
+	}
+	for i := range b {
+		b[i] = r.float32unit()
+		binary.LittleEndian.PutUint32(input[4*(n*n+i):], math.Float32bits(b[i]))
+	}
+	c := refMatMul(a, b, n)
+	golden := make([]byte, 0, 4*n*n)
+	for _, v := range c {
+		golden = binary.LittleEndian.AppendUint32(golden, math.Float32bits(v))
+	}
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     input,
+		Golden:    golden,
+	}, nil
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"armsefi/internal/asm"
+)
+
+// Qsort sizes (paper: 50,000 doubles; our FPU is single-precision, so the
+// workload sorts float32 values — documented in DESIGN.md).
+func qsortSize(s Scale) int {
+	switch s {
+	case ScaleTiny:
+		return 512
+	case ScaleSmall:
+		return 2048
+	default:
+		return 16384
+	}
+}
+
+// Qsort is the quicksort workload of Table III.
+var Qsort = register(Spec{
+	Name:            "qsort",
+	InputDesc:       "list of 50K doubles (scaled: 512/2048/16384 float32)",
+	Characteristics: "Memory intensive and Control intensive",
+	build:           buildQsort,
+})
+
+func buildQsort(cfg asm.Config, scale Scale) (*Built, error) {
+	n := qsortSize(scale)
+	// Iterative Lomuto quicksort with an explicit (lo, hi) range stack kept
+	// in the stack_buf array — heavy stack-style memory traffic plus dense
+	// branching, the paper's characterisation of this workload.
+	src := prologue() + fmt.Sprintf(`
+.equ N, %d
+	ldr r0, =input
+	ldr r1, =stack_buf
+	; push initial range (0, N-1)
+	mov r2, #0
+	str r2, [r1]
+	ldr r3, =N-1
+	str r3, [r1, #4]
+	add r1, #8
+qs_loop:
+	ldr r2, =stack_buf
+	cmp r1, r2
+	ble qs_done              ; stack empty
+	sub r1, #8
+	ldr r2, [r1]             ; lo
+	ldr r3, [r1, #4]         ; hi
+	cmp r2, r3
+	bge qs_loop              ; range of <=1 element
+	; partition (Lomuto, pivot = a[hi])
+	ldr r4, [r0, r3, lsl #2] ; pivot
+	mov r5, r2               ; store index i
+	mov r6, r2               ; scan index j
+part_loop:
+	cmp r6, r3
+	bge part_done
+	ldr r7, [r0, r6, lsl #2]
+	fcmp r7, r4
+	bcs part_next            ; a[j] >= pivot
+	ldr r8, [r0, r5, lsl #2] ; swap a[i], a[j]
+	str r7, [r0, r5, lsl #2]
+	str r8, [r0, r6, lsl #2]
+	add r5, #1
+part_next:
+	add r6, #1
+	b part_loop
+part_done:
+	ldr r7, [r0, r3, lsl #2] ; swap a[i], a[hi]
+	ldr r8, [r0, r5, lsl #2]
+	str r7, [r0, r5, lsl #2]
+	str r8, [r0, r3, lsl #2]
+	; push (lo, i-1) and (i+1, hi)
+	sub r7, r5, #1
+	str r2, [r1]
+	str r7, [r1, #4]
+	add r1, #8
+	add r7, r5, #1
+	str r7, [r1]
+	str r3, [r1, #4]
+	add r1, #8
+	b qs_loop
+qs_done:
+	; copy sorted array to outbuf
+	ldr r1, =outbuf
+	ldr r4, =N
+	mov r2, #0
+copy_loop:
+	ldr r3, [r0, r2, lsl #2]
+	str r3, [r1, r2, lsl #2]
+	add r2, #1
+	cmp r2, r4
+	blt copy_loop
+	ldr r5, =N*4
+	b finish
+`, n) + exitSnippet + fmt.Sprintf(`
+.data
+stack_buf: .space %d
+outbuf:    .space %d
+input:     .space %d
+`, 16*n, 4*n, 4*n)
+	prog, err := assemble("qsort.s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := newRNG(0x9507A7B3)
+	vals := make([]float32, n)
+	input := make([]byte, 4*n)
+	for i := range vals {
+		vals[i] = r.float32unit()*2000 - 1000
+		binary.LittleEndian.PutUint32(input[4*i:], math.Float32bits(vals[i]))
+	}
+	sorted := append([]float32(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	golden := make([]byte, 0, 4*n)
+	for _, v := range sorted {
+		golden = binary.LittleEndian.AppendUint32(golden, math.Float32bits(v))
+	}
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     input,
+		Golden:    golden,
+	}, nil
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"armsefi/internal/soc"
+)
+
+// The native reference implementations are the golden oracles of every
+// experiment, so they get their own independent checks against stdlib or
+// textbook definitions.
+
+func TestRefCRC32MatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return refCRC32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefHorspoolMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alphabet := []byte("abcab")
+	for i := 0; i < 2000; i++ {
+		text := make([]byte, rng.Intn(60))
+		for j := range text {
+			text[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		pat := make([]byte, 1+rng.Intn(6))
+		for j := range pat {
+			pat[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		want := int32(bytes.Index(text, pat))
+		if len(pat) == 0 {
+			want = -1
+		}
+		if got := refHorspool(pat, text); got != want {
+			t.Fatalf("refHorspool(%q, %q) = %d, want %d", pat, text, got, want)
+		}
+	}
+}
+
+func TestRefDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 12
+	adj := make([]uint32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Intn(3) == 0 {
+				adj[i*n+j] = 1 + uint32(rng.Intn(50))
+			}
+		}
+	}
+	// Floyd-Warshall ground truth.
+	const inf = int64(dijkstraInf)
+	dist := make([]int64, n*n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	for i := 0; i < n; i++ {
+		dist[i*n+i] = 0
+		for j := 0; j < n; j++ {
+			if w := adj[i*n+j]; w != 0 {
+				dist[i*n+j] = int64(w)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d := dist[i*n+k] + dist[k*n+j]; dist[i*n+k] < inf && dist[k*n+j] < inf && d < dist[i*n+j] {
+					dist[i*n+j] = d
+				}
+			}
+		}
+	}
+	got := refDijkstra(adj, n, n)
+	for src := 0; src < n; src++ {
+		want := uint32(dijkstraInf)
+		if dist[src*n+n-1] < inf {
+			want = uint32(dist[src*n+n-1])
+		}
+		if got[src] != want {
+			t.Errorf("dist(%d -> %d) = %d, want %d", src, n-1, got[src], want)
+		}
+	}
+}
+
+func TestRefFFTMatchesDFT(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(13))
+	a := make([]float32, 2*n)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+	}
+	tw := make([]float32, n)
+	for j := 0; j < n/2; j++ {
+		ang := -2 * math.Pi * float64(j) / float64(n)
+		tw[2*j] = float32(math.Cos(ang))
+		tw[2*j+1] = float32(math.Sin(ang))
+	}
+	work := append([]float32(nil), a...)
+	refFFT(work, tw, n)
+	// Naive DFT in float64 for comparison.
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			x := complex(float64(a[2*j]), float64(a[2*j+1]))
+			want += x * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		got := complex(float64(work[2*k]), float64(work[2*k+1]))
+		if cmplx.Abs(got-want) > 1e-3*float64(n) {
+			t.Fatalf("bin %d: fft %v vs dft %v", k, got, want)
+		}
+	}
+}
+
+func TestRefJpegRoundTripQuality(t *testing.T) {
+	const w, h = 32, 32
+	img := jpegImage(w, h)
+	stream := refJpegEncode(img, w, h)
+	back := refJpegDecode(stream, w, h)
+	if len(back) != len(img) {
+		t.Fatalf("decoded %d bytes, want %d", len(back), len(img))
+	}
+	// Lossy codec: require a sane PSNR rather than equality.
+	var mse float64
+	for i := range img {
+		d := float64(img[i]) - float64(back[i])
+		mse += d * d
+	}
+	mse /= float64(len(img))
+	psnr := 10 * math.Log10(255*255/mse)
+	if psnr < 25 {
+		t.Errorf("round-trip PSNR = %.1f dB, implausibly low", psnr)
+	}
+	// The stream must be framed in triples ending with an EOB per block.
+	if len(stream)%3 != 0 {
+		t.Error("stream not triple-framed")
+	}
+}
+
+func TestRefSusanBordersAndRange(t *testing.T) {
+	const w, h = 16, 12
+	img := susanImage(w, h)
+	sm := refSusanSmooth(img, w, h)
+	us := refSusanUSAN(img, w, h, susanEdgeT, susanEdgeG, susanEdgeAmp)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			border := x < 2 || y < 2 || x >= w-2 || y >= h-2
+			if border && (sm[y*w+x] != 0 || us[y*w+x] != 0) {
+				t.Fatalf("border pixel (%d,%d) not zero", x, y)
+			}
+		}
+	}
+	// The bright rectangle must produce at least some edge response.
+	any := false
+	for _, v := range us {
+		if v > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("edge detector found nothing in the synthetic image")
+	}
+}
+
+func TestRefMatMulAgainstFloat64(t *testing.T) {
+	const n = 8
+	r := newRNG(1)
+	a := make([]float32, n*n)
+	b := make([]float32, n*n)
+	for i := range a {
+		a[i], b[i] = r.float32unit(), r.float32unit()
+	}
+	c := refMatMul(a, b, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += float64(a[i*n+k]) * float64(b[k*n+j])
+			}
+			if math.Abs(float64(c[i*n+j])-want) > 1e-4 {
+				t.Fatalf("c[%d][%d] = %v, want ~%v", i, j, c[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestBuiltWorkloadsAreDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		a, err := spec.Build(soc.UserAsmConfig(), ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := spec.Build(soc.UserAsmConfig(), ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Program.Text, b.Program.Text) ||
+			!bytes.Equal(a.Input, b.Input) || !bytes.Equal(a.Golden, b.Golden) {
+			t.Errorf("%s: build not deterministic", spec.Name)
+		}
+	}
+}
+
+func TestScalesGrowMonotonically(t *testing.T) {
+	for _, spec := range All() {
+		tiny, err := spec.Build(soc.UserAsmConfig(), ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := spec.Build(soc.UserAsmConfig(), ScaleSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(small.Input)+len(small.Golden) <= 0 {
+			t.Errorf("%s: empty small build", spec.Name)
+		}
+		if len(small.Input) < len(tiny.Input) {
+			t.Errorf("%s: small input (%d) smaller than tiny (%d)",
+				spec.Name, len(small.Input), len(tiny.Input))
+		}
+	}
+}
+
+func TestQsortGoldenIsSorted(t *testing.T) {
+	b, err := Qsort.Build(soc.UserAsmConfig(), ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, len(b.Golden)/4)
+	for i := range vals {
+		bits := uint32(b.Golden[4*i]) | uint32(b.Golden[4*i+1])<<8 |
+			uint32(b.Golden[4*i+2])<<16 | uint32(b.Golden[4*i+3])<<24
+		vals[i] = math.Float32frombits(bits)
+	}
+	if !sort.SliceIsSorted(vals, func(i, j int) bool { return vals[i] < vals[j] }) {
+		t.Error("qsort golden output is not sorted")
+	}
+}
+
+func TestFITRawProbeGolden(t *testing.T) {
+	b, err := FITRawProbe.Build(soc.UserAsmConfig(), ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, first, err := FITRawMismatches(b.Golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 || first != 0xFFFFFFFF {
+		t.Errorf("golden probe output = (%d, %#x)", count, first)
+	}
+	if _, _, err := FITRawMismatches([]byte{1, 2}); err == nil {
+		t.Error("short output accepted")
+	}
+}

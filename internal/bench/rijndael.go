@@ -1,0 +1,455 @@
+package bench
+
+import (
+	"crypto/aes"
+	"fmt"
+	"strings"
+
+	"armsefi/internal/asm"
+)
+
+// Rijndael sizes in bytes (paper: 3.2 MB file; capped by the data region).
+func rijndaelLen(s Scale) int {
+	switch s {
+	case ScaleTiny:
+		return 2 << 10
+	case ScaleSmall:
+		return 16 << 10
+	default:
+		return 256 << 10
+	}
+}
+
+// Rijndael key used by both directions (any fixed key works; the workload
+// is the cipher, not the key).
+var rijndaelKey = []byte("reliability-key!")
+
+// RijndaelE is the AES-128 encryption workload of Table III.
+var RijndaelE = register(Spec{
+	Name:            "rijndael_e",
+	InputDesc:       "3.2 MB file (scaled: 2 KB / 16 KB / 256 KB)",
+	Characteristics: "Memory intensive",
+	build: func(cfg asm.Config, scale Scale) (*Built, error) {
+		return buildRijndael(cfg, scale, false)
+	},
+})
+
+// RijndaelD is the AES-128 decryption workload of Table III.
+var RijndaelD = register(Spec{
+	Name:            "rijndael_d",
+	InputDesc:       "3.2 MB encrypted file (scaled: 2 KB / 16 KB / 256 KB)",
+	Characteristics: "Memory intensive",
+	build: func(cfg asm.Config, scale Scale) (*Built, error) {
+		return buildRijndael(cfg, scale, true)
+	},
+})
+
+// --- AES table generation (Go side) ---------------------------------------
+
+// gmul multiplies in GF(2^8) with the AES polynomial.
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// aesTables builds the S-box, its inverse, and the GF multiplication
+// tables used by the unrolled MixColumns code.
+func aesTables() (sbox, inv [256]byte, mul map[int][256]byte) {
+	// Multiplicative inverse via brute force (256^2 is nothing at build
+	// time), then the affine transform.
+	var invEl [256]byte
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			if gmul(byte(a), byte(b)) == 1 {
+				invEl[a] = byte(b)
+				break
+			}
+		}
+	}
+	for i := 0; i < 256; i++ {
+		x := invEl[i]
+		s := x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+		sbox[i] = s
+		inv[s] = byte(i)
+	}
+	mul = make(map[int][256]byte, 6)
+	for _, n := range []int{2, 3, 9, 11, 13, 14} {
+		var t [256]byte
+		for i := 0; i < 256; i++ {
+			t[i] = gmul(byte(i), byte(n))
+		}
+		mul[n] = t
+	}
+	return sbox, inv, mul
+}
+
+func rotl8(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+// byteTable renders a labelled .byte table.
+func byteTable(label string, data []byte) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", label)
+	for i := 0; i < len(data); i += 16 {
+		b.WriteString("\t.byte ")
+		for j := i; j < i+16 && j < len(data); j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", data[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// shiftRowsSrc returns the source index read into position i by ShiftRows
+// (inv=false) or InvShiftRows (inv=true). State is column-major: index =
+// row + 4*col.
+func shiftRowsSrc(i int, inv bool) int {
+	r := i & 3
+	c := i >> 2
+	if inv {
+		return r + 4*((c-r+4)&3)
+	}
+	return r + 4*((c+r)&3)
+}
+
+// subShiftAsm emits the unrolled SubBytes+ShiftRows (state -> tmpst via the
+// sbox table in r2).
+func subShiftAsm(inv bool) string {
+	var b strings.Builder
+	for i := 0; i < 16; i++ {
+		fmt.Fprintf(&b, "\tldrb r7, [r0, #%d]\n", shiftRowsSrc(i, inv))
+		b.WriteString("\tldrb r7, [r2, r7]\n")
+		fmt.Fprintf(&b, "\tstrb r7, [r6, #%d]\n", i)
+	}
+	return b.String()
+}
+
+// mixColumnsAsm emits the unrolled (Inv)MixColumns from tmpst (r6) into the
+// state (r0), xoring in the round key (r1 base, round in r9). coef[j][k] is
+// the GF coefficient applied to a_k when producing b_j; table base
+// registers per coefficient come from tabs.
+func mixColumnsAsm(coef [4][4]int, withRK bool) string {
+	var b strings.Builder
+	for c := 0; c < 4; c++ {
+		fmt.Fprintf(&b, "\tldrb r7, [r6, #%d]\n", 4*c)
+		fmt.Fprintf(&b, "\tldrb r8, [r6, #%d]\n", 4*c+1)
+		fmt.Fprintf(&b, "\tldrb r11, [r6, #%d]\n", 4*c+2)
+		fmt.Fprintf(&b, "\tldrb r12, [r6, #%d]\n", 4*c+3)
+		srcs := []string{"r7", "r8", "r11", "r12"}
+		for j := 0; j < 4; j++ {
+			first := true
+			for k := 0; k < 4; k++ {
+				term := srcs[k]
+				if coef[j][k] != 1 {
+					fmt.Fprintf(&b, "\tldr r10, =mul%d\n", coef[j][k])
+					fmt.Fprintf(&b, "\tldrb r10, [r10, %s]\n", term)
+					term = "r10"
+				}
+				if first {
+					fmt.Fprintf(&b, "\tmov r5, %s\n", term)
+					first = false
+				} else {
+					fmt.Fprintf(&b, "\teor r5, r5, %s\n", term)
+				}
+			}
+			if withRK {
+				b.WriteString("\tlsl r10, r9, #4\n")
+				fmt.Fprintf(&b, "\tadd r10, r10, #%d\n", 4*c+j)
+				b.WriteString("\tldrb r10, [r1, r10]\n")
+				b.WriteString("\teor r5, r5, r10\n")
+			}
+			fmt.Fprintf(&b, "\tstrb r5, [r0, #%d]\n", 4*c+j)
+		}
+	}
+	return b.String()
+}
+
+// encBlockAsm emits the AES-128 block encryption routine. Registers:
+// r0=&state, r1=&rk, r2=&sbox, r6=&tmpst; r9 is the round counter.
+func encBlockAsm() string {
+	mc := mixColumnsAsm([4][4]int{
+		{2, 3, 1, 1},
+		{1, 2, 3, 1},
+		{1, 1, 2, 3},
+		{3, 1, 1, 2},
+	}, true)
+	return `
+encrypt_block:
+	push {r10, r11, r12, lr}
+	; AddRoundKey(0)
+	mov r5, #0
+ark0:
+	ldrb r7, [r0, r5]
+	ldrb r8, [r1, r5]
+	eor r7, r7, r8
+	strb r7, [r0, r5]
+	add r5, #1
+	cmp r5, #16
+	blt ark0
+	mov r9, #1
+enc_round:
+` + subShiftAsm(false) + `
+	cmp r9, #10
+	beq enc_last
+` + mc + `
+	add r9, #1
+	b enc_round
+enc_last:
+	mov r5, #0
+lark:
+	ldrb r7, [r6, r5]
+	add r8, r5, #160
+	ldrb r8, [r1, r8]
+	eor r7, r7, r8
+	strb r7, [r0, r5]
+	add r5, #1
+	cmp r5, #16
+	blt lark
+	pop {r10, r11, r12, lr}
+	bx lr
+`
+}
+
+// decBlockAsm emits the AES-128 block decryption routine. Registers as in
+// encryption but r2=&inv_sbox.
+func decBlockAsm() string {
+	imc := mixColumnsAsm([4][4]int{
+		{14, 11, 13, 9},
+		{9, 14, 11, 13},
+		{13, 9, 14, 11},
+		{11, 13, 9, 14},
+	}, false)
+	return `
+decrypt_block:
+	push {r10, r11, r12, lr}
+	; AddRoundKey(10)
+	mov r5, #0
+dark10:
+	ldrb r7, [r0, r5]
+	add r8, r5, #160
+	ldrb r8, [r1, r8]
+	eor r7, r7, r8
+	strb r7, [r0, r5]
+	add r5, #1
+	cmp r5, #16
+	blt dark10
+	mov r9, #9
+dec_round:
+` + subShiftAsm(true) + `
+	; AddRoundKey(r9) into tmpst
+	mov r5, #0
+dark_rk:
+	lsl r8, r9, #4
+	add r8, r8, r5
+	ldrb r8, [r1, r8]
+	ldrb r7, [r6, r5]
+	eor r7, r7, r8
+	strb r7, [r6, r5]
+	add r5, #1
+	cmp r5, #16
+	blt dark_rk
+	cmp r9, #0
+	beq dec_done
+` + imc + `
+	sub r9, #1
+	b dec_round
+dec_done:
+	; final round wrote tmpst (no InvMixColumns); copy to state
+	mov r5, #0
+dcopy:
+	ldrb r7, [r6, r5]
+	strb r7, [r0, r5]
+	add r5, #1
+	cmp r5, #16
+	blt dcopy
+	pop {r10, r11, r12, lr}
+	bx lr
+`
+}
+
+// keyExpandAsm emits the AES-128 key schedule. Registers: r0=&rk, r1=&key,
+// r2=&sbox, r3=&rcon.
+const keyExpandAsm = `
+expand_key:
+	mov r5, #0
+ek_copy:
+	ldrb r7, [r1, r5]
+	strb r7, [r0, r5]
+	add r5, #1
+	cmp r5, #16
+	blt ek_copy
+	mov r5, #16
+ek_loop:
+	tst r5, #15
+	bne ek_plain
+	sub r7, r5, #3
+	ldrb r7, [r0, r7]
+	ldrb r7, [r2, r7]
+	lsr r8, r5, #4
+	sub r8, #1
+	ldrb r8, [r3, r8]
+	eor r7, r7, r8          ; t0
+	sub r8, r5, #2
+	ldrb r8, [r0, r8]
+	ldrb r8, [r2, r8]       ; t1
+	sub r11, r5, #1
+	ldrb r11, [r0, r11]
+	ldrb r11, [r2, r11]     ; t2
+	sub r12, r5, #4
+	ldrb r12, [r0, r12]
+	ldrb r12, [r2, r12]     ; t3
+	b ek_store
+ek_plain:
+	sub r7, r5, #4
+	ldrb r7, [r0, r7]
+	sub r8, r5, #3
+	ldrb r8, [r0, r8]
+	sub r11, r5, #2
+	ldrb r11, [r0, r11]
+	sub r12, r5, #1
+	ldrb r12, [r0, r12]
+ek_store:
+	sub r9, r5, #16
+	ldrb r6, [r0, r9]
+	eor r6, r6, r7
+	strb r6, [r0, r5]
+	add r9, #1
+	ldrb r6, [r0, r9]
+	eor r6, r6, r8
+	add r7, r5, #1
+	strb r6, [r0, r7]
+	add r9, #1
+	ldrb r6, [r0, r9]
+	eor r6, r6, r11
+	add r7, r5, #2
+	strb r6, [r0, r7]
+	add r9, #1
+	ldrb r6, [r0, r9]
+	eor r6, r6, r12
+	add r7, r5, #3
+	strb r6, [r0, r7]
+	add r5, #4
+	mov r6, #176
+	cmp r5, r6
+	blt ek_loop
+	bx lr
+`
+
+func buildRijndael(cfg asm.Config, scale Scale, decrypt bool) (*Built, error) {
+	n := rijndaelLen(scale)
+	nblk := n / 16
+	sbox, inv, mul := aesTables()
+	rcon := []byte{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}
+
+	blockRoutine := encBlockAsm()
+	blockCall := "encrypt_block"
+	sboxReg := "sbox"
+	name := "rijndael_e"
+	if decrypt {
+		blockRoutine = decBlockAsm()
+		blockCall = "decrypt_block"
+		sboxReg = "inv_sbox"
+		name = "rijndael_d"
+	}
+
+	var data strings.Builder
+	data.WriteString(".data\n")
+	data.WriteString(byteTable("sbox", sbox[:]))
+	data.WriteString(byteTable("inv_sbox", inv[:]))
+	for _, m := range []int{2, 3, 9, 11, 13, 14} {
+		t := mul[m]
+		data.WriteString(byteTable(fmt.Sprintf("mul%d", m), t[:]))
+	}
+	data.WriteString(byteTable("rcon", rcon))
+	fmt.Fprintf(&data, "rk:     .space 176\nstate:  .space 16\ntmpst:  .space 16\noutbuf: .space %d\ninput:  .space %d\n", n, 16+n)
+
+	src := prologue() + fmt.Sprintf(`
+.equ NBLK, %d
+	ldr r0, =rk
+	ldr r1, =input          ; key occupies the first 16 bytes
+	ldr r2, =sbox
+	ldr r3, =rcon
+	bl expand_key
+	mov r10, #0
+blk_loop:
+	; stage block r10 into state
+	ldr r0, =input + 16
+	mov r1, #16
+	mul r1, r10, r1
+	add r0, r0, r1
+	ldr r1, =state
+	mov r2, #0
+ld_blk:
+	ldrb r3, [r0, r2]
+	strb r3, [r1, r2]
+	add r2, #1
+	cmp r2, #16
+	blt ld_blk
+	ldr r0, =state
+	ldr r1, =rk
+	ldr r2, =%s
+	ldr r6, =tmpst
+	bl %s
+	; copy state into outbuf
+	ldr r0, =outbuf
+	mov r1, #16
+	mul r1, r10, r1
+	add r0, r0, r1
+	ldr r1, =state
+	mov r2, #0
+st_blk:
+	ldrb r3, [r1, r2]
+	strb r3, [r0, r2]
+	add r2, #1
+	cmp r2, #16
+	blt st_blk
+	add r10, #1
+	ldr r2, =NBLK
+	cmp r10, r2
+	blt blk_loop
+	ldr r5, =NBLK*16
+	b finish
+`, nblk, sboxReg, blockCall) + exitSnippet + "\n" +
+		blockRoutine + keyExpandAsm + data.String()
+
+	prog, err := assemble(name+".s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	cipher, err := aes.NewCipher(rijndaelKey)
+	if err != nil {
+		return nil, fmt.Errorf("aes reference: %w", err)
+	}
+	plain := newRNG(0xAE5AE5AE).bytes(n)
+	encrypted := make([]byte, n)
+	for i := 0; i < n; i += 16 {
+		cipher.Encrypt(encrypted[i:i+16], plain[i:i+16])
+	}
+
+	data16 := plain
+	golden := encrypted
+	if decrypt {
+		data16, golden = encrypted, plain
+	}
+	input := append(append([]byte(nil), rijndaelKey...), data16...)
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     input,
+		Golden:    golden,
+	}, nil
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"armsefi/internal/asm"
+)
+
+// StringSearch record geometry: fixed-size NUL-terminated slots.
+const (
+	ssPatSlot  = 16
+	ssSentSlot = 64
+)
+
+// StringSearch pair counts (paper: 1332 words in 1332 sentences).
+func stringSearchPairs(s Scale) int {
+	switch s {
+	case ScaleTiny:
+		return 48
+	case ScaleSmall:
+		return 192
+	default:
+		return 1332
+	}
+}
+
+// StringSearch is the Horspool substring-search workload of Table III.
+var StringSearch = register(Spec{
+	Name:            "stringsearch",
+	InputDesc:       "1332 words / 1332 sentences (scaled: 48/192/1332 pairs)",
+	Characteristics: "Memory intensive and Control intensive",
+	SmallFootprint:  true,
+	build:           buildStringSearch,
+})
+
+// refHorspool returns the first match index of pat in text, or -1, using
+// the exact skip-table semantics of the assembly.
+func refHorspool(pat, text []byte) int32 {
+	m, n := len(pat), len(text)
+	if m == 0 || m > n {
+		return -1
+	}
+	var skip [256]int
+	for i := range skip {
+		skip[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		skip[pat[i]] = m - 1 - i
+	}
+	pos := 0
+	for pos <= n-m {
+		k := 0
+		for k < m && pat[k] == text[pos+k] {
+			k++
+		}
+		if k == m {
+			return int32(pos)
+		}
+		pos += skip[text[pos+m-1]]
+	}
+	return -1
+}
+
+func cstr(b []byte) []byte {
+	for i, c := range b {
+		if c == 0 {
+			return b[:i]
+		}
+	}
+	return b
+}
+
+func buildStringSearch(cfg asm.Config, scale Scale) (*Built, error) {
+	nw := stringSearchPairs(scale)
+	src := prologue() + fmt.Sprintf(`
+.equ NW, %d
+.equ PSZ, %d
+.equ SSZ, %d
+	mov r10, #0              ; pair index
+pair_loop:
+	ldr r0, =input
+	mov r2, #PSZ
+	mul r2, r10, r2
+	add r0, r0, r2           ; pattern slot
+	ldr r1, =input + NW*PSZ
+	mov r2, #SSZ
+	mul r2, r10, r2
+	add r1, r1, r2           ; sentence slot
+	; m = strlen(pattern), bounded by the slot
+	mov r2, #0
+mlen_loop:
+	ldrb r3, [r0, r2]
+	cmp r3, #0
+	beq mlen_done
+	add r2, #1
+	cmp r2, #PSZ
+	blt mlen_loop
+mlen_done:
+	mov r4, r2               ; m
+	mov r2, #0
+slen_loop:
+	ldrb r3, [r1, r2]
+	cmp r3, #0
+	beq slen_done
+	add r2, #1
+	cmp r2, #SSZ
+	blt slen_loop
+slen_done:
+	mov r5, r2               ; n
+	mvn r9, #0               ; result = -1
+	cmp r4, #0
+	beq store_res
+	cmp r4, r5
+	bgt store_res
+	; Horspool skip table
+	ldr r6, =skiptab
+	mov r2, #0
+skip_init:
+	str r4, [r6, r2, lsl #2]
+	add r2, #1
+	cmp r2, #256
+	blt skip_init
+	mov r2, #0
+	sub r3, r4, #1           ; m-1
+skip_fill:
+	cmp r2, r3
+	bge skip_done
+	ldrb r7, [r0, r2]
+	sub r8, r3, r2
+	str r8, [r6, r7, lsl #2]
+	add r2, #1
+	b skip_fill
+skip_done:
+	mov r7, #0               ; pos
+search_loop:
+	sub r2, r5, r4
+	cmp r7, r2
+	bgt store_res
+	mov r2, #0
+cmp_loop:
+	cmp r2, r4
+	bge found
+	ldrb r3, [r0, r2]
+	add r8, r1, r7
+	ldrb r8, [r8, r2]
+	cmp r3, r8
+	bne cmp_fail
+	add r2, #1
+	b cmp_loop
+cmp_fail:
+	add r8, r1, r7
+	add r8, r8, r4
+	ldrb r8, [r8, #-1]       ; text[pos+m-1]
+	ldr r8, [r6, r8, lsl #2]
+	add r7, r7, r8
+	b search_loop
+found:
+	mov r9, r7
+store_res:
+	ldr r2, =outbuf
+	str r9, [r2, r10, lsl #2]
+	add r10, #1
+	ldr r2, =NW
+	cmp r10, r2
+	blt pair_loop
+	ldr r5, =NW*4
+	b finish
+`, nw, ssPatSlot, ssSentSlot) + exitSnippet + fmt.Sprintf(`
+.data
+skiptab: .space 1024
+outbuf:  .space %d
+input:   .space %d
+`, 4*nw, nw*(ssPatSlot+ssSentSlot))
+	prog, err := assemble("stringsearch.s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := newRNG(0x57855EA7)
+	letters := []byte("abcdefghijklmnopqrstuvwxyz ")
+	input := make([]byte, nw*(ssPatSlot+ssSentSlot))
+	pats := input[:nw*ssPatSlot]
+	sents := input[nw*ssPatSlot:]
+	golden := make([]byte, 0, 4*nw)
+	for i := 0; i < nw; i++ {
+		sent := sents[i*ssSentSlot : (i+1)*ssSentSlot]
+		slen := int(20 + r.uint32n(ssSentSlot-21))
+		for j := 0; j < slen; j++ {
+			sent[j] = letters[r.uint32n(uint32(len(letters)))]
+		}
+		pat := pats[i*ssPatSlot : (i+1)*ssPatSlot]
+		plen := int(3 + r.uint32n(8))
+		if r.uint32n(2) == 0 {
+			// Guaranteed hit: pattern is a substring of the sentence.
+			off := int(r.uint32n(uint32(slen - plen)))
+			copy(pat, sent[off:off+plen])
+		} else {
+			for j := 0; j < plen; j++ {
+				pat[j] = letters[r.uint32n(uint32(len(letters)))]
+			}
+		}
+		res := refHorspool(cstr(pat), cstr(sent))
+		golden = binary.LittleEndian.AppendUint32(golden, uint32(res))
+	}
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     input,
+		Golden:    golden,
+	}, nil
+}

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"fmt"
+
+	"armsefi/internal/asm"
+)
+
+// Susan image sizes. The paper's 76x95 input is already tiny, so it is the
+// paper scale; lower scales shrink further for fast campaigns.
+func susanSize(s Scale) (w, h int) {
+	switch s {
+	case ScaleTiny:
+		return 32, 40
+	case ScaleSmall:
+		return 56, 64
+	default:
+		return 76, 95
+	}
+}
+
+// susanImage generates a deterministic synthetic grayscale image with
+// smooth gradients, rectangular features (corners/edges to detect), and
+// mild noise.
+func susanImage(w, h int) []byte {
+	r := newRNG(0x5A5A1337)
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := uint32(x*3+y*2) & 0x7F
+			if x > w/4 && x < 3*w/4 && y > h/4 && y < 3*h/4 {
+				v += 90 // bright rectangle: edges and corners
+			}
+			v += r.uint32n(7)
+			if v > 255 {
+				v = 255
+			}
+			img[y*w+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// Susan thresholds.
+const (
+	susanEdgeT    = 20 // brightness-similarity threshold (edges)
+	susanEdgeG    = 18 // geometric threshold 3/4 * 24
+	susanEdgeAmp  = 10
+	susanCornT    = 60
+	susanCornG    = 12 // geometric threshold 1/2 * 24
+	susanCornAmp  = 20
+	susanSmoothLn = 32 // |diff| >= 32 contributes zero weight
+)
+
+// refSusanUSAN computes the generic USAN response map: for each interior
+// pixel, count 5x5 neighbours within t of the centre, and respond
+// (g-n)*amp when n < g.
+func refSusanUSAN(img []byte, w, h, t, g, amp int) []byte {
+	out := make([]byte, w*h)
+	for y := 2; y < h-2; y++ {
+		for x := 2; x < w-2; x++ {
+			c := int(img[y*w+x])
+			n := 0
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					p := int(img[(y+dy)*w+x+dx])
+					d := p - c
+					if d < 0 {
+						d = -d
+					}
+					if d < t {
+						n++
+					}
+				}
+			}
+			if n < g {
+				out[y*w+x] = byte((g - n) * amp)
+			}
+		}
+	}
+	return out
+}
+
+// refSusanSmooth computes the brightness-weighted 5x5 smoothing map.
+func refSusanSmooth(img []byte, w, h int) []byte {
+	out := make([]byte, w*h)
+	for y := 2; y < h-2; y++ {
+		for x := 2; x < w-2; x++ {
+			c := int(img[y*w+x])
+			num, den := 0, 0
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					p := int(img[(y+dy)*w+x+dx])
+					d := p - c
+					if d < 0 {
+						d = -d
+					}
+					wgt := 0
+					if d < susanSmoothLn {
+						wgt = 255 - 8*d
+					}
+					num += p * wgt
+					den += wgt
+				}
+			}
+			out[y*w+x] = byte(uint32(num) / uint32(den))
+		}
+	}
+	return out
+}
+
+// susanUSANAsm emits the counting-kernel source shared by the edge and
+// corner detectors.
+func susanUSANAsm(w, h, t, g, amp int) string {
+	return prologue() + fmt.Sprintf(`
+.equ W, %d
+.equ H, %d
+.equ T, %d
+.equ G, %d
+.equ AMP, %d
+	ldr r0, =input
+	ldr r1, =outbuf
+	mov r10, #2
+y_loop:
+	mov r9, #2
+x_loop:
+	ldr r3, =W
+	mul r4, r10, r3
+	add r4, r4, r9          ; centre index
+	ldrb r5, [r0, r4]       ; c
+	mov r6, #0              ; USAN count
+	mvn r7, #1              ; dy = -2
+dy_loop:
+	mvn r8, #1              ; dx = -2
+dx_loop:
+	ldr r3, =W
+	add r2, r10, r7
+	mul r2, r2, r3
+	add r3, r9, r8
+	add r2, r2, r3
+	ldrb r2, [r0, r2]
+	sub r2, r2, r5
+	cmp r2, #0
+	rsblt r2, r2, #0
+	cmp r2, #T
+	addlt r6, r6, #1
+	add r8, #1
+	cmp r8, #3
+	blt dx_loop
+	add r7, #1
+	cmp r7, #3
+	blt dy_loop
+	mov r2, #0
+	cmp r6, #G
+	bge store_out
+	rsb r2, r6, #G
+	mov r3, #AMP
+	mul r2, r2, r3
+store_out:
+	strb r2, [r1, r4]
+	add r9, #1
+	ldr r3, =W-2
+	cmp r9, r3
+	blt x_loop
+	add r10, #1
+	ldr r3, =H-2
+	cmp r10, r3
+	blt y_loop
+	ldr r5, =W*H
+	b finish
+`, w, h, t, g, amp) + exitSnippet + fmt.Sprintf(`
+.data
+outbuf: .space %d
+input:  .space %d
+`, w*h, w*h)
+}
+
+func buildSusanUSAN(cfg asm.Config, scale Scale, name string, t, g, amp int) (*Built, error) {
+	w, h := susanSize(scale)
+	prog, err := assemble(name+".s", susanUSANAsm(w, h, t, g, amp), cfg)
+	if err != nil {
+		return nil, err
+	}
+	img := susanImage(w, h)
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     img,
+		Golden:    refSusanUSAN(img, w, h, t, g, amp),
+	}, nil
+}
+
+// SusanC is the corner-detection workload of Table III.
+var SusanC = register(Spec{
+	Name:            "susan_c",
+	InputDesc:       "76x95 pixels, 7.3 KB (scaled: 32x40 / 56x64 / 76x95)",
+	Characteristics: "CPU intensive",
+	SmallFootprint:  true,
+	build: func(cfg asm.Config, scale Scale) (*Built, error) {
+		return buildSusanUSAN(cfg, scale, "susan_c", susanCornT, susanCornG, susanCornAmp)
+	},
+})
+
+// SusanE is the edge-detection workload of Table III.
+var SusanE = register(Spec{
+	Name:            "susan_e",
+	InputDesc:       "76x95 pixels, 7.3 KB (scaled: 32x40 / 56x64 / 76x95)",
+	Characteristics: "CPU intensive",
+	SmallFootprint:  true,
+	build: func(cfg asm.Config, scale Scale) (*Built, error) {
+		return buildSusanUSAN(cfg, scale, "susan_e", susanEdgeT, susanEdgeG, susanEdgeAmp)
+	},
+})
+
+// SusanS is the structure-preserving smoothing workload of Table III.
+var SusanS = register(Spec{
+	Name:            "susan_s",
+	InputDesc:       "76x95 pixels, 7.3 KB (scaled: 32x40 / 56x64 / 76x95)",
+	Characteristics: "CPU intensive",
+	SmallFootprint:  true,
+	build:           buildSusanS,
+})
+
+func buildSusanS(cfg asm.Config, scale Scale) (*Built, error) {
+	w, h := susanSize(scale)
+	src := prologue() + fmt.Sprintf(`
+.equ W, %d
+.equ H, %d
+.equ LN, %d
+	ldr r0, =input
+	ldr r1, =outbuf
+	mov r10, #2
+sy_loop:
+	mov r9, #2
+sx_loop:
+	ldr r3, =W
+	mul r4, r10, r3
+	add r4, r4, r9
+	ldrb r5, [r0, r4]       ; c
+	mov r6, #0              ; numerator
+	mov r11, #0             ; denominator
+	mvn r7, #1
+sdy_loop:
+	mvn r8, #1
+sdx_loop:
+	ldr r3, =W
+	add r2, r10, r7
+	mul r2, r2, r3
+	add r3, r9, r8
+	add r2, r2, r3
+	ldrb r2, [r0, r2]       ; p
+	sub r3, r2, r5
+	cmp r3, #0
+	rsblt r3, r3, #0        ; |p - c|
+	mov r12, #0
+	cmp r3, #LN
+	bge sw_done
+	lsl r12, r3, #3
+	rsb r12, r12, #255      ; weight = 255 - 8*d
+sw_done:
+	mla r6, r2, r12         ; num += p * w
+	add r11, r11, r12
+	add r8, #1
+	cmp r8, #3
+	blt sdx_loop
+	add r7, #1
+	cmp r7, #3
+	blt sdy_loop
+	udiv r2, r6, r11
+	strb r2, [r1, r4]
+	add r9, #1
+	ldr r3, =W-2
+	cmp r9, r3
+	blt sx_loop
+	add r10, #1
+	ldr r3, =H-2
+	cmp r10, r3
+	blt sy_loop
+	ldr r5, =W*H
+	b finish
+`, w, h, susanSmoothLn) + exitSnippet + fmt.Sprintf(`
+.data
+outbuf: .space %d
+input:  .space %d
+`, w*h, w*h)
+	prog, err := assemble("susan_s.s", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	img := susanImage(w, h)
+	return &Built{
+		Program:   prog,
+		InputAddr: prog.MustSymbol("input"),
+		Input:     img,
+		Golden:    refSusanSmooth(img, w, h),
+	}, nil
+}

@@ -1,0 +1,129 @@
+// Package ace implements ACE lifetime analysis, the single-simulation
+// vulnerability-estimation methodology the paper's Section II positions
+// between probabilistic models and statistical fault injection (Mukherjee
+// et al. [12]; accuracy examined against injection by Wang et al. [28]).
+//
+// One instrumented golden run measures, for every cache line and TLB
+// entry, how long each value remained architecturally correct-execution
+// relevant (from fill/write to last consuming read, or to writeback). The
+// per-structure AVF estimate is ACE-cycles / (capacity x time). Because
+// the analysis is per-line rather than per-bit, it systematically
+// over-estimates AVF relative to fault injection — the bias [28]
+// quantifies and the AblationACEvsInjection bench reproduces.
+package ace
+
+import (
+	"fmt"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/harness"
+	"armsefi/internal/mem"
+	"armsefi/internal/soc"
+)
+
+// Config parameterises an ACE analysis run.
+type Config struct {
+	Preset soc.Config
+	Model  soc.ModelKind
+	Scale  bench.Scale
+}
+
+func (c Config) withDefaults() Config {
+	if c.Preset.Name == "" {
+		c.Preset = soc.PresetModel()
+	}
+	if c.Model == 0 {
+		c.Model = soc.ModelDetailed
+	}
+	if c.Scale == 0 {
+		c.Scale = bench.ScaleTiny
+	}
+	return c
+}
+
+// ComponentEstimate is the ACE result for one structure.
+type ComponentEstimate struct {
+	Comp fault.Component
+	// AVF is the ACE-cycles / (entries x window) estimate.
+	AVF float64
+	// ValuesTotal and ValuesRead count value lifetimes observed and those
+	// consumed at least once.
+	ValuesTotal uint64
+	ValuesRead  uint64
+}
+
+// Result is one workload's ACE analysis.
+type Result struct {
+	Workload     string
+	Scale        bench.Scale
+	GoldenCycles uint64
+	Components   []ComponentEstimate
+}
+
+// Component returns one structure's estimate.
+func (r *Result) Component(c fault.Component) (ComponentEstimate, bool) {
+	for _, e := range r.Components {
+		if e.Comp == c {
+			return e, true
+		}
+	}
+	return ComponentEstimate{}, false
+}
+
+// Run performs the instrumented golden run for one workload. It needs a
+// single simulation — the methodology's selling point — and returns AVF
+// estimates for the five memory structures (the register file is outside
+// ACE's residency model).
+func Run(cfg Config, spec bench.Spec) (*Result, error) {
+	cfg = cfg.withDefaults()
+	built, err := spec.Build(soc.UserAsmConfig(), cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("ace: %w", err)
+	}
+	wb, err := harness.New(cfg.Preset, cfg.Model, built)
+	if err != nil {
+		return nil, fmt.Errorf("ace: %w", err)
+	}
+	m := wb.Machine
+	m.RestoreSnapshot(wb.Snap, false)
+
+	clock := func() uint64 { return m.Core().Cycles() }
+	trackers := []struct {
+		comp fault.Component
+		life *mem.LifetimeTracker
+	}{
+		{fault.CompL1I, m.Mem.L1I.AttachLifetimeTracker(clock)},
+		{fault.CompL1D, m.Mem.L1D.AttachLifetimeTracker(clock)},
+		{fault.CompL2, m.Mem.L2.AttachLifetimeTracker(clock)},
+		{fault.CompITLB, m.Mem.ITLB.AttachLifetimeTracker(clock)},
+		{fault.CompDTLB, m.Mem.DTLB.AttachLifetimeTracker(clock)},
+	}
+	defer func() {
+		m.Mem.L1I.DetachLifetimeTracker()
+		m.Mem.L1D.DetachLifetimeTracker()
+		m.Mem.L2.DetachLifetimeTracker()
+		m.Mem.ITLB.DetachLifetimeTracker()
+		m.Mem.DTLB.DetachLifetimeTracker()
+	}()
+
+	res := m.Run(wb.Watchdog)
+	if !res.CleanExit() {
+		return nil, fmt.Errorf("ace: instrumented run of %s failed: %v", spec.Name, res.Outcome)
+	}
+	out := &Result{
+		Workload:     spec.Name,
+		Scale:        cfg.Scale,
+		GoldenCycles: res.Cycles,
+	}
+	for _, tr := range trackers {
+		total, read := tr.life.Values()
+		out.Components = append(out.Components, ComponentEstimate{
+			Comp:        tr.comp,
+			AVF:         tr.life.Finalize(),
+			ValuesTotal: total,
+			ValuesRead:  read,
+		})
+	}
+	return out, nil
+}

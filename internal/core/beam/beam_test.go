@@ -1,0 +1,129 @@
+package beam
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+)
+
+func TestFITConversion(t *testing.T) {
+	w := &WorkloadResult{
+		Fluence: 1e10,
+		Events: map[fault.Class]float64{
+			fault.ClassSDC: 13, // 13 events per 1e10 n/cm^2
+		},
+	}
+	// FIT = 13/1e10 * 13 * 1e9 = 16.9.
+	if got := w.FIT(fault.ClassSDC); math.Abs(got-16.9) > 1e-9 {
+		t.Errorf("FIT = %v, want 16.9", got)
+	}
+	if w.FIT(fault.ClassAppCrash) != 0 {
+		t.Error("empty class FIT != 0")
+	}
+	if got := w.TotalFIT(); math.Abs(got-16.9) > 1e-9 {
+		t.Errorf("TotalFIT = %v", got)
+	}
+	empty := &WorkloadResult{}
+	if empty.FIT(fault.ClassSDC) != 0 || empty.ErrorRatePerExecution() != 0 {
+		t.Error("zero-fluence results must be zero")
+	}
+}
+
+func TestDefaultBitXSMatchesPaperFITRaw(t *testing.T) {
+	// The default cross-section must invert back to the paper's 2.76e-5
+	// FIT/bit under the JEDEC sea-level flux.
+	back := DefaultBitXS * FluxNYC * FITHours
+	if math.Abs(back-2.76e-5)/2.76e-5 > 1e-12 {
+		t.Errorf("DefaultBitXS inverts to %g FIT/bit", back)
+	}
+}
+
+func TestPoissonSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0, 0.5, 3, 20, 200} {
+		var sum float64
+		const n = 3000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mean))
+		}
+		got := sum / n
+		if mean == 0 && got != 0 {
+			t.Errorf("poisson(0) produced %f", got)
+			continue
+		}
+		if mean > 0 && math.Abs(got-mean) > 5*math.Sqrt(mean/n)+0.05*mean {
+			t.Errorf("poisson(%f) mean = %f", mean, got)
+		}
+	}
+}
+
+func TestBeamCampaignSmall(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{Seed: 3, BeamHours: 1, StrikesPerComponent: 4}
+	w, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SimulatedStrikes != 4*fault.NumComponents {
+		t.Errorf("simulated strikes = %d", w.SimulatedStrikes)
+	}
+	if w.Fluence != LANSCEFlux*3600 {
+		t.Errorf("fluence = %g", w.Fluence)
+	}
+	if w.Executions <= 0 || w.ExecSeconds <= 0 {
+		t.Error("execution accounting missing")
+	}
+	if w.CacheSlack < 0 || w.CacheSlack > 1 {
+		t.Errorf("slack = %f", w.CacheSlack)
+	}
+	// The paper's scaling safety check: errors per execution stay tiny.
+	if w.ErrorRatePerExecution() > 1e-3 {
+		t.Errorf("error rate per execution = %g, violates the <1/1000 rule", w.ErrorRatePerExecution())
+	}
+}
+
+func TestBeamDeterminism(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{Seed: 9, BeamHours: 1, StrikesPerComponent: 3}
+	a, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range fault.Classes() {
+		if a.Events[cls] != b.Events[cls] {
+			t.Fatalf("%v: %f vs %f", cls, a.Events[cls], b.Events[cls])
+		}
+	}
+	if a.MaskedStrikes != b.MaskedStrikes {
+		t.Fatal("masked counts differ")
+	}
+}
+
+func TestMeasureFITRawPlausible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beam probe is slow")
+	}
+	measured, res, err := MeasureFITRaw(Config{
+		Seed: 5, BeamHours: 10, StrikesPerComponent: 25,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMismatches == 0 {
+		t.Skip("no probe detections at this exposure (statistical)")
+	}
+	// The probe can only under-measure the configured technology FIT
+	// (evictions and off-window strikes mask), and should be within an
+	// order of magnitude of it.
+	tech := DefaultBitXS * FluxNYC * FITHours
+	if measured > tech*3 || measured < tech/50 {
+		t.Errorf("measured FITraw %g vs technology %g", measured, tech)
+	}
+}

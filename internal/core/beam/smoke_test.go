@@ -1,0 +1,23 @@
+package beam
+
+import (
+	"fmt"
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+)
+
+func TestSmokeBeam(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{Seed: 7, BeamHours: 2, StrikesPerComponent: 12}
+	w, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("execs=%.0f fluence=%.3g sims=%d masked=%d events: SDC=%.2f AC=%.2f SC=%.2f slack=%.2f\n",
+		w.Executions, w.Fluence, w.SimulatedStrikes, w.MaskedStrikes,
+		w.Events[fault.ClassSDC], w.Events[fault.ClassAppCrash], w.Events[fault.ClassSysCrash], w.CacheSlack)
+	fmt.Printf("FIT: SDC=%.2f AC=%.2f SC=%.2f total=%.2f errRate=%.3g\n",
+		w.FIT(fault.ClassSDC), w.FIT(fault.ClassAppCrash), w.FIT(fault.ClassSysCrash), w.TotalFIT(), w.ErrorRatePerExecution())
+}

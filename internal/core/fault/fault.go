@@ -1,0 +1,311 @@
+// Package fault defines the transient-fault model shared by the GeFIN-like
+// injector and the beam simulator: the six injectable hardware components
+// of the paper's Figure 4, single-bit-flip faults, and the outcome
+// classification (Masked / SDC / Application Crash / System Crash) used by
+// both methodologies.
+package fault
+
+import (
+	"bytes"
+	"fmt"
+
+	"armsefi/internal/mem"
+	"armsefi/internal/soc"
+)
+
+// Component is one injectable hardware structure.
+type Component uint8
+
+// The six fault-injection targets of the paper, covering >94%% of the
+// modeled memory cells.
+const (
+	CompRegFile Component = 1 + iota // physical register file
+	CompL1I                          // L1 instruction cache data array
+	CompL1D                          // L1 data cache data array
+	CompL2                           // unified L2 cache data array
+	CompITLB                         // instruction TLB
+	CompDTLB                         // data TLB
+
+	// NumComponents is the number of primary injectable components.
+	NumComponents = 6
+
+	// Tag-array targets, used only by the ablation benches: the paper's
+	// campaigns target data arrays, and notes that (virtual) tag bits are
+	// nearly always benign.
+	CompL1DTag Component = 10 + iota
+	CompL1ITag
+	CompL2Tag
+)
+
+var componentNames = map[Component]string{
+	CompRegFile: "regfile",
+	CompL1I:     "l1i",
+	CompL1D:     "l1d",
+	CompL2:      "l2",
+	CompITLB:    "itlb",
+	CompDTLB:    "dtlb",
+	CompL1DTag:  "l1d-tag",
+	CompL1ITag:  "l1i-tag",
+	CompL2Tag:   "l2-tag",
+}
+
+// PaperNames maps components to the labels used in the paper's Table IV.
+var PaperNames = map[Component]string{
+	CompRegFile: "Register File",
+	CompL1I:     "I$ Cache",
+	CompL1D:     "D$ Cache",
+	CompL2:      "L2 Cache",
+	CompITLB:    "ITLB",
+	CompDTLB:    "DTLB",
+}
+
+// String returns the short component name.
+func (c Component) String() string {
+	if s, ok := componentNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("component(%d)", uint8(c))
+}
+
+// Components lists the injection targets in the paper's presentation order.
+func Components() []Component {
+	return []Component{CompRegFile, CompL1I, CompL1D, CompL2, CompITLB, CompDTLB}
+}
+
+// ComponentByName resolves a short name.
+func ComponentByName(name string) (Component, bool) {
+	for c, n := range componentNames {
+		if n == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// SizeBits returns the number of modeled bits of a component on the given
+// machine — the Size(bits) term of FIT_component = FIT_raw * Size * AVF.
+func SizeBits(m *soc.Machine, c Component) uint64 {
+	switch c {
+	case CompRegFile:
+		return m.Core().RegFileBits()
+	case CompL1I:
+		return m.Mem.L1I.SizeBits()
+	case CompL1D:
+		return m.Mem.L1D.SizeBits()
+	case CompL2:
+		return m.Mem.L2.SizeBits()
+	case CompITLB:
+		return m.Mem.ITLB.SizeBits()
+	case CompDTLB:
+		return m.Mem.DTLB.SizeBits()
+	case CompL1DTag:
+		return m.Mem.L1D.TotalTagBits()
+	case CompL1ITag:
+		return m.Mem.L1I.TotalTagBits()
+	case CompL2Tag:
+		return m.Mem.L2.TotalTagBits()
+	default:
+		return 0
+	}
+}
+
+// TotalBits sums the injectable bits of all components.
+func TotalBits(m *soc.Machine) uint64 {
+	var total uint64
+	for _, c := range Components() {
+		total += SizeBits(m, c)
+	}
+	return total
+}
+
+// Fault is one single-event upset: a bit of a component flipped at a given
+// cycle of the run.
+type Fault struct {
+	Comp  Component
+	Bit   uint64 // linear bit index within the component
+	Cycle uint64 // cycles after the application entry point
+}
+
+// String formats the fault for logs.
+func (f Fault) String() string {
+	return fmt.Sprintf("%s bit %d @ cycle %d", f.Comp, f.Bit, f.Cycle)
+}
+
+// Apply flips the fault's bit in the machine's hardware state.
+func Apply(m *soc.Machine, f Fault) {
+	switch f.Comp {
+	case CompRegFile:
+		m.Core().FlipRegFileBit(f.Bit)
+	case CompL1I:
+		m.Mem.L1I.FlipDataBit(f.Bit)
+	case CompL1D:
+		m.Mem.L1D.FlipDataBit(f.Bit)
+	case CompL2:
+		m.Mem.L2.FlipDataBit(f.Bit)
+	case CompITLB:
+		m.Mem.ITLB.FlipBit(f.Bit)
+	case CompDTLB:
+		m.Mem.DTLB.FlipBit(f.Bit)
+	case CompL1DTag:
+		m.Mem.L1D.FlipTagBit(f.Bit)
+	case CompL1ITag:
+		m.Mem.L1I.FlipTagBit(f.Bit)
+	case CompL2Tag:
+		m.Mem.L2.FlipTagBit(f.Bit)
+	}
+}
+
+// Class is the outcome classification shared by fault injection and beam
+// experiments.
+type Class uint8
+
+// Outcome classes.
+const (
+	ClassMasked Class = 1 + iota
+	ClassSDC
+	ClassAppCrash
+	ClassSysCrash
+
+	// NumClasses is the number of outcome classes.
+	NumClasses = 4
+)
+
+var classNames = map[Class]string{
+	ClassMasked:   "Masked",
+	ClassSDC:      "SDC",
+	ClassAppCrash: "AppCrash",
+	ClassSysCrash: "SysCrash",
+}
+
+// String returns the class name as used in the paper's figures.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classes lists the outcome classes in presentation order.
+func Classes() []Class {
+	return []Class{ClassMasked, ClassSDC, ClassAppCrash, ClassSysCrash}
+}
+
+// ErrorClasses lists only the non-masked classes (the AVF components).
+func ErrorClasses() []Class {
+	return []Class{ClassSDC, ClassAppCrash, ClassSysCrash}
+}
+
+// Classify maps a machine run result to an outcome class, mirroring the
+// beam-side host watchdog of Section IV-B:
+//
+//   - clean exit(0) with golden output  -> Masked
+//   - clean exit(0) with other output   -> SDC
+//   - kernel killed the app / app error -> Application Crash
+//   - kernel panic or unrecoverable CPU -> System Crash
+//   - hang with a fresh kernel heartbeat-> Application Crash (app restartable)
+//   - hang with a stale heartbeat       -> System Crash (board unreachable)
+func Classify(res soc.Result, golden []byte, timerPeriod uint32) Class {
+	switch res.Outcome {
+	case soc.OutcomePowerOff:
+		if res.KernelPanic() {
+			return ClassSysCrash
+		}
+		if res.ExitCode != 0 {
+			return ClassAppCrash
+		}
+		if bytes.Equal(res.Output, golden) {
+			return ClassMasked
+		}
+		return ClassSDC
+	case soc.OutcomeFatal:
+		return ClassSysCrash
+	default: // OutcomeTimeout: consult the heartbeat, as the host PC does.
+		staleAfter := uint64(timerPeriod) * 4
+		if res.LastBeatCycle+staleAfter >= res.Cycles {
+			return ClassAppCrash
+		}
+		return ClassSysCrash
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler so components key JSON
+// maps readably in exported campaign results.
+func (c Component) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (c *Component) UnmarshalText(b []byte) error {
+	v, ok := ComponentByName(string(b))
+	if !ok {
+		return fmt.Errorf("fault: unknown component %q", b)
+	}
+	*c = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler for outcome classes.
+func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (c *Class) UnmarshalText(b []byte) error {
+	for _, cls := range Classes() {
+		if cls.String() == string(b) {
+			*c = cls
+			return nil
+		}
+	}
+	return fmt.Errorf("fault: unknown class %q", b)
+}
+
+// Context captures what the fault actually struck, resolved at injection
+// time — the microarchitectural observability Section IV-C credits fault
+// injection with (kernel vs. user state, used vs. idle entries).
+type Context struct {
+	// LineValid reports whether the struck cache line / TLB entry held
+	// live content at injection time (false for the register file, which
+	// is always live storage).
+	LineValid bool
+	// LineDirty reports write-back state (caches only).
+	LineDirty bool
+	// Owner classifies the struck line's physical address (caches only;
+	// OwnerUnknown for other components).
+	Owner soc.Owner
+}
+
+// KernelOwned reports whether the fault landed in live kernel state.
+func (c Context) KernelOwned() bool { return c.LineValid && c.Owner.KernelOwned() }
+
+// ContextOf resolves a fault's context against the machine's current
+// state. Call it at the injection instant.
+func ContextOf(m *soc.Machine, f Fault) Context {
+	cacheOf := func() *mem.Cache {
+		switch f.Comp {
+		case CompL1I, CompL1ITag:
+			return m.Mem.L1I
+		case CompL1D, CompL1DTag:
+			return m.Mem.L1D
+		case CompL2, CompL2Tag:
+			return m.Mem.L2
+		default:
+			return nil
+		}
+	}
+	if c := cacheOf(); c != nil {
+		addr, valid, dirty := c.LineInfo(f.Bit)
+		ctx := Context{LineValid: valid, LineDirty: dirty, Owner: soc.OwnerUnknown}
+		if valid {
+			ctx.Owner = soc.OwnerOf(addr)
+		}
+		return ctx
+	}
+	if f.Comp == CompRegFile {
+		return Context{LineValid: true, Owner: soc.OwnerUnknown}
+	}
+	// TLBs: entry validity via the entry index.
+	tlb := m.Mem.ITLB
+	if f.Comp == CompDTLB {
+		tlb = m.Mem.DTLB
+	}
+	entry := int(f.Bit / mem.TLBEntryBits)
+	valid := entry < tlb.Entries() && tlb.EntryValid(entry)
+	return Context{LineValid: valid, Owner: soc.OwnerUnknown}
+}

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"testing"
+
+	"armsefi/internal/kernel"
+	"armsefi/internal/soc"
+)
+
+func testMachine(t *testing.T) *soc.Machine {
+	t.Helper()
+	m, err := soc.NewMachine(soc.PresetZynq(), soc.ModelDetailed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestComponentNames(t *testing.T) {
+	for _, c := range Components() {
+		if _, ok := PaperNames[c]; !ok {
+			t.Errorf("%v has no paper name", c)
+		}
+		back, ok := ComponentByName(c.String())
+		if !ok || back != c {
+			t.Errorf("ComponentByName(%q) = %v, %v", c.String(), back, ok)
+		}
+	}
+	if _, ok := ComponentByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestSizeBitsMatchPaperGeometry(t *testing.T) {
+	m := testMachine(t)
+	if got := SizeBits(m, CompL1D); got != 32*1024*8 {
+		t.Errorf("L1D bits = %d", got)
+	}
+	if got := SizeBits(m, CompL2); got != 512*1024*8 {
+		t.Errorf("L2 bits = %d", got)
+	}
+	if got := SizeBits(m, CompRegFile); got != 56*32 {
+		t.Errorf("regfile bits = %d", got)
+	}
+	if got := SizeBits(m, CompITLB); got == 0 {
+		t.Error("ITLB bits = 0")
+	}
+	// The six components must cover most of the modeled cells, as the
+	// paper states (>94% including the register file).
+	total := TotalBits(m)
+	if total < 4_500_000 {
+		t.Errorf("total injectable bits = %d, implausibly small", total)
+	}
+}
+
+func TestApplyIsInvolution(t *testing.T) {
+	m := testMachine(t)
+	for _, comp := range append(Components(), CompL1DTag, CompL2Tag) {
+		f := Fault{Comp: comp, Bit: 12345 % SizeBits(m, comp)}
+		Apply(m, f)
+		Apply(m, f)
+	}
+	// No crash and (for the caches) no net state change: verified
+	// indirectly by a clean boot afterwards.
+	if err := m.Boot(50_000_000); err != nil {
+		t.Fatalf("boot after paired flips: %v", err)
+	}
+}
+
+func TestClassifyTable(t *testing.T) {
+	golden := []byte("ok")
+	const period = 1000
+	tests := []struct {
+		name string
+		res  soc.Result
+		want Class
+	}{
+		{"clean exit matching output", soc.Result{Outcome: soc.OutcomePowerOff, ExitCode: 0, Output: []byte("ok")}, ClassMasked},
+		{"clean exit wrong output", soc.Result{Outcome: soc.OutcomePowerOff, ExitCode: 0, Output: []byte("no")}, ClassSDC},
+		{"clean exit truncated output", soc.Result{Outcome: soc.OutcomePowerOff, ExitCode: 0, Output: []byte("o")}, ClassSDC},
+		{"app killed by signal", soc.Result{Outcome: soc.OutcomePowerOff, ExitCode: kernel.ExitSignalBase + 4}, ClassAppCrash},
+		{"nonzero exit", soc.Result{Outcome: soc.OutcomePowerOff, ExitCode: 7}, ClassAppCrash},
+		{"kernel panic", soc.Result{Outcome: soc.OutcomePowerOff, ExitCode: kernel.PanicCode}, ClassSysCrash},
+		{"cpu fatal", soc.Result{Outcome: soc.OutcomeFatal}, ClassSysCrash},
+		{"hang with fresh heartbeat", soc.Result{Outcome: soc.OutcomeTimeout, Cycles: 100_000, LastBeatCycle: 99_000}, ClassAppCrash},
+		{"hang with stale heartbeat", soc.Result{Outcome: soc.OutcomeTimeout, Cycles: 100_000, LastBeatCycle: 10_000}, ClassSysCrash},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.res, golden, period); got != tt.want {
+			t.Errorf("%s: Classify = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestClassesAndStrings(t *testing.T) {
+	if len(Classes()) != NumClasses {
+		t.Error("Classes() length mismatch")
+	}
+	if len(ErrorClasses()) != NumClasses-1 {
+		t.Error("ErrorClasses() must exclude Masked")
+	}
+	for _, c := range Classes() {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	f := Fault{Comp: CompL1D, Bit: 5, Cycle: 10}
+	if f.String() != "l1d bit 5 @ cycle 10" {
+		t.Errorf("Fault.String = %q", f.String())
+	}
+}

@@ -1,0 +1,158 @@
+// Package fit implements the paper's Section VI mathematics: converting
+// fault-injection AVF into FIT rates through the raw per-bit FIT
+// (FIT_component = FIT_raw x Size(bits) x AVF_component), and the
+// beam-vs-injection comparisons of Figures 6 through 10.
+package fit
+
+import (
+	"math"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+)
+
+// DefaultFITRawPerBit is the paper's measured L1 raw FIT per bit, used as
+// the technology constant for every SRAM structure of the CPU.
+const DefaultFITRawPerBit = 2.76e-5
+
+// Injection is a workload's fault-injection campaign converted to FIT.
+type Injection struct {
+	Workload string
+	// PerClass is the summed FIT over all components for each error class.
+	PerClass map[fault.Class]float64
+	// PerComponent breaks the conversion down per component (Figure 5's
+	// underlying data).
+	PerComponent map[fault.Component]map[fault.Class]float64
+}
+
+// FromInjection converts AVF measurements into FIT rates using the raw
+// per-bit FIT.
+func FromInjection(w *gefin.WorkloadResult, fitRawPerBit float64) Injection {
+	out := Injection{
+		Workload:     w.Workload,
+		PerClass:     make(map[fault.Class]float64, fault.NumClasses),
+		PerComponent: make(map[fault.Component]map[fault.Class]float64, len(w.Components)),
+	}
+	for _, comp := range w.Components {
+		per := make(map[fault.Class]float64, fault.NumClasses)
+		for _, cls := range fault.ErrorClasses() {
+			per[cls] = fitRawPerBit * float64(comp.SizeBits) * comp.ClassFraction(cls)
+			out.PerClass[cls] += per[cls]
+		}
+		out.PerComponent[comp.Comp] = per
+	}
+	return out
+}
+
+// Total returns the workload's total injection FIT over all error classes.
+func (i Injection) Total() float64 {
+	var t float64
+	for _, c := range fault.ErrorClasses() {
+		t += i.PerClass[c]
+	}
+	return t
+}
+
+// SDCApp returns the combined SDC + Application Crash FIT (Figure 9's
+// core-attributable metric).
+func (i Injection) SDCApp() float64 {
+	return i.PerClass[fault.ClassSDC] + i.PerClass[fault.ClassAppCrash]
+}
+
+// Ratio expresses the paper's Figures 6-9 convention: divide the larger of
+// the two FIT rates by the smaller; the result is positive when the beam
+// rate is higher and negative when the injection rate is higher. Zero
+// rates are floored to keep ratios finite (the paper's near-zero
+// StringSearch SDC case).
+func Ratio(beamFIT, injFIT float64) float64 {
+	const floor = 1e-3
+	b := math.Max(beamFIT, floor)
+	i := math.Max(injFIT, floor)
+	if b >= i {
+		return b / i
+	}
+	return -i / b
+}
+
+// Comparison pairs the two methodologies for one workload.
+type Comparison struct {
+	Workload  string
+	Beam      map[fault.Class]float64
+	Injection map[fault.Class]float64
+}
+
+// Compare builds the per-workload comparison from a beam result and an
+// injection conversion.
+func Compare(b *beam.WorkloadResult, inj Injection) Comparison {
+	c := Comparison{
+		Workload:  b.Workload,
+		Beam:      make(map[fault.Class]float64, fault.NumClasses),
+		Injection: inj.PerClass,
+	}
+	for _, cls := range fault.ErrorClasses() {
+		c.Beam[cls] = b.FIT(cls)
+	}
+	return c
+}
+
+// ClassRatio returns the Figure 6/7/8 ratio for one class.
+func (c Comparison) ClassRatio(cls fault.Class) float64 {
+	return Ratio(c.Beam[cls], c.Injection[cls])
+}
+
+// SDCAppRatio returns the Figure 9 ratio over SDC + Application Crash.
+func (c Comparison) SDCAppRatio() float64 {
+	return Ratio(
+		c.Beam[fault.ClassSDC]+c.Beam[fault.ClassAppCrash],
+		c.Injection[fault.ClassSDC]+c.Injection[fault.ClassAppCrash],
+	)
+}
+
+// TotalRatio returns the all-classes ratio.
+func (c Comparison) TotalRatio() float64 {
+	var b, i float64
+	for _, cls := range fault.ErrorClasses() {
+		b += c.Beam[cls]
+		i += c.Injection[cls]
+	}
+	return Ratio(b, i)
+}
+
+// Aggregate is Figure 10: the average FIT of the workload set under both
+// methodologies at three accumulation levels.
+type Aggregate struct {
+	BeamSDC, InjSDC       float64
+	BeamSDCApp, InjSDCApp float64
+	BeamTotal, InjTotal   float64
+	RatioSDC, RatioSDCApp float64
+	RatioTotal            float64
+	Workloads             int
+}
+
+// Aggregate computes Figure 10 over a set of comparisons.
+func AggregateComparisons(cs []Comparison) Aggregate {
+	var a Aggregate
+	a.Workloads = len(cs)
+	if len(cs) == 0 {
+		return a
+	}
+	for _, c := range cs {
+		a.BeamSDC += c.Beam[fault.ClassSDC]
+		a.InjSDC += c.Injection[fault.ClassSDC]
+		a.BeamSDCApp += c.Beam[fault.ClassSDC] + c.Beam[fault.ClassAppCrash]
+		a.InjSDCApp += c.Injection[fault.ClassSDC] + c.Injection[fault.ClassAppCrash]
+		for _, cls := range fault.ErrorClasses() {
+			a.BeamTotal += c.Beam[cls]
+			a.InjTotal += c.Injection[cls]
+		}
+	}
+	n := float64(len(cs))
+	for _, v := range []*float64{&a.BeamSDC, &a.InjSDC, &a.BeamSDCApp, &a.InjSDCApp, &a.BeamTotal, &a.InjTotal} {
+		*v /= n
+	}
+	a.RatioSDC = Ratio(a.BeamSDC, a.InjSDC)
+	a.RatioSDCApp = Ratio(a.BeamSDCApp, a.InjSDCApp)
+	a.RatioTotal = Ratio(a.BeamTotal, a.InjTotal)
+	return a
+}

@@ -1,0 +1,125 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+)
+
+func fakeWorkload() *gefin.WorkloadResult {
+	return &gefin.WorkloadResult{
+		Workload: "w",
+		Components: []gefin.ComponentResult{
+			{
+				Comp: fault.CompL1D, SizeBits: 1000, N: 100,
+				Counts: map[fault.Class]int{
+					fault.ClassMasked: 80, fault.ClassSDC: 10,
+					fault.ClassAppCrash: 6, fault.ClassSysCrash: 4,
+				},
+			},
+			{
+				Comp: fault.CompRegFile, SizeBits: 100, N: 100,
+				Counts: map[fault.Class]int{
+					fault.ClassMasked: 90, fault.ClassSDC: 10,
+				},
+			},
+		},
+	}
+}
+
+func TestFromInjectionFormula(t *testing.T) {
+	inj := FromInjection(fakeWorkload(), 0.001)
+	// FIT_SDC = 0.001*1000*0.10 + 0.001*100*0.10 = 0.1 + 0.01.
+	if math.Abs(inj.PerClass[fault.ClassSDC]-0.11) > 1e-9 {
+		t.Errorf("SDC FIT = %v", inj.PerClass[fault.ClassSDC])
+	}
+	if math.Abs(inj.PerClass[fault.ClassAppCrash]-0.06) > 1e-9 {
+		t.Errorf("AppCrash FIT = %v", inj.PerClass[fault.ClassAppCrash])
+	}
+	if math.Abs(inj.PerClass[fault.ClassSysCrash]-0.04) > 1e-9 {
+		t.Errorf("SysCrash FIT = %v", inj.PerClass[fault.ClassSysCrash])
+	}
+	if math.Abs(inj.Total()-0.21) > 1e-9 {
+		t.Errorf("Total = %v", inj.Total())
+	}
+	if math.Abs(inj.SDCApp()-0.17) > 1e-9 {
+		t.Errorf("SDCApp = %v", inj.SDCApp())
+	}
+	// Per-component breakdown must sum to the totals.
+	var sdc float64
+	for _, per := range inj.PerComponent {
+		sdc += per[fault.ClassSDC]
+	}
+	if math.Abs(sdc-inj.PerClass[fault.ClassSDC]) > 1e-12 {
+		t.Error("per-component SDC does not sum to total")
+	}
+}
+
+func TestRatioConvention(t *testing.T) {
+	if r := Ratio(10, 2); r != 5 {
+		t.Errorf("beam-higher ratio = %v", r)
+	}
+	if r := Ratio(2, 10); r != -5 {
+		t.Errorf("injection-higher ratio = %v", r)
+	}
+	if r := Ratio(3, 3); r != 1 {
+		t.Errorf("equal ratio = %v", r)
+	}
+	// Zero floors keep ratios finite.
+	if r := Ratio(0, 0); math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Errorf("zero/zero ratio = %v", r)
+	}
+	if r := Ratio(1, 0); r <= 0 || math.IsInf(r, 0) {
+		t.Errorf("beam-only ratio = %v", r)
+	}
+}
+
+func TestCompareAndAggregate(t *testing.T) {
+	inj := FromInjection(fakeWorkload(), 0.001)
+	bw := &beam.WorkloadResult{
+		Workload: "w",
+		Fluence:  1e9,
+		Events: map[fault.Class]float64{
+			// FIT = events/fluence * 13e9: 0.11 FIT SDC needs ~0.00846 events.
+			fault.ClassSDC:      0.11 / 13,
+			fault.ClassAppCrash: 0.6 / 13,
+			fault.ClassSysCrash: 1.3 / 13,
+		},
+	}
+	cmp := Compare(bw, inj)
+	if math.Abs(cmp.Beam[fault.ClassSDC]-0.11) > 1e-9 {
+		t.Fatalf("beam SDC FIT = %v", cmp.Beam[fault.ClassSDC])
+	}
+	if r := cmp.ClassRatio(fault.ClassSDC); math.Abs(math.Abs(r)-1) > 0.01 {
+		t.Errorf("SDC ratio = %v, want ~1 in magnitude", r)
+	}
+	if r := cmp.ClassRatio(fault.ClassAppCrash); r < 9 || r > 11 {
+		t.Errorf("AppCrash ratio = %v, want ~10", r)
+	}
+	if r := cmp.ClassRatio(fault.ClassSysCrash); r < 30 || r > 35 {
+		t.Errorf("SysCrash ratio = %v, want ~32.5", r)
+	}
+	agg := AggregateComparisons([]Comparison{cmp})
+	if agg.Workloads != 1 {
+		t.Fatal("workload count")
+	}
+	if math.Abs(math.Abs(agg.RatioSDC)-1) > 0.01 {
+		t.Errorf("aggregate SDC ratio = %v", agg.RatioSDC)
+	}
+	if agg.RatioTotal < 5 || agg.RatioTotal > 12 {
+		t.Errorf("aggregate total ratio = %v, want high single digits", agg.RatioTotal)
+	}
+	if agg.BeamTotal <= agg.BeamSDCApp || agg.BeamSDCApp <= agg.BeamSDC {
+		t.Error("beam accumulation must be monotone")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := AggregateComparisons(nil)
+	if agg.Workloads != 0 || agg.BeamSDC != 0 {
+		t.Errorf("empty aggregate = %+v", agg)
+	}
+}

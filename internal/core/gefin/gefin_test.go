@@ -1,0 +1,198 @@
+package gefin
+
+import (
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/harness"
+	"armsefi/internal/soc"
+)
+
+func smallConfig() Config {
+	return Config{FaultsPerComponent: 25, Seed: 77}
+}
+
+func runSmall(t *testing.T, cfg Config, workload string) *WorkloadResult {
+	t.Helper()
+	spec, ok := bench.ByName(workload)
+	if !ok {
+		t.Fatalf("workload %s missing", workload)
+	}
+	res, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCampaignShape(t *testing.T) {
+	res := runSmall(t, smallConfig(), "qsort")
+	if len(res.Components) != fault.NumComponents {
+		t.Fatalf("components = %d", len(res.Components))
+	}
+	for _, c := range res.Components {
+		total := 0
+		for _, n := range c.Counts {
+			total += n
+		}
+		if total != c.N {
+			t.Errorf("%v: counts sum %d != N %d", c.Comp, total, c.N)
+		}
+		if avf := c.AVF(); avf < 0 || avf > 1 {
+			t.Errorf("%v: AVF %f out of range", c.Comp, avf)
+		}
+		if m := c.ErrorMargin(); m <= 0 || m > 0.5 {
+			t.Errorf("%v: margin %f out of range", c.Comp, m)
+		}
+		if c.SizeBits == 0 {
+			t.Errorf("%v: zero size", c.Comp)
+		}
+	}
+	if res.GoldenCycles == 0 || res.GoldenInstrs == 0 {
+		t.Error("golden run metrics missing")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	a := runSmall(t, smallConfig(), "crc32")
+	b := runSmall(t, smallConfig(), "crc32")
+	for i := range a.Components {
+		for cls, n := range a.Components[i].Counts {
+			if b.Components[i].Counts[cls] != n {
+				t.Fatalf("%v %v: %d vs %d — campaign not reproducible",
+					a.Components[i].Comp, cls, n, b.Components[i].Counts[cls])
+			}
+		}
+	}
+}
+
+func TestSeedChangesOutcomes(t *testing.T) {
+	cfg2 := smallConfig()
+	cfg2.Seed = 78
+	a := runSmall(t, smallConfig(), "crc32")
+	b := runSmall(t, cfg2, "crc32")
+	same := true
+	for i := range a.Components {
+		for cls, n := range a.Components[i].Counts {
+			if b.Components[i].Counts[cls] != n {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical campaigns (suspicious)")
+	}
+}
+
+// TestTLBTagAblation verifies the paper's observation that virtual-tag
+// flips are orders of magnitude more benign than physical-page flips.
+func TestTLBTagRegionSampling(t *testing.T) {
+	cfg := smallConfig()
+	cfg.FaultsPerComponent = 30
+	cfg.Components = []fault.Component{fault.CompDTLB}
+	phys := runSmall(t, cfg, "qsort")
+
+	cfg.TLBFullEntry = true
+	full := runSmall(t, cfg, "qsort")
+
+	pa, _ := phys.Component(fault.CompDTLB)
+	fa, _ := full.Component(fault.CompDTLB)
+	// Full-entry sampling dilutes faults over the ~half of the entry that
+	// is the harmless virtual tag, so its AVF must not exceed the
+	// physical-region AVF (ties possible at small samples).
+	if fa.AVF() > pa.AVF() {
+		t.Errorf("full-entry AVF %f > physical-region AVF %f", fa.AVF(), pa.AVF())
+	}
+}
+
+func TestWorkloadLookup(t *testing.T) {
+	res := &Result{Workloads: []WorkloadResult{{Workload: "a"}, {Workload: "b"}}}
+	if w, ok := res.Workload("b"); !ok || w.Workload != "b" {
+		t.Error("lookup failed")
+	}
+	if _, ok := res.Workload("zzz"); ok {
+		t.Error("phantom workload found")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{FaultsPerComponent: 3, Seed: 5, Components: []fault.Component{fault.CompRegFile}}
+	calls := 0
+	_, err := RunWorkload(cfg, spec, func(w string, comp fault.Component, done, total int) {
+		calls++
+		if w != "crc32" || comp != fault.CompRegFile || total != 3 {
+			t.Errorf("bad progress: %s %v %d/%d", w, comp, done, total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("progress called %d times, want 3", calls)
+	}
+}
+
+// TestPageTableLineStrikeIsNeverBenign pins down the paper's System-Crash
+// mechanism deterministically: with warm (live-board) caches, the page
+// table sits in the L1D. Flipping a physical-page-number bit of the PTE
+// that maps the application's first code page guarantees a wrong
+// translation on the first user fetch — the fault cannot be masked.
+func TestPageTableLineStrikeIsNeverBenign(t *testing.T) {
+	spec, _ := bench.ByName("susan_s")
+	built, err := spec.Build(soc.UserAsmConfig(), bench.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := harness.New(soc.PresetZynq(), soc.ModelAtomic, built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PTE for the app entry page lives at PageTableBase + vpn*4.
+	pteAddr := soc.PageTableBase + (soc.UserTextBase>>12)*4
+
+	// Locate the L1D bit index holding that PTE in the warm state.
+	wb.Machine.RestoreSnapshot(wb.Snap, true)
+	l1d := wb.Machine.Mem.L1D
+	lineBytes := uint64(l1d.Config().LineBytes)
+	target := uint64(0)
+	found := false
+	for bit := uint64(0); bit < l1d.SizeBits(); bit += lineBytes * 8 {
+		addr, valid, _ := l1d.LineInfo(bit)
+		if valid && addr == pteAddr&^uint32(lineBytes-1) {
+			off := uint64(pteAddr) % lineBytes // byte offset of the PTE in its line
+			target = bit + off*8 + 14          // a PPN bit (bit 14 of the PTE word)
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("page-table line not resident in warm L1D — boot path changed?")
+	}
+	cls, ctx := wb.RunFaultDetail(fault.Fault{Comp: fault.CompL1D, Bit: target, Cycle: 0}, true)
+	if !ctx.LineValid || !ctx.KernelOwned() {
+		t.Fatalf("context = %+v, want live kernel-owned line", ctx)
+	}
+	if cls == fault.ClassMasked {
+		t.Fatalf("PPN flip in the app's code-page PTE was masked")
+	}
+}
+
+func TestContextCountsConsistent(t *testing.T) {
+	cfg := smallConfig()
+	cfg.FaultsPerComponent = 20
+	res := runSmall(t, cfg, "crc32")
+	for _, c := range res.Components {
+		for _, cls := range fault.Classes() {
+			if c.KernelStruck[cls] > c.ValidStruck[cls] {
+				t.Errorf("%v/%v: kernel-struck %d exceeds valid-struck %d",
+					c.Comp, cls, c.KernelStruck[cls], c.ValidStruck[cls])
+			}
+			if c.ValidStruck[cls] > c.Counts[cls] {
+				t.Errorf("%v/%v: valid-struck %d exceeds outcomes %d",
+					c.Comp, cls, c.ValidStruck[cls], c.Counts[cls])
+			}
+		}
+	}
+}

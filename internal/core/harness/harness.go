@@ -1,0 +1,109 @@
+// Package harness prepares workloads for reliability experiments: it
+// boots a machine, stages the workload and its input, captures the
+// post-boot snapshot (the gem5-checkpoint analogue), validates the golden
+// run against the native reference, and exposes single-fault runs with
+// outcome classification. Both the GeFIN-like injection campaigns and the
+// beam simulator build on it.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/soc"
+)
+
+// Default cycle budgets.
+const (
+	// BootBudget bounds kernel boot.
+	BootBudget = 50_000_000
+	// GoldenBudget bounds a fault-free workload run.
+	GoldenBudget = 4_000_000_000
+)
+
+// Workbench is a machine prepared to run one workload repeatedly.
+type Workbench struct {
+	Machine *soc.Machine
+	Built   *bench.Built
+	Snap    *soc.Snapshot
+	// Golden is the fault-free run from the cold post-boot snapshot (the
+	// conditions of every injection run).
+	Golden soc.Result
+	// Watchdog is the cycle budget for faulty runs before the host declares
+	// a hang.
+	Watchdog uint64
+}
+
+// New builds a machine for the preset and model, loads the workload, boots,
+// snapshots, and validates the golden run bit-for-bit against the native
+// reference output.
+func New(cfg soc.Config, model soc.ModelKind, built *bench.Built) (*Workbench, error) {
+	m, err := soc.NewMachine(cfg, model)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	if err := m.LoadApp(built.Program); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	if len(built.Input) > 0 {
+		if err := m.PokeBytes(built.InputAddr, built.Input); err != nil {
+			return nil, fmt.Errorf("harness: staging input: %w", err)
+		}
+	}
+	if err := m.Boot(BootBudget); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	w := &Workbench{Machine: m, Built: built, Snap: m.SaveSnapshot()}
+	m.RestoreSnapshot(w.Snap, false)
+	w.Golden = m.Run(GoldenBudget)
+	if !w.Golden.CleanExit() {
+		return nil, fmt.Errorf("harness: golden run of %s/%s did not exit cleanly: %v code=%#x",
+			built.Spec.Name, built.Scale, w.Golden.Outcome, w.Golden.ExitCode)
+	}
+	if !bytes.Equal(w.Golden.Output, built.Golden) {
+		return nil, fmt.Errorf("harness: golden output of %s/%s diverges from the native reference (%d vs %d bytes)",
+			built.Spec.Name, built.Scale, len(w.Golden.Output), len(built.Golden))
+	}
+	w.Watchdog = 2*w.Golden.Cycles + 50*uint64(cfg.TimerPeriod)
+	return w, nil
+}
+
+// RunFault restores the cold snapshot (caches reset, as GeFIN does on every
+// experiment), injects the fault at its cycle, runs to completion or
+// watchdog, and classifies the outcome.
+func (w *Workbench) RunFault(f fault.Fault) fault.Class {
+	return w.runFault(f, false)
+}
+
+// RunFaultWarm is the warm-cache ablation: injection runs start from the
+// live post-boot cache state instead of reset caches.
+func (w *Workbench) RunFaultWarm(f fault.Fault) fault.Class {
+	return w.runFault(f, true)
+}
+
+func (w *Workbench) runFault(f fault.Fault, warm bool) fault.Class {
+	cls, _ := w.RunFaultDetail(f, warm)
+	return cls
+}
+
+// RunFaultDetail runs one fault and additionally reports what it struck
+// (resolved at the injection instant): live vs idle content, kernel vs
+// user ownership — the injector-side observability of Section IV-C.
+func (w *Workbench) RunFaultDetail(f fault.Fault, warm bool) (fault.Class, fault.Context) {
+	w.Machine.RestoreSnapshot(w.Snap, warm)
+	var ctx fault.Context
+	res := w.Machine.RunWithInjection(w.Watchdog, f.Cycle, func() {
+		ctx = fault.ContextOf(w.Machine, f)
+		fault.Apply(w.Machine, f)
+	})
+	return fault.Classify(res, w.Built.Golden, w.Machine.Cfg.TimerPeriod), ctx
+}
+
+// RunClean restores the cold snapshot and runs fault-free; useful for
+// timing and determinism checks.
+func (w *Workbench) RunClean() soc.Result {
+	w.Machine.RestoreSnapshot(w.Snap, false)
+	return w.Machine.Run(w.Watchdog)
+}

@@ -1,0 +1,160 @@
+// Package cpu implements the two CPU models of the simulated platform,
+// mirroring the two gem5 models the paper uses:
+//
+//   - Atomic: a fast functional model with approximate timing, used for
+//     golden runs and the architecture-level row of Table I.
+//   - Detailed: a cycle-approximate out-of-order core (rename, ROB, issue
+//     queue, store buffer, branch prediction) whose physical register file
+//     is a fault-injection target, used for all reliability experiments.
+//
+// Both models execute identical ISA semantics (package isa) over the same
+// memory system (package mem), so functional outputs agree bit-for-bit
+// between models while timing differs.
+package cpu
+
+import (
+	"fmt"
+
+	"armsefi/internal/isa"
+	"armsefi/internal/mem"
+)
+
+// IRQLine is an interrupt source sampled by the core at instruction
+// boundaries (atomic) or commit (detailed).
+type IRQLine interface {
+	Pending() bool
+}
+
+// NeverIRQ is an IRQLine that never asserts, for bare-metal tests.
+type NeverIRQ struct{}
+
+// Pending implements IRQLine.
+func (NeverIRQ) Pending() bool { return false }
+
+// Core is the interface shared by the two CPU models.
+type Core interface {
+	// Reset initialises the core to the reset vector in SVC mode with
+	// interrupts masked.
+	Reset()
+	// StepCycle advances simulated time and returns the number of cycles
+	// consumed (the detailed model returns 1; the atomic model returns the
+	// cost of one instruction).
+	StepCycle() int
+	// Cycles returns the total simulated cycles.
+	Cycles() uint64
+	// Instructions returns the number of committed instructions.
+	Instructions() uint64
+	// Counters returns the performance counters.
+	Counters() Counters
+	// Fatal reports whether the core has reached an unrecoverable state
+	// (e.g., a corrupted CPSR mode field).
+	Fatal() bool
+	// Mode returns the current privilege mode.
+	Mode() isa.Mode
+	// PC returns the architectural (committed) program counter.
+	PC() uint32
+	// Reg returns the committed value of an architectural register.
+	Reg(r isa.Reg) uint32
+	// RegFileBits returns the size of the model's register-file injection
+	// surface in bits.
+	RegFileBits() uint64
+	// FlipRegFileBit inverts one bit of the register file.
+	FlipRegFileBit(bit uint64)
+}
+
+// Counters are the per-run performance counters compared between the two
+// platform presets in the Section IV-D methodology check.
+type Counters struct {
+	Cycles       uint64
+	Instructions uint64
+	BranchMisses uint64
+	L1DAccesses  uint64
+	L1DMisses    uint64
+	DTLBMisses   uint64
+	L1IMisses    uint64
+	ITLBMisses   uint64
+}
+
+// CounterNames lists the seven hardware counters of Section IV-D in
+// presentation order (plus instructions, which the paper uses implicitly to
+// align runs).
+var CounterNames = []string{
+	"cycles", "branch_misses", "l1d_accesses", "l1d_misses",
+	"dtlb_misses", "l1i_misses", "itlb_misses",
+}
+
+// Value returns a counter by its Section IV-D name.
+func (c Counters) Value(name string) (uint64, error) {
+	switch name {
+	case "cycles":
+		return c.Cycles, nil
+	case "instructions":
+		return c.Instructions, nil
+	case "branch_misses":
+		return c.BranchMisses, nil
+	case "l1d_accesses":
+		return c.L1DAccesses, nil
+	case "l1d_misses":
+		return c.L1DMisses, nil
+	case "dtlb_misses":
+		return c.DTLBMisses, nil
+	case "l1i_misses":
+		return c.L1IMisses, nil
+	case "itlb_misses":
+		return c.ITLBMisses, nil
+	default:
+		return 0, fmt.Errorf("cpu: unknown counter %q", name)
+	}
+}
+
+// vectorFor maps a memory fault to its exception vector, split by access
+// type exactly as the hardware does.
+func vectorFor(acc mem.Access, _ *mem.Fault) isa.Vector {
+	if acc == mem.AccessFetch {
+		return isa.VecPrefetchAbort
+	}
+	return isa.VecDataAbort
+}
+
+// loadStoreSize returns the access width of a memory operation.
+func loadStoreSize(op isa.Op) uint32 {
+	switch op {
+	case isa.OpLDRB, isa.OpSTRB:
+		return 1
+	case isa.OpLDRH, isa.OpSTRH:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// bankIndex maps a privileged mode to its banked-register slot.
+func bankIndex(m isa.Mode) int {
+	switch m {
+	case isa.ModeUser:
+		return 0
+	case isa.ModeSVC:
+		return 1
+	case isa.ModeIRQ:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// ArchState is the committed architectural state of a core, captured at a
+// quiescent point (pipeline empty). It is the CPU half of a machine
+// snapshot: both models can save into and load from it, which is how golden
+// boot state moves between the atomic and detailed models.
+type ArchState struct {
+	PC     uint32
+	Regs   [isa.NumRegs]uint32
+	Flags  isa.Flags
+	Mode   isa.Mode
+	IRQOff bool
+	VBAR   uint32
+	SPBank [3]uint32
+	ELR    [3]uint32
+	SPSR   [3]isa.CPSR
+	TTBR   uint32
+}

@@ -1,0 +1,66 @@
+package cpu
+
+import (
+	"testing"
+
+	"armsefi/internal/asm"
+)
+
+const benchLoop = `
+	mov r0, #0
+	ldr r1, =200000
+loop:
+	add r0, r0, r1
+	eor r2, r0, r1
+	and r3, r2, #0xFF
+	sub r1, #1
+	cmp r1, #0
+	bgt loop
+done:
+	b done
+`
+
+func benchProg(b *testing.B) *asm.Program {
+	b.Helper()
+	p, err := asm.Assemble("bench.s", benchLoop, asm.Config{TextBase: 0, DataBase: 0x4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkAtomicModel measures functional-model simulation throughput
+// (1.5M simulated cycles per op).
+func BenchmarkAtomicModel(b *testing.B) {
+	prog := benchProg(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := bareSystem()
+		if err := sys.Bus.DRAM().LoadImage(prog.TextBase, prog.Text); err != nil {
+			b.Fatal(err)
+		}
+		c := NewAtomic(sys, NeverIRQ{})
+		b.StartTimer()
+		for c.Cycles() < 1_500_000 {
+			c.StepCycle()
+		}
+	}
+}
+
+// BenchmarkDetailedModel measures out-of-order model simulation throughput
+// (1.5M simulated cycles per op).
+func BenchmarkDetailedModel(b *testing.B) {
+	prog := benchProg(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := bareSystem()
+		if err := sys.Bus.DRAM().LoadImage(prog.TextBase, prog.Text); err != nil {
+			b.Fatal(err)
+		}
+		c := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+		b.StartTimer()
+		for c.Cycles() < 1_500_000 {
+			c.StepCycle()
+		}
+	}
+}

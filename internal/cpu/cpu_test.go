@@ -1,0 +1,724 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"armsefi/internal/asm"
+	"armsefi/internal/isa"
+	"armsefi/internal/mem"
+)
+
+// bareSystem builds a small memory system with no MMU (TTBR=0: identity
+// mapping, full permissions) for bare-metal core tests.
+func bareSystem() *mem.System {
+	dram := mem.NewDRAM(1 << 20)
+	bus := mem.NewBus(dram)
+	return mem.NewSystem(mem.SystemConfig{
+		L1I:        mem.CacheConfig{Name: "l1i", SizeBytes: 4 << 10, LineBytes: 32, Ways: 2, HitCycles: 1},
+		L1D:        mem.CacheConfig{Name: "l1d", SizeBytes: 4 << 10, LineBytes: 32, Ways: 2, HitCycles: 1},
+		L2:         mem.CacheConfig{Name: "l2", SizeBytes: 32 << 10, LineBytes: 32, Ways: 4, HitCycles: 4},
+		TLBEntries: 8,
+	}, bus)
+}
+
+// assembleAt assembles a bare-metal program with text at address 0.
+func assembleAt(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble("bare.s", src, asm.Config{TextBase: 0, DataBase: 0x4000})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// load stages a program into a fresh system.
+func load(t *testing.T, p *asm.Program) *mem.System {
+	t.Helper()
+	sys := bareSystem()
+	if err := sys.Bus.DRAM().LoadImage(p.TextBase, p.Text); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) > 0 {
+		if err := sys.Bus.DRAM().LoadImage(p.DataBase, p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// runSteps steps a core for a bounded number of cycles or until it spins
+// on a `b .` instruction (PC stable across steps with no work in flight is
+// detected by simply exhausting the budget).
+func runSteps(core Core, maxCycles int) {
+	for core.Cycles() < uint64(maxCycles) {
+		core.StepCycle()
+	}
+}
+
+// bothModels runs the program on both CPU models and invokes check on each.
+func bothModels(t *testing.T, src string, cycles int, check func(name string, c Core)) {
+	t.Helper()
+	prog := assembleAt(t, src)
+	{
+		sys := load(t, prog)
+		c := NewAtomic(sys, NeverIRQ{})
+		runSteps(c, cycles)
+		check("atomic", c)
+	}
+	{
+		sys := load(t, prog)
+		c := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+		runSteps(c, cycles)
+		check("detailed", c)
+	}
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	src := `
+	mov r0, #10
+	mov r1, #3
+	mul r2, r0, r1
+	sub r3, r2, #5
+	lsl r4, r3, #2
+	sdiv r5, r4, r1
+	and r6, r5, #0xF
+done:
+	b done
+`
+	bothModels(t, src, 400, func(name string, c Core) {
+		want := map[isa.Reg]uint32{
+			isa.R2: 30, isa.R3: 25, isa.R4: 100, isa.R5: 33, isa.R6: 1,
+		}
+		for r, v := range want {
+			if got := c.Reg(r); got != v {
+				t.Errorf("%s: %v = %d, want %d", name, r, got, v)
+			}
+		}
+	})
+}
+
+func TestConditionalExecution(t *testing.T) {
+	src := `
+	mov r0, #5
+	cmp r0, #5
+	moveq r1, #1
+	movne r2, #1
+	addeq r3, r0, #10
+	subne r4, r0, #10
+	mov r5, #7      ; unconditional afterwards still works
+done:
+	b done
+`
+	bothModels(t, src, 300, func(name string, c Core) {
+		if c.Reg(isa.R1) != 1 || c.Reg(isa.R2) != 0 || c.Reg(isa.R3) != 15 ||
+			c.Reg(isa.R4) != 0 || c.Reg(isa.R5) != 7 {
+			t.Errorf("%s: r1=%d r2=%d r3=%d r4=%d r5=%d",
+				name, c.Reg(isa.R1), c.Reg(isa.R2), c.Reg(isa.R3), c.Reg(isa.R4), c.Reg(isa.R5))
+		}
+	})
+}
+
+func TestLoadStoreAndForwarding(t *testing.T) {
+	src := `
+	ldr r0, =buf
+	ldr r1, =0xCAFEBABE
+	str r1, [r0]
+	ldr r2, [r0]        ; forwarded or from cache
+	strh r1, [r0, #8]
+	ldrh r3, [r0, #8]
+	strb r1, [r0, #12]
+	ldrb r4, [r0, #12]
+	ldr r5, [r0, #16]   ; untouched word is zero
+done:
+	b done
+.data
+buf: .space 32
+`
+	bothModels(t, src, 500, func(name string, c Core) {
+		if c.Reg(isa.R2) != 0xCAFEBABE {
+			t.Errorf("%s: word store/load = %#x", name, c.Reg(isa.R2))
+		}
+		if c.Reg(isa.R3) != 0xBABE {
+			t.Errorf("%s: half store/load = %#x", name, c.Reg(isa.R3))
+		}
+		if c.Reg(isa.R4) != 0xBE {
+			t.Errorf("%s: byte store/load = %#x", name, c.Reg(isa.R4))
+		}
+		if c.Reg(isa.R5) != 0 {
+			t.Errorf("%s: clean word = %#x", name, c.Reg(isa.R5))
+		}
+	})
+}
+
+func TestCallAndReturn(t *testing.T) {
+	src := `
+	ldr sp, =0x8000
+	mov r0, #4
+	bl double
+	mov r5, r0
+	bl double
+	mov r6, r0
+done:
+	b done
+double:
+	add r0, r0, r0
+	bx lr
+`
+	bothModels(t, src, 500, func(name string, c Core) {
+		if c.Reg(isa.R5) != 8 || c.Reg(isa.R6) != 16 {
+			t.Errorf("%s: r5=%d r6=%d", name, c.Reg(isa.R5), c.Reg(isa.R6))
+		}
+	})
+}
+
+func TestLoopWithBranchPrediction(t *testing.T) {
+	// A data-dependent branch pattern: count set bits of a constant.
+	src := `
+	ldr r0, =0xA5A5F00F
+	mov r1, #0          ; popcount
+	mov r2, #32
+loop:
+	tst r0, #1
+	addne r1, r1, #1
+	lsr r0, r0, #1
+	sub r2, #1
+	cmp r2, #0
+	bgt loop
+done:
+	b done
+`
+	bothModels(t, src, 3000, func(name string, c Core) {
+		if c.Reg(isa.R1) != 16 {
+			t.Errorf("%s: popcount = %d, want 16", name, c.Reg(isa.R1))
+		}
+	})
+}
+
+func TestPCWriteIsJump(t *testing.T) {
+	src := `
+	ldr r0, =target
+	mov pc, r0
+	mov r1, #99        ; must be skipped
+target:
+	mov r2, #7
+done:
+	b done
+`
+	bothModels(t, src, 300, func(name string, c Core) {
+		if c.Reg(isa.R1) != 0 || c.Reg(isa.R2) != 7 {
+			t.Errorf("%s: r1=%d r2=%d", name, c.Reg(isa.R1), c.Reg(isa.R2))
+		}
+	})
+}
+
+func TestExceptionVectorAndELR(t *testing.T) {
+	// Vector table at 0; a data abort must jump to vector 4 with ELR
+	// pointing at the faulting instruction.
+	src := `
+	b start            ; 0x00 reset
+	b hang             ; 0x04 undef
+	b hang             ; 0x08 svc
+	b hang             ; 0x0c pabort
+	b dabort           ; 0x10 dabort
+	b hang             ; 0x14 irq
+start:
+	ldr r0, =0x900000  ; beyond 1MB DRAM -> bus error -> data abort
+	mov r9, #0
+faulting:
+	ldr r1, [r0]
+	mov r9, #1         ; must be skipped
+hang:
+	b hang
+dabort:
+	mrs r2, elr
+	ldr r3, =faulting
+	mov r4, #1
+	b hang
+`
+	bothModels(t, src, 800, func(name string, c Core) {
+		if c.Reg(isa.R4) != 1 {
+			t.Fatalf("%s: abort handler not reached", name)
+		}
+		if c.Reg(isa.R9) != 0 {
+			t.Errorf("%s: instruction after fault committed", name)
+		}
+		if c.Reg(isa.R2) != c.Reg(isa.R3) {
+			t.Errorf("%s: ELR = %#x, want %#x", name, c.Reg(isa.R2), c.Reg(isa.R3))
+		}
+	})
+}
+
+func TestSVCAndERET(t *testing.T) {
+	src := `
+	b start
+	b hang
+	b svc_handler      ; 0x08
+	b hang
+	b hang
+	b hang
+start:
+	mov r0, #5
+	svc #0
+	mov r5, r0         ; after return: r0 was doubled by the handler
+done:
+	b done
+hang:
+	b hang
+svc_handler:
+	add r0, r0, r0
+	eret
+`
+	bothModels(t, src, 500, func(name string, c Core) {
+		if c.Reg(isa.R5) != 10 {
+			t.Errorf("%s: r5 = %d, want 10", name, c.Reg(isa.R5))
+		}
+	})
+}
+
+func TestUndefInstruction(t *testing.T) {
+	src := `
+	b start
+	b undef_handler    ; 0x04
+	b hang
+	b hang
+	b hang
+	b hang
+start:
+	.word 0xFFFFFFFF   ; not a valid instruction
+	mov r9, #1
+hang:
+	b hang
+undef_handler:
+	mov r4, #1
+	b hang
+`
+	// .word in .text: allowed by the assembler? Data directives are
+	// section-agnostic in this assembler.
+	bothModels(t, src, 400, func(name string, c Core) {
+		if c.Reg(isa.R4) != 1 {
+			t.Errorf("%s: undef handler not reached", name)
+		}
+	})
+}
+
+func TestBankedStackPointers(t *testing.T) {
+	src := `
+	ldr sp, =0x1000    ; SVC stack
+	mrs r2, cpsr
+	ldr r1, =0x83      ; IRQ mode, IRQs masked
+	msr cpsr, r1
+	ldr sp, =0x2000    ; IRQ stack
+	mov r3, sp
+	msr cpsr, r2       ; back to SVC
+	mov r4, sp
+done:
+	b done
+`
+	bothModels(t, src, 400, func(name string, c Core) {
+		if c.Reg(isa.R3) != 0x2000 {
+			t.Errorf("%s: IRQ sp = %#x", name, c.Reg(isa.R3))
+		}
+		if c.Reg(isa.R4) != 0x1000 {
+			t.Errorf("%s: SVC sp not restored: %#x", name, c.Reg(isa.R4))
+		}
+	})
+}
+
+// pulseIRQ asserts once after a trigger cycle until acknowledged by the
+// test (cleared manually).
+type pulseIRQ struct {
+	core    Core
+	at      uint64
+	cleared bool
+}
+
+func (p *pulseIRQ) Pending() bool {
+	return !p.cleared && p.core != nil && p.core.Cycles() >= p.at
+}
+
+func TestIRQDelivery(t *testing.T) {
+	src := `
+	b start
+	b hang
+	b hang
+	b hang
+	b hang
+	b irq_handler      ; 0x14
+start:
+	mrs r0, cpsr
+	bic r0, r0, #0x80  ; enable IRQs
+	msr cpsr, r0
+	mov r1, #0
+spin:
+	add r1, r1, #1
+	cmp r5, #1
+	bne spin
+	mov r6, #1
+done:
+	b done
+hang:
+	b hang
+irq_handler:
+	mov r5, #1
+	eret
+`
+	prog := assembleAt(t, src)
+	for _, model := range []string{"atomic", "detailed"} {
+		sys := load(t, prog)
+		irq := &pulseIRQ{at: 150}
+		var core Core
+		if model == "atomic" {
+			core = NewAtomic(sys, irq)
+		} else {
+			core = NewDetailed(sys, irq, DetailedConfig{})
+		}
+		irq.core = core
+		for core.Cycles() < 2000 {
+			core.StepCycle()
+			if core.Reg(isa.R5) == 1 {
+				irq.cleared = true
+			}
+		}
+		if core.Reg(isa.R6) != 1 {
+			t.Errorf("%s: IRQ not delivered or spin not resumed (r1=%d r5=%d)",
+				model, core.Reg(isa.R1), core.Reg(isa.R5))
+		}
+	}
+}
+
+// TestModelEquivalenceRandomALU runs random straight-line ALU programs on
+// both models and requires identical architectural results.
+func TestModelEquivalenceRandomALU(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	mnems := []string{"add", "sub", "rsb", "and", "orr", "eor", "bic", "mul", "adc", "sbc"}
+	for trial := 0; trial < 60; trial++ {
+		src := "\tldr sp, =0x8000\n"
+		// Seed registers with random constants.
+		for r := 0; r < 8; r++ {
+			src += "\tldr r" + itoa(r) + ", =" + itoa(int(rng.Uint32())) + "\n"
+		}
+		for i := 0; i < 30; i++ {
+			m := mnems[rng.Intn(len(mnems))]
+			if rng.Intn(3) == 0 {
+				m += "s"
+			}
+			rd, rn, rm := rng.Intn(8), rng.Intn(8), rng.Intn(8)
+			src += "\t" + m + " r" + itoa(rd) + ", r" + itoa(rn) + ", r" + itoa(rm)
+			if sh := rng.Intn(4); sh == 0 {
+				src += ", lsl #" + itoa(rng.Intn(31)+1)
+			}
+			src += "\n"
+		}
+		src += "done:\n\tb done\n"
+		prog := assembleAt(t, src)
+
+		results := make([][8]uint32, 2)
+		for mi, model := range []string{"atomic", "detailed"} {
+			sys := load(t, prog)
+			var core Core
+			if model == "atomic" {
+				core = NewAtomic(sys, NeverIRQ{})
+			} else {
+				core = NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+			}
+			runSteps(core, 1500)
+			for r := 0; r < 8; r++ {
+				results[mi][r] = core.Reg(isa.Reg(r))
+			}
+		}
+		if results[0] != results[1] {
+			t.Fatalf("trial %d: models diverge\natomic:   %v\ndetailed: %v\nprogram:\n%s",
+				trial, results[0], results[1], src)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	u := uint64(v)
+	if neg {
+		u = uint64(-int64(v))
+	}
+	var buf [24]byte
+	i := len(buf)
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func TestRegFileInjectionSurface(t *testing.T) {
+	sys := load(t, assembleAt(t, "done:\n\tb done\n"))
+	d := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+	if d.RegFileBits() != 56*32 {
+		t.Errorf("detailed regfile bits = %d, want %d", d.RegFileBits(), 56*32)
+	}
+	// Flip/unflip must be involutive on committed state.
+	before := d.Reg(isa.R3)
+	d.FlipRegFileBit(3*32 + 7)
+	d.FlipRegFileBit(3*32 + 7)
+	if d.Reg(isa.R3) != before {
+		t.Error("double flip changed state")
+	}
+	a := NewAtomic(sys, NeverIRQ{})
+	if a.RegFileBits() != 16*32 {
+		t.Errorf("atomic regfile bits = %d", a.RegFileBits())
+	}
+}
+
+func TestDetailedSquashesWrongPath(t *testing.T) {
+	// A tight loop mispredicts at least once at the end; the detailed
+	// model must report squashed uops but identical architecture.
+	src := `
+	mov r0, #0
+	mov r1, #20
+loop:
+	add r0, r0, r1
+	sub r1, #1
+	cmp r1, #0
+	bgt loop
+done:
+	b done
+`
+	prog := assembleAt(t, src)
+	sys := load(t, prog)
+	d := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+	runSteps(d, 2000)
+	if d.Reg(isa.R0) != 210 {
+		t.Fatalf("sum = %d, want 210", d.Reg(isa.R0))
+	}
+	if d.SquashedUops() == 0 {
+		t.Error("no squashed uops in a branchy loop")
+	}
+	if d.Counters().BranchMisses == 0 {
+		t.Error("no branch misses recorded")
+	}
+}
+
+func TestSaveLoadArchRoundTrip(t *testing.T) {
+	src := `
+	mov r0, #42
+	ldr sp, =0x3000
+done:
+	b done
+`
+	prog := assembleAt(t, src)
+	sys := load(t, prog)
+	d := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+	runSteps(d, 300)
+	st := d.SaveArch()
+	if st.Regs[0] != 42 {
+		t.Fatalf("saved r0 = %d", st.Regs[0])
+	}
+	d2 := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+	d2.LoadArch(st)
+	if d2.Reg(isa.R0) != 42 || d2.Reg(isa.SP) != 0x3000 || d2.PC() != st.PC {
+		t.Error("LoadArch did not restore state")
+	}
+	a := NewAtomic(sys, NeverIRQ{})
+	a.LoadArch(st)
+	if a.Reg(isa.R0) != 42 || a.PC() != st.PC {
+		t.Error("atomic LoadArch did not restore state")
+	}
+}
+
+func TestTinyResourcePipelineStillCorrect(t *testing.T) {
+	// A deliberately starved configuration (min physical registers, tiny
+	// ROB/IQ) must still compute correctly — it exercises rename stalls
+	// and free-list pressure.
+	src := `
+	mov r0, #0
+	mov r1, #50
+tight:
+	add r0, r0, r1
+	adds r2, r0, r0
+	adc r3, r2, r1
+	sub r1, #1
+	cmp r1, #0
+	bgt tight
+done:
+	b done
+`
+	prog := assembleAt(t, src)
+	sys := load(t, prog)
+	d := NewDetailed(sys, NeverIRQ{}, DetailedConfig{
+		PhysRegs: numArch + 4, ROBSize: 4, IQSize: 2, FetchQueue: 2, Width: 2,
+	})
+	runSteps(d, 30_000)
+	sys2 := load(t, prog)
+	a := NewAtomic(sys2, NeverIRQ{})
+	runSteps(a, 30_000)
+	for r := isa.Reg(0); r < 4; r++ {
+		if d.Reg(r) != a.Reg(r) {
+			t.Fatalf("r%d: detailed %#x vs atomic %#x", r, d.Reg(r), a.Reg(r))
+		}
+	}
+}
+
+func TestSerializedOpsDrainPipeline(t *testing.T) {
+	// A dense mix of system ops and ordinary code must retire in order.
+	src := `
+	mov r0, #1
+	mrs r1, cpsr
+	add r0, r0, #1
+	mrs r2, cpsr
+	add r0, r0, #1
+	msr spsr, r0
+	mrs r3, spsr
+done:
+	b done
+`
+	bothModels(t, src, 600, func(name string, c Core) {
+		if c.Reg(isa.R0) != 3 {
+			t.Errorf("%s: r0 = %d, want 3", name, c.Reg(isa.R0))
+		}
+		if c.Reg(isa.R3) != 3 {
+			t.Errorf("%s: spsr readback = %d, want 3", name, c.Reg(isa.R3))
+		}
+		if c.Reg(isa.R1) != c.Reg(isa.R2) {
+			t.Errorf("%s: cpsr reads differ: %#x vs %#x", name, c.Reg(isa.R1), c.Reg(isa.R2))
+		}
+	})
+}
+
+func TestStoreCommitFault(t *testing.T) {
+	// A store that faults at commit must raise a precise data abort: the
+	// following instruction never commits.
+	src := `
+	b start
+	b hang
+	b hang
+	b hang
+	b dabort
+	b hang
+start:
+	ldr r0, =0x900000  ; outside DRAM
+	mov r9, #0
+	str r9, [r0]
+	mov r9, #1
+hang:
+	b hang
+dabort:
+	mov r4, #1
+	b hang
+`
+	bothModels(t, src, 800, func(name string, c Core) {
+		if c.Reg(isa.R4) != 1 {
+			t.Fatalf("%s: abort handler not reached", name)
+		}
+		if c.Reg(isa.R9) != 0 {
+			t.Errorf("%s: instruction after faulting store committed", name)
+		}
+	})
+}
+
+func TestCounterValuesWired(t *testing.T) {
+	src := `
+	ldr r0, =buf
+	mov r1, #0
+loop:
+	ldr r2, [r0, r1, lsl #2]
+	add r1, #1
+	cmp r1, #64
+	blt loop
+done:
+	b done
+.data
+buf: .space 256
+`
+	prog := assembleAt(t, src)
+	sys := load(t, prog)
+	d := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+	runSteps(d, 3000)
+	c := d.Counters()
+	if c.Instructions == 0 || c.Cycles == 0 {
+		t.Fatal("empty counters")
+	}
+	if c.L1DAccesses < 64 {
+		t.Errorf("L1D accesses = %d, want >= 64", c.L1DAccesses)
+	}
+	if c.L1DMisses == 0 || c.L1IMisses == 0 {
+		t.Errorf("cold-start misses missing: %+v", c)
+	}
+	if _, err := c.Value("bogus"); err == nil {
+		t.Error("bogus counter accepted")
+	}
+}
+
+// TestModelEquivalenceRandomMemPrograms extends the random-program
+// equivalence check to loads, stores, and short forward branches: both
+// models must agree on every register and on the scratch-memory image.
+func TestModelEquivalenceRandomMemPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		src := "\tldr sp, =0x8000\n\tldr r7, =scratch\n"
+		for r := 0; r < 6; r++ {
+			src += "\tldr r" + itoa(r) + ", =" + itoa(int(rng.Uint32())) + "\n"
+		}
+		label := 0
+		for i := 0; i < 24; i++ {
+			switch rng.Intn(5) {
+			case 0: // store to scratch (aligned word within 256 bytes)
+				off := rng.Intn(64) * 4
+				src += "\tstr r" + itoa(rng.Intn(6)) + ", [r7, #" + itoa(off) + "]\n"
+			case 1: // load from scratch
+				off := rng.Intn(64) * 4
+				src += "\tldr r" + itoa(rng.Intn(6)) + ", [r7, #" + itoa(off) + "]\n"
+			case 2: // conditional forward skip
+				src += "\tcmp r" + itoa(rng.Intn(6)) + ", r" + itoa(rng.Intn(6)) + "\n"
+				src += "\tbeq skip" + itoa(label) + "\n"
+				src += "\tadd r" + itoa(rng.Intn(6)) + ", r" + itoa(rng.Intn(6)) + ", #1\n"
+				src += "skip" + itoa(label) + ":\n"
+				label++
+			case 3: // byte store/load
+				off := rng.Intn(250)
+				src += "\tstrb r" + itoa(rng.Intn(6)) + ", [r7, #" + itoa(off) + "]\n"
+				src += "\tldrb r" + itoa(rng.Intn(6)) + ", [r7, #" + itoa(off) + "]\n"
+			default: // ALU op
+				src += "\teor r" + itoa(rng.Intn(6)) + ", r" + itoa(rng.Intn(6)) +
+					", r" + itoa(rng.Intn(6)) + ", ror #" + itoa(1+rng.Intn(30)) + "\n"
+			}
+		}
+		src += "done:\n\tb done\n.data\nscratch: .space 256\n"
+		prog := assembleAt(t, src)
+
+		type state struct {
+			regs [6]uint32
+			mem  []byte
+		}
+		var results [2]state
+		for mi, model := range []string{"atomic", "detailed"} {
+			sys := load(t, prog)
+			var core Core
+			if model == "atomic" {
+				core = NewAtomic(sys, NeverIRQ{})
+			} else {
+				core = NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+			}
+			runSteps(core, 4000)
+			for r := 0; r < 6; r++ {
+				results[mi].regs[r] = core.Reg(isa.Reg(r))
+			}
+			sys.L1D.FlushAll()
+			sys.L2.FlushAll()
+			results[mi].mem = sys.Bus.DRAM().PeekBytes(prog.MustSymbol("scratch"), 256)
+		}
+		if results[0].regs != results[1].regs {
+			t.Fatalf("trial %d: registers diverge\natomic:   %v\ndetailed: %v\nprogram:\n%s",
+				trial, results[0].regs, results[1].regs, src)
+		}
+		if string(results[0].mem) != string(results[1].mem) {
+			t.Fatalf("trial %d: memory diverges\nprogram:\n%s", trial, src)
+		}
+	}
+}

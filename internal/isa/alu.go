@@ -1,0 +1,188 @@
+package isa
+
+import "math"
+
+// ALUResult is the outcome of executing a data-processing operation.
+type ALUResult struct {
+	Value      uint32
+	Flags      Flags
+	FlagsValid bool // whether Flags should be committed (S bit or compare op)
+}
+
+// ExecDP executes the data-processing semantics of op with fully resolved
+// operands. rn is the first operand, op2 the (already shifted) second
+// operand, rdOld the prior value of the destination (used by MLA and MOVT),
+// and cur the current flags (used by ADC/SBC and preserved where an
+// operation leaves C/V unchanged). It is the single source of truth for ALU
+// behaviour, shared by the atomic model, the detailed model, and the
+// gate-level RTL checker.
+func ExecDP(op Op, rn, op2, rdOld uint32, cur Flags, setFlags bool) ALUResult {
+	info := op.Info()
+	wantFlags := setFlags || info.SetsFlags
+	switch op {
+	case OpADD, OpCMN:
+		v, fl := addFlags(rn, op2, 0)
+		return dpResult(v, fl, wantFlags)
+	case OpADC:
+		var c uint32
+		if cur.C {
+			c = 1
+		}
+		v, fl := addFlags(rn, op2, c)
+		return dpResult(v, fl, wantFlags)
+	case OpSUB, OpCMP:
+		v, fl := subFlags(rn, op2, 0)
+		return dpResult(v, fl, wantFlags)
+	case OpSBC:
+		var b uint32
+		if !cur.C {
+			b = 1
+		}
+		v, fl := subFlags(rn, op2, b)
+		return dpResult(v, fl, wantFlags)
+	case OpRSB:
+		v, fl := subFlags(op2, rn, 0)
+		return dpResult(v, fl, wantFlags)
+	case OpAND, OpTST:
+		return logical(rn&op2, cur, wantFlags)
+	case OpORR:
+		return logical(rn|op2, cur, wantFlags)
+	case OpEOR, OpTEQ:
+		return logical(rn^op2, cur, wantFlags)
+	case OpBIC:
+		return logical(rn&^op2, cur, wantFlags)
+	case OpMOV:
+		return logical(op2, cur, wantFlags)
+	case OpMVN:
+		return logical(^op2, cur, wantFlags)
+	case OpLSL:
+		return logical(ShiftLSL.Apply(rn, uint8(op2)), cur, wantFlags)
+	case OpLSR:
+		return logical(ShiftLSR.Apply(rn, uint8(op2)), cur, wantFlags)
+	case OpASR:
+		return logical(ShiftASR.Apply(rn, uint8(op2)), cur, wantFlags)
+	case OpROR:
+		return logical(ShiftROR.Apply(rn, uint8(op2)), cur, wantFlags)
+	case OpMUL:
+		return logical(rn*op2, cur, wantFlags)
+	case OpMLA:
+		return logical(rdOld+rn*op2, cur, wantFlags)
+	case OpSDIV:
+		return logical(sdiv(rn, op2), cur, wantFlags)
+	case OpUDIV:
+		return logical(udiv(rn, op2), cur, wantFlags)
+	case OpMOVW:
+		return ALUResult{Value: op2 & 0xFFFF}
+	case OpMOVT:
+		return ALUResult{Value: rdOld&0xFFFF | op2<<16}
+	case OpFADD:
+		return fpResult(f32(rn)+f32(op2), cur, wantFlags)
+	case OpFSUB:
+		return fpResult(f32(rn)-f32(op2), cur, wantFlags)
+	case OpFMUL:
+		return fpResult(f32(rn)*f32(op2), cur, wantFlags)
+	case OpFDIV:
+		return fpResult(f32(rn)/f32(op2), cur, wantFlags)
+	case OpFCMP:
+		return ALUResult{Flags: fcmpFlags(f32(rn), f32(op2)), FlagsValid: true}
+	case OpFNEG:
+		return fpResult(-f32(op2), cur, wantFlags)
+	case OpFABS:
+		return fpResult(float32(math.Abs(float64(f32(op2)))), cur, wantFlags)
+	case OpFSQRT:
+		return fpResult(float32(math.Sqrt(float64(f32(op2)))), cur, wantFlags)
+	case OpITOF:
+		return fpResult(float32(int32(op2)), cur, wantFlags)
+	case OpFTOI:
+		return logical(ftoi(f32(op2)), cur, wantFlags)
+	default:
+		return ALUResult{}
+	}
+}
+
+func dpResult(v uint32, fl Flags, want bool) ALUResult {
+	return ALUResult{Value: v, Flags: fl, FlagsValid: want}
+}
+
+// logical computes NZ from the result and preserves C and V, as ARM
+// data-processing instructions without a shifter carry-out do.
+func logical(v uint32, cur Flags, want bool) ALUResult {
+	fl := Flags{N: int32(v) < 0, Z: v == 0, C: cur.C, V: cur.V}
+	return ALUResult{Value: v, Flags: fl, FlagsValid: want}
+}
+
+func fpResult(f float32, cur Flags, want bool) ALUResult {
+	return logical(math.Float32bits(f), cur, want)
+}
+
+func addFlags(a, b, carry uint32) (uint32, Flags) {
+	v := a + b + carry
+	return v, Flags{
+		N: int32(v) < 0,
+		Z: v == 0,
+		C: uint64(a)+uint64(b)+uint64(carry) > math.MaxUint32,
+		V: (a^v)&(b^v)&(1<<31) != 0,
+	}
+}
+
+func subFlags(a, b, borrow uint32) (uint32, Flags) {
+	v := a - b - borrow
+	return v, Flags{
+		N: int32(v) < 0,
+		Z: v == 0,
+		C: uint64(a) >= uint64(b)+uint64(borrow),
+		V: (a^b)&(a^v)&(1<<31) != 0,
+	}
+}
+
+// sdiv follows ARM semantics: divide-by-zero yields zero and INT_MIN/-1
+// yields INT_MIN (no trap).
+func sdiv(a, b uint32) uint32 {
+	sa, sb := int32(a), int32(b)
+	if sb == 0 {
+		return 0
+	}
+	if sa == math.MinInt32 && sb == -1 {
+		return uint32(sa)
+	}
+	return uint32(sa / sb)
+}
+
+func udiv(a, b uint32) uint32 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func f32(bits uint32) float32 { return math.Float32frombits(bits) }
+
+// ftoi truncates toward zero with saturation, NaN converting to zero, as the
+// ARM VCVT instruction does.
+func ftoi(f float32) uint32 {
+	switch {
+	case f != f: // NaN
+		return 0
+	case f >= math.MaxInt32:
+		return uint32(int32(math.MaxInt32))
+	case f <= math.MinInt32:
+		return 0x8000_0000 // int32 minimum
+	default:
+		return uint32(int32(f))
+	}
+}
+
+// fcmpFlags mirrors the ARM FPSCR->APSR mapping: N=less-than, Z=equal,
+// C=greater-or-equal-or-unordered, V=unordered.
+func fcmpFlags(a, b float32) Flags {
+	switch {
+	case a != a || b != b: // unordered
+		return Flags{C: true, V: true}
+	case a == b:
+		return Flags{Z: true, C: true}
+	case a < b:
+		return Flags{N: true}
+	default:
+		return Flags{C: true}
+	}
+}

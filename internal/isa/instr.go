@@ -1,0 +1,196 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Encoding layout (32-bit fixed width):
+//
+//	[31:28] cond
+//	[27:22] opcode
+//	[21]    I (second operand is an immediate)
+//	[20]    S (update flags)
+//	[19:16] Rd
+//	[15:12] Rn                      (FmtDP, FmtMem)
+//	[11:0]  imm12, sign-extended    (I=1)
+//	[11:8]  Rm; [7:6] shift type; [5:1] shift amount   (I=0)
+//	[15:0]  imm16                   (FmtMovW)
+//	[21:0]  signed word offset      (FmtBr)
+const (
+	condShift = 28
+	opShift   = 22
+	opMask    = 0x3F
+	immBit    = 1 << 21
+	setBit    = 1 << 20
+	rdShift   = 16
+	rnShift   = 12
+	rmShift   = 8
+	shTShift  = 6
+	shAShift  = 1
+	imm12Mask = 0xFFF
+	imm16Mask = 0xFFFF
+	off22Mask = 0x3FFFFF
+)
+
+// Instruction is a decoded machine instruction.
+type Instruction struct {
+	Op       Op
+	Cond     Cond
+	SetFlags bool
+	Rd       Reg // destination (link register for BL; data register for mem ops)
+	Rn       Reg // first source / base register
+	Rm       Reg // register second operand (when UseImm is false)
+	UseImm   bool
+	Imm      int32     // sign-extended imm12, zero-extended imm16, word offset, or SVC/sysreg number
+	Shift    ShiftType // barrel shift applied to Rm
+	ShAmt    uint8     // shift amount 0..31
+}
+
+// Encode packs the instruction into its 32-bit machine word.
+func (in Instruction) Encode() uint32 {
+	w := uint32(in.Cond)<<condShift | uint32(in.Op&opMask)<<opShift
+	if in.SetFlags {
+		w |= setBit
+	}
+	info := in.Op.Info()
+	switch info.Format {
+	case FmtBr:
+		return w&^uint32(setBit) | uint32(in.Imm)&off22Mask
+	case FmtMovW:
+		return w | uint32(in.Rd)<<rdShift | uint32(in.Imm)&imm16Mask
+	case FmtBX:
+		return w | uint32(in.Rm)<<rmShift
+	case FmtSys:
+		return w | uint32(in.Rd)<<rdShift | uint32(in.Imm)&imm12Mask
+	default: // FmtDP, FmtMem
+		w |= uint32(in.Rd)<<rdShift | uint32(in.Rn)<<rnShift
+		if in.UseImm {
+			return w | immBit | uint32(in.Imm)&imm12Mask
+		}
+		return w | uint32(in.Rm)<<rmShift |
+			uint32(in.Shift)<<shTShift | uint32(in.ShAmt&31)<<shAShift
+	}
+}
+
+// Decode unpacks a machine word. Words with undefined opcodes or an invalid
+// condition field decode to an Instruction whose Op is not Valid; executing
+// one raises an undefined-instruction exception. This is the path by which a
+// bit flip in instruction memory becomes a crash.
+func Decode(w uint32) Instruction {
+	in := Instruction{
+		Op:   Op(w >> opShift & opMask),
+		Cond: Cond(w >> condShift),
+	}
+	if !in.Op.Valid() || in.Cond >= NumConds {
+		in.Op = opInvalid
+		return in
+	}
+	info := in.Op.Info()
+	switch info.Format {
+	case FmtBr:
+		in.Imm = signExtend(w&off22Mask, 22)
+		if in.Op == OpBL {
+			in.Rd = LR
+		}
+	case FmtMovW:
+		in.Rd = Reg(w >> rdShift & 0xF)
+		in.Imm = int32(w & imm16Mask)
+	case FmtBX:
+		in.Rm = Reg(w >> rmShift & 0xF)
+	case FmtSys:
+		in.Rd = Reg(w >> rdShift & 0xF)
+		in.Imm = int32(w & imm12Mask)
+		if (in.Op == OpMRS || in.Op == OpMSR) && in.Imm >= NumSysRegs {
+			// A corrupted system-register index is an undefined instruction.
+			in.Op = opInvalid
+			return Instruction{Cond: in.Cond}
+		}
+	default: // FmtDP, FmtMem
+		in.SetFlags = w&setBit != 0
+		in.Rd = Reg(w >> rdShift & 0xF)
+		in.Rn = Reg(w >> rnShift & 0xF)
+		if w&immBit != 0 {
+			in.UseImm = true
+			in.Imm = signExtend(w&imm12Mask, 12)
+		} else {
+			in.Rm = Reg(w >> rmShift & 0xF)
+			in.Shift = ShiftType(w >> shTShift & 3)
+			in.ShAmt = uint8(w >> shAShift & 31)
+		}
+	}
+	return in
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// String renders the instruction in assembly syntax.
+func (in Instruction) String() string {
+	if !in.Op.Valid() {
+		return "<undefined>"
+	}
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Cond != CondAL {
+		b.WriteString(in.Cond.String())
+	}
+	if in.SetFlags && !in.Op.Info().SetsFlags {
+		b.WriteByte('s')
+	}
+	info := in.Op.Info()
+	switch info.Format {
+	case FmtBr:
+		fmt.Fprintf(&b, " %+d", in.Imm)
+	case FmtMovW:
+		fmt.Fprintf(&b, " %s, #%d", in.Rd, uint32(in.Imm))
+	case FmtBX:
+		fmt.Fprintf(&b, " %s", in.Rm)
+	case FmtSys:
+		switch in.Op {
+		case OpSVC:
+			fmt.Fprintf(&b, " #%d", in.Imm)
+		case OpMRS:
+			fmt.Fprintf(&b, " %s, %s", in.Rd, SysReg(in.Imm))
+		case OpMSR:
+			fmt.Fprintf(&b, " %s, %s", SysReg(in.Imm), in.Rd)
+		}
+	case FmtMem:
+		fmt.Fprintf(&b, " %s, [%s", in.Rd, in.Rn)
+		if in.UseImm {
+			if in.Imm != 0 {
+				fmt.Fprintf(&b, ", #%d", in.Imm)
+			}
+		} else {
+			fmt.Fprintf(&b, ", %s", in.Rm)
+			if in.ShAmt != 0 {
+				fmt.Fprintf(&b, ", %s #%d", in.Shift, in.ShAmt)
+			}
+		}
+		b.WriteByte(']')
+	default: // FmtDP
+		b.WriteByte(' ')
+		args := make([]string, 0, 3)
+		if info.WritesRd || info.ReadsRd {
+			args = append(args, in.Rd.String())
+		}
+		if info.ReadsRn {
+			args = append(args, in.Rn.String())
+		}
+		if info.ReadsOp2 {
+			if in.UseImm {
+				args = append(args, fmt.Sprintf("#%d", in.Imm))
+			} else {
+				op2 := in.Rm.String()
+				if in.ShAmt != 0 {
+					op2 += fmt.Sprintf(", %s #%d", in.Shift, in.ShAmt)
+				}
+				args = append(args, op2)
+			}
+		}
+		b.WriteString(strings.Join(args, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randInstr builds a random well-formed instruction for round-trip tests.
+func randInstr(rng *rand.Rand) Instruction {
+	ops := []Op{
+		OpADD, OpSUB, OpAND, OpMOV, OpCMP, OpMUL, OpMLA, OpSDIV,
+		OpFADD, OpFCMP, OpLDR, OpSTRB, OpLDRH, OpB, OpBL, OpBX,
+		OpMOVW, OpMOVT, OpSVC, OpMRS, OpMSR, OpERET, OpWFI, OpNOP,
+	}
+	op := ops[rng.Intn(len(ops))]
+	in := Instruction{Op: op, Cond: Cond(rng.Intn(NumConds))}
+	info := op.Info()
+	switch info.Format {
+	case FmtBr:
+		in.Imm = rng.Int31n(1<<21) - 1<<20
+		if op == OpBL {
+			in.Rd = LR
+		}
+	case FmtMovW:
+		in.Rd = Reg(rng.Intn(NumRegs))
+		in.Imm = rng.Int31n(1 << 16)
+	case FmtBX:
+		in.Rm = Reg(rng.Intn(NumRegs))
+	case FmtSys:
+		switch op {
+		case OpSVC:
+			in.Imm = rng.Int31n(1 << 12)
+		case OpMRS, OpMSR:
+			in.Rd = Reg(rng.Intn(NumRegs))
+			in.Imm = rng.Int31n(NumSysRegs)
+		}
+	default:
+		in.Rd = Reg(rng.Intn(NumRegs))
+		in.Rn = Reg(rng.Intn(NumRegs))
+		if info.WritesRd && rng.Intn(2) == 0 {
+			in.SetFlags = true
+		}
+		if rng.Intn(2) == 0 {
+			in.UseImm = true
+			in.Imm = rng.Int31n(4096) - 2048
+		} else {
+			in.Rm = Reg(rng.Intn(NumRegs))
+			in.Shift = ShiftType(rng.Intn(4))
+			in.ShAmt = uint8(rng.Intn(32))
+		}
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		in := randInstr(rng)
+		got := Decode(in.Encode())
+		// Normalise fields the format does not encode.
+		want := in
+		switch in.Op.Info().Format {
+		case FmtBr, FmtBX, FmtSys:
+			want.SetFlags = false
+		}
+		if got != want {
+			t.Fatalf("round trip #%d:\n in: %+v\nout: %+v\nword %#x", i, want, got, in.Encode())
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	// The zero word and out-of-range opcodes must decode as invalid.
+	for _, w := range []uint32{0, 0xFFFFFFFF, uint32(NumOps) << 22} {
+		in := Decode(w)
+		if in.Op.Valid() {
+			t.Errorf("Decode(%#x) produced valid op %v", w, in.Op)
+		}
+	}
+}
+
+func TestDecodeInvalidSysReg(t *testing.T) {
+	in := Instruction{Op: OpMRS, Cond: CondAL, Rd: R1, Imm: int32(NumSysRegs) + 3}
+	got := Decode(in.Encode())
+	if got.Op.Valid() {
+		t.Errorf("corrupted sysreg index decoded as valid %v", got.Op)
+	}
+}
+
+func TestBitFlipAlwaysDecodes(t *testing.T) {
+	// Flipping any single bit of a valid instruction must never panic and
+	// must either decode to a valid instruction or an invalid one — this
+	// is the I-cache fault propagation path.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		w := randInstr(rng).Encode()
+		for bit := 0; bit < 32; bit++ {
+			in := Decode(w ^ 1<<bit)
+			_ = in.String() // must not panic either
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	tests := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpADD, Cond: CondAL, Rd: R1, Rn: R2, Rm: R3}, "add r1, r2, r3"},
+		{Instruction{Op: OpADD, Cond: CondEQ, Rd: R1, Rn: R2, UseImm: true, Imm: -4}, "addeq r1, r2, #-4"},
+		{Instruction{Op: OpMOV, Cond: CondAL, SetFlags: true, Rd: R0, Rm: R7}, "movs r0, r7"},
+		{Instruction{Op: OpLDR, Cond: CondAL, Rd: R0, Rn: SP, UseImm: true, Imm: 8}, "ldr r0, [sp, #8]"},
+		{Instruction{Op: OpSTR, Cond: CondAL, Rd: R0, Rn: R1, Rm: R2, Shift: ShiftLSL, ShAmt: 2}, "str r0, [r1, r2, lsl #2]"},
+		{Instruction{Op: OpBX, Cond: CondAL, Rm: LR}, "bx lr"},
+		{Instruction{Op: OpSVC, Cond: CondAL, Imm: 0}, "svc #0"},
+		{Instruction{Op: OpMRS, Cond: CondAL, Rd: R2, Imm: int32(SysCPSR)}, "mrs r2, cpsr"},
+		{Instruction{Op: OpERET, Cond: CondAL}, "eret"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package isa defines the instruction-set architecture executed by the
+// simulated CPU models: a 32-bit, ARM-flavoured RISC ISA with sixteen
+// general-purpose registers, NZCV condition flags, full conditional
+// execution, privileged modes, and a single-precision FPU operating on
+// IEEE-754 bit patterns held in the general-purpose registers.
+//
+// The ISA deliberately mirrors the architectural state classes of the ARMv7
+// Cortex-A9 evaluated in the reproduced paper (register file, flags, memory,
+// translation state) without reproducing ARM encodings: soft-error
+// propagation depends on the former, not the latter.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the sixteen architectural general-purpose registers.
+type Reg uint8
+
+// Architectural register assignments. SP, LR, and PC follow the ARM
+// convention (r13, r14, r15).
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // stack pointer (r13)
+	LR // link register (r14)
+	PC // program counter (r15)
+
+	// NumRegs is the number of architectural general-purpose registers.
+	NumRegs = 16
+)
+
+// String returns the canonical assembly name of the register.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Cond is a condition code controlling conditional execution. Every
+// instruction carries one; CondAL executes unconditionally.
+type Cond uint8
+
+// Condition codes, mirroring the ARM set.
+const (
+	CondEQ Cond = iota // Z set
+	CondNE             // Z clear
+	CondCS             // C set (unsigned >=)
+	CondCC             // C clear (unsigned <)
+	CondMI             // N set
+	CondPL             // N clear
+	CondVS             // V set
+	CondVC             // V clear
+	CondHI             // C set and Z clear (unsigned >)
+	CondLS             // C clear or Z set (unsigned <=)
+	CondGE             // N == V
+	CondLT             // N != V
+	CondGT             // Z clear and N == V
+	CondLE             // Z set or N != V
+	CondAL             // always
+
+	// NumConds is the number of condition codes.
+	NumConds = 15
+)
+
+var condNames = [NumConds]string{
+	"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "al",
+}
+
+// String returns the assembly suffix for the condition ("al" for always).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Flags holds the NZCV arithmetic flags of the processor status register.
+type Flags struct {
+	N bool // negative
+	Z bool // zero
+	C bool // carry / not-borrow
+	V bool // signed overflow
+}
+
+// Passes reports whether an instruction with condition c executes under the
+// given flags.
+func (c Cond) Passes(f Flags) bool {
+	switch c {
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondCS:
+		return f.C
+	case CondCC:
+		return !f.C
+	case CondMI:
+		return f.N
+	case CondPL:
+		return !f.N
+	case CondVS:
+		return f.V
+	case CondVC:
+		return !f.V
+	case CondHI:
+		return f.C && !f.Z
+	case CondLS:
+		return !f.C || f.Z
+	case CondGE:
+		return f.N == f.V
+	case CondLT:
+		return f.N != f.V
+	case CondGT:
+		return !f.Z && f.N == f.V
+	case CondLE:
+		return f.Z || f.N != f.V
+	default:
+		return true
+	}
+}
+
+// Mode is a processor privilege mode.
+type Mode uint8
+
+// Processor modes. User code runs in ModeUser; the kernel runs in ModeSVC;
+// interrupt handlers run in ModeIRQ. ModeSVC and ModeIRQ are privileged.
+const (
+	ModeUser Mode = 1 + iota
+	ModeSVC
+	ModeIRQ
+)
+
+// String returns a short human-readable mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeUser:
+		return "usr"
+	case ModeSVC:
+		return "svc"
+	case ModeIRQ:
+		return "irq"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Privileged reports whether the mode may access kernel-only pages, system
+// registers, and MMIO devices.
+func (m Mode) Privileged() bool { return m == ModeSVC || m == ModeIRQ }
+
+// CPSR is the current program status register: NZCV flags, mode bits, and
+// the IRQ-disable bit, packed exactly as stored architecturally so that a
+// bit flip in a saved CPSR corrupts real state.
+type CPSR uint32
+
+// CPSR bit assignments.
+const (
+	CPSRFlagN    CPSR = 1 << 31
+	CPSRFlagZ    CPSR = 1 << 30
+	CPSRFlagC    CPSR = 1 << 29
+	CPSRFlagV    CPSR = 1 << 28
+	CPSRIRQOff   CPSR = 1 << 7 // interrupts disabled when set
+	CPSRModeMask CPSR = 0x1F
+)
+
+// PackCPSR builds a CPSR word from its components.
+func PackCPSR(f Flags, m Mode, irqOff bool) CPSR {
+	var w CPSR
+	if f.N {
+		w |= CPSRFlagN
+	}
+	if f.Z {
+		w |= CPSRFlagZ
+	}
+	if f.C {
+		w |= CPSRFlagC
+	}
+	if f.V {
+		w |= CPSRFlagV
+	}
+	if irqOff {
+		w |= CPSRIRQOff
+	}
+	w |= CPSR(m) & CPSRModeMask
+	return w
+}
+
+// Flags extracts the NZCV flags.
+func (w CPSR) Flags() Flags {
+	return Flags{
+		N: w&CPSRFlagN != 0,
+		Z: w&CPSRFlagZ != 0,
+		C: w&CPSRFlagC != 0,
+		V: w&CPSRFlagV != 0,
+	}
+}
+
+// Mode extracts the processor mode. A corrupted mode field decodes to an
+// invalid Mode value, which the CPU treats as a fatal (system-level) fault.
+func (w CPSR) Mode() Mode { return Mode(w & CPSRModeMask) }
+
+// IRQOff reports whether interrupts are masked.
+func (w CPSR) IRQOff() bool { return w&CPSRIRQOff != 0 }
+
+// Valid reports whether the mode field holds a defined processor mode.
+func (w CPSR) Valid() bool {
+	m := w.Mode()
+	return m == ModeUser || m == ModeSVC || m == ModeIRQ
+}
+
+// SysReg identifies a system register accessible via MRS/MSR.
+type SysReg uint8
+
+// System registers.
+const (
+	SysCPSR SysReg = iota // current program status register
+	SysSPSR               // saved status of the current exception mode
+	SysELR                // exception link register of the current mode
+	SysTTBR               // translation table base register (MMU on when non-zero)
+	SysVBAR               // vector base address register
+
+	// NumSysRegs is the number of defined system registers.
+	NumSysRegs = 5
+)
+
+var sysRegNames = [NumSysRegs]string{"cpsr", "spsr", "elr", "ttbr", "vbar"}
+
+// String returns the assembly name of the system register.
+func (s SysReg) String() string {
+	if int(s) < len(sysRegNames) {
+		return sysRegNames[s]
+	}
+	return fmt.Sprintf("sysreg(%d)", uint8(s))
+}
+
+// Vector is an exception vector. On an exception the CPU jumps to
+// VBAR + 4*Vector in the target mode with interrupts masked.
+type Vector uint8
+
+// Exception vectors.
+const (
+	VecReset         Vector = iota // power-on / reset
+	VecUndef                       // undefined or corrupted instruction
+	VecSVC                         // supervisor call (syscall)
+	VecPrefetchAbort               // instruction fetch fault (translation/permission)
+	VecDataAbort                   // data access fault (translation/permission/alignment)
+	VecIRQ                         // external interrupt (timer)
+
+	// NumVectors is the number of exception vectors.
+	NumVectors = 6
+)
+
+var vectorNames = [NumVectors]string{
+	"reset", "undef", "svc", "prefetch-abort", "data-abort", "irq",
+}
+
+// String returns a human-readable vector name.
+func (v Vector) String() string {
+	if int(v) < len(vectorNames) {
+		return vectorNames[v]
+	}
+	return fmt.Sprintf("vector(%d)", uint8(v))
+}
+
+// Mode returns the processor mode entered when the vector is taken.
+func (v Vector) Mode() Mode {
+	if v == VecIRQ {
+		return ModeIRQ
+	}
+	return ModeSVC
+}
+
+// WordBytes is the size of a machine word and of an instruction in bytes.
+const WordBytes = 4

@@ -1,0 +1,287 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCondPasses(t *testing.T) {
+	flags := func(n, z, c, v bool) Flags { return Flags{N: n, Z: z, C: c, V: v} }
+	tests := []struct {
+		cond Cond
+		f    Flags
+		want bool
+	}{
+		{CondEQ, flags(false, true, false, false), true},
+		{CondEQ, flags(false, false, false, false), false},
+		{CondNE, flags(false, false, false, false), true},
+		{CondCS, flags(false, false, true, false), true},
+		{CondCC, flags(false, false, true, false), false},
+		{CondMI, flags(true, false, false, false), true},
+		{CondPL, flags(true, false, false, false), false},
+		{CondVS, flags(false, false, false, true), true},
+		{CondVC, flags(false, false, false, true), false},
+		{CondHI, flags(false, false, true, false), true},
+		{CondHI, flags(false, true, true, false), false},
+		{CondLS, flags(false, true, true, false), true},
+		{CondGE, flags(true, false, false, true), true},
+		{CondGE, flags(true, false, false, false), false},
+		{CondLT, flags(true, false, false, false), true},
+		{CondGT, flags(false, false, false, false), true},
+		{CondGT, flags(false, true, false, false), false},
+		{CondLE, flags(false, true, false, false), true},
+		{CondAL, flags(true, true, true, true), true},
+	}
+	for _, tt := range tests {
+		if got := tt.cond.Passes(tt.f); got != tt.want {
+			t.Errorf("%v.Passes(%+v) = %v, want %v", tt.cond, tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestCondOppositePairs(t *testing.T) {
+	// Conditions come in complementary pairs: 2k and 2k+1 are opposites.
+	f := func(n, z, c, v bool) bool {
+		fl := Flags{N: n, Z: z, C: c, V: v}
+		for k := Cond(0); k < CondAL; k += 2 {
+			if k.Passes(fl) == (k + 1).Passes(fl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPSRRoundTrip(t *testing.T) {
+	f := func(n, z, c, v, irqOff bool, modeSel uint8) bool {
+		mode := []Mode{ModeUser, ModeSVC, ModeIRQ}[modeSel%3]
+		fl := Flags{N: n, Z: z, C: c, V: v}
+		w := PackCPSR(fl, mode, irqOff)
+		return w.Flags() == fl && w.Mode() == mode && w.IRQOff() == irqOff && w.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPSRInvalidMode(t *testing.T) {
+	if CPSR(0).Valid() {
+		t.Error("mode 0 must be invalid")
+	}
+	if CPSR(31).Valid() {
+		t.Error("mode 31 must be invalid")
+	}
+}
+
+func TestAddSubFlags(t *testing.T) {
+	tests := []struct {
+		op         Op
+		a, b       uint32
+		want       uint32
+		n, z, c, v bool
+	}{
+		{OpADD, 1, 2, 3, false, false, false, false},
+		{OpADD, 0xFFFFFFFF, 1, 0, false, true, true, false},
+		{OpADD, 0x7FFFFFFF, 1, 0x80000000, true, false, false, true},
+		{OpADD, 0x80000000, 0x80000000, 0, false, true, true, true},
+		{OpSUB, 5, 3, 2, false, false, true, false},
+		{OpSUB, 3, 5, 0xFFFFFFFE, true, false, false, false},
+		{OpSUB, 3, 3, 0, false, true, true, false},
+		{OpSUB, 0x80000000, 1, 0x7FFFFFFF, false, false, true, true},
+		{OpRSB, 3, 5, 2, false, false, true, false},
+	}
+	for _, tt := range tests {
+		res := ExecDP(tt.op, tt.a, tt.b, 0, Flags{}, true)
+		if res.Value != tt.want {
+			t.Errorf("%v(%#x,%#x) = %#x, want %#x", tt.op, tt.a, tt.b, res.Value, tt.want)
+		}
+		want := Flags{N: tt.n, Z: tt.z, C: tt.c, V: tt.v}
+		if res.Flags != want {
+			t.Errorf("%v(%#x,%#x) flags = %+v, want %+v", tt.op, tt.a, tt.b, res.Flags, want)
+		}
+	}
+}
+
+func TestAdcSbcChains(t *testing.T) {
+	// 64-bit add via ADD/ADC must match native 64-bit arithmetic.
+	f := func(a, b uint64) bool {
+		lo := ExecDP(OpADD, uint32(a), uint32(b), 0, Flags{}, true)
+		hi := ExecDP(OpADC, uint32(a>>32), uint32(b>>32), 0, lo.Flags, false)
+		got := uint64(hi.Value)<<32 | uint64(lo.Value)
+		return got == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// 64-bit subtract via SUB/SBC.
+	g := func(a, b uint64) bool {
+		lo := ExecDP(OpSUB, uint32(a), uint32(b), 0, Flags{}, true)
+		hi := ExecDP(OpSBC, uint32(a>>32), uint32(b>>32), 0, lo.Flags, false)
+		got := uint64(hi.Value)<<32 | uint64(lo.Value)
+		return got == a-b
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a, b uint32
+		want uint32
+	}{
+		{OpSDIV, 10, 3, 3},
+		{OpSDIV, 0xFFFFFFF6, 3, 0xFFFFFFFD}, // -10 / 3 = -3
+		{OpSDIV, 7, 0, 0},                   // ARM: divide by zero -> 0
+		{OpUDIV, 7, 0, 0},
+		{OpSDIV, 0x80000000, 0xFFFFFFFF, 0x80000000}, // INT_MIN / -1
+		{OpUDIV, 0xFFFFFFFF, 2, 0x7FFFFFFF},
+	}
+	for _, tt := range tests {
+		res := ExecDP(tt.op, tt.a, tt.b, 0, Flags{}, false)
+		if res.Value != tt.want {
+			t.Errorf("%v(%#x,%#x) = %#x, want %#x", tt.op, tt.a, tt.b, res.Value, tt.want)
+		}
+	}
+}
+
+func TestShiftApply(t *testing.T) {
+	tests := []struct {
+		st   ShiftType
+		v    uint32
+		amt  uint8
+		want uint32
+	}{
+		{ShiftLSL, 1, 4, 16},
+		{ShiftLSL, 0xFFFFFFFF, 0, 0xFFFFFFFF},
+		{ShiftLSR, 0x80000000, 31, 1},
+		{ShiftASR, 0x80000000, 31, 0xFFFFFFFF},
+		{ShiftASR, 0x40000000, 30, 1},
+		{ShiftROR, 1, 1, 0x80000000},
+		{ShiftROR, 0xF000000F, 4, 0xFF000000},
+	}
+	for _, tt := range tests {
+		if got := tt.st.Apply(tt.v, tt.amt); got != tt.want {
+			t.Errorf("%v.Apply(%#x, %d) = %#x, want %#x", tt.st, tt.v, tt.amt, got, tt.want)
+		}
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	bits := math.Float32bits
+	res := ExecDP(OpFADD, bits(1.5), bits(2.25), 0, Flags{}, false)
+	if math.Float32frombits(res.Value) != 3.75 {
+		t.Errorf("fadd = %v", math.Float32frombits(res.Value))
+	}
+	res = ExecDP(OpFDIV, bits(1), bits(0), 0, Flags{}, false)
+	if !math.IsInf(float64(math.Float32frombits(res.Value)), 1) {
+		t.Errorf("1/0 = %v, want +Inf", math.Float32frombits(res.Value))
+	}
+	res = ExecDP(OpFSQRT, 0, bits(9), 0, Flags{}, false)
+	if math.Float32frombits(res.Value) != 3 {
+		t.Errorf("sqrt(9) = %v", math.Float32frombits(res.Value))
+	}
+}
+
+func TestFCmpFlags(t *testing.T) {
+	bits := math.Float32bits
+	nan := math.Float32bits(float32(math.NaN()))
+	tests := []struct {
+		a, b uint32
+		want Flags
+	}{
+		{bits(1), bits(2), Flags{N: true}},
+		{bits(2), bits(2), Flags{Z: true, C: true}},
+		{bits(3), bits(2), Flags{C: true}},
+		{nan, bits(2), Flags{C: true, V: true}},
+		{bits(2), nan, Flags{C: true, V: true}},
+	}
+	for _, tt := range tests {
+		res := ExecDP(OpFCMP, tt.a, tt.b, 0, Flags{}, true)
+		if res.Flags != tt.want {
+			t.Errorf("fcmp(%#x,%#x) = %+v, want %+v", tt.a, tt.b, res.Flags, tt.want)
+		}
+	}
+}
+
+func TestFtoiSaturation(t *testing.T) {
+	bits := math.Float32bits
+	tests := []struct {
+		in   uint32
+		want uint32
+	}{
+		{bits(1.9), 1},
+		{bits(-1.9), 0xFFFFFFFF},
+		{bits(3e9), 0x7FFFFFFF},
+		{bits(-3e9), 0x80000000},
+		{math.Float32bits(float32(math.NaN())), 0},
+	}
+	for _, tt := range tests {
+		res := ExecDP(OpFTOI, 0, tt.in, 0, Flags{}, false)
+		if res.Value != tt.want {
+			t.Errorf("ftoi(%#x) = %#x, want %#x", tt.in, res.Value, tt.want)
+		}
+	}
+}
+
+func TestLogicalPreservesCV(t *testing.T) {
+	cur := Flags{C: true, V: true}
+	res := ExecDP(OpAND, 0xF0, 0x0F, 0, cur, true)
+	if res.Value != 0 || !res.Flags.Z || !res.Flags.C || !res.Flags.V {
+		t.Errorf("and flags = %+v value %#x", res.Flags, res.Value)
+	}
+}
+
+func TestMovwMovt(t *testing.T) {
+	res := ExecDP(OpMOVW, 0, 0xBEEF, 0, Flags{}, false)
+	if res.Value != 0xBEEF {
+		t.Fatalf("movw = %#x", res.Value)
+	}
+	res = ExecDP(OpMOVT, 0, 0xDEAD, res.Value, Flags{}, false)
+	if res.Value != 0xDEADBEEF {
+		t.Fatalf("movt = %#x", res.Value)
+	}
+}
+
+func TestMulMla(t *testing.T) {
+	f := func(a, b, acc uint32) bool {
+		mul := ExecDP(OpMUL, a, b, 0, Flags{}, false)
+		mla := ExecDP(OpMLA, a, b, acc, Flags{}, false)
+		return mul.Value == a*b && mla.Value == acc+a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := opInvalid + 1; op < NumOps; op++ {
+		if !op.Valid() {
+			continue
+		}
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted a bogus mnemonic")
+	}
+}
+
+func TestVectorModes(t *testing.T) {
+	for v := Vector(0); v < NumVectors; v++ {
+		want := ModeSVC
+		if v == VecIRQ {
+			want = ModeIRQ
+		}
+		if v.Mode() != want {
+			t.Errorf("%v.Mode() = %v, want %v", v, v.Mode(), want)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package isa
+
+import "fmt"
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The encoding reserves 6 bits for the opcode.
+const (
+	opInvalid Op = iota // zero word decodes as invalid -> undefined instruction
+
+	// Data processing.
+	OpADD // rd = rn + op2
+	OpADC // rd = rn + op2 + C
+	OpSUB // rd = rn - op2
+	OpSBC // rd = rn - op2 - !C
+	OpRSB // rd = op2 - rn
+	OpAND // rd = rn & op2
+	OpORR // rd = rn | op2
+	OpEOR // rd = rn ^ op2
+	OpBIC // rd = rn &^ op2
+	OpMOV // rd = op2
+	OpMVN // rd = ^op2
+	OpCMP // flags(rn - op2)
+	OpCMN // flags(rn + op2)
+	OpTST // flags(rn & op2)
+	OpTEQ // flags(rn ^ op2)
+	OpLSL // rd = rn << (op2 & 31)
+	OpLSR // rd = rn >> (op2 & 31) logical
+	OpASR // rd = rn >> (op2 & 31) arithmetic
+	OpROR // rd = rotate-right(rn, op2 & 31)
+
+	// Multiply / divide.
+	OpMUL  // rd = rn * op2 (low 32 bits)
+	OpMLA  // rd = rd + rn*op2
+	OpSDIV // rd = rn / op2 signed (0 on divide-by-zero, as on ARM)
+	OpUDIV // rd = rn / op2 unsigned (0 on divide-by-zero)
+
+	// Wide immediates.
+	OpMOVW // rd = imm16 (upper half zeroed)
+	OpMOVT // rd = (rd & 0xFFFF) | imm16<<16
+
+	// Single-precision floating point on GPR bit patterns.
+	OpFADD  // rd = rn +f op2
+	OpFSUB  // rd = rn -f op2
+	OpFMUL  // rd = rn *f op2
+	OpFDIV  // rd = rn /f op2
+	OpFCMP  // flags(rn -f op2): N=less, Z=equal, C=greaterOrEqual, V=unordered
+	OpFNEG  // rd = -f op2
+	OpFABS  // rd = |op2|f
+	OpFSQRT // rd = sqrtf(op2)
+	OpITOF  // rd = float32(int32(op2))
+	OpFTOI  // rd = int32(truncate(float32 op2))
+
+	// Memory.
+	OpLDR  // rd = mem32[rn + off]
+	OpLDRB // rd = zeroext(mem8[rn + off])
+	OpLDRH // rd = zeroext(mem16[rn + off])
+	OpSTR  // mem32[rn + off] = rd
+	OpSTRB // mem8[rn + off] = rd
+	OpSTRH // mem16[rn + off] = rd
+
+	// Control flow.
+	OpB  // pc += 4 + off*4
+	OpBL // lr = pc + 4; pc += 4 + off*4
+	OpBX // pc = rm (bit 0 ignored)
+
+	// System.
+	OpSVC  // supervisor call
+	OpMRS  // rd = sysreg
+	OpMSR  // sysreg = rd
+	OpERET // return from exception: pc = ELR, cpsr = SPSR
+	OpWFI  // wait for interrupt
+	OpNOP  // no operation
+
+	// NumOps is one past the highest defined opcode.
+	NumOps
+)
+
+// Format describes how an instruction's fields are encoded.
+type Format uint8
+
+// Instruction formats.
+const (
+	FmtDP   Format = 1 + iota // data processing: rd, rn, op2 (reg+shift or imm12)
+	FmtMovW                   // rd, imm16
+	FmtMem                    // rd, [rn, op2]
+	FmtBr                     // 22-bit signed word offset
+	FmtBX                     // rm only
+	FmtSys                    // rd and/or sysreg/imm12
+)
+
+// FU identifies the functional-unit class that executes an operation in the
+// detailed CPU model.
+type FU uint8
+
+// Functional-unit classes.
+const (
+	FUAlu FU = 1 + iota // integer ALU
+	FUMul               // multiplier / divider
+	FUFpu               // floating-point unit
+	FUMem               // load/store unit
+	FUBr                // branch unit
+	FUSys               // system unit (serialising)
+)
+
+// OpInfo is static metadata about an operation.
+type OpInfo struct {
+	Name       string // assembly mnemonic
+	Format     Format
+	Unit       FU
+	Latency    int  // execute-stage latency in cycles (detailed model)
+	WritesRd   bool // produces a result register
+	ReadsRn    bool
+	ReadsOp2   bool // reads the second operand (Rm or immediate)
+	ReadsRd    bool // reads rd as a source (MLA, MOVT, stores)
+	ReadsFlags bool // consumes NZCV as data (ADC/SBC carry chains)
+	SetsFlags  bool // always sets flags (compare ops); others honour the S bit
+	IsBranch   bool
+	IsLoad     bool
+	IsStore    bool
+	Serialise  bool // drains the pipeline (system ops)
+}
+
+var opInfos = [NumOps]OpInfo{
+	OpADD:   {Name: "add", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpADC:   {Name: "adc", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true, ReadsFlags: true},
+	OpSUB:   {Name: "sub", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpSBC:   {Name: "sbc", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true, ReadsFlags: true},
+	OpRSB:   {Name: "rsb", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpAND:   {Name: "and", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpORR:   {Name: "orr", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpEOR:   {Name: "eor", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpBIC:   {Name: "bic", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpMOV:   {Name: "mov", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsOp2: true},
+	OpMVN:   {Name: "mvn", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsOp2: true},
+	OpCMP:   {Name: "cmp", Format: FmtDP, Unit: FUAlu, Latency: 1, ReadsRn: true, ReadsOp2: true, SetsFlags: true},
+	OpCMN:   {Name: "cmn", Format: FmtDP, Unit: FUAlu, Latency: 1, ReadsRn: true, ReadsOp2: true, SetsFlags: true},
+	OpTST:   {Name: "tst", Format: FmtDP, Unit: FUAlu, Latency: 1, ReadsRn: true, ReadsOp2: true, SetsFlags: true},
+	OpTEQ:   {Name: "teq", Format: FmtDP, Unit: FUAlu, Latency: 1, ReadsRn: true, ReadsOp2: true, SetsFlags: true},
+	OpLSL:   {Name: "lsl", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpLSR:   {Name: "lsr", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpASR:   {Name: "asr", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpROR:   {Name: "ror", Format: FmtDP, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpMUL:   {Name: "mul", Format: FmtDP, Unit: FUMul, Latency: 3, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpMLA:   {Name: "mla", Format: FmtDP, Unit: FUMul, Latency: 3, WritesRd: true, ReadsRn: true, ReadsOp2: true, ReadsRd: true},
+	OpSDIV:  {Name: "sdiv", Format: FmtDP, Unit: FUMul, Latency: 12, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpUDIV:  {Name: "udiv", Format: FmtDP, Unit: FUMul, Latency: 12, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpMOVW:  {Name: "movw", Format: FmtMovW, Unit: FUAlu, Latency: 1, WritesRd: true},
+	OpMOVT:  {Name: "movt", Format: FmtMovW, Unit: FUAlu, Latency: 1, WritesRd: true, ReadsRd: true},
+	OpFADD:  {Name: "fadd", Format: FmtDP, Unit: FUFpu, Latency: 4, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpFSUB:  {Name: "fsub", Format: FmtDP, Unit: FUFpu, Latency: 4, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpFMUL:  {Name: "fmul", Format: FmtDP, Unit: FUFpu, Latency: 5, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpFDIV:  {Name: "fdiv", Format: FmtDP, Unit: FUFpu, Latency: 15, WritesRd: true, ReadsRn: true, ReadsOp2: true},
+	OpFCMP:  {Name: "fcmp", Format: FmtDP, Unit: FUFpu, Latency: 4, ReadsRn: true, ReadsOp2: true, SetsFlags: true},
+	OpFNEG:  {Name: "fneg", Format: FmtDP, Unit: FUFpu, Latency: 2, WritesRd: true, ReadsOp2: true},
+	OpFABS:  {Name: "fabs", Format: FmtDP, Unit: FUFpu, Latency: 2, WritesRd: true, ReadsOp2: true},
+	OpFSQRT: {Name: "fsqrt", Format: FmtDP, Unit: FUFpu, Latency: 17, WritesRd: true, ReadsOp2: true},
+	OpITOF:  {Name: "itof", Format: FmtDP, Unit: FUFpu, Latency: 4, WritesRd: true, ReadsOp2: true},
+	OpFTOI:  {Name: "ftoi", Format: FmtDP, Unit: FUFpu, Latency: 4, WritesRd: true, ReadsOp2: true},
+	OpLDR:   {Name: "ldr", Format: FmtMem, Unit: FUMem, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true, IsLoad: true},
+	OpLDRB:  {Name: "ldrb", Format: FmtMem, Unit: FUMem, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true, IsLoad: true},
+	OpLDRH:  {Name: "ldrh", Format: FmtMem, Unit: FUMem, Latency: 1, WritesRd: true, ReadsRn: true, ReadsOp2: true, IsLoad: true},
+	OpSTR:   {Name: "str", Format: FmtMem, Unit: FUMem, Latency: 1, ReadsRn: true, ReadsOp2: true, ReadsRd: true, IsStore: true},
+	OpSTRB:  {Name: "strb", Format: FmtMem, Unit: FUMem, Latency: 1, ReadsRn: true, ReadsOp2: true, ReadsRd: true, IsStore: true},
+	OpSTRH:  {Name: "strh", Format: FmtMem, Unit: FUMem, Latency: 1, ReadsRn: true, ReadsOp2: true, ReadsRd: true, IsStore: true},
+	OpB:     {Name: "b", Format: FmtBr, Unit: FUBr, Latency: 1, IsBranch: true},
+	OpBL:    {Name: "bl", Format: FmtBr, Unit: FUBr, Latency: 1, IsBranch: true, WritesRd: true},
+	OpBX:    {Name: "bx", Format: FmtBX, Unit: FUBr, Latency: 1, IsBranch: true, ReadsOp2: true},
+	OpSVC:   {Name: "svc", Format: FmtSys, Unit: FUSys, Latency: 1, Serialise: true},
+	OpMRS:   {Name: "mrs", Format: FmtSys, Unit: FUSys, Latency: 2, WritesRd: true, Serialise: true},
+	OpMSR:   {Name: "msr", Format: FmtSys, Unit: FUSys, Latency: 2, ReadsRd: true, Serialise: true},
+	OpERET:  {Name: "eret", Format: FmtSys, Unit: FUSys, Latency: 2, IsBranch: true, Serialise: true},
+	OpWFI:   {Name: "wfi", Format: FmtSys, Unit: FUSys, Latency: 1, Serialise: true},
+	OpNOP:   {Name: "nop", Format: FmtSys, Unit: FUAlu, Latency: 1},
+}
+
+// Info returns the static metadata for op. Undefined opcodes return a zero
+// OpInfo whose Format is 0; callers treat those as undefined instructions.
+func (op Op) Info() OpInfo {
+	if op == opInvalid || op >= NumOps {
+		return OpInfo{}
+	}
+	return opInfos[op]
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op > opInvalid && op < NumOps && opInfos[op].Format != 0 }
+
+// String returns the assembly mnemonic.
+func (op Op) String() string {
+	if op.Valid() {
+		return opInfos[op].Name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// OpByName resolves an assembly mnemonic to its opcode. It reports false for
+// unknown mnemonics.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = buildOpsByName()
+
+func buildOpsByName() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := opInvalid + 1; op < NumOps; op++ {
+		if opInfos[op].Format != 0 {
+			m[opInfos[op].Name] = op
+		}
+	}
+	return m
+}
+
+// ShiftType selects the barrel-shifter function applied to a register second
+// operand.
+type ShiftType uint8
+
+// Barrel shifter functions.
+const (
+	ShiftLSL ShiftType = iota // logical shift left
+	ShiftLSR                  // logical shift right
+	ShiftASR                  // arithmetic shift right
+	ShiftROR                  // rotate right
+)
+
+var shiftNames = [4]string{"lsl", "lsr", "asr", "ror"}
+
+// String returns the assembly name of the shift.
+func (s ShiftType) String() string { return shiftNames[s&3] }
+
+// Apply applies the shift by amt (0..31) to v.
+func (s ShiftType) Apply(v uint32, amt uint8) uint32 {
+	amt &= 31
+	if amt == 0 {
+		return v
+	}
+	switch s {
+	case ShiftLSL:
+		return v << amt
+	case ShiftLSR:
+		return v >> amt
+	case ShiftASR:
+		return uint32(int32(v) >> amt)
+	default: // ShiftROR
+		return v>>amt | v<<(32-amt)
+	}
+}

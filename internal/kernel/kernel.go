@@ -1,0 +1,348 @@
+// Package kernel provides the miniature privileged operating system that
+// runs on the simulated CPU, standing in for the Linux 3.13/3.14 stack of
+// the reproduced paper. It is real machine code assembled into the
+// platform's memory: its vector table, syscall dispatcher, timer interrupt
+// handler, scheduler tick, and page tables all live in simulated RAM and
+// therefore occupy cache lines — which is precisely the mechanism behind
+// the paper's System-Crash observations (kernel state resident in the
+// unused cache space of small-footprint workloads).
+//
+// Services provided to user programs:
+//
+//	svc #0 with r7=1  exit(r0)            terminate with status r0 & 0x7F
+//	svc #0 with r7=2  write(r0, r1)       copy r1 bytes at r0 to the UART
+//	svc #0 with r7=3  alive()             bump the app-alive MMIO register
+//
+// Any user-mode exception kills the application with status 0x80+vector
+// (mirroring a fatal signal); any kernel-mode exception writes the panic
+// code to the power-off port (mirroring a kernel oops that locks the
+// machine).
+package kernel
+
+import (
+	"fmt"
+
+	"armsefi/internal/asm"
+)
+
+// Params configures the kernel build for a platform.
+type Params struct {
+	TextBase      uint32 // kernel text load address (the vector table sits at its start)
+	DataBase      uint32 // kernel data load address
+	PageTable     uint32 // physical address of the single-level page table
+	PTEntries     uint32 // number of page-table entries (VA space / 4 KB)
+	SVCStackTop   uint32
+	IRQStackTop   uint32
+	AppEntry      uint32 // fixed user program entry point
+	UserVPNStart  uint32 // first user-accessible page
+	UserVPNEnd    uint32 // one past the last user-accessible page
+	KTextVPNEnd   uint32 // kernel text pages [0, KTextVPNEnd) mapped read-only
+	KDataVPNEnd   uint32 // kernel data/stack pages [KTextVPNEnd, KDataVPNEnd) mapped RW
+	MMIOVPNStart  uint32
+	MMIOVPNEnd    uint32
+	UARTBase      uint32
+	TimerBase     uint32
+	SysCtlBase    uint32
+	TimerPeriod   uint32 // scheduler tick period in cycles
+	NumTasks      uint32 // size of the task table walked on every tick
+	TaskStructLen uint32 // bytes per task struct (spreads tasks over cache lines)
+}
+
+// ExitSignalBase is added to the exception vector number when the kernel
+// kills a user program, mirroring the 128+signal convention.
+const ExitSignalBase = 0x80
+
+// PanicCode is written to the power-off port on a kernel-mode fault.
+const PanicCode = 0xDEAD
+
+// Build assembles the kernel for the given parameters.
+func Build(p Params) (*asm.Program, error) {
+	cfg := asm.Config{TextBase: p.TextBase, DataBase: p.DataBase}
+	return asm.Assemble("kernel.s", Source(p), cfg)
+}
+
+// MustBuild assembles the kernel and panics on error; kernel source is
+// in-tree, trusted data.
+func MustBuild(p Params) *asm.Program {
+	prog, err := Build(p)
+	if err != nil {
+		panic(fmt.Sprintf("kernel: %v", err))
+	}
+	return prog
+}
+
+// Source returns the kernel assembly specialised with the platform
+// parameters.
+func Source(p Params) string {
+	return fmt.Sprintf(kernelTemplate,
+		p.PageTable, p.PTEntries,
+		p.SVCStackTop, p.IRQStackTop,
+		p.AppEntry,
+		p.UserVPNStart, p.UserVPNEnd,
+		p.KTextVPNEnd, p.KDataVPNEnd,
+		p.MMIOVPNStart, p.MMIOVPNEnd,
+		p.UARTBase, p.TimerBase, p.SysCtlBase,
+		p.TimerPeriod,
+		p.NumTasks, p.TaskStructLen,
+		p.NumTasks*p.TaskStructLen,
+	)
+}
+
+// CPSR constants used by the kernel: mode bits plus the IRQ-mask bit. They
+// must agree with package isa (ModeUser=1, ModeSVC=2, ModeIRQ=3, IRQOff=bit
+// 7); the template below spells them numerically because the assembler has
+// no visibility into Go constants.
+const kernelTemplate = `
+; ---------------------------------------------------------------------------
+; armsefi miniature kernel
+; ---------------------------------------------------------------------------
+.equ PAGETABLE,    %d
+.equ PT_ENTRIES,   %d
+.equ KSTACK_TOP,   %d
+.equ ISTACK_TOP,   %d
+.equ APP_ENTRY,    %d
+.equ USER_VPN_LO,  %d
+.equ USER_VPN_HI,  %d
+.equ KTEXT_VPN_HI, %d
+.equ KDATA_VPN_HI, %d
+.equ MMIO_VPN_LO,  %d
+.equ MMIO_VPN_HI,  %d
+.equ UART_BASE,    %d
+.equ TIMER_BASE,   %d
+.equ SYSCTL_BASE,  %d
+.equ TICK_PERIOD,  %d
+.equ NUM_TASKS,    %d
+.equ TASK_SIZE,    %d
+.equ TASKS_BYTES,  %d
+
+.equ MODE_USER,    1
+.equ CPSR_USER,    1          ; user mode, IRQs enabled
+.equ CPSR_IRQ_OFF, 0x83       ; IRQ mode, IRQs masked
+.equ PTE_VALID,    1
+.equ PTE_RW,       3          ; valid | writable
+.equ PTE_USER_RW,  7          ; valid | writable | user
+
+.text
+; Exception vector table. The hardware jumps to base + 4*vector.
+_start:
+	b reset              ; 0x00 reset
+	b vec_undef          ; 0x04 undefined instruction
+	b vec_svc            ; 0x08 supervisor call
+	b vec_pabort         ; 0x0c prefetch abort
+	b vec_dabort         ; 0x10 data abort
+	b vec_irq            ; 0x14 interrupt
+
+; ---------------------------------------------------------------- boot ----
+reset:
+	ldr sp, =KSTACK_TOP
+	bl build_pagetable
+	ldr r0, =PAGETABLE
+	msr ttbr, r0
+	; zero the bookkeeping counters
+	ldr r0, =jiffies
+	mov r1, #0
+	str r1, [r0]
+	ldr r0, =out_bytes
+	str r1, [r0]
+	ldr r0, =alive_count
+	str r1, [r0]
+	; give the IRQ mode its own stack
+	mrs r2, cpsr
+	ldr r1, =CPSR_IRQ_OFF
+	msr cpsr, r1
+	ldr sp, =ISTACK_TOP
+	msr cpsr, r2
+	; arm the scheduler tick
+	ldr r0, =TIMER_BASE
+	ldr r1, =TICK_PERIOD
+	str r1, [r0]
+	; drop to user mode at the application entry point
+	ldr r0, =CPSR_USER
+	msr spsr, r0
+	ldr r0, =APP_ENTRY
+	msr elr, r0
+	eret
+
+; Build the single-level page table:
+;   kernel text           read-only, kernel
+;   kernel data + stacks  read-write, kernel
+;   user region           read-write, user
+;   MMIO window           read-write, kernel
+; Everything else stays invalid so wild pointers fault.
+build_pagetable:
+	ldr r0, =PAGETABLE
+	mov r1, #0
+	ldr r3, =PT_ENTRIES
+pt_zero:
+	str r1, [r0]
+	add r0, #4
+	sub r3, #1
+	cmp r3, #0
+	bgt pt_zero
+
+	ldr r0, =PAGETABLE
+	mov r1, #0                 ; vpn cursor
+pt_ktext:
+	lsl r2, r1, #12
+	orr r2, r2, #PTE_VALID
+	str r2, [r0, r1, lsl #2]
+	add r1, #1
+	cmp r1, #KTEXT_VPN_HI
+	blt pt_ktext
+pt_kdata:
+	lsl r2, r1, #12
+	orr r2, r2, #PTE_RW
+	str r2, [r0, r1, lsl #2]
+	add r1, #1
+	cmp r1, #KDATA_VPN_HI
+	blt pt_kdata
+	ldr r1, =USER_VPN_LO
+	ldr r3, =USER_VPN_HI
+pt_user:
+	lsl r2, r1, #12
+	orr r2, r2, #PTE_USER_RW
+	str r2, [r0, r1, lsl #2]
+	add r1, #1
+	cmp r1, r3
+	blt pt_user
+	ldr r1, =MMIO_VPN_LO
+	ldr r3, =MMIO_VPN_HI
+pt_mmio:
+	lsl r2, r1, #12
+	orr r2, r2, #PTE_RW
+	str r2, [r0, r1, lsl #2]
+	add r1, #1
+	cmp r1, r3
+	blt pt_mmio
+	bx lr
+
+; -------------------------------------------------------------- faults ----
+vec_undef:
+	mov r0, #1
+	b fault_common
+vec_pabort:
+	mov r0, #3
+	b fault_common
+vec_dabort:
+	mov r0, #4
+	b fault_common
+
+; A fault from user mode kills the application (exit 0x80+vector); a fault
+; from a privileged mode is a kernel panic.
+fault_common:
+	mrs r1, spsr
+	and r1, r1, #0x1f
+	cmp r1, #MODE_USER
+	bne kernel_panic
+	add r0, r0, #ExitSignalBase
+	ldr r1, =SYSCTL_BASE
+	str r0, [r1]
+hang_app:
+	b hang_app
+
+kernel_panic:
+	ldr r1, =SYSCTL_BASE
+	ldr r0, =PanicCode
+	str r0, [r1]
+hang_panic:
+	b hang_panic
+
+.equ ExitSignalBase, 128
+.equ PanicCode, 57005
+
+; ------------------------------------------------------------ syscalls ----
+; Convention: syscall number in r7, arguments in r0..r2, result in r0.
+vec_svc:
+	push {r4, lr}
+	cmp r7, #1
+	beq sys_exit
+	cmp r7, #2
+	beq sys_write
+	cmp r7, #3
+	beq sys_alive
+	mvn r0, #0              ; ENOSYS
+	b svc_out
+
+sys_exit:
+	and r0, r0, #0x7f
+	ldr r1, =SYSCTL_BASE
+	str r0, [r1]
+hang_exit:
+	b hang_exit
+
+; write(buf=r0, len=r1): copy bytes from user memory to the UART, counting
+; them in kernel data so every syscall touches kernel cache lines.
+sys_write:
+	ldr r2, =out_bytes
+	ldr r4, [r2]
+	add r4, r4, r1
+	str r4, [r2]
+	ldr r2, =UART_BASE
+wr_loop:
+	cmp r1, #0
+	ble wr_done
+	ldrb r4, [r0]
+	str r4, [r2]
+	add r0, #1
+	sub r1, #1
+	b wr_loop
+wr_done:
+	mov r0, #0
+	b svc_out
+
+sys_alive:
+	ldr r1, =alive_count
+	ldr r0, [r1]
+	add r0, #1
+	str r0, [r1]
+	ldr r1, =SYSCTL_BASE
+	str r0, [r1, #8]
+	mov r0, #0
+	b svc_out
+
+svc_out:
+	pop {r4, lr}
+	eret
+
+; ------------------------------------------------------ scheduler tick ----
+; The timer interrupt acknowledges the device, advances jiffies, reports
+; the kernel heartbeat, and walks the task table — dirtying one cache line
+; per task, exactly the resident kernel state the paper blames for beam
+; System Crashes under small-footprint workloads.
+vec_irq:
+	push {r0, r1, r2, r3}
+	ldr r0, =TIMER_BASE
+	mov r1, #1
+	str r1, [r0, #4]        ; ack
+	ldr r0, =jiffies
+	ldr r1, [r0]
+	add r1, #1
+	str r1, [r0]
+	ldr r2, =SYSCTL_BASE
+	str r1, [r2, #4]        ; kernel heartbeat
+	ldr r0, =task_table
+	mov r2, #0
+	mov r3, #0
+tick_tasks:
+	ldr r1, [r0]
+	add r3, r3, r1
+	add r1, #1
+	str r1, [r0]
+	add r0, #TASK_SIZE
+	add r2, #1
+	cmp r2, #NUM_TASKS
+	blt tick_tasks
+	ldr r0, =sched_sum
+	str r3, [r0]
+	pop {r0, r1, r2, r3}
+	eret
+
+; ---------------------------------------------------------- kernel data ---
+.data
+jiffies:     .word 0
+out_bytes:   .word 0
+alive_count: .word 0
+sched_sum:   .word 0
+.align 32
+task_table:  .space TASKS_BYTES
+`

@@ -1,0 +1,93 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func testParams() Params {
+	return Params{
+		TextBase:      0,
+		DataBase:      0x4000,
+		PageTable:     0xC000,
+		PTEntries:     4096,
+		SVCStackTop:   0x1_1000,
+		IRQStackTop:   0x1_2000,
+		AppEntry:      0x10_0000,
+		UserVPNStart:  0x100,
+		UserVPNEnd:    0x3F0,
+		KTextVPNEnd:   4,
+		KDataVPNEnd:   18,
+		MMIOVPNStart:  0x400,
+		MMIOVPNEnd:    0x410,
+		UARTBase:      0x40_0000,
+		TimerBase:     0x40_1000,
+		SysCtlBase:    0x40_2000,
+		TimerPeriod:   20_000,
+		NumTasks:      32,
+		TaskStructLen: 64,
+	}
+}
+
+func TestKernelBuilds(t *testing.T) {
+	prog, err := Build(testParams())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if prog.TextWords() < 100 {
+		t.Errorf("kernel suspiciously small: %d words", prog.TextWords())
+	}
+	// The vector table is the first six words, each a branch.
+	for i := 0; i < 6; i++ {
+		w, ok := prog.Word(uint32(4 * i))
+		if !ok {
+			t.Fatalf("missing vector word %d", i)
+		}
+		// Branch opcode is bits [27:22] == OpB; checking the top nibble is
+		// AL (0xE) and the op field is the branch op suffices here.
+		if w>>28 != 0xE {
+			t.Errorf("vector %d not unconditional: %#x", i, w)
+		}
+	}
+	for _, sym := range []string{"_start", "reset", "vec_svc", "vec_irq", "vec_undef",
+		"vec_dabort", "vec_pabort", "kernel_panic", "jiffies", "task_table"} {
+		if _, ok := prog.Symbol(sym); !ok {
+			t.Errorf("kernel missing symbol %q", sym)
+		}
+	}
+}
+
+func TestKernelBuildDeterministic(t *testing.T) {
+	a := MustBuild(testParams())
+	b := MustBuild(testParams())
+	if string(a.Text) != string(b.Text) || string(a.Data) != string(b.Data) {
+		t.Error("kernel build is not deterministic")
+	}
+}
+
+func TestKernelSourceParametrised(t *testing.T) {
+	p := testParams()
+	src := Source(p)
+	for _, frag := range []string{"TICK_PERIOD,  20000", "NUM_TASKS,    32", "APP_ENTRY,    1048576"} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("source missing %q", frag)
+		}
+	}
+	p.TimerPeriod = 999
+	if !strings.Contains(Source(p), "TICK_PERIOD,  999") {
+		t.Error("timer period not substituted")
+	}
+}
+
+func TestKernelDataFitsBeforePageTable(t *testing.T) {
+	p := testParams()
+	prog := MustBuild(p)
+	end := p.DataBase + uint32(len(prog.Data))
+	if end > p.PageTable {
+		t.Fatalf("kernel data [%#x, %#x) overlaps the page table at %#x",
+			p.DataBase, end, p.PageTable)
+	}
+	if p.TextBase+uint32(len(prog.Text)) > p.DataBase {
+		t.Fatalf("kernel text overflows into data region")
+	}
+}

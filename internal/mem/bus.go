@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Device is a memory-mapped peripheral. Offsets are relative to the device
+// base and always word-sized: the bus only routes aligned 32-bit accesses to
+// devices.
+type Device interface {
+	// Name identifies the device in diagnostics.
+	Name() string
+	// Read32 reads the register at the given byte offset.
+	Read32(off uint32) uint32
+	// Write32 writes the register at the given byte offset.
+	Write32(off, val uint32)
+}
+
+type busWindow struct {
+	base uint32
+	size uint32
+	dev  Device
+}
+
+// Bus routes physical addresses to the DRAM or to MMIO devices, and adapts
+// the DRAM to the cache Backing interface. Device windows are uncached.
+type Bus struct {
+	dram       *DRAM
+	windows    []busWindow
+	DRAMCycles int // latency of a DRAM line transfer
+	MMIOCycles int // latency of a device register access
+}
+
+// NewBus wraps a DRAM with default access latencies.
+func NewBus(dram *DRAM) *Bus {
+	return &Bus{dram: dram, DRAMCycles: 60, MMIOCycles: 10}
+}
+
+var _ Backing = (*Bus)(nil)
+
+// Map registers a device window. Windows must not overlap DRAM or each
+// other.
+func (b *Bus) Map(base, size uint32, dev Device) error {
+	if base < b.dram.Size() {
+		return fmt.Errorf("mem: device %q window %#x overlaps DRAM", dev.Name(), base)
+	}
+	for _, w := range b.windows {
+		if base < w.base+w.size && w.base < base+size {
+			return fmt.Errorf("mem: device %q window %#x overlaps %q", dev.Name(), base, w.dev.Name())
+		}
+	}
+	b.windows = append(b.windows, busWindow{base: base, size: size, dev: dev})
+	sort.Slice(b.windows, func(i, j int) bool { return b.windows[i].base < b.windows[j].base })
+	return nil
+}
+
+// DRAM returns the physical memory behind the bus.
+func (b *Bus) DRAM() *DRAM { return b.dram }
+
+// device finds the window containing addr.
+func (b *Bus) device(addr uint32) (busWindow, bool) {
+	for _, w := range b.windows {
+		if addr >= w.base && addr < w.base+w.size {
+			return w, true
+		}
+	}
+	return busWindow{}, false
+}
+
+// IsMMIO reports whether the physical address falls in a device window.
+func (b *Bus) IsMMIO(addr uint32) bool {
+	_, ok := b.device(addr)
+	return ok
+}
+
+// FetchLine implements Backing over the DRAM. Lines never overlap device
+// windows: device pages are accessed uncached via ReadWord/WriteWord.
+func (b *Bus) FetchLine(addr uint32, buf []byte) (int, bool) {
+	if !b.dram.ReadLine(addr, buf) {
+		return b.DRAMCycles, false
+	}
+	return b.DRAMCycles, true
+}
+
+// WriteBackLine implements Backing over the DRAM.
+func (b *Bus) WriteBackLine(addr uint32, buf []byte) (int, bool) {
+	if !b.dram.WriteLine(addr, buf) {
+		return b.DRAMCycles, false
+	}
+	return b.DRAMCycles, true
+}
+
+// ReadWord performs an uncached word read, for MMIO.
+func (b *Bus) ReadWord(addr uint32) (uint32, int, bool) {
+	w, ok := b.device(addr)
+	if !ok {
+		return 0, b.MMIOCycles, false
+	}
+	return w.dev.Read32(addr - w.base), b.MMIOCycles, true
+}
+
+// WriteWord performs an uncached word write, for MMIO.
+func (b *Bus) WriteWord(addr, val uint32) (int, bool) {
+	w, ok := b.device(addr)
+	if !ok {
+		return b.MMIOCycles, false
+	}
+	w.dev.Write32(addr-w.base, val)
+	return b.MMIOCycles, true
+}

@@ -1,0 +1,510 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CacheConfig describes the geometry and timing of one cache level.
+type CacheConfig struct {
+	Name      string
+	SizeBytes uint32
+	LineBytes uint32
+	Ways      int
+	HitCycles int // latency added on a hit
+}
+
+// Validate checks the geometry for internal consistency.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes == 0 || c.LineBytes == 0 || c.Ways <= 0:
+		return fmt.Errorf("mem: cache %q has zero-sized geometry", c.Name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: cache %q line size %d not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*uint32(c.Ways)) != 0:
+		return fmt.Errorf("mem: cache %q size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / c.LineBytes / uint32(c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: cache %q set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheConfig) Sets() uint32 { return c.SizeBytes / c.LineBytes / uint32(c.Ways) }
+
+// cacheLine is one way of one set, including the stored data bits.
+type cacheLine struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	lru   uint64 // last-touched tick, larger is more recent
+	data  []byte
+}
+
+// CacheStats counts cache events for the performance-counter comparison of
+// Section IV-D.
+type CacheStats struct {
+	Reads      uint64
+	Writes     uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// Accesses returns total accesses.
+func (s CacheStats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Backing is the next level below a cache: either another cache or the
+// memory bus.
+type Backing interface {
+	// FetchLine reads the aligned line containing addr into buf and returns
+	// the added latency. ok is false on a bus error (nonexistent physical
+	// address), which the CPU turns into an abort.
+	FetchLine(addr uint32, buf []byte) (lat int, ok bool)
+	// WriteBackLine writes an evicted dirty line and returns the added
+	// latency.
+	WriteBackLine(addr uint32, buf []byte) (lat int, ok bool)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement that stores real data bits. It implements Backing so caches
+// stack into a hierarchy.
+type Cache struct {
+	cfg     CacheConfig
+	sets    uint32
+	lines   [][]cacheLine // [set][way]
+	below   Backing
+	tick    uint64
+	stats   CacheStats
+	life    *LifetimeTracker
+	offBits uint
+	setBits uint
+}
+
+var _ Backing = (*Cache)(nil)
+
+// NewCache builds a cache over the given backing level. It panics on an
+// invalid geometry: configurations are static, in-tree data.
+func NewCache(cfg CacheConfig, below Backing) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, sets: cfg.Sets(), below: below}
+	c.offBits = log2(cfg.LineBytes)
+	c.setBits = log2(c.sets)
+	c.lines = make([][]cacheLine, c.sets)
+	for s := range c.lines {
+		ways := make([]cacheLine, cfg.Ways)
+		for w := range ways {
+			ways[w].data = make([]byte, cfg.LineBytes)
+		}
+		c.lines[s] = ways
+	}
+	return c
+}
+
+func log2(v uint32) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns the event counters accumulated since the last reset.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// SizeBits returns the number of modeled data bits, the Size(bits) term of
+// the paper's FIT_component = FIT_raw * Size * AVF formula.
+func (c *Cache) SizeBits() uint64 { return uint64(c.cfg.SizeBytes) * 8 }
+
+func (c *Cache) split(addr uint32) (tag, set, off uint32) {
+	off = addr & (c.cfg.LineBytes - 1)
+	set = addr >> c.offBits & (c.sets - 1)
+	tag = addr >> (c.offBits + c.setBits)
+	return tag, set, off
+}
+
+// lookup returns the way index holding addr, or -1.
+func (c *Cache) lookup(tag, set uint32) int {
+	for w := range c.lines[set] {
+		ln := &c.lines[set][w]
+		if ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the LRU way of a set.
+func (c *Cache) victim(set uint32) int {
+	best, bestTick := 0, ^uint64(0)
+	for w := range c.lines[set] {
+		ln := &c.lines[set][w]
+		if !ln.valid {
+			return w
+		}
+		if ln.lru < bestTick {
+			best, bestTick = w, ln.lru
+		}
+	}
+	return best
+}
+
+// lineAddr reconstructs the physical address of a line from its tag and set.
+func (c *Cache) lineAddr(tag, set uint32) uint32 {
+	return tag<<(c.offBits+c.setBits) | set<<c.offBits
+}
+
+// fill brings the line containing addr into the cache, evicting as needed.
+// It returns the way index, the added latency, and whether the backing
+// access succeeded.
+func (c *Cache) fill(tag, set uint32, addr uint32) (int, int, bool) {
+	w := c.victim(set)
+	ln := &c.lines[set][w]
+	lat := 0
+	if c.life != nil && ln.valid {
+		c.life.evict(c.lifeIdx(set, w), ln.dirty)
+	}
+	if ln.valid && ln.dirty {
+		wbLat, ok := c.below.WriteBackLine(c.lineAddr(ln.tag, set), ln.data)
+		lat += wbLat
+		if !ok {
+			return w, lat, false
+		}
+		c.stats.Writebacks++
+	}
+	fLat, ok := c.below.FetchLine(addr&^(c.cfg.LineBytes-1), ln.data)
+	lat += fLat
+	if !ok {
+		ln.valid = false
+		return w, lat, false
+	}
+	ln.valid = true
+	ln.dirty = false
+	ln.tag = tag
+	if c.life != nil {
+		c.life.open(c.lifeIdx(set, w), false)
+	}
+	return w, lat, true
+}
+
+// access performs a read or write of up to 8 bytes entirely within one line.
+func (c *Cache) access(addr uint32, buf []byte, write bool) (int, bool) {
+	tag, set, off := c.split(addr)
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	lat := c.cfg.HitCycles
+	w := c.lookup(tag, set)
+	if w < 0 {
+		c.stats.Misses++
+		var ok bool
+		var fillLat int
+		w, fillLat, ok = c.fill(tag, set, addr)
+		lat += fillLat
+		if !ok {
+			return lat, false
+		}
+	}
+	ln := &c.lines[set][w]
+	c.tick++
+	ln.lru = c.tick
+	if write {
+		copy(ln.data[off:], buf)
+		ln.dirty = true
+		if c.life != nil {
+			c.life.write(c.lifeIdx(set, w))
+		}
+	} else {
+		copy(buf, ln.data[off:int(off)+len(buf)])
+		if c.life != nil {
+			c.life.read(c.lifeIdx(set, w))
+		}
+	}
+	return lat, true
+}
+
+// Read reads size bytes (1, 2, or 4; never crossing a line) at addr.
+func (c *Cache) Read(addr uint32, size uint32) (uint32, int, bool) {
+	var buf [4]byte
+	lat, ok := c.access(addr, buf[:size], false)
+	if !ok {
+		return 0, lat, false
+	}
+	switch size {
+	case 1:
+		return uint32(buf[0]), lat, true
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(buf[:])), lat, true
+	default:
+		return binary.LittleEndian.Uint32(buf[:]), lat, true
+	}
+}
+
+// Write stores size bytes (1, 2, or 4) of val at addr.
+func (c *Cache) Write(addr uint32, size uint32, val uint32) (int, bool) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], val)
+	return c.access(addr, buf[:size], true)
+}
+
+// FetchLine implements Backing for an upper-level cache.
+func (c *Cache) FetchLine(addr uint32, buf []byte) (int, bool) {
+	tag, set, _ := c.split(addr)
+	c.stats.Reads++
+	lat := c.cfg.HitCycles
+	w := c.lookup(tag, set)
+	if w < 0 {
+		c.stats.Misses++
+		var ok bool
+		var fillLat int
+		w, fillLat, ok = c.fill(tag, set, addr)
+		lat += fillLat
+		if !ok {
+			return lat, false
+		}
+	}
+	ln := &c.lines[set][w]
+	c.tick++
+	ln.lru = c.tick
+	copy(buf, ln.data)
+	if c.life != nil {
+		c.life.read(c.lifeIdx(set, w))
+	}
+	return lat, true
+}
+
+// WriteBackLine implements Backing for an upper-level cache: the victim line
+// of the level above is absorbed here (write-allocate).
+func (c *Cache) WriteBackLine(addr uint32, buf []byte) (int, bool) {
+	tag, set, _ := c.split(addr)
+	c.stats.Writes++
+	lat := c.cfg.HitCycles
+	w := c.lookup(tag, set)
+	if w < 0 {
+		c.stats.Misses++
+		var ok bool
+		var fillLat int
+		w, fillLat, ok = c.fill(tag, set, addr)
+		lat += fillLat
+		if !ok {
+			return lat, false
+		}
+	}
+	ln := &c.lines[set][w]
+	c.tick++
+	ln.lru = c.tick
+	copy(ln.data, buf)
+	ln.dirty = true
+	if c.life != nil {
+		c.life.write(c.lifeIdx(set, w))
+	}
+	return lat, true
+}
+
+// InvalidateAll drops every line without writing dirty data back. Used when
+// the platform resets between fault-injection runs.
+func (c *Cache) InvalidateAll() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			if c.life != nil && c.lines[s][w].valid {
+				c.life.evict(c.lifeIdx(uint32(s), w), false)
+			}
+			c.lines[s][w].valid = false
+			c.lines[s][w].dirty = false
+		}
+	}
+	c.stats = CacheStats{}
+}
+
+// FlushAll writes every dirty line back and invalidates the cache.
+func (c *Cache) FlushAll() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			ln := &c.lines[s][w]
+			if ln.valid && ln.dirty {
+				c.below.WriteBackLine(c.lineAddr(ln.tag, uint32(s)), ln.data)
+			}
+			ln.valid = false
+			ln.dirty = false
+		}
+	}
+}
+
+// --- Fault-injection surface ---------------------------------------------
+
+// FlipDataBit inverts one stored data bit, addressed linearly across the
+// whole data array: bit / 8 selects the byte in set-major, way-minor,
+// line-offset order. The flip lands whether or not the line is valid, just
+// as a particle strike does; an invalid or later-refilled line masks it.
+func (c *Cache) FlipDataBit(bit uint64) {
+	lineBits := uint64(c.cfg.LineBytes) * 8
+	wayBits := lineBits * uint64(c.cfg.Ways)
+	set := bit / wayBits % uint64(c.sets)
+	way := bit % wayBits / lineBits
+	off := bit % lineBits
+	c.lines[set][way].data[off/8] ^= 1 << (off % 8)
+}
+
+// ValidLines returns how many lines currently hold valid data.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			if c.lines[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyLines returns how many lines are valid and dirty.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			if c.lines[s][w].valid && c.lines[s][w].dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TagBits returns the number of tag bits per line (for the tag-array
+// injection ablation).
+func (c *Cache) TagBits() uint {
+	return 32 - c.offBits - c.setBits
+}
+
+// FlipTagBit inverts one bit of a line's tag, addressed linearly across the
+// tag array. A tag flip on a clean line turns later hits into misses (the
+// fault is usually masked by a refill); on a dirty line it writes the data
+// back to the wrong physical address — silent corruption of another line.
+func (c *Cache) FlipTagBit(bit uint64) {
+	perLine := uint64(c.TagBits())
+	line := bit / perLine
+	set := line / uint64(c.cfg.Ways) % uint64(c.sets)
+	way := line % uint64(c.cfg.Ways)
+	c.lines[set][way].tag ^= 1 << (bit % perLine)
+}
+
+// TotalTagBits returns the size of the tag array in bits.
+func (c *Cache) TotalTagBits() uint64 {
+	return uint64(c.sets) * uint64(c.cfg.Ways) * uint64(c.TagBits())
+}
+
+// CacheState is a deep copy of a cache's content, captured by Machine
+// snapshots (the gem5-checkpoint analogue).
+type CacheState struct {
+	lines [][]cacheLine
+	tick  uint64
+	stats CacheStats
+}
+
+// SaveState deep-copies the cache content.
+func (c *Cache) SaveState() *CacheState {
+	st := &CacheState{tick: c.tick, stats: c.stats}
+	st.lines = make([][]cacheLine, len(c.lines))
+	for s := range c.lines {
+		ways := make([]cacheLine, len(c.lines[s]))
+		for w := range c.lines[s] {
+			ways[w] = c.lines[s][w]
+			ways[w].data = append([]byte(nil), c.lines[s][w].data...)
+		}
+		st.lines[s] = ways
+	}
+	return st
+}
+
+// RestoreState restores content captured by SaveState on a cache with the
+// same geometry.
+func (c *Cache) RestoreState(st *CacheState) {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			src := st.lines[s][w]
+			dst := &c.lines[s][w]
+			data := dst.data
+			copy(data, src.data)
+			*dst = src
+			dst.data = data
+		}
+	}
+	c.tick = st.tick
+	c.stats = st.stats
+}
+
+// FlushInto overlays every valid dirty line onto a raw physical-memory
+// image without disturbing cache state. Machine snapshots use it to build a
+// coherent DRAM image while the caches keep their (possibly dirty)
+// content.
+func (c *Cache) FlushInto(dst []byte) {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			ln := &c.lines[s][w]
+			if !ln.valid || !ln.dirty {
+				continue
+			}
+			addr := c.lineAddr(ln.tag, uint32(s))
+			if int(addr)+len(ln.data) <= len(dst) {
+				copy(dst[addr:], ln.data)
+			}
+		}
+	}
+}
+
+// InvalidateRange drops (without writeback) every line whose address falls
+// in [base, base+size). Used when a fresh application image is loaded into
+// DRAM underneath a live cache hierarchy.
+func (c *Cache) InvalidateRange(base, size uint32) {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			ln := &c.lines[s][w]
+			if !ln.valid {
+				continue
+			}
+			addr := c.lineAddr(ln.tag, uint32(s))
+			if addr >= base && addr < base+size {
+				if c.life != nil {
+					c.life.evict(c.lifeIdx(uint32(s), w), false)
+				}
+				ln.valid = false
+				ln.dirty = false
+			}
+		}
+	}
+}
+
+// LineInfo resolves a linear data-array bit index to the line's current
+// physical address and state — the injector's observability hook ("where
+// exactly did the fault strike").
+func (c *Cache) LineInfo(bit uint64) (addr uint32, valid, dirty bool) {
+	lineBits := uint64(c.cfg.LineBytes) * 8
+	wayBits := lineBits * uint64(c.cfg.Ways)
+	set := uint32(bit / wayBits % uint64(c.sets))
+	way := int(bit % wayBits / lineBits)
+	ln := &c.lines[set][way]
+	return c.lineAddr(ln.tag, set), ln.valid, ln.dirty
+}
+
+// VisitValidLines calls fn for every valid line with its physical address
+// and dirty state; used for cache-residency profiling.
+func (c *Cache) VisitValidLines(fn func(addr uint32, dirty bool)) {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			ln := &c.lines[s][w]
+			if ln.valid {
+				fn(c.lineAddr(ln.tag, uint32(s)), ln.dirty)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package mem
+
+// LifetimeTracker accumulates ACE-style residency statistics for one cache
+// or TLB: for every value held by an entry it measures the interval during
+// which the value still mattered (from fill/write to its last consuming
+// read, or to writeback for dirty data). Dividing the accumulated
+// ACE-cycles by capacity x time yields the ACE estimate of the structure's
+// AVF — the single-simulation alternative to statistical fault injection
+// that the paper's Section II surveys (Mukherjee et al. [12], Wang et al.
+// [28]).
+//
+// Granularity is one line (or TLB entry): all bits of an entry share the
+// lifetime of its current value. This is the classic coarse ACE
+// approximation; it over-estimates against fault injection because not
+// every bit of a live line is consumed — exactly the bias [28] reports.
+type LifetimeTracker struct {
+	clock func() uint64
+	lives []valueLife
+	start uint64
+
+	aceCycles   uint64
+	valuesTotal uint64
+	valuesRead  uint64
+}
+
+// valueLife tracks the current value of one entry.
+type valueLife struct {
+	valid    bool
+	dirty    bool
+	birth    uint64
+	lastRead uint64
+	reads    uint32
+}
+
+// NewLifetimeTracker creates a tracker for a structure with the given
+// number of entries; clock supplies the current simulation cycle.
+func NewLifetimeTracker(entries int, clock func() uint64) *LifetimeTracker {
+	return &LifetimeTracker{clock: clock, lives: make([]valueLife, entries), start: clock()}
+}
+
+// open begins a new value lifetime (fill or write-allocate).
+func (t *LifetimeTracker) open(idx int, dirty bool) {
+	now := t.clock()
+	t.closeValue(idx, now, false)
+	t.lives[idx] = valueLife{valid: true, dirty: dirty, birth: now}
+	t.valuesTotal++
+}
+
+// read marks a consuming read of the current value.
+func (t *LifetimeTracker) read(idx int) {
+	l := &t.lives[idx]
+	if !l.valid {
+		return
+	}
+	if l.reads == 0 {
+		t.valuesRead++
+	}
+	l.reads++
+	l.lastRead = t.clock()
+}
+
+// write replaces the value in place: the previous value's lifetime closes
+// and a new dirty value begins.
+func (t *LifetimeTracker) write(idx int) {
+	t.open(idx, true)
+}
+
+// closeValue ends the current value's lifetime. If the value leaves by
+// writeback (dirty), it stays ACE until departure; otherwise its ACE span
+// ends at its last read.
+func (t *LifetimeTracker) closeValue(idx int, now uint64, writeback bool) {
+	l := &t.lives[idx]
+	if !l.valid {
+		return
+	}
+	switch {
+	case writeback && l.dirty:
+		t.aceCycles += now - l.birth
+	case l.reads > 0:
+		t.aceCycles += l.lastRead - l.birth
+	}
+	l.valid = false
+}
+
+// evict ends a lifetime on eviction or invalidation.
+func (t *LifetimeTracker) evict(idx int, writeback bool) {
+	t.closeValue(idx, t.clock(), writeback)
+}
+
+// Finalize closes every live value at the end of the observation window
+// (dirty values count as ACE to the end: they would be written back) and
+// returns the ACE AVF estimate.
+func (t *LifetimeTracker) Finalize() float64 {
+	now := t.clock()
+	for i := range t.lives {
+		if t.lives[i].valid {
+			t.closeValue(i, now, t.lives[i].dirty)
+		}
+	}
+	window := now - t.start
+	if window == 0 || len(t.lives) == 0 {
+		return 0
+	}
+	return float64(t.aceCycles) / (float64(window) * float64(len(t.lives)))
+}
+
+// ACECycles returns the accumulated entry-cycles of ACE residency.
+func (t *LifetimeTracker) ACECycles() uint64 { return t.aceCycles }
+
+// Values returns how many value lifetimes were opened and how many were
+// read at least once.
+func (t *LifetimeTracker) Values() (total, read uint64) {
+	return t.valuesTotal, t.valuesRead
+}
+
+// --- Cache integration -----------------------------------------------------
+
+// AttachLifetimeTracker instruments the cache with ACE lifetime tracking
+// from the current cycle onward. Passing the core's cycle counter as clock
+// ties residency to simulated time.
+func (c *Cache) AttachLifetimeTracker(clock func() uint64) *LifetimeTracker {
+	c.life = NewLifetimeTracker(int(c.sets)*c.cfg.Ways, clock)
+	return c.life
+}
+
+// DetachLifetimeTracker removes the instrumentation.
+func (c *Cache) DetachLifetimeTracker() { c.life = nil }
+
+func (c *Cache) lifeIdx(set uint32, way int) int { return int(set)*c.cfg.Ways + way }
+
+// --- TLB integration ---------------------------------------------------------
+
+// AttachLifetimeTracker instruments the TLB with ACE lifetime tracking.
+func (t *TLB) AttachLifetimeTracker(clock func() uint64) *LifetimeTracker {
+	t.life = NewLifetimeTracker(len(t.entries), clock)
+	return t.life
+}
+
+// DetachLifetimeTracker removes the instrumentation.
+func (t *TLB) DetachLifetimeTracker() { t.life = nil }

@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+func benchCache(b *testing.B) *Cache {
+	b.Helper()
+	dram := NewDRAM(1 << 20)
+	bus := NewBus(dram)
+	return NewCache(CacheConfig{Name: "c", SizeBytes: 32 << 10, LineBytes: 32, Ways: 4, HitCycles: 1}, bus)
+}
+
+// BenchmarkCacheHit measures the simulator's hot cache-access path.
+func BenchmarkCacheHit(b *testing.B) {
+	c := benchCache(b)
+	c.Read(64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(64, 4)
+	}
+}
+
+// BenchmarkCacheMissStream measures fill/evict throughput on a streaming
+// access pattern.
+func BenchmarkCacheMissStream(b *testing.B) {
+	c := benchCache(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint32(i*32)&0xFFFFF, 4)
+	}
+}
+
+// BenchmarkTLBLookup measures the translation hot path.
+func BenchmarkTLBLookup(b *testing.B) {
+	t := NewTLB("t", 64)
+	for v := uint32(0); v < 64; v++ {
+		t.Insert(v, v, true, true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(uint32(i) & 63)
+	}
+}
+
+// BenchmarkSnapshotRestore measures the checkpoint-restore cost that every
+// injection run pays.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	c := benchCache(b)
+	for a := uint32(0); a < 32<<10; a += 32 {
+		c.Write(a, 4, a)
+	}
+	st := c.SaveState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RestoreState(st)
+	}
+}

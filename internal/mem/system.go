@@ -1,0 +1,263 @@
+package mem
+
+import (
+	"fmt"
+
+	"armsefi/internal/isa"
+)
+
+// FaultKind classifies a failed memory access.
+type FaultKind uint8
+
+// Memory fault kinds.
+const (
+	FaultUnmapped   FaultKind = 1 + iota // no valid translation
+	FaultPermission                      // mode/write permission violation
+	FaultAlignment                       // misaligned word/halfword access
+	FaultBusError                        // physical address decodes to nothing
+)
+
+var faultNames = map[FaultKind]string{
+	FaultUnmapped:   "unmapped",
+	FaultPermission: "permission",
+	FaultAlignment:  "alignment",
+	FaultBusError:   "bus-error",
+}
+
+// String returns a short fault name.
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault describes a failed access. A nil *Fault means success.
+type Fault struct {
+	Kind FaultKind
+	Addr uint32 // faulting virtual address
+}
+
+// Error implements error for diagnostics; simulated code sees vectors, not
+// Go errors.
+func (f *Fault) Error() string { return fmt.Sprintf("%s fault at %#x", f.Kind, f.Addr) }
+
+// Access is the kind of memory access being translated.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessFetch Access = 1 + iota
+	AccessLoad
+	AccessStore
+)
+
+// Page-table entry bits, as written by the kernel and read by the hardware
+// walker.
+const (
+	PTEValid          = 1 << 0
+	PTEWrite          = 1 << 1
+	PTEUser           = 1 << 2
+	PTEPPNMask uint32 = 0xFFFFF000
+)
+
+// WalkStats counts hardware page-table walks.
+type WalkStats struct {
+	Walks uint64
+}
+
+// SystemConfig gathers the geometry of a platform's memory system.
+type SystemConfig struct {
+	L1I, L1D, L2 CacheConfig
+	TLBEntries   int
+	// VPNLimit bounds the virtual address space covered by the single-level
+	// page table: virtual pages >= VPNLimit fault as unmapped. Zero means
+	// the full 20-bit VPN space.
+	VPNLimit uint32
+}
+
+// System is the full memory system seen by a CPU core: split L1 caches and
+// TLBs, a unified L2, the hardware page walker, and the bus. All simulated
+// code — user and kernel alike — goes through this path, so kernel text and
+// data occupy cache lines exactly as on the physical board.
+type System struct {
+	Bus  *Bus
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	ITLB *TLB
+	DTLB *TLB
+
+	ttbr      uint32
+	vpnLimit  uint32
+	walkStats WalkStats
+}
+
+// NewSystem wires a memory system over the given bus.
+func NewSystem(cfg SystemConfig, bus *Bus) *System {
+	l2 := NewCache(cfg.L2, bus)
+	limit := cfg.VPNLimit
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	return &System{
+		Bus:      bus,
+		vpnLimit: limit,
+		L2:       l2,
+		L1I:      NewCache(cfg.L1I, l2),
+		L1D:      NewCache(cfg.L1D, l2),
+		ITLB:     NewTLB("itlb", cfg.TLBEntries),
+		DTLB:     NewTLB("dtlb", cfg.TLBEntries),
+	}
+}
+
+// SetTTBR points the walker at a page table; zero disables translation
+// (boot-time identity mapping with full permissions).
+func (s *System) SetTTBR(ttbr uint32) {
+	if ttbr != s.ttbr {
+		s.ITLB.InvalidateAll()
+		s.DTLB.InvalidateAll()
+	}
+	s.ttbr = ttbr
+}
+
+// TTBR returns the current translation table base.
+func (s *System) TTBR() uint32 { return s.ttbr }
+
+// WalkStats returns page-walk counters.
+func (s *System) WalkStats() WalkStats { return s.walkStats }
+
+// translate resolves a virtual address. Page-table walks read through the
+// L1 data cache (keeping the walker coherent with the kernel's page-table
+// stores, which sit dirty in L1D right after boot), so page-table lines
+// occupy cache space like any other kernel data.
+func (s *System) translate(vaddr uint32, acc Access, mode isa.Mode) (uint32, int, *Fault) {
+	if s.ttbr == 0 {
+		return vaddr, 0, nil
+	}
+	vpn := vaddr >> PageShift
+	if vpn >= s.vpnLimit {
+		return 0, 0, &Fault{Kind: FaultUnmapped, Addr: vaddr}
+	}
+	tlb := s.DTLB
+	if acc == AccessFetch {
+		tlb = s.ITLB
+	}
+	lat := 0
+	entry, hit := tlb.Lookup(vpn)
+	if !hit {
+		s.walkStats.Walks++
+		pte, walkLat, ok := s.L1D.Read(s.ttbr+vpn*4, 4)
+		lat += walkLat + 1
+		if !ok {
+			return 0, lat, &Fault{Kind: FaultBusError, Addr: vaddr}
+		}
+		if pte&PTEValid == 0 {
+			return 0, lat, &Fault{Kind: FaultUnmapped, Addr: vaddr}
+		}
+		tlb.Insert(vpn, pte&PTEPPNMask>>PageShift, pte&PTEUser != 0, pte&PTEWrite != 0)
+		entry, _ = tlb.Lookup(vpn)
+	}
+	if mode == isa.ModeUser && !entry.User() {
+		return 0, lat, &Fault{Kind: FaultPermission, Addr: vaddr}
+	}
+	if acc == AccessStore && !entry.Writable() {
+		return 0, lat, &Fault{Kind: FaultPermission, Addr: vaddr}
+	}
+	return entry.PPN()<<PageShift | vaddr&(PageSize-1), lat, nil
+}
+
+// FetchInstr reads one instruction word at the virtual PC.
+func (s *System) FetchInstr(vaddr uint32, mode isa.Mode) (uint32, int, *Fault) {
+	if vaddr&3 != 0 {
+		return 0, 0, &Fault{Kind: FaultAlignment, Addr: vaddr}
+	}
+	paddr, lat, fault := s.translate(vaddr, AccessFetch, mode)
+	if fault != nil {
+		return 0, lat, fault
+	}
+	if s.Bus.IsMMIO(paddr) {
+		return 0, lat, &Fault{Kind: FaultPermission, Addr: vaddr}
+	}
+	word, readLat, ok := s.L1I.Read(paddr, 4)
+	lat += readLat
+	if !ok {
+		return 0, lat, &Fault{Kind: FaultBusError, Addr: vaddr}
+	}
+	return word, lat, nil
+}
+
+// Load reads size bytes (1, 2, or 4) at a virtual address.
+func (s *System) Load(vaddr, size uint32, mode isa.Mode) (uint32, int, *Fault) {
+	if fault := checkAlign(vaddr, size); fault != nil {
+		return 0, 0, fault
+	}
+	paddr, lat, fault := s.translate(vaddr, AccessLoad, mode)
+	if fault != nil {
+		return 0, lat, fault
+	}
+	if s.Bus.IsMMIO(paddr) {
+		if size != 4 {
+			return 0, lat, &Fault{Kind: FaultAlignment, Addr: vaddr}
+		}
+		val, mmioLat, ok := s.Bus.ReadWord(paddr)
+		lat += mmioLat
+		if !ok {
+			return 0, lat, &Fault{Kind: FaultBusError, Addr: vaddr}
+		}
+		return val, lat, nil
+	}
+	val, readLat, ok := s.L1D.Read(paddr, size)
+	lat += readLat
+	if !ok {
+		return 0, lat, &Fault{Kind: FaultBusError, Addr: vaddr}
+	}
+	return val, lat, nil
+}
+
+// Store writes size bytes (1, 2, or 4) at a virtual address.
+func (s *System) Store(vaddr, size, val uint32, mode isa.Mode) (int, *Fault) {
+	if fault := checkAlign(vaddr, size); fault != nil {
+		return 0, fault
+	}
+	paddr, lat, fault := s.translate(vaddr, AccessStore, mode)
+	if fault != nil {
+		return lat, fault
+	}
+	if s.Bus.IsMMIO(paddr) {
+		if size != 4 {
+			return lat, &Fault{Kind: FaultAlignment, Addr: vaddr}
+		}
+		mmioLat, ok := s.Bus.WriteWord(paddr, val)
+		lat += mmioLat
+		if !ok {
+			return lat, &Fault{Kind: FaultBusError, Addr: vaddr}
+		}
+		return lat, nil
+	}
+	writeLat, ok := s.L1D.Write(paddr, size, val)
+	lat += writeLat
+	if !ok {
+		return lat, &Fault{Kind: FaultBusError, Addr: vaddr}
+	}
+	return lat, nil
+}
+
+func checkAlign(vaddr, size uint32) *Fault {
+	if size != 1 && vaddr&(size-1) != 0 {
+		return &Fault{Kind: FaultAlignment, Addr: vaddr}
+	}
+	return nil
+}
+
+// Reset invalidates all caches and TLBs without flushing, as a platform
+// power cycle does.
+func (s *System) Reset() {
+	s.L1I.InvalidateAll()
+	s.L1D.InvalidateAll()
+	s.L2.InvalidateAll()
+	s.ITLB.InvalidateAll()
+	s.DTLB.InvalidateAll()
+	s.ttbr = 0
+	s.walkStats = WalkStats{}
+}

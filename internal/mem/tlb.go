@@ -1,0 +1,204 @@
+package mem
+
+// PageShift is log2 of the page size (4 KB pages).
+const PageShift = 12
+
+// PageSize is the virtual-memory page size in bytes.
+const PageSize = 1 << PageShift
+
+// TLBEntry is one translation, stored with an explicit bit layout so that a
+// fault can flip any individual architectural bit:
+//
+//	bits  0..19  VPN (virtual tag)
+//	bits 20..39  PPN (physical page number)
+//	bit  40      user-accessible
+//	bit  41      writable
+//	bit  42      valid
+//
+// The paper observes that flips in the virtual tag are almost always benign
+// (they cause a miss and a page re-walk) while flips in the physical page or
+// permission bits cause wrong translations and crashes; this layout lets the
+// injector distinguish those regions.
+type TLBEntry struct {
+	bits uint64
+	lru  uint64
+}
+
+// TLBEntryBits is the number of modeled bits per TLB entry.
+const TLBEntryBits = 43
+
+// Bit offsets within a TLB entry.
+const (
+	tlbVPNShift  = 0
+	tlbPPNShift  = 20
+	tlbUserBit   = 40
+	tlbWriteBit  = 41
+	tlbValidBit  = 42
+	tlbFieldMask = 0xFFFFF // 20 bits
+)
+
+// VPN returns the virtual page number tag.
+func (e TLBEntry) VPN() uint32 { return uint32(e.bits >> tlbVPNShift & tlbFieldMask) }
+
+// PPN returns the physical page number.
+func (e TLBEntry) PPN() uint32 { return uint32(e.bits >> tlbPPNShift & tlbFieldMask) }
+
+// User reports whether user mode may access the page.
+func (e TLBEntry) User() bool { return e.bits>>tlbUserBit&1 != 0 }
+
+// Writable reports whether the page may be written.
+func (e TLBEntry) Writable() bool { return e.bits>>tlbWriteBit&1 != 0 }
+
+// Valid reports whether the entry holds a translation.
+func (e TLBEntry) Valid() bool { return e.bits>>tlbValidBit&1 != 0 }
+
+func packTLBEntry(vpn, ppn uint32, user, writable bool) uint64 {
+	bits := uint64(vpn&tlbFieldMask)<<tlbVPNShift | uint64(ppn&tlbFieldMask)<<tlbPPNShift
+	if user {
+		bits |= 1 << tlbUserBit
+	}
+	if writable {
+		bits |= 1 << tlbWriteBit
+	}
+	return bits | 1<<tlbValidBit
+}
+
+// TLBStats counts translation events.
+type TLBStats struct {
+	Lookups uint64
+	Misses  uint64
+}
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement.
+type TLB struct {
+	name    string
+	entries []TLBEntry
+	tick    uint64
+	stats   TLBStats
+	life    *LifetimeTracker
+}
+
+// NewTLB builds a TLB with the given number of entries.
+func NewTLB(name string, entries int) *TLB {
+	return &TLB{name: name, entries: make([]TLBEntry, entries)}
+}
+
+// Name returns the TLB's name ("itlb"/"dtlb").
+func (t *TLB) Name() string { return t.name }
+
+// Entries returns the number of entries.
+func (t *TLB) Entries() int { return len(t.entries) }
+
+// SizeBits returns the number of modeled bits, the Size term of the FIT
+// conversion.
+func (t *TLB) SizeBits() uint64 { return uint64(len(t.entries)) * TLBEntryBits }
+
+// Stats returns the lookup/miss counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// Lookup finds a valid entry whose VPN tag matches. A tag corrupted by a
+// fault simply fails to match here — a miss, then a fresh page walk: the
+// benign outcome the paper reports for virtual-tag flips.
+func (t *TLB) Lookup(vpn uint32) (TLBEntry, bool) {
+	t.stats.Lookups++
+	for i := range t.entries {
+		if t.entries[i].Valid() && t.entries[i].VPN() == vpn {
+			t.tick++
+			t.entries[i].lru = t.tick
+			if t.life != nil {
+				t.life.read(i)
+			}
+			return t.entries[i], true
+		}
+	}
+	t.stats.Misses++
+	return TLBEntry{}, false
+}
+
+// Insert installs a translation, evicting the LRU entry.
+func (t *TLB) Insert(vpn, ppn uint32, user, writable bool) {
+	victim, bestTick := 0, ^uint64(0)
+	for i := range t.entries {
+		if !t.entries[i].Valid() {
+			victim = i
+			break
+		}
+		if t.entries[i].lru < bestTick {
+			victim, bestTick = i, t.entries[i].lru
+		}
+	}
+	t.tick++
+	t.entries[victim] = TLBEntry{bits: packTLBEntry(vpn, ppn, user, writable), lru: t.tick}
+	if t.life != nil {
+		t.life.open(victim, false)
+	}
+}
+
+// InvalidateAll clears every entry (TLB flush on reset).
+func (t *TLB) InvalidateAll() {
+	for i := range t.entries {
+		if t.life != nil && t.entries[i].Valid() {
+			t.life.evict(i, false)
+		}
+		t.entries[i] = TLBEntry{}
+	}
+	t.stats = TLBStats{}
+}
+
+// FlipBit inverts one bit of the TLB array, addressed linearly:
+// entry = bit / TLBEntryBits, bit-in-entry = bit % TLBEntryBits.
+func (t *TLB) FlipBit(bit uint64) {
+	idx := bit / TLBEntryBits % uint64(len(t.entries))
+	t.entries[idx].bits ^= 1 << (bit % TLBEntryBits)
+}
+
+// FlipPPNBit inverts a bit in the physical-page/permission region of a given
+// entry — the harmful region per the paper's analysis. off selects among the
+// 22 PPN+perm bits.
+func (t *TLB) FlipPPNBit(entry int, off uint) {
+	t.entries[entry].bits ^= 1 << (tlbPPNShift + off%23)
+}
+
+// ValidEntries counts valid translations.
+func (t *TLB) ValidEntries() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// TLBState is a deep copy of TLB content for machine snapshots.
+type TLBState struct {
+	entries []TLBEntry
+	tick    uint64
+	stats   TLBStats
+}
+
+// SaveState deep-copies the TLB content.
+func (t *TLB) SaveState() *TLBState {
+	return &TLBState{entries: append([]TLBEntry(nil), t.entries...), tick: t.tick, stats: t.stats}
+}
+
+// RestoreState restores content captured by SaveState on a TLB of the same
+// geometry.
+func (t *TLB) RestoreState(st *TLBState) {
+	copy(t.entries, st.entries)
+	t.tick = st.tick
+	t.stats = st.stats
+}
+
+// Physical-region bit span of a TLB entry: the PPN, permission, and valid
+// bits (everything except the virtual tag). The paper's injections target
+// this region; tag-bit injection is the near-zero-AVF ablation.
+const (
+	TLBPhysRegionStart = tlbPPNShift
+	TLBPhysRegionBits  = TLBEntryBits - tlbPPNShift
+)
+
+// EntryValid reports whether the indexed entry currently holds a
+// translation (injection-context observability).
+func (t *TLB) EntryValid(i int) bool { return t.entries[i].Valid() }

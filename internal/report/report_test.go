@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/fit"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/cpu"
+	"armsefi/internal/soc"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"a", "long-header"}}
+	tb.Add("xx", "1")
+	tb.Add("y", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "a   long-header") {
+		t.Errorf("header row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator row: %q", lines[2])
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1 := TableI([]AbstractionRow{{Layer: "RTL", Model: "gates", CyclesPerSec: 600}})
+	if !strings.Contains(t1, "RTL") || !strings.Contains(t1, "600") {
+		t.Error("Table I missing content")
+	}
+	t2 := TableII(soc.PresetZynq(), soc.PresetModel())
+	for _, frag := range []string{"Zynq 7000", "VExpress", "3.14", "3.13", "512 KB 8-way"} {
+		if !strings.Contains(t2, frag) {
+			t.Errorf("Table II missing %q", frag)
+		}
+	}
+	t3 := TableIII(bench.All())
+	if strings.Count(t3, "\n") < 15 {
+		t.Error("Table III too short")
+	}
+}
+
+func fakeCampaign() *gefin.Result {
+	return &gefin.Result{Workloads: []gefin.WorkloadResult{{
+		Workload: "crc32",
+		Components: []gefin.ComponentResult{{
+			Comp: fault.CompL1D, SizeBits: 262144, N: 100,
+			Counts: map[fault.Class]int{fault.ClassMasked: 90, fault.ClassSDC: 10},
+		}},
+	}}}
+}
+
+func TestCampaignTables(t *testing.T) {
+	res := fakeCampaign()
+	t4 := TableIV(res)
+	if !strings.Contains(t4, "D$ Cache") || !strings.Contains(t4, "%") {
+		t.Errorf("Table IV:\n%s", t4)
+	}
+	f4 := Fig4(res)
+	if !strings.Contains(f4, "crc32") || !strings.Contains(f4, "0.100") {
+		t.Errorf("Fig 4:\n%s", f4)
+	}
+	inj := fit.FromInjection(&res.Workloads[0], fit.DefaultFITRawPerBit)
+	f5 := Fig5([]fit.Injection{inj})
+	if !strings.Contains(f5, "crc32") {
+		t.Errorf("Fig 5:\n%s", f5)
+	}
+}
+
+func TestBeamAndComparisonFigures(t *testing.T) {
+	bw := beam.WorkloadResult{
+		Workload: "crc32",
+		Fluence:  1e9,
+		Events: map[fault.Class]float64{
+			fault.ClassSDC: 1, fault.ClassAppCrash: 2, fault.ClassSysCrash: 3,
+		},
+		Executions: 1e6,
+	}
+	bres := &beam.Result{Workloads: []beam.WorkloadResult{bw}}
+	f3 := Fig3(bres)
+	if !strings.Contains(f3, "crc32") {
+		t.Errorf("Fig 3:\n%s", f3)
+	}
+	inj := fit.FromInjection(&fakeCampaign().Workloads[0], fit.DefaultFITRawPerBit)
+	cmp := fit.Compare(&bw, inj)
+	for _, out := range []string{
+		FigRatio("Figure 6", []fit.Comparison{cmp}, fault.ClassSDC),
+		Fig9([]fit.Comparison{cmp}),
+		Fig10(fit.AggregateComparisons([]fit.Comparison{cmp})),
+	} {
+		if !strings.Contains(out, "higher") {
+			t.Errorf("figure missing ratio text:\n%s", out)
+		}
+	}
+}
+
+func TestCounterDeviation(t *testing.T) {
+	z := cpu.Counters{Cycles: 1000, L1DAccesses: 100, ITLBMisses: 10}
+	m := cpu.Counters{Cycles: 1100, L1DAccesses: 100, ITLBMisses: 20}
+	out := CounterDeviation("w", z, m)
+	if !strings.Contains(out, "+10.0%") {
+		t.Errorf("missing cycle deviation:\n%s", out)
+	}
+	if !strings.Contains(out, "+100.0%") {
+		t.Errorf("missing itlb deviation:\n%s", out)
+	}
+	if !strings.Contains(out, "+0.0%") {
+		t.Errorf("missing zero deviation:\n%s", out)
+	}
+}

@@ -1,0 +1,66 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestALUEquivalence property-checks the gate network against the
+// behavioural ALU for every function.
+func TestALUEquivalence(t *testing.T) {
+	alu := NewALU()
+	for op := ALUOp(0); op < NumALUOps; op++ {
+		op := op
+		f := func(x, y uint32) bool {
+			got, _, _ := alu.Exec(op, x, y)
+			want, err := Reference(op, x, y)
+			if err != nil {
+				return false
+			}
+			return got == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+	}
+}
+
+// TestALUFlags checks carry and overflow on known add/sub corner cases.
+func TestALUFlags(t *testing.T) {
+	alu := NewALU()
+	cases := []struct {
+		op          ALUOp
+		x, y        uint32
+		carry, over bool
+	}{
+		{ALUAdd, 0xFFFFFFFF, 1, true, false},
+		{ALUAdd, 0x7FFFFFFF, 1, false, true},
+		{ALUAdd, 1, 2, false, false},
+		{ALUSub, 5, 3, true, false},  // no borrow
+		{ALUSub, 3, 5, false, false}, // borrow
+		{ALUSub, 0x80000000, 1, true, true},
+	}
+	for _, c := range cases {
+		_, carry, over := alu.Exec(c.op, c.x, c.y)
+		if carry != c.carry || over != c.over {
+			t.Errorf("%v %#x,%#x: carry=%v over=%v want %v %v", c.op, c.x, c.y, carry, over, c.carry, c.over)
+		}
+	}
+}
+
+func TestGateCount(t *testing.T) {
+	alu := NewALU()
+	if alu.Gates() < 300 {
+		t.Fatalf("suspiciously small network: %d gates", alu.Gates())
+	}
+}
+
+func BenchmarkGateALU(b *testing.B) {
+	alu := NewALU()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alu.Exec(ALUOp(i%int(NumALUOps)), rng.Uint32(), rng.Uint32())
+	}
+}

@@ -1,0 +1,117 @@
+package soc
+
+import "testing"
+
+func TestUARTDevice(t *testing.T) {
+	u := &UART{}
+	if u.Read32(uartStatus) != 1 {
+		t.Error("UART not ready")
+	}
+	u.Write32(uartTX, 'h')
+	u.Write32(uartTX, 0x100|'i') // only the low byte transmits
+	if got := string(u.Output()); got != "hi" {
+		t.Errorf("output = %q", got)
+	}
+	if u.Len() != 2 {
+		t.Errorf("len = %d", u.Len())
+	}
+	// Output returns a copy: mutating it must not affect the device.
+	out := u.Output()
+	out[0] = 'X'
+	if string(u.Output()) != "hi" {
+		t.Error("Output() aliases internal buffer")
+	}
+	u.Reset()
+	if u.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestTimerDevice(t *testing.T) {
+	tm := &Timer{}
+	tm.Tick(1000)
+	if tm.Pending() {
+		t.Error("disarmed timer fired")
+	}
+	tm.Write32(timerPeriod, 100)
+	tm.Tick(99)
+	if tm.Pending() {
+		t.Error("fired early")
+	}
+	tm.Tick(1)
+	if !tm.Pending() {
+		t.Error("did not fire at period")
+	}
+	// Pending persists until acknowledged.
+	tm.Tick(500)
+	if !tm.Pending() {
+		t.Error("pending cleared without ack")
+	}
+	tm.Write32(timerAck, 1)
+	if tm.Pending() {
+		t.Error("ack did not clear")
+	}
+	// Count carries over: the 500-cycle tick above banked extra periods.
+	if tm.Read32(timerPeriod) != 100 {
+		t.Error("period readback")
+	}
+	tm.Write32(timerPeriod, 50) // rearm resets count
+	if tm.Read32(timerCount) != 0 {
+		t.Error("rearm did not reset count")
+	}
+}
+
+func TestSysCtlDevice(t *testing.T) {
+	s := &SysCtl{}
+	s.Write32(sysHeartbeat, 7)
+	s.Write32(sysHeartbeat, 8)
+	s.Write32(sysAppAlive, 1)
+	if s.Beats() != 2 || s.AppAlive() != 1 {
+		t.Errorf("beats=%d alive=%d", s.Beats(), s.AppAlive())
+	}
+	if s.Halted() {
+		t.Error("halted before poweroff")
+	}
+	s.Write32(sysPowerOff, 42)
+	if !s.Halted() || s.ExitCode() != 42 {
+		t.Errorf("halted=%v code=%d", s.Halted(), s.ExitCode())
+	}
+	s.ClearHalt()
+	if s.Halted() || s.Beats() != 2 {
+		t.Error("ClearHalt must keep counters")
+	}
+	s.Reset()
+	if s.Beats() != 0 {
+		t.Error("Reset must clear counters")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Outcome: OutcomePowerOff, ExitCode: 0}
+	if !r.CleanExit() || r.KernelPanic() {
+		t.Error("clean exit misclassified")
+	}
+	r.ExitCode = 0xDEAD
+	if !r.KernelPanic() {
+		t.Error("panic code not recognised")
+	}
+	r.ExitCode = 0x80 + 1
+	if vec, ok := r.AppKilled(); !ok || vec != 1 {
+		t.Error("app-kill code not recognised")
+	}
+	r.Outcome = OutcomeTimeout
+	if _, ok := r.AppKilled(); ok {
+		t.Error("timeout misread as app kill")
+	}
+	for _, o := range []Outcome{OutcomePowerOff, OutcomeFatal, OutcomeTimeout, Outcome(99)} {
+		if o.String() == "" {
+			t.Error("empty outcome name")
+		}
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	if ModelAtomic.String() != "atomic" || ModelDetailed.String() != "detailed" {
+		t.Error("model names")
+	}
+}

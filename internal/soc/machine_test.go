@@ -1,0 +1,217 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+
+	"armsefi/internal/asm"
+	"armsefi/internal/isa"
+)
+
+const helloSource = `
+.equ STACK_TOP, 0x3F0000
+.text
+_start:
+	ldr sp, =STACK_TOP
+	ldr r0, =msg
+	mov r1, #6
+	mov r7, #2        ; write
+	svc #0
+	mov r0, #0
+	mov r7, #1        ; exit
+	svc #0
+.data
+msg: .asciz "hello"
+`
+
+func mustApp(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble("app.s", src, UserAsmConfig())
+	if err != nil {
+		t.Fatalf("assembling app: %v", err)
+	}
+	return p
+}
+
+func bootMachine(t *testing.T, model ModelKind, appSrc string) *Machine {
+	t.Helper()
+	m, err := NewMachine(PresetZynq(), model)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	if err := m.LoadApp(mustApp(t, appSrc)); err != nil {
+		t.Fatalf("LoadApp: %v", err)
+	}
+	if err := m.Boot(5_000_000); err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	return m
+}
+
+func TestHelloWorldAtomic(t *testing.T) {
+	m := bootMachine(t, ModelAtomic, helloSource)
+	res := m.Run(5_000_000)
+	if res.Outcome != OutcomePowerOff {
+		t.Fatalf("outcome = %v (pc=%#x mode=%v), want poweroff", res.Outcome, m.Core().PC(), m.Core().Mode())
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit code = %#x, want 0", res.ExitCode)
+	}
+	if want := []byte("hello\x00"); !bytes.Equal(res.Output, want) {
+		t.Fatalf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestHelloWorldDetailed(t *testing.T) {
+	m := bootMachine(t, ModelDetailed, helloSource)
+	res := m.Run(5_000_000)
+	if res.Outcome != OutcomePowerOff || res.ExitCode != 0 {
+		t.Fatalf("outcome = %v code=%#x (pc=%#x mode=%v)", res.Outcome, res.ExitCode, m.Core().PC(), m.Core().Mode())
+	}
+	if want := []byte("hello\x00"); !bytes.Equal(res.Output, want) {
+		t.Fatalf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestUserFaultKillsApp(t *testing.T) {
+	// A user-mode store to kernel memory must be killed by the kernel with
+	// exit code 0x80 + data-abort vector, not crash the system.
+	src := `
+.text
+_start:
+	ldr sp, =0x3F0000
+	mov r0, #0
+	str r0, [r0]      ; NULL page is kernel-only
+	mov r7, #1
+	svc #0
+`
+	m := bootMachine(t, ModelAtomic, src)
+	res := m.Run(5_000_000)
+	vec, killed := res.AppKilled()
+	if !killed {
+		t.Fatalf("app not killed: outcome=%v code=%#x", res.Outcome, res.ExitCode)
+	}
+	if vec != isa.VecDataAbort {
+		t.Fatalf("killed by vector %v, want data-abort", vec)
+	}
+}
+
+func TestHeartbeatAdvances(t *testing.T) {
+	// A spinning app never exits, but the kernel heartbeat must keep
+	// advancing — the "Application Crash vs System Crash" discriminator.
+	src := `
+.text
+_start:
+	b _start
+`
+	m := bootMachine(t, ModelAtomic, src)
+	res := m.Run(500_000)
+	if res.Outcome != OutcomeTimeout {
+		t.Fatalf("outcome = %v, want timeout", res.Outcome)
+	}
+	if res.Beats < 5 {
+		t.Fatalf("heartbeats = %d during 500k cycles with period %d, want several",
+			res.Beats, m.Cfg.TimerPeriod)
+	}
+}
+
+func TestKernelSyscallAliveAndWrite(t *testing.T) {
+	src := `
+.text
+_start:
+	ldr sp, =0x3F0000
+	mov r7, #3         ; alive()
+	svc #0
+	mov r7, #3
+	svc #0
+	ldr r0, =msg
+	mov r1, #3
+	mov r7, #2         ; write
+	svc #0
+	mov r7, #99        ; unknown syscall returns -1
+	svc #0
+	cmn r0, #1
+	moveq r0, #0       ; exit(0) if ENOSYS seen
+	movne r0, #1
+	mov r7, #1
+	svc #0
+.data
+msg: .asciz "abc"
+`
+	m := bootMachine(t, ModelAtomic, src)
+	res := m.Run(5_000_000)
+	if !res.CleanExit() {
+		t.Fatalf("outcome %v code %#x", res.Outcome, res.ExitCode)
+	}
+	if res.AppAlive != 2 {
+		t.Errorf("alive count = %d, want 2", res.AppAlive)
+	}
+	if string(res.Output) != "abc" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestUndefInstructionKillsApp(t *testing.T) {
+	src := `
+.text
+_start:
+	ldr sp, =0x3F0000
+	.word 0xFFFFFFFF
+	mov r7, #1
+	svc #0
+`
+	m := bootMachine(t, ModelAtomic, src)
+	res := m.Run(5_000_000)
+	vec, killed := res.AppKilled()
+	if !killed || vec != isa.VecUndef {
+		t.Fatalf("outcome %v code %#x vec %v", res.Outcome, res.ExitCode, vec)
+	}
+}
+
+func TestWildJumpIntoKernelKillsApp(t *testing.T) {
+	// Jumping to kernel text from user mode must be a prefetch-abort kill,
+	// not an escalation.
+	src := `
+.text
+_start:
+	ldr sp, =0x3F0000
+	mov r0, #0
+	bx r0
+`
+	m := bootMachine(t, ModelAtomic, src)
+	res := m.Run(5_000_000)
+	vec, killed := res.AppKilled()
+	if !killed || vec != isa.VecPrefetchAbort {
+		t.Fatalf("outcome %v code %#x vec %v", res.Outcome, res.ExitCode, vec)
+	}
+}
+
+func TestCorruptedVectorTableIsSystemCrash(t *testing.T) {
+	// Corrupting the kernel's vector table in DRAM and forcing an
+	// exception must end in a kernel panic or unrecoverable state, not a
+	// clean app kill. (The app traps via a NULL store.)
+	src := `
+.text
+_start:
+	ldr sp, =0x3F0000
+	mov r0, #0
+	str r0, [r0]
+	mov r7, #1
+	svc #0
+`
+	m := bootMachine(t, ModelAtomic, src)
+	// Trash the data-abort vector instruction (offset 0x10).
+	m.DRAM.Poke(0x10, 0xFFFFFFFF)
+	m.Mem.L1I.InvalidateAll() // ensure the corrupted word is fetched
+	m.Mem.L2.InvalidateAll()
+	res := m.Run(5_000_000)
+	if res.Outcome == OutcomePowerOff && res.ExitCode != 0xDEAD {
+		// Accept either an explicit panic or a hang (exception storm).
+		if _, killed := res.AppKilled(); killed {
+			t.Fatalf("corrupted vector table produced a clean app kill: %#x", res.ExitCode)
+		}
+	}
+	if res.Outcome == OutcomePowerOff && res.ExitCode == 0 {
+		t.Fatal("corrupted vector table produced a clean exit")
+	}
+}

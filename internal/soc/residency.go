@@ -1,0 +1,112 @@
+package soc
+
+import (
+	"fmt"
+
+	"armsefi/internal/mem"
+)
+
+// Owner classifies a physical address by the platform memory map — the
+// observability the paper's Section IV-C highlights for microarchitectural
+// injection (whether a fault struck kernel or user state).
+type Owner uint8
+
+// Address owners.
+const (
+	OwnerKernelText Owner = 1 + iota
+	OwnerKernelData
+	OwnerPageTable
+	OwnerKernelStack
+	OwnerUserText
+	OwnerUserData
+	OwnerUserStack
+	OwnerMMIO
+	OwnerUnknown
+)
+
+var ownerNames = map[Owner]string{
+	OwnerKernelText:  "kernel-text",
+	OwnerKernelData:  "kernel-data",
+	OwnerPageTable:   "page-table",
+	OwnerKernelStack: "kernel-stack",
+	OwnerUserText:    "user-text",
+	OwnerUserData:    "user-data",
+	OwnerUserStack:   "user-stack",
+	OwnerMMIO:        "mmio",
+	OwnerUnknown:     "unknown",
+}
+
+// String returns the owner name.
+func (o Owner) String() string {
+	if s, ok := ownerNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("owner(%d)", uint8(o))
+}
+
+// KernelOwned reports whether the region belongs to the operating system
+// (the lines whose corruption the paper links to System Crashes).
+func (o Owner) KernelOwned() bool {
+	switch o {
+	case OwnerKernelText, OwnerKernelData, OwnerPageTable, OwnerKernelStack:
+		return true
+	default:
+		return false
+	}
+}
+
+// OwnerOf classifies a physical address against the platform memory map.
+func OwnerOf(paddr uint32) Owner {
+	switch {
+	case paddr < KernelDataBase:
+		return OwnerKernelText
+	case paddr < PageTableBase:
+		return OwnerKernelData
+	case paddr < PageTableBase+4*PTEntries:
+		return OwnerPageTable
+	case paddr < IRQStackTop:
+		return OwnerKernelStack
+	case paddr >= MMIOBase:
+		return OwnerMMIO
+	case paddr >= UserStackTop-0x40000 && paddr < UserStackTop:
+		return OwnerUserStack
+	case paddr >= UserDataBase && paddr < UserStackTop-0x40000:
+		return OwnerUserData
+	case paddr >= UserTextBase && paddr < UserDataBase:
+		return OwnerUserText
+	default:
+		return OwnerUnknown
+	}
+}
+
+// Residency profiles a cache's valid lines by owner.
+type Residency struct {
+	Lines map[Owner]int
+	Dirty map[Owner]int
+	Total int
+}
+
+// ProfileCache builds the residency profile of one cache.
+func ProfileCache(c *mem.Cache) Residency {
+	r := Residency{Lines: map[Owner]int{}, Dirty: map[Owner]int{}}
+	c.VisitValidLines(func(addr uint32, dirty bool) {
+		o := OwnerOf(addr)
+		r.Lines[o]++
+		if dirty {
+			r.Dirty[o]++
+		}
+		r.Total++
+	})
+	return r
+}
+
+// KernelLines counts kernel-owned resident lines.
+func (r Residency) KernelLines() int {
+	n := 0
+	for o, c := range r.Lines {
+		if o.KernelOwned() {
+			n += c
+		}
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+)
+
+const snapAppSource = `
+.text
+_start:
+	ldr sp, =0x3F0000
+	ldr r0, =counter
+	ldr r1, [r0]
+	add r1, #1
+	str r1, [r0]
+	ldr r0, =counter
+	mov r1, #4
+	mov r7, #2
+	svc #0
+	mov r0, #0
+	mov r7, #1
+	svc #0
+.data
+counter: .word 0
+`
+
+func snapMachine(t *testing.T, model ModelKind) (*Machine, *Snapshot) {
+	t.Helper()
+	m := bootMachine(t, model, snapAppSource)
+	return m, m.SaveSnapshot()
+}
+
+func TestSnapshotRestoreIsCycleExact(t *testing.T) {
+	for _, model := range []ModelKind{ModelAtomic, ModelDetailed} {
+		m, snap := snapMachine(t, model)
+		m.RestoreSnapshot(snap, false)
+		a := m.Run(5_000_000)
+		m.RestoreSnapshot(snap, false)
+		b := m.Run(5_000_000)
+		if a.Cycles != b.Cycles || !bytes.Equal(a.Output, b.Output) {
+			t.Errorf("%v: restored runs differ: %d/%d cycles, %q/%q",
+				model, a.Cycles, b.Cycles, a.Output, b.Output)
+		}
+		if !a.CleanExit() {
+			t.Errorf("%v: run not clean: %v", model, a.Outcome)
+		}
+	}
+}
+
+func TestColdRestoreClearsCaches(t *testing.T) {
+	m, snap := snapMachine(t, ModelAtomic)
+	m.Run(5_000_000)
+	m.RestoreSnapshot(snap, false)
+	if m.Mem.L1D.ValidLines() != 0 || m.Mem.L2.ValidLines() != 0 ||
+		m.Mem.DTLB.ValidEntries() != 0 {
+		t.Error("cold restore left cache/TLB state")
+	}
+	// The run must still work: page tables come back from the DRAM image.
+	res := m.Run(5_000_000)
+	if !res.CleanExit() {
+		t.Fatalf("run after cold restore: %v code=%#x", res.Outcome, res.ExitCode)
+	}
+}
+
+func TestWarmRestoreKeepsCaches(t *testing.T) {
+	m, snap := snapMachine(t, ModelAtomic)
+	m.RestoreSnapshot(snap, true)
+	if m.Mem.L1D.ValidLines() == 0 && m.Mem.L2.ValidLines() == 0 {
+		t.Error("warm restore dropped all cache lines")
+	}
+	res := m.Run(5_000_000)
+	if !res.CleanExit() {
+		t.Fatalf("run after warm restore: %v", res.Outcome)
+	}
+}
+
+// TestRestartAppPreservesKernelState verifies the live-board restart: the
+// app image is re-staged but kernel memory (jiffies etc.) keeps counting.
+func TestRestartAppPreservesKernelState(t *testing.T) {
+	m, snap := snapMachine(t, ModelAtomic)
+	first := m.Run(5_000_000)
+	if !first.CleanExit() {
+		t.Fatalf("first run: %v", first.Outcome)
+	}
+	// The app increments `counter` in its own data and prints it; after a
+	// restart the image is fresh, so the second run prints 1 again.
+	m.RestartApp(snap)
+	second := m.Run(5_000_000)
+	if !second.CleanExit() {
+		t.Fatalf("second run: %v code=%#x", second.Outcome, second.ExitCode)
+	}
+	if !bytes.Equal(first.Output, second.Output) {
+		t.Errorf("restarted app output %q differs from first %q", second.Output, first.Output)
+	}
+}
+
+func TestLoadAppValidation(t *testing.T) {
+	m, err := NewMachine(PresetZynq(), ModelAtomic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong bases must be rejected.
+	p := mustApp(t, "nop\n")
+	p.TextBase = 0x1234
+	if err := m.LoadApp(p); err == nil {
+		t.Error("wrong text base accepted")
+	}
+}
+
+func TestBootIsDeterministicAcrossMachines(t *testing.T) {
+	m1 := bootMachine(t, ModelDetailed, snapAppSource)
+	m2 := bootMachine(t, ModelDetailed, snapAppSource)
+	if m1.Core().Cycles() != m2.Core().Cycles() {
+		t.Errorf("boot cycles differ: %d vs %d", m1.Core().Cycles(), m2.Core().Cycles())
+	}
+}
+
+func TestRunWithInjectionAppliesLateFault(t *testing.T) {
+	m, snap := snapMachine(t, ModelAtomic)
+	m.RestoreSnapshot(snap, false)
+	applied := false
+	// Injection scheduled far beyond the run still fires (at run end) so
+	// the component state carries it.
+	res := m.RunWithInjection(5_000_000, 1<<62, func() { applied = true })
+	if !res.CleanExit() {
+		t.Fatalf("run: %v", res.Outcome)
+	}
+	if !applied {
+		t.Error("late injection was dropped")
+	}
+}

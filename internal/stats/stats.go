@@ -1,0 +1,210 @@
+// Package stats provides the statistical machinery of the paper's
+// methodology: Leveugle et al. statistical fault sampling (sample sizes and
+// error margins, Table IV), binomial confidence intervals for AVF
+// estimates, and Poisson intervals for beam event counts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Z-scores for common confidence levels.
+const (
+	// Z99 is the two-sided 99%% confidence z-score used throughout the
+	// paper's sampling analysis.
+	Z99 = 2.5758293035489004
+	// Z95 is the two-sided 95%% z-score.
+	Z95 = 1.959963984540054
+)
+
+// SampleSize returns the Leveugle statistical-fault-injection sample size:
+// the number of faults to draw from a population of n bits×cycles for a
+// desired error margin e at confidence z, assuming fault-impact probability
+// p (0.5 maximises the sample, the paper's initial choice).
+//
+//	n' = n / (1 + e^2 * (n-1) / (z^2 * p * (1-p)))
+func SampleSize(population float64, e, z, p float64) float64 {
+	if population <= 0 {
+		return 0
+	}
+	return population / (1 + e*e*(population-1)/(z*z*p*(1-p)))
+}
+
+// MarginOfError inverts SampleSize: the error margin achieved by a sample
+// of size n from a population, at confidence z and estimated probability p.
+// This is how the paper re-adjusts Table IV's margins after the campaign,
+// replacing the initial p=0.5 with the measured AVF.
+//
+//	e = z * sqrt( p*(1-p)/n * (population-n)/(population-1) )
+func MarginOfError(n, population float64, z, p float64) float64 {
+	if n <= 0 || population <= 1 {
+		return 1
+	}
+	fpc := (population - n) / (population - 1)
+	if fpc < 0 {
+		fpc = 0
+	}
+	return z * math.Sqrt(p*(1-p)/n*fpc)
+}
+
+// BinomialCI returns the Wilson score interval for k successes in n trials
+// at z confidence.
+func BinomialCI(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	centre := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = centre-half, centre+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// PoissonCI returns an approximate two-sided confidence interval for the
+// mean of a Poisson count k, using the Wilson–Hilferty chi-square
+// approximation (adequate for the beam event counts involved here).
+func PoissonCI(k int, z float64) (lo, hi float64) {
+	kf := float64(k)
+	if k == 0 {
+		return 0, chiSquareQuantileWH(1-normalTail(z), 2) / 2
+	}
+	lo = chiSquareQuantileWH(normalTail(z), 2*kf) / 2
+	hi = chiSquareQuantileWH(1-normalTail(z), 2*kf+2) / 2
+	return lo, hi
+}
+
+// normalTail converts a two-sided z-score into its lower tail probability.
+func normalTail(z float64) float64 {
+	return (1 - erf(z/math.Sqrt2)) / 2
+}
+
+func erf(x float64) float64 { return math.Erf(x) }
+
+// chiSquareQuantileWH approximates the chi-square quantile with df degrees
+// of freedom at probability p via the Wilson–Hilferty transform.
+func chiSquareQuantileWH(p, df float64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	z := normalQuantile(p)
+	t := 1 - 2/(9*df) + z*math.Sqrt(2/(9*df))
+	return df * t * t * t
+}
+
+// normalQuantile is the Acklam approximation of the standard normal
+// inverse CDF.
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := []float64{-39.69683028665376, 220.9460984245205, -275.9285104469687,
+		138.3577518672690, -30.66479806614716, 2.506628277459239}
+	b := []float64{-54.47609879822406, 161.5858368580409, -155.6989798598866,
+		66.80131188771972, -13.28068155288572}
+	c := []float64{-0.007784894002430293, -0.3223964580411365, -2.400758277161838,
+		-2.549732539343734, 4.374664141464968, 2.938163982698783}
+	d := []float64{0.007784695709041462, 0.3224671290700398, 2.445134137142996,
+		3.754408661907416}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-pLow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; zero or negative
+// entries are skipped.
+func GeoMean(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Summary holds min/max/avg, the shape of the paper's Table IV rows.
+type Summary struct {
+	Min, Max, Avg float64
+}
+
+// Summarise computes a Summary over xs.
+func Summarise(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Avg = sum / float64(len(xs))
+	return s
+}
+
+// String formats a Summary as percentages, Table IV style.
+func (s Summary) String() string {
+	return fmt.Sprintf("min %.1f%% max %.1f%% avg %.1f%%", 100*s.Min, 100*s.Max, 100*s.Avg)
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleSizePaperNumbers(t *testing.T) {
+	// The paper's 1,000-fault samples correspond to ~4% margin at 99%
+	// confidence with p=0.5 over a huge population (Leveugle et al.).
+	n := SampleSize(1e12, 0.0407, Z99, 0.5)
+	if n < 950 || n > 1050 {
+		t.Errorf("SampleSize = %.0f, want ~1000", n)
+	}
+}
+
+func TestMarginOfErrorInvertsSampleSize(t *testing.T) {
+	f := func(seed uint32) bool {
+		e := 0.01 + float64(seed%100)/1000 // 1%..11%
+		pop := 1e9
+		n := SampleSize(pop, e, Z99, 0.5)
+		back := MarginOfError(n, pop, Z99, 0.5)
+		return math.Abs(back-e)/e < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarginShrinksWithLowerP(t *testing.T) {
+	// Table IV's re-adjustment: a smaller measured AVF gives a tighter
+	// margin than the initial p=0.5.
+	full := MarginOfError(1000, 1e12, Z99, 0.5)
+	tight := MarginOfError(1000, 1e12, Z99, 0.1)
+	if tight >= full {
+		t.Errorf("margin at p=0.1 (%f) not tighter than p=0.5 (%f)", tight, full)
+	}
+	if full < 0.039 || full > 0.042 {
+		t.Errorf("initial margin = %f, want ~4%%", full)
+	}
+}
+
+func TestMarginDegenerateInputs(t *testing.T) {
+	if MarginOfError(0, 100, Z99, 0.5) != 1 {
+		t.Error("zero sample must return the maximal margin")
+	}
+	if MarginOfError(100, 1, Z99, 0.5) != 1 {
+		t.Error("degenerate population must return the maximal margin")
+	}
+	if m := MarginOfError(100, 100, Z99, 0.5); m != 0 {
+		t.Errorf("census margin = %f, want 0", m)
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	lo, hi := BinomialCI(50, 100, Z95)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("CI [%f,%f] does not contain the point estimate", lo, hi)
+	}
+	if lo < 0.38 || hi > 0.62 {
+		t.Errorf("CI [%f,%f] implausibly wide for n=100", lo, hi)
+	}
+	lo, hi = BinomialCI(0, 100, Z95)
+	if lo > 1e-9 || hi < 0.01 || hi > 0.06 {
+		t.Errorf("zero-successes CI [%f,%f]", lo, hi)
+	}
+	lo, hi = BinomialCI(0, 0, Z95)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty CI [%f,%f]", lo, hi)
+	}
+}
+
+func TestBinomialCIProperties(t *testing.T) {
+	f := func(k, n uint16) bool {
+		kk := int(k)
+		nn := int(n)
+		if nn == 0 || kk > nn {
+			return true
+		}
+		lo, hi := BinomialCI(kk, nn, Z99)
+		p := float64(kk) / float64(nn)
+		return lo >= 0 && hi <= 1 && lo <= p && p <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonCI(t *testing.T) {
+	lo, hi := PoissonCI(100, Z95)
+	if lo >= 100 || hi <= 100 {
+		t.Errorf("Poisson CI [%f,%f] does not cover the count", lo, hi)
+	}
+	// Known values: 95% CI for k=100 is roughly [81.4, 121.6].
+	if lo < 75 || lo > 88 || hi < 115 || hi > 128 {
+		t.Errorf("Poisson CI [%f,%f] off the Garwood values", lo, hi)
+	}
+	lo, hi = PoissonCI(0, Z95)
+	if lo != 0 || hi < 2.9 || hi > 4.5 {
+		t.Errorf("zero-count CI [%f,%f], want hi ~3.7", lo, hi)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.95996},
+		{0.995, 2.57583},
+		{0.025, -1.95996},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("normalQuantile(%f) = %f, want %f", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	xs := []float64{0.02, 0.04, 0.03}
+	s := Summarise(xs)
+	if s.Min != 0.02 || s.Max != 0.04 || math.Abs(s.Avg-0.03) > 1e-12 {
+		t.Errorf("Summarise = %+v", s)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty aggregates must be zero")
+	}
+	if Mean(xs) != s.Avg {
+		t.Error("Mean disagrees with Summarise")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %f", g)
+	}
+	if g := GeoMean([]float64{0, 4}); g != 4 {
+		t.Errorf("GeoMean with zero = %f, want 4 (zeros skipped)", g)
+	}
+}
