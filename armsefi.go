@@ -62,6 +62,17 @@ type (
 	BeamResult = beam.Result
 	// Workbench is a machine prepared for repeated single-fault runs.
 	Workbench = harness.Workbench
+	// InjectionProgress receives injection-campaign progress events.
+	// Events are serialised by the engine (no locking needed in the
+	// callback) but may fire from any worker goroutine.
+	InjectionProgress = gefin.Progress
+	// InjectionProgressEvent is one injection-campaign progress event.
+	InjectionProgressEvent = gefin.ProgressEvent
+	// BeamProgress receives beam-campaign progress events, under the same
+	// serialisation contract as InjectionProgress.
+	BeamProgress = beam.Progress
+	// BeamProgressEvent is one beam-campaign progress event.
+	BeamProgressEvent = beam.ProgressEvent
 	// FITComparison pairs beam and injection FIT rates for one workload.
 	FITComparison = fit.Comparison
 )
@@ -119,13 +130,16 @@ func NewWorkbench(cfg MachineConfig, model ModelKind, built *BuiltWorkload) (*Wo
 	return harness.New(cfg, model, built)
 }
 
-// RunInjection runs a GeFIN-style statistical fault-injection campaign.
-func RunInjection(cfg InjectionConfig, specs []Workload, progress gefin.Progress) (*InjectionResult, error) {
+// RunInjection runs a GeFIN-style statistical fault-injection campaign,
+// parallelised across cfg.Workers workbenches (bit-identical results at
+// any worker count).
+func RunInjection(cfg InjectionConfig, specs []Workload, progress InjectionProgress) (*InjectionResult, error) {
 	return gefin.Run(cfg, specs, progress)
 }
 
-// RunBeam runs a Monte-Carlo neutron-beam campaign.
-func RunBeam(cfg BeamConfig, specs []Workload, progress beam.Progress) (*BeamResult, error) {
+// RunBeam runs a Monte-Carlo neutron-beam campaign, parallelised across
+// cfg.Workers workbenches (bit-identical results at any worker count).
+func RunBeam(cfg BeamConfig, specs []Workload, progress BeamProgress) (*BeamResult, error) {
 	return beam.Run(cfg, specs, progress)
 }
 

@@ -55,57 +55,31 @@ type campaignData struct {
 var campaigns campaignData
 
 // sharedCampaigns runs both methodology campaigns over all 13 workloads
-// once per process, parallelised across workloads.
+// once per process, parallelised by the campaign engines' own worker
+// pools (bounded at NumCPU live machines each).
 func sharedCampaigns(b *testing.B) *campaignData {
 	b.Helper()
 	campaigns.once.Do(func() {
 		start := time.Now()
 		specs := bench.All()
-		type pair struct {
-			beamW *beam.WorkloadResult
-			injW  *gefin.WorkloadResult
-			err   error
+		beamRes, err := beam.Run(beam.Config{
+			Seed:                benchSeed,
+			BeamHours:           benchBeamHours,
+			StrikesPerComponent: benchStrikesPerComponent,
+			Workers:             runtime.NumCPU(),
+		}, specs, nil)
+		if err != nil {
+			campaigns.err = err
+			return
 		}
-		results := make([]pair, len(specs))
-		sem := make(chan struct{}, runtime.NumCPU())
-		var wg sync.WaitGroup
-		for i, spec := range specs {
-			i, spec := i, spec
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				bw, err := beam.RunWorkload(beam.Config{
-					Seed:                benchSeed,
-					BeamHours:           benchBeamHours,
-					StrikesPerComponent: benchStrikesPerComponent,
-				}, spec, nil)
-				if err != nil {
-					results[i].err = err
-					return
-				}
-				iw, err := gefin.RunWorkload(gefin.Config{
-					Seed:               benchSeed,
-					FaultsPerComponent: benchFaultsPerComponent,
-				}, spec, nil)
-				if err != nil {
-					results[i].err = err
-					return
-				}
-				results[i] = pair{beamW: bw, injW: iw}
-			}()
-		}
-		wg.Wait()
-		beamRes := &beam.Result{}
-		injRes := &gefin.Result{}
-		for _, r := range results {
-			if r.err != nil {
-				campaigns.err = r.err
-				return
-			}
-			beamRes.Workloads = append(beamRes.Workloads, *r.beamW)
-			injRes.Workloads = append(injRes.Workloads, *r.injW)
+		injRes, err := gefin.Run(gefin.Config{
+			Seed:               benchSeed,
+			FaultsPerComponent: benchFaultsPerComponent,
+			Workers:            runtime.NumCPU(),
+		}, specs, nil)
+		if err != nil {
+			campaigns.err = err
+			return
 		}
 		campaigns.beam = beamRes
 		campaigns.inj = injRes
@@ -680,5 +654,36 @@ func BenchmarkAblation_ACEvsInjection(b *testing.B) {
 	printTable("abl-ace", report.ACEComparison("qsort", rows))
 	if l1d, ok := aceRes.Component(fault.CompL1D); ok {
 		b.ReportMetric(l1d.AVF, "ace-l1d-AVF")
+	}
+}
+
+// BenchmarkCampaignParallel measures the parallel campaign engine's
+// speedup on a tiny crc32 campaign: the same seeded fault plan executed
+// with one worker (the sequential engine) and with every host core. The
+// Result is bit-identical in both arms — only the wall clock moves.
+func BenchmarkCampaignParallel(b *testing.B) {
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		b.Fatal("crc32 missing")
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := gefin.RunWorkload(gefin.Config{
+					Seed:               benchSeed,
+					FaultsPerComponent: 24,
+					Workers:            workers,
+					Components: []fault.Component{
+						fault.CompRegFile, fault.CompL1D, fault.CompDTLB,
+					},
+				}, spec, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.GoldenCycles == 0 {
+					b.Fatal("empty campaign result")
+				}
+			}
+		})
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	beamsim [-workloads crc32,qsort] [-hours 4] [-scale tiny] [-seed 1]
+//	beamsim [-workloads crc32,qsort] [-hours 4] [-scale tiny] [-seed 1] [-workers N]
 //	beamsim -fitraw [-hours 20]
 package main
 
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/beam"
@@ -34,6 +35,7 @@ func run() error {
 		hours     = flag.Float64("hours", 4, "effective beam hours per workload (paper: ~20)")
 		scaleFlag = flag.String("scale", "tiny", "input scale (tiny|small|paper)")
 		seed      = flag.Int64("seed", 1, "Monte-Carlo seed")
+		workers   = flag.Int("workers", 0, "parallel workers; 0 = GOMAXPROCS, 1 = sequential (same result either way)")
 		fitRaw    = flag.Bool("fitraw", false, "run the L1 FIT-raw probe measurement instead")
 		jsonOut   = flag.String("json", "", "also write the raw campaign result as JSON to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
@@ -50,12 +52,16 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleFlag)
 	}
-	cfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours}
+	cfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers}
 	var progress beam.Progress
 	if !*quiet {
-		progress = func(w string, s, total int) {
-			fmt.Fprintf(os.Stderr, "\r%-14s strike %5d/%d", w, s, total)
-			if s == total {
+		// One aggregated campaign line: per-workload `\r` lines would
+		// interleave across concurrent workloads. Events are serialised by
+		// the engine, so no lock is needed here.
+		progress = func(ev beam.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\r%6d/%d strikes | %d workers | %6.1f strikes/s | ETA %-12v",
+				ev.CampaignDone, ev.CampaignTotal, ev.Workers, ev.Rate, ev.ETA.Truncate(time.Second))
+			if ev.CampaignDone == ev.CampaignTotal {
 				fmt.Fprintln(os.Stderr)
 			}
 		}

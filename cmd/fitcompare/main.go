@@ -8,7 +8,7 @@
 //
 //	fitcompare -static                  # Tables I-III only (fast)
 //	fitcompare -counters                # Section IV-D counter deviations
-//	fitcompare [-workloads a,b] [-faults 200] [-hours 2] [-scale tiny]
+//	fitcompare [-workloads a,b] [-faults 200] [-hours 2] [-scale tiny] [-workers N]
 package main
 
 import (
@@ -44,6 +44,7 @@ func run() error {
 		hours     = flag.Float64("hours", 2, "beam hours per workload")
 		scaleFlag = flag.String("scale", "tiny", "input scale (tiny|small|paper)")
 		seed      = flag.Int64("seed", 1, "seed for both campaigns")
+		workers   = flag.Int("workers", 0, "parallel workers; 0 = GOMAXPROCS, 1 = sequential (same result either way)")
 		static    = flag.Bool("static", false, "print Tables I-III and exit")
 		counters  = flag.Bool("counters", false, "print the Section IV-D counter study and exit")
 		jsonOut   = flag.String("json", "", "also write beam+injection results and comparisons as JSON")
@@ -89,22 +90,28 @@ func run() error {
 	}
 
 	// Beam campaign on the board preset.
-	beamCfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours}
+	beamCfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers}
 	var beamProg beam.Progress
 	var gefinProg gefin.Progress
 	if !*quiet {
-		beamProg = func(w string, s, total int) {
-			fmt.Fprintf(os.Stderr, "\rbeam  %-14s %5d/%d", w, s, total)
-			if s == total {
+		// Aggregated single-line printers: workloads run concurrently, so
+		// per-workload `\r` lines would interleave. Each engine serialises
+		// its events, so the closures need no locks.
+		beamProg = func(ev beam.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\rbeam  %6d/%d strikes | %d workers | %6.1f/s | ETA %-12v",
+				ev.CampaignDone, ev.CampaignTotal, ev.Workers, ev.Rate, ev.ETA.Truncate(time.Second))
+			if ev.CampaignDone == ev.CampaignTotal {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
-		gefinProg = func(w string, comp fault.Component, done, total int) {
-			if done%50 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\rgefin %-14s %-8s %5d/%d", w, comp, done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
+		gefinProg = func(ev gefin.ProgressEvent) {
+			if ev.CampaignDone%50 != 0 && ev.CampaignDone != ev.CampaignTotal {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "\rgefin %6d/%d injections | %d workers | %6.1f/s | ETA %-12v",
+				ev.CampaignDone, ev.CampaignTotal, ev.Workers, ev.Rate, ev.ETA.Truncate(time.Second))
+			if ev.CampaignDone == ev.CampaignTotal {
+				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
@@ -114,7 +121,7 @@ func run() error {
 	}
 
 	// Injection campaign on the model preset.
-	injCfg := gefin.Config{Scale: scale, Seed: *seed, FaultsPerComponent: *faults}
+	injCfg := gefin.Config{Scale: scale, Seed: *seed, FaultsPerComponent: *faults, Workers: *workers}
 	injRes, err := gefin.Run(injCfg, specs, gefinProg)
 	if err != nil {
 		return err

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	gefin [-workloads crc32,qsort] [-faults 1000] [-scale tiny]
-//	      [-seed 1] [-warm] [-tlb-full] [-model detailed] [-quiet]
+//	      [-seed 1] [-workers N] [-warm] [-tlb-full] [-model detailed] [-quiet]
 package main
 
 import (
@@ -15,10 +15,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/ace"
-	"armsefi/internal/core/fault"
 	"armsefi/internal/core/fit"
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/report"
@@ -65,6 +65,7 @@ func run() error {
 		faults    = flag.Int("faults", 1000, "faults per component (paper: 1000)")
 		scaleFlag = flag.String("scale", "tiny", "input scale (tiny|small|paper)")
 		seed      = flag.Int64("seed", 1, "campaign seed")
+		workers   = flag.Int("workers", 0, "parallel workers; 0 = GOMAXPROCS, 1 = sequential (same result either way)")
 		warm      = flag.Bool("warm", false, "ablation: start injection runs with warm caches")
 		tlbFull   = flag.Bool("tlb-full", false, "ablation: inject whole TLB entries incl. virtual tags")
 		modelFlag = flag.String("model", "detailed", "CPU model (atomic|detailed)")
@@ -98,17 +99,23 @@ func run() error {
 		Scale:              scale,
 		FaultsPerComponent: *faults,
 		Seed:               *seed,
+		Workers:            *workers,
 		WarmCaches:         *warm,
 		TLBFullEntry:       *tlbFull,
 	}
 	var progress gefin.Progress
 	if !*quiet {
-		progress = func(w string, comp fault.Component, done, total int) {
-			if done == total || done%100 == 0 {
-				fmt.Fprintf(os.Stderr, "\r%-14s %-8s %5d/%d", w, comp, done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
+		// Workloads run concurrently, so a per-workload `\r` line would
+		// interleave; print one aggregated campaign line instead. The
+		// engine serialises progress events, so the closure needs no lock.
+		progress = func(ev gefin.ProgressEvent) {
+			if ev.CampaignDone%100 != 0 && ev.CampaignDone != ev.CampaignTotal {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "\r%7d/%d injections | %d workers | %7.1f inj/s | ETA %-12v",
+				ev.CampaignDone, ev.CampaignTotal, ev.Workers, ev.Rate, ev.ETA.Truncate(time.Second))
+			if ev.CampaignDone == ev.CampaignTotal {
+				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}

@@ -20,12 +20,18 @@ package beam
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/harness"
+	"armsefi/internal/core/sched"
 	"armsefi/internal/soc"
 )
 
@@ -90,6 +96,14 @@ type Config struct {
 	// physical experiment's strikes are bit-weighted, which would drown
 	// the small high-AVF structures in L2 samples.
 	StrikesPerComponent int
+	// Workers bounds the campaign's worker pool. Each component's strike
+	// chain is a self-contained live-board session (its own RNG stream,
+	// starting from a fresh steady state, with corruption persisting
+	// between its strikes), so chains shard across workbenches without
+	// changing any chain's physics: the Result is bit-identical for every
+	// value of Workers. Zero (the default) resolves to
+	// runtime.GOMAXPROCS(0); 1 runs the chains sequentially.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +131,7 @@ func (c Config) withDefaults() Config {
 	if c.Platform == (PlatformXS{}) {
 		c.Platform = DefaultPlatformXS()
 	}
+	c.Workers = sched.Resolve(c.Workers)
 	return c
 }
 
@@ -195,12 +210,125 @@ func (r *Result) Workload(name string) (*WorkloadResult, bool) {
 	return nil, false
 }
 
-// Progress receives per-strike progress callbacks.
-type Progress func(workload string, strike, totalStrikes int)
+// ProgressEvent reports one simulated strike. As in gefin, emissions are
+// serialised under a campaign-wide mutex (callback state needs no lock),
+// but may originate from any worker goroutine.
+type ProgressEvent struct {
+	Workload string
+	// Strike and Total count strikes into this workload.
+	Strike, Total int
+	// CampaignDone and CampaignTotal count strikes across every workload
+	// of the Run (or just this workload under RunWorkload).
+	CampaignDone, CampaignTotal int
+	// Workers is the number of live workers at the instant of the event;
+	// Rate is the aggregate campaign throughput in strikes/sec, and ETA
+	// the remaining wall time it implies.
+	Workers int
+	Rate    float64
+	ETA     time.Duration
+}
 
-// RunWorkload exposes one workload to the simulated beam.
+// Progress receives per-strike progress callbacks; see ProgressEvent for
+// the concurrency contract.
+type Progress func(ProgressEvent)
+
+// chainResult accumulates one component chain's contribution to the
+// workload result.
+type chainResult struct {
+	events             map[fault.Class]float64
+	masked             int
+	sims               int
+	totalMismatches    uint64
+	weightedMismatches float64
+}
+
+// chainSeed derives the per-(workload, component) RNG stream of one strike
+// chain from the campaign seed.
+func chainSeed(seed int64, workload string, comp fault.Component) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, workload)
+	io.WriteString(h, "/")
+	io.WriteString(h, comp.String())
+	return seed ^ int64(h.Sum64())
+}
+
+// runChain exposes one component to the beam for perComp strikes on one
+// workbench. A chain is a self-contained live-board session: it starts by
+// bringing the board to steady state, and corruption then persists across
+// its strikes until a crash forces a reboot — exactly the physics of the
+// sequential simulator, scoped to one component so chains can run
+// concurrently on sibling machines.
+func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Component,
+	perComp int, fluence float64, em *emitter, totalSims int) chainResult {
+	m := wb.Machine
+	built := wb.Built
+	bits := fault.SizeBits(m, comp)
+	weight := fluence * float64(bits) * cfg.BitXS / float64(perComp)
+	rng := rand.New(rand.NewSource(chainSeed(cfg.Seed, spec.Name, comp)))
+	out := chainResult{events: make(map[fault.Class]float64, fault.NumClasses)}
+
+	// The board runs the workload in a loop from its warm post-boot state.
+	m.RestoreSnapshot(wb.Snap, true)
+	m.Run(wb.Watchdog) // reach steady state
+	m.RestartApp(wb.Snap)
+
+	for s := 0; s < perComp; s++ {
+		f := fault.Fault{
+			Comp:  comp,
+			Bit:   uint64(rng.Int63n(int64(bits))),
+			Cycle: uint64(rng.Int63n(int64(wb.Golden.Cycles))),
+		}
+		runRes := m.RunWithInjection(wb.Watchdog, f.Cycle, func() {
+			fault.Apply(m, f)
+		})
+		class := fault.Classify(runRes, built.Golden, cfg.Preset.TimerPeriod)
+		if mm := probeMismatches(spec, runRes.Output); mm > 0 {
+			out.totalMismatches += mm
+			// Only strikes into the L1D array count toward the FIT-raw
+			// estimate: the probe characterises that array, and the
+			// simulated oracle can attribute exactly (the physical
+			// experiment relies on the beam spot and timing to do the
+			// same).
+			if comp == fault.CompL1D {
+				out.weightedMismatches += float64(mm) * weight
+			}
+		}
+		out.sims++
+		if class == fault.ClassMasked {
+			out.masked++
+			// The corruption may be latent (e.g., a flipped kernel line
+			// not yet touched): run one follow-up execution on the live
+			// state before declaring it benign.
+			m.RestartApp(wb.Snap)
+			follow := m.Run(wb.Watchdog)
+			fclass := fault.Classify(follow, built.Golden, cfg.Preset.TimerPeriod)
+			if fclass != fault.ClassMasked {
+				class = fclass
+				out.masked--
+			}
+		}
+		if class != fault.ClassMasked {
+			out.events[class] += weight
+		}
+		if class == fault.ClassAppCrash || class == fault.ClassSysCrash {
+			// The host power-cycles the board and reboots Linux.
+			m.RestoreSnapshot(wb.Snap, true)
+			m.Run(wb.Watchdog) // steady-state execution after reboot
+		}
+		m.RestartApp(wb.Snap)
+		em.tick(spec.Name, totalSims)
+	}
+	return out
+}
+
+// RunWorkload exposes one workload to the simulated beam, using up to
+// cfg.Workers parallel workbenches (one component chain at a time each).
 func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResult, error) {
 	cfg = cfg.withDefaults()
+	return runWorkload(cfg, spec, sched.NewPool(cfg.Workers-1), newEmitter(progress))
+}
+
+func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
 	built, err := spec.Build(soc.UserAsmConfig(), cfg.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("beam: %w", err)
@@ -218,8 +346,6 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 	if slack < 0 {
 		slack = 0
 	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(len(spec.Name))*7919 ^ int64(spec.Name[0])))
 
 	res := &WorkloadResult{
 		Workload:      spec.Name,
@@ -250,66 +376,65 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 			perComp = 120
 		}
 	}
-	totalSims := perComp * fault.NumComponents
+	comps := fault.Components()
+	totalSims := perComp * len(comps)
+	em.addTotal(totalSims)
 
-	// The board runs the workload in a loop from its warm post-boot state.
-	m.RestoreSnapshot(wb.Snap, true)
-	m.Run(wb.Watchdog) // reach steady state
-	m.RestartApp(wb.Snap)
+	// Shard the component chains across the primary workbench plus as many
+	// clones as the pool grants; chains are claimed off an atomic cursor.
+	extras := cfg.Workers - 1
+	if extras > len(comps)-1 {
+		extras = len(comps) - 1
+	}
+	var clones []*harness.Workbench
+	for len(clones) < extras && pool.TryAcquire() {
+		clone, err := wb.Clone()
+		if err != nil {
+			pool.Release()
+			for range clones {
+				pool.Release()
+			}
+			return nil, fmt.Errorf("beam: %w", err)
+		}
+		clones = append(clones, clone)
+	}
+	partial := make([]chainResult, len(comps))
+	var cursor int64
+	drain := func(w *harness.Workbench) {
+		em.workerStarted()
+		defer em.workerDone()
+		for {
+			ci := atomic.AddInt64(&cursor, 1) - 1
+			if ci >= int64(len(comps)) {
+				return
+			}
+			partial[ci] = runChain(cfg, w, spec, comps[ci], perComp, res.Fluence, em, totalSims)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, clone := range clones {
+		wg.Add(1)
+		go func(clone *harness.Workbench) {
+			defer wg.Done()
+			defer pool.Release()
+			drain(clone)
+		}(clone)
+	}
+	drain(wb)
+	wg.Wait()
 
-	sim := 0
-	for _, comp := range fault.Components() {
-		bits := fault.SizeBits(m, comp)
-		weight := res.Fluence * float64(bits) * cfg.BitXS / float64(perComp)
-		for s := 0; s < perComp; s++ {
-			sim++
-			if progress != nil {
-				progress(spec.Name, sim, totalSims)
+	// Merge chains in component order with a fixed class order, so the
+	// floating-point accumulation is identical at every worker count.
+	for _, pr := range partial {
+		res.SimulatedStrikes += pr.sims
+		res.MaskedStrikes += pr.masked
+		res.TotalMismatches += pr.totalMismatches
+		res.WeightedMismatches += pr.weightedMismatches
+		for _, cls := range fault.Classes() {
+			if v, ok := pr.events[cls]; ok {
+				res.Events[cls] += v
+				res.ModeledEvents[cls] += v
 			}
-			f := fault.Fault{
-				Comp:  comp,
-				Bit:   uint64(rng.Int63n(int64(bits))),
-				Cycle: uint64(rng.Int63n(int64(wb.Golden.Cycles))),
-			}
-			runRes := m.RunWithInjection(wb.Watchdog, f.Cycle, func() {
-				fault.Apply(m, f)
-			})
-			class := fault.Classify(runRes, built.Golden, cfg.Preset.TimerPeriod)
-			if mm := probeMismatches(spec, runRes.Output); mm > 0 {
-				res.TotalMismatches += mm
-				// Only strikes into the L1D array count toward the
-				// FIT-raw estimate: the probe characterises that array,
-				// and the simulated oracle can attribute exactly (the
-				// physical experiment relies on the beam spot and timing
-				// to do the same).
-				if comp == fault.CompL1D {
-					res.WeightedMismatches += float64(mm) * weight
-				}
-			}
-			res.SimulatedStrikes++
-			if class == fault.ClassMasked {
-				res.MaskedStrikes++
-				// The corruption may be latent (e.g., a flipped kernel
-				// line not yet touched): run one follow-up execution on
-				// the live state before declaring it benign.
-				m.RestartApp(wb.Snap)
-				follow := m.Run(wb.Watchdog)
-				fclass := fault.Classify(follow, built.Golden, cfg.Preset.TimerPeriod)
-				if fclass != fault.ClassMasked {
-					class = fclass
-					res.MaskedStrikes--
-				}
-			}
-			if class != fault.ClassMasked {
-				res.Events[class] += weight
-				res.ModeledEvents[class] += weight
-			}
-			if class == fault.ClassAppCrash || class == fault.ClassSysCrash {
-				// The host power-cycles the board and reboots Linux.
-				m.RestoreSnapshot(wb.Snap, true)
-				m.Run(wb.Watchdog) // steady-state execution after reboot
-			}
-			m.RestartApp(wb.Snap)
 		}
 	}
 
@@ -323,18 +448,89 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 	return res, nil
 }
 
-// Run exposes a set of workloads to the beam.
+// Run exposes a set of workloads to the beam. Workloads run concurrently,
+// bounded — together with their per-workload extra workers — by
+// cfg.Workers total live machines.
 func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 	cfg = cfg.withDefaults()
+	pool := sched.NewPool(cfg.Workers)
+	em := newEmitter(progress)
+	results := make([]*WorkloadResult, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec bench.Spec) {
+			defer wg.Done()
+			pool.Acquire() // the workload's primary worker slot
+			defer pool.Release()
+			results[i], errs[i] = runWorkload(cfg, spec, pool, em)
+		}(i, spec)
+	}
+	wg.Wait()
 	res := &Result{Config: cfg}
-	for _, spec := range specs {
-		w, err := RunWorkload(cfg, spec, progress)
-		if err != nil {
-			return nil, err
+	for i := range specs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		res.Workloads = append(res.Workloads, *w)
+		res.Workloads = append(res.Workloads, *results[i])
 	}
 	return res, nil
+}
+
+// emitter adapts the shared meter to beam progress events, adding the
+// per-workload strike counts. All mutable state is only touched inside
+// Meter.Tick's lock, which also serialises the user callback.
+type emitter struct {
+	meter *sched.Meter
+	fn    Progress
+	done  map[string]int
+}
+
+// newEmitter returns nil when there is no callback: a nil emitter's
+// methods are no-ops.
+func newEmitter(fn Progress) *emitter {
+	if fn == nil {
+		return nil
+	}
+	return &emitter{meter: sched.NewMeter(), fn: fn, done: make(map[string]int)}
+}
+
+func (e *emitter) addTotal(n int) {
+	if e != nil {
+		e.meter.AddTotal(n)
+	}
+}
+
+func (e *emitter) workerStarted() {
+	if e != nil {
+		e.meter.WorkerStarted()
+	}
+}
+
+func (e *emitter) workerDone() {
+	if e != nil {
+		e.meter.WorkerDone()
+	}
+}
+
+func (e *emitter) tick(workload string, totalPerWorkload int) {
+	if e == nil {
+		return
+	}
+	e.meter.Tick(func(s sched.Snapshot) {
+		e.done[workload]++
+		e.fn(ProgressEvent{
+			Workload:      workload,
+			Strike:        e.done[workload],
+			Total:         totalPerWorkload,
+			CampaignDone:  s.Done,
+			CampaignTotal: s.Total,
+			Workers:       s.Workers,
+			Rate:          s.Rate,
+			ETA:           s.ETA,
+		})
+	})
 }
 
 // probeMismatches extracts the FIT-raw probe's self-reported mismatch

@@ -106,6 +106,69 @@ func TestBeamDeterminism(t *testing.T) {
 	}
 }
 
+// TestBeamWorkerCountInvariance pins the parallel engine's contract: each
+// component chain is a self-contained live-board session, so sharding the
+// chains across workers cannot change any outcome.
+func TestBeamWorkerCountInvariance(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{Seed: 9, BeamHours: 1, StrikesPerComponent: 3}
+	cfg.Workers = 1
+	a, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	b, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range fault.Classes() {
+		if a.Events[cls] != b.Events[cls] {
+			t.Errorf("%v: events %v vs %v", cls, a.Events[cls], b.Events[cls])
+		}
+		if a.ModeledEvents[cls] != b.ModeledEvents[cls] {
+			t.Errorf("%v: modeled events %v vs %v", cls, a.ModeledEvents[cls], b.ModeledEvents[cls])
+		}
+	}
+	if a.MaskedStrikes != b.MaskedStrikes || a.SimulatedStrikes != b.SimulatedStrikes {
+		t.Errorf("strike accounting differs: %d/%d vs %d/%d masked/simulated",
+			a.MaskedStrikes, a.SimulatedStrikes, b.MaskedStrikes, b.SimulatedStrikes)
+	}
+	if a.TotalMismatches != b.TotalMismatches || a.WeightedMismatches != b.WeightedMismatches {
+		t.Error("probe mismatch accounting differs across worker counts")
+	}
+}
+
+// TestBeamRunParallelWorkloads checks the top-level engine keeps spec
+// order and per-workload results under a shared worker budget.
+func TestBeamRunParallelWorkloads(t *testing.T) {
+	var specs []bench.Spec
+	for _, name := range []string{"crc32", "qsort"} {
+		s, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		specs = append(specs, s)
+	}
+	cfg := Config{Seed: 4, BeamHours: 1, StrikesPerComponent: 2, Workers: 4}
+	res, err := Run(cfg, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != len(specs) {
+		t.Fatalf("workloads = %d", len(res.Workloads))
+	}
+	for i, spec := range specs {
+		if res.Workloads[i].Workload != spec.Name {
+			t.Fatalf("workload %d is %q, want %q (order must follow specs)",
+				i, res.Workloads[i].Workload, spec.Name)
+		}
+		if res.Workloads[i].SimulatedStrikes != 2*fault.NumComponents {
+			t.Errorf("%s: simulated strikes = %d", spec.Name, res.Workloads[i].SimulatedStrikes)
+		}
+	}
+}
+
 func TestMeasureFITRawPlausible(t *testing.T) {
 	if testing.Short() {
 		t.Skip("beam probe is slow")

@@ -1,0 +1,226 @@
+// Campaign execution engine: fault sampling is split from fault execution
+// so that the sample depends only on the seeded RNG while execution can be
+// sharded across a pool of workbenches. The determinism contract — the
+// same Seed yields the same Result at any Workers value — follows from
+// pre-drawing the whole per-component fault list in the sequential
+// engine's exact RNG order, recording every outcome into its plan slot,
+// and aggregating the slots in plan order.
+
+package gefin
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/harness"
+	"armsefi/internal/core/sched"
+	"armsefi/internal/mem"
+	"armsefi/internal/soc"
+)
+
+// plannedFault is one pre-drawn injection of the campaign plan.
+type plannedFault struct {
+	comp int // index into cfg.Components
+	f    fault.Fault
+}
+
+// outcome is the record of one executed injection.
+type outcome struct {
+	class  fault.Class
+	valid  bool
+	kernel bool
+}
+
+// sampleFaults pre-draws the full campaign plan for one workload,
+// consuming the RNG in exactly the order the sequential engine did:
+// components outer, injections inner, with the TLB region re-draw nested
+// between the bit and cycle draws.
+func sampleFaults(cfg Config, sizes []uint64, goldenCycles uint64, rng *rand.Rand) []plannedFault {
+	plan := make([]plannedFault, 0, len(cfg.Components)*cfg.FaultsPerComponent)
+	for ci, comp := range cfg.Components {
+		size := sizes[ci]
+		for i := 0; i < cfg.FaultsPerComponent; i++ {
+			bit := uint64(rng.Int63n(int64(size)))
+			if !cfg.TLBFullEntry && (comp == fault.CompITLB || comp == fault.CompDTLB) {
+				// GeFIN targets the physical page and permission bits of
+				// the TLB entries (Section V-B).
+				entry := bit / mem.TLBEntryBits
+				bit = entry*mem.TLBEntryBits +
+					mem.TLBPhysRegionStart + uint64(rng.Intn(mem.TLBPhysRegionBits))
+			}
+			plan = append(plan, plannedFault{comp: ci, f: fault.Fault{
+				Comp:  comp,
+				Bit:   bit,
+				Cycle: uint64(rng.Int63n(int64(goldenCycles))),
+			}})
+		}
+	}
+	return plan
+}
+
+// runWorkload builds the workload's primary workbench, pre-draws the fault
+// plan, and executes it across the primary plus as many clone workbenches
+// as the pool grants.
+func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
+	built, err := spec.Build(soc.UserAsmConfig(), cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("gefin: %w", err)
+	}
+	wb, err := harness.New(cfg.Preset, cfg.Model, built)
+	if err != nil {
+		return nil, fmt.Errorf("gefin: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashString(spec.Name))))
+	sizes := make([]uint64, len(cfg.Components))
+	for ci, comp := range cfg.Components {
+		sizes[ci] = fault.SizeBits(wb.Machine, comp)
+	}
+	plan := sampleFaults(cfg, sizes, wb.Golden.Cycles, rng)
+	em.addTotal(len(plan))
+
+	// Claim extra workers up-front (a clone is one kernel boot each) so a
+	// boot failure surfaces before any injection runs.
+	extras := cfg.Workers - 1
+	if extras > len(plan)-1 {
+		extras = len(plan) - 1
+	}
+	var clones []*harness.Workbench
+	for len(clones) < extras && pool.TryAcquire() {
+		clone, err := wb.Clone()
+		if err != nil {
+			pool.Release()
+			for range clones {
+				pool.Release()
+			}
+			return nil, fmt.Errorf("gefin: %w", err)
+		}
+		clones = append(clones, clone)
+	}
+
+	// Dynamic sharding: workers race on an atomic cursor over the plan, so
+	// load balances regardless of per-injection cost, while every outcome
+	// lands in its plan slot and aggregation order stays fixed.
+	outcomes := make([]outcome, len(plan))
+	var cursor int64
+	drain := func(w *harness.Workbench) {
+		em.workerStarted()
+		defer em.workerDone()
+		for {
+			i := atomic.AddInt64(&cursor, 1) - 1
+			if i >= int64(len(plan)) {
+				return
+			}
+			p := plan[i]
+			class, ctx := w.RunFaultDetail(p.f, cfg.WarmCaches)
+			outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+			em.tick(spec.Name, cfg.Components[p.comp], cfg.FaultsPerComponent)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, clone := range clones {
+		wg.Add(1)
+		go func(clone *harness.Workbench) {
+			defer wg.Done()
+			defer pool.Release()
+			drain(clone)
+		}(clone)
+	}
+	drain(wb) // the caller's own slot drives the primary
+	wg.Wait()
+
+	out := &WorkloadResult{
+		Workload:     spec.Name,
+		Scale:        cfg.Scale,
+		GoldenCycles: wb.Golden.Cycles,
+		GoldenInstrs: wb.Golden.Instructions,
+	}
+	for ci, comp := range cfg.Components {
+		out.Components = append(out.Components, ComponentResult{
+			Comp:         comp,
+			SizeBits:     sizes[ci],
+			N:            cfg.FaultsPerComponent,
+			Counts:       make(map[fault.Class]int, fault.NumClasses),
+			ValidStruck:  make(map[fault.Class]int, fault.NumClasses),
+			KernelStruck: make(map[fault.Class]int, fault.NumClasses),
+		})
+	}
+	for i, p := range plan {
+		o := outcomes[i]
+		res := &out.Components[p.comp]
+		res.Counts[o.class]++
+		if o.valid {
+			res.ValidStruck[o.class]++
+		}
+		if o.kernel {
+			res.KernelStruck[o.class]++
+		}
+	}
+	return out, nil
+}
+
+// emitter adapts the shared meter to gefin progress events, adding the
+// per-(workload, component) completion counts. All mutable state is only
+// touched inside Meter.Tick's lock, which also serialises the user
+// callback.
+type emitter struct {
+	meter *sched.Meter
+	fn    Progress
+	done  map[compKey]int
+}
+
+type compKey struct {
+	workload string
+	comp     fault.Component
+}
+
+// newEmitter returns nil when there is no callback: a nil emitter's
+// methods are no-ops, so the hot path pays nothing for unused progress.
+func newEmitter(fn Progress) *emitter {
+	if fn == nil {
+		return nil
+	}
+	return &emitter{meter: sched.NewMeter(), fn: fn, done: make(map[compKey]int)}
+}
+
+func (e *emitter) addTotal(n int) {
+	if e != nil {
+		e.meter.AddTotal(n)
+	}
+}
+
+func (e *emitter) workerStarted() {
+	if e != nil {
+		e.meter.WorkerStarted()
+	}
+}
+
+func (e *emitter) workerDone() {
+	if e != nil {
+		e.meter.WorkerDone()
+	}
+}
+
+func (e *emitter) tick(workload string, comp fault.Component, totalPerComp int) {
+	if e == nil {
+		return
+	}
+	e.meter.Tick(func(s sched.Snapshot) {
+		key := compKey{workload, comp}
+		e.done[key]++
+		e.fn(ProgressEvent{
+			Workload:      workload,
+			Comp:          comp,
+			Done:          e.done[key],
+			Total:         totalPerComp,
+			CampaignDone:  s.Done,
+			CampaignTotal: s.Total,
+			Workers:       s.Workers,
+			Rate:          s.Rate,
+			ETA:           s.ETA,
+		})
+	})
+}

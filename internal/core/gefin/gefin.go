@@ -6,13 +6,12 @@
 package gefin
 
 import (
-	"fmt"
-	"math/rand"
+	"sync"
+	"time"
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
-	"armsefi/internal/core/harness"
-	"armsefi/internal/mem"
+	"armsefi/internal/core/sched"
 	"armsefi/internal/soc"
 	"armsefi/internal/stats"
 )
@@ -36,6 +35,13 @@ type Config struct {
 	// The tag region has near-zero AVF (flips there just cause re-walks),
 	// which this ablation demonstrates.
 	TLBFullEntry bool
+	// Workers bounds the campaign's worker pool. Each worker owns its own
+	// harness.Workbench (machines are stateful and cannot be shared); the
+	// full fault list is pre-drawn from the seeded RNG before execution
+	// starts, so the Result is bit-identical for every value of Workers.
+	// Zero (the default) resolves to runtime.GOMAXPROCS(0); 1 reproduces
+	// the sequential engine exactly.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +60,7 @@ func (c Config) withDefaults() Config {
 	if c.Preset.Name == "" {
 		c.Preset = soc.PresetModel()
 	}
+	c.Workers = sched.Resolve(c.Workers)
 	return c
 }
 
@@ -140,78 +147,67 @@ func (r *Result) Workload(name string) (*WorkloadResult, bool) {
 	return nil, false
 }
 
-// Progress receives campaign progress callbacks; any field may be ignored.
-type Progress func(workload string, comp fault.Component, done, total int)
-
-// RunWorkload executes the campaign for a single workload.
-func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResult, error) {
-	cfg = cfg.withDefaults()
-	built, err := spec.Build(soc.UserAsmConfig(), cfg.Scale)
-	if err != nil {
-		return nil, fmt.Errorf("gefin: %w", err)
-	}
-	wb, err := harness.New(cfg.Preset, cfg.Model, built)
-	if err != nil {
-		return nil, fmt.Errorf("gefin: %w", err)
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashString(spec.Name))))
-	out := &WorkloadResult{
-		Workload:     spec.Name,
-		Scale:        cfg.Scale,
-		GoldenCycles: wb.Golden.Cycles,
-		GoldenInstrs: wb.Golden.Instructions,
-	}
-	for _, comp := range cfg.Components {
-		size := fault.SizeBits(wb.Machine, comp)
-		res := ComponentResult{
-			Comp:         comp,
-			SizeBits:     size,
-			N:            cfg.FaultsPerComponent,
-			Counts:       make(map[fault.Class]int, fault.NumClasses),
-			ValidStruck:  make(map[fault.Class]int, fault.NumClasses),
-			KernelStruck: make(map[fault.Class]int, fault.NumClasses),
-		}
-		for i := 0; i < cfg.FaultsPerComponent; i++ {
-			bit := uint64(rng.Int63n(int64(size)))
-			if !cfg.TLBFullEntry && (comp == fault.CompITLB || comp == fault.CompDTLB) {
-				// GeFIN targets the physical page and permission bits of
-				// the TLB entries (Section V-B).
-				entry := bit / mem.TLBEntryBits
-				bit = entry*mem.TLBEntryBits +
-					mem.TLBPhysRegionStart + uint64(rng.Intn(mem.TLBPhysRegionBits))
-			}
-			f := fault.Fault{
-				Comp:  comp,
-				Bit:   bit,
-				Cycle: uint64(rng.Int63n(int64(wb.Golden.Cycles))),
-			}
-			class, ctx := wb.RunFaultDetail(f, cfg.WarmCaches)
-			res.Counts[class]++
-			if ctx.LineValid {
-				res.ValidStruck[class]++
-			}
-			if ctx.KernelOwned() {
-				res.KernelStruck[class]++
-			}
-			if progress != nil {
-				progress(spec.Name, comp, i+1, cfg.FaultsPerComponent)
-			}
-		}
-		out.Components = append(out.Components, res)
-	}
-	return out, nil
+// ProgressEvent reports one completed injection. The engine serialises
+// emissions under a campaign-wide mutex, so a callback's own state needs
+// no locking — but the callback may be invoked from any worker goroutine,
+// so it must not rely on goroutine identity, and it should return quickly
+// (every worker stalls while it runs).
+type ProgressEvent struct {
+	Workload string
+	Comp     fault.Component
+	// Done and Total count injections into this workload x component.
+	Done, Total int
+	// CampaignDone and CampaignTotal count injections across every
+	// workload of the Run (or just this workload under RunWorkload).
+	CampaignDone, CampaignTotal int
+	// Workers is the number of live workers at the instant of the event;
+	// Rate is the aggregate campaign throughput in injections/sec (divide
+	// by Workers for per-worker throughput), and ETA the remaining wall
+	// time it implies.
+	Workers int
+	Rate    float64
+	ETA     time.Duration
 }
 
-// Run executes the campaign for a set of workloads.
+// Progress receives campaign progress callbacks; see ProgressEvent for the
+// concurrency contract.
+type Progress func(ProgressEvent)
+
+// RunWorkload executes the campaign for a single workload, using up to
+// cfg.Workers parallel workbenches.
+func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResult, error) {
+	cfg = cfg.withDefaults()
+	// The caller's goroutine drives the primary workbench; the pool holds
+	// only the extra-worker slots.
+	return runWorkload(cfg, spec, sched.NewPool(cfg.Workers-1), newEmitter(progress))
+}
+
+// Run executes the campaign for a set of workloads. Workloads run
+// concurrently, bounded — together with their per-workload extra workers —
+// by cfg.Workers total live machines.
 func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 	cfg = cfg.withDefaults()
+	pool := sched.NewPool(cfg.Workers)
+	em := newEmitter(progress)
+	results := make([]*WorkloadResult, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec bench.Spec) {
+			defer wg.Done()
+			pool.Acquire() // the workload's primary worker slot
+			defer pool.Release()
+			results[i], errs[i] = runWorkload(cfg, spec, pool, em)
+		}(i, spec)
+	}
+	wg.Wait()
 	res := &Result{Config: cfg}
-	for _, spec := range specs {
-		w, err := RunWorkload(cfg, spec, progress)
-		if err != nil {
-			return nil, err
+	for i := range specs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		res.Workloads = append(res.Workloads, *w)
+		res.Workloads = append(res.Workloads, *results[i])
 	}
 	return res, nil
 }

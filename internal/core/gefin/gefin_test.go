@@ -9,8 +9,18 @@ import (
 	"armsefi/internal/soc"
 )
 
+// faultsN trims statistical sample sizes in -short mode (notably the CI
+// race-detector job, where every injection run costs ~10-20x): the
+// properties under test hold at any sample size.
+func faultsN(full int) int {
+	if testing.Short() {
+		return (full + 2) / 3
+	}
+	return full
+}
+
 func smallConfig() Config {
-	return Config{FaultsPerComponent: 25, Seed: 77}
+	return Config{FaultsPerComponent: faultsN(25), Seed: 77}
 }
 
 func runSmall(t *testing.T, cfg Config, workload string) *WorkloadResult {
@@ -89,7 +99,7 @@ func TestSeedChangesOutcomes(t *testing.T) {
 // flips are orders of magnitude more benign than physical-page flips.
 func TestTLBTagRegionSampling(t *testing.T) {
 	cfg := smallConfig()
-	cfg.FaultsPerComponent = 30
+	cfg.FaultsPerComponent = faultsN(30)
 	cfg.Components = []fault.Component{fault.CompDTLB}
 	phys := runSmall(t, cfg, "qsort")
 
@@ -119,11 +129,22 @@ func TestWorkloadLookup(t *testing.T) {
 func TestProgressCallback(t *testing.T) {
 	spec, _ := bench.ByName("crc32")
 	cfg := Config{FaultsPerComponent: 3, Seed: 5, Components: []fault.Component{fault.CompRegFile}}
+	// The engine serialises emissions, so the closure's state needs no lock
+	// even at Workers > 1.
+	cfg.Workers = 2
 	calls := 0
-	_, err := RunWorkload(cfg, spec, func(w string, comp fault.Component, done, total int) {
+	lastDone := 0
+	_, err := RunWorkload(cfg, spec, func(ev ProgressEvent) {
 		calls++
-		if w != "crc32" || comp != fault.CompRegFile || total != 3 {
-			t.Errorf("bad progress: %s %v %d/%d", w, comp, done, total)
+		if ev.Workload != "crc32" || ev.Comp != fault.CompRegFile || ev.Total != 3 {
+			t.Errorf("bad progress: %s %v %d/%d", ev.Workload, ev.Comp, ev.Done, ev.Total)
+		}
+		if ev.CampaignTotal != 3 || ev.CampaignDone != lastDone+1 {
+			t.Errorf("bad campaign counts: %d/%d after %d", ev.CampaignDone, ev.CampaignTotal, lastDone)
+		}
+		lastDone = ev.CampaignDone
+		if ev.Workers < 1 || ev.Workers > 2 {
+			t.Errorf("workers = %d", ev.Workers)
 		}
 	})
 	if err != nil {
@@ -131,6 +152,87 @@ func TestProgressCallback(t *testing.T) {
 	}
 	if calls != 3 {
 		t.Errorf("progress called %d times, want 3", calls)
+	}
+	if lastDone != 3 {
+		t.Errorf("final CampaignDone = %d, want 3", lastDone)
+	}
+}
+
+// equalComponentResults asserts two workload results agree on every
+// per-component outcome map — the parallel engine's determinism contract.
+func equalComponentResults(t *testing.T, a, b *WorkloadResult) {
+	t.Helper()
+	if len(a.Components) != len(b.Components) {
+		t.Fatalf("component counts differ: %d vs %d", len(a.Components), len(b.Components))
+	}
+	for i := range a.Components {
+		ca, cb := a.Components[i], b.Components[i]
+		if ca.Comp != cb.Comp || ca.SizeBits != cb.SizeBits || ca.N != cb.N {
+			t.Fatalf("component %d headers differ: %+v vs %+v", i, ca, cb)
+		}
+		for _, cls := range fault.Classes() {
+			if ca.Counts[cls] != cb.Counts[cls] {
+				t.Errorf("%v %v: counts %d vs %d", ca.Comp, cls, ca.Counts[cls], cb.Counts[cls])
+			}
+			if ca.ValidStruck[cls] != cb.ValidStruck[cls] {
+				t.Errorf("%v %v: valid-struck %d vs %d", ca.Comp, cls, ca.ValidStruck[cls], cb.ValidStruck[cls])
+			}
+			if ca.KernelStruck[cls] != cb.KernelStruck[cls] {
+				t.Errorf("%v %v: kernel-struck %d vs %d", ca.Comp, cls, ca.KernelStruck[cls], cb.KernelStruck[cls])
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvariance is the centrepiece contract of the parallel
+// engine: the same seed produces a bit-identical campaign at any worker
+// count, because faults are pre-drawn before execution is sharded.
+func TestWorkerCountInvariance(t *testing.T) {
+	seq := smallConfig()
+	seq.Workers = 1
+	par := smallConfig()
+	par.Workers = 4
+	a := runSmall(t, seq, "crc32")
+	b := runSmall(t, par, "crc32")
+	if a.GoldenCycles != b.GoldenCycles || a.GoldenInstrs != b.GoldenInstrs {
+		t.Fatalf("golden runs differ: %d/%d vs %d/%d cycles/instrs",
+			a.GoldenCycles, a.GoldenInstrs, b.GoldenCycles, b.GoldenInstrs)
+	}
+	equalComponentResults(t, a, b)
+}
+
+// TestRunParallelWorkloads checks the top-level engine: concurrent
+// workloads under a shared worker budget produce the same Result as the
+// sequential path, in spec order.
+func TestRunParallelWorkloads(t *testing.T) {
+	var specs []bench.Spec
+	for _, name := range []string{"crc32", "qsort"} {
+		s, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		specs = append(specs, s)
+	}
+	cfg := Config{FaultsPerComponent: faultsN(10), Seed: 42, Components: []fault.Component{fault.CompRegFile, fault.CompDTLB}}
+	cfg.Workers = 1
+	seq, err := Run(cfg, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Run(cfg, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Workloads) != len(specs) {
+		t.Fatalf("workloads = %d", len(par.Workloads))
+	}
+	for i, spec := range specs {
+		if par.Workloads[i].Workload != spec.Name {
+			t.Fatalf("workload %d is %q, want %q (order must follow specs)",
+				i, par.Workloads[i].Workload, spec.Name)
+		}
+		equalComponentResults(t, &seq.Workloads[i], &par.Workloads[i])
 	}
 }
 
@@ -181,7 +283,7 @@ func TestPageTableLineStrikeIsNeverBenign(t *testing.T) {
 
 func TestContextCountsConsistent(t *testing.T) {
 	cfg := smallConfig()
-	cfg.FaultsPerComponent = 20
+	cfg.FaultsPerComponent = faultsN(20)
 	res := runSmall(t, cfg, "crc32")
 	for _, c := range res.Components {
 		for _, cls := range fault.Classes() {

@@ -70,6 +70,39 @@ func New(cfg soc.Config, model soc.ModelKind, built *bench.Built) (*Workbench, e
 	return w, nil
 }
 
+// Clone builds a sibling workbench over the same built workload: a fresh
+// machine with the original's preset and model, booted to the same
+// post-boot point. Because the machine is deterministic, the sibling's
+// snapshot is bit-equal to the original's, so the golden run and watchdog
+// are inherited rather than re-validated — a clone costs one kernel boot
+// instead of a boot plus a full workload run (and no re-assembly: Built is
+// shared read-only). Siblings share no mutable state; the parallel
+// campaign engines give each worker goroutine its own workbench.
+func (w *Workbench) Clone() (*Workbench, error) {
+	m, err := soc.NewMachine(w.Machine.Cfg, w.Machine.Model)
+	if err != nil {
+		return nil, fmt.Errorf("harness: clone: %w", err)
+	}
+	if err := m.LoadApp(w.Built.Program); err != nil {
+		return nil, fmt.Errorf("harness: clone: %w", err)
+	}
+	if len(w.Built.Input) > 0 {
+		if err := m.PokeBytes(w.Built.InputAddr, w.Built.Input); err != nil {
+			return nil, fmt.Errorf("harness: clone: staging input: %w", err)
+		}
+	}
+	if err := m.Boot(BootBudget); err != nil {
+		return nil, fmt.Errorf("harness: clone: %w", err)
+	}
+	return &Workbench{
+		Machine:  m,
+		Built:    w.Built,
+		Snap:     m.SaveSnapshot(),
+		Golden:   w.Golden,
+		Watchdog: w.Watchdog,
+	}, nil
+}
+
 // RunFault restores the cold snapshot (caches reset, as GeFIN does on every
 // experiment), injects the fault at its cycle, runs to completion or
 // watchdog, and classifies the outcome.

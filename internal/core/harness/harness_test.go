@@ -83,6 +83,42 @@ func TestAtomicWorkbench(t *testing.T) {
 	}
 }
 
+// TestCloneIsEquivalent verifies the parallel engines' foundation: a
+// cloned workbench reproduces the original's snapshot, golden timing, and
+// per-fault classifications without re-running the golden validation.
+func TestCloneIsEquivalent(t *testing.T) {
+	wb, err := New(soc.PresetModel(), soc.ModelDetailed, newBench(t, "crc32"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := wb.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Machine == wb.Machine || clone.Snap == wb.Snap {
+		t.Fatal("clone shares mutable state with the original")
+	}
+	if clone.Golden.Cycles != wb.Golden.Cycles || clone.Watchdog != wb.Watchdog {
+		t.Fatal("clone did not inherit golden metrics")
+	}
+	res := clone.RunClean()
+	if res.Cycles != wb.Golden.Cycles || !bytes.Equal(res.Output, wb.Golden.Output) {
+		t.Fatalf("clone's clean run (%d cycles) diverges from the original golden (%d)",
+			res.Cycles, wb.Golden.Cycles)
+	}
+	for _, f := range []fault.Fault{
+		{Comp: fault.CompRegFile, Bit: 77, Cycle: wb.Golden.Cycles / 3},
+		{Comp: fault.CompL1D, Bit: 2048, Cycle: wb.Golden.Cycles / 2},
+		{Comp: fault.CompDTLB, Bit: 5, Cycle: 1000},
+	} {
+		a, actx := wb.RunFaultDetail(f, false)
+		b, bctx := clone.RunFaultDetail(f, false)
+		if a != b || actx != bctx {
+			t.Fatalf("fault %v: original %v/%+v vs clone %v/%+v", f, a, actx, b, bctx)
+		}
+	}
+}
+
 // TestKernelResidencyDiffersWarmVsCold verifies the mechanism behind the
 // paper's System-Crash analysis: the warm (live-board) state holds many
 // more valid cache lines — kernel state included — than the cold

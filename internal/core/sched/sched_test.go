@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if Resolve(0) < 1 || Resolve(-3) < 1 {
+		t.Error("non-positive requests must resolve to at least one worker")
+	}
+	if Resolve(7) != 7 {
+		t.Error("explicit worker counts must pass through")
+	}
+}
+
+func TestPoolBounds(t *testing.T) {
+	p := NewPool(2)
+	if p.Cap() != 2 {
+		t.Fatalf("cap = %d", p.Cap())
+	}
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("fresh pool refused its slots")
+	}
+	if p.TryAcquire() {
+		t.Fatal("pool over-granted")
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestZeroPool(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if NewPool(n).TryAcquire() {
+			t.Fatalf("NewPool(%d) granted a slot", n)
+		}
+	}
+}
+
+func TestPoolBlockingAcquire(t *testing.T) {
+	p := NewPool(1)
+	p.Acquire()
+	released := make(chan struct{})
+	go func() {
+		p.Acquire() // blocks until the first slot is released
+		close(released)
+		p.Release()
+	}()
+	select {
+	case <-released:
+		t.Fatal("second Acquire succeeded while the slot was held")
+	default:
+	}
+	p.Release()
+	<-released
+}
+
+func TestMeterSerialisesAndCounts(t *testing.T) {
+	m := NewMeter()
+	m.AddTotal(100)
+	m.WorkerStarted()
+	m.WorkerStarted()
+
+	// Ticks from many goroutines: emissions must be serialised (the
+	// unguarded counters below would race otherwise; go test -race is the
+	// enforcement) and Done must end exactly at the tick count.
+	seen := 0
+	maxDone := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				m.Tick(func(s Snapshot) {
+					seen++
+					if s.Done > maxDone {
+						maxDone = s.Done
+					}
+					if s.Total != 100 || s.Workers != 2 {
+						t.Errorf("snapshot = %+v", s)
+					}
+					if s.Rate < 0 || s.ETA < 0 {
+						t.Errorf("negative rate/eta: %+v", s)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if seen != 100 || maxDone != 100 {
+		t.Fatalf("saw %d emissions, max done %d; want 100/100", seen, maxDone)
+	}
+	m.WorkerDone()
+	m.WorkerDone()
+	m.Tick(func(s Snapshot) {
+		if s.Workers != 0 {
+			t.Errorf("workers = %d after all left", s.Workers)
+		}
+	})
+}
+
+func TestMeterNilEmit(t *testing.T) {
+	m := NewMeter()
+	m.Tick(nil) // must not panic
+}
