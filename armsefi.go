@@ -22,12 +22,15 @@
 package armsefi
 
 import (
+	"io"
+
 	"armsefi/internal/bench"
 	"armsefi/internal/core/beam"
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/fit"
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/core/harness"
+	"armsefi/internal/obs"
 	"armsefi/internal/soc"
 )
 
@@ -75,6 +78,22 @@ type (
 	BeamProgressEvent = beam.ProgressEvent
 	// FITComparison pairs beam and injection FIT rates for one workload.
 	FITComparison = fit.Comparison
+	// Observer is the campaign observability hook surface: set it on an
+	// InjectionConfig or BeamConfig to stream per-experiment lifecycle
+	// traces and collect live metrics. A nil Observer costs nothing.
+	Observer = obs.Observer
+	// ObserverOptions parameterises NewObserver.
+	ObserverOptions = obs.Options
+	// MetricsRegistry holds a campaign's counters, gauges, and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsServer is a live HTTP exposition endpoint (Prometheus text,
+	// expvar-style JSON, and pprof).
+	MetricsServer = obs.Server
+	// TraceRecord is one JSONL lifecycle trace line.
+	TraceRecord = obs.Record
+	// TraceSummary is the recomputed view of a trace file, comparable
+	// against a campaign Result.
+	TraceSummary = obs.Summary
 )
 
 // Model kinds.
@@ -142,6 +161,23 @@ func RunInjection(cfg InjectionConfig, specs []Workload, progress InjectionProgr
 func RunBeam(cfg BeamConfig, specs []Workload, progress BeamProgress) (*BeamResult, error) {
 	return beam.Run(cfg, specs, progress)
 }
+
+// NewObserver builds a campaign observer; see ObserverOptions for the
+// trace and registry attachments.
+func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics exposes a registry over HTTP on addr (HOST:PORT; ":0" picks
+// a free port) until the returned server is closed.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}
+
+// ReadTraceSummary recomputes campaign statistics from a JSONL lifecycle
+// trace, for cross-checking against the engines' own Results.
+func ReadTraceSummary(r io.Reader) (*TraceSummary, error) { return obs.ReadSummary(r) }
 
 // CompareFIT converts an injection campaign to FIT rates and pairs it with
 // beam measurements, yielding the per-workload comparisons behind the

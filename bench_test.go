@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -27,6 +29,7 @@ import (
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/core/harness"
 	"armsefi/internal/cpu"
+	"armsefi/internal/obs"
 	"armsefi/internal/report"
 	"armsefi/internal/rtl"
 	"armsefi/internal/soc"
@@ -686,4 +689,54 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCampaignTraced measures the observability layer's overhead on
+// the BenchmarkCampaignParallel campaign: the untraced arm against full
+// instrumentation (JSONL trace to disk plus the metrics registry). The
+// acceptance budget is <5% on the traced arm.
+func BenchmarkCampaignTraced(b *testing.B) {
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		b.Fatal("crc32 missing")
+	}
+	runOnce := func(b *testing.B, o *obs.Observer) {
+		b.Helper()
+		res, err := gefin.RunWorkload(gefin.Config{
+			Seed:               benchSeed,
+			FaultsPerComponent: 24,
+			Workers:            runtime.NumCPU(),
+			Components: []fault.Component{
+				fault.CompRegFile, fault.CompL1D, fault.CompDTLB,
+			},
+			Obs: o,
+		}, spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GoldenCycles == 0 {
+			b.Fatal("empty campaign result")
+		}
+	}
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnce(b, nil)
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		f, err := os.Create(filepath.Join(b.TempDir(), "trace.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		o := obs.New(obs.Options{TraceWriter: f})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, o)
+		}
+		b.StopTimer()
+		if err := o.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }

@@ -5,6 +5,7 @@
 //
 //	armsim -workload crc32 [-scale tiny|small|paper] [-preset zynq|gem5]
 //	       [-model atomic|detailed] [-counters] [-max-cycles N]
+//	       [-metrics-addr 127.0.0.1:9100]
 //	armsim -file prog.s [-input data.bin -input-symbol input]
 package main
 
@@ -17,6 +18,7 @@ import (
 	"armsefi/internal/bench"
 	"armsefi/internal/cpu"
 	"armsefi/internal/isa"
+	"armsefi/internal/obs"
 	"armsefi/internal/report"
 	"armsefi/internal/soc"
 )
@@ -76,6 +78,7 @@ func run() error {
 		counters    = flag.Bool("counters", false, "print performance counters")
 		maxCycles   = flag.Uint64("max-cycles", 4_000_000_000, "run cycle budget")
 		trace       = flag.Int("trace", 0, "print the first N executed instructions (atomic model only)")
+		metrics     = flag.String("metrics-addr", "", "serve pprof and runtime metrics on HOST:PORT during the run")
 	)
 	flag.Parse()
 
@@ -84,6 +87,17 @@ func run() error {
 			fmt.Printf("%-14s %s\n", s.Name, s.Characteristics)
 		}
 		return nil
+	}
+
+	if *metrics != "" {
+		// armsim runs no fault campaigns, so the registry is empty; the
+		// endpoint still exposes /debug/pprof for profiling the simulator.
+		srv, err := obs.Serve(*metrics, obs.NewRegistry())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (+ /debug/vars, /debug/pprof/)\n", srv.Addr())
 	}
 
 	preset, err := parsePreset(*presetFlag)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	beamsim [-workloads crc32,qsort] [-hours 4] [-scale tiny] [-seed 1] [-workers N]
+//	        [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
 //	beamsim -fitraw [-hours 20]
 package main
 
@@ -19,6 +20,7 @@ import (
 	"armsefi/internal/bench"
 	"armsefi/internal/core/beam"
 	"armsefi/internal/core/fit"
+	"armsefi/internal/obs"
 	"armsefi/internal/report"
 )
 
@@ -39,6 +41,8 @@ func run() error {
 		fitRaw    = flag.Bool("fitraw", false, "run the L1 FIT-raw probe measurement instead")
 		jsonOut   = flag.String("json", "", "also write the raw campaign result as JSON to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		tracePath = flag.String("trace", "", "stream a per-strike JSONL lifecycle trace to this file")
+		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
 	)
 	flag.Parse()
 
@@ -52,7 +56,12 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleFlag)
 	}
-	cfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers}
+	ocli, err := obs.SetupCLI(*tracePath, *metrics)
+	if err != nil {
+		return err
+	}
+	defer ocli.Close()
+	cfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers, Obs: ocli.Obs}
 	var progress beam.Progress
 	if !*quiet {
 		// One aggregated campaign line: per-workload `\r` lines would
@@ -93,6 +102,9 @@ func run() error {
 	}
 	res, err := beam.Run(cfg, specs, progress)
 	if err != nil {
+		return err
+	}
+	if err := ocli.Close(); err != nil { // flush the trace before reporting
 		return err
 	}
 	if *jsonOut != "" {

@@ -9,6 +9,7 @@
 //	fitcompare -static                  # Tables I-III only (fast)
 //	fitcompare -counters                # Section IV-D counter deviations
 //	fitcompare [-workloads a,b] [-faults 200] [-hours 2] [-scale tiny] [-workers N]
+//	           [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"armsefi/internal/core/fit"
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/cpu"
+	"armsefi/internal/obs"
 	"armsefi/internal/report"
 	"armsefi/internal/rtl"
 	"armsefi/internal/soc"
@@ -49,6 +51,8 @@ func run() error {
 		counters  = flag.Bool("counters", false, "print the Section IV-D counter study and exit")
 		jsonOut   = flag.String("json", "", "also write beam+injection results and comparisons as JSON")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		tracePath = flag.String("trace", "", "stream both campaigns' JSONL lifecycle traces to this file")
+		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
 	)
 	flag.Parse()
 
@@ -89,8 +93,17 @@ func run() error {
 		return runCounterStudy(specs, scale)
 	}
 
+	// One observer spans both campaigns: strikes and injections land in the
+	// same trace file (distinguished by the record kind) and the same
+	// metrics registry.
+	ocli, err := obs.SetupCLI(*tracePath, *metrics)
+	if err != nil {
+		return err
+	}
+	defer ocli.Close()
+
 	// Beam campaign on the board preset.
-	beamCfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers}
+	beamCfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers, Obs: ocli.Obs}
 	var beamProg beam.Progress
 	var gefinProg gefin.Progress
 	if !*quiet {
@@ -121,9 +134,12 @@ func run() error {
 	}
 
 	// Injection campaign on the model preset.
-	injCfg := gefin.Config{Scale: scale, Seed: *seed, FaultsPerComponent: *faults, Workers: *workers}
+	injCfg := gefin.Config{Scale: scale, Seed: *seed, FaultsPerComponent: *faults, Workers: *workers, Obs: ocli.Obs}
 	injRes, err := gefin.Run(injCfg, specs, gefinProg)
 	if err != nil {
+		return err
+	}
+	if err := ocli.Close(); err != nil { // flush the trace before reporting
 		return err
 	}
 

@@ -7,6 +7,7 @@
 //
 //	gefin [-workloads crc32,qsort] [-faults 1000] [-scale tiny]
 //	      [-seed 1] [-workers N] [-warm] [-tlb-full] [-model detailed] [-quiet]
+//	      [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"armsefi/internal/core/ace"
 	"armsefi/internal/core/fit"
 	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
 	"armsefi/internal/report"
 	"armsefi/internal/soc"
 )
@@ -73,6 +75,8 @@ func run() error {
 		aceMode   = flag.Bool("ace", false, "also run ACE lifetime analysis and compare AVFs")
 		jsonOut   = flag.String("json", "", "also write the raw campaign result as JSON to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		tracePath = flag.String("trace", "", "stream a per-injection JSONL lifecycle trace to this file")
+		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
 	)
 	flag.Parse()
 
@@ -94,6 +98,11 @@ func run() error {
 	if *modelFlag == "atomic" {
 		model = soc.ModelAtomic
 	}
+	ocli, err := obs.SetupCLI(*tracePath, *metrics)
+	if err != nil {
+		return err
+	}
+	defer ocli.Close()
 	cfg := gefin.Config{
 		Model:              model,
 		Scale:              scale,
@@ -102,6 +111,7 @@ func run() error {
 		Workers:            *workers,
 		WarmCaches:         *warm,
 		TLBFullEntry:       *tlbFull,
+		Obs:                ocli.Obs,
 	}
 	var progress gefin.Progress
 	if !*quiet {
@@ -121,6 +131,9 @@ func run() error {
 	}
 	res, err := gefin.Run(cfg, specs, progress)
 	if err != nil {
+		return err
+	}
+	if err := ocli.Close(); err != nil { // flush the trace before reporting
 		return err
 	}
 	if err := writeJSON(*jsonOut, res); err != nil {

@@ -1,0 +1,215 @@
+// Command tracestat recomputes campaign statistics from a JSONL lifecycle
+// trace (written by gefin/beamsim/fitcompare via -trace) and optionally
+// cross-checks them against the engine's own exported Result, exiting
+// nonzero on any disagreement. This closes the observability loop: the
+// trace is an independent record of every injection and strike, so exact
+// agreement with the aggregate Result certifies both.
+//
+// Usage:
+//
+//	tracestat trace.jsonl
+//	tracestat -against gefin-result.json trace.jsonl
+//	tracestat -against-beam beam-result.json trace.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		against     = flag.String("against", "", "verify the trace against a gefin campaign Result JSON")
+		againstBeam = flag.String("against-beam", "", "verify the trace against a beam campaign Result JSON")
+		quiet       = flag.Bool("quiet", false, "suppress the summary tables; print verification results only")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: tracestat [-against result.json | -against-beam result.json] trace.jsonl")
+	}
+
+	var in io.Reader
+	if path := flag.Arg(0); path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sum, err := obs.ReadSummary(in)
+	if err != nil {
+		return err
+	}
+
+	if !*quiet {
+		printSummary(sum)
+	}
+	failures := 0
+	if *against != "" {
+		failures += verifyInjection(sum, *against)
+	}
+	if *againstBeam != "" {
+		failures += verifyBeam(sum, *againstBeam)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d verification failure(s)", failures)
+	}
+	return nil
+}
+
+// printSummary renders the per-kind class tables, the worker distribution,
+// and the wall-time quantiles.
+func printSummary(s *obs.Summary) {
+	fmt.Printf("trace: %d records\n", s.Records)
+	for _, kind := range []string{obs.KindInjection, obs.KindStrike} {
+		k, ok := s.ByKind[kind]
+		if !ok {
+			continue
+		}
+		fmt.Printf("\n%s records: %d\n", kind, k.Records)
+		names := make([]string, 0, len(k.Workloads))
+		for name := range k.Workloads {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("  %-12s %-10s %8s", "workload", "component", "records")
+		for _, cls := range fault.Classes() {
+			fmt.Printf(" %10s", cls)
+		}
+		fmt.Println()
+		for _, name := range names {
+			w := k.Workloads[name]
+			comps := make([]fault.Component, 0, len(w.Components))
+			for comp := range w.Components {
+				comps = append(comps, comp)
+			}
+			sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+			for _, comp := range comps {
+				c := w.Components[comp]
+				fmt.Printf("  %-12s %-10s %8d", name, comp, c.Records)
+				for _, cls := range fault.Classes() {
+					fmt.Printf(" %10d", c.Counts[cls])
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	workers := make([]int, 0, len(s.Workers))
+	for w := range s.Workers {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	fmt.Printf("\nper-worker records:")
+	for _, w := range workers {
+		fmt.Printf(" w%d=%d", w, s.Workers[w])
+	}
+	fmt.Println()
+	fmt.Printf("experiment wall time: p50=%v p90=%v p99=%v max=%v\n",
+		time.Duration(s.WallQuantile(0.50)), time.Duration(s.WallQuantile(0.90)),
+		time.Duration(s.WallQuantile(0.99)), time.Duration(s.WallQuantile(1.0)))
+}
+
+// verifyInjection cross-checks the trace against a gefin Result export:
+// every workload x component class count must match exactly, and the trace
+// must contain exactly N records per component. Returns the mismatch count.
+func verifyInjection(s *obs.Summary, path string) int {
+	var res gefin.Result
+	if err := readJSON(path, &res); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		return 1
+	}
+	failures := 0
+	for _, w := range res.Workloads {
+		for _, cr := range w.Components {
+			c := s.Component(obs.KindInjection, w.Workload, cr.Comp)
+			if c.Records != cr.N {
+				fmt.Printf("MISMATCH %s/%s: trace has %d records, result expects %d\n",
+					w.Workload, cr.Comp, c.Records, cr.N)
+				failures++
+			}
+			for _, cls := range fault.Classes() {
+				if c.Counts[cls] != cr.Counts[cls] {
+					fmt.Printf("MISMATCH %s/%s/%s: trace counts %d, result counts %d\n",
+						w.Workload, cr.Comp, cls, c.Counts[cls], cr.Counts[cls])
+					failures++
+				}
+			}
+		}
+	}
+	if failures == 0 {
+		fmt.Printf("OK: trace agrees with injection result %s (%d workloads)\n", path, len(res.Workloads))
+	}
+	return failures
+}
+
+// verifyBeam cross-checks the trace against a beam Result export: strike
+// record counts must equal SimulatedStrikes, masked counts must equal
+// MaskedStrikes, and the weighted per-class event sums recomputed from the
+// trace must be bit-identical to ModeledEvents. Returns the mismatch count.
+func verifyBeam(s *obs.Summary, path string) int {
+	var res beam.Result
+	if err := readJSON(path, &res); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		return 1
+	}
+	failures := 0
+	for _, w := range res.Workloads {
+		records, masked := 0, 0
+		for _, comp := range fault.Components() {
+			c := s.Component(obs.KindStrike, w.Workload, comp)
+			records += c.Records
+			masked += c.Counts[fault.ClassMasked]
+		}
+		if records != w.SimulatedStrikes {
+			fmt.Printf("MISMATCH %s: trace has %d strikes, result simulated %d\n",
+				w.Workload, records, w.SimulatedStrikes)
+			failures++
+		}
+		if masked != w.MaskedStrikes {
+			fmt.Printf("MISMATCH %s: trace has %d masked strikes, result counted %d\n",
+				w.Workload, masked, w.MaskedStrikes)
+			failures++
+		}
+		modeled := s.ModeledEvents(w.Workload)
+		for _, cls := range fault.Classes() {
+			if modeled[cls] != w.ModeledEvents[cls] {
+				fmt.Printf("MISMATCH %s/%s: trace models %.17g events, result %.17g\n",
+					w.Workload, cls, modeled[cls], w.ModeledEvents[cls])
+				failures++
+			}
+		}
+	}
+	if failures == 0 {
+		fmt.Printf("OK: trace agrees with beam result %s (%d workloads)\n", path, len(res.Workloads))
+	}
+	return failures
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

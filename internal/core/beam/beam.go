@@ -32,6 +32,7 @@ import (
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/harness"
 	"armsefi/internal/core/sched"
+	"armsefi/internal/obs"
 	"armsefi/internal/soc"
 )
 
@@ -104,6 +105,11 @@ type Config struct {
 	// value of Workers. Zero (the default) resolves to
 	// runtime.GOMAXPROCS(0); 1 runs the chains sequentially.
 	Workers int
+	// Obs attaches the campaign observability layer: a per-strike
+	// lifecycle trace, outcome/latency metrics, and pool gauges. Nil (the
+	// default) disables all instrumentation at zero cost. Tracing does
+	// not perturb results: strike chains and their physics are unchanged.
+	Obs *obs.Observer `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -259,7 +265,7 @@ func chainSeed(seed int64, workload string, comp fault.Component) int64 {
 // sequential simulator, scoped to one component so chains can run
 // concurrently on sibling machines.
 func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Component,
-	perComp int, fluence float64, em *emitter, totalSims int) chainResult {
+	perComp int, fluence float64, em *emitter, totalSims, worker int) chainResult {
 	m := wb.Machine
 	built := wb.Built
 	bits := fault.SizeBits(m, comp)
@@ -278,6 +284,7 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 			Bit:   uint64(rng.Int63n(int64(bits))),
 			Cycle: uint64(rng.Int63n(int64(wb.Golden.Cycles))),
 		}
+		start := time.Now()
 		runRes := m.RunWithInjection(wb.Watchdog, f.Cycle, func() {
 			fault.Apply(m, f)
 		})
@@ -294,6 +301,7 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 			}
 		}
 		out.sims++
+		followup := false
 		if class == fault.ClassMasked {
 			out.masked++
 			// The corruption may be latent (e.g., a flipped kernel line
@@ -304,11 +312,27 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 			fclass := fault.Classify(follow, built.Golden, cfg.Preset.TimerPeriod)
 			if fclass != fault.ClassMasked {
 				class = fclass
+				followup = true
 				out.masked--
 			}
 		}
 		if class != fault.ClassMasked {
 			out.events[class] += weight
+		}
+		if cfg.Obs.On() {
+			cfg.Obs.Record(obs.Record{
+				Kind:       obs.KindStrike,
+				Workload:   spec.Name,
+				Comp:       f.Comp,
+				Bit:        f.Bit,
+				Cycle:      f.Cycle,
+				Worker:     worker,
+				ExecCycles: runRes.Cycles,
+				Outcome:    runRes.Outcome.String(),
+				Class:      class,
+				Weight:     weight,
+				Followup:   followup,
+			}, start, time.Now())
 		}
 		if class == fault.ClassAppCrash || class == fault.ClassSysCrash {
 			// The host power-cycles the board and reboots Linux.
@@ -325,7 +349,9 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 // cfg.Workers parallel workbenches (one component chain at a time each).
 func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResult, error) {
 	cfg = cfg.withDefaults()
-	return runWorkload(cfg, spec, sched.NewPool(cfg.Workers-1), newEmitter(progress))
+	pool := sched.NewPool(cfg.Workers - 1)
+	cfg.Obs.ObservePool(pool)
+	return runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
 }
 
 func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
@@ -387,7 +413,12 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 		extras = len(comps) - 1
 	}
 	var clones []*harness.Workbench
-	for len(clones) < extras && pool.TryAcquire() {
+	for len(clones) < extras {
+		ok := pool.TryAcquire()
+		cfg.Obs.CloneTry(ok)
+		if !ok {
+			break
+		}
 		clone, err := wb.Clone()
 		if err != nil {
 			pool.Release()
@@ -400,7 +431,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	}
 	partial := make([]chainResult, len(comps))
 	var cursor int64
-	drain := func(w *harness.Workbench) {
+	drain := func(worker int, w *harness.Workbench) {
 		em.workerStarted()
 		defer em.workerDone()
 		for {
@@ -408,19 +439,19 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			if ci >= int64(len(comps)) {
 				return
 			}
-			partial[ci] = runChain(cfg, w, spec, comps[ci], perComp, res.Fluence, em, totalSims)
+			partial[ci] = runChain(cfg, w, spec, comps[ci], perComp, res.Fluence, em, totalSims, worker)
 		}
 	}
 	var wg sync.WaitGroup
-	for _, clone := range clones {
+	for ci, clone := range clones {
 		wg.Add(1)
-		go func(clone *harness.Workbench) {
+		go func(worker int, clone *harness.Workbench) {
 			defer wg.Done()
 			defer pool.Release()
-			drain(clone)
-		}(clone)
+			drain(worker, clone)
+		}(ci+1, clone)
 	}
-	drain(wb)
+	drain(0, wb)
 	wg.Wait()
 
 	// Merge chains in component order with a fixed class order, so the
@@ -454,7 +485,8 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 	cfg = cfg.withDefaults()
 	pool := sched.NewPool(cfg.Workers)
-	em := newEmitter(progress)
+	cfg.Obs.ObservePool(pool)
+	em := newEmitter(progress, cfg.Obs)
 	results := make([]*WorkloadResult, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -479,21 +511,23 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 }
 
 // emitter adapts the shared meter to beam progress events, adding the
-// per-workload strike counts. All mutable state is only touched inside
+// per-workload strike counts, and feeds every meter snapshot into the
+// observability gauges. All mutable state is only touched inside
 // Meter.Tick's lock, which also serialises the user callback.
 type emitter struct {
 	meter *sched.Meter
 	fn    Progress
+	ob    *obs.Observer
 	done  map[string]int
 }
 
-// newEmitter returns nil when there is no callback: a nil emitter's
-// methods are no-ops.
-func newEmitter(fn Progress) *emitter {
-	if fn == nil {
+// newEmitter returns nil when there is neither a callback nor an
+// observer: a nil emitter's methods are no-ops.
+func newEmitter(fn Progress, ob *obs.Observer) *emitter {
+	if fn == nil && !ob.On() {
 		return nil
 	}
-	return &emitter{meter: sched.NewMeter(), fn: fn, done: make(map[string]int)}
+	return &emitter{meter: sched.NewMeter(), fn: fn, ob: ob, done: make(map[string]int)}
 }
 
 func (e *emitter) addTotal(n int) {
@@ -519,6 +553,10 @@ func (e *emitter) tick(workload string, totalPerWorkload int) {
 		return
 	}
 	e.meter.Tick(func(s sched.Snapshot) {
+		e.ob.MeterTick(s)
+		if e.fn == nil {
+			return
+		}
 		e.done[workload]++
 		e.fn(ProgressEvent{
 			Workload:      workload,

@@ -13,12 +13,14 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/harness"
 	"armsefi/internal/core/sched"
 	"armsefi/internal/mem"
+	"armsefi/internal/obs"
 	"armsefi/internal/soc"
 )
 
@@ -89,7 +91,12 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 		extras = len(plan) - 1
 	}
 	var clones []*harness.Workbench
-	for len(clones) < extras && pool.TryAcquire() {
+	for len(clones) < extras {
+		ok := pool.TryAcquire()
+		cfg.Obs.CloneTry(ok)
+		if !ok {
+			break
+		}
 		clone, err := wb.Clone()
 		if err != nil {
 			pool.Release()
@@ -106,7 +113,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	// lands in its plan slot and aggregation order stays fixed.
 	outcomes := make([]outcome, len(plan))
 	var cursor int64
-	drain := func(w *harness.Workbench) {
+	drain := func(worker int, w *harness.Workbench) {
 		em.workerStarted()
 		defer em.workerDone()
 		for {
@@ -115,21 +122,41 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 				return
 			}
 			p := plan[i]
-			class, ctx := w.RunFaultDetail(p.f, cfg.WarmCaches)
-			outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+			if cfg.Obs.On() {
+				start := time.Now()
+				class, ctx, raw := w.RunFaultFull(p.f, cfg.WarmCaches)
+				stop := time.Now()
+				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+				cfg.Obs.Record(obs.Record{
+					Kind:       obs.KindInjection,
+					Workload:   spec.Name,
+					Comp:       p.f.Comp,
+					Bit:        p.f.Bit,
+					Cycle:      p.f.Cycle,
+					Worker:     worker,
+					ExecCycles: raw.Cycles,
+					Outcome:    raw.Outcome.String(),
+					Class:      class,
+					Valid:      ctx.LineValid,
+					Kernel:     ctx.KernelOwned(),
+				}, start, stop)
+			} else {
+				class, ctx := w.RunFaultDetail(p.f, cfg.WarmCaches)
+				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+			}
 			em.tick(spec.Name, cfg.Components[p.comp], cfg.FaultsPerComponent)
 		}
 	}
 	var wg sync.WaitGroup
-	for _, clone := range clones {
+	for ci, clone := range clones {
 		wg.Add(1)
-		go func(clone *harness.Workbench) {
+		go func(worker int, clone *harness.Workbench) {
 			defer wg.Done()
 			defer pool.Release()
-			drain(clone)
-		}(clone)
+			drain(worker, clone)
+		}(ci+1, clone)
 	}
-	drain(wb) // the caller's own slot drives the primary
+	drain(0, wb) // the caller's own slot drives the primary
 	wg.Wait()
 
 	out := &WorkloadResult{
@@ -163,12 +190,14 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 }
 
 // emitter adapts the shared meter to gefin progress events, adding the
-// per-(workload, component) completion counts. All mutable state is only
+// per-(workload, component) completion counts, and feeds every meter
+// snapshot into the observability gauges. All mutable state is only
 // touched inside Meter.Tick's lock, which also serialises the user
 // callback.
 type emitter struct {
 	meter *sched.Meter
 	fn    Progress
+	ob    *obs.Observer
 	done  map[compKey]int
 }
 
@@ -177,13 +206,14 @@ type compKey struct {
 	comp     fault.Component
 }
 
-// newEmitter returns nil when there is no callback: a nil emitter's
-// methods are no-ops, so the hot path pays nothing for unused progress.
-func newEmitter(fn Progress) *emitter {
-	if fn == nil {
+// newEmitter returns nil when there is neither a callback nor an
+// observer: a nil emitter's methods are no-ops, so the hot path pays
+// nothing for unused progress.
+func newEmitter(fn Progress, ob *obs.Observer) *emitter {
+	if fn == nil && !ob.On() {
 		return nil
 	}
-	return &emitter{meter: sched.NewMeter(), fn: fn, done: make(map[compKey]int)}
+	return &emitter{meter: sched.NewMeter(), fn: fn, ob: ob, done: make(map[compKey]int)}
 }
 
 func (e *emitter) addTotal(n int) {
@@ -209,6 +239,10 @@ func (e *emitter) tick(workload string, comp fault.Component, totalPerComp int) 
 		return
 	}
 	e.meter.Tick(func(s sched.Snapshot) {
+		e.ob.MeterTick(s)
+		if e.fn == nil {
+			return
+		}
 		key := compKey{workload, comp}
 		e.done[key]++
 		e.fn(ProgressEvent{

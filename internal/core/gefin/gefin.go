@@ -12,6 +12,7 @@ import (
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/sched"
+	"armsefi/internal/obs"
 	"armsefi/internal/soc"
 	"armsefi/internal/stats"
 )
@@ -42,6 +43,11 @@ type Config struct {
 	// Zero (the default) resolves to runtime.GOMAXPROCS(0); 1 reproduces
 	// the sequential engine exactly.
 	Workers int
+	// Obs attaches the campaign observability layer: a per-injection
+	// lifecycle trace, outcome/latency metrics, and pool gauges. Nil (the
+	// default) disables all instrumentation at zero cost. Tracing does
+	// not perturb results: the fault plan and execution are unchanged.
+	Obs *obs.Observer `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -179,7 +185,9 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 	cfg = cfg.withDefaults()
 	// The caller's goroutine drives the primary workbench; the pool holds
 	// only the extra-worker slots.
-	return runWorkload(cfg, spec, sched.NewPool(cfg.Workers-1), newEmitter(progress))
+	pool := sched.NewPool(cfg.Workers - 1)
+	cfg.Obs.ObservePool(pool)
+	return runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
 }
 
 // Run executes the campaign for a set of workloads. Workloads run
@@ -188,7 +196,8 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 	cfg = cfg.withDefaults()
 	pool := sched.NewPool(cfg.Workers)
-	em := newEmitter(progress)
+	cfg.Obs.ObservePool(pool)
+	em := newEmitter(progress, cfg.Obs)
 	results := make([]*WorkloadResult, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup

@@ -125,13 +125,22 @@ func (w *Workbench) runFault(f fault.Fault, warm bool) fault.Class {
 // (resolved at the injection instant): live vs idle content, kernel vs
 // user ownership — the injector-side observability of Section IV-C.
 func (w *Workbench) RunFaultDetail(f fault.Fault, warm bool) (fault.Class, fault.Context) {
+	cls, ctx, _ := w.RunFaultFull(f, warm)
+	return cls, ctx
+}
+
+// RunFaultFull runs one fault like RunFaultDetail and additionally
+// returns the raw machine-level result (outcome, cycle count, output) —
+// the per-injection record the observability trace captures before
+// host-side classification collapses it to a class.
+func (w *Workbench) RunFaultFull(f fault.Fault, warm bool) (fault.Class, fault.Context, soc.Result) {
 	w.Machine.RestoreSnapshot(w.Snap, warm)
 	var ctx fault.Context
 	res := w.Machine.RunWithInjection(w.Watchdog, f.Cycle, func() {
 		ctx = fault.ContextOf(w.Machine, f)
 		fault.Apply(w.Machine, f)
 	})
-	return fault.Classify(res, w.Built.Golden, w.Machine.Cfg.TimerPeriod), ctx
+	return fault.Classify(res, w.Built.Golden, w.Machine.Cfg.TimerPeriod), ctx, res
 }
 
 // RunClean restores the cold snapshot and runs fault-free; useful for

@@ -62,6 +62,11 @@ func (p *Pool) Release() { <-p.tokens }
 // Cap returns the pool's slot count.
 func (p *Pool) Cap() int { return cap(p.tokens) }
 
+// InUse returns the number of slots currently held — the pool-occupancy
+// reading the observability gauges export. It is a racy snapshot by
+// nature (tokens move concurrently), which is fine for monitoring.
+func (p *Pool) InUse() int { return len(p.tokens) }
+
 // Snapshot is the aggregate state handed to a progress emission.
 type Snapshot struct {
 	// Done and Total count items (injections, strikes) campaign-wide.
@@ -115,6 +120,15 @@ func (m *Meter) WorkerDone() {
 
 // Tick records one completed item and invokes emit (if non-nil) with the
 // aggregate snapshot, under the meter's lock.
+//
+// Workloads register their plans with AddTotal as they start, so early in
+// a multi-workload campaign total may lag done (a workload's first ticks
+// can land before a sibling's AddTotal). The remaining-work estimate is
+// clamped at zero in that window — ETA reads zero rather than negative —
+// and recovers as soon as the totals catch up. Rate is measured against
+// the meter's creation time, which predates plan registration; it
+// therefore slightly underestimates steady-state throughput during
+// campaign ramp-up and converges as the campaign runs.
 func (m *Meter) Tick(emit func(Snapshot)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -122,8 +136,15 @@ func (m *Meter) Tick(emit func(Snapshot)) {
 	s := Snapshot{Done: m.done, Total: m.total, Workers: m.workers}
 	if elapsed := time.Since(m.start).Seconds(); elapsed > 0 {
 		s.Rate = float64(m.done) / elapsed
-		if s.Rate > 0 && m.total >= m.done {
-			s.ETA = time.Duration(float64(m.total-m.done) / s.Rate * float64(time.Second))
+		remaining := m.total - m.done
+		if remaining < 0 {
+			remaining = 0 // late plan registration: clamp, don't go negative
+		}
+		if s.Rate > 0 && remaining > 0 {
+			s.ETA = time.Duration(float64(remaining) / s.Rate * float64(time.Second))
+		}
+		if s.ETA < 0 {
+			s.ETA = 0 // guard duration overflow at extreme remaining/rate ratios
 		}
 	}
 	if emit != nil {

@@ -3,6 +3,7 @@ package sched
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestResolve(t *testing.T) {
@@ -105,4 +106,50 @@ func TestMeterSerialisesAndCounts(t *testing.T) {
 func TestMeterNilEmit(t *testing.T) {
 	m := NewMeter()
 	m.Tick(nil) // must not panic
+}
+
+func TestPoolInUse(t *testing.T) {
+	p := NewPool(3)
+	if p.InUse() != 0 {
+		t.Fatalf("fresh pool in-use = %d", p.InUse())
+	}
+	p.Acquire()
+	p.Acquire()
+	if p.InUse() != 2 {
+		t.Errorf("in-use = %d after two acquires", p.InUse())
+	}
+	p.Release()
+	if p.InUse() != 1 {
+		t.Errorf("in-use = %d after release", p.InUse())
+	}
+}
+
+// TestMeterTotalLagClamp pins the late-registration window: in a
+// multi-workload campaign a workload's first ticks can land before a
+// sibling's AddTotal, so done temporarily exceeds total. The snapshot must
+// clamp the remaining-work estimate — ETA zero, never negative.
+func TestMeterTotalLagClamp(t *testing.T) {
+	m := NewMeter()
+	m.AddTotal(1)
+	for i := 0; i < 3; i++ { // ticks 2 and 3 overshoot the registered total
+		m.Tick(func(s Snapshot) {
+			if s.ETA < 0 {
+				t.Errorf("tick %d: negative ETA %v", s.Done, s.ETA)
+			}
+			if s.Done > s.Total && s.ETA != 0 {
+				t.Errorf("tick %d: ETA %v while done %d > total %d", s.Done, s.ETA, s.Done, s.Total)
+			}
+			if s.Rate < 0 {
+				t.Errorf("tick %d: negative rate %f", s.Done, s.Rate)
+			}
+		})
+	}
+	// Totals catching up must restore a forward ETA.
+	m.AddTotal(1000)
+	time.Sleep(time.Millisecond) // establish a nonzero elapsed window
+	m.Tick(func(s Snapshot) {
+		if s.ETA <= 0 {
+			t.Errorf("ETA %v after totals caught up, want positive", s.ETA)
+		}
+	})
 }

@@ -1,0 +1,71 @@
+// CLI wiring shared by the campaign commands: the -trace and
+// -metrics-addr flags map onto one Observer plus an optional live
+// exposition server.
+
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// CLI bundles the observability resources a campaign command owns.
+type CLI struct {
+	// Obs is nil when neither flag was given: campaigns run with zero
+	// observability overhead.
+	Obs *Observer
+	// Server is the live exposition endpoint (nil unless -metrics-addr).
+	Server *Server
+	file   *os.File
+}
+
+// SetupCLI builds the observability stack from the campaign commands'
+// flag conventions: tracePath ("" disables the JSONL trace) and
+// metricsAddr ("" disables the HTTP endpoint). Call Close when the
+// campaign finishes.
+func SetupCLI(tracePath, metricsAddr string) (*CLI, error) {
+	c := &CLI{}
+	if tracePath == "" && metricsAddr == "" {
+		return c, nil
+	}
+	opts := Options{}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace file: %w", err)
+		}
+		c.file = f
+		opts.TraceWriter = f
+	}
+	c.Obs = New(opts)
+	if metricsAddr != "" {
+		srv, err := Serve(metricsAddr, c.Obs.Registry())
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Server = srv
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (+ /debug/vars, /debug/pprof/)\n", srv.Addr())
+	}
+	return c, nil
+}
+
+// Close flushes the trace, closes its file, and stops the exposition
+// server. Safe on a CLI with neither flag set.
+func (c *CLI) Close() error {
+	var first error
+	if err := c.Obs.Close(); err != nil {
+		first = err
+	}
+	if c.file != nil {
+		if err := c.file.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.file = nil
+	}
+	if c.Server != nil {
+		c.Server.Close()
+		c.Server = nil
+	}
+	return first
+}

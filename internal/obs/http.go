@@ -1,0 +1,65 @@
+// Live HTTP exposition of the metrics registry: Prometheus text format on
+// /metrics, expvar-style JSON on /debug/vars, and net/http/pprof mounted
+// under /debug/pprof/ so a running campaign can be profiled for free.
+
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the exposition mux for a registry.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "armsefi campaign observability\n\n"+
+			"  /metrics       Prometheus text exposition\n"+
+			"  /debug/vars    expvar-style JSON\n"+
+			"  /debug/pprof/  Go runtime profiles\n")
+	})
+	return mux
+}
+
+// Server is a live exposition endpoint.
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// Serve starts serving the registry on addr (HOST:PORT; :0 picks a free
+// port — read it back with Addr). The server runs until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics endpoint: %w", err)
+	}
+	s := &Server{srv: &http.Server{Handler: Handler(reg)}, lis: lis}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

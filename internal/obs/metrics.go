@@ -1,0 +1,334 @@
+// Metrics registry of the observability layer: counters, gauges, and
+// histograms with atomic hot-path updates, exposed as Prometheus text and
+// expvar-style JSON by the HTTP handler in http.go.
+//
+// The registry mutex guards only metric creation and exposition; every
+// update (Counter.Add, Gauge.Set, Histogram.Observe) is a plain atomic
+// operation, so instrumented campaign workers never serialise on the
+// registry. Callers resolve their metric handles once at campaign start
+// and hold the pointers.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name, labels, help string
+	v                  atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must not be negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, or be backed by a callback
+// evaluated at exposition time (for values owned elsewhere, like pool
+// occupancy).
+type Gauge struct {
+	name, labels, help string
+	bits               atomic.Uint64 // float64 bits
+	mu                 sync.Mutex
+	fn                 func() float64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetFunc makes the gauge read v() at exposition time, replacing any
+// previous callback or stored value.
+func (g *Gauge) SetFunc(fn func() float64) {
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution (Prometheus-style cumulative
+// exposition). Observations are lock-free.
+type Histogram struct {
+	name, labels, help string
+	bounds             []float64 // ascending upper bounds; +Inf is implicit
+	counts             []atomic.Int64
+	sumBits            atomic.Uint64 // float64 bits, CAS-accumulated
+	count              atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le is inclusive)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefaultLatencyBuckets spans the per-injection wall times of the campaign
+// engines, from sub-millisecond atomic-model runs to multi-second detailed
+// runs at paper scale.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// Registry holds a campaign's metrics. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// formatLabels renders alternating key, value pairs as a Prometheus label
+// set ("" for none).
+func formatLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter with the given name and alternating label
+// key, value pairs, creating it on first use.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	lbl := formatLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + lbl
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: lbl, help: help}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	lbl := formatLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + lbl
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	g := &Gauge{name: name, labels: lbl, help: help}
+	r.gauges[key] = g
+	return g
+}
+
+// GaugeFunc returns the gauge with the given name and labels bound to the
+// callback fn, replacing any previous callback (campaigns run one after
+// another in fitcompare and rebind the pool gauges).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) *Gauge {
+	g := r.Gauge(name, help, kv...)
+	g.SetFunc(fn)
+	return g
+}
+
+// Histogram returns the histogram with the given name, labels, and bucket
+// upper bounds, creating it on first use (bounds of an existing histogram
+// are kept).
+func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	lbl := formatLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + lbl
+	if h, ok := r.histograms[key]; ok {
+		return h
+	}
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	h := &Histogram{
+		name: name, labels: lbl, help: help,
+		bounds: sorted,
+		counts: make([]atomic.Int64, len(sorted)+1),
+	}
+	r.histograms[key] = h
+	return h
+}
+
+// snapshot returns the registered metrics in deterministic order.
+func (r *Registry) snapshot() (cs []*Counter, gs []*Gauge, hs []*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		cs = append(cs, c)
+	}
+	for _, g := range r.gauges {
+		gs = append(gs, g)
+	}
+	for _, h := range r.histograms {
+		hs = append(hs, h)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name+cs[i].labels < cs[j].name+cs[j].labels })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name+gs[i].labels < gs[j].name+gs[j].labels })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name+hs[i].labels < hs[j].name+hs[j].labels })
+	return cs, gs, hs
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (families sorted by name, HELP/TYPE emitted once per family).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	cs, gs, hs := r.snapshot()
+	var err error
+	emitHeader := func(last *string, name, help, typ string) {
+		if err != nil || *last == name {
+			return
+		}
+		*last = name
+		if help != "" {
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+			if err != nil {
+				return
+			}
+		}
+		_, err = fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	}
+	last := ""
+	for _, c := range cs {
+		emitHeader(&last, c.name, c.help, "counter")
+		if err == nil {
+			_, err = fmt.Fprintf(w, "%s%s %d\n", c.name, c.labels, c.Value())
+		}
+	}
+	last = ""
+	for _, g := range gs {
+		emitHeader(&last, g.name, g.help, "gauge")
+		if err == nil {
+			_, err = fmt.Fprintf(w, "%s%s %g\n", g.name, g.labels, g.Value())
+		}
+	}
+	last = ""
+	for _, h := range hs {
+		emitHeader(&last, h.name, h.help, "histogram")
+		if err != nil {
+			break
+		}
+		// Prometheus histograms are cumulative over ascending le bounds.
+		inner := strings.TrimSuffix(strings.TrimPrefix(h.labels, "{"), "}")
+		sep := ""
+		if inner != "" {
+			sep = ","
+		}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err = fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", h.name, inner, sep, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err = fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", h.name, inner, sep, cum); err != nil {
+			return err
+		}
+		if _, err = fmt.Fprintf(w, "%s_sum%s %g\n", h.name, h.labels, h.Sum()); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s_count%s %d\n", h.name, h.labels, h.Count())
+	}
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// WriteJSON renders the registry as an expvar-style JSON object: one key
+// per series (name plus label set), histograms as {count, sum, buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	cs, gs, hs := r.snapshot()
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	key := func(name, labels string) {
+		if !first {
+			b.WriteString(",\n ")
+		} else {
+			b.WriteString("\n ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: ", name+labels)
+	}
+	for _, c := range cs {
+		key(c.name, c.labels)
+		fmt.Fprintf(&b, "%d", c.Value())
+	}
+	for _, g := range gs {
+		key(g.name, g.labels)
+		fmt.Fprintf(&b, "%g", g.Value())
+	}
+	for _, h := range hs {
+		key(h.name, h.labels)
+		fmt.Fprintf(&b, "{\"count\": %d, \"sum\": %g, \"buckets\": {", h.Count(), h.Sum())
+		for i, bd := range h.bounds {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q: %d", formatFloat(bd), h.counts[i].Load())
+		}
+		if len(h.bounds) > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "\"+Inf\": %d}}", h.counts[len(h.bounds)].Load())
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,178 @@
+// Package obs is the campaign observability layer: per-injection
+// lifecycle traces (trace.go), a metrics registry with atomic hot-path
+// updates (metrics.go), live HTTP exposition with pprof (http.go), and a
+// trace reader that recomputes campaign statistics from a JSONL file so a
+// trace can be cross-checked against the engine's own Result
+// (summary.go).
+//
+// The campaign engines (internal/core/gefin, internal/core/beam) accept
+// an *Observer in their Config and call its hooks from the worker hot
+// path; a nil Observer makes every hook a no-op, so untraced campaigns
+// pay nothing.
+package obs
+
+import (
+	"io"
+	"time"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/sched"
+)
+
+// Options parameterises an Observer.
+type Options struct {
+	// TraceWriter receives the JSONL lifecycle trace; nil disables
+	// tracing (metrics still work).
+	TraceWriter io.Writer
+	// Registry receives the campaign metrics; nil allocates a private
+	// registry (reachable via Registry()).
+	Registry *Registry
+}
+
+// Observer bundles a campaign's trace emitter and metrics and is the
+// hook surface the engines instrument against. All methods are safe on a
+// nil receiver (no-ops) and for concurrent use.
+type Observer struct {
+	trace *Tracer
+	reg   *Registry
+	epoch time.Time
+
+	outcomes map[outcomeKey]*Counter
+	latency  map[string]*Histogram
+	granted  *Counter
+	denied   *Counter
+	done     *Gauge
+	total    *Gauge
+	workers  *Gauge
+	rate     *Gauge
+}
+
+type outcomeKey struct {
+	kind  string
+	comp  fault.Component
+	class fault.Class
+}
+
+// New builds an Observer. The epoch for trace start offsets is the call
+// instant.
+func New(opts Options) *Observer {
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	o := &Observer{
+		reg:      reg,
+		epoch:    time.Now(),
+		outcomes: make(map[outcomeKey]*Counter),
+		latency:  make(map[string]*Histogram),
+	}
+	if opts.TraceWriter != nil {
+		o.trace = NewTracer(opts.TraceWriter)
+	}
+	// Pre-resolve the class x component counter grid for both kinds so
+	// the per-injection path is a map read plus an atomic add.
+	for _, kind := range []string{KindInjection, KindStrike} {
+		for _, comp := range fault.Components() {
+			for _, cls := range fault.Classes() {
+				o.outcomes[outcomeKey{kind, comp, cls}] = reg.Counter(
+					"armsefi_outcomes_total", "experiment outcomes by kind, class, and component",
+					"kind", kind, "class", cls.String(), "comp", comp.String())
+			}
+		}
+		o.latency[kind] = reg.Histogram(
+			"armsefi_experiment_wall_seconds", "wall time of one injection or strike",
+			DefaultLatencyBuckets(), "kind", kind)
+	}
+	o.granted = reg.Counter("armsefi_clone_acquires_total",
+		"clone workbench pool-slot acquisitions by result", "result", "granted")
+	o.denied = reg.Counter("armsefi_clone_acquires_total",
+		"clone workbench pool-slot acquisitions by result", "result", "denied")
+	o.done = reg.Gauge("armsefi_campaign_done", "experiments completed so far")
+	o.total = reg.Gauge("armsefi_campaign_total", "experiments planned (grows as workloads register)")
+	o.workers = reg.Gauge("armsefi_campaign_workers", "live campaign workers")
+	o.rate = reg.Gauge("armsefi_campaign_rate", "aggregate campaign throughput, experiments/sec")
+	return o
+}
+
+// On reports whether hooks do anything; engines may use it to skip
+// record assembly entirely.
+func (o *Observer) On() bool { return o != nil }
+
+// Tracing reports whether a trace writer is attached.
+func (o *Observer) Tracing() bool { return o != nil && o.trace != nil }
+
+// Registry returns the metrics registry (nil on a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Record finalises one experiment: stamps the record's wall-clock fields
+// from start/stop, streams it to the trace, and updates the outcome
+// counters and latency histogram.
+func (o *Observer) Record(rec Record, start, stop time.Time) {
+	if o == nil {
+		return
+	}
+	rec.StartNS = start.Sub(o.epoch).Nanoseconds()
+	rec.WallNS = stop.Sub(start).Nanoseconds()
+	if c, ok := o.outcomes[outcomeKey{rec.Kind, rec.Comp, rec.Class}]; ok {
+		c.Inc()
+	} else { // ablation components outside the pre-resolved grid
+		o.reg.Counter("armsefi_outcomes_total", "experiment outcomes by kind, class, and component",
+			"kind", rec.Kind, "class", rec.Class.String(), "comp", rec.Comp.String()).Inc()
+	}
+	if h, ok := o.latency[rec.Kind]; ok {
+		h.Observe(float64(rec.WallNS) / 1e9)
+	}
+	o.trace.Emit(&rec)
+}
+
+// MeterTick feeds a sched.Meter snapshot into the campaign gauges. The
+// engines call it from inside Meter.Tick, so values are monotone per
+// campaign.
+func (o *Observer) MeterTick(s sched.Snapshot) {
+	if o == nil {
+		return
+	}
+	o.done.Set(float64(s.Done))
+	o.total.Set(float64(s.Total))
+	o.workers.Set(float64(s.Workers))
+	o.rate.Set(s.Rate)
+}
+
+// ObservePool binds the pool-occupancy gauges to the campaign's worker
+// pool (rebinding is fine: fitcompare runs two campaigns back to back).
+func (o *Observer) ObservePool(p *sched.Pool) {
+	if o == nil || p == nil {
+		return
+	}
+	o.reg.GaugeFunc("armsefi_pool_in_use", "worker-pool tokens currently held",
+		func() float64 { return float64(p.InUse()) })
+	o.reg.GaugeFunc("armsefi_pool_capacity", "worker-pool token capacity",
+		func() float64 { return float64(p.Cap()) })
+}
+
+// CloneTry records one clone-slot acquisition attempt; the granted/denied
+// ratio is the clone-acquire success rate.
+func (o *Observer) CloneTry(ok bool) {
+	if o == nil {
+		return
+	}
+	if ok {
+		o.granted.Inc()
+	} else {
+		o.denied.Inc()
+	}
+}
+
+// Close flushes the trace and reports any write error. The observer
+// stays usable for metrics afterwards.
+func (o *Observer) Close() error {
+	if o == nil {
+		return nil
+	}
+	return o.trace.Flush()
+}

@@ -1,0 +1,186 @@
+// Trace reader: recomputes campaign statistics from a JSONL lifecycle
+// trace, so a trace file can be cross-checked against the engine's own
+// Result (cmd/tracestat drives this; the engines' obs tests assert exact
+// agreement at every worker count).
+
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"armsefi/internal/core/fault"
+)
+
+// ComponentSummary aggregates one workload x component's trace records.
+type ComponentSummary struct {
+	// Records counts trace records for this component.
+	Records int
+	// Counts is the per-class outcome tally — for injection traces this
+	// must equal the engine's ComponentResult.Counts exactly.
+	Counts map[fault.Class]int
+	// Weights is the per-class sum of stratification weights, accumulated
+	// in sequence order so it reproduces the beam engine's per-chain
+	// floating-point accumulation bit-for-bit.
+	Weights map[fault.Class]float64
+	// WallNS is total wall time spent executing this component's
+	// experiments; MaxWallNS the slowest single experiment.
+	WallNS    int64
+	MaxWallNS int64
+}
+
+// WorkloadSummary aggregates one workload's trace records.
+type WorkloadSummary struct {
+	Components map[fault.Component]*ComponentSummary
+}
+
+// KindSummary aggregates all records of one kind (injection or strike).
+type KindSummary struct {
+	Records   int
+	Workloads map[string]*WorkloadSummary
+}
+
+// Summary is the recomputed view of a whole trace file.
+type Summary struct {
+	// Records is the total line count.
+	Records int
+	// ByKind splits the trace by record kind.
+	ByKind map[string]*KindSummary
+	// Workers counts records per executing workbench id.
+	Workers map[int]int
+	// Wall holds every record's wall duration (ns), sorted ascending —
+	// the source for latency quantiles.
+	Wall []int64
+}
+
+// Kind returns the summary for one record kind, never nil.
+func (s *Summary) Kind(kind string) *KindSummary {
+	if k, ok := s.ByKind[kind]; ok {
+		return k
+	}
+	return &KindSummary{Workloads: map[string]*WorkloadSummary{}}
+}
+
+// Component returns the per-component tally for a kind, workload, and
+// component, never nil.
+func (s *Summary) Component(kind, workload string, comp fault.Component) *ComponentSummary {
+	if w, ok := s.Kind(kind).Workloads[workload]; ok {
+		if c, ok := w.Components[comp]; ok {
+			return c
+		}
+	}
+	return &ComponentSummary{Counts: map[fault.Class]int{}, Weights: map[fault.Class]float64{}}
+}
+
+// WallQuantile returns the q-th latency quantile (0..1) in nanoseconds.
+func (s *Summary) WallQuantile(q float64) int64 {
+	if len(s.Wall) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s.Wall)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Wall) {
+		i = len(s.Wall) - 1
+	}
+	return s.Wall[i]
+}
+
+// ReadSummary parses a JSONL trace and recomputes its aggregate
+// statistics. Records are re-ordered by sequence number before weight
+// accumulation, restoring each worker chain's execution order.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	recs, err := ReadRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	return Summarize(recs), nil
+}
+
+// ReadRecords parses every line of a JSONL trace.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return recs, nil
+}
+
+// Summarize aggregates parsed records into a Summary.
+func Summarize(recs []Record) *Summary {
+	sorted := append([]Record(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+	s := &Summary{
+		ByKind:  make(map[string]*KindSummary),
+		Workers: make(map[int]int),
+	}
+	for _, rec := range sorted {
+		s.Records++
+		s.Workers[rec.Worker]++
+		s.Wall = append(s.Wall, rec.WallNS)
+		k, ok := s.ByKind[rec.Kind]
+		if !ok {
+			k = &KindSummary{Workloads: make(map[string]*WorkloadSummary)}
+			s.ByKind[rec.Kind] = k
+		}
+		k.Records++
+		w, ok := k.Workloads[rec.Workload]
+		if !ok {
+			w = &WorkloadSummary{Components: make(map[fault.Component]*ComponentSummary)}
+			k.Workloads[rec.Workload] = w
+		}
+		c, ok := w.Components[rec.Comp]
+		if !ok {
+			c = &ComponentSummary{
+				Counts:  make(map[fault.Class]int),
+				Weights: make(map[fault.Class]float64),
+			}
+			w.Components[rec.Comp] = c
+		}
+		c.Records++
+		c.Counts[rec.Class]++
+		if rec.Weight != 0 && rec.Class != fault.ClassMasked {
+			c.Weights[rec.Class] += rec.Weight
+		}
+		c.WallNS += rec.WallNS
+		if rec.WallNS > c.MaxWallNS {
+			c.MaxWallNS = rec.WallNS
+		}
+	}
+	sort.Slice(s.Wall, func(i, j int) bool { return s.Wall[i] < s.Wall[j] })
+	return s
+}
+
+// ModeledEvents recomputes a workload's per-class weighted event counts
+// from a strike trace, merging components in the beam engine's canonical
+// order so the sums are bit-identical to Result.ModeledEvents.
+func (s *Summary) ModeledEvents(workload string) map[fault.Class]float64 {
+	out := make(map[fault.Class]float64, fault.NumClasses)
+	for _, comp := range fault.Components() {
+		c := s.Component(KindStrike, workload, comp)
+		for _, cls := range fault.Classes() {
+			if v, ok := c.Weights[cls]; ok {
+				out[cls] += v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Trace emitter of the observability layer: one structured JSONL record
+// per injection/strike, covering the full lifecycle of the experiment —
+// the fault as drawn (component, bit, cycle), the workbench that executed
+// it, wall-clock start/duration, the simulated cycle count and raw
+// machine outcome of the faulty run, and the final classification.
+//
+// Records are marshalled outside the tracer lock and appended to a shared
+// buffer under a short critical section; the buffer is written out in
+// 64 KiB batches. A campaign worker therefore pays one JSON marshal and a
+// brief mutex per injection — negligible against a simulated machine run.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"armsefi/internal/core/fault"
+)
+
+// Record kinds.
+const (
+	// KindInjection marks a GeFIN-style fault-injection experiment.
+	KindInjection = "injection"
+	// KindStrike marks a beam-simulator strike on the live board.
+	KindStrike = "strike"
+)
+
+// Record is one JSONL trace line: the full lifecycle of a single
+// injection or strike.
+type Record struct {
+	// Kind is KindInjection or KindStrike.
+	Kind string `json:"kind"`
+	// Seq is the global emission sequence number (monotonic per tracer;
+	// records of one worker/chain appear in execution order).
+	Seq int64 `json:"seq"`
+	// Workload names the benchmark under test.
+	Workload string `json:"workload"`
+	// Comp, Bit, Cycle are the fault as drawn from the seeded RNG.
+	Comp  fault.Component `json:"comp"`
+	Bit   uint64          `json:"bit"`
+	Cycle uint64          `json:"cycle"`
+	// Worker is the workbench that executed the experiment (0 is the
+	// workload's primary workbench, clones count from 1).
+	Worker int `json:"worker"`
+	// StartNS is the wall-clock start offset from the observer's epoch;
+	// WallNS is the experiment's wall duration.
+	StartNS int64 `json:"start_ns"`
+	WallNS  int64 `json:"wall_ns"`
+	// ExecCycles is the simulated cycle count of the faulty run.
+	ExecCycles uint64 `json:"exec_cycles"`
+	// Outcome is the raw machine-level outcome (power-off, fatal,
+	// timeout) before host-side classification.
+	Outcome string `json:"outcome"`
+	// Class is the final Masked/SDC/AppCrash/SysCrash classification.
+	Class fault.Class `json:"class"`
+	// Valid and Kernel report the injection-time strike context (gefin
+	// records only): live content, kernel-owned line.
+	Valid  bool `json:"valid,omitempty"`
+	Kernel bool `json:"kernel,omitempty"`
+	// Weight is the stratification weight a beam strike contributes to
+	// its class's event count (strike records only).
+	Weight float64 `json:"weight,omitempty"`
+	// Followup marks a beam strike reclassified by the latent-corruption
+	// follow-up execution.
+	Followup bool `json:"followup,omitempty"`
+}
+
+// traceFlushBytes is the buffered-writer batch size.
+const traceFlushBytes = 64 << 10
+
+// Tracer streams Records as JSON lines to a writer. Safe for concurrent
+// use by many campaign workers; a nil *Tracer discards everything.
+type Tracer struct {
+	seq atomic.Int64
+
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewTracer builds a tracer over w. The caller owns w and closes it after
+// Flush.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, buf: make([]byte, 0, traceFlushBytes+4096)}
+}
+
+// Emit assigns the record its sequence number and queues it for writing.
+func (t *Tracer) Emit(rec *Record) {
+	if t == nil {
+		return
+	}
+	rec.Seq = t.seq.Add(1) - 1
+	line, err := json.Marshal(rec) // outside the lock: the expensive part
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		if t.err == nil {
+			t.err = fmt.Errorf("obs: marshalling trace record: %w", err)
+		}
+		return
+	}
+	t.buf = append(t.buf, line...)
+	t.buf = append(t.buf, '\n')
+	if len(t.buf) >= traceFlushBytes {
+		t.flushLocked()
+	}
+}
+
+func (t *Tracer) flushLocked() {
+	if t.err != nil || len(t.buf) == 0 {
+		t.buf = t.buf[:0]
+		return
+	}
+	_, err := t.w.Write(t.buf)
+	t.buf = t.buf[:0]
+	if err != nil {
+		t.err = fmt.Errorf("obs: writing trace: %w", err)
+	}
+}
+
+// Flush writes any buffered records and reports the first error the
+// tracer has seen.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+	return t.err
+}
+
+// Emitted returns the number of records emitted so far.
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
