@@ -691,6 +691,45 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignCheckpointed measures the checkpoint ladder's speedup
+// on the BenchmarkCampaignParallel campaign: the same seeded fault plan at
+// full worker count, once with the ladder off and once with it on. The
+// aggregated Result is bit-identical in both arms (pinned by
+// TestLadderAndWorkerInvariance) — only the wall clock moves. The
+// acceptance floor is 2x throughput on the checkpointed arm; the measured
+// ratio is recorded in BENCH_checkpoint.json.
+func BenchmarkCampaignCheckpointed(b *testing.B) {
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		b.Fatal("crc32 missing")
+	}
+	run := func(b *testing.B, every uint64) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := gefin.RunWorkload(gefin.Config{
+				Seed:               benchSeed,
+				FaultsPerComponent: 24,
+				Workers:            runtime.NumCPU(),
+				CheckpointEvery:    every,
+				Components: []fault.Component{
+					fault.CompRegFile, fault.CompL1D, fault.CompDTLB,
+				},
+			}, spec, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.GoldenCycles == 0 {
+				b.Fatal("empty campaign result")
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, 0) })
+	// The default spacing adapts to the short tiny-scale golden run (see
+	// harness.BuildLadder), so the arm measures exactly what the default
+	// -checkpoint-every flag gives.
+	b.Run("checkpointed", func(b *testing.B) { run(b, soc.DefaultCheckpointEvery) })
+}
+
 // BenchmarkCampaignTraced measures the observability layer's overhead on
 // the BenchmarkCampaignParallel campaign: the untraced arm against full
 // instrumentation (JSONL trace to disk plus the metrics registry). The

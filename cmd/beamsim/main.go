@@ -6,6 +6,7 @@
 //
 //	beamsim [-workloads crc32,qsort] [-hours 4] [-scale tiny] [-seed 1] [-workers N]
 //	        [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
+//	        [-checkpoint-every 150000] [-max-checkpoints 64]
 //	beamsim -fitraw [-hours 20]
 package main
 
@@ -22,6 +23,7 @@ import (
 	"armsefi/internal/core/fit"
 	"armsefi/internal/obs"
 	"armsefi/internal/report"
+	"armsefi/internal/soc"
 )
 
 func main() {
@@ -43,6 +45,10 @@ func run() error {
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		tracePath = flag.String("trace", "", "stream a per-strike JSONL lifecycle trace to this file")
 		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
+		ckEvery   = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
+			"golden-run checkpoint-ladder rung spacing in cycles; the ladder fast-forwards steady-state and reboot runs; 0 disables it (results are bit-identical either way)")
+		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
+			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
 	)
 	flag.Parse()
 
@@ -61,7 +67,10 @@ func run() error {
 		return err
 	}
 	defer ocli.Close()
-	cfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers, Obs: ocli.Obs}
+	cfg := beam.Config{
+		Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers,
+		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
+	}
 	var progress beam.Progress
 	if !*quiet {
 		// One aggregated campaign line: per-workload `\r` lines would

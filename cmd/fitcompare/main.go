@@ -10,6 +10,7 @@
 //	fitcompare -counters                # Section IV-D counter deviations
 //	fitcompare [-workloads a,b] [-faults 200] [-hours 2] [-scale tiny] [-workers N]
 //	           [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
+//	           [-checkpoint-every 150000] [-max-checkpoints 64]
 package main
 
 import (
@@ -53,6 +54,10 @@ func run() error {
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		tracePath = flag.String("trace", "", "stream both campaigns' JSONL lifecycle traces to this file")
 		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
+		ckEvery   = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
+			"golden-run checkpoint-ladder rung spacing in cycles for both campaigns; 0 disables the ladder (results are bit-identical either way)")
+		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
+			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
 	)
 	flag.Parse()
 
@@ -103,7 +108,10 @@ func run() error {
 	defer ocli.Close()
 
 	// Beam campaign on the board preset.
-	beamCfg := beam.Config{Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers, Obs: ocli.Obs}
+	beamCfg := beam.Config{
+		Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers,
+		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
+	}
 	var beamProg beam.Progress
 	var gefinProg gefin.Progress
 	if !*quiet {
@@ -134,7 +142,10 @@ func run() error {
 	}
 
 	// Injection campaign on the model preset.
-	injCfg := gefin.Config{Scale: scale, Seed: *seed, FaultsPerComponent: *faults, Workers: *workers, Obs: ocli.Obs}
+	injCfg := gefin.Config{
+		Scale: scale, Seed: *seed, FaultsPerComponent: *faults, Workers: *workers,
+		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
+	}
 	injRes, err := gefin.Run(injCfg, specs, gefinProg)
 	if err != nil {
 		return err

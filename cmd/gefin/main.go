@@ -8,6 +8,7 @@
 //	gefin [-workloads crc32,qsort] [-faults 1000] [-scale tiny]
 //	      [-seed 1] [-workers N] [-warm] [-tlb-full] [-model detailed] [-quiet]
 //	      [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
+//	      [-checkpoint-every 150000] [-max-checkpoints 64]
 package main
 
 import (
@@ -77,6 +78,10 @@ func run() error {
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		tracePath = flag.String("trace", "", "stream a per-injection JSONL lifecycle trace to this file")
 		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
+		ckEvery   = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
+			"golden-run checkpoint-ladder rung spacing in cycles; 0 disables the ladder (results are bit-identical either way)")
+		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
+			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
 	)
 	flag.Parse()
 
@@ -111,6 +116,8 @@ func run() error {
 		Workers:            *workers,
 		WarmCaches:         *warm,
 		TLBFullEntry:       *tlbFull,
+		CheckpointEvery:    *ckEvery,
+		MaxCheckpoints:     *ckMax,
 		Obs:                ocli.Obs,
 	}
 	var progress gefin.Progress

@@ -90,6 +90,19 @@ type Config struct {
 	ClockHz   float64
 	BitXS     float64 // cm^2 per modeled SRAM bit
 	Platform  PlatformXS
+	// CheckpointEvery enables the golden-run checkpoint ladder. On a live
+	// board the ladder cannot accelerate the strikes themselves: a strike
+	// chain's machine state carries corruption from previous strikes, so a
+	// strike can neither start from a golden rung nor be reordered by
+	// injection cycle without changing its physics. What the ladder does
+	// replace — bit-identically — are the fault-free golden replays of a
+	// chain: the initial steady-state run and every post-crash reboot run
+	// jump straight to the captured end state. Zero (the default) keeps
+	// the ladder off; soc.DefaultCheckpointEvery is the recommended value.
+	CheckpointEvery uint64
+	// MaxCheckpoints caps the rungs a ladder may hold; zero picks
+	// soc.DefaultMaxCheckpoints.
+	MaxCheckpoints int
 	// StrikesPerComponent stratifies the modeled-strike Monte Carlo: that
 	// many strikes are simulated per component and each carries the weight
 	// expected_strikes(component)/samples. Zero derives a default from the
@@ -136,6 +149,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Platform == (PlatformXS{}) {
 		c.Platform = DefaultPlatformXS()
+	}
+	if c.CheckpointEvery > 0 && c.MaxCheckpoints == 0 {
+		c.MaxCheckpoints = soc.DefaultMaxCheckpoints
 	}
 	c.Workers = sched.Resolve(c.Workers)
 	return c
@@ -274,8 +290,7 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 	out := chainResult{events: make(map[fault.Class]float64, fault.NumClasses)}
 
 	// The board runs the workload in a loop from its warm post-boot state.
-	m.RestoreSnapshot(wb.Snap, true)
-	m.Run(wb.Watchdog) // reach steady state
+	steadyState(cfg, wb)
 	m.RestartApp(wb.Snap)
 
 	for s := 0; s < perComp; s++ {
@@ -335,14 +350,28 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 			}, start, time.Now())
 		}
 		if class == fault.ClassAppCrash || class == fault.ClassSysCrash {
-			// The host power-cycles the board and reboots Linux.
-			m.RestoreSnapshot(wb.Snap, true)
-			m.Run(wb.Watchdog) // steady-state execution after reboot
+			// The host power-cycles the board and reboots Linux, then the
+			// board runs back to steady state.
+			steadyState(cfg, wb)
 		}
 		m.RestartApp(wb.Snap)
 		em.tick(spec.Name, totalSims)
 	}
 	return out
+}
+
+// steadyState brings the board to the state the golden run leaves behind:
+// through the warm ladder's end checkpoint when one is installed
+// (bit-identical, skipping the whole fault-free execution), otherwise by
+// restoring the warm snapshot and running to completion.
+func steadyState(cfg Config, wb *harness.Workbench) {
+	if l := wb.Ladder; l != nil && l.Warm() {
+		wb.Machine.FastForwardGolden(l)
+		cfg.Obs.LadderRun(soc.LadderStats{FastForwarded: l.Final.Cycles})
+		return
+	}
+	wb.Machine.RestoreSnapshot(wb.Snap, true)
+	wb.Machine.Run(wb.Watchdog)
 }
 
 // RunWorkload exposes one workload to the simulated beam, using up to
@@ -371,6 +400,14 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	slack := 1 - float64(m.Mem.L2.ValidLines())/float64(totalLines)
 	if slack < 0 {
 		slack = 0
+	}
+
+	if cfg.CheckpointEvery > 0 {
+		// Captured warm (the chains' restore mode) and only after the slack
+		// probe above, which must see the state the cold golden run left.
+		if err := wb.BuildLadder(cfg.CheckpointEvery, cfg.MaxCheckpoints, true); err != nil {
+			return nil, fmt.Errorf("beam: %w", err)
+		}
 	}
 
 	res := &WorkloadResult{

@@ -1,0 +1,43 @@
+package beam
+
+import (
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/soc"
+)
+
+// TestBeamLadderInvariance pins the end-state fast-forward contract: a
+// beam campaign with the checkpoint ladder replacing its steady-state and
+// reboot runs produces exactly the Result of the plain campaign — every
+// strike still lands on the identical live-board state.
+func TestBeamLadderInvariance(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{Seed: 9, BeamHours: 1, StrikesPerComponent: 3}
+	off, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CheckpointEvery = soc.DefaultCheckpointEvery
+	on, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range fault.Classes() {
+		if off.Events[cls] != on.Events[cls] {
+			t.Errorf("%v: events %v (plain) vs %v (ladder)", cls, off.Events[cls], on.Events[cls])
+		}
+		if off.ModeledEvents[cls] != on.ModeledEvents[cls] {
+			t.Errorf("%v: modeled events %v vs %v", cls, off.ModeledEvents[cls], on.ModeledEvents[cls])
+		}
+	}
+	if off.MaskedStrikes != on.MaskedStrikes || off.SimulatedStrikes != on.SimulatedStrikes {
+		t.Errorf("strike accounting differs: %d/%d vs %d/%d masked/simulated",
+			off.MaskedStrikes, off.SimulatedStrikes, on.MaskedStrikes, on.SimulatedStrikes)
+	}
+	if off.TotalMismatches != on.TotalMismatches || off.CacheSlack != on.CacheSlack {
+		t.Errorf("mismatch/slack accounting differs: %d/%f vs %d/%f",
+			off.TotalMismatches, off.CacheSlack, on.TotalMismatches, on.CacheSlack)
+	}
+}

@@ -11,6 +11,7 @@ package gefin
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,13 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	if err != nil {
 		return nil, fmt.Errorf("gefin: %w", err)
 	}
+	if cfg.CheckpointEvery > 0 {
+		// One instrumented golden replay per workload; clones share the
+		// resulting ladder, so the capture cost is paid once.
+		if err := wb.BuildLadder(cfg.CheckpointEvery, cfg.MaxCheckpoints, cfg.WarmCaches); err != nil {
+			return nil, fmt.Errorf("gefin: %w", err)
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashString(spec.Name))))
 	sizes := make([]uint64, len(cfg.Components))
 	for ci, comp := range cfg.Components {
@@ -108,25 +116,44 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 		clones = append(clones, clone)
 	}
 
-	// Dynamic sharding: workers race on an atomic cursor over the plan, so
-	// load balances regardless of per-injection cost, while every outcome
-	// lands in its plan slot and aggregation order stays fixed.
+	// Execution order: with the ladder on, workers drain the plan sorted by
+	// injection cycle (ties broken by plan index), so consecutive runs on a
+	// worker restore the same or a neighbouring rung and the short
+	// early-injection runs cluster instead of straggling. The order is a
+	// pure execution permutation: every outcome still lands in its plan
+	// slot and aggregation stays in plan order, so the Result is
+	// bit-identical at any worker count, sorted or not.
+	order := make([]int, len(plan))
+	for i := range order {
+		order[i] = i
+	}
+	if cfg.CheckpointEvery > 0 {
+		sort.SliceStable(order, func(a, b int) bool {
+			return plan[order[a]].f.Cycle < plan[order[b]].f.Cycle
+		})
+	}
+
+	// Dynamic sharding: workers race on an atomic cursor over the execution
+	// order, so load balances regardless of per-injection cost, while every
+	// outcome lands in its plan slot and aggregation order stays fixed.
 	outcomes := make([]outcome, len(plan))
 	var cursor int64
 	drain := func(worker int, w *harness.Workbench) {
 		em.workerStarted()
 		defer em.workerDone()
 		for {
-			i := atomic.AddInt64(&cursor, 1) - 1
-			if i >= int64(len(plan)) {
+			n := atomic.AddInt64(&cursor, 1) - 1
+			if n >= int64(len(order)) {
 				return
 			}
+			i := order[n]
 			p := plan[i]
 			if cfg.Obs.On() {
 				start := time.Now()
-				class, ctx, raw := w.RunFaultFull(p.f, cfg.WarmCaches)
+				class, ctx, raw, ls := w.RunFaultLadder(p.f, cfg.WarmCaches)
 				stop := time.Now()
 				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+				cfg.Obs.LadderRun(ls)
 				cfg.Obs.Record(obs.Record{
 					Kind:       obs.KindInjection,
 					Workload:   spec.Name,
@@ -139,9 +166,11 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 					Class:      class,
 					Valid:      ctx.LineValid,
 					Kernel:     ctx.KernelOwned(),
+					FFCycles:   ls.FastForwarded,
+					EarlyExit:  ls.EarlyExit,
 				}, start, stop)
 			} else {
-				class, ctx := w.RunFaultDetail(p.f, cfg.WarmCaches)
+				class, ctx, _, _ := w.RunFaultLadder(p.f, cfg.WarmCaches)
 				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
 			}
 			em.tick(spec.Name, cfg.Components[p.comp], cfg.FaultsPerComponent)

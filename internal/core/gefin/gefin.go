@@ -36,6 +36,19 @@ type Config struct {
 	// The tag region has near-zero AVF (flips there just cause re-walks),
 	// which this ablation demonstrates.
 	TLBFullEntry bool
+	// CheckpointEvery enables the golden-run checkpoint ladder with the
+	// given rung spacing in cycles: each workload's primary workbench
+	// captures one instrumented golden replay, and every injection run
+	// then fast-forwards to the nearest rung at or below its injection
+	// cycle and exits early on golden convergence. Results are
+	// bit-identical with the ladder on or off. Zero (the default) keeps
+	// the ladder off — every run replays from the post-boot snapshot, the
+	// paper's literal methodology. soc.DefaultCheckpointEvery is the
+	// recommended spacing.
+	CheckpointEvery uint64
+	// MaxCheckpoints caps the rungs a ladder may hold (the effective
+	// spacing grows to fit); zero picks soc.DefaultMaxCheckpoints.
+	MaxCheckpoints int
 	// Workers bounds the campaign's worker pool. Each worker owns its own
 	// harness.Workbench (machines are stateful and cannot be shared); the
 	// full fault list is pre-drawn from the seeded RNG before execution
@@ -65,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Preset.Name == "" {
 		c.Preset = soc.PresetModel()
+	}
+	if c.CheckpointEvery > 0 && c.MaxCheckpoints == 0 {
+		c.MaxCheckpoints = soc.DefaultMaxCheckpoints
 	}
 	c.Workers = sched.Resolve(c.Workers)
 	return c

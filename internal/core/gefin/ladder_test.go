@@ -1,0 +1,53 @@
+package gefin
+
+import (
+	"testing"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/soc"
+)
+
+// TestLadderAndWorkerInvariance is the checkpoint ladder's campaign-level
+// contract: the aggregated Result is bit-identical with the ladder on or
+// off, at one worker or many — the ladder (and its cycle-sorted execution
+// order) is purely an execution optimisation.
+func TestLadderAndWorkerInvariance(t *testing.T) {
+	base := Config{
+		FaultsPerComponent: faultsN(24),
+		Seed:               2025,
+		Components:         []fault.Component{fault.CompRegFile, fault.CompL1D, fault.CompDTLB},
+	}
+	var ref *WorkloadResult
+	for _, workers := range []int{1, 4} {
+		for _, every := range []uint64{0, 10_000} {
+			cfg := base
+			cfg.Workers = workers
+			cfg.CheckpointEvery = every
+			res := runSmall(t, cfg, "crc32")
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.GoldenCycles != ref.GoldenCycles || res.GoldenInstrs != ref.GoldenInstrs {
+				t.Fatalf("workers=%d every=%d: golden %d/%d differs from reference %d/%d",
+					workers, every, res.GoldenCycles, res.GoldenInstrs, ref.GoldenCycles, ref.GoldenInstrs)
+			}
+			equalComponentResults(t, ref, res)
+		}
+	}
+}
+
+// TestLadderWarmCampaignInvariance repeats the contract for the warm-cache
+// ablation, whose ladder is captured under warm restores.
+func TestLadderWarmCampaignInvariance(t *testing.T) {
+	cfg := Config{
+		FaultsPerComponent: faultsN(15),
+		Seed:               9,
+		Components:         []fault.Component{fault.CompRegFile, fault.CompL1D},
+		WarmCaches:         true,
+	}
+	off := runSmall(t, cfg, "qsort")
+	cfg.CheckpointEvery = soc.DefaultCheckpointEvery
+	on := runSmall(t, cfg, "qsort")
+	equalComponentResults(t, off, on)
+}

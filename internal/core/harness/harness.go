@@ -9,6 +9,7 @@ package harness
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
@@ -34,6 +35,11 @@ type Workbench struct {
 	// Watchdog is the cycle budget for faulty runs before the host declares
 	// a hang.
 	Watchdog uint64
+	// Ladder is the golden-run checkpoint ladder, built on demand by
+	// BuildLadder. When present (and its warm mode matches), fault runs
+	// fast-forward to the nearest rung below the injection cycle and exit
+	// early on golden convergence. Immutable once built; clones share it.
+	Ladder *soc.Ladder
 }
 
 // New builds a machine for the preset and model, loads the workload, boots,
@@ -100,7 +106,53 @@ func (w *Workbench) Clone() (*Workbench, error) {
 		Snap:     m.SaveSnapshot(),
 		Golden:   w.Golden,
 		Watchdog: w.Watchdog,
+		// The ladder is immutable after capture and every restore path
+		// deep-copies state out of it, so siblings share one ladder (its
+		// base snapshot is bit-equal to the sibling's own).
+		Ladder: w.Ladder,
 	}, nil
+}
+
+// BuildLadder captures the golden-run checkpoint ladder used to accelerate
+// subsequent fault runs: rungs every `every` cycles (zero picks the
+// platform default), at most max mid-run rungs — the effective spacing
+// grows to fit long golden runs — captured under the given warm mode,
+// which must match the warm argument of later fault runs. The capture
+// replay's Result is validated against the golden reference before the
+// ladder is installed, so a ladder can never change campaign results.
+func (w *Workbench) BuildLadder(every uint64, max int, warm bool) error {
+	if every == 0 {
+		every = soc.DefaultCheckpointEvery
+	}
+	// Short golden runs shrink the spacing so the ladder still gets ~16
+	// rungs to fast-forward and early-exit through: the paper-scale
+	// default spacing would otherwise leave a sub-150k-cycle workload with
+	// rung 0 alone. Long runs keep the configured spacing, and the
+	// MaxCheckpoints bound grows it back if the rung count would exceed
+	// the cap.
+	if short := w.Golden.Cycles/16 + 1; every > short {
+		every = short
+	}
+	if max > 0 {
+		if need := w.Golden.Cycles/uint64(max) + 1; need > every {
+			every = need
+		}
+	}
+	l := w.Machine.CaptureLadder(w.Snap, warm, every, max, GoldenBudget)
+	if !l.Final.CleanExit() {
+		return fmt.Errorf("harness: ladder capture run of %s/%s did not exit cleanly: %v code=%#x",
+			w.Built.Spec.Name, w.Built.Scale, l.Final.Outcome, l.Final.ExitCode)
+	}
+	if !bytes.Equal(l.Final.Output, w.Built.Golden) {
+		return fmt.Errorf("harness: ladder capture output of %s/%s diverges from the native reference",
+			w.Built.Spec.Name, w.Built.Scale)
+	}
+	if !warm && !reflect.DeepEqual(l.Final, w.Golden) {
+		return fmt.Errorf("harness: ladder capture of %s/%s is not bit-identical to the golden run (%+v vs %+v)",
+			w.Built.Spec.Name, w.Built.Scale, l.Final, w.Golden)
+	}
+	w.Ladder = l
+	return nil
 }
 
 // RunFault restores the cold snapshot (caches reset, as GeFIN does on every
@@ -132,15 +184,32 @@ func (w *Workbench) RunFaultDetail(f fault.Fault, warm bool) (fault.Class, fault
 // RunFaultFull runs one fault like RunFaultDetail and additionally
 // returns the raw machine-level result (outcome, cycle count, output) —
 // the per-injection record the observability trace captures before
-// host-side classification collapses it to a class.
+// host-side classification collapses it to a class. When a matching
+// ladder is installed the run goes through it transparently; the Result
+// is bit-identical either way.
 func (w *Workbench) RunFaultFull(f fault.Fault, warm bool) (fault.Class, fault.Context, soc.Result) {
-	w.Machine.RestoreSnapshot(w.Snap, warm)
+	cls, ctx, res, _ := w.RunFaultLadder(f, warm)
+	return cls, ctx, res
+}
+
+// RunFaultLadder runs one fault like RunFaultFull and additionally reports
+// what the checkpoint ladder did for the run (zero stats when no matching
+// ladder is installed and the run took the plain path).
+func (w *Workbench) RunFaultLadder(f fault.Fault, warm bool) (fault.Class, fault.Context, soc.Result, soc.LadderStats) {
 	var ctx fault.Context
-	res := w.Machine.RunWithInjection(w.Watchdog, f.Cycle, func() {
+	inject := func() {
 		ctx = fault.ContextOf(w.Machine, f)
 		fault.Apply(w.Machine, f)
-	})
-	return fault.Classify(res, w.Built.Golden, w.Machine.Cfg.TimerPeriod), ctx, res
+	}
+	var res soc.Result
+	var stats soc.LadderStats
+	if w.Ladder != nil && w.Ladder.Warm() == warm {
+		res, stats = w.Machine.RunLadderInjection(w.Ladder, w.Watchdog, f.Cycle, inject)
+	} else {
+		w.Machine.RestoreSnapshot(w.Snap, warm)
+		res = w.Machine.RunWithInjection(w.Watchdog, f.Cycle, inject)
+	}
+	return fault.Classify(res, w.Built.Golden, w.Machine.Cfg.TimerPeriod), ctx, res, stats
 }
 
 // RunClean restores the cold snapshot and runs fault-free; useful for

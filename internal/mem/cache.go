@@ -323,6 +323,10 @@ func (c *Cache) InvalidateAll() {
 		}
 	}
 	c.stats = CacheStats{}
+	// With no valid lines left there is no LRU order to preserve, so reset
+	// the clock: cold restores become bit-deterministic (equal absolute LRU
+	// stamps run over run), which the checkpoint-ladder fingerprints rely on.
+	c.tick = 0
 }
 
 // FlushAll writes every dirty line back and invalidates the cache.
@@ -415,13 +419,27 @@ type CacheState struct {
 func (c *Cache) SaveState() *CacheState {
 	st := &CacheState{tick: c.tick, stats: c.stats}
 	st.lines = make([][]cacheLine, len(c.lines))
+	if len(c.lines) == 0 {
+		return st
+	}
+	// The geometry is uniform, so one backing array serves every set and
+	// one byte buffer every line: three allocations per save instead of
+	// two per set — the checkpoint ladder saves caches thousands of times
+	// per campaign.
+	nways := len(c.lines[0])
+	lineBytes := len(c.lines[0][0].data)
+	ways := make([]cacheLine, len(c.lines)*nways)
+	buf := make([]byte, len(c.lines)*nways*lineBytes)
 	for s := range c.lines {
-		ways := make([]cacheLine, len(c.lines[s]))
+		set := ways[s*nways : (s+1)*nways : (s+1)*nways]
 		for w := range c.lines[s] {
-			ways[w] = c.lines[s][w]
-			ways[w].data = append([]byte(nil), c.lines[s][w].data...)
+			set[w] = c.lines[s][w]
+			data := buf[:lineBytes:lineBytes]
+			buf = buf[lineBytes:]
+			copy(data, c.lines[s][w].data)
+			set[w].data = data
 		}
-		st.lines[s] = ways
+		st.lines[s] = set
 	}
 	return st
 }
@@ -441,6 +459,18 @@ func (c *Cache) RestoreState(st *CacheState) {
 	}
 	c.tick = st.tick
 	c.stats = st.stats
+}
+
+// MemoryBytes estimates the retained size of the saved content
+// (checkpoint-ladder memory accounting).
+func (st *CacheState) MemoryBytes() int {
+	total := 0
+	for s := range st.lines {
+		for w := range st.lines[s] {
+			total += len(st.lines[s][w].data) + 48
+		}
+	}
+	return total
 }
 
 // FlushInto overlays every valid dirty line onto a raw physical-memory

@@ -1,0 +1,289 @@
+// Delta encoding and state fingerprinting for the checkpoint ladder.
+//
+// A mid-run checkpoint stores DRAM as a sparse delta against the post-boot
+// snapshot image instead of a second full copy: workloads touch a few tens
+// of kilobytes of a multi-megabyte DRAM, so the ladder's memory cost is
+// dominated by what actually changed. The Hasher gives every machine
+// structure a cheap way to fold its live content into a single 64-bit
+// fingerprint; HashLive on caches and TLBs deliberately skips *dead* state
+// (content of invalid lines/entries, which is overwritten before any read)
+// so that a fault flipped into dead state still fingerprints equal to the
+// golden run once the live state has re-converged.
+
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/bits"
+)
+
+// FNV-1a constants, applied word-at-a-time rather than byte-at-a-time so
+// hashing a full DRAM image costs one multiply per 8 bytes.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hasher folds machine state into a 64-bit fingerprint. It is not
+// cryptographic; it only needs to make accidental collisions between a
+// diverged and a converged machine state astronomically unlikely.
+type Hasher struct {
+	h uint64
+}
+
+// NewHasher returns a Hasher at the canonical initial state.
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset} }
+
+// Word mixes one 64-bit value.
+func (s *Hasher) Word(v uint64) { s.h = (s.h ^ v) * fnvPrime }
+
+// Word32 mixes one 32-bit value.
+func (s *Hasher) Word32(v uint32) { s.Word(uint64(v)) }
+
+// Bool mixes a boolean.
+func (s *Hasher) Bool(b bool) {
+	if b {
+		s.Word(1)
+	} else {
+		s.Word(0)
+	}
+}
+
+// Bytes mixes a byte slice, length-prefixed so concatenations of different
+// slices cannot alias.
+func (s *Hasher) Bytes(b []byte) {
+	s.Word(uint64(len(b)))
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		s.Word(binary.LittleEndian.Uint64(b[i:]))
+	}
+	if i < len(b) {
+		var tail uint64
+		for j := 0; i < len(b); i, j = i+1, j+8 {
+			tail |= uint64(b[i]) << j
+		}
+		s.Word(tail)
+	}
+}
+
+// Sum returns the fingerprint accumulated so far.
+func (s *Hasher) Sum() uint64 { return s.h }
+
+// deltaGap is the minimum run of equal bytes that ends a span; shorter
+// equal runs are absorbed into the surrounding span so a sprinkling of
+// single matching bytes does not explode the span count.
+const deltaGap = 16
+
+type deltaSpan struct {
+	off  uint32
+	data []byte
+}
+
+// Delta is a sparse span diff between two equal-length byte images.
+// Applying it to the base image reproduces the current image exactly.
+type Delta struct {
+	spans   []deltaSpan
+	changed int
+}
+
+// DiffBytes computes the delta that turns base into cur. The images must
+// have equal length.
+func DiffBytes(base, cur []byte) *Delta {
+	d := &Delta{}
+	n := len(base)
+	i := 0
+	for i < n {
+		// Skip equal content a word at a time.
+		for i+8 <= n && binary.LittleEndian.Uint64(base[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
+			i += 8
+		}
+		for i < n && base[i] == cur[i] {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		// Extend the span until at least deltaGap equal bytes follow.
+		j := i + 1
+		for j < n {
+			k := j
+			for k < n && k-j < deltaGap && base[k] == cur[k] {
+				k++
+			}
+			if k-j >= deltaGap || k == n {
+				break
+			}
+			j = k + 1
+		}
+		d.spans = append(d.spans, deltaSpan{off: uint32(i), data: append([]byte(nil), cur[i:j]...)})
+		d.changed += j - i
+		i = j
+	}
+	return d
+}
+
+// Apply overlays the delta's spans onto img, turning a copy of the base
+// image into the captured image.
+func (d *Delta) Apply(img []byte) {
+	for _, s := range d.spans {
+		copy(img[s.off:], s.data)
+	}
+}
+
+// Bytes returns the approximate memory footprint of the delta (payload
+// plus per-span bookkeeping), for the ladder's memory accounting.
+func (d *Delta) Bytes() int {
+	n := 0
+	for _, s := range d.spans {
+		n += len(s.data) + 32
+	}
+	return n
+}
+
+// Spans returns the number of spans (diagnostics).
+func (d *Delta) Spans() int { return len(d.spans) }
+
+// Changed returns the number of differing bytes the delta carries.
+func (d *Delta) Changed() int { return d.changed }
+
+// DiffAgainst returns the sparse delta that turns base into the DRAM's
+// current raw content. base must be Size() bytes.
+func (d *DRAM) DiffAgainst(base []byte) *Delta { return DiffBytes(base, d.data) }
+
+// RestoreDelta sets the DRAM's content to base with delta applied: the
+// checkpoint-restore path for physical memory. The first restore against a
+// base copies the whole image and starts dirty-page tracking; subsequent
+// restores against the same base copy back only the pages written since —
+// a campaign's repeated restores then cost kilobytes, not the full image.
+func (d *DRAM) RestoreDelta(base []byte, delta *Delta) {
+	if d.trackedBase != &base[0] {
+		copy(d.data, base)
+		if d.dirty == nil {
+			d.dirty = make([]uint64, (len(d.data)>>pageShift+63)/64)
+		} else {
+			clear(d.dirty)
+		}
+		d.trackedBase = &base[0]
+	} else {
+		for i := range d.dirty {
+			w := d.dirty[i]
+			if w == 0 {
+				continue
+			}
+			d.dirty[i] = 0
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				p := (i<<6 + b) << pageShift
+				end := p + 1<<pageShift
+				if end > len(d.data) {
+					end = len(d.data)
+				}
+				copy(d.data[p:end], base[p:end])
+			}
+		}
+	}
+	for _, s := range delta.spans {
+		copy(d.data[s.off:], s.data)
+		d.markDirty(s.off, uint32(len(s.data)))
+	}
+}
+
+// CopyInto copies the raw DRAM content into dst (which must be Size()
+// bytes), the allocation-free sibling of PeekBytes for snapshot capture.
+func (d *DRAM) CopyInto(dst []byte) { copy(dst, d.data) }
+
+// HashInto mixes the raw DRAM content into h.
+func (d *DRAM) HashInto(h *Hasher) { h.Bytes(d.data) }
+
+// EqualBaseDelta reports whether the DRAM's current content equals base
+// with delta applied, without materialising the patched image: gap
+// regions compare directly against base and span regions against the
+// delta payload. The comparison runs at memcmp speed and is exact, so the
+// ladder's early-exit check prefers it over hashing the full image at
+// every rung crossing.
+func (d *DRAM) EqualBaseDelta(base []byte, delta *Delta) bool {
+	prev := 0
+	for _, s := range delta.spans {
+		off := int(s.off)
+		if !bytes.Equal(d.data[prev:off], base[prev:off]) {
+			return false
+		}
+		if !bytes.Equal(d.data[off:off+len(s.data)], s.data) {
+			return false
+		}
+		prev = off + len(s.data)
+	}
+	return bytes.Equal(d.data[prev:], base[prev:])
+}
+
+// HashLive mixes the cache's live state into h: a line-validity bitmap,
+// then tag/dirty/lru/data of each valid line, then the LRU tick. Content
+// of invalid lines is dead — fill() overwrites tag, dirty, and data before
+// any read, and victim() returns invalid ways before consulting lru — so
+// it is excluded, letting faults flipped into invalid lines fingerprint as
+// converged. Event counters are excluded: they never feed back into the
+// data path or the campaign Result.
+func (c *Cache) HashLive(h *Hasher) {
+	var bm uint64
+	nbit := 0
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			if c.lines[s][w].valid {
+				bm |= 1 << nbit
+			}
+			if nbit++; nbit == 64 {
+				h.Word(bm)
+				bm, nbit = 0, 0
+			}
+		}
+	}
+	if nbit > 0 {
+		h.Word(bm)
+	}
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			ln := &c.lines[s][w]
+			if !ln.valid {
+				continue
+			}
+			h.Word32(ln.tag)
+			h.Bool(ln.dirty)
+			h.Word(ln.lru)
+			h.Bytes(ln.data)
+		}
+	}
+	h.Word(c.tick)
+}
+
+// HashLive mixes the TLB's live state into h: an entry-validity bitmap,
+// then bits/lru of each valid entry, then the LRU tick. Invalid entries'
+// translation bits and lru are dead state (Insert fully overwrites the
+// victim entry and prefers invalid victims unconditionally) and are
+// excluded; a fault that flips the valid bit itself changes the bitmap and
+// is caught.
+func (t *TLB) HashLive(h *Hasher) {
+	var bm uint64
+	nbit := 0
+	for i := range t.entries {
+		if t.entries[i].Valid() {
+			bm |= 1 << nbit
+		}
+		if nbit++; nbit == 64 {
+			h.Word(bm)
+			bm, nbit = 0, 0
+		}
+	}
+	if nbit > 0 {
+		h.Word(bm)
+	}
+	for i := range t.entries {
+		if !t.entries[i].Valid() {
+			continue
+		}
+		h.Word(t.entries[i].bits)
+		h.Word(t.entries[i].lru)
+	}
+	h.Word(t.tick)
+}

@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// scribble writes pseudo-random runs into d through its public write
+// paths, so dirty-page tracking sees every mutation.
+func scribble(d *DRAM, rng *rand.Rand, writes int) {
+	line := make([]byte, 32)
+	for i := 0; i < writes; i++ {
+		rng.Read(line)
+		addr := uint32(rng.Intn(int(d.Size())-len(line))) &^ 31
+		d.WriteLine(addr, line)
+	}
+}
+
+func TestDiffBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]byte, 1<<16)
+	rng.Read(base)
+	cur := append([]byte(nil), base...)
+	for i := 0; i < 40; i++ {
+		off := rng.Intn(len(cur) - 64)
+		rng.Read(cur[off : off+1+rng.Intn(63)])
+	}
+	d := DiffBytes(base, cur)
+	img := append([]byte(nil), base...)
+	d.Apply(img)
+	if !bytes.Equal(img, cur) {
+		t.Fatal("base+delta does not reproduce the diffed image")
+	}
+	if d.Changed() == 0 || d.Bytes() == 0 {
+		t.Fatalf("delta accounting empty: changed=%d bytes=%d", d.Changed(), d.Bytes())
+	}
+}
+
+// TestRestoreDeltaTracked pins the dirty-page fast path: repeated
+// restores against the same base, interleaved with writes through every
+// DRAM mutation path, must leave exactly base+delta behind each time.
+func TestRestoreDeltaTracked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dram := NewDRAM(1 << 18)
+	scribble(dram, rng, 200)
+	base := append([]byte(nil), dram.data...)
+
+	// Two checkpoints' deltas over diverging content.
+	scribble(dram, rng, 100)
+	deltaA := dram.DiffAgainst(base)
+	scribble(dram, rng, 100)
+	deltaB := dram.DiffAgainst(base)
+
+	want := func(d *Delta) []byte {
+		img := append([]byte(nil), base...)
+		d.Apply(img)
+		return img
+	}
+	for round := 0; round < 4; round++ {
+		for _, d := range []*Delta{deltaA, deltaB} {
+			dram.RestoreDelta(base, d)
+			if !bytes.Equal(dram.data, want(d)) {
+				t.Fatalf("round %d: tracked restore diverged from full copy+apply", round)
+			}
+			// Dirty the machine through each write path before the next
+			// restore, including one full-image load (marks everything).
+			scribble(dram, rng, 50)
+			dram.Poke(64, rng.Uint32())
+			if round == 2 {
+				img := make([]byte, dram.Size())
+				rng.Read(img)
+				if err := dram.LoadImage(0, img); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Switching to a different base must drop tracking and still restore
+	// exactly.
+	base2 := append([]byte(nil), dram.data...)
+	scribble(dram, rng, 50)
+	delta2 := dram.DiffAgainst(base2)
+	scribble(dram, rng, 50)
+	dram.RestoreDelta(base2, delta2)
+	img := append([]byte(nil), base2...)
+	delta2.Apply(img)
+	if !bytes.Equal(dram.data, img) {
+		t.Fatal("restore against a new base diverged")
+	}
+}
+
+func TestEqualBaseDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dram := NewDRAM(1 << 16)
+	scribble(dram, rng, 80)
+	base := append([]byte(nil), dram.data...)
+	scribble(dram, rng, 40)
+	delta := dram.DiffAgainst(base)
+
+	if !dram.EqualBaseDelta(base, delta) {
+		t.Fatal("content must equal its own base+delta")
+	}
+	// A flip inside a span payload region.
+	dram.data[delta.spans[0].off] ^= 0x40
+	if dram.EqualBaseDelta(base, delta) {
+		t.Fatal("span-region divergence not detected")
+	}
+	dram.data[delta.spans[0].off] ^= 0x40
+	// A flip in a gap region (equal to base before the flip).
+	var gap uint32
+	for g := uint32(0); g < dram.Size(); g++ {
+		covered := false
+		for _, s := range delta.spans {
+			if g >= s.off && g < s.off+uint32(len(s.data)) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			gap = g
+			break
+		}
+	}
+	dram.data[gap] ^= 0x01
+	if dram.EqualBaseDelta(base, delta) {
+		t.Fatal("gap-region divergence not detected")
+	}
+}

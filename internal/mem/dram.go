@@ -20,6 +20,28 @@ import (
 // which covered the SoC but not the on-board DDR.
 type DRAM struct {
 	data []byte
+
+	// Dirty-page tracking for RestoreDelta: once a restore establishes a
+	// tracked base image, every write marks its 4 KiB pages, and the next
+	// restore against the same base copies back only the marked pages
+	// instead of the whole image. trackedBase identifies the base by its
+	// backing array; nil means no tracking is active.
+	dirty       []uint64
+	trackedBase *byte
+}
+
+// pageShift is the dirty-tracking granule (4 KiB pages).
+const pageShift = 12
+
+// markDirty records that [addr, addr+n) has been written. A no-op until
+// RestoreDelta starts tracking; every DRAM mutation path must call it.
+func (d *DRAM) markDirty(addr, n uint32) {
+	if d.trackedBase == nil || n == 0 {
+		return
+	}
+	for p := addr >> pageShift; p <= (addr+n-1)>>pageShift; p++ {
+		d.dirty[p>>6] |= 1 << (p & 63)
+	}
 }
 
 // NewDRAM allocates a physical memory of the given size in bytes.
@@ -54,6 +76,7 @@ func (d *DRAM) WriteLine(addr uint32, buf []byte) bool {
 		return false
 	}
 	copy(d.data[addr:], buf)
+	d.markDirty(addr, uint32(len(buf)))
 	return true
 }
 
@@ -65,6 +88,7 @@ func (d *DRAM) LoadImage(addr uint32, image []byte) error {
 			len(image), addr, len(d.data))
 	}
 	copy(d.data[addr:], image)
+	d.markDirty(addr, uint32(len(image)))
 	return nil
 }
 
@@ -81,6 +105,7 @@ func (d *DRAM) Peek(addr uint32) uint32 {
 func (d *DRAM) Poke(addr, val uint32) {
 	if d.Contains(addr, 4) {
 		binary.LittleEndian.PutUint32(d.data[addr:], val)
+		d.markDirty(addr, 4)
 	}
 }
 
@@ -99,4 +124,5 @@ func (d *DRAM) Reset() {
 	for i := range d.data {
 		d.data[i] = 0
 	}
+	d.markDirty(0, uint32(len(d.data)))
 }

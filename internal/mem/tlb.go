@@ -144,6 +144,9 @@ func (t *TLB) InvalidateAll() {
 		t.entries[i] = TLBEntry{}
 	}
 	t.stats = TLBStats{}
+	// No valid entries remain, so the LRU clock can restart: cold restores
+	// become bit-deterministic for the checkpoint-ladder fingerprints.
+	t.tick = 0
 }
 
 // FlipBit inverts one bit of the TLB array, addressed linearly:
@@ -190,6 +193,10 @@ func (t *TLB) RestoreState(st *TLBState) {
 	t.tick = st.tick
 	t.stats = st.stats
 }
+
+// MemoryBytes estimates the retained size of the saved content
+// (checkpoint-ladder memory accounting).
+func (st *TLBState) MemoryBytes() int { return len(st.entries)*16 + 24 }
 
 // Physical-region bit span of a TLB entry: the PPN, permission, and valid
 // bits (everything except the virtual tag). The paper's injections target

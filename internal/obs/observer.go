@@ -17,6 +17,7 @@ import (
 
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/sched"
+	"armsefi/internal/soc"
 )
 
 // Options parameterises an Observer.
@@ -37,14 +38,17 @@ type Observer struct {
 	reg   *Registry
 	epoch time.Time
 
-	outcomes map[outcomeKey]*Counter
-	latency  map[string]*Histogram
-	granted  *Counter
-	denied   *Counter
-	done     *Gauge
-	total    *Gauge
-	workers  *Gauge
-	rate     *Gauge
+	outcomes   map[outcomeKey]*Counter
+	latency    map[string]*Histogram
+	granted    *Counter
+	denied     *Counter
+	rungHits   *Counter
+	ffCycles   *Counter
+	earlyExits *Counter
+	done       *Gauge
+	total      *Gauge
+	workers    *Gauge
+	rate       *Gauge
 }
 
 type outcomeKey struct {
@@ -87,6 +91,12 @@ func New(opts Options) *Observer {
 		"clone workbench pool-slot acquisitions by result", "result", "granted")
 	o.denied = reg.Counter("armsefi_clone_acquires_total",
 		"clone workbench pool-slot acquisitions by result", "result", "denied")
+	o.rungHits = reg.Counter("armsefi_ladder_rung_hits_total",
+		"injection runs fast-forwarded by a checkpoint-ladder rung restore")
+	o.ffCycles = reg.Counter("armsefi_ladder_fastforward_cycles_total",
+		"simulated cycles skipped by rung restores and golden-convergence early exits")
+	o.earlyExits = reg.Counter("armsefi_ladder_early_exits_total",
+		"injection runs cut short by golden convergence")
 	o.done = reg.Gauge("armsefi_campaign_done", "experiments completed so far")
 	o.total = reg.Gauge("armsefi_campaign_total", "experiments planned (grows as workloads register)")
 	o.workers = reg.Gauge("armsefi_campaign_workers", "live campaign workers")
@@ -153,6 +163,24 @@ func (o *Observer) ObservePool(p *sched.Pool) {
 		func() float64 { return float64(p.InUse()) })
 	o.reg.GaugeFunc("armsefi_pool_capacity", "worker-pool token capacity",
 		func() float64 { return float64(p.Cap()) })
+}
+
+// LadderRun records what the checkpoint ladder did for one experiment: a
+// rung restore above cycle zero (with the golden-prefix cycles it
+// skipped) and/or a golden-convergence early exit (with the tail cycles
+// it saved). Campaigns without a ladder never call it.
+func (o *Observer) LadderRun(s soc.LadderStats) {
+	if o == nil {
+		return
+	}
+	if s.FastForwarded > 0 {
+		o.rungHits.Inc()
+		o.ffCycles.Add(int64(s.FastForwarded))
+	}
+	if s.EarlyExit {
+		o.earlyExits.Inc()
+		o.ffCycles.Add(int64(s.TailSaved))
+	}
 }
 
 // CloneTry records one clone-slot acquisition attempt; the granted/denied

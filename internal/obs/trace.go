@@ -67,6 +67,11 @@ type Record struct {
 	// Followup marks a beam strike reclassified by the latent-corruption
 	// follow-up execution.
 	Followup bool `json:"followup,omitempty"`
+	// FFCycles is the golden-prefix cycle count the checkpoint ladder
+	// skipped for this run via a rung restore; EarlyExit marks a run cut
+	// short by golden convergence (ladder-enabled campaigns only).
+	FFCycles  uint64 `json:"ff_cycles,omitempty"`
+	EarlyExit bool   `json:"early_exit,omitempty"`
 }
 
 // traceFlushBytes is the buffered-writer batch size.

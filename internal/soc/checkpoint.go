@@ -1,0 +1,369 @@
+// Checkpoint ladder: cycle-stamped mid-run machine checkpoints captured
+// during one instrumented golden replay, used by the campaign engines to
+// (a) fast-forward injection runs past the fault-free prefix by restoring
+// the nearest rung at or below the injection cycle instead of replaying
+// from the post-boot snapshot, and (b) stop a faulty run early when its
+// state fingerprint matches the golden ladder's at a rung: from that
+// point execution is deterministic and identical to the golden run, so
+// the outcome is the golden Result — the optimisation that turns the
+// dominant Masked class from full-runtime into prefix-runtime, as ARMORY
+// and gem5-checkpoint (CHAOS-style) injectors do.
+//
+// Restores are bit-identical to full replay on the live-state surface:
+// counters (cycle, instruction, sequence numbers) come back verbatim, so
+// every absolute cycle stamp inside the pipeline, timer, and LRU arrays
+// lines up with the golden timeline, and a fingerprint taken on a
+// restored-and-resumed machine equals one taken on a machine that
+// replayed every cycle.
+
+package soc
+
+import (
+	"sort"
+
+	"armsefi/internal/cpu"
+	"armsefi/internal/mem"
+)
+
+// Checkpoint is one ladder rung: the complete machine state at a cycle
+// boundary of the golden run, with DRAM delta-encoded against the
+// post-boot snapshot image, plus the state fingerprint used for the
+// golden-convergence early exit.
+type Checkpoint struct {
+	// Cycle is the core cycle counter at capture (run-relative ==
+	// absolute: golden runs start from LoadArch at cycle zero).
+	Cycle uint64
+	// Fingerprint is the 64-bit live-state hash at this rung.
+	Fingerprint uint64
+
+	// microFP is the non-DRAM prefix of Fingerprint (core micro-state,
+	// caches, TLBs, devices). The early-exit check compares it first: it
+	// hashes kilobytes instead of the whole DRAM image, and a diverged run
+	// almost always differs here, making the per-crossing cost tiny.
+	microFP uint64
+
+	// lastBeatAbs is the capture run's last-heartbeat cycle at this rung;
+	// it lives outside machine state (the run loop tracks it), so the
+	// early-exit comparison checks it explicitly.
+	lastBeatAbs uint64
+
+	dram  *mem.Delta
+	micro *cpu.MicroState
+	l1i   *mem.CacheState
+	l1d   *mem.CacheState
+	l2    *mem.CacheState
+	itlb  *mem.TLBState
+	dtlb  *mem.TLBState
+	timer timerState
+	sysc  sysCtlState
+	uart  []byte
+}
+
+// Ladder is the checkpoint ladder of one golden run: rung 0 is the
+// post-restore state at cycle zero, subsequent rungs are spaced
+// EffectiveEvery cycles apart (first cycle boundary actually reached on
+// the atomic model, which can skip boundaries), and end is the machine
+// state the golden run left behind. Immutable after capture; safe to
+// restore concurrently into sibling machines.
+type Ladder struct {
+	// Final is the complete golden Result of the capture run; the early
+	// exit returns it verbatim.
+	Final Result
+
+	base  *Snapshot
+	warm  bool
+	every uint64
+	rungs []*Checkpoint
+	end   *Checkpoint
+}
+
+// LadderStats reports what the ladder did for one injection run.
+type LadderStats struct {
+	// FastForwarded is the golden-prefix cycle count skipped by the rung
+	// restore (zero when the run started from rung 0).
+	FastForwarded uint64
+	// EarlyExit reports that the run was cut short by golden convergence.
+	EarlyExit bool
+	// TailSaved is the cycle count not executed thanks to the early exit
+	// (golden total minus the convergence cycle).
+	TailSaved uint64
+}
+
+// Warm reports which restore mode the ladder was captured under.
+func (l *Ladder) Warm() bool { return l.warm }
+
+// Rungs returns the number of mid-run rungs (including rung 0).
+func (l *Ladder) Rungs() int { return len(l.rungs) }
+
+// EffectiveEvery returns the rung spacing actually used.
+func (l *Ladder) EffectiveEvery() uint64 { return l.every }
+
+// MemoryBytes estimates the ladder's retained memory: DRAM deltas, cache
+// and TLB copies, UART backlogs, and fixed per-rung bookkeeping.
+func (l *Ladder) MemoryBytes() int {
+	total := 0
+	for _, c := range append(append([]*Checkpoint(nil), l.rungs...), l.end) {
+		if c == nil {
+			continue
+		}
+		total += c.dram.Bytes() + len(c.uart) + 1024
+		for _, cs := range []*mem.CacheState{c.l1i, c.l1d, c.l2} {
+			total += cs.MemoryBytes()
+		}
+		for _, ts := range []*mem.TLBState{c.itlb, c.dtlb} {
+			total += ts.MemoryBytes()
+		}
+	}
+	return total
+}
+
+// rungFor returns the highest rung at or below cycle; rung 0 sits at
+// cycle zero, so the result is always defined.
+func (l *Ladder) rungFor(cycle uint64) *Checkpoint {
+	i := sort.Search(len(l.rungs), func(i int) bool { return l.rungs[i].Cycle > cycle }) - 1
+	return l.rungs[i]
+}
+
+// microFingerprint folds the machine's non-DRAM live state into h: core
+// micro-state, cache and TLB live content, and device state. Only
+// provably dead state (content of invalid lines, free registers, expired
+// deadlines — see the HashLive/HashMicro contracts) is excluded.
+func (m *Machine) microFingerprint(h *mem.Hasher) {
+	m.core.HashMicro(h)
+	m.Mem.L1I.HashLive(h)
+	m.Mem.L1D.HashLive(h)
+	m.Mem.L2.HashLive(h)
+	m.Mem.ITLB.HashLive(h)
+	m.Mem.DTLB.HashLive(h)
+	h.Word32(m.Timer.period)
+	h.Word(m.Timer.count)
+	h.Bool(m.Timer.pending)
+	h.Bool(m.SysCtl.halted)
+	h.Word32(m.SysCtl.exitCode)
+	h.Word(m.SysCtl.beats)
+	h.Word(m.SysCtl.appAlive)
+	h.Bytes(m.UART.out)
+}
+
+// fingerprint folds the machine's complete live state into h: the
+// non-DRAM micro fingerprint followed by the raw DRAM image. Everything
+// that can influence future execution or the run Result is covered, so a
+// fingerprint match implies the remaining execution is identical to the
+// golden run's.
+func (m *Machine) fingerprint(h *mem.Hasher) {
+	m.microFingerprint(h)
+	m.DRAM.HashInto(h)
+}
+
+// Fingerprint returns the machine's current live-state fingerprint
+// (test and diagnostic surface).
+func (m *Machine) Fingerprint() uint64 {
+	h := mem.NewHasher()
+	m.fingerprint(h)
+	return h.Sum()
+}
+
+// microFPSum returns just the non-DRAM fingerprint stage.
+func (m *Machine) microFPSum() uint64 {
+	h := mem.NewHasher()
+	m.microFingerprint(h)
+	return h.Sum()
+}
+
+// captureCheckpoint snapshots the full machine state mid-run.
+func (m *Machine) captureCheckpoint(base *Snapshot, lastBeatAbs uint64) *Checkpoint {
+	// One hasher pass yields both stages: microFP is the running sum
+	// before the DRAM image is folded in, Fingerprint after.
+	h := mem.NewHasher()
+	m.microFingerprint(h)
+	micro := h.Sum()
+	m.DRAM.HashInto(h)
+	return &Checkpoint{
+		Cycle:       m.core.Cycles(),
+		Fingerprint: h.Sum(),
+		microFP:     micro,
+		lastBeatAbs: lastBeatAbs,
+		dram:        m.DRAM.DiffAgainst(base.dram),
+		micro:       m.core.SaveMicro(),
+		l1i:         m.Mem.L1I.SaveState(),
+		l1d:         m.Mem.L1D.SaveState(),
+		l2:          m.Mem.L2.SaveState(),
+		itlb:        m.Mem.ITLB.SaveState(),
+		dtlb:        m.Mem.DTLB.SaveState(),
+		timer:       m.Timer.save(),
+		sysc:        m.SysCtl.save(),
+		uart:        m.UART.Output(),
+	}
+}
+
+// RestoreCheckpoint brings the machine to the exact state of a ladder
+// rung. The core micro-state is loaded first (it sets the TTBR, which
+// may invalidate TLBs on change) and the TLB content after.
+func (m *Machine) RestoreCheckpoint(l *Ladder, c *Checkpoint) {
+	m.DRAM.RestoreDelta(l.base.dram, c.dram)
+	m.core.LoadMicro(c.micro)
+	m.Mem.L1I.RestoreState(c.l1i)
+	m.Mem.L1D.RestoreState(c.l1d)
+	m.Mem.L2.RestoreState(c.l2)
+	m.Mem.ITLB.RestoreState(c.itlb)
+	m.Mem.DTLB.RestoreState(c.dtlb)
+	m.Timer.restore(c.timer)
+	m.SysCtl.restore(c.sysc)
+	m.UART.Restore(c.uart)
+}
+
+// CaptureLadder performs the instrumented golden replay: restore the
+// post-boot snapshot (warm or cold exactly as injection runs will), run
+// fault-free to completion, and capture a rung at cycle zero, at every
+// rung boundary reached, and at the end. max bounds the number of
+// mid-run rungs (rung 0 and the end state are always kept). The capture
+// loop mirrors RunWithInjection cycle-for-cycle, so Final is the same
+// Result a plain golden run produces.
+func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int, budget uint64) *Ladder {
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	l := &Ladder{base: base, warm: warm, every: every}
+	m.RestoreSnapshot(base, warm)
+
+	uartBase := len(base.uart)
+	beatsBase := base.sysctl.s.beats
+	aliveBase := base.sysctl.s.appAlive
+	lastBeats := m.SysCtl.Beats()
+	lastBeatAbs := uint64(0)
+
+	l.rungs = append(l.rungs, m.captureCheckpoint(base, lastBeatAbs))
+	nextRung := every
+
+	res := Result{}
+	for {
+		if m.SysCtl.Halted() {
+			res.Outcome = OutcomePowerOff
+			res.ExitCode = m.SysCtl.ExitCode()
+			break
+		}
+		if m.core.Fatal() {
+			res.Outcome = OutcomeFatal
+			break
+		}
+		abs := m.core.Cycles()
+		if abs >= budget {
+			res.Outcome = OutcomeTimeout
+			break
+		}
+		if abs >= nextRung && (max <= 0 || len(l.rungs) <= max) {
+			// The atomic model can step several cycles at once and skip a
+			// boundary; the rung lands on the first boundary actually
+			// reached, and faulty runs compare only on exact hits.
+			l.rungs = append(l.rungs, m.captureCheckpoint(base, lastBeatAbs))
+			for nextRung <= abs {
+				nextRung += every
+			}
+		}
+		d := m.core.StepCycle()
+		m.Timer.Tick(d)
+		if b := m.SysCtl.Beats(); b != lastBeats {
+			lastBeats = b
+			lastBeatAbs = m.core.Cycles()
+		}
+	}
+	res.Cycles = m.core.Cycles()
+	res.Instructions = m.core.Instructions()
+	res.Output = m.UART.Tail(uartBase)
+	res.Beats = m.SysCtl.Beats() - beatsBase
+	res.AppAlive = m.SysCtl.AppAlive() - aliveBase
+	res.LastBeatCycle = lastBeatAbs
+	l.Final = res
+	l.end = m.captureCheckpoint(base, lastBeatAbs)
+	return l
+}
+
+// RunLadderInjection runs one injection experiment through the ladder:
+// restore the nearest rung at or below injectAt, run with the injection,
+// and after the fault compare fingerprints at every rung crossing — on a
+// match the rest of the run is deterministic and identical to golden, so
+// the golden Final is returned immediately. The Result is bit-identical
+// to RestoreSnapshot + RunWithInjection with the same arguments.
+func (m *Machine) RunLadderInjection(l *Ladder, watchdog, injectAt uint64, inject func()) (Result, LadderStats) {
+	rung := l.rungFor(injectAt)
+	m.RestoreCheckpoint(l, rung)
+	stats := LadderStats{FastForwarded: rung.Cycle}
+
+	uartBase := len(l.base.uart)
+	beatsBase := l.base.sysctl.s.beats
+	aliveBase := l.base.sysctl.s.appAlive
+	lastBeats := m.SysCtl.Beats()
+	lastBeatAbs := rung.lastBeatAbs
+	injected := false
+	next := sort.Search(len(l.rungs), func(i int) bool { return l.rungs[i].Cycle > injectAt })
+
+	res := Result{}
+	for {
+		if m.SysCtl.Halted() {
+			res.Outcome = OutcomePowerOff
+			res.ExitCode = m.SysCtl.ExitCode()
+			break
+		}
+		if m.core.Fatal() {
+			res.Outcome = OutcomeFatal
+			break
+		}
+		abs := m.core.Cycles()
+		if abs >= watchdog {
+			res.Outcome = OutcomeTimeout
+			break
+		}
+		if !injected && abs >= injectAt {
+			inject()
+			injected = true
+		}
+		if injected && next < len(l.rungs) {
+			for next < len(l.rungs) && l.rungs[next].Cycle < abs {
+				next++ // diverged timing skipped a boundary; no comparison
+			}
+			if next < len(l.rungs) && l.rungs[next].Cycle == abs {
+				r := l.rungs[next]
+				next++
+				// Staged convergence check: the cheap non-DRAM fingerprint
+				// first (a diverged run almost always differs there), then an
+				// exact memcmp of DRAM against the rung's base+delta — which
+				// is both faster than hashing the full image and strictly
+				// stronger than comparing its hash.
+				if lastBeatAbs == r.lastBeatAbs && m.microFPSum() == r.microFP &&
+					m.DRAM.EqualBaseDelta(l.base.dram, r.dram) {
+					stats.EarlyExit = true
+					stats.TailSaved = l.Final.Cycles - abs
+					return l.Final, stats
+				}
+			}
+		}
+		d := m.core.StepCycle()
+		m.Timer.Tick(d)
+		if b := m.SysCtl.Beats(); b != lastBeats {
+			lastBeats = b
+			lastBeatAbs = m.core.Cycles()
+		}
+	}
+	if !injected {
+		// The run ended before the injection time; apply it so component
+		// state still carries it (mirrors RunWithInjection).
+		inject()
+	}
+	res.Cycles = m.core.Cycles()
+	res.Instructions = m.core.Instructions()
+	res.Output = m.UART.Tail(uartBase)
+	res.Beats = m.SysCtl.Beats() - beatsBase
+	res.AppAlive = m.SysCtl.AppAlive() - aliveBase
+	res.LastBeatCycle = lastBeatAbs
+	return res, stats
+}
+
+// FastForwardGolden replaces a fault-free full run: it restores the
+// machine to the exact end state of the golden capture run and returns
+// the golden Result. The beam simulator uses it for the steady-state and
+// reboot runs of its strike chains, whose live-board semantics allow no
+// other reordering.
+func (m *Machine) FastForwardGolden(l *Ladder) Result {
+	m.RestoreCheckpoint(l, l.end)
+	return l.Final
+}

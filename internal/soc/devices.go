@@ -44,8 +44,30 @@ func (u *UART) Output() []byte { return append([]byte(nil), u.out...) }
 // Len returns the number of bytes transmitted.
 func (u *UART) Len() int { return len(u.out) }
 
+// Tail returns a copy of the bytes transmitted at or after position from.
+// Result assembly uses it so each run copies only its own output, not the
+// whole backlog accumulated across snapshot restores.
+func (u *UART) Tail(from int) []byte {
+	if from >= len(u.out) {
+		return []byte{}
+	}
+	return append([]byte(nil), u.out[from:]...)
+}
+
 // Reset clears the transmit log.
 func (u *UART) Reset() { u.out = u.out[:0] }
+
+// Restore replaces the transmit log with b, reusing the existing buffer
+// when it has capacity (snapshot restores happen once per injection run,
+// so this path must not reallocate the backlog every time).
+func (u *UART) Restore(b []byte) {
+	if cap(u.out) < len(b) {
+		u.out = make([]byte, len(b))
+	} else {
+		u.out = u.out[:len(b)]
+	}
+	copy(u.out, b)
+}
 
 // Timer is the periodic interrupt source driving the kernel scheduler
 // tick. Writing a non-zero period to register 0 arms it; writing register 4

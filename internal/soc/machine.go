@@ -11,11 +11,15 @@ import (
 )
 
 // archCore is the contract both CPU models satisfy: the generic Core
-// interface plus architectural snapshot support.
+// interface plus architectural snapshot support and mid-run
+// micro-architectural checkpointing for the checkpoint ladder.
 type archCore interface {
 	cpu.Core
 	SaveArch() cpu.ArchState
 	LoadArch(cpu.ArchState)
+	SaveMicro() *cpu.MicroState
+	LoadMicro(*cpu.MicroState)
+	HashMicro(*mem.Hasher)
 }
 
 // Outcome is the machine-level result of a run.
@@ -264,8 +268,7 @@ func (m *Machine) RunWithInjection(maxCycles, injectAt uint64, inject func()) Re
 	}
 	res.Cycles = m.core.Cycles() - startCycles
 	res.Instructions = m.core.Instructions() - startInstrs
-	out := m.UART.Output()
-	res.Output = out[uartStart:]
+	res.Output = m.UART.Tail(uartStart)
 	res.Beats = m.SysCtl.Beats() - beatsStart
 	res.AppAlive = m.SysCtl.AppAlive() - aliveStart
 	res.LastBeatCycle = lastBeatCycle - startCycles
@@ -334,8 +337,7 @@ func (m *Machine) RestoreSnapshot(s *Snapshot, warm bool) {
 	}
 	m.Timer.restore(s.timer)
 	m.SysCtl.restore(s.sysctl)
-	m.UART.Reset()
-	m.UART.out = append(m.UART.out, s.uart...)
+	m.UART.Restore(s.uart)
 	m.core.LoadArch(s.arch)
 }
 

@@ -93,7 +93,24 @@ type Config struct {
 	// (disabled) core inside the beam spot; it contributes only to the
 	// unmodelled-area overlay of the beam simulator.
 	SecondCorePresent bool
+
+	// CheckpointEvery is the golden-run checkpoint-ladder rung spacing in
+	// cycles, and MaxCheckpoints caps how many rungs a ladder may hold
+	// (the effective spacing grows to fit). Campaign engines inherit
+	// these when their own Config leaves the knobs unset; zero disables
+	// the ladder at the engine level.
+	CheckpointEvery uint64
+	MaxCheckpoints  int
 }
+
+// Checkpoint-ladder defaults shared by both presets: rungs every 150k
+// cycles keep the fingerprint cost (one pass over DRAM and the arrays per
+// rung) well under a percent of golden runtime at paper workload lengths,
+// and 64 rungs bound the ladder even for long golden runs.
+const (
+	DefaultCheckpointEvery uint64 = 150_000
+	DefaultMaxCheckpoints  int    = 64
+)
 
 // cacheDefaults returns the A9 cache geometry of Table II.
 func cacheDefaults() (l1i, l1d, l2 mem.CacheConfig) {
@@ -122,6 +139,8 @@ func PresetZynq() Config {
 		BTBEntries:        512,
 		PredictorEntries:  1024,
 		SecondCorePresent: true,
+		CheckpointEvery:   DefaultCheckpointEvery,
+		MaxCheckpoints:    DefaultMaxCheckpoints,
 	}
 }
 
@@ -146,6 +165,8 @@ func PresetModel() Config {
 		BTBEntries:        256,
 		PredictorEntries:  512,
 		SecondCorePresent: false,
+		CheckpointEvery:   DefaultCheckpointEvery,
+		MaxCheckpoints:    DefaultMaxCheckpoints,
 	}
 }
 
