@@ -779,3 +779,39 @@ func BenchmarkCampaignTraced(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkCampaignProvenance measures the propagation-provenance probe's
+// overhead on the BenchmarkCampaignParallel campaign: the disabled arm is
+// the plain engine (nil probe, every taint hook a nil-check), the enabled
+// arm taints every injection and takes a mechanism verdict. Results are
+// bit-identical in both arms (pinned by TestProvenanceResultInvariance);
+// the acceptance budget is noise on the disabled arm and <10% on the
+// enabled one. The measured numbers are recorded in BENCH_prov.json.
+func BenchmarkCampaignProvenance(b *testing.B) {
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		b.Fatal("crc32 missing")
+	}
+	run := func(b *testing.B, prov bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := gefin.RunWorkload(gefin.Config{
+				Seed:               benchSeed,
+				FaultsPerComponent: 24,
+				Workers:            runtime.NumCPU(),
+				Provenance:         prov,
+				Components: []fault.Component{
+					fault.CompRegFile, fault.CompL1D, fault.CompDTLB,
+				},
+			}, spec, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.GoldenCycles == 0 {
+				b.Fatal("empty campaign result")
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}

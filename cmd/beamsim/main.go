@@ -5,7 +5,7 @@
 // Usage:
 //
 //	beamsim [-workloads crc32,qsort] [-hours 4] [-scale tiny] [-seed 1] [-workers N]
-//	        [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
+//	        [-trace trace.jsonl] [-prov] [-metrics-addr 127.0.0.1:9100]
 //	        [-checkpoint-every 150000] [-max-checkpoints 64]
 //	beamsim -fitraw [-hours 20]
 package main
@@ -44,8 +44,10 @@ func run() error {
 		jsonOut   = flag.String("json", "", "also write the raw campaign result as JSON to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		tracePath = flag.String("trace", "", "stream a per-strike JSONL lifecycle trace to this file")
-		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
-		ckEvery   = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
+		prov      = flag.Bool("prov", false,
+			"attach the propagation-provenance probe: trace records carry a mechanism verdict and lifecycle event chain (results are byte-identical either way)")
+		metrics = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
+		ckEvery = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
 			"golden-run checkpoint-ladder rung spacing in cycles; the ladder fast-forwards steady-state and reboot runs; 0 disables it (results are bit-identical either way)")
 		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
 			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
@@ -70,6 +72,7 @@ func run() error {
 	cfg := beam.Config{
 		Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers,
 		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
+		Provenance: *prov,
 	}
 	var progress beam.Progress
 	if !*quiet {

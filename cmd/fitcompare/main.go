@@ -9,7 +9,7 @@
 //	fitcompare -static                  # Tables I-III only (fast)
 //	fitcompare -counters                # Section IV-D counter deviations
 //	fitcompare [-workloads a,b] [-faults 200] [-hours 2] [-scale tiny] [-workers N]
-//	           [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
+//	           [-trace trace.jsonl] [-prov] [-metrics-addr 127.0.0.1:9100]
 //	           [-checkpoint-every 150000] [-max-checkpoints 64]
 package main
 
@@ -53,8 +53,10 @@ func run() error {
 		jsonOut   = flag.String("json", "", "also write beam+injection results and comparisons as JSON")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		tracePath = flag.String("trace", "", "stream both campaigns' JSONL lifecycle traces to this file")
-		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
-		ckEvery   = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
+		prov      = flag.Bool("prov", false,
+			"attach the propagation-provenance probe to both campaigns (results are byte-identical either way)")
+		metrics = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
+		ckEvery = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
 			"golden-run checkpoint-ladder rung spacing in cycles for both campaigns; 0 disables the ladder (results are bit-identical either way)")
 		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
 			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
@@ -111,6 +113,7 @@ func run() error {
 	beamCfg := beam.Config{
 		Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers,
 		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
+		Provenance: *prov,
 	}
 	var beamProg beam.Progress
 	var gefinProg gefin.Progress
@@ -145,6 +148,7 @@ func run() error {
 	injCfg := gefin.Config{
 		Scale: scale, Seed: *seed, FaultsPerComponent: *faults, Workers: *workers,
 		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
+		Provenance: *prov,
 	}
 	injRes, err := gefin.Run(injCfg, specs, gefinProg)
 	if err != nil {

@@ -7,7 +7,7 @@
 //
 //	gefin [-workloads crc32,qsort] [-faults 1000] [-scale tiny]
 //	      [-seed 1] [-workers N] [-warm] [-tlb-full] [-model detailed] [-quiet]
-//	      [-trace trace.jsonl] [-metrics-addr 127.0.0.1:9100]
+//	      [-trace trace.jsonl] [-prov] [-metrics-addr 127.0.0.1:9100]
 //	      [-checkpoint-every 150000] [-max-checkpoints 64]
 package main
 
@@ -77,8 +77,10 @@ func run() error {
 		jsonOut   = flag.String("json", "", "also write the raw campaign result as JSON to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		tracePath = flag.String("trace", "", "stream a per-injection JSONL lifecycle trace to this file")
-		metrics   = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
-		ckEvery   = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
+		prov      = flag.Bool("prov", false,
+			"attach the propagation-provenance probe: trace records carry a mechanism verdict and lifecycle event chain (results are byte-identical either way)")
+		metrics = flag.String("metrics-addr", "", "serve live metrics and pprof on HOST:PORT")
+		ckEvery = flag.Uint64("checkpoint-every", soc.DefaultCheckpointEvery,
 			"golden-run checkpoint-ladder rung spacing in cycles; 0 disables the ladder (results are bit-identical either way)")
 		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
 			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
@@ -119,6 +121,7 @@ func run() error {
 		CheckpointEvery:    *ckEvery,
 		MaxCheckpoints:     *ckMax,
 		Obs:                ocli.Obs,
+		Provenance:         *prov,
 	}
 	var progress gefin.Progress
 	if !*quiet {
@@ -158,7 +161,7 @@ func run() error {
 		for i := range res.Workloads {
 			w := &res.Workloads[i]
 			spec, _ := bench.ByName(w.Workload)
-			aceRes, err := ace.Run(ace.Config{Scale: scale, Model: model}, spec)
+			aceRes, err := ace.Run(ace.Config{Scale: scale, Model: model, Obs: ocli.Obs}, spec)
 			if err != nil {
 				return err
 			}

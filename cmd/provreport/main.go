@@ -1,0 +1,165 @@
+// Command provreport aggregates a provenance-enabled JSONL lifecycle
+// trace (gefin/beamsim -trace with -prov) into paper-style per-workload
+// masking-mechanism tables: for each workload x component, how many
+// injected bits were never read, overwritten before use, evicted clean,
+// read but logically masked, left latent, or propagated to an SDC, a
+// trap, or a timeout — the "why was this fault masked?" decomposition the
+// paper's Section V discusses qualitatively.
+//
+// Usage:
+//
+//	provreport trace.jsonl
+//	provreport -workload crc32 trace.jsonl
+//	provreport -json report.json trace.jsonl
+//
+// The command exits nonzero when the trace carries no provenance fields
+// at all (e.g. the campaign ran without -prov).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "provreport:", err)
+		os.Exit(1)
+	}
+}
+
+// componentReport is one workload x component row of the JSON export.
+type componentReport struct {
+	Workload   string                  `json:"workload"`
+	Comp       fault.Component         `json:"comp"`
+	Records    int                     `json:"records"`
+	Mechanisms map[fault.Mechanism]int `json:"mechanisms"`
+}
+
+func run() error {
+	var (
+		workload = flag.String("workload", "", "restrict the report to one workload")
+		jsonOut  = flag.String("json", "", "also write the aggregated report as JSON to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: provreport [-workload name] [-json out.json] trace.jsonl")
+	}
+
+	var in io.Reader
+	if path := flag.Arg(0); path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sum, err := obs.ReadSummary(in)
+	if err != nil {
+		return err
+	}
+
+	var rows []componentReport
+	for _, kind := range []string{obs.KindInjection, obs.KindStrike} {
+		k, ok := sum.ByKind[kind]
+		if !ok {
+			continue
+		}
+		for name, w := range k.Workloads {
+			if *workload != "" && name != *workload {
+				continue
+			}
+			for comp, c := range w.Components {
+				if c.MechRecords == 0 {
+					continue
+				}
+				rows = append(rows, componentReport{
+					Workload:   name,
+					Comp:       comp,
+					Records:    c.MechRecords,
+					Mechanisms: c.Mechanisms,
+				})
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("trace carries no provenance fields (was the campaign run with -prov?)")
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Workload != rows[j].Workload {
+			return rows[i].Workload < rows[j].Workload
+		}
+		return rows[i].Comp < rows[j].Comp
+	})
+
+	printTables(rows)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printTables renders one masking-mechanism table per workload: counts and
+// percentages per component, with a workload-wide total row.
+func printTables(rows []componentReport) {
+	mechs := fault.Mechanisms()
+	byWorkload := make(map[string][]componentReport)
+	var names []string
+	for _, r := range rows {
+		if _, ok := byWorkload[r.Workload]; !ok {
+			names = append(names, r.Workload)
+		}
+		byWorkload[r.Workload] = append(byWorkload[r.Workload], r)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("Masking mechanisms — %s\n", name)
+		fmt.Printf("  %-10s %8s", "component", "records")
+		for _, m := range mechs {
+			fmt.Printf(" %22s", m)
+		}
+		fmt.Println()
+		total := componentReport{Mechanisms: make(map[fault.Mechanism]int)}
+		for _, r := range byWorkload[name] {
+			fmt.Printf("  %-10s %8d", r.Comp, r.Records)
+			for _, m := range mechs {
+				fmt.Printf(" %12d (%6.2f%%)", r.Mechanisms[m], pct(r.Mechanisms[m], r.Records))
+			}
+			fmt.Println()
+			total.Records += r.Records
+			for _, m := range mechs {
+				total.Mechanisms[m] += r.Mechanisms[m]
+			}
+		}
+		fmt.Printf("  %-10s %8d", "total", total.Records)
+		for _, m := range mechs {
+			fmt.Printf(" %12d (%6.2f%%)", total.Mechanisms[m], pct(total.Mechanisms[m], total.Records))
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -10,6 +10,11 @@
 //	tracestat trace.jsonl
 //	tracestat -against gefin-result.json trace.jsonl
 //	tracestat -against-beam beam-result.json trace.jsonl
+//	tracestat -require-prov -against gefin-result.json trace.jsonl
+//
+// When the trace carries propagation provenance, the mechanism verdicts
+// are verified to partition the outcome classes exactly (always; the
+// -require-prov flag additionally fails traces without provenance).
 package main
 
 import (
@@ -38,7 +43,9 @@ func run() error {
 	var (
 		against     = flag.String("against", "", "verify the trace against a gefin campaign Result JSON")
 		againstBeam = flag.String("against-beam", "", "verify the trace against a beam campaign Result JSON")
-		quiet       = flag.Bool("quiet", false, "suppress the summary tables; print verification results only")
+		requireProv = flag.Bool("require-prov", false,
+			"fail unless every record carries a provenance mechanism verdict")
+		quiet = flag.Bool("quiet", false, "suppress the summary tables; print verification results only")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -64,7 +71,7 @@ func run() error {
 	if !*quiet {
 		printSummary(sum)
 	}
-	failures := 0
+	failures := verifyProvenance(sum, *requireProv)
 	if *against != "" {
 		failures += verifyInjection(sum, *against)
 	}
@@ -75,6 +82,79 @@ func run() error {
 		return fmt.Errorf("%d verification failure(s)", failures)
 	}
 	return nil
+}
+
+// verifyProvenance cross-checks the mechanism verdicts against the outcome
+// classes: for every workload x component carrying provenance, the verdicts
+// must cover every record (all-or-none per component), each verdict must be
+// consistent with its record's class, and the mechanism tallies must
+// partition the class counts exactly — the masked mechanisms sum to the
+// Masked count, propagated-sdc equals the SDC count, and the trap/timeout
+// routes together equal the two crash counts. With require set, a trace
+// without provenance is itself a failure. Returns the mismatch count.
+func verifyProvenance(s *obs.Summary, require bool) int {
+	failures := 0
+	checked, withProv := 0, 0
+	for _, kind := range []string{obs.KindInjection, obs.KindStrike} {
+		k, ok := s.ByKind[kind]
+		if !ok {
+			continue
+		}
+		for name, w := range k.Workloads {
+			for comp, c := range w.Components {
+				checked++
+				if c.MechRecords == 0 {
+					if require {
+						fmt.Printf("MISMATCH %s/%s: no record carries a mechanism verdict\n", name, comp)
+						failures++
+					}
+					continue
+				}
+				withProv++
+				if c.MechRecords != c.Records {
+					fmt.Printf("MISMATCH %s/%s: %d of %d records carry a mechanism verdict\n",
+						name, comp, c.MechRecords, c.Records)
+					failures++
+				}
+				if c.MechMismatch > 0 {
+					fmt.Printf("MISMATCH %s/%s: %d mechanism verdicts contradict their outcome class\n",
+						name, comp, c.MechMismatch)
+					failures++
+				}
+				masked := 0
+				for _, m := range fault.Mechanisms() {
+					if m.Masking() {
+						masked += c.Mechanisms[m]
+					}
+				}
+				crash := c.Mechanisms[fault.MechPropagatedTrap] + c.Mechanisms[fault.MechPropagatedTimeout]
+				parts := []struct {
+					label string
+					got   int
+					want  int
+				}{
+					{"masked mechanisms", masked, c.Counts[fault.ClassMasked]},
+					{"propagated-sdc", c.Mechanisms[fault.MechPropagatedSDC], c.Counts[fault.ClassSDC]},
+					{"crash mechanisms", crash, c.Counts[fault.ClassAppCrash] + c.Counts[fault.ClassSysCrash]},
+				}
+				for _, p := range parts {
+					if p.got != p.want {
+						fmt.Printf("MISMATCH %s/%s: %s sum to %d, classes count %d\n",
+							name, comp, p.label, p.got, p.want)
+						failures++
+					}
+				}
+			}
+		}
+	}
+	if require && withProv == 0 && failures == 0 {
+		fmt.Println("MISMATCH: trace carries no provenance at all")
+		failures++
+	}
+	if failures == 0 && withProv > 0 {
+		fmt.Printf("OK: mechanism verdicts partition the outcome classes (%d workload x component groups)\n", withProv)
+	}
+	return failures
 }
 
 // printSummary renders the per-kind class tables, the worker distribution,

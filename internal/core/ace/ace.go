@@ -15,10 +15,13 @@ package ace
 import (
 	"fmt"
 
+	"time"
+
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/harness"
 	"armsefi/internal/mem"
+	"armsefi/internal/obs"
 	"armsefi/internal/soc"
 )
 
@@ -27,6 +30,10 @@ type Config struct {
 	Preset soc.Config
 	Model  soc.ModelKind
 	Scale  bench.Scale
+	// Obs attaches the campaign observability layer: each analysis pass
+	// reports its per-component AVF estimate and wall time into the
+	// metrics registry. Nil (the default) disables instrumentation.
+	Obs *obs.Observer `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +114,9 @@ func Run(cfg Config, spec bench.Spec) (*Result, error) {
 		m.Mem.DTLB.DetachLifetimeTracker()
 	}()
 
+	start := time.Now()
 	res := m.Run(wb.Watchdog)
+	wall := time.Since(start)
 	if !res.CleanExit() {
 		return nil, fmt.Errorf("ace: instrumented run of %s failed: %v", spec.Name, res.Outcome)
 	}
@@ -118,12 +127,14 @@ func Run(cfg Config, spec bench.Spec) (*Result, error) {
 	}
 	for _, tr := range trackers {
 		total, read := tr.life.Values()
-		out.Components = append(out.Components, ComponentEstimate{
+		est := ComponentEstimate{
 			Comp:        tr.comp,
 			AVF:         tr.life.Finalize(),
 			ValuesTotal: total,
 			ValuesRead:  read,
-		})
+		}
+		out.Components = append(out.Components, est)
+		cfg.Obs.AceRun(spec.Name, est.Comp, est.AVF, wall)
 	}
 	return out, nil
 }

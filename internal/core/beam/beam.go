@@ -32,6 +32,7 @@ import (
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/harness"
 	"armsefi/internal/core/sched"
+	"armsefi/internal/mem"
 	"armsefi/internal/obs"
 	"armsefi/internal/soc"
 )
@@ -123,6 +124,14 @@ type Config struct {
 	// default) disables all instrumentation at zero cost. Tracing does
 	// not perturb results: strike chains and their physics are unchanged.
 	Obs *obs.Observer `json:"-"`
+	// Provenance attaches a propagation-provenance probe to every strike:
+	// the struck location is tainted at strike time and traced records
+	// carry the mechanism verdict plus the lifecycle event chain. The
+	// probe stays armed through the masked-path follow-up execution (a
+	// latent corruption consumed there is a read), and is disarmed before
+	// the post-crash reboot and the inter-strike restart. Each chain owns
+	// one probe; Results are byte-identical with provenance on or off.
+	Provenance bool
 }
 
 func (c Config) withDefaults() Config {
@@ -293,14 +302,27 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 	steadyState(cfg, wb)
 	m.RestartApp(wb.Snap)
 
+	// The chain owns its probe: it taints only this workbench's arrays.
+	var probe *mem.Probe
+	if cfg.Provenance {
+		probe = new(mem.Probe)
+	}
+
 	for s := 0; s < perComp; s++ {
 		f := fault.Fault{
 			Comp:  comp,
 			Bit:   uint64(rng.Int63n(int64(bits))),
 			Cycle: uint64(rng.Int63n(int64(wb.Golden.Cycles))),
 		}
+		if probe != nil {
+			core := m.Core()
+			probe.Reset(core.Cycles, core.PC)
+		}
 		start := time.Now()
 		runRes := m.RunWithInjection(wb.Watchdog, f.Cycle, func() {
+			if probe != nil {
+				fault.Arm(m, f, probe)
+			}
 			fault.Apply(m, f)
 		})
 		class := fault.Classify(runRes, built.Golden, cfg.Preset.TimerPeriod)
@@ -317,13 +339,15 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 		}
 		out.sims++
 		followup := false
+		var follow soc.Result
 		if class == fault.ClassMasked {
 			out.masked++
 			// The corruption may be latent (e.g., a flipped kernel line
 			// not yet touched): run one follow-up execution on the live
-			// state before declaring it benign.
+			// state before declaring it benign. The probe stays armed: a
+			// latent corruption consumed here is a genuine read.
 			m.RestartApp(wb.Snap)
-			follow := m.Run(wb.Watchdog)
+			follow = m.Run(wb.Watchdog)
 			fclass := fault.Classify(follow, built.Golden, cfg.Preset.TimerPeriod)
 			if fclass != fault.ClassMasked {
 				class = fclass
@@ -335,7 +359,7 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 			out.events[class] += weight
 		}
 		if cfg.Obs.On() {
-			cfg.Obs.Record(obs.Record{
+			rec := obs.Record{
 				Kind:       obs.KindStrike,
 				Workload:   spec.Name,
 				Comp:       f.Comp,
@@ -347,7 +371,29 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 				Class:      class,
 				Weight:     weight,
 				Followup:   followup,
-			}, start, time.Now())
+			}
+			if probe.Armed() {
+				// The verdict reads the result that produced the final
+				// class: the follow-up run when it reclassified.
+				vres := runRes
+				if followup {
+					vres = follow
+				}
+				mech := fault.MechanismOf(class, vres, probe)
+				cfg.Obs.Mechanism(spec.Name, f.Comp, mech)
+				rec.Mechanism = mech.String()
+				if ev, ok := probe.FirstRead(); ok {
+					rec.ReadCycle, rec.ReadPC, rec.ReadReg = ev.Cycle, ev.PC, ev.Reg
+				}
+				rec.ProvEvents = append([]mem.ProbeEvent(nil), probe.Events()...)
+				rec.ProvDropped = probe.Dropped()
+			}
+			cfg.Obs.Record(rec, start, time.Now())
+		}
+		if probe != nil {
+			// Disarm before the reboot/restart below: restores are not
+			// lifecycle events.
+			fault.Disarm(m)
 		}
 		if class == fault.ClassAppCrash || class == fault.ClassSysCrash {
 			// The host power-cycles the board and reboots Linux, then the

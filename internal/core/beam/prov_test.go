@@ -1,0 +1,102 @@
+package beam
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/obs"
+)
+
+// TestBeamProvenancePreservesResults: the provenance probe is purely
+// observational for the beam engine too — the same seeded strike chains
+// produce a bit-identical Result with the probe attached or absent, at
+// any worker count. The probe path runs even without an observer.
+func TestBeamProvenancePreservesResults(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{Seed: 9, BeamHours: 1, StrikesPerComponent: 3, Workers: 1}
+	plain, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pcfg := cfg
+			pcfg.Workers = workers
+			pcfg.Provenance = true
+			prov, err := RunWorkload(pcfg, spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cls := range fault.Classes() {
+				if plain.Events[cls] != prov.Events[cls] {
+					t.Errorf("%v: events %v vs %v", cls, plain.Events[cls], prov.Events[cls])
+				}
+				if plain.ModeledEvents[cls] != prov.ModeledEvents[cls] {
+					t.Errorf("%v: modeled %v vs %v", cls, plain.ModeledEvents[cls], prov.ModeledEvents[cls])
+				}
+			}
+			if plain.MaskedStrikes != prov.MaskedStrikes || plain.SimulatedStrikes != prov.SimulatedStrikes {
+				t.Error("strike accounting changed under provenance")
+			}
+		})
+	}
+}
+
+// TestBeamProvenancePartition: every strike record of a traced
+// provenance beam campaign carries a verdict consistent with its class,
+// and the per-component mechanism tallies partition the per-class
+// record counts exactly — including the masked strikes whose follow-up
+// run consumed latent corruption.
+func TestBeamProvenancePartition(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	var buf bytes.Buffer
+	cfg := Config{Seed: 9, BeamHours: 1, StrikesPerComponent: 3, Workers: 4,
+		Provenance: true, Obs: obs.New(obs.Options{TraceWriter: &buf})}
+	if _, err := RunWorkload(cfg, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Obs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := 0
+	for _, comp := range fault.Components() {
+		c := sum.Component(obs.KindStrike, "crc32", comp)
+		if c.Records == 0 {
+			continue
+		}
+		groups++
+		if c.MechRecords != c.Records {
+			t.Errorf("%v: %d of %d strikes carry a mechanism verdict", comp, c.MechRecords, c.Records)
+		}
+		if c.MechMismatch != 0 {
+			t.Errorf("%v: %d verdicts contradict their outcome class", comp, c.MechMismatch)
+		}
+		masked := 0
+		for _, m := range fault.Mechanisms() {
+			if m.Masking() {
+				masked += c.Mechanisms[m]
+			}
+		}
+		if masked != c.Counts[fault.ClassMasked] {
+			t.Errorf("%v: masked mechanisms sum to %d, Masked count is %d",
+				comp, masked, c.Counts[fault.ClassMasked])
+		}
+		if got := c.Mechanisms[fault.MechPropagatedSDC]; got != c.Counts[fault.ClassSDC] {
+			t.Errorf("%v: propagated-sdc %d, SDC count %d", comp, got, c.Counts[fault.ClassSDC])
+		}
+		crash := c.Mechanisms[fault.MechPropagatedTrap] + c.Mechanisms[fault.MechPropagatedTimeout]
+		if want := c.Counts[fault.ClassAppCrash] + c.Counts[fault.ClassSysCrash]; crash != want {
+			t.Errorf("%v: crash mechanisms sum to %d, crash classes count %d", comp, crash, want)
+		}
+	}
+	if groups == 0 {
+		t.Fatal("trace carries no strike records")
+	}
+}

@@ -1,0 +1,220 @@
+// Propagation provenance: the mechanism taxonomy that explains *why* each
+// injected bit produced its outcome class, and the arm/disarm plumbing that
+// taints the struck array location so the memory and CPU models can report
+// lifecycle events on it (first consuming read, overwrite, clean eviction,
+// writeback migration, corrupted commit).
+//
+// The taxonomy refines the paper's four outcome classes: the dominant
+// Masked class decomposes into the masking mechanisms Section IV discusses
+// (bits never read, bits overwritten before use, clean corrupted lines
+// healed by eviction, corruption read but logically masked), and the error
+// classes carry their propagation route. Mechanisms partition the classes
+// exactly: summing the masked mechanisms of a traced campaign reproduces
+// its Masked count, and likewise for the error classes — the invariant
+// cmd/tracestat cross-checks.
+package fault
+
+import (
+	"fmt"
+
+	"armsefi/internal/mem"
+	"armsefi/internal/soc"
+)
+
+// Mechanism explains how one injected bit reached its outcome class.
+type Mechanism uint8
+
+// The masking/propagation mechanisms. The first five refine ClassMasked;
+// the last three carry the error classes.
+const (
+	// MechNeverRead: the bit landed in dead storage (invalid line/entry,
+	// free physical register) and was never consumed.
+	MechNeverRead Mechanism = 1 + iota
+	// MechOverwritten: live storage, but a write replaced the corrupted
+	// value before anything read it.
+	MechOverwritten
+	// MechEvictedClean: a clean corrupted cache line (or valid TLB entry)
+	// was evicted without writeback, discarding the corruption.
+	MechEvictedClean
+	// MechReadMasked: the corrupted value was consumed, yet the final
+	// output still matched golden — logical masking downstream.
+	MechReadMasked
+	// MechLatentCorrupt: the run finished Masked while the corruption was
+	// still sitting unread in the array — latent state the paper's beam
+	// runs would carry into the next strike.
+	MechLatentCorrupt
+	// MechPropagatedSDC: the corruption reached program output.
+	MechPropagatedSDC
+	// MechPropagatedTrap: the corruption raised a trap/panic (app or
+	// system crash via an exception path).
+	MechPropagatedTrap
+	// MechPropagatedTimeout: the corruption hung the run (crash class via
+	// the watchdog).
+	MechPropagatedTimeout
+
+	// NumMechanisms is the number of mechanism verdicts.
+	NumMechanisms = 8
+)
+
+var mechanismNames = map[Mechanism]string{
+	MechNeverRead:         "never-read",
+	MechOverwritten:       "overwritten",
+	MechEvictedClean:      "evicted-clean",
+	MechReadMasked:        "read-logically-masked",
+	MechLatentCorrupt:     "latent-corrupt",
+	MechPropagatedSDC:     "propagated-sdc",
+	MechPropagatedTrap:    "propagated-due-trap",
+	MechPropagatedTimeout: "propagated-due-timeout",
+}
+
+// String returns the mechanism's short name.
+func (m Mechanism) String() string {
+	if s, ok := mechanismNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mechanism(%d)", uint8(m))
+}
+
+// Mechanisms lists the verdicts in presentation order: masking mechanisms
+// first, then the propagation routes.
+func Mechanisms() []Mechanism {
+	return []Mechanism{
+		MechNeverRead, MechOverwritten, MechEvictedClean, MechReadMasked,
+		MechLatentCorrupt, MechPropagatedSDC, MechPropagatedTrap,
+		MechPropagatedTimeout,
+	}
+}
+
+// MechanismByName resolves a short name.
+func MechanismByName(name string) (Mechanism, bool) {
+	for m, n := range mechanismNames {
+		if n == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m Mechanism) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *Mechanism) UnmarshalText(b []byte) error {
+	v, ok := MechanismByName(string(b))
+	if !ok {
+		return fmt.Errorf("fault: unknown mechanism %q", b)
+	}
+	*m = v
+	return nil
+}
+
+// Masking reports whether the mechanism refines ClassMasked (as opposed to
+// carrying one of the propagation routes).
+func (m Mechanism) Masking() bool {
+	switch m {
+	case MechNeverRead, MechOverwritten, MechEvictedClean, MechReadMasked, MechLatentCorrupt:
+		return true
+	}
+	return false
+}
+
+// Matches reports whether the mechanism verdict is consistent with the
+// outcome class — the partition cmd/tracestat cross-checks against the
+// engine's per-class counts. Both crash classes map to the trap/timeout
+// mechanisms: the app-vs-system split is the watchdog's heartbeat call,
+// orthogonal to the propagation route.
+func (m Mechanism) Matches(cls Class) bool {
+	switch m {
+	case MechPropagatedSDC:
+		return cls == ClassSDC
+	case MechPropagatedTrap, MechPropagatedTimeout:
+		return cls == ClassAppCrash || cls == ClassSysCrash
+	case MechNeverRead, MechOverwritten, MechEvictedClean, MechReadMasked, MechLatentCorrupt:
+		return cls == ClassMasked
+	default:
+		return false
+	}
+}
+
+// regTainter is implemented by both CPU models: taint the register file
+// location holding a linearly-addressed bit.
+type regTainter interface {
+	TaintRegBit(bit uint64, p *mem.Probe)
+	ClearRegTaint()
+}
+
+// Arm taints the fault's target location in the machine's arrays so that
+// subsequent accesses report lifecycle events to the probe. Call it at the
+// injection instant, immediately before Apply (liveness is resolved on the
+// pre-flip state). It reports false for targets without taint support (the
+// ablation-only tag arrays), leaving the probe disarmed.
+func Arm(m *soc.Machine, f Fault, p *mem.Probe) bool {
+	switch f.Comp {
+	case CompRegFile:
+		rt, ok := m.Core().(regTainter)
+		if !ok {
+			return false
+		}
+		rt.TaintRegBit(f.Bit, p)
+	case CompL1I:
+		m.Mem.L1I.TaintDataBit(f.Bit, p)
+	case CompL1D:
+		m.Mem.L1D.TaintDataBit(f.Bit, p)
+	case CompL2:
+		m.Mem.L2.TaintDataBit(f.Bit, p)
+	case CompITLB:
+		m.Mem.ITLB.TaintBit(f.Bit, p)
+	case CompDTLB:
+		m.Mem.DTLB.TaintBit(f.Bit, p)
+	default:
+		return false
+	}
+	return true
+}
+
+// Disarm removes any taint the machine still tracks, in every array the
+// corruption could have migrated to. Call it once the verdict is taken,
+// before the harness restores state for the next experiment — restores are
+// not lifecycle events.
+func Disarm(m *soc.Machine) {
+	if rt, ok := m.Core().(regTainter); ok {
+		rt.ClearRegTaint()
+	}
+	m.Mem.L1I.ClearTaint()
+	m.Mem.L1D.ClearTaint()
+	m.Mem.L2.ClearTaint()
+	m.Mem.ITLB.ClearTaint()
+	m.Mem.DTLB.ClearTaint()
+	m.DRAM.ClearTaint()
+}
+
+// MechanismOf takes the verdict for one injection: the outcome class plus
+// the probe's observed lifecycle. The mapping partitions the outcome
+// classes exactly (Mechanism.Matches holds by construction).
+func MechanismOf(cls Class, res soc.Result, p *mem.Probe) Mechanism {
+	switch cls {
+	case ClassSDC:
+		return MechPropagatedSDC
+	case ClassAppCrash, ClassSysCrash:
+		if res.Outcome == soc.OutcomeTimeout {
+			return MechPropagatedTimeout
+		}
+		return MechPropagatedTrap
+	}
+	// Masked: order matters. A consuming read dominates (the value was
+	// used and logically masked downstream) — checked first because e.g. a
+	// valid-bit flip can make a dead TLB entry consumable, so Consumed()
+	// can hold even when LiveAtFlip() does not.
+	switch {
+	case p.Consumed():
+		return MechReadMasked
+	case !p.LiveAtFlip():
+		return MechNeverRead
+	case p.Alive():
+		return MechLatentCorrupt
+	case p.ClearedBy() == mem.ProbeCleanEvict:
+		return MechEvictedClean
+	default:
+		return MechOverwritten
+	}
+}

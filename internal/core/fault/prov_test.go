@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"testing"
+
+	"armsefi/internal/mem"
+	"armsefi/internal/soc"
+)
+
+func TestMechanismNames(t *testing.T) {
+	mechs := Mechanisms()
+	if len(mechs) != NumMechanisms {
+		t.Fatalf("Mechanisms() lists %d verdicts, NumMechanisms is %d", len(mechs), NumMechanisms)
+	}
+	for _, m := range mechs {
+		back, ok := MechanismByName(m.String())
+		if !ok || back != m {
+			t.Errorf("MechanismByName(%q) = %v, %v", m.String(), back, ok)
+		}
+		text, err := m.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mt Mechanism
+		if err := mt.UnmarshalText(text); err != nil || mt != m {
+			t.Errorf("text round-trip %v: got %v, err %v", m, mt, err)
+		}
+	}
+	if _, ok := MechanismByName("nope"); ok {
+		t.Error("unknown mechanism name resolved")
+	}
+	var mt Mechanism
+	if err := mt.UnmarshalText([]byte("nope")); err == nil {
+		t.Error("unknown mechanism name unmarshalled")
+	}
+}
+
+// TestMechanismMatchesPartition pins the partition property behind the
+// tracestat cross-check: every mechanism is consistent with exactly the
+// outcome classes it refines, and every class is covered.
+func TestMechanismMatchesPartition(t *testing.T) {
+	want := map[Mechanism][]Class{
+		MechNeverRead:         {ClassMasked},
+		MechOverwritten:       {ClassMasked},
+		MechEvictedClean:      {ClassMasked},
+		MechReadMasked:        {ClassMasked},
+		MechLatentCorrupt:     {ClassMasked},
+		MechPropagatedSDC:     {ClassSDC},
+		MechPropagatedTrap:    {ClassAppCrash, ClassSysCrash},
+		MechPropagatedTimeout: {ClassAppCrash, ClassSysCrash},
+	}
+	covered := make(map[Class]bool)
+	for _, m := range Mechanisms() {
+		allowed := make(map[Class]bool)
+		for _, cls := range want[m] {
+			allowed[cls] = true
+			covered[cls] = true
+		}
+		if m.Masking() != allowed[ClassMasked] {
+			t.Errorf("%v: Masking() = %v, refines Masked = %v", m, m.Masking(), allowed[ClassMasked])
+		}
+		for _, cls := range Classes() {
+			if got := m.Matches(cls); got != allowed[cls] {
+				t.Errorf("%v.Matches(%v) = %v, want %v", m, cls, got, allowed[cls])
+			}
+		}
+	}
+	for _, cls := range Classes() {
+		if !covered[cls] {
+			t.Errorf("class %v is not carried by any mechanism", cls)
+		}
+	}
+}
+
+// probeWith builds a probe in a given lifecycle state for the verdict
+// table below.
+func probeWith(live bool, notes func(p *mem.Probe)) *mem.Probe {
+	p := &mem.Probe{}
+	p.Reset(nil, nil)
+	p.Arm(live)
+	if notes != nil {
+		notes(p)
+	}
+	return p
+}
+
+// TestMechanismOfTable pins the verdict mapping, including the
+// consumed-first ordering on the masked branch: a consuming read
+// dominates even when the cell was dead at flip time (a valid-bit flip
+// can make a dead TLB entry consumable).
+func TestMechanismOfTable(t *testing.T) {
+	off := soc.Result{Outcome: soc.OutcomePowerOff}
+	hang := soc.Result{Outcome: soc.OutcomeTimeout}
+	tests := []struct {
+		name  string
+		cls   Class
+		res   soc.Result
+		probe *mem.Probe
+		want  Mechanism
+	}{
+		{"sdc", ClassSDC, off, probeWith(true, nil), MechPropagatedSDC},
+		{"app crash via trap", ClassAppCrash, off, probeWith(true, nil), MechPropagatedTrap},
+		{"app crash via hang", ClassAppCrash, hang, probeWith(true, nil), MechPropagatedTimeout},
+		{"sys crash via trap", ClassSysCrash, soc.Result{Outcome: soc.OutcomeFatal}, probeWith(true, nil), MechPropagatedTrap},
+		{"sys crash via hang", ClassSysCrash, hang, probeWith(true, nil), MechPropagatedTimeout},
+		{"dead cell, never consumed", ClassMasked, off, probeWith(false, nil), MechNeverRead},
+		{"read then masked downstream", ClassMasked, off,
+			probeWith(true, func(p *mem.Probe) { p.NoteRead("l1d") }), MechReadMasked},
+		{"dead cell made consumable, still read", ClassMasked, off,
+			probeWith(false, func(p *mem.Probe) { p.NoteRead("dtlb") }), MechReadMasked},
+		{"latent corruption at run end", ClassMasked, off, probeWith(true, nil), MechLatentCorrupt},
+		{"latent after writeback migration", ClassMasked, off,
+			probeWith(true, func(p *mem.Probe) { p.NoteWriteback("l1d") }), MechLatentCorrupt},
+		{"clean eviction healed it", ClassMasked, off,
+			probeWith(true, func(p *mem.Probe) { p.NoteCleanEvict("l1d") }), MechEvictedClean},
+		{"overwritten before use", ClassMasked, off,
+			probeWith(true, func(p *mem.Probe) { p.NoteOverwrite("l1d") }), MechOverwritten},
+		{"read wins over later overwrite", ClassMasked, off,
+			probeWith(true, func(p *mem.Probe) { p.NoteRead("l1d"); p.NoteOverwrite("l1d") }), MechReadMasked},
+	}
+	for _, tt := range tests {
+		got := MechanismOf(tt.cls, tt.res, tt.probe)
+		if got != tt.want {
+			t.Errorf("%s: MechanismOf = %v, want %v", tt.name, got, tt.want)
+		}
+		if !got.Matches(tt.cls) {
+			t.Errorf("%s: verdict %v contradicts class %v", tt.name, got, tt.cls)
+		}
+	}
+}
+
+// TestArmTargets: every primary component accepts the taint; the
+// ablation-only tag arrays do not (their injections carry no verdict).
+// Disarm must leave the machine reusable.
+func TestArmTargets(t *testing.T) {
+	m := testMachine(t)
+	for _, comp := range Components() {
+		p := &mem.Probe{}
+		p.Reset(nil, nil)
+		f := Fault{Comp: comp, Bit: 12345 % SizeBits(m, comp)}
+		if !Arm(m, f, p) {
+			t.Errorf("%v: Arm refused a primary component", comp)
+		}
+		if !p.Armed() {
+			t.Errorf("%v: probe not armed after Arm", comp)
+		}
+		Disarm(m)
+	}
+	for _, comp := range []Component{CompL1DTag, CompL2Tag} {
+		p := &mem.Probe{}
+		p.Reset(nil, nil)
+		if Arm(m, Fault{Comp: comp, Bit: 1}, p) {
+			t.Errorf("%v: Arm accepted a tag array", comp)
+		}
+		if p.Armed() {
+			t.Errorf("%v: probe armed for an unsupported target", comp)
+		}
+	}
+}

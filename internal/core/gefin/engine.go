@@ -141,6 +141,12 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	drain := func(worker int, w *harness.Workbench) {
 		em.workerStarted()
 		defer em.workerDone()
+		// Each worker owns its probe: arrays it taints are its own
+		// workbench's, so probes never cross goroutines.
+		var probe *mem.Probe
+		if cfg.Provenance {
+			probe = new(mem.Probe)
+		}
 		for {
 			n := atomic.AddInt64(&cursor, 1) - 1
 			if n >= int64(len(order)) {
@@ -148,7 +154,47 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			}
 			i := order[n]
 			p := plan[i]
-			if cfg.Obs.On() {
+			switch {
+			case cfg.Provenance:
+				// The probe runs even without an observer, so the
+				// determinism contract (Results byte-identical with
+				// provenance on or off) is exercised by the probe itself,
+				// not by tracing.
+				start := time.Now()
+				class, ctx, raw, ls := w.RunFaultProv(p.f, cfg.WarmCaches, probe)
+				stop := time.Now()
+				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+				if cfg.Obs.On() {
+					cfg.Obs.LadderRun(ls)
+					rec := obs.Record{
+						Kind:       obs.KindInjection,
+						Workload:   spec.Name,
+						Comp:       p.f.Comp,
+						Bit:        p.f.Bit,
+						Cycle:      p.f.Cycle,
+						Worker:     worker,
+						ExecCycles: raw.Cycles,
+						Outcome:    raw.Outcome.String(),
+						Class:      class,
+						Valid:      ctx.LineValid,
+						Kernel:     ctx.KernelOwned(),
+						FFCycles:   ls.FastForwarded,
+						EarlyExit:  ls.EarlyExit,
+					}
+					if probe.Armed() {
+						mech := fault.MechanismOf(class, raw, probe)
+						cfg.Obs.Mechanism(spec.Name, p.f.Comp, mech)
+						rec.Mechanism = mech.String()
+						if ev, ok := probe.FirstRead(); ok {
+							rec.ReadCycle, rec.ReadPC, rec.ReadReg = ev.Cycle, ev.PC, ev.Reg
+						}
+						rec.ProvEvents = append([]mem.ProbeEvent(nil), probe.Events()...)
+						rec.ProvDropped = probe.Dropped()
+						rec.DivergedAt, rec.ConvergedAt = ls.DivergedAt, ls.ConvergedAt
+					}
+					cfg.Obs.Record(rec, start, stop)
+				}
+			case cfg.Obs.On():
 				start := time.Now()
 				class, ctx, raw, ls := w.RunFaultLadder(p.f, cfg.WarmCaches)
 				stop := time.Now()
@@ -169,7 +215,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 					FFCycles:   ls.FastForwarded,
 					EarlyExit:  ls.EarlyExit,
 				}, start, stop)
-			} else {
+			default:
 				class, ctx, _, _ := w.RunFaultLadder(p.f, cfg.WarmCaches)
 				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
 			}

@@ -61,6 +61,15 @@ type Config struct {
 	// default) disables all instrumentation at zero cost. Tracing does
 	// not perturb results: the fault plan and execution are unchanged.
 	Obs *obs.Observer `json:"-"`
+	// Provenance attaches a propagation-provenance probe to every
+	// injection: the struck location is tainted at flip time, the memory
+	// and CPU models report its lifecycle (first consuming read,
+	// overwrite, clean eviction, writeback, corrupted commit), and each
+	// traced record carries a mechanism verdict explaining its outcome
+	// class. Each worker owns one probe, so any Workers value is safe.
+	// The probe is purely observational: campaign Results are
+	// byte-identical with provenance on or off.
+	Provenance bool
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,141 @@
+package gefin
+
+import (
+	"bytes"
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/mem"
+	"armsefi/internal/obs"
+)
+
+// TestProvenanceResultInvariance is the determinism contract of the
+// provenance probe: the campaign Result is bit-identical with the probe
+// attached or absent, at any worker count, with or without the
+// checkpoint ladder. The probe path runs even without an observer, so
+// this exercises the taint hooks themselves, not just the tracing.
+func TestProvenanceResultInvariance(t *testing.T) {
+	base := Config{
+		FaultsPerComponent: faultsN(24),
+		Seed:               2025,
+		CheckpointEvery:    10_000,
+		Components:         []fault.Component{fault.CompRegFile, fault.CompL1D, fault.CompDTLB},
+	}
+	ref := base
+	ref.Workers = 1
+	a := runSmall(t, ref, "crc32")
+	variants := []struct {
+		name    string
+		workers int
+		every   uint64
+		prov    bool
+	}{
+		{"prov workers=1", 1, 10_000, true},
+		{"prov workers=4", 4, 10_000, true},
+		{"plain workers=4", 4, 10_000, false},
+		{"prov no ladder", 1, 0, true},
+	}
+	for _, v := range variants {
+		cfg := base
+		cfg.Workers = v.workers
+		cfg.CheckpointEvery = v.every
+		cfg.Provenance = v.prov
+		b := runSmall(t, cfg, "crc32")
+		if a.GoldenCycles != b.GoldenCycles || a.GoldenInstrs != b.GoldenInstrs {
+			t.Fatalf("%s: golden runs differ: %d/%d vs %d/%d cycles/instrs",
+				v.name, a.GoldenCycles, a.GoldenInstrs, b.GoldenCycles, b.GoldenInstrs)
+		}
+		equalComponentResults(t, a, b)
+	}
+}
+
+// TestProvenancePartition is the verdict-partition contract over every
+// primary component: in a traced provenance campaign each record carries
+// a mechanism verdict consistent with its class, and the mechanism
+// tallies reproduce the engine's per-class counts exactly — masked
+// mechanisms sum to Masked, propagated-sdc equals SDC, and the
+// trap/timeout routes together equal the two crash counts. Running at
+// four workers under the CI race job doubles as the probe's race test.
+func TestProvenancePartition(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 4
+	cfg.Provenance = true
+	res, sum := runTraced(t, cfg, "crc32")
+	for _, cr := range res.Components {
+		c := sum.Component(obs.KindInjection, "crc32", cr.Comp)
+		if c.MechRecords != cr.N {
+			t.Errorf("%v: %d of %d records carry a mechanism verdict", cr.Comp, c.MechRecords, cr.N)
+		}
+		if c.MechMismatch != 0 {
+			t.Errorf("%v: %d verdicts contradict their outcome class", cr.Comp, c.MechMismatch)
+		}
+		masked := 0
+		for _, m := range fault.Mechanisms() {
+			if m.Masking() {
+				masked += c.Mechanisms[m]
+			}
+		}
+		if masked != cr.Counts[fault.ClassMasked] {
+			t.Errorf("%v: masked mechanisms sum to %d, Masked count is %d",
+				cr.Comp, masked, cr.Counts[fault.ClassMasked])
+		}
+		if got := c.Mechanisms[fault.MechPropagatedSDC]; got != cr.Counts[fault.ClassSDC] {
+			t.Errorf("%v: propagated-sdc %d, SDC count %d", cr.Comp, got, cr.Counts[fault.ClassSDC])
+		}
+		crash := c.Mechanisms[fault.MechPropagatedTrap] + c.Mechanisms[fault.MechPropagatedTimeout]
+		if want := cr.Counts[fault.ClassAppCrash] + cr.Counts[fault.ClassSysCrash]; crash != want {
+			t.Errorf("%v: crash mechanisms sum to %d, crash classes count %d", cr.Comp, crash, want)
+		}
+	}
+}
+
+// TestProvenanceRecordFields drills into individual trace records: every
+// verdict parses, is consistent with its record's class, and a
+// read-logically-masked verdict with an intact event chain carries the
+// consuming read that justifies it.
+func TestProvenanceRecordFields(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 4
+	cfg.Provenance = true
+	var buf bytes.Buffer
+	cfg.Obs = obs.New(obs.Options{TraceWriter: &buf})
+	spec, _ := bench.ByName("qsort")
+	if _, err := RunWorkload(cfg, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Obs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	for _, rec := range recs {
+		m, ok := fault.MechanismByName(rec.Mechanism)
+		if !ok {
+			t.Fatalf("record carries unknown mechanism %q", rec.Mechanism)
+		}
+		if !m.Matches(rec.Class) {
+			t.Errorf("%v/%v: verdict %v contradicts class", rec.Comp, rec.Class, m)
+		}
+		if m == fault.MechReadMasked && rec.ProvDropped == 0 {
+			found := false
+			for _, ev := range rec.ProvEvents {
+				if ev.Kind == mem.ProbeRead {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%v: read-logically-masked verdict without a read event: %+v",
+					rec.Comp, rec.ProvEvents)
+			}
+			reads++
+		}
+	}
+	if reads == 0 {
+		t.Log("no read-logically-masked verdicts in this sample (event-chain check not exercised)")
+	}
+}

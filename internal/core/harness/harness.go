@@ -13,6 +13,7 @@ import (
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
+	"armsefi/internal/mem"
 	"armsefi/internal/soc"
 )
 
@@ -209,6 +210,35 @@ func (w *Workbench) RunFaultLadder(f fault.Fault, warm bool) (fault.Class, fault
 		w.Machine.RestoreSnapshot(w.Snap, warm)
 		res = w.Machine.RunWithInjection(w.Watchdog, f.Cycle, inject)
 	}
+	return fault.Classify(res, w.Built.Golden, w.Machine.Cfg.TimerPeriod), ctx, res, stats
+}
+
+// RunFaultProv runs one fault like RunFaultLadder with a propagation
+// provenance probe attached: the struck location is tainted at the
+// injection instant (liveness resolved pre-flip), the memory and CPU
+// models report lifecycle events on it into p, and all taint is disarmed
+// again before returning — the probe is purely observational and the
+// Result is bit-identical to the probe-free paths. The caller reads the
+// mechanism verdict via fault.MechanismOf; p.Armed() is false for targets
+// without taint support (tag arrays).
+func (w *Workbench) RunFaultProv(f fault.Fault, warm bool, p *mem.Probe) (fault.Class, fault.Context, soc.Result, soc.LadderStats) {
+	core := w.Machine.Core()
+	p.Reset(core.Cycles, core.PC)
+	var ctx fault.Context
+	inject := func() {
+		ctx = fault.ContextOf(w.Machine, f)
+		fault.Arm(w.Machine, f, p)
+		fault.Apply(w.Machine, f)
+	}
+	var res soc.Result
+	var stats soc.LadderStats
+	if w.Ladder != nil && w.Ladder.Warm() == warm {
+		res, stats = w.Machine.RunLadderInjection(w.Ladder, w.Watchdog, f.Cycle, inject)
+	} else {
+		w.Machine.RestoreSnapshot(w.Snap, warm)
+		res = w.Machine.RunWithInjection(w.Watchdog, f.Cycle, inject)
+	}
+	fault.Disarm(w.Machine)
 	return fault.Classify(res, w.Built.Golden, w.Machine.Cfg.TimerPeriod), ctx, res, stats
 }
 

@@ -30,6 +30,12 @@ type Atomic struct {
 	instrs uint64
 
 	trace func(pc uint32, mode isa.Mode, in isa.Instruction)
+
+	// Propagation provenance taint: the architectural register holding an
+	// injected bit. A nil probe means no taint is tracked. Reset wipes the
+	// fields, which is fine: probes are armed mid-run, never across boots.
+	taintProbe *mem.Probe
+	taintReg   int
 }
 
 var _ Core = (*Atomic)(nil)
@@ -87,6 +93,38 @@ func (c *Atomic) FlipRegFileBit(bit uint64) {
 	c.regs[bit/32] ^= 1 << (bit % 32)
 }
 
+// TaintRegBit marks the register holding a linearly-addressed bit (same
+// addressing as FlipRegFileBit) as tainted and arms the probe. The atomic
+// model's architectural registers are always live. Reads commit instantly
+// in this model, so consumption is reported as a single read event.
+func (c *Atomic) TaintRegBit(bit uint64, p *mem.Probe) {
+	bit %= c.RegFileBits()
+	c.taintProbe = p
+	c.taintReg = int(bit / 32)
+	p.Arm(true)
+}
+
+// ClearRegTaint drops any tracked register taint without emitting an event.
+func (c *Atomic) ClearRegTaint() {
+	c.taintProbe = nil
+	c.taintReg = 0
+}
+
+// noteRegRead reports a consuming read of the tainted register.
+func (c *Atomic) noteRegRead(r isa.Reg) {
+	if c.taintProbe != nil && int(r) == c.taintReg {
+		c.taintProbe.NoteReadReg("regfile", c.pc, r.String())
+	}
+}
+
+// noteRegWrite reports that a write killed the tainted register's value.
+func (c *Atomic) noteRegWrite(r isa.Reg) {
+	if c.taintProbe != nil && int(r) == c.taintReg {
+		c.taintProbe.NoteOverwrite("regfile")
+		c.ClearRegTaint()
+	}
+}
+
 // Counters implements Core.
 func (c *Atomic) Counters() Counters {
 	return Counters{
@@ -106,12 +144,17 @@ func (c *Atomic) readReg(r isa.Reg) uint32 {
 	if r == isa.PC {
 		return c.pc + 4
 	}
+	c.noteRegRead(r)
 	return c.regs[r]
 }
 
 // switchMode banks the stack pointer and changes mode.
 func (c *Atomic) switchMode(m isa.Mode) {
+	// Banking a tainted SP copies the corrupted value aside for later
+	// restoration (a consumption), then overwrites the register.
+	c.noteRegRead(isa.SP)
 	c.spBank[bankIndex(c.mode)] = c.regs[isa.SP]
+	c.noteRegWrite(isa.SP)
 	c.regs[isa.SP] = c.spBank[bankIndex(m)]
 	c.mode = m
 }
@@ -180,6 +223,7 @@ func (c *Atomic) exec() int {
 	case isa.FmtBr:
 		target := c.pc + 4 + uint32(in.Imm)*4
 		if in.Op == isa.OpBL {
+			c.noteRegWrite(isa.LR)
 			c.regs[isa.LR] = c.pc + 4
 		}
 		c.pc = target
@@ -212,6 +256,7 @@ func (c *Atomic) execDP(in isa.Instruction) {
 		c.pc = res.Value &^ 1
 		return
 	}
+	c.noteRegWrite(in.Rd)
 	c.regs[in.Rd] = res.Value
 	c.pc += 4
 }
@@ -235,6 +280,7 @@ func (c *Atomic) execMem(in isa.Instruction) int {
 			c.pc = val &^ 1
 			return lat
 		}
+		c.noteRegWrite(in.Rd)
 		c.regs[in.Rd] = val
 		c.pc += 4
 		return lat
@@ -270,6 +316,7 @@ func (c *Atomic) execSys(in isa.Instruction) int {
 			c.takeException(isa.VecUndef, c.pc)
 			return 1
 		}
+		c.noteRegWrite(in.Rd)
 		c.regs[in.Rd] = v
 		c.pc += 4
 		return 1
@@ -383,6 +430,12 @@ func (c *Atomic) SaveArch() ArchState {
 // LoadArch restores architectural state saved by SaveArch, clearing any
 // fatal or wait-for-interrupt condition and zeroing the counters.
 func (c *Atomic) LoadArch(st ArchState) {
+	if c.taintProbe != nil {
+		// An architectural reload wipes the register file (beam restart
+		// path; injection runs disarm before any restore).
+		c.taintProbe.NoteOverwrite("regfile")
+		c.ClearRegTaint()
+	}
 	c.pc = st.PC
 	c.regs = st.Regs
 	c.flags = st.Flags

@@ -89,6 +89,11 @@ type uop struct {
 
 	serialized bool
 	condFail   bool
+
+	// taintRead marks a uop that consumed a tainted physical register
+	// (provenance probe). Deliberately not hashed by hashUop: the probe is
+	// observational, and fingerprints must match with the probe on or off.
+	taintRead bool
 }
 
 // physReg is one physical register file entry. The value array is the
@@ -162,6 +167,14 @@ type Detailed struct {
 	uopPool []*uop
 	decTags []uint32
 	decOps  []isa.Instruction
+
+	// Propagation provenance taint: the physical register holding an
+	// injected bit. taintProbe goes nil once the value is overwritten;
+	// commitProbe survives until disarm so uops that consumed the
+	// corruption can still report their architectural commit.
+	taintProbe  *mem.Probe
+	commitProbe *mem.Probe
+	taintReg    int
 }
 
 var _ Core = (*Detailed)(nil)
@@ -188,6 +201,13 @@ func (c *Detailed) Reset() {
 
 // LoadArch installs committed architectural state into a fresh pipeline.
 func (c *Detailed) LoadArch(st ArchState) {
+	if c.taintProbe != nil {
+		// An architectural reload wipes the whole register file. This is a
+		// live-board event on the beam's restart path; fault-injection runs
+		// disarm before any restore, so the hook never fires there.
+		c.taintProbe.NoteOverwrite("prf")
+		c.taintProbe = nil
+	}
 	cfg := c.cfg
 	if len(c.prf) == cfg.PhysRegs {
 		for i := range c.prf {
@@ -300,6 +320,50 @@ func (c *Detailed) RegFileBits() uint64 { return uint64(c.cfg.PhysRegs) * 32 }
 func (c *Detailed) FlipRegFileBit(bit uint64) {
 	bit %= c.RegFileBits()
 	c.prf[bit/32].value ^= 1 << (bit % 32)
+}
+
+// TaintRegBit marks the physical register holding a linearly-addressed bit
+// (same addressing as FlipRegFileBit) as tainted and arms the probe. The
+// register is live when it is not on the free list: free registers'
+// values are dead by construction (alloc clears ready, writeback stores
+// before any read).
+func (c *Detailed) TaintRegBit(bit uint64, p *mem.Probe) {
+	bit %= c.RegFileBits()
+	reg := int(bit / 32)
+	live := true
+	for _, f := range c.freeList {
+		if f == reg {
+			live = false
+			break
+		}
+	}
+	c.taintProbe = p
+	c.commitProbe = p
+	c.taintReg = reg
+	p.Arm(live)
+}
+
+// ClearRegTaint drops any tracked register taint without emitting an event.
+func (c *Detailed) ClearRegTaint() {
+	c.taintProbe = nil
+	c.commitProbe = nil
+	c.taintReg = 0
+}
+
+// notePhysRead reports a consuming read of the tainted physical register.
+func (c *Detailed) notePhysRead(idx int, pc uint32, reg string) {
+	if c.taintProbe != nil && idx == c.taintReg {
+		c.taintProbe.NoteReadReg("prf", pc, reg)
+	}
+}
+
+// notePhysWrite reports that a write killed the tainted register's value.
+// The commit probe stays attached: an earlier consumer may still retire.
+func (c *Detailed) notePhysWrite(idx int) {
+	if c.taintProbe != nil && idx == c.taintReg {
+		c.taintProbe.NoteOverwrite("prf")
+		c.taintProbe = nil
+	}
 }
 
 // SquashedUops returns how many speculative uops were discarded; exposed
@@ -703,6 +767,27 @@ func (c *Detailed) execute(u *uop, unit *fu) bool {
 	}
 	rdOld := c.readSrc(u.srcRd, u.pc, u.in.Rd)
 
+	if c.taintProbe != nil {
+		// Source reads happen above regardless of the predicate, so a
+		// predicated-off or later-squashed consumer still counts: the
+		// corrupted bits left the register file toward a functional unit,
+		// and the squash is itself a (microarchitectural) logical mask.
+		switch t := c.taintReg; {
+		case u.srcRn == t:
+			u.taintRead = true
+			c.taintProbe.NoteReadReg("prf", u.pc, u.in.Rn.String())
+		case u.srcOp2 == t:
+			u.taintRead = true
+			c.taintProbe.NoteReadReg("prf", u.pc, u.in.Rm.String())
+		case u.srcRd == t:
+			u.taintRead = true
+			c.taintProbe.NoteReadReg("prf", u.pc, u.in.Rd.String())
+		case u.srcFlags == t:
+			u.taintRead = true
+			c.taintProbe.NoteReadReg("prf", u.pc, "flags")
+		}
+	}
+
 	if !pass {
 		// Predicated off: carry the old destination/flag values through.
 		u.condFail = true
@@ -833,10 +918,12 @@ func (c *Detailed) writeback() {
 		}
 		u.state = uopDone
 		if u.dst >= 0 && !u.writesPC {
+			c.notePhysWrite(u.dst)
 			c.prf[u.dst].value = u.value
 			c.prf[u.dst].ready = true
 		}
 		if u.dstFlags >= 0 {
+			c.notePhysWrite(u.dstFlags)
 			c.prf[u.dstFlags].value = packFlags(u.flags)
 			c.prf[u.dstFlags].ready = true
 		}
@@ -891,6 +978,13 @@ func (c *Detailed) commit() {
 		c.rob = c.rob[1:]
 		c.instrs++
 		c.retireRegs(u)
+		if u.taintRead && c.commitProbe != nil {
+			reg := ""
+			if u.dst >= 0 && !u.writesPC {
+				reg = u.in.Rd.String()
+			}
+			c.commitProbe.NoteCommit("prf", u.pc, reg)
+		}
 		if u.isBranch || u.writesPC {
 			c.trainPredictor(u)
 		}
@@ -954,6 +1048,7 @@ func (c *Detailed) trainPredictor(u *uop) {
 func (c *Detailed) commitSerialized(u *uop) {
 	c.rob = c.rob[1:]
 	c.instrs++
+	c.notePhysRead(c.archMap[flagsArch], u.pc, "flags")
 	flags := unpackFlags(c.prf[c.archMap[flagsArch]].value)
 	if !u.in.Cond.Passes(flags) {
 		c.commitPC = u.pc + 4
@@ -977,10 +1072,12 @@ func (c *Detailed) commitSerialized(u *uop) {
 			c.takeException(isa.VecUndef, u.pc)
 			return
 		}
+		c.notePhysWrite(c.archMap[u.in.Rd])
 		c.prf[c.archMap[u.in.Rd]].value = v
 		c.commitPC = u.pc + 4
 		c.resume(u.pc + 4)
 	case isa.OpMSR:
+		c.notePhysRead(c.archMap[u.in.Rd], u.pc, u.in.Rd.String())
 		if !c.sysWrite(isa.SysReg(u.in.Imm), c.prf[c.archMap[u.in.Rd]].value) {
 			c.takeException(isa.VecUndef, u.pc)
 			return
@@ -1038,17 +1135,23 @@ func (c *Detailed) redirect(pc uint32) {
 }
 
 func (c *Detailed) curFlags() isa.Flags {
+	c.notePhysRead(c.archMap[flagsArch], c.commitPC, "flags")
 	return unpackFlags(c.prf[c.archMap[flagsArch]].value)
 }
 
 func (c *Detailed) setCurFlags(f isa.Flags) {
+	c.notePhysWrite(c.archMap[flagsArch])
 	c.prf[c.archMap[flagsArch]].value = packFlags(f)
 }
 
 // switchMode banks the committed stack pointer and changes mode.
 func (c *Detailed) switchMode(m isa.Mode) {
 	sp := c.archMap[isa.SP]
+	// Banking a tainted SP copies the corrupted value aside for later
+	// restoration (a consumption), then overwrites the register.
+	c.notePhysRead(sp, c.commitPC, isa.SP.String())
 	c.spBank[bankIndex(c.mode)] = c.prf[sp].value
+	c.notePhysWrite(sp)
 	c.prf[sp].value = c.spBank[bankIndex(m)]
 	c.mode = m
 }

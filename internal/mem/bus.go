@@ -91,6 +91,11 @@ func (b *Bus) WriteBackLine(addr uint32, buf []byte) (int, bool) {
 	return b.DRAMCycles, true
 }
 
+// AbsorbTaint forwards a migrating taint to the DRAM (provenance probe).
+func (b *Bus) AbsorbTaint(addr uint32, p *Probe) {
+	b.dram.AbsorbTaint(addr, p)
+}
+
 // ReadWord performs an uncached word read, for MMIO.
 func (b *Bus) ReadWord(addr uint32) (uint32, int, bool) {
 	w, ok := b.device(addr)

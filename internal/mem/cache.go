@@ -80,6 +80,14 @@ type Cache struct {
 	life    *LifetimeTracker
 	offBits uint
 	setBits uint
+
+	// Single-location taint for the propagation provenance probe: the
+	// (set, way, line byte) holding an injected bit. A nil probe means no
+	// taint is tracked and every hook reduces to one pointer compare.
+	taintProbe *Probe
+	taintSet   uint32
+	taintWay   int
+	taintOff   uint32
 }
 
 var _ Backing = (*Cache)(nil)
@@ -171,19 +179,47 @@ func (c *Cache) fill(tag, set uint32, addr uint32) (int, int, bool) {
 	if c.life != nil && ln.valid {
 		c.life.evict(c.lifeIdx(set, w), ln.dirty)
 	}
+	var probe *Probe
+	var probeOff uint32
+	if c.taintAt(set, w) {
+		// The victim way holds the taint; the refill recycles it either
+		// way, so resolve the taint's fate before touching the data.
+		probe, probeOff = c.taintProbe, c.taintOff
+		c.ClearTaint()
+	}
 	if ln.valid && ln.dirty {
-		wbLat, ok := c.below.WriteBackLine(c.lineAddr(ln.tag, set), ln.data)
+		wbAddr := c.lineAddr(ln.tag, set)
+		wbLat, ok := c.below.WriteBackLine(wbAddr, ln.data)
 		lat += wbLat
 		if !ok {
 			return w, lat, false
 		}
 		c.stats.Writebacks++
+		if probe != nil {
+			// Dirty eviction: the corruption travelled down with the line
+			// and the level below takes over the taint. The absorb runs
+			// after the writeback so the receiving level does not mistake
+			// the arriving corrupted data for an overwrite of it.
+			probe.NoteWriteback(c.cfg.Name)
+			if abs, ok := c.below.(taintAbsorber); ok {
+				abs.AbsorbTaint(wbAddr+probeOff, probe)
+			}
+			probe = nil
+		}
+	} else if probe != nil && ln.valid {
+		probe.NoteCleanEvict(c.cfg.Name)
+		probe = nil
 	}
 	fLat, ok := c.below.FetchLine(addr&^(c.cfg.LineBytes-1), ln.data)
 	lat += fLat
 	if !ok {
 		ln.valid = false
 		return w, lat, false
+	}
+	if probe != nil {
+		// The flip had landed in an invalid line; the refill replaced the
+		// dead corrupted bits with fresh data.
+		probe.NoteOverwrite(c.cfg.Name)
 	}
 	ln.valid = true
 	ln.dirty = false
@@ -223,10 +259,17 @@ func (c *Cache) access(addr uint32, buf []byte, write bool) (int, bool) {
 		if c.life != nil {
 			c.life.write(c.lifeIdx(set, w))
 		}
+		if c.taintAt(set, w) && off <= c.taintOff && c.taintOff < off+uint32(len(buf)) {
+			c.taintProbe.NoteOverwrite(c.cfg.Name)
+			c.ClearTaint()
+		}
 	} else {
 		copy(buf, ln.data[off:int(off)+len(buf)])
 		if c.life != nil {
 			c.life.read(c.lifeIdx(set, w))
+		}
+		if c.taintAt(set, w) && off <= c.taintOff && c.taintOff < off+uint32(len(buf)) {
+			c.taintProbe.NoteRead(c.cfg.Name)
 		}
 	}
 	return lat, true
@@ -279,6 +322,11 @@ func (c *Cache) FetchLine(addr uint32, buf []byte) (int, bool) {
 	if c.life != nil {
 		c.life.read(c.lifeIdx(set, w))
 	}
+	if c.taintAt(set, w) {
+		// A whole-line fetch always covers the corrupted byte: the upper
+		// level (and ultimately the core) consumed the corruption.
+		c.taintProbe.NoteRead(c.cfg.Name)
+	}
 	return lat, true
 }
 
@@ -307,12 +355,23 @@ func (c *Cache) WriteBackLine(addr uint32, buf []byte) (int, bool) {
 	if c.life != nil {
 		c.life.write(c.lifeIdx(set, w))
 	}
+	if c.taintAt(set, w) {
+		// The upper level's writeback replaces the whole corrupted line.
+		c.taintProbe.NoteOverwrite(c.cfg.Name)
+		c.ClearTaint()
+	}
 	return lat, true
 }
 
 // InvalidateAll drops every line without writing dirty data back. Used when
 // the platform resets between fault-injection runs.
 func (c *Cache) InvalidateAll() {
+	if p := c.taintProbe; p != nil {
+		if c.lines[c.taintSet][c.taintWay].valid {
+			p.NoteCleanEvict(c.cfg.Name)
+		}
+		c.ClearTaint()
+	}
 	for s := range c.lines {
 		for w := range c.lines[s] {
 			if c.life != nil && c.lines[s][w].valid {
@@ -335,7 +394,21 @@ func (c *Cache) FlushAll() {
 		for w := range c.lines[s] {
 			ln := &c.lines[s][w]
 			if ln.valid && ln.dirty {
-				c.below.WriteBackLine(c.lineAddr(ln.tag, uint32(s)), ln.data)
+				wbAddr := c.lineAddr(ln.tag, uint32(s))
+				c.below.WriteBackLine(wbAddr, ln.data)
+				if c.taintAt(uint32(s), w) {
+					p, off := c.taintProbe, c.taintOff
+					c.ClearTaint()
+					p.NoteWriteback(c.cfg.Name)
+					if abs, ok := c.below.(taintAbsorber); ok {
+						abs.AbsorbTaint(wbAddr+off, p)
+					}
+				}
+			} else if c.taintAt(uint32(s), w) {
+				if ln.valid {
+					c.taintProbe.NoteCleanEvict(c.cfg.Name)
+				}
+				c.ClearTaint()
 			}
 			ln.valid = false
 			ln.dirty = false
@@ -356,6 +429,45 @@ func (c *Cache) FlipDataBit(bit uint64) {
 	way := bit % wayBits / lineBits
 	off := bit % lineBits
 	c.lines[set][way].data[off/8] ^= 1 << (off % 8)
+}
+
+// taintAt reports whether the tainted line is (set, w).
+func (c *Cache) taintAt(set uint32, w int) bool {
+	return c.taintProbe != nil && set == c.taintSet && w == c.taintWay
+}
+
+// TaintDataBit marks the line holding a linearly-addressed data bit (same
+// addressing as FlipDataBit) as tainted and arms the probe. Called at flip
+// time, before the flip lands, so liveness reflects the struck state.
+func (c *Cache) TaintDataBit(bit uint64, p *Probe) {
+	lineBits := uint64(c.cfg.LineBytes) * 8
+	wayBits := lineBits * uint64(c.cfg.Ways)
+	c.taintProbe = p
+	c.taintSet = uint32(bit / wayBits % uint64(c.sets))
+	c.taintWay = int(bit % wayBits / lineBits)
+	c.taintOff = uint32(bit % lineBits / 8)
+	p.Arm(c.lines[c.taintSet][c.taintWay].valid)
+}
+
+// ClearTaint drops any tracked taint without emitting an event.
+func (c *Cache) ClearTaint() {
+	c.taintProbe = nil
+	c.taintSet, c.taintWay, c.taintOff = 0, 0, 0
+}
+
+// AbsorbTaint takes over a taint pushed down by the level above's dirty
+// writeback. If the corrupted address is not resident here the taint
+// continues down the hierarchy.
+func (c *Cache) AbsorbTaint(addr uint32, p *Probe) {
+	tag, set, off := c.split(addr)
+	if w := c.lookup(tag, set); w >= 0 {
+		c.taintProbe = p
+		c.taintSet, c.taintWay, c.taintOff = set, w, off
+		return
+	}
+	if abs, ok := c.below.(taintAbsorber); ok {
+		abs.AbsorbTaint(addr, p)
+	}
 }
 
 // ValidLines returns how many lines currently hold valid data.
@@ -506,6 +618,10 @@ func (c *Cache) InvalidateRange(base, size uint32) {
 			if addr >= base && addr < base+size {
 				if c.life != nil {
 					c.life.evict(c.lifeIdx(uint32(s), w), false)
+				}
+				if c.taintAt(uint32(s), w) {
+					c.taintProbe.NoteCleanEvict(c.cfg.Name)
+					c.ClearTaint()
 				}
 				ln.valid = false
 				ln.dirty = false

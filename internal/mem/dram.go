@@ -28,6 +28,12 @@ type DRAM struct {
 	// backing array; nil means no tracking is active.
 	dirty       []uint64
 	trackedBase *byte
+
+	// Propagation provenance taint: the byte a dirty writeback deposited
+	// corruption into. DRAM is never a fault target itself (it sits
+	// outside the beam spot); it only absorbs migrated taint.
+	taintProbe *Probe
+	taintAddr  uint32
 }
 
 // pageShift is the dirty-tracking granule (4 KiB pages).
@@ -66,7 +72,16 @@ func (d *DRAM) ReadLine(addr uint32, buf []byte) bool {
 		return false
 	}
 	copy(buf, d.data[addr:])
+	if d.taintProbe != nil && d.taintOverlaps(addr, uint32(len(buf))) {
+		// A refill consumed the corrupted byte back into the hierarchy.
+		d.taintProbe.NoteRead("dram")
+	}
 	return true
+}
+
+// taintOverlaps reports whether [addr, addr+n) covers the tainted byte.
+func (d *DRAM) taintOverlaps(addr, n uint32) bool {
+	return addr <= d.taintAddr && uint64(d.taintAddr) < uint64(addr)+uint64(n)
 }
 
 // WriteLine stores an aligned line from buf. It reports false if the range
@@ -77,6 +92,10 @@ func (d *DRAM) WriteLine(addr uint32, buf []byte) bool {
 	}
 	copy(d.data[addr:], buf)
 	d.markDirty(addr, uint32(len(buf)))
+	if d.taintProbe != nil && d.taintOverlaps(addr, uint32(len(buf))) {
+		d.taintProbe.NoteOverwrite("dram")
+		d.ClearTaint()
+	}
 	return true
 }
 
@@ -89,6 +108,10 @@ func (d *DRAM) LoadImage(addr uint32, image []byte) error {
 	}
 	copy(d.data[addr:], image)
 	d.markDirty(addr, uint32(len(image)))
+	if d.taintProbe != nil && d.taintOverlaps(addr, uint32(len(image))) {
+		d.taintProbe.NoteOverwrite("dram")
+		d.ClearTaint()
+	}
 	return nil
 }
 
@@ -106,6 +129,10 @@ func (d *DRAM) Poke(addr, val uint32) {
 	if d.Contains(addr, 4) {
 		binary.LittleEndian.PutUint32(d.data[addr:], val)
 		d.markDirty(addr, 4)
+		if d.taintProbe != nil && d.taintOverlaps(addr, 4) {
+			d.taintProbe.NoteOverwrite("dram")
+			d.ClearTaint()
+		}
 	}
 }
 
@@ -125,4 +152,21 @@ func (d *DRAM) Reset() {
 		d.data[i] = 0
 	}
 	d.markDirty(0, uint32(len(d.data)))
+	if d.taintProbe != nil {
+		d.taintProbe.NoteOverwrite("dram")
+		d.ClearTaint()
+	}
+}
+
+// AbsorbTaint takes over a taint pushed out of the cache hierarchy by a
+// dirty writeback of the corrupted line.
+func (d *DRAM) AbsorbTaint(addr uint32, p *Probe) {
+	d.taintProbe = p
+	d.taintAddr = addr
+}
+
+// ClearTaint drops any tracked taint without emitting an event.
+func (d *DRAM) ClearTaint() {
+	d.taintProbe = nil
+	d.taintAddr = 0
 }

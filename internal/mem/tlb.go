@@ -77,6 +77,11 @@ type TLB struct {
 	tick    uint64
 	stats   TLBStats
 	life    *LifetimeTracker
+
+	// Propagation provenance taint: the entry holding an injected bit.
+	// A nil probe means no taint is tracked.
+	taintProbe *Probe
+	taintIdx   int
 }
 
 // NewTLB builds a TLB with the given number of entries.
@@ -109,6 +114,13 @@ func (t *TLB) Lookup(vpn uint32) (TLBEntry, bool) {
 			if t.life != nil {
 				t.life.read(i)
 			}
+			if t.taintProbe != nil && i == t.taintIdx {
+				// A hit on the corrupted entry consumes the (possibly
+				// wrong) translation. A corrupted VPN tag never reaches
+				// here: it fails to match, which is exactly the benign
+				// miss-and-rewalk the paper reports.
+				t.taintProbe.NoteRead(t.name)
+			}
 			return t.entries[i], true
 		}
 	}
@@ -133,10 +145,24 @@ func (t *TLB) Insert(vpn, ppn uint32, user, writable bool) {
 	if t.life != nil {
 		t.life.open(victim, false)
 	}
+	if t.taintProbe != nil && victim == t.taintIdx {
+		// A fresh translation replaced the corrupted entry.
+		t.taintProbe.NoteOverwrite(t.name)
+		t.ClearTaint()
+	}
 }
 
 // InvalidateAll clears every entry (TLB flush on reset).
 func (t *TLB) InvalidateAll() {
+	if p := t.taintProbe; p != nil {
+		if t.entries[t.taintIdx].Valid() {
+			p.NoteCleanEvict(t.name)
+		} else {
+			// The flush zeroes the corrupted bits of an invalid entry.
+			p.NoteOverwrite(t.name)
+		}
+		t.ClearTaint()
+	}
 	for i := range t.entries {
 		if t.life != nil && t.entries[i].Valid() {
 			t.life.evict(i, false)
@@ -209,3 +235,19 @@ const (
 // EntryValid reports whether the indexed entry currently holds a
 // translation (injection-context observability).
 func (t *TLB) EntryValid(i int) bool { return t.entries[i].Valid() }
+
+// TaintBit marks the entry holding a linearly-addressed bit (same
+// addressing as FlipBit) as tainted and arms the probe. Called at flip
+// time, before the flip lands, so liveness reflects the struck state —
+// note a valid-bit flip can make a dead entry consumable afterwards.
+func (t *TLB) TaintBit(bit uint64, p *Probe) {
+	t.taintProbe = p
+	t.taintIdx = int(bit / TLBEntryBits % uint64(len(t.entries)))
+	p.Arm(t.entries[t.taintIdx].Valid())
+}
+
+// ClearTaint drops any tracked taint without emitting an event.
+func (t *TLB) ClearTaint() {
+	t.taintProbe = nil
+	t.taintIdx = 0
+}

@@ -183,6 +183,35 @@ func (o *Observer) LadderRun(s soc.LadderStats) {
 	}
 }
 
+// Mechanism records one propagation-provenance verdict into the
+// mechanism x component x workload counter grid. Only provenance-enabled
+// campaigns call it, so the on-demand counter resolution is off the
+// plain hot path.
+func (o *Observer) Mechanism(workload string, comp fault.Component, m fault.Mechanism) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter("armsefi_mechanism_total",
+		"propagation-provenance mechanism verdicts by workload and component",
+		"workload", workload, "comp", comp.String(), "mechanism", m.String()).Inc()
+}
+
+// AceRun records one ACE-analysis lifetime pass: the workload/component
+// analysed and its resulting AVF estimate (0..1). ACE runs are golden
+// replays, not injections, so they feed gauges rather than the outcome
+// grid.
+func (o *Observer) AceRun(workload string, comp fault.Component, avf float64, wall time.Duration) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter("armsefi_ace_runs_total", "ACE lifetime-analysis passes",
+		"workload", workload, "comp", comp.String()).Inc()
+	o.reg.Gauge("armsefi_ace_avf", "ACE-estimated architectural vulnerability factor",
+		"workload", workload, "comp", comp.String()).Set(avf)
+	o.reg.Histogram("armsefi_ace_wall_seconds", "wall time of one ACE analysis pass",
+		DefaultLatencyBuckets()).Observe(wall.Seconds())
+}
+
 // CloneTry records one clone-slot acquisition attempt; the granted/denied
 // ratio is the clone-acquire success rate.
 func (o *Observer) CloneTry(ok bool) {

@@ -30,6 +30,16 @@ type ComponentSummary struct {
 	// experiments; MaxWallNS the slowest single experiment.
 	WallNS    int64
 	MaxWallNS int64
+	// Mechanisms tallies the propagation-provenance verdicts of records
+	// that carry one; MechRecords counts those records. For a provenance
+	// campaign the mechanism tallies must partition Counts exactly —
+	// cmd/tracestat enforces it.
+	Mechanisms  map[fault.Mechanism]int
+	MechRecords int
+	// MechMismatch counts records whose mechanism verdict contradicts
+	// their outcome class (or failed to parse) — always zero for a
+	// healthy trace.
+	MechMismatch int
 }
 
 // WorkloadSummary aggregates one workload's trace records.
@@ -72,7 +82,11 @@ func (s *Summary) Component(kind, workload string, comp fault.Component) *Compon
 			return c
 		}
 	}
-	return &ComponentSummary{Counts: map[fault.Class]int{}, Weights: map[fault.Class]float64{}}
+	return &ComponentSummary{
+		Counts:     map[fault.Class]int{},
+		Weights:    map[fault.Class]float64{},
+		Mechanisms: map[fault.Mechanism]int{},
+	}
 }
 
 // WallQuantile returns the q-th latency quantile (0..1) in nanoseconds.
@@ -150,13 +164,25 @@ func Summarize(recs []Record) *Summary {
 		c, ok := w.Components[rec.Comp]
 		if !ok {
 			c = &ComponentSummary{
-				Counts:  make(map[fault.Class]int),
-				Weights: make(map[fault.Class]float64),
+				Counts:     make(map[fault.Class]int),
+				Weights:    make(map[fault.Class]float64),
+				Mechanisms: make(map[fault.Mechanism]int),
 			}
 			w.Components[rec.Comp] = c
 		}
 		c.Records++
 		c.Counts[rec.Class]++
+		if rec.Mechanism != "" {
+			c.MechRecords++
+			if m, ok := fault.MechanismByName(rec.Mechanism); ok {
+				c.Mechanisms[m]++
+				if !m.Matches(rec.Class) {
+					c.MechMismatch++
+				}
+			} else {
+				c.MechMismatch++
+			}
+		}
 		if rec.Weight != 0 && rec.Class != fault.ClassMasked {
 			c.Weights[rec.Class] += rec.Weight
 		}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"armsefi/internal/core/fault"
+	"armsefi/internal/mem"
 )
 
 // Record kinds.
@@ -72,6 +73,25 @@ type Record struct {
 	// short by golden convergence (ladder-enabled campaigns only).
 	FFCycles  uint64 `json:"ff_cycles,omitempty"`
 	EarlyExit bool   `json:"early_exit,omitempty"`
+	// Mechanism is the propagation-provenance verdict explaining how the
+	// injected bit reached its class (provenance-enabled runs only; every
+	// traced record of a provenance campaign carries one).
+	Mechanism string `json:"mechanism,omitempty"`
+	// ReadCycle/ReadPC/ReadReg locate the first consuming read of the
+	// corrupted value (provenance records whose chain has a read event).
+	ReadCycle uint64 `json:"read_cycle,omitempty"`
+	ReadPC    uint32 `json:"read_pc,omitempty"`
+	ReadReg   string `json:"read_reg,omitempty"`
+	// ProvEvents is the probe's bounded lifecycle event chain; ProvDropped
+	// counts events past the cap.
+	ProvEvents  []mem.ProbeEvent `json:"prov_events,omitempty"`
+	ProvDropped int              `json:"prov_dropped,omitempty"`
+	// DivergedAt/ConvergedAt are the ladder-rung cycles bounding the
+	// fault's architecturally-visible lifetime: the first rung whose
+	// fingerprint diverged from golden and the rung where the run
+	// converged back (ladder-enabled provenance runs only).
+	DivergedAt  uint64 `json:"diverged_at,omitempty"`
+	ConvergedAt uint64 `json:"converged_at,omitempty"`
 }
 
 // traceFlushBytes is the buffered-writer batch size.

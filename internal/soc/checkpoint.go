@@ -87,6 +87,14 @@ type LadderStats struct {
 	// TailSaved is the cycle count not executed thanks to the early exit
 	// (golden total minus the convergence cycle).
 	TailSaved uint64
+	// DivergedAt is the cycle of the first rung crossing whose fingerprint
+	// did NOT match golden — the cheapest upper bound on when the fault's
+	// architectural effect was still visible. Zero when every crossing
+	// matched (or none was compared).
+	DivergedAt uint64
+	// ConvergedAt is the cycle of the rung where the early exit fired
+	// (zero when the run never converged back onto the golden ladder).
+	ConvergedAt uint64
 }
 
 // Warm reports which restore mode the ladder was captured under.
@@ -333,7 +341,11 @@ func (m *Machine) RunLadderInjection(l *Ladder, watchdog, injectAt uint64, injec
 					m.DRAM.EqualBaseDelta(l.base.dram, r.dram) {
 					stats.EarlyExit = true
 					stats.TailSaved = l.Final.Cycles - abs
+					stats.ConvergedAt = abs
 					return l.Final, stats
+				}
+				if stats.DivergedAt == 0 {
+					stats.DivergedAt = abs
 				}
 			}
 		}
