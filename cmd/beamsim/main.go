@@ -7,6 +7,7 @@
 //	beamsim [-workloads crc32,qsort] [-hours 4] [-scale tiny] [-seed 1] [-workers N]
 //	        [-trace trace.jsonl] [-prov] [-metrics-addr 127.0.0.1:9100]
 //	        [-checkpoint-every 150000] [-max-checkpoints 64]
+//	        [-cpuprofile cpu.prof] [-memprofile mem.prof] [-ladder-debug]
 //	beamsim -fitraw [-hours 20]
 package main
 
@@ -51,6 +52,10 @@ func run() error {
 			"golden-run checkpoint-ladder rung spacing in cycles; the ladder fast-forwards steady-state and reboot runs; 0 disables it (results are bit-identical either way)")
 		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
 			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
+		ladderDebug = flag.Bool("ladder-debug", false,
+			"cross-check every incremental dirty-page convergence check against the exact full-image comparison (slow; panics on disagreement)")
 	)
 	flag.Parse()
 
@@ -69,9 +74,14 @@ func run() error {
 		return err
 	}
 	defer ocli.Close()
+	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
 	cfg := beam.Config{
 		Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers,
-		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
+		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax,
+		LadderDebug: *ladderDebug, Obs: ocli.Obs,
 		Provenance: *prov,
 	}
 	var progress beam.Progress
@@ -91,6 +101,9 @@ func run() error {
 	if *fitRaw {
 		measured, res, err := beam.MeasureFITRaw(cfg, progress)
 		if err != nil {
+			return err
+		}
+		if err := stopProfiles(); err != nil {
 			return err
 		}
 		fmt.Printf("FIT-raw probe: %d mismatches over fluence %.3g n/cm^2\n",
@@ -114,6 +127,9 @@ func run() error {
 	}
 	res, err := beam.Run(cfg, specs, progress)
 	if err != nil {
+		return err
+	}
+	if err := stopProfiles(); err != nil { // profile the campaign, not reporting
 		return err
 	}
 	if err := ocli.Close(); err != nil { // flush the trace before reporting

@@ -9,6 +9,7 @@
 //	      [-seed 1] [-workers N] [-warm] [-tlb-full] [-model detailed] [-quiet]
 //	      [-trace trace.jsonl] [-prov] [-metrics-addr 127.0.0.1:9100]
 //	      [-checkpoint-every 150000] [-max-checkpoints 64]
+//	      [-cpuprofile cpu.prof] [-memprofile mem.prof] [-ladder-debug]
 package main
 
 import (
@@ -84,6 +85,10 @@ func run() error {
 			"golden-run checkpoint-ladder rung spacing in cycles; 0 disables the ladder (results are bit-identical either way)")
 		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
 			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
+		ladderDebug = flag.Bool("ladder-debug", false,
+			"cross-check every incremental dirty-page convergence check against the exact full-image comparison (slow; panics on disagreement)")
 	)
 	flag.Parse()
 
@@ -110,6 +115,10 @@ func run() error {
 		return err
 	}
 	defer ocli.Close()
+	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
 	cfg := gefin.Config{
 		Model:              model,
 		Scale:              scale,
@@ -120,6 +129,7 @@ func run() error {
 		TLBFullEntry:       *tlbFull,
 		CheckpointEvery:    *ckEvery,
 		MaxCheckpoints:     *ckMax,
+		LadderDebug:        *ladderDebug,
 		Obs:                ocli.Obs,
 		Provenance:         *prov,
 	}
@@ -141,6 +151,9 @@ func run() error {
 	}
 	res, err := gefin.Run(cfg, specs, progress)
 	if err != nil {
+		return err
+	}
+	if err := stopProfiles(); err != nil { // profile the campaign, not reporting
 		return err
 	}
 	if err := ocli.Close(); err != nil { // flush the trace before reporting

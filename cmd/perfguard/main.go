@@ -1,0 +1,182 @@
+// Command perfguard gates CI on simulation-kernel performance. It parses
+// `go test -bench` output and checks it against the committed baseline
+// record (BENCH_kernel.json): ratio guards compare two benchmarks from
+// the SAME run — e.g. the checkpointed campaign arm against the plain
+// arm — so the check is independent of the host the CI job happens to
+// land on, and allocation guards pin allocs/op at exactly zero for the
+// steady-state cycle loop. A ratio more than -tolerance below the
+// recorded value fails the build.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | perfguard -baseline BENCH_kernel.json
+//	perfguard -baseline BENCH_kernel.json -input bench.txt [-tolerance 0.10]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// RatioGuard asserts fast is at least Recorded*(1-tolerance) times
+// faster than slow, measured within one run.
+type RatioGuard struct {
+	Name string `json:"name"`
+	// Fast and Slow name the two benchmarks, without the -GOMAXPROCS
+	// suffix (e.g. "BenchmarkCampaignCheckpointed/checkpointed").
+	Fast string `json:"fast"`
+	Slow string `json:"slow"`
+	// Recorded is the ns(slow)/ns(fast) ratio measured when the baseline
+	// was committed.
+	Recorded float64 `json:"recorded"`
+}
+
+// Guards is the machine-checked part of the baseline record.
+type Guards struct {
+	Ratios []RatioGuard `json:"ratios"`
+	// ZeroAllocs lists benchmarks whose allocs/op must be exactly zero
+	// (requires -benchmem or b.ReportAllocs in the benchmark).
+	ZeroAllocs []string `json:"zero_allocs"`
+}
+
+// Baseline is the subset of BENCH_kernel.json perfguard reads; the file
+// may carry additional documentation fields.
+type Baseline struct {
+	Guards Guards `json:"guards"`
+}
+
+// measurement is one parsed benchmark result line.
+type measurement struct {
+	nsPerOp  float64
+	allocs   float64
+	hasAlloc bool
+}
+
+// parseBench extracts ns/op and allocs/op per benchmark name from go
+// test -bench output. Repeated lines (-count > 1) keep the fastest
+// ns/op and the worst allocs/op.
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := make(map[string]measurement)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so names are host-independent.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m, seen := out[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if !seen || v < m.nsPerOp {
+					m.nsPerOp = v
+				}
+			case "allocs/op":
+				if !m.hasAlloc || v > m.allocs {
+					m.allocs = v
+				}
+				m.hasAlloc = true
+			}
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_kernel.json", "committed baseline record with the guard definitions")
+		inputPath    = flag.String("input", "", "benchmark output file (default: stdin)")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional regression below each recorded ratio")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", *baselinePath, err)
+	}
+	if len(base.Guards.Ratios) == 0 && len(base.Guards.ZeroAllocs) == 0 {
+		return fmt.Errorf("%s defines no guards", *baselinePath)
+	}
+
+	var in io.Reader = os.Stdin
+	if *inputPath != "" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+
+	failed := 0
+	for _, g := range base.Guards.Ratios {
+		fast, okF := results[g.Fast]
+		slow, okS := results[g.Slow]
+		if !okF || !okS {
+			fmt.Printf("FAIL %s: missing benchmark results (%s and/or %s not in input)\n", g.Name, g.Fast, g.Slow)
+			failed++
+			continue
+		}
+		ratio := slow.nsPerOp / fast.nsPerOp
+		floor := g.Recorded * (1 - *tolerance)
+		verdict := "ok  "
+		if ratio < floor {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %s: %.2fx (recorded %.2fx, floor %.2fx)\n", verdict, g.Name, ratio, g.Recorded, floor)
+	}
+	for _, name := range base.Guards.ZeroAllocs {
+		m, ok := results[name]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL zero-alloc %s: not in input\n", name)
+			failed++
+		case !m.hasAlloc:
+			fmt.Printf("FAIL zero-alloc %s: no allocs/op column (run with -benchmem or ReportAllocs)\n", name)
+			failed++
+		case m.allocs != 0:
+			fmt.Printf("FAIL zero-alloc %s: %.0f allocs/op, want 0\n", name, m.allocs)
+			failed++
+		default:
+			fmt.Printf("ok   zero-alloc %s: 0 allocs/op\n", name)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d perf guard(s) failed", failed)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perfguard:", err)
+		os.Exit(1)
+	}
+}

@@ -104,6 +104,12 @@ type Config struct {
 	// MaxCheckpoints caps the rungs a ladder may hold; zero picks
 	// soc.DefaultMaxCheckpoints.
 	MaxCheckpoints int
+	// LadderDebug enables the ladder's debug cross-check: every
+	// incremental dirty-page DRAM convergence check also runs the exact
+	// full-image comparison and panics on disagreement. Process-wide and
+	// sticky once set (it flips soc.LadderDebugCompare); slow — for
+	// debugging and tests only.
+	LadderDebug bool
 	// StrikesPerComponent stratifies the modeled-strike Monte Carlo: that
 	// many strikes are simulated per component and each carries the weight
 	// expected_strikes(component)/samples. Zero derives a default from the
@@ -161,6 +167,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery > 0 && c.MaxCheckpoints == 0 {
 		c.MaxCheckpoints = soc.DefaultMaxCheckpoints
+	}
+	if c.LadderDebug {
+		// One-way: never cleared here, so concurrent campaigns with the
+		// knob off cannot race a debugging campaign's setting away.
+		soc.LadderDebugCompare.Store(true)
 	}
 	c.Workers = sched.Resolve(c.Workers)
 	return c

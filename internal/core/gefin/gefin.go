@@ -49,6 +49,12 @@ type Config struct {
 	// MaxCheckpoints caps the rungs a ladder may hold (the effective
 	// spacing grows to fit); zero picks soc.DefaultMaxCheckpoints.
 	MaxCheckpoints int
+	// LadderDebug enables the ladder's debug cross-check: every
+	// incremental dirty-page DRAM convergence check also runs the exact
+	// full-image comparison and panics on disagreement. Process-wide and
+	// sticky once set (it flips soc.LadderDebugCompare); slow — for
+	// debugging and tests only.
+	LadderDebug bool
 	// Workers bounds the campaign's worker pool. Each worker owns its own
 	// harness.Workbench (machines are stateful and cannot be shared); the
 	// full fault list is pre-drawn from the seeded RNG before execution
@@ -90,6 +96,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery > 0 && c.MaxCheckpoints == 0 {
 		c.MaxCheckpoints = soc.DefaultMaxCheckpoints
+	}
+	if c.LadderDebug {
+		// One-way: never cleared here, so concurrent campaigns with the
+		// knob off cannot race a debugging campaign's setting away.
+		soc.LadderDebugCompare.Store(true)
 	}
 	c.Workers = sched.Resolve(c.Workers)
 	return c

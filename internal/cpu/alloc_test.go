@@ -1,0 +1,41 @@
+package cpu
+
+import "testing"
+
+// TestDetailedCycleLoopZeroAllocs pins the steady-state allocation
+// contract of the out-of-order cycle loop: once the uop pool has reached
+// its steady population (ROBSize+FetchQueue) and the working set is
+// cache-resident, StepCycle must not touch the heap. The program mixes
+// ALU ops, predicted branches, and a load/store pair so the fetch queue,
+// ROB, issue queue, LSU disambiguation scan, and commit path all run.
+func TestDetailedCycleLoopZeroAllocs(t *testing.T) {
+	src := `
+	ldr r4, =0x8000
+	mov r0, #0
+	ldr r1, =1000000
+loop:
+	add r0, r0, r1
+	str r0, [r4]
+	ldr r2, [r4]
+	eor r3, r2, r1
+	sub r1, #1
+	cmp r1, #0
+	bgt loop
+done:
+	b done
+`
+	prog := assembleAt(t, src)
+	sys := load(t, prog)
+	c := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+	// Warm-up: fill caches and the uop pool, pass the branch predictor's
+	// cold mispredictions.
+	runSteps(c, 20_000)
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 5_000; i++ {
+			c.StepCycle()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle loop allocated %.1f objects per 5000 cycles; want 0", allocs)
+	}
+}

@@ -64,3 +64,25 @@ func BenchmarkDetailedModel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDetailedCycleLoop isolates the steady-state cycle loop: the
+// core is built and warmed outside the timer (caches filled, uop pool at
+// its steady population), and each op is one simulated cycle.
+// ReportAllocs pins the allocation-free contract — cmd/perfguard fails
+// the build if allocs/op ever leaves zero.
+func BenchmarkDetailedCycleLoop(b *testing.B) {
+	prog := benchProg(b)
+	sys := bareSystem()
+	if err := sys.Bus.DRAM().LoadImage(prog.TextBase, prog.Text); err != nil {
+		b.Fatal(err)
+	}
+	c := NewDetailed(sys, NeverIRQ{}, DetailedConfig{})
+	for c.Cycles() < 10_000 {
+		c.StepCycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.StepCycle()
+	}
+}

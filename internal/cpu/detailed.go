@@ -51,10 +51,13 @@ const (
 
 // uop is one in-flight instruction.
 type uop struct {
-	in   isa.Instruction
-	pc   uint32
-	seq  uint64
-	info isa.OpInfo
+	in  isa.Instruction
+	pc  uint32
+	seq uint64
+	// info points into isa's read-only opcode table (or at the shared
+	// zero entry for exception uops); it is never mutated or hashed —
+	// in.Encode() already pins everything it derives from.
+	info *isa.OpInfo
 
 	// Renamed operands; -1 means unused.
 	srcRn, srcOp2, srcRd, srcFlags int
@@ -103,6 +106,47 @@ type physReg struct {
 	ready bool
 }
 
+// uopRing is a fixed-capacity FIFO over a power-of-two circular buffer.
+// The fetch queue and ROB are bounded by config, so after LoadArch the
+// ring never grows: pushes and pops are masked index arithmetic with no
+// slice reallocation, unlike the `q = q[1:]` + append rolling-slice
+// pattern, whose backing array walks forward and forces a fresh
+// allocation every few hundred cycles.
+type uopRing struct {
+	buf  []*uop
+	head int
+	n    int
+}
+
+func (r *uopRing) init(capacity int) {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	if len(r.buf) != size {
+		r.buf = make([]*uop, size)
+	}
+	r.head, r.n = 0, 0
+}
+
+func (r *uopRing) len() int      { return r.n }
+func (r *uopRing) at(i int) *uop { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+func (r *uopRing) front() *uop   { return r.buf[r.head] }
+
+func (r *uopRing) push(u *uop) {
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = u
+	r.n++
+}
+
+func (r *uopRing) pop() *uop {
+	u := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return u
+}
+
+func (r *uopRing) clear() { r.head, r.n = 0, 0 }
+
 // btbEntry is one branch-target-buffer slot.
 type btbEntry struct {
 	valid  bool
@@ -148,9 +192,9 @@ type Detailed struct {
 	fetchPC    uint32
 	fetchStall uint64 // no fetch until this cycle (I$ miss modelling)
 	fetchHalt  bool   // stop fetching until the next redirect (exception/serialise)
-	fetchQ     []*uop
+	fetchQ     uopRing
 
-	rob            []*uop
+	rob            uopRing
 	iq             []*uop
 	executing      []*uop
 	fus            []fu
@@ -164,9 +208,10 @@ type Detailed struct {
 	branchMisses uint64
 	squashed     uint64
 
-	uopPool []*uop
-	decTags []uint32
-	decOps  []isa.Instruction
+	uopPool  []*uop
+	decTags  []uint32
+	decOps   []isa.Instruction
+	hashFree []bool // HashMicro scratch: free-list membership, reused across calls
 
 	// Propagation provenance taint: the physical register holding an
 	// injected bit. taintProbe goes nil once the value is overwritten;
@@ -225,6 +270,9 @@ func (c *Detailed) LoadArch(st ArchState) {
 			c.decTags[i] = 0xFFFFFFFF
 		}
 	}
+	if cap(c.freeList) < cfg.PhysRegs {
+		c.freeList = make([]int, 0, cfg.PhysRegs)
+	}
 	c.freeList = c.freeList[:0]
 	for i := numArch; i < cfg.PhysRegs; i++ {
 		c.freeList = append(c.freeList, i)
@@ -251,8 +299,32 @@ func (c *Detailed) LoadArch(st ArchState) {
 	c.wfi = false
 	c.fetchHalt = false
 	c.fetchStall = 0
-	c.fetchQ = c.fetchQ[:0]
-	c.rob = c.rob[:0]
+	// Recycle any in-flight uops before clearing the queues, then top the
+	// pool up to the maximum live population (ROB + fetch queue; issue
+	// queue and executing entries alias ROB ones). After this, the cycle
+	// loop never needs a fresh heap allocation: every alloc is a pool pop.
+	for i := 0; i < c.fetchQ.len(); i++ {
+		c.recycleUop(c.fetchQ.at(i))
+	}
+	for i := 0; i < c.rob.len(); i++ {
+		c.recycleUop(c.rob.at(i))
+	}
+	c.fetchQ.init(cfg.FetchQueue)
+	c.rob.init(cfg.ROBSize)
+	maxLive := cfg.ROBSize + cfg.FetchQueue
+	if cap(c.uopPool) < maxLive {
+		pool := make([]*uop, 0, maxLive+8)
+		c.uopPool = append(pool, c.uopPool...)
+	}
+	for len(c.uopPool) < maxLive {
+		c.uopPool = append(c.uopPool, new(uop))
+	}
+	if cap(c.iq) < cfg.IQSize {
+		c.iq = make([]*uop, 0, cfg.IQSize)
+	}
+	if cap(c.executing) < cfg.ROBSize {
+		c.executing = make([]*uop, 0, cfg.ROBSize)
+	}
 	c.iq = c.iq[:0]
 	c.executing = c.executing[:0]
 	c.serializeBlock = false
@@ -444,12 +516,13 @@ func (c *Detailed) fetch() {
 	if c.fetchHalt || c.cycle < c.fetchStall {
 		return
 	}
+	l1iHit := c.mem.L1I.HitCycles()
 	for n := 0; n < c.cfg.Width; n++ {
-		if len(c.fetchQ) >= c.cfg.FetchQueue {
+		if c.fetchQ.len() >= c.cfg.FetchQueue {
 			return
 		}
 		word, lat, fault := c.mem.FetchInstr(c.fetchPC, c.mode)
-		if lat > c.mem.L1I.Config().HitCycles {
+		if lat > l1iHit {
 			c.fetchStall = c.cycle + uint64(lat)
 		}
 		u := c.allocUop()
@@ -460,22 +533,22 @@ func (c *Detailed) fetch() {
 			u.exc = isa.VecPrefetchAbort
 			u.excRet = c.fetchPC
 			u.state = uopDone
-			c.fetchQ = append(c.fetchQ, u)
+			c.fetchQ.push(u)
 			c.fetchHalt = true
 			return
 		}
 		in := c.decode(word)
 		u.in = in
-		if !in.Op.Valid() {
+		u.info = in.Op.InfoRef()
+		if u.info.Format == 0 { // undefined opcode, same test as Op.Valid
 			u.hasExc = true
 			u.exc = isa.VecUndef
 			u.excRet = c.fetchPC
 			u.state = uopDone
-			c.fetchQ = append(c.fetchQ, u)
+			c.fetchQ.push(u)
 			c.fetchHalt = true
 			return
 		}
-		u.info = in.Op.Info()
 		u.setFlags = in.SetFlags || u.info.SetsFlags
 		next := c.fetchPC + 4
 		switch {
@@ -502,12 +575,12 @@ func (c *Detailed) fetch() {
 			// System ops redirect or drain; stop fetching past them.
 			c.fetchHalt = true
 		}
-		c.fetchQ = append(c.fetchQ, u)
+		c.fetchQ.push(u)
 		c.fetchPC = next
 		if c.fetchHalt {
 			return
 		}
-		if lat > c.mem.L1I.Config().HitCycles {
+		if lat > l1iHit {
 			return // line miss: no more fetches this cycle
 		}
 	}
@@ -521,14 +594,19 @@ func (c *Detailed) nextSeq() uint64 {
 // allocUop draws a zeroed uop from the pool; recycleUop returns one. All
 // in-flight uops are recycled at commit or flush, which keeps the
 // per-cycle allocation rate near zero.
+// noOpInfo is the metadata fresh uops carry until fetch decodes them;
+// exception uops keep it (their zero-valued fields are all dispatch ever
+// consults).
+var noOpInfo = new(isa.OpInfo)
+
 func (c *Detailed) allocUop() *uop {
 	if n := len(c.uopPool); n > 0 {
 		u := c.uopPool[n-1]
 		c.uopPool = c.uopPool[:n-1]
-		*u = uop{}
+		*u = uop{info: noOpInfo}
 		return u
 	}
-	return &uop{}
+	return &uop{info: noOpInfo}
 }
 
 func (c *Detailed) recycleUop(u *uop) {
@@ -552,38 +630,38 @@ func (c *Detailed) decode(word uint32) isa.Instruction {
 
 func (c *Detailed) dispatch() {
 	for n := 0; n < c.cfg.Width; n++ {
-		if len(c.fetchQ) == 0 || c.serializeBlock {
+		if c.fetchQ.len() == 0 || c.serializeBlock {
 			return
 		}
-		u := c.fetchQ[0]
+		u := c.fetchQ.front()
 		if u.hasExc {
-			if len(c.rob) >= c.cfg.ROBSize {
+			if c.rob.len() >= c.cfg.ROBSize {
 				return
 			}
-			c.fetchQ = c.fetchQ[1:]
+			c.fetchQ.pop()
 			u.srcRn, u.srcOp2, u.srcRd, u.srcFlags = -1, -1, -1, -1
 			u.dst, u.dstFlags = -1, -1
-			c.rob = append(c.rob, u)
+			c.rob.push(u)
 			continue
 		}
 		if u.info.Serialise && u.in.Op != isa.OpNOP {
-			if len(c.rob) > 0 {
+			if c.rob.len() > 0 {
 				return // wait for the ROB to drain
 			}
-			c.fetchQ = c.fetchQ[1:]
+			c.fetchQ.pop()
 			c.renameSerialized(u)
-			c.rob = append(c.rob, u)
+			c.rob.push(u)
 			c.serializeBlock = true
 			return
 		}
-		if len(c.rob) >= c.cfg.ROBSize || len(c.iq) >= c.cfg.IQSize {
+		if c.rob.len() >= c.cfg.ROBSize || len(c.iq) >= c.cfg.IQSize {
 			return
 		}
 		if !c.rename(u) {
 			return // out of physical registers
 		}
-		c.fetchQ = c.fetchQ[1:]
-		c.rob = append(c.rob, u)
+		c.fetchQ.pop()
+		c.rob.push(u)
 		c.iq = append(c.iq, u)
 	}
 }
@@ -683,7 +761,8 @@ func (c *Detailed) uopReady(u *uop) bool {
 func (c *Detailed) olderStoreBlocks(u *uop, addr, size uint32) (uint32, bool, bool) {
 	var fwdVal uint32
 	fwd := false
-	for _, s := range c.rob {
+	for i, n := 0, c.rob.len(); i < n; i++ {
+		s := c.rob.at(i)
 		if s.seq >= u.seq {
 			break
 		}
@@ -706,9 +785,9 @@ func (c *Detailed) olderStoreBlocks(u *uop, addr, size uint32) (uint32, bool, bo
 }
 
 func (c *Detailed) issue() {
-	issued := 0
+	issued, maxIssue := 0, c.cfg.Width+1
 	for _, u := range c.iq {
-		if issued >= c.cfg.Width+1 {
+		if issued >= maxIssue {
 			break
 		}
 		if u.state != uopDispatched || !c.uopReady(u) {
@@ -944,10 +1023,10 @@ func (c *Detailed) commit() {
 		return
 	}
 	for n := 0; n < c.cfg.Width; n++ {
-		if len(c.rob) == 0 {
+		if c.rob.len() == 0 {
 			return
 		}
-		u := c.rob[0]
+		u := c.rob.front()
 		if u.state != uopDone {
 			return
 		}
@@ -975,7 +1054,7 @@ func (c *Detailed) commit() {
 				c.commitStall = c.cycle + uint64(lat)
 			}
 		}
-		c.rob = c.rob[1:]
+		c.rob.pop()
 		c.instrs++
 		c.retireRegs(u)
 		if u.taintRead && c.commitProbe != nil {
@@ -1046,7 +1125,7 @@ func (c *Detailed) trainPredictor(u *uop) {
 // commitSerialized performs a system op's effect at commit. The ROB holds
 // only this uop, so committed state may be mutated directly.
 func (c *Detailed) commitSerialized(u *uop) {
-	c.rob = c.rob[1:]
+	c.rob.pop()
 	c.instrs++
 	c.notePhysRead(c.archMap[flagsArch], u.pc, "flags")
 	flags := unpackFlags(c.prf[c.archMap[flagsArch]].value)
@@ -1096,7 +1175,12 @@ func (c *Detailed) resume(pc uint32) {
 	c.serializeBlock = false
 	c.fetchHalt = false
 	c.fetchPC = pc
-	c.fetchQ = c.fetchQ[:0]
+	// The fetch queue is empty by construction (fetch halted at the
+	// serialising op); recycle any residue so the pool never shrinks.
+	for i := 0; i < c.fetchQ.len(); i++ {
+		c.recycleUop(c.fetchQ.at(i))
+	}
+	c.fetchQ.clear()
 }
 
 // ------------------------------------------------- flush and exceptions ---
@@ -1105,11 +1189,12 @@ func (c *Detailed) resume(pc uint32) {
 // committed state. This is the commit-time recovery path for branch
 // mispredictions, exceptions, and interrupts.
 func (c *Detailed) flush() {
-	c.squashed += uint64(len(c.fetchQ))
-	for _, u := range c.fetchQ {
-		c.recycleUop(u)
+	c.squashed += uint64(c.fetchQ.len())
+	for i := 0; i < c.fetchQ.len(); i++ {
+		c.recycleUop(c.fetchQ.at(i))
 	}
-	for _, u := range c.rob {
+	for i := 0; i < c.rob.len(); i++ {
+		u := c.rob.at(i)
 		c.squashed++
 		if u.dst >= 0 && !u.writesPC {
 			c.freeList = append(c.freeList, u.dst)
@@ -1119,8 +1204,8 @@ func (c *Detailed) flush() {
 		}
 		c.recycleUop(u)
 	}
-	c.fetchQ = c.fetchQ[:0]
-	c.rob = c.rob[:0]
+	c.fetchQ.clear()
+	c.rob.clear()
 	c.iq = c.iq[:0]
 	c.executing = c.executing[:0]
 	c.renameMap = c.archMap

@@ -128,10 +128,14 @@ type detailedMicro struct {
 	fetchPC    uint32
 	fetchStall uint64
 	fetchHalt  bool
-	fetchQ     []*uop
-	rob        []*uop
-	iq         []*uop
-	executing  []*uop
+
+	// Queues are stored by value; issue-queue and executing entries alias
+	// ROB ones in the live pipeline, so they are saved as ROB positions
+	// and re-aliased on restore.
+	fetchQ    []uop
+	rob       []uop
+	iq        []int32
+	executing []int32
 
 	fuBusy         []uint64
 	serializeBlock bool
@@ -141,24 +145,22 @@ type detailedMicro struct {
 	btb       []btbEntry
 }
 
-// copyUops deep-copies uop slices through an aliasing map so that a uop
-// referenced from several queues (ROB + issue queue, ROB + executing) maps
-// to a single copy, preserving the pointer identity the pipeline relies
-// on.
-func copyUops(dst []*uop, src []*uop, seen map[*uop]*uop, alloc func() *uop) []*uop {
-	for _, u := range src {
-		v, ok := seen[u]
-		if !ok {
-			v = alloc()
-			*v = *u
-			seen[u] = v
+// robIndex returns a uop's position in the ROB. The ROB is ordered by the
+// monotonically-assigned sequence number, so a binary search suffices;
+// callers only pass uops that are ROB members (issue queue and executing
+// entries alias ROB ones by construction).
+func (c *Detailed) robIndex(u *uop) int {
+	lo, hi := 0, c.rob.len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.rob.at(mid).seq < u.seq {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		dst = append(dst, v)
 	}
-	return dst
+	return lo
 }
-
-func newUop() *uop { return new(uop) }
 
 // SaveMicro captures the detailed core mid-run, deep-copying every
 // in-flight structure; the result shares nothing with the live pipeline.
@@ -174,11 +176,22 @@ func (c *Detailed) SaveMicro() *MicroState {
 	}
 	m.prf = append([]physReg(nil), c.prf...)
 	m.freeList = append([]int(nil), c.freeList...)
-	seen := make(map[*uop]*uop, len(c.fetchQ)+len(c.rob))
-	m.fetchQ = copyUops(nil, c.fetchQ, seen, newUop)
-	m.rob = copyUops(nil, c.rob, seen, newUop)
-	m.iq = copyUops(nil, c.iq, seen, newUop)
-	m.executing = copyUops(nil, c.executing, seen, newUop)
+	m.fetchQ = make([]uop, c.fetchQ.len())
+	for i := range m.fetchQ {
+		m.fetchQ[i] = *c.fetchQ.at(i)
+	}
+	m.rob = make([]uop, c.rob.len())
+	for i := range m.rob {
+		m.rob[i] = *c.rob.at(i)
+	}
+	m.iq = make([]int32, len(c.iq))
+	for i, u := range c.iq {
+		m.iq[i] = int32(c.robIndex(u))
+	}
+	m.executing = make([]int32, len(c.executing))
+	for i, u := range c.executing {
+		m.executing[i] = int32(c.robIndex(u))
+	}
 	m.fuBusy = make([]uint64, len(c.fus))
 	for i := range c.fus {
 		m.fuBusy[i] = c.fus[i].busyUntil
@@ -196,11 +209,11 @@ func (c *Detailed) LoadMicro(ms *MicroState) {
 	m := ms.detailed
 	// Recycle the uops currently in flight; fetchQ and ROB together own
 	// every live uop (issue queue and executing entries alias ROB ones).
-	for _, u := range c.fetchQ {
-		c.recycleUop(u)
+	for i := 0; i < c.fetchQ.len(); i++ {
+		c.recycleUop(c.fetchQ.at(i))
 	}
-	for _, u := range c.rob {
-		c.recycleUop(u)
+	for i := 0; i < c.rob.len(); i++ {
+		c.recycleUop(c.rob.at(i))
 	}
 	c.cycle = m.cycle
 	c.seq = m.seq
@@ -228,11 +241,31 @@ func (c *Detailed) LoadMicro(ms *MicroState) {
 	c.fetchHalt = m.fetchHalt
 	c.serializeBlock = m.serializeBlock
 	c.commitStall = m.commitStall
-	seen := make(map[*uop]*uop, len(m.fetchQ)+len(m.rob))
-	c.fetchQ = copyUops(c.fetchQ[:0], m.fetchQ, seen, c.allocUop)
-	c.rob = copyUops(c.rob[:0], m.rob, seen, c.allocUop)
-	c.iq = copyUops(c.iq[:0], m.iq, seen, c.allocUop)
-	c.executing = copyUops(c.executing[:0], m.executing, seen, c.allocUop)
+	if len(c.fetchQ.buf) == 0 {
+		// A core that never went through LoadArch: size the rings now.
+		c.fetchQ.init(c.cfg.FetchQueue)
+		c.rob.init(c.cfg.ROBSize)
+	}
+	c.fetchQ.clear()
+	for i := range m.fetchQ {
+		u := c.allocUop()
+		*u = m.fetchQ[i]
+		c.fetchQ.push(u)
+	}
+	c.rob.clear()
+	for i := range m.rob {
+		u := c.allocUop()
+		*u = m.rob[i]
+		c.rob.push(u)
+	}
+	c.iq = c.iq[:0]
+	for _, ri := range m.iq {
+		c.iq = append(c.iq, c.rob.at(int(ri)))
+	}
+	c.executing = c.executing[:0]
+	for _, ri := range m.executing {
+		c.executing = append(c.executing, c.rob.at(int(ri)))
+	}
 	for i := range c.fus {
 		c.fus[i].busyUntil = m.fuBusy[i]
 	}
@@ -273,7 +306,13 @@ func (c *Detailed) HashMicro(h *mem.Hasher) {
 	for _, v := range c.archMap {
 		h.Word(uint64(v))
 	}
-	free := make([]bool, len(c.prf))
+	if cap(c.hashFree) < len(c.prf) {
+		c.hashFree = make([]bool, len(c.prf))
+	}
+	free := c.hashFree[:len(c.prf)]
+	for i := range free {
+		free[i] = false
+	}
 	for _, i := range c.freeList {
 		free[i] = true
 	}
@@ -305,26 +344,26 @@ func (c *Detailed) HashMicro(h *mem.Hasher) {
 	h.Bool(c.fetchHalt)
 	h.Bool(c.serializeBlock)
 	h.Word(expired(c.commitStall, c.cycle))
-	idx := make(map[*uop]uint64, len(c.fetchQ)+len(c.rob))
-	h.Word(uint64(len(c.fetchQ)))
-	for i, u := range c.fetchQ {
-		idx[u] = uint64(i)
-		hashUop(h, u)
+	nfq := c.fetchQ.len()
+	h.Word(uint64(nfq))
+	for i := 0; i < nfq; i++ {
+		hashUop(h, c.fetchQ.at(i))
 	}
-	h.Word(uint64(len(c.rob)))
-	for i, u := range c.rob {
-		idx[u] = uint64(len(c.fetchQ) + i)
-		hashUop(h, u)
+	h.Word(uint64(c.rob.len()))
+	for i, n := 0, c.rob.len(); i < n; i++ {
+		hashUop(h, c.rob.at(i))
 	}
 	// Issue-queue and executing membership by position: which ROB entries
-	// are still waiting vs in flight is timing-live state.
+	// are still waiting vs in flight is timing-live state. The positions
+	// hashed here (fetch-queue length + ROB index) match what the old
+	// map-based identity scheme produced, so fingerprints are stable.
 	h.Word(uint64(len(c.iq)))
 	for _, u := range c.iq {
-		h.Word(idx[u])
+		h.Word(uint64(nfq + c.robIndex(u)))
 	}
 	h.Word(uint64(len(c.executing)))
 	for _, u := range c.executing {
-		h.Word(idx[u])
+		h.Word(uint64(nfq + c.robIndex(u)))
 	}
 	for i := range c.fus {
 		h.Word(expired(c.fus[i].busyUntil, c.cycle))

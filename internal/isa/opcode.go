@@ -187,6 +187,22 @@ func (op Op) Info() OpInfo {
 // Valid reports whether op is a defined operation.
 func (op Op) Valid() bool { return op > opInvalid && op < NumOps && opInfos[op].Format != 0 }
 
+// undefInfo is the shared zero metadata InfoRef hands out for undefined
+// opcodes.
+var undefInfo OpInfo
+
+// InfoRef returns the static metadata for op as a pointer into the shared
+// read-only table, avoiding the copy Info performs — the detailed core
+// consults the metadata for every fetched instruction. Undefined opcodes
+// (Valid() false) yield a zero OpInfo whose Format is 0, exactly like
+// Info. Callers must not mutate the referent.
+func (op Op) InfoRef() *OpInfo {
+	if op == opInvalid || op >= NumOps {
+		return &undefInfo
+	}
+	return &opInfos[op]
+}
+
 // String returns the assembly mnemonic.
 func (op Op) String() string {
 	if op.Valid() {

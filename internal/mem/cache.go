@@ -81,6 +81,13 @@ type Cache struct {
 	offBits uint
 	setBits uint
 
+	// Packed mirror of each line's tag and valid bit, indexed set-major
+	// (set*Ways + way). The lookup hot path scans these contiguous arrays
+	// instead of striding across the much larger cacheLine structs; every
+	// tag/valid mutation goes through syncMirror to keep them coherent.
+	mirTags  []uint32
+	mirValid []bool
+
 	// Single-location taint for the propagation provenance probe: the
 	// (set, way, line byte) holding an injected bit. A nil probe means no
 	// taint is tracked and every hook reduces to one pointer compare.
@@ -109,7 +116,27 @@ func NewCache(cfg CacheConfig, below Backing) *Cache {
 		}
 		c.lines[s] = ways
 	}
+	c.mirTags = make([]uint32, int(c.sets)*cfg.Ways)
+	c.mirValid = make([]bool, int(c.sets)*cfg.Ways)
 	return c
+}
+
+// syncMirror refreshes the packed tag/valid mirror of one way; call after
+// any mutation of a line's tag or valid bit.
+func (c *Cache) syncMirror(set uint32, w int) {
+	ln := &c.lines[set][w]
+	i := int(set)*c.cfg.Ways + w
+	c.mirTags[i] = ln.tag
+	c.mirValid[i] = ln.valid
+}
+
+// syncMirrorAll rebuilds the whole mirror (bulk restores).
+func (c *Cache) syncMirrorAll() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			c.syncMirror(uint32(s), w)
+		}
+	}
 }
 
 func log2(v uint32) uint {
@@ -123,6 +150,10 @@ func log2(v uint32) uint {
 
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// HitCycles returns the hit latency without copying the whole config —
+// the fetch stage reads it every simulated cycle.
+func (c *Cache) HitCycles() int { return c.cfg.HitCycles }
 
 // Stats returns the event counters accumulated since the last reset.
 func (c *Cache) Stats() CacheStats { return c.stats }
@@ -138,11 +169,16 @@ func (c *Cache) split(addr uint32) (tag, set, off uint32) {
 	return tag, set, off
 }
 
-// lookup returns the way index holding addr, or -1.
+// lookup returns the way index holding addr, or -1. It scans the packed
+// mirror in way order and returns the FIRST valid match: a tag-array fault
+// (FlipTagBit) can create duplicate tags within a set, and which way wins
+// is machine-visible state, so any fast path must preserve first-match
+// semantics exactly.
 func (c *Cache) lookup(tag, set uint32) int {
-	for w := range c.lines[set] {
-		ln := &c.lines[set][w]
-		if ln.valid && ln.tag == tag {
+	base := int(set) * c.cfg.Ways
+	tags := c.mirTags[base : base+c.cfg.Ways]
+	for w := range tags {
+		if tags[w] == tag && c.mirValid[base+w] {
 			return w
 		}
 	}
@@ -214,6 +250,7 @@ func (c *Cache) fill(tag, set uint32, addr uint32) (int, int, bool) {
 	lat += fLat
 	if !ok {
 		ln.valid = false
+		c.syncMirror(set, w)
 		return w, lat, false
 	}
 	if probe != nil {
@@ -224,6 +261,7 @@ func (c *Cache) fill(tag, set uint32, addr uint32) (int, int, bool) {
 	ln.valid = true
 	ln.dirty = false
 	ln.tag = tag
+	c.syncMirror(set, w)
 	if c.life != nil {
 		c.life.open(c.lifeIdx(set, w), false)
 	}
@@ -381,6 +419,9 @@ func (c *Cache) InvalidateAll() {
 			c.lines[s][w].dirty = false
 		}
 	}
+	for i := range c.mirValid {
+		c.mirValid[i] = false
+	}
 	c.stats = CacheStats{}
 	// With no valid lines left there is no LRU order to preserve, so reset
 	// the clock: cold restores become bit-deterministic (equal absolute LRU
@@ -413,6 +454,9 @@ func (c *Cache) FlushAll() {
 			ln.valid = false
 			ln.dirty = false
 		}
+	}
+	for i := range c.mirValid {
+		c.mirValid[i] = false
 	}
 }
 
@@ -512,6 +556,7 @@ func (c *Cache) FlipTagBit(bit uint64) {
 	set := line / uint64(c.cfg.Ways) % uint64(c.sets)
 	way := line % uint64(c.cfg.Ways)
 	c.lines[set][way].tag ^= 1 << (bit % perLine)
+	c.syncMirror(uint32(set), int(way))
 }
 
 // TotalTagBits returns the size of the tag array in bits.
@@ -571,6 +616,7 @@ func (c *Cache) RestoreState(st *CacheState) {
 	}
 	c.tick = st.tick
 	c.stats = st.stats
+	c.syncMirrorAll()
 }
 
 // MemoryBytes estimates the retained size of the saved content
@@ -625,6 +671,7 @@ func (c *Cache) InvalidateRange(base, size uint32) {
 				}
 				ln.valid = false
 				ln.dirty = false
+				c.syncMirror(uint32(s), w)
 			}
 		}
 	}

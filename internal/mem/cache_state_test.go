@@ -1,0 +1,105 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// checkMirror verifies the packed tag/valid mirror agrees with the line
+// array, and that the mirror-backed lookup returns the FIRST matching way
+// of a set — FlipTagBit can alias two ways onto one tag, and the
+// machine-visible semantics are first-match.
+func checkMirror(t *testing.T, c *Cache) {
+	t.Helper()
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			i := s*c.cfg.Ways + w
+			if c.mirTags[i] != c.lines[s][w].tag || c.mirValid[i] != c.lines[s][w].valid {
+				t.Fatalf("mirror out of sync at set %d way %d: mirror (%#x,%v) line (%#x,%v)",
+					s, w, c.mirTags[i], c.mirValid[i], c.lines[s][w].tag, c.lines[s][w].valid)
+			}
+		}
+		// Reference first-match scan over the line array itself.
+		for w := range c.lines[s] {
+			ln := &c.lines[s][w]
+			if !ln.valid {
+				continue
+			}
+			want := -1
+			for v := range c.lines[s] {
+				if c.lines[s][v].valid && c.lines[s][v].tag == ln.tag {
+					want = v
+					break
+				}
+			}
+			if got := c.lookup(ln.tag, uint32(s)); got != want {
+				t.Fatalf("lookup(tag %#x, set %d) = way %d, want first match %d", ln.tag, s, got, want)
+			}
+		}
+	}
+}
+
+// statesEqual deep-compares two cache states way by way.
+func statesEqual(a, b *CacheState) bool {
+	if a.tick != b.tick || a.stats != b.stats || len(a.lines) != len(b.lines) {
+		return false
+	}
+	for s := range a.lines {
+		for w := range a.lines[s] {
+			x, y := a.lines[s][w], b.lines[s][w]
+			if x.valid != y.valid || x.dirty != y.dirty || x.tag != y.tag || x.lru != y.lru ||
+				!bytes.Equal(x.data, y.data) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCacheStateRoundTripRandomized drives a cache through random reads,
+// writes, tag flips, invalidations, and flushes; snapshots it; diverges
+// it further; and then restores — the restored cache must be deep-equal
+// to the snapshot with a coherent lookup mirror at every step.
+func TestCacheStateRoundTripRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dram := NewDRAM(1 << 16)
+	bus := NewBus(dram)
+	c := NewCache(smallCacheCfg("c"), bus)
+
+	step := func() {
+		addr := uint32(rng.Intn(1<<14)) &^ 3
+		switch rng.Intn(10) {
+		case 0:
+			c.FlipTagBit(uint64(rng.Int63n(int64(c.TotalTagBits()))))
+		case 1:
+			c.InvalidateRange(addr&^31, 256)
+		case 2:
+			c.FlushAll()
+		case 3:
+			c.InvalidateAll()
+		case 4, 5, 6:
+			// Flipped tags can point writebacks at nonexistent addresses;
+			// a failed access is acceptable, incoherent state is not.
+			c.Write(addr, 4, rng.Uint32())
+		default:
+			c.Read(addr, 4)
+		}
+	}
+
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 200; i++ {
+			step()
+		}
+		checkMirror(t, c)
+		st := c.SaveState()
+		for i := 0; i < 150; i++ {
+			step()
+		}
+		c.RestoreState(st)
+		checkMirror(t, c)
+		if again := c.SaveState(); !statesEqual(st, again) {
+			t.Fatalf("round %d: restored cache state differs from snapshot", round)
+		}
+	}
+}

@@ -50,11 +50,38 @@ func (s *Hasher) Bool(b bool) {
 	}
 }
 
+// Bytes lane seeds: arbitrary odd constants that give the four parallel
+// accumulators distinct starting points.
+const (
+	laneSeed1 uint64 = 0x9E3779B97F4A7C15
+	laneSeed2 uint64 = 0xC2B2AE3D27D4EB4F
+	laneSeed3 uint64 = 0x165667B19E3779F9
+)
+
 // Bytes mixes a byte slice, length-prefixed so concatenations of different
-// slices cannot alias.
+// slices cannot alias. Large slices fold through four independent FNV
+// lanes whose multiplies overlap in the pipeline — the serial
+// word-at-a-time loop is latency-bound on one 64-bit multiply per 8
+// bytes — and the lane sums fold back into the running state. The result
+// is deterministic but not the serial FNV value; fingerprints are only
+// ever compared against fingerprints computed the same way, so only
+// collision resistance matters.
 func (s *Hasher) Bytes(b []byte) {
 	s.Word(uint64(len(b)))
 	i := 0
+	if len(b) >= 128 {
+		h0, h1, h2, h3 := s.h, s.h^laneSeed1, s.h^laneSeed2, s.h^laneSeed3
+		for ; i+32 <= len(b); i += 32 {
+			h0 = (h0 ^ binary.LittleEndian.Uint64(b[i:])) * fnvPrime
+			h1 = (h1 ^ binary.LittleEndian.Uint64(b[i+8:])) * fnvPrime
+			h2 = (h2 ^ binary.LittleEndian.Uint64(b[i+16:])) * fnvPrime
+			h3 = (h3 ^ binary.LittleEndian.Uint64(b[i+24:])) * fnvPrime
+		}
+		s.Word(h0)
+		s.Word(h1)
+		s.Word(h2)
+		s.Word(h3)
+	}
 	for ; i+8 <= len(b); i += 8 {
 		s.Word(binary.LittleEndian.Uint64(b[i:]))
 	}
@@ -91,17 +118,26 @@ type Delta struct {
 // have equal length.
 func DiffBytes(base, cur []byte) *Delta {
 	d := &Delta{}
+	diffRegion(d, base, cur, 0, len(base))
+	return d
+}
+
+// diffRegion appends the spans for differences found inside [lo, hi) to d.
+// Span extension applies the full-image gap rule past hi, so scanning
+// disjoint regions separated by at least deltaGap equal bytes emits
+// exactly the spans one full scan would.
+func diffRegion(d *Delta, base, cur []byte, lo, hi int) {
 	n := len(base)
-	i := 0
-	for i < n {
+	i := lo
+	for i < hi {
 		// Skip equal content a word at a time.
-		for i+8 <= n && binary.LittleEndian.Uint64(base[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
+		for i+8 <= hi && binary.LittleEndian.Uint64(base[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
 			i += 8
 		}
-		for i < n && base[i] == cur[i] {
+		for i < hi && base[i] == cur[i] {
 			i++
 		}
-		if i >= n {
+		if i >= hi {
 			break
 		}
 		// Extend the span until at least deltaGap equal bytes follow.
@@ -120,7 +156,6 @@ func DiffBytes(base, cur []byte) *Delta {
 		d.changed += j - i
 		i = j
 	}
-	return d
 }
 
 // Apply overlays the delta's spans onto img, turning a copy of the base
@@ -150,6 +185,35 @@ func (d *Delta) Changed() int { return d.changed }
 // DiffAgainst returns the sparse delta that turns base into the DRAM's
 // current raw content. base must be Size() bytes.
 func (d *DRAM) DiffAgainst(base []byte) *Delta { return DiffBytes(base, d.data) }
+
+// DiffAgainstDirty returns the delta DiffAgainst would, scanning only the
+// pages written since the last RestoreDelta. The caller must ensure
+// Tracking(base): every unmarked page is then byte-identical to base and
+// cannot contribute spans. Runs of consecutive dirty pages scan as one
+// region, and clean inter-region gaps exceed the span gap rule, so the
+// spans match a full scan's exactly.
+func (d *DRAM) DiffAgainstDirty(base []byte) *Delta {
+	dl := &Delta{}
+	n := len(d.data)
+	npages := (n + PageBytes - 1) >> pageShift
+	for p := 0; p < npages; {
+		if d.dirty[p>>6]&(1<<(p&63)) == 0 {
+			p++
+			continue
+		}
+		q := p + 1
+		for q < npages && d.dirty[q>>6]&(1<<(q&63)) != 0 {
+			q++
+		}
+		hi := q << pageShift
+		if hi > n {
+			hi = n
+		}
+		diffRegion(dl, base, d.data, p<<pageShift, hi)
+		p = q
+	}
+	return dl
+}
 
 // RestoreDelta sets the DRAM's content to base with delta applied: the
 // checkpoint-restore path for physical memory. The first restore against a
@@ -196,6 +260,105 @@ func (d *DRAM) CopyInto(dst []byte) { copy(dst, d.data) }
 
 // HashInto mixes the raw DRAM content into h.
 func (d *DRAM) HashInto(h *Hasher) { h.Bytes(d.data) }
+
+// PageBytes is the dirty-tracking granule (4 KiB), exported for the
+// checkpoint ladder's per-page golden fingerprints.
+const PageBytes = 1 << pageShift
+
+// pageHash fingerprints one page with a fresh hasher state.
+func pageHash(page []byte) uint64 {
+	h := Hasher{h: fnvOffset}
+	h.Bytes(page)
+	return h.Sum()
+}
+
+// HashPages appends one fingerprint per PageBytes page of img to dst and
+// returns the extended slice. The last page may be short.
+func HashPages(img []byte, dst []uint64) []uint64 {
+	for p := 0; p < len(img); p += PageBytes {
+		end := p + PageBytes
+		if end > len(img) {
+			end = len(img)
+		}
+		dst = append(dst, pageHash(img[p:end]))
+	}
+	return dst
+}
+
+// HashPages appends the DRAM's per-page fingerprints to dst.
+func (d *DRAM) HashPages(dst []uint64) []uint64 { return HashPages(d.data, dst) }
+
+// HashPagesDirty returns the DRAM's per-page fingerprints like HashPages,
+// but re-hashes only the pages written since the last RestoreDelta and
+// reuses basePF — the tracked base image's fingerprints — for the rest.
+// The caller must ensure Tracking(base) holds for the base basePF was
+// computed from: unmarked pages are then byte-identical to it.
+func (d *DRAM) HashPagesDirty(basePF []uint64) []uint64 {
+	out := append([]uint64(nil), basePF...)
+	for i, w := range d.dirty {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			p := i<<6 + b
+			start := p << pageShift
+			end := start + PageBytes
+			if end > len(d.data) {
+				end = len(d.data)
+			}
+			out[p] = pageHash(d.data[start:end])
+		}
+	}
+	return out
+}
+
+// Tracking reports whether dirty-page tracking is active against base:
+// every page not marked dirty is then byte-identical to base.
+func (d *DRAM) Tracking(base []byte) bool {
+	return len(base) > 0 && d.trackedBase == &base[0]
+}
+
+// ConvergedPages reports whether the DRAM's current content equals a
+// golden image described by diffPages (the exact bitmap of pages where
+// the golden image differs from the tracked base) and pageFP (the golden
+// image's per-page fingerprints), touching only the pages dirtied since
+// the last RestoreDelta. The caller must ensure Tracking(base) holds for
+// the base both arguments were computed against: non-dirty pages are then
+// byte-identical to base, so a golden-differs page that is not dirty
+// proves divergence outright, and only dirty pages need rehashing.
+func (d *DRAM) ConvergedPages(diffPages, pageFP []uint64) bool {
+	for i, w := range d.dirty {
+		if diffPages[i]&^w != 0 {
+			return false
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			p := i<<6 + b
+			start := p << pageShift
+			end := start + PageBytes
+			if end > len(d.data) {
+				end = len(d.data)
+			}
+			if pageHash(d.data[start:end]) != pageFP[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DiffPageBitmap returns the bitmap (one bit per page, 64 pages per word)
+// of pages whose fingerprints differ between two per-page fingerprint
+// sets of equal length.
+func DiffPageBitmap(a, b []uint64) []uint64 {
+	bm := make([]uint64, (len(a)+63)/64)
+	for p := range a {
+		if a[p] != b[p] {
+			bm[p>>6] |= 1 << (p & 63)
+		}
+	}
+	return bm
+}
 
 // EqualBaseDelta reports whether the DRAM's current content equals base
 // with delta applied, without materialising the patched image: gap

@@ -1,0 +1,230 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// emptyDelta is a delta with no spans (golden content equals base).
+func emptyDelta() *Delta { return &Delta{} }
+
+// TestRestoreDeltaPageBoundaryWrites pins the dirty-tracking invariant at
+// page edges: a write that straddles a page boundary must mark both
+// pages, or the tracked restore leaves stale bytes behind in the page
+// that was missed.
+func TestRestoreDeltaPageBoundaryWrites(t *testing.T) {
+	dram := NewDRAM(4 * PageBytes)
+	rng := rand.New(rand.NewSource(7))
+	scribble(dram, rng, 40)
+	base := append([]byte(nil), dram.data...)
+
+	// Establish tracking with an empty delta: content == base, no dirty pages.
+	dram.RestoreDelta(base, emptyDelta())
+	if !dram.Tracking(base) {
+		t.Fatal("tracking not established by RestoreDelta")
+	}
+
+	line := make([]byte, 32)
+	for i := range line {
+		line[i] = 0xA5
+	}
+	writes := []uint32{
+		0,                       // first bytes of page 0
+		PageBytes - 16,          // straddles the page 0/1 boundary
+		2*PageBytes - 4,         // last word of page 1 via Poke
+		uint32(len(base)) - 32,  // last line of the last page
+		3*PageBytes - uint32(8), // straddle into the final page
+	}
+	for _, a := range writes {
+		if a == 2*PageBytes-4 {
+			dram.Poke(a, 0xDEADBEEF)
+			continue
+		}
+		if !dram.WriteLine(a, line) {
+			t.Fatalf("WriteLine(%#x) failed", a)
+		}
+	}
+
+	// The tracked restore copies back only dirty pages; any page missed by
+	// markDirty would keep the 0xA5 bytes.
+	dram.RestoreDelta(base, emptyDelta())
+	if !bytes.Equal(dram.data, base) {
+		t.Fatal("tracked restore left stale bytes after page-boundary writes")
+	}
+}
+
+// TestRestoreDeltaEdgeSpans exercises deltas whose spans sit at the very
+// start and end of the image and cross page boundaries.
+func TestRestoreDeltaEdgeSpans(t *testing.T) {
+	dram := NewDRAM(4 * PageBytes)
+	rng := rand.New(rand.NewSource(8))
+	scribble(dram, rng, 40)
+	base := append([]byte(nil), dram.data...)
+
+	// Build golden content whose diff spans hit the edges.
+	line := make([]byte, 32)
+	rng.Read(line)
+	dram.WriteLine(0, line)
+	rng.Read(line)
+	dram.WriteLine(PageBytes-16, line) // crosses page 0/1
+	rng.Read(line)
+	dram.WriteLine(dram.Size()-32, line) // final bytes of the image
+	delta := dram.DiffAgainst(base)
+	want := append([]byte(nil), base...)
+	delta.Apply(want)
+
+	// Un-tracked restore, then repeated tracked restores with interleaved
+	// divergence.
+	dram2 := NewDRAM(4 * PageBytes)
+	for round := 0; round < 3; round++ {
+		dram2.RestoreDelta(base, delta)
+		if !bytes.Equal(dram2.data, want) {
+			t.Fatalf("round %d: edge-span restore diverged", round)
+		}
+		scribble(dram2, rng, 30)
+		dram2.Poke(PageBytes, rng.Uint32())
+	}
+}
+
+// TestConvergedPagesMatchesExact is the correctness property the ladder's
+// fast path rests on: for tracked DRAM, the incremental dirty-page
+// verdict must agree with the exact EqualBaseDelta comparison (modulo
+// page-hash collisions, which the fixed seeds below do not hit).
+func TestConvergedPagesMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dram := NewDRAM(16 * PageBytes)
+	scribble(dram, rng, 100)
+	base := append([]byte(nil), dram.data...)
+	basePF := HashPages(base, nil)
+
+	// A golden image (base+delta) and its per-page fingerprints.
+	scribble(dram, rng, 60)
+	golden := dram.DiffAgainst(base)
+	goldenPF := dram.HashPages(nil)
+	diffPages := DiffPageBitmap(basePF, goldenPF)
+
+	check := func(what string) {
+		t.Helper()
+		inc := dram.ConvergedPages(diffPages, goldenPF)
+		full := dram.EqualBaseDelta(base, golden)
+		if inc != full {
+			t.Fatalf("%s: incremental verdict %v != exact verdict %v", what, inc, full)
+		}
+	}
+
+	// Converged: restore exactly to golden.
+	dram.RestoreDelta(base, golden)
+	check("restored to golden")
+	if !dram.ConvergedPages(diffPages, goldenPF) {
+		t.Fatal("restored-to-golden state must report converged")
+	}
+
+	// Diverged in a dirty page: the rehash catches it.
+	dram.Poke(0, dram.Peek(0)^1)
+	check("flip inside a dirty page")
+
+	// Restore to base only: golden-differs pages are now clean, so the
+	// bitmap check alone proves divergence without hashing anything.
+	dram.RestoreDelta(base, emptyDelta())
+	check("restored to base with golden != base")
+	if dram.ConvergedPages(diffPages, goldenPF) {
+		t.Fatal("base-only content must not report converged to golden")
+	}
+
+	// Randomized agreement sweep: partial restores and scribbles.
+	for i := 0; i < 50; i++ {
+		if i%7 == 0 {
+			dram.RestoreDelta(base, golden)
+		} else if i%11 == 0 {
+			dram.RestoreDelta(base, emptyDelta())
+		}
+		scribble(dram, rng, rng.Intn(8))
+		check("randomized sweep")
+	}
+}
+
+// TestHashPagesAndDiffBitmap pins the page-fingerprint plumbing: one
+// fingerprint per page including a short final page, and bitmap bits set
+// exactly where pages differ.
+func TestHashPagesAndDiffBitmap(t *testing.T) {
+	img := make([]byte, 3*PageBytes+100) // short trailing page
+	rng := rand.New(rand.NewSource(10))
+	rng.Read(img)
+	pf := HashPages(img, nil)
+	if len(pf) != 4 {
+		t.Fatalf("HashPages returned %d fingerprints, want 4", len(pf))
+	}
+	other := append([]byte(nil), img...)
+	other[PageBytes+5] ^= 0x10        // page 1
+	other[3*PageBytes+99] ^= 0x01     // short page 3
+	pf2 := HashPages(other, pf[:0:0]) // fresh dst
+	bm := DiffPageBitmap(pf, pf2)
+	if want := uint64(1<<1 | 1<<3); bm[0] != want {
+		t.Fatalf("DiffPageBitmap = %#x, want %#x", bm[0], want)
+	}
+	// Appending into a reused dst extends rather than overwrites.
+	both := HashPages(img, pf2)
+	if len(both) != 8 || both[0] != pf2[0] {
+		t.Fatalf("HashPages append semantics broken: len=%d", len(both))
+	}
+}
+
+// TestDirtyCaptureMatchesFullScan pins the tracked capture paths to their
+// full-scan counterparts: with dirty-page tracking armed, DiffAgainstDirty
+// must emit span-for-span the delta DiffAgainst computes, and
+// HashPagesDirty the fingerprints HashPages computes — on every round of
+// a randomized write workload, including a short trailing page.
+func TestDirtyCaptureMatchesFullScan(t *testing.T) {
+	// A size that is not page-aligned exercises the last-page clamps.
+	dram := NewDRAM(6*PageBytes - 100)
+	rng := rand.New(rand.NewSource(23))
+	scribble(dram, rng, 30)
+	base := append([]byte(nil), dram.data...)
+	basePF := HashPages(base, nil)
+	dram.RestoreDelta(base, emptyDelta())
+
+	for round := 0; round < 30; round++ {
+		switch rng.Intn(4) {
+		case 0:
+			scribble(dram, rng, 1+rng.Intn(8))
+		case 1:
+			// Straddle a page boundary.
+			p := uint32(1+rng.Intn(4)) * PageBytes
+			dram.Poke(p-2, rng.Uint32())
+		case 2:
+			// Touch the short final page.
+			dram.Poke(dram.Size()-4, rng.Uint32())
+		case 3:
+			// Write a page back to its base content: the page stays
+			// dirty but contributes no spans.
+			p := uint32(rng.Intn(5)) * PageBytes
+			for off := uint32(0); off < PageBytes; off += 32 {
+				dram.WriteLine(p+off, base[p+off:p+off+32])
+			}
+		}
+
+		want, got := dram.DiffAgainst(base), dram.DiffAgainstDirty(base)
+		if len(want.spans) != len(got.spans) || want.changed != got.changed {
+			t.Fatalf("round %d: dirty diff shape %d spans/%d changed, full scan %d/%d",
+				round, len(got.spans), got.changed, len(want.spans), want.changed)
+		}
+		for i := range want.spans {
+			if want.spans[i].off != got.spans[i].off || !bytes.Equal(want.spans[i].data, got.spans[i].data) {
+				t.Fatalf("round %d: span %d differs: dirty off=%d full off=%d",
+					round, i, got.spans[i].off, want.spans[i].off)
+			}
+		}
+
+		wantPF := dram.HashPages(nil)
+		gotPF := dram.HashPagesDirty(basePF)
+		if len(wantPF) != len(gotPF) {
+			t.Fatalf("round %d: page fingerprint count %d != %d", round, len(gotPF), len(wantPF))
+		}
+		for p := range wantPF {
+			if wantPF[p] != gotPF[p] {
+				t.Fatalf("round %d: page %d fingerprint mismatch", round, p)
+			}
+		}
+	}
+}

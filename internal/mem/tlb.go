@@ -78,6 +78,15 @@ type TLB struct {
 	stats   TLBStats
 	life    *LifetimeTracker
 
+	// mru remembers the index of the last hit so the steady-state case —
+	// the same page translated cycle after cycle — skips the associative
+	// scan. The shortcut is taken only while dups is false: valid VPNs are
+	// then unique, so the hinted entry IS the first match. Bit flips (and
+	// pathological inserts) can alias two valid entries onto one tag; they
+	// set dups and the scan's first-match order takes over.
+	mru  int
+	dups bool
+
 	// Propagation provenance taint: the entry holding an injected bit.
 	// A nil probe means no taint is tracked.
 	taintProbe *Probe
@@ -107,25 +116,40 @@ func (t *TLB) Stats() TLBStats { return t.stats }
 // benign outcome the paper reports for virtual-tag flips.
 func (t *TLB) Lookup(vpn uint32) (TLBEntry, bool) {
 	t.stats.Lookups++
+	// One mask-compare per entry: valid bit set AND the 20-bit VPN field
+	// equal to vpn. A vpn wider than the field can never match, exactly
+	// like the field-extraction comparison it replaces.
+	const mask = uint64(1)<<tlbValidBit | uint64(tlbFieldMask)<<tlbVPNShift
+	want := uint64(1)<<tlbValidBit | uint64(vpn)<<tlbVPNShift
+	if !t.dups && t.entries[t.mru].bits&mask == want {
+		return t.hit(t.mru), true
+	}
 	for i := range t.entries {
-		if t.entries[i].Valid() && t.entries[i].VPN() == vpn {
-			t.tick++
-			t.entries[i].lru = t.tick
-			if t.life != nil {
-				t.life.read(i)
-			}
-			if t.taintProbe != nil && i == t.taintIdx {
-				// A hit on the corrupted entry consumes the (possibly
-				// wrong) translation. A corrupted VPN tag never reaches
-				// here: it fails to match, which is exactly the benign
-				// miss-and-rewalk the paper reports.
-				t.taintProbe.NoteRead(t.name)
-			}
-			return t.entries[i], true
+		if t.entries[i].bits&mask == want {
+			t.mru = i
+			return t.hit(i), true
 		}
 	}
 	t.stats.Misses++
 	return TLBEntry{}, false
+}
+
+// hit applies the bookkeeping every lookup hit performs regardless of how
+// the entry was found: LRU touch, lifetime read, taint consumption.
+func (t *TLB) hit(i int) TLBEntry {
+	t.tick++
+	t.entries[i].lru = t.tick
+	if t.life != nil {
+		t.life.read(i)
+	}
+	if t.taintProbe != nil && i == t.taintIdx {
+		// A hit on the corrupted entry consumes the (possibly wrong)
+		// translation. A corrupted VPN tag never reaches here: it fails
+		// to match, which is exactly the benign miss-and-rewalk the
+		// paper reports.
+		t.taintProbe.NoteRead(t.name)
+	}
+	return t.entries[i]
 }
 
 // Insert installs a translation, evicting the LRU entry.
@@ -138,6 +162,15 @@ func (t *TLB) Insert(vpn, ppn uint32, user, writable bool) {
 		}
 		if t.entries[i].lru < bestTick {
 			victim, bestTick = i, t.entries[i].lru
+		}
+	}
+	// An insert normally follows a miss, so no surviving valid entry can
+	// carry this tag; a caller that inserts an already-present tag would
+	// break the VPN uniqueness the mru shortcut relies on — detect it and
+	// fall back to first-match scans.
+	for i := range t.entries {
+		if i != victim && t.entries[i].Valid() && t.entries[i].VPN() == vpn {
+			t.dups = true
 		}
 	}
 	t.tick++
@@ -173,6 +206,7 @@ func (t *TLB) InvalidateAll() {
 	// No valid entries remain, so the LRU clock can restart: cold restores
 	// become bit-deterministic for the checkpoint-ladder fingerprints.
 	t.tick = 0
+	t.mru, t.dups = 0, false
 }
 
 // FlipBit inverts one bit of the TLB array, addressed linearly:
@@ -180,6 +214,9 @@ func (t *TLB) InvalidateAll() {
 func (t *TLB) FlipBit(bit uint64) {
 	idx := bit / TLBEntryBits % uint64(len(t.entries))
 	t.entries[idx].bits ^= 1 << (bit % TLBEntryBits)
+	// A tag or valid flip can alias two valid entries onto one VPN, where
+	// first-match order matters: disable the mru shortcut for this run.
+	t.dups = true
 }
 
 // FlipPPNBit inverts a bit in the physical-page/permission region of a given
@@ -187,6 +224,10 @@ func (t *TLB) FlipBit(bit uint64) {
 // 22 PPN+perm bits.
 func (t *TLB) FlipPPNBit(entry int, off uint) {
 	t.entries[entry].bits ^= 1 << (tlbPPNShift + off%23)
+	// The span includes the valid bit: a flip can revive a stale entry
+	// whose tag duplicates a live one, so the mru shortcut must yield to
+	// first-match scans.
+	t.dups = true
 }
 
 // ValidEntries counts valid translations.
@@ -205,11 +246,17 @@ type TLBState struct {
 	entries []TLBEntry
 	tick    uint64
 	stats   TLBStats
+	dups    bool
 }
 
 // SaveState deep-copies the TLB content.
 func (t *TLB) SaveState() *TLBState {
-	return &TLBState{entries: append([]TLBEntry(nil), t.entries...), tick: t.tick, stats: t.stats}
+	return &TLBState{
+		entries: append([]TLBEntry(nil), t.entries...),
+		tick:    t.tick,
+		stats:   t.stats,
+		dups:    t.dups,
+	}
 }
 
 // RestoreState restores content captured by SaveState on a TLB of the same
@@ -218,6 +265,7 @@ func (t *TLB) RestoreState(st *TLBState) {
 	copy(t.entries, st.entries)
 	t.tick = st.tick
 	t.stats = st.stats
+	t.dups = st.dups
 }
 
 // MemoryBytes estimates the retained size of the saved content

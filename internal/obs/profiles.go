@@ -1,0 +1,60 @@
+// Profile capture for batch campaign runs: the -cpuprofile and
+// -memprofile flags map onto pprof files without needing the live
+// HTTP endpoint's /debug/pprof/ handlers.
+
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling into cpuPath (if non-empty) and
+// arranges a heap profile to be written to memPath (if non-empty). The
+// returned stop function must be called exactly once when the campaign
+// finishes — typically deferred right after a successful Start — and it
+// stops the CPU profile, forces a GC, and writes the heap profile.
+// Either path may be empty; with both empty the stop function is a
+// no-op.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		cpuF = f
+	}
+	return func() error {
+		var first error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				first = fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("obs: mem profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // materialise up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("obs: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("obs: mem profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

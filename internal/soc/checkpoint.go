@@ -19,11 +19,21 @@
 package soc
 
 import (
+	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"armsefi/internal/cpu"
 	"armsefi/internal/mem"
 )
+
+// LadderDebugCompare, when set, makes every incremental dirty-page DRAM
+// convergence check also run the exact full-image base+delta comparison
+// and panic on disagreement. It exists to cross-check the fast path (a
+// disagreement means either a dirty-tracking invariant was broken or a
+// page-fingerprint collision occurred) and costs a full DRAM memcmp per
+// rung crossing, so it stays off outside tests and debugging sessions.
+var LadderDebugCompare atomic.Bool
 
 // Checkpoint is one ladder rung: the complete machine state at a cycle
 // boundary of the golden run, with DRAM delta-encoded against the
@@ -46,6 +56,14 @@ type Checkpoint struct {
 	// it lives outside machine state (the run loop tracks it), so the
 	// early-exit comparison checks it explicitly.
 	lastBeatAbs uint64
+
+	// pageFP holds the golden DRAM's per-page fingerprints at this rung and
+	// diffPages the bitmap of pages where it differs from the base image
+	// (both precomputed at capture). The early-exit check uses them to
+	// compare only the pages dirtied since the last restore instead of
+	// memcmp-ing the full image at every rung crossing.
+	pageFP    []uint64
+	diffPages []uint64
 
 	dram  *mem.Delta
 	micro *cpu.MicroState
@@ -154,13 +172,24 @@ func (m *Machine) microFingerprint(h *mem.Hasher) {
 }
 
 // fingerprint folds the machine's complete live state into h: the
-// non-DRAM micro fingerprint followed by the raw DRAM image. Everything
+// non-DRAM micro fingerprint followed by the DRAM image as a fold of its
+// per-page fingerprints (so capture, which needs the page fingerprints
+// anyway, computes both stages from one pass over memory). Everything
 // that can influence future execution or the run Result is covered, so a
 // fingerprint match implies the remaining execution is identical to the
 // golden run's.
 func (m *Machine) fingerprint(h *mem.Hasher) {
 	m.microFingerprint(h)
-	m.DRAM.HashInto(h)
+	foldPageFP(h, m.DRAM.HashPages(nil))
+}
+
+// foldPageFP mixes a per-page fingerprint set into h: the DRAM stage of
+// the full fingerprint. captureCheckpoint must fold the identical
+// sequence.
+func foldPageFP(h *mem.Hasher, pageFP []uint64) {
+	for _, fp := range pageFP {
+		h.Word(fp)
+	}
 }
 
 // Fingerprint returns the machine's current live-state fingerprint
@@ -178,20 +207,37 @@ func (m *Machine) microFPSum() uint64 {
 	return h.Sum()
 }
 
-// captureCheckpoint snapshots the full machine state mid-run.
-func (m *Machine) captureCheckpoint(base *Snapshot, lastBeatAbs uint64) *Checkpoint {
+// captureCheckpoint snapshots the full machine state mid-run. basePF is
+// the base image's per-page fingerprints, computed once per ladder; the
+// rung's own page fingerprints are diffed against it to precompute the
+// exact differs-from-base page bitmap the early-exit check consumes.
+func (m *Machine) captureCheckpoint(base *Snapshot, basePF []uint64, lastBeatAbs uint64) *Checkpoint {
 	// One hasher pass yields both stages: microFP is the running sum
-	// before the DRAM image is folded in, Fingerprint after.
+	// before the DRAM page fingerprints are folded in, Fingerprint after.
+	// With dirty-page tracking active (CaptureLadder arms it), only pages
+	// the replay has written are re-hashed and re-diffed; unmarked pages
+	// are byte-identical to the base image, exactly.
 	h := mem.NewHasher()
 	m.microFingerprint(h)
 	micro := h.Sum()
-	m.DRAM.HashInto(h)
+	var pageFP []uint64
+	var dram *mem.Delta
+	if m.DRAM.Tracking(base.dram) {
+		pageFP = m.DRAM.HashPagesDirty(basePF)
+		dram = m.DRAM.DiffAgainstDirty(base.dram)
+	} else {
+		pageFP = m.DRAM.HashPages(make([]uint64, 0, len(basePF)))
+		dram = m.DRAM.DiffAgainst(base.dram)
+	}
+	foldPageFP(h, pageFP)
 	return &Checkpoint{
 		Cycle:       m.core.Cycles(),
 		Fingerprint: h.Sum(),
 		microFP:     micro,
 		lastBeatAbs: lastBeatAbs,
-		dram:        m.DRAM.DiffAgainst(base.dram),
+		pageFP:      pageFP,
+		diffPages:   mem.DiffPageBitmap(basePF, pageFP),
+		dram:        dram,
 		micro:       m.core.SaveMicro(),
 		l1i:         m.Mem.L1I.SaveState(),
 		l1d:         m.Mem.L1D.SaveState(),
@@ -232,7 +278,14 @@ func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int
 		every = DefaultCheckpointEvery
 	}
 	l := &Ladder{base: base, warm: warm, every: every}
+	basePF := mem.HashPages(base.dram, nil)
 	m.RestoreSnapshot(base, warm)
+	// Arm dirty-page tracking for the replay: captures then hash and diff
+	// only the pages the run has written (an exact, byte-level invariant —
+	// unmarked pages equal the base image RestoreSnapshot just loaded).
+	// RestoreDelta with an empty delta is the canonical way to (re)base
+	// the tracker; injection runs keep it armed via RestoreCheckpoint.
+	m.DRAM.RestoreDelta(base.dram, &mem.Delta{})
 
 	uartBase := len(base.uart)
 	beatsBase := base.sysctl.s.beats
@@ -240,7 +293,7 @@ func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int
 	lastBeats := m.SysCtl.Beats()
 	lastBeatAbs := uint64(0)
 
-	l.rungs = append(l.rungs, m.captureCheckpoint(base, lastBeatAbs))
+	l.rungs = append(l.rungs, m.captureCheckpoint(base, basePF, lastBeatAbs))
 	nextRung := every
 
 	res := Result{}
@@ -263,7 +316,7 @@ func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int
 			// The atomic model can step several cycles at once and skip a
 			// boundary; the rung lands on the first boundary actually
 			// reached, and faulty runs compare only on exact hits.
-			l.rungs = append(l.rungs, m.captureCheckpoint(base, lastBeatAbs))
+			l.rungs = append(l.rungs, m.captureCheckpoint(base, basePF, lastBeatAbs))
 			for nextRung <= abs {
 				nextRung += every
 			}
@@ -282,8 +335,31 @@ func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int
 	res.AppAlive = m.SysCtl.AppAlive() - aliveBase
 	res.LastBeatCycle = lastBeatAbs
 	l.Final = res
-	l.end = m.captureCheckpoint(base, lastBeatAbs)
+	l.end = m.captureCheckpoint(base, basePF, lastBeatAbs)
 	return l
+}
+
+// dramConverged reports whether the machine's DRAM matches rung r of l.
+// When dirty-page tracking is active against the ladder's base (always
+// the case after RestoreCheckpoint), only the pages written since the
+// last restore are compared — via the rung's precomputed per-page golden
+// fingerprints — instead of memcmp-ing the full image; the exact
+// full-image comparison remains as the fallback and as the
+// LadderDebugCompare cross-check.
+func (m *Machine) dramConverged(l *Ladder, r *Checkpoint) bool {
+	if !m.DRAM.Tracking(l.base.dram) {
+		return m.DRAM.EqualBaseDelta(l.base.dram, r.dram)
+	}
+	inc := m.DRAM.ConvergedPages(r.diffPages, r.pageFP)
+	if LadderDebugCompare.Load() {
+		full := m.DRAM.EqualBaseDelta(l.base.dram, r.dram)
+		if inc != full {
+			panic(fmt.Sprintf(
+				"soc: incremental DRAM convergence (%v) disagrees with full comparison (%v) at rung cycle %d",
+				inc, full, r.Cycle))
+		}
+	}
+	return inc
 }
 
 // RunLadderInjection runs one injection experiment through the ladder:
@@ -333,12 +409,11 @@ func (m *Machine) RunLadderInjection(l *Ladder, watchdog, injectAt uint64, injec
 				r := l.rungs[next]
 				next++
 				// Staged convergence check: the cheap non-DRAM fingerprint
-				// first (a diverged run almost always differs there), then an
-				// exact memcmp of DRAM against the rung's base+delta — which
-				// is both faster than hashing the full image and strictly
-				// stronger than comparing its hash.
+				// first (a diverged run almost always differs there), then
+				// the DRAM comparison — incremental over dirty pages when
+				// tracking is active, exact base+delta memcmp otherwise.
 				if lastBeatAbs == r.lastBeatAbs && m.microFPSum() == r.microFP &&
-					m.DRAM.EqualBaseDelta(l.base.dram, r.dram) {
+					m.dramConverged(l, r) {
 					stats.EarlyExit = true
 					stats.TailSaved = l.Final.Cycles - abs
 					stats.ConvergedAt = abs

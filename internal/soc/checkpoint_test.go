@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"armsefi/internal/mem"
 )
 
 // A workload long enough to cross several small rung boundaries: a loop
@@ -199,4 +201,55 @@ func TestCaptureLadderMaxCheckpoints(t *testing.T) {
 	if l.MemoryBytes() <= 0 {
 		t.Error("MemoryBytes reported nothing retained")
 	}
+}
+
+// TestLadderDebugCrossCheckAgrees runs ladder injections with the debug
+// cross-check enabled: every incremental dirty-page convergence verdict
+// is compared against the exact full-image comparison and panics on
+// disagreement, so simply completing the spread — with results still
+// bit-identical to full replays — proves the fast path agrees with the
+// exact one at every rung crossing.
+func TestLadderDebugCrossCheckAgrees(t *testing.T) {
+	LadderDebugCompare.Store(true)
+	t.Cleanup(func() { LadderDebugCompare.Store(false) })
+	for _, model := range []ModelKind{ModelAtomic, ModelDetailed} {
+		m, snap, l := captureLadder(t, model, false, 2_000)
+		watchdog := 2*l.Final.Cycles + 1_000_000
+		for _, frac := range []uint64{0, 9, 21, 42, 63} {
+			at := l.Final.Cycles * frac / 64
+			bit := (frac*977 + 13) % m.Core().RegFileBits()
+			m.RestoreSnapshot(snap, false)
+			want := m.RunWithInjection(watchdog, at, func() { m.Core().FlipRegFileBit(bit) })
+			got, _ := m.RunLadderInjection(l, watchdog, at, func() { m.Core().FlipRegFileBit(bit) })
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v at=%d bit=%d: debug-checked ladder %+v != full %+v",
+					model, at, bit, got, want)
+			}
+		}
+	}
+}
+
+// TestLadderDebugCrossCheckPanicsOnDisagreement seeds a disagreement —
+// a diffPages bit for a page the workload never touches, making the
+// incremental verdict false while the exact comparison still sees a
+// converged machine — and requires the debug cross-check to panic.
+func TestLadderDebugCrossCheckPanicsOnDisagreement(t *testing.T) {
+	LadderDebugCompare.Store(true)
+	t.Cleanup(func() { LadderDebugCompare.Store(false) })
+	m, _, l := captureLadder(t, ModelAtomic, false, 2_000)
+	last := (len(l.base.dram) - 1) / mem.PageBytes // top page: never written
+	for _, r := range l.rungs {
+		r.diffPages[last>>6] |= 1 << (last & 63)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupted rung metadata did not trip the debug cross-check")
+		}
+	}()
+	watchdog := 2*l.Final.Cycles + 1_000_000
+	at := l.Final.Cycles / 3
+	m.RunLadderInjection(l, watchdog, at, func() {
+		m.Core().FlipRegFileBit(40)
+		m.Core().FlipRegFileBit(40)
+	})
 }
