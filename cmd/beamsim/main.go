@@ -8,14 +8,17 @@
 //	        [-trace trace.jsonl] [-prov] [-metrics-addr 127.0.0.1:9100]
 //	        [-checkpoint-every 150000] [-max-checkpoints 64]
 //	        [-cpuprofile cpu.prof] [-memprofile mem.prof] [-ladder-debug]
+//	        [-remote http://host:8440]
 //	beamsim -fitraw [-hours 20]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -24,6 +27,7 @@ import (
 	"armsefi/internal/core/fit"
 	"armsefi/internal/obs"
 	"armsefi/internal/report"
+	"armsefi/internal/serve"
 	"armsefi/internal/soc"
 )
 
@@ -32,6 +36,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "beamsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote submits the beam campaign to a campaignd coordinator, waits
+// for completion, and fetches the assembled Result (bit-identical to a
+// local run by the service's determinism contract).
+func runRemote(base string, cfg beam.Config, specs []bench.Spec, quiet bool) (*beam.Result, error) {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	client := &serve.Client{Base: base}
+	id, err := client.Submit(serve.SubmitRequest{
+		Kind:      serve.KindBeam,
+		Beam:      &cfg,
+		Workloads: names,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "submitted campaign %s to %s\n", id, base)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	for {
+		st, err := client.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "\r%4d/%d chain shards | %s     ", st.ShardsDone, st.ShardsTotal, st.State)
+		}
+		if st.State == serve.StateComplete {
+			if !quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			break
+		}
+		if st.State == serve.StateCancelled {
+			if !quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			return nil, fmt.Errorf("campaign %s was cancelled", id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("interrupted waiting for campaign %s (it keeps running; re-check with -remote later)", id)
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	return client.BeamResults(id)
 }
 
 func run() error {
@@ -56,6 +111,8 @@ func run() error {
 		memProf     = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
 		ladderDebug = flag.Bool("ladder-debug", false,
 			"cross-check every incremental dirty-page convergence check against the exact full-image comparison (slow; panics on disagreement)")
+		remote = flag.String("remote", "",
+			"submit the campaign to a campaignd coordinator at this URL instead of running locally, wait for completion, and report its results")
 	)
 	flag.Parse()
 
@@ -125,7 +182,12 @@ func run() error {
 			specs = append(specs, s)
 		}
 	}
-	res, err := beam.Run(cfg, specs, progress)
+	var res *beam.Result
+	if *remote != "" {
+		res, err = runRemote(*remote, cfg, specs, *quiet)
+	} else {
+		res, err = beam.Run(cfg, specs, progress)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,170 @@
+// Command campaignd is the campaign service daemon. In coordinator mode
+// (the default) it serves the campaign HTTP API over a durable on-disk
+// store, schedules shard leases, and optionally runs local worker loops
+// against its own coordinator. In worker mode (-coordinator URL) it
+// claims shard leases from a remote campaignd and executes them, so a
+// campaign fans out across machines.
+//
+// Usage:
+//
+//	campaignd -store DIR [-addr :8440] [-workers N] [-max-active 2]
+//	          [-lease-ttl 30s] [-trace trace.jsonl]
+//	campaignd -coordinator http://host:8440 [-node NAME] [-workers N]
+//
+// SIGINT/SIGTERM drain gracefully: workers stop claiming new shards,
+// in-flight shards finish and report, then the process exits. Interrupted
+// campaigns resume from the last durably completed shard on restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"armsefi/internal/core/sched"
+	"armsefi/internal/obs"
+	"armsefi/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		storeDir    = flag.String("store", "", "campaign store directory (coordinator mode; required)")
+		addr        = flag.String("addr", ":8440", "HTTP listen address (coordinator mode)")
+		coordinator = flag.String("coordinator", "", "remote coordinator URL (worker mode)")
+		node        = flag.String("node", "", "worker node name (default: hostname-pid)")
+		workers     = flag.Int("workers", 0, "local worker loops (0 in coordinator mode = API only)")
+		maxActive   = flag.Int("max-active", serve.DefaultMaxActive, "campaigns admitted concurrently")
+		leaseTTL    = flag.Duration("lease-ttl", serve.DefaultLeaseTTL, "shard lease TTL before requeue")
+		tracePath   = flag.String("trace", "", "write a JSONL trace of shard scheduling and injections")
+		poll        = flag.Duration("poll", 200*time.Millisecond, "worker idle poll interval")
+	)
+	flag.Parse()
+
+	if *node == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "node"
+		}
+		*node = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *coordinator != "" {
+		return runWorkers(ctx, &serve.Client{Base: *coordinator}, *node, max(*workers, 1), *poll, nil)
+	}
+
+	if *storeDir == "" {
+		return fmt.Errorf("coordinator mode needs -store DIR (or -coordinator URL for worker mode)")
+	}
+	store, err := serve.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+
+	var traceFile *os.File
+	obsOpts := obs.Options{}
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer traceFile.Close()
+		obsOpts.TraceWriter = traceFile
+	}
+	observer := obs.New(obsOpts)
+	defer observer.Close()
+
+	coord, err := serve.NewCoordinator(serve.CoordConfig{
+		Store:     store,
+		MaxActive: *maxActive,
+		LeaseTTL:  *leaseTTL,
+		Obs:       observer,
+	})
+	if err != nil {
+		return err
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.Handler(coord, observer.Registry())}
+	go srv.Serve(lis)
+	fmt.Fprintf(os.Stderr, "campaignd: serving on %s, store %s\n", lis.Addr(), *storeDir)
+
+	var pool *sched.Pool
+	workerErr := make(chan error, 1)
+	if *workers > 0 {
+		pool = sched.NewPool(*workers)
+		observer.ObservePool(pool)
+		go func() { workerErr <- runWorkers(ctx, coord, *node, *workers, *poll, pool) }()
+	} else {
+		workerErr <- nil
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "campaignd: draining (in-flight shards finish, new claims stop)")
+	err = <-workerErr // workers observe ctx, stop claiming, finish in-flight
+	if pool != nil {
+		// Belt and braces: hold every pool slot so nothing new can start
+		// while the HTTP server shuts down.
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if derr := pool.Drain(drainCtx); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	return err
+}
+
+// runWorkers runs n worker loops against src until ctx cancels, sharing
+// one pool so the simulated-machine count stays bounded.
+func runWorkers(ctx context.Context, src serve.Source, node string, n int, poll time.Duration, pool *sched.Pool) error {
+	if pool == nil {
+		pool = sched.NewPool(n)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := serve.RunWorker(ctx, serve.WorkerConfig{
+				Node:         fmt.Sprintf("%s/w%d", node, i),
+				Source:       src,
+				Pool:         pool,
+				Worker:       i,
+				PollInterval: poll,
+			})
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

@@ -10,13 +10,16 @@
 //	      [-trace trace.jsonl] [-prov] [-metrics-addr 127.0.0.1:9100]
 //	      [-checkpoint-every 150000] [-max-checkpoints 64]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof] [-ladder-debug]
+//	      [-remote http://host:8440]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -26,6 +29,7 @@ import (
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/obs"
 	"armsefi/internal/report"
+	"armsefi/internal/serve"
 	"armsefi/internal/soc"
 )
 
@@ -63,6 +67,59 @@ func selectWorkloads(list string) ([]bench.Spec, error) {
 	return specs, nil
 }
 
+// runRemote submits the campaign to a campaignd coordinator, waits for
+// it to complete, and fetches the assembled Result. By the service's
+// determinism contract the Workloads are bit-identical to a local run of
+// the same Config and seed, so the reporting path below is unchanged.
+func runRemote(base string, cfg gefin.Config, specs []bench.Spec, quiet bool) (*gefin.Result, error) {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	client := &serve.Client{Base: base}
+	id, err := client.Submit(serve.SubmitRequest{
+		Kind:      serve.KindInjection,
+		Injection: &cfg,
+		Workloads: names,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "submitted campaign %s to %s\n", id, base)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	for {
+		st, err := client.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "\r%7d/%d injections | %d/%d shards | %s     ",
+				st.ItemsDone, st.ItemsTotal, st.ShardsDone, st.ShardsTotal, st.State)
+		}
+		if st.State == serve.StateComplete {
+			if !quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			break
+		}
+		if st.State == serve.StateCancelled {
+			if !quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			return nil, fmt.Errorf("campaign %s was cancelled", id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("interrupted waiting for campaign %s (it keeps running; re-check with -remote later)", id)
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	return client.InjectionResults(id)
+}
+
 func run() error {
 	var (
 		workloads = flag.String("workloads", "", "comma-separated workload names (default: all 13)")
@@ -89,6 +146,8 @@ func run() error {
 		memProf     = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
 		ladderDebug = flag.Bool("ladder-debug", false,
 			"cross-check every incremental dirty-page convergence check against the exact full-image comparison (slow; panics on disagreement)")
+		remote = flag.String("remote", "",
+			"submit the campaign to a campaignd coordinator at this URL instead of running locally, wait for completion, and report its results")
 	)
 	flag.Parse()
 
@@ -149,7 +208,12 @@ func run() error {
 			}
 		}
 	}
-	res, err := gefin.Run(cfg, specs, progress)
+	var res *gefin.Result
+	if *remote != "" {
+		res, err = runRemote(*remote, cfg, specs, *quiet)
+	} else {
+		res, err = gefin.Run(cfg, specs, progress)
+	}
 	if err != nil {
 		return err
 	}

@@ -440,14 +440,15 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 	return runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
 }
 
-func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
-	built, err := spec.Build(soc.UserAsmConfig(), cfg.Scale)
+// prepareWorkload builds the workload's workbench and the deterministic
+// per-workload skeleton of its result (slack probe, fluence, execution
+// budget, stratification size) — the setup shared by the in-process
+// engine and the campaign-service shard runner, so a chain executed on a
+// remote node starts from the identical state.
+func prepareWorkload(cfg Config, spec bench.Spec) (*harness.Workbench, *WorkloadResult, int, error) {
+	wb, err := harness.Build(cfg.Preset, cfg.Model, spec, cfg.Scale)
 	if err != nil {
-		return nil, fmt.Errorf("beam: %w", err)
-	}
-	wb, err := harness.New(cfg.Preset, cfg.Model, built)
-	if err != nil {
-		return nil, fmt.Errorf("beam: %w", err)
+		return nil, nil, 0, fmt.Errorf("beam: %w", err)
 	}
 	m := wb.Machine
 
@@ -463,7 +464,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 		// Captured warm (the chains' restore mode) and only after the slack
 		// probe above, which must see the state the cold golden run left.
 		if err := wb.BuildLadder(cfg.CheckpointEvery, cfg.MaxCheckpoints, true); err != nil {
-			return nil, fmt.Errorf("beam: %w", err)
+			return nil, nil, 0, fmt.Errorf("beam: %w", err)
 		}
 	}
 
@@ -495,6 +496,41 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 		if perComp > 120 {
 			perComp = 120
 		}
+	}
+	return wb, res, perComp, nil
+}
+
+// finishWorkload merges the component chains — always in component order
+// with a fixed class order, so the floating-point accumulation is
+// identical at every worker count and across in-process vs. sharded
+// execution — and applies the platform overlay.
+func finishWorkload(cfg Config, res *WorkloadResult, partial []chainResult) {
+	for _, pr := range partial {
+		res.SimulatedStrikes += pr.sims
+		res.MaskedStrikes += pr.masked
+		res.TotalMismatches += pr.totalMismatches
+		res.WeightedMismatches += pr.weightedMismatches
+		for _, cls := range fault.Classes() {
+			if v, ok := pr.events[cls]; ok {
+				res.Events[cls] += v
+				res.ModeledEvents[cls] += v
+			}
+		}
+	}
+
+	// Platform overlay: strikes into unmodelled board structures. The
+	// overlay costs nothing to evaluate, so it contributes its expected
+	// event count directly; the Monte-Carlo variance stays where the
+	// simulation is (the modeled strikes).
+	res.Events[fault.ClassSysCrash] += res.Fluence * cfg.Platform.SysCrash
+	res.Events[fault.ClassAppCrash] += res.Fluence * cfg.Platform.AppCrash
+	res.Events[fault.ClassAppCrash] += res.Fluence * cfg.Platform.Checker * res.CacheSlack
+}
+
+func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
+	wb, res, perComp, err := prepareWorkload(cfg, spec)
+	if err != nil {
+		return nil, err
 	}
 	comps := fault.Components()
 	totalSims := perComp * len(comps)
@@ -548,28 +584,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	drain(0, wb)
 	wg.Wait()
 
-	// Merge chains in component order with a fixed class order, so the
-	// floating-point accumulation is identical at every worker count.
-	for _, pr := range partial {
-		res.SimulatedStrikes += pr.sims
-		res.MaskedStrikes += pr.masked
-		res.TotalMismatches += pr.totalMismatches
-		res.WeightedMismatches += pr.weightedMismatches
-		for _, cls := range fault.Classes() {
-			if v, ok := pr.events[cls]; ok {
-				res.Events[cls] += v
-				res.ModeledEvents[cls] += v
-			}
-		}
-	}
-
-	// Platform overlay: strikes into unmodelled board structures. The
-	// overlay costs nothing to evaluate, so it contributes its expected
-	// event count directly; the Monte-Carlo variance stays where the
-	// simulation is (the modeled strikes).
-	res.Events[fault.ClassSysCrash] += res.Fluence * cfg.Platform.SysCrash
-	res.Events[fault.ClassAppCrash] += res.Fluence * cfg.Platform.AppCrash
-	res.Events[fault.ClassAppCrash] += res.Fluence * cfg.Platform.Checker * slack
+	finishWorkload(cfg, res, partial)
 	return res, nil
 }
 

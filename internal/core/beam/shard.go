@@ -1,0 +1,165 @@
+// Shard execution API of the campaign service: a beam campaign shards at
+// the component-chain boundary. Each chain is a self-contained live-board
+// session — its own RNG stream seeded from (campaign seed, workload,
+// component), starting from a fresh steady state — so chains can execute
+// on different machines without changing any chain's physics, and the
+// merged WorkloadResult is bit-identical to an uninterrupted in-process
+// run at any node count or interruption pattern.
+
+package beam
+
+import (
+	"fmt"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/harness"
+)
+
+// ShardsPerWorkload is the number of shards a beam workload decomposes
+// into: one strike chain per injectable component, in fault.Components()
+// order.
+const ShardsPerWorkload = fault.NumComponents
+
+// ChainOutcome is the wire record of one executed component chain. It
+// round-trips through JSON losslessly (Go prints float64s with exact
+// round-trip precision), so chain results can cross node boundaries
+// without perturbing the bit-identical merge.
+type ChainOutcome struct {
+	Events             map[fault.Class]float64 `json:"events"`
+	Masked             int                     `json:"masked"`
+	Sims               int                     `json:"sims"`
+	TotalMismatches    uint64                  `json:"total_mismatches,omitempty"`
+	WeightedMismatches float64                 `json:"weighted_mismatches,omitempty"`
+}
+
+// ShardMeta carries the deterministic per-workload constants the
+// assembler needs; every shard of a workload reports the same values.
+type ShardMeta struct {
+	GoldenCycles uint64  `json:"golden_cycles"`
+	ExecSeconds  float64 `json:"exec_seconds"`
+	Executions   float64 `json:"executions"`
+	Fluence      float64 `json:"fluence"`
+	CacheSlack   float64 `json:"cache_slack"`
+	PerComp      int     `json:"per_comp"`
+}
+
+// ShardRunner executes component-chain shards for one campaign Config,
+// caching one prepared workbench per workload. Single-goroutine; run
+// several runners for parallelism.
+type ShardRunner struct {
+	cfg Config
+	// Worker tags trace records emitted during chain runs.
+	Worker  int
+	benches map[string]*shardBench
+}
+
+type shardBench struct {
+	wb      *harness.Workbench
+	res     *WorkloadResult // skeleton: deterministic per-workload constants
+	perComp int
+}
+
+// NewShardRunner builds a runner for the campaign Config, normalised
+// exactly like Run normalises it.
+func NewShardRunner(cfg Config) *ShardRunner {
+	return &ShardRunner{cfg: cfg.withDefaults(), benches: make(map[string]*shardBench)}
+}
+
+func (r *ShardRunner) bench(spec bench.Spec) (*shardBench, error) {
+	if b, ok := r.benches[spec.Name]; ok {
+		return b, nil
+	}
+	wb, res, perComp, err := prepareWorkload(r.cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	b := &shardBench{wb: wb, res: res, perComp: perComp}
+	r.benches[spec.Name] = b
+	return b, nil
+}
+
+// RunShard executes the workload's strike chain for component index comp
+// (into fault.Components() order) and returns its outcome plus the
+// workload meta. The first shard of a workload pays the workbench setup;
+// later shards reuse it.
+func (r *ShardRunner) RunShard(spec bench.Spec, comp int) (*ChainOutcome, ShardMeta, error) {
+	b, err := r.bench(spec)
+	if err != nil {
+		return nil, ShardMeta{}, err
+	}
+	comps := fault.Components()
+	if comp < 0 || comp >= len(comps) {
+		return nil, ShardMeta{}, fmt.Errorf("beam: chain shard %d out of component range [0,%d)", comp, len(comps))
+	}
+	pr := runChain(r.cfg, b.wb, spec, comps[comp], b.perComp, b.res.Fluence, nil, 0, r.Worker)
+	out := &ChainOutcome{
+		Events:             pr.events,
+		Masked:             pr.masked,
+		Sims:               pr.sims,
+		TotalMismatches:    pr.totalMismatches,
+		WeightedMismatches: pr.weightedMismatches,
+	}
+	return out, r.meta(b), nil
+}
+
+func (r *ShardRunner) meta(b *shardBench) ShardMeta {
+	return ShardMeta{
+		GoldenCycles: b.res.GoldenCycles,
+		ExecSeconds:  b.res.ExecSeconds,
+		Executions:   b.res.Executions,
+		Fluence:      b.res.Fluence,
+		CacheSlack:   b.res.CacheSlack,
+		PerComp:      b.perComp,
+	}
+}
+
+// Release drops the cached workbench of a finished workload (or all of
+// them for the empty string).
+func (r *ShardRunner) Release(workload string) {
+	if workload == "" {
+		r.benches = make(map[string]*shardBench)
+		return
+	}
+	delete(r.benches, workload)
+}
+
+// AssembleWorkload reassembles a workload result from its component-chain
+// outcomes, which must cover all components in fault.Components() order.
+// It runs the exact merge and platform overlay of the in-process engine,
+// so the result is bit-identical to an uninterrupted run.
+func AssembleWorkload(cfg Config, workload string, meta ShardMeta, chains []*ChainOutcome) (*WorkloadResult, error) {
+	cfg = cfg.withDefaults()
+	if len(chains) != ShardsPerWorkload {
+		return nil, fmt.Errorf("beam: assemble %s: %d chains, want %d", workload, len(chains), ShardsPerWorkload)
+	}
+	res := &WorkloadResult{
+		Workload:      workload,
+		Scale:         cfg.Scale,
+		GoldenCycles:  meta.GoldenCycles,
+		ExecSeconds:   meta.ExecSeconds,
+		Executions:    meta.Executions,
+		Fluence:       meta.Fluence,
+		CacheSlack:    meta.CacheSlack,
+		Events:        make(map[fault.Class]float64, fault.NumClasses),
+		ModeledEvents: make(map[fault.Class]float64, fault.NumClasses),
+	}
+	partial := make([]chainResult, len(chains))
+	for i, c := range chains {
+		if c == nil {
+			return nil, fmt.Errorf("beam: assemble %s: missing chain %d", workload, i)
+		}
+		partial[i] = chainResult{
+			events:             c.Events,
+			masked:             c.Masked,
+			sims:               c.Sims,
+			totalMismatches:    c.TotalMismatches,
+			weightedMismatches: c.WeightedMismatches,
+		}
+		if partial[i].events == nil {
+			partial[i].events = make(map[fault.Class]float64)
+		}
+	}
+	finishWorkload(cfg, res, partial)
+	return res, nil
+}

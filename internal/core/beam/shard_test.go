@@ -1,0 +1,79 @@
+package beam
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"armsefi/internal/bench"
+)
+
+// TestChainShardAssemblyMatchesRun pins the beam half of the campaign
+// service's determinism foundation: executing the six component chains
+// as independent shards (out of order, JSON round-tripped) and merging
+// must reproduce the in-process WorkloadResult bit-for-bit.
+func TestChainShardAssemblyMatchesRun(t *testing.T) {
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		t.Fatal("crc32 missing")
+	}
+	cfg := Config{Seed: 321, BeamHours: 1, StrikesPerComponent: 4, Workers: 1}
+	direct, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewShardRunner(cfg)
+	chains := make([]*ChainOutcome, ShardsPerWorkload)
+	var meta ShardMeta
+	// Scrambled execution order: chains are independent sessions.
+	for _, ci := range []int{3, 0, 5, 1, 4, 2} {
+		out, m, err := r.RunShard(spec, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ChainOutcome
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatal(err)
+		}
+		chains[ci] = &back
+		if meta.GoldenCycles == 0 {
+			meta = m
+		} else if !reflect.DeepEqual(meta, m) {
+			t.Fatalf("shard meta diverged: %+v vs %+v", meta, m)
+		}
+	}
+	assembled, err := AssembleWorkload(cfg, spec.Name, meta, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, _ := json.Marshal(direct)
+	aj, _ := json.Marshal(assembled)
+	if string(dj) != string(aj) {
+		t.Fatalf("assembled result diverges from direct run:\n direct    %s\n assembled %s", dj, aj)
+	}
+}
+
+// TestChainShardBounds pins component-range validation and the
+// incomplete-coverage assembler error.
+func TestChainShardBounds(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{Seed: 5, BeamHours: 1, StrikesPerComponent: 1}
+	r := NewShardRunner(cfg)
+	if _, _, err := r.RunShard(spec, -1); err == nil {
+		t.Error("negative component accepted")
+	}
+	if _, _, err := r.RunShard(spec, ShardsPerWorkload); err == nil {
+		t.Error("component past range accepted")
+	}
+	if _, err := AssembleWorkload(cfg, "x", ShardMeta{}, make([]*ChainOutcome, ShardsPerWorkload)); err == nil {
+		t.Error("nil chain accepted")
+	}
+	if _, err := AssembleWorkload(cfg, "x", ShardMeta{}, nil); err == nil {
+		t.Error("missing chains accepted")
+	}
+}

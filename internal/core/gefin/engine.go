@@ -22,7 +22,6 @@ import (
 	"armsefi/internal/core/sched"
 	"armsefi/internal/mem"
 	"armsefi/internal/obs"
-	"armsefi/internal/soc"
 )
 
 // plannedFault is one pre-drawn injection of the campaign plan.
@@ -65,15 +64,11 @@ func sampleFaults(cfg Config, sizes []uint64, goldenCycles uint64, rng *rand.Ran
 	return plan
 }
 
-// runWorkload builds the workload's primary workbench, pre-draws the fault
-// plan, and executes it across the primary plus as many clone workbenches
-// as the pool grants.
-func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
-	built, err := spec.Build(soc.UserAsmConfig(), cfg.Scale)
-	if err != nil {
-		return nil, fmt.Errorf("gefin: %w", err)
-	}
-	wb, err := harness.New(cfg.Preset, cfg.Model, built)
+// prepareWorkbench builds the workload's workbench (and its checkpoint
+// ladder when configured) — the setup shared by the in-process engine and
+// the campaign-service shard runner.
+func prepareWorkbench(cfg Config, spec bench.Spec) (*harness.Workbench, error) {
+	wb, err := harness.Build(cfg.Preset, cfg.Model, spec, cfg.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("gefin: %w", err)
 	}
@@ -84,12 +79,139 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			return nil, fmt.Errorf("gefin: %w", err)
 		}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashString(spec.Name))))
+	return wb, nil
+}
+
+// planFor pre-draws the workload's full fault plan from the campaign
+// seed. The plan is a pure function of (cfg, workload name, component
+// sizes, golden cycle count), so every node of a distributed campaign
+// derives the identical plan independently.
+func planFor(cfg Config, wb *harness.Workbench, name string) ([]plannedFault, []uint64) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashString(name))))
 	sizes := make([]uint64, len(cfg.Components))
 	for ci, comp := range cfg.Components {
 		sizes[ci] = fault.SizeBits(wb.Machine, comp)
 	}
-	plan := sampleFaults(cfg, sizes, wb.Golden.Cycles, rng)
+	return sampleFaults(cfg, sizes, wb.Golden.Cycles, rng), sizes
+}
+
+// execPlanned executes one pre-drawn injection on the workbench,
+// emitting trace records and metrics when an observer is attached. It is
+// the single per-injection execution path: the in-process drain loop and
+// the shard runner both go through it, so a shard executed on a remote
+// node takes exactly the code path of a local run.
+func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.Probe, p plannedFault, worker int) outcome {
+	var o outcome
+	switch {
+	case cfg.Provenance:
+		// The probe runs even without an observer, so the determinism
+		// contract (Results byte-identical with provenance on or off) is
+		// exercised by the probe itself, not by tracing.
+		start := time.Now()
+		class, ctx, raw, ls := wb.RunFaultProv(p.f, cfg.WarmCaches, probe)
+		stop := time.Now()
+		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+		if cfg.Obs.On() {
+			cfg.Obs.LadderRun(ls)
+			rec := obs.Record{
+				Kind:       obs.KindInjection,
+				Workload:   workload,
+				Comp:       p.f.Comp,
+				Bit:        p.f.Bit,
+				Cycle:      p.f.Cycle,
+				Worker:     worker,
+				ExecCycles: raw.Cycles,
+				Outcome:    raw.Outcome.String(),
+				Class:      class,
+				Valid:      ctx.LineValid,
+				Kernel:     ctx.KernelOwned(),
+				FFCycles:   ls.FastForwarded,
+				EarlyExit:  ls.EarlyExit,
+			}
+			if probe.Armed() {
+				mech := fault.MechanismOf(class, raw, probe)
+				cfg.Obs.Mechanism(workload, p.f.Comp, mech)
+				rec.Mechanism = mech.String()
+				if ev, ok := probe.FirstRead(); ok {
+					rec.ReadCycle, rec.ReadPC, rec.ReadReg = ev.Cycle, ev.PC, ev.Reg
+				}
+				rec.ProvEvents = append([]mem.ProbeEvent(nil), probe.Events()...)
+				rec.ProvDropped = probe.Dropped()
+				rec.DivergedAt, rec.ConvergedAt = ls.DivergedAt, ls.ConvergedAt
+			}
+			cfg.Obs.Record(rec, start, stop)
+		}
+	case cfg.Obs.On():
+		start := time.Now()
+		class, ctx, raw, ls := wb.RunFaultLadder(p.f, cfg.WarmCaches)
+		stop := time.Now()
+		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+		cfg.Obs.LadderRun(ls)
+		cfg.Obs.Record(obs.Record{
+			Kind:       obs.KindInjection,
+			Workload:   workload,
+			Comp:       p.f.Comp,
+			Bit:        p.f.Bit,
+			Cycle:      p.f.Cycle,
+			Worker:     worker,
+			ExecCycles: raw.Cycles,
+			Outcome:    raw.Outcome.String(),
+			Class:      class,
+			Valid:      ctx.LineValid,
+			Kernel:     ctx.KernelOwned(),
+			FFCycles:   ls.FastForwarded,
+			EarlyExit:  ls.EarlyExit,
+		}, start, stop)
+	default:
+		class, ctx, _, _ := wb.RunFaultLadder(p.f, cfg.WarmCaches)
+		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+	}
+	return o
+}
+
+// aggregate folds per-plan-slot outcomes into the workload result, always
+// in plan order (components outer, injections inner), so the aggregation
+// is identical whether the outcomes were produced by one process or
+// assembled from shards executed on many nodes.
+func aggregate(cfg Config, workload string, goldenCycles, goldenInstrs uint64, sizes []uint64, outcomes []outcome) *WorkloadResult {
+	out := &WorkloadResult{
+		Workload:     workload,
+		Scale:        cfg.Scale,
+		GoldenCycles: goldenCycles,
+		GoldenInstrs: goldenInstrs,
+	}
+	for ci, comp := range cfg.Components {
+		out.Components = append(out.Components, ComponentResult{
+			Comp:         comp,
+			SizeBits:     sizes[ci],
+			N:            cfg.FaultsPerComponent,
+			Counts:       make(map[fault.Class]int, fault.NumClasses),
+			ValidStruck:  make(map[fault.Class]int, fault.NumClasses),
+			KernelStruck: make(map[fault.Class]int, fault.NumClasses),
+		})
+	}
+	for i, o := range outcomes {
+		res := &out.Components[i/cfg.FaultsPerComponent]
+		res.Counts[o.class]++
+		if o.valid {
+			res.ValidStruck[o.class]++
+		}
+		if o.kernel {
+			res.KernelStruck[o.class]++
+		}
+	}
+	return out
+}
+
+// runWorkload builds the workload's primary workbench, pre-draws the fault
+// plan, and executes it across the primary plus as many clone workbenches
+// as the pool grants.
+func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
+	wb, err := prepareWorkbench(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	plan, sizes := planFor(cfg, wb, spec.Name)
 	em.addTotal(len(plan))
 
 	// Claim extra workers up-front (a clone is one kernel boot each) so a
@@ -154,71 +276,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			}
 			i := order[n]
 			p := plan[i]
-			switch {
-			case cfg.Provenance:
-				// The probe runs even without an observer, so the
-				// determinism contract (Results byte-identical with
-				// provenance on or off) is exercised by the probe itself,
-				// not by tracing.
-				start := time.Now()
-				class, ctx, raw, ls := w.RunFaultProv(p.f, cfg.WarmCaches, probe)
-				stop := time.Now()
-				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
-				if cfg.Obs.On() {
-					cfg.Obs.LadderRun(ls)
-					rec := obs.Record{
-						Kind:       obs.KindInjection,
-						Workload:   spec.Name,
-						Comp:       p.f.Comp,
-						Bit:        p.f.Bit,
-						Cycle:      p.f.Cycle,
-						Worker:     worker,
-						ExecCycles: raw.Cycles,
-						Outcome:    raw.Outcome.String(),
-						Class:      class,
-						Valid:      ctx.LineValid,
-						Kernel:     ctx.KernelOwned(),
-						FFCycles:   ls.FastForwarded,
-						EarlyExit:  ls.EarlyExit,
-					}
-					if probe.Armed() {
-						mech := fault.MechanismOf(class, raw, probe)
-						cfg.Obs.Mechanism(spec.Name, p.f.Comp, mech)
-						rec.Mechanism = mech.String()
-						if ev, ok := probe.FirstRead(); ok {
-							rec.ReadCycle, rec.ReadPC, rec.ReadReg = ev.Cycle, ev.PC, ev.Reg
-						}
-						rec.ProvEvents = append([]mem.ProbeEvent(nil), probe.Events()...)
-						rec.ProvDropped = probe.Dropped()
-						rec.DivergedAt, rec.ConvergedAt = ls.DivergedAt, ls.ConvergedAt
-					}
-					cfg.Obs.Record(rec, start, stop)
-				}
-			case cfg.Obs.On():
-				start := time.Now()
-				class, ctx, raw, ls := w.RunFaultLadder(p.f, cfg.WarmCaches)
-				stop := time.Now()
-				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
-				cfg.Obs.LadderRun(ls)
-				cfg.Obs.Record(obs.Record{
-					Kind:       obs.KindInjection,
-					Workload:   spec.Name,
-					Comp:       p.f.Comp,
-					Bit:        p.f.Bit,
-					Cycle:      p.f.Cycle,
-					Worker:     worker,
-					ExecCycles: raw.Cycles,
-					Outcome:    raw.Outcome.String(),
-					Class:      class,
-					Valid:      ctx.LineValid,
-					Kernel:     ctx.KernelOwned(),
-					FFCycles:   ls.FastForwarded,
-					EarlyExit:  ls.EarlyExit,
-				}, start, stop)
-			default:
-				class, ctx, _, _ := w.RunFaultLadder(p.f, cfg.WarmCaches)
-				outcomes[i] = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
-			}
+			outcomes[i] = execPlanned(cfg, w, spec.Name, probe, p, worker)
 			em.tick(spec.Name, cfg.Components[p.comp], cfg.FaultsPerComponent)
 		}
 	}
@@ -234,34 +292,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	drain(0, wb) // the caller's own slot drives the primary
 	wg.Wait()
 
-	out := &WorkloadResult{
-		Workload:     spec.Name,
-		Scale:        cfg.Scale,
-		GoldenCycles: wb.Golden.Cycles,
-		GoldenInstrs: wb.Golden.Instructions,
-	}
-	for ci, comp := range cfg.Components {
-		out.Components = append(out.Components, ComponentResult{
-			Comp:         comp,
-			SizeBits:     sizes[ci],
-			N:            cfg.FaultsPerComponent,
-			Counts:       make(map[fault.Class]int, fault.NumClasses),
-			ValidStruck:  make(map[fault.Class]int, fault.NumClasses),
-			KernelStruck: make(map[fault.Class]int, fault.NumClasses),
-		})
-	}
-	for i, p := range plan {
-		o := outcomes[i]
-		res := &out.Components[p.comp]
-		res.Counts[o.class]++
-		if o.valid {
-			res.ValidStruck[o.class]++
-		}
-		if o.kernel {
-			res.KernelStruck[o.class]++
-		}
-	}
-	return out, nil
+	return aggregate(cfg, spec.Name, wb.Golden.Cycles, wb.Golden.Instructions, sizes, outcomes), nil
 }
 
 // emitter adapts the shared meter to gefin progress events, adding the

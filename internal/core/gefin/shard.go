@@ -1,0 +1,147 @@
+// Shard execution API of the campaign service: a campaign's pre-drawn
+// fault plan is cut into contiguous index ranges ("shards"), each shard
+// is executed independently — possibly on another machine — and the
+// per-slot outcomes are reassembled in plan order. Because the plan is a
+// pure function of the seeded Config and the workload, and every
+// injection run is deterministic, the assembled WorkloadResult is
+// bit-identical to an uninterrupted in-process run at any shard size,
+// shard order, node count, or interruption pattern.
+
+package gefin
+
+import (
+	"fmt"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/harness"
+	"armsefi/internal/mem"
+)
+
+// ShardOutcome is the wire record of one executed injection: everything
+// aggregation needs, nothing machine-local. It round-trips through JSON
+// losslessly, so shard results can cross process and node boundaries.
+type ShardOutcome struct {
+	Class  fault.Class `json:"class"`
+	Valid  bool        `json:"valid,omitempty"`
+	Kernel bool        `json:"kernel,omitempty"`
+}
+
+// ShardMeta carries the per-workload constants aggregation needs. Every
+// shard of a workload reports the same meta (the values derive from the
+// deterministic golden run), which the assembler cross-checks.
+type ShardMeta struct {
+	GoldenCycles uint64   `json:"golden_cycles"`
+	GoldenInstrs uint64   `json:"golden_instrs"`
+	SizeBits     []uint64 `json:"size_bits"`
+}
+
+// PlanLen returns the length of the pre-drawn fault plan the Config
+// implies for any one workload — components outer, injections inner. It
+// needs no machine, so a coordinator can cut shard ranges at submission
+// time, before any node has booted a workbench.
+func PlanLen(cfg Config) int {
+	cfg = cfg.withDefaults()
+	return len(cfg.Components) * cfg.FaultsPerComponent
+}
+
+// ShardRunner executes plan shards for one campaign Config, caching one
+// prepared workbench (boot + golden run + optional checkpoint ladder)
+// per workload so consecutive shards of the same workload pay no setup.
+// A runner is single-goroutine (one simulated machine per workload);
+// run several runners for parallelism.
+type ShardRunner struct {
+	cfg Config
+	// Worker tags trace records emitted during shard runs, so a node's
+	// runners are distinguishable in the campaign trace.
+	Worker  int
+	benches map[string]*shardBench
+}
+
+type shardBench struct {
+	wb    *harness.Workbench
+	plan  []plannedFault
+	sizes []uint64
+	probe *mem.Probe
+}
+
+// NewShardRunner builds a runner for the campaign Config. The Config is
+// normalised exactly like Run normalises it, so shard execution sees the
+// same effective knobs as an in-process campaign.
+func NewShardRunner(cfg Config) *ShardRunner {
+	return &ShardRunner{cfg: cfg.withDefaults(), benches: make(map[string]*shardBench)}
+}
+
+func (r *ShardRunner) bench(spec bench.Spec) (*shardBench, error) {
+	if b, ok := r.benches[spec.Name]; ok {
+		return b, nil
+	}
+	wb, err := prepareWorkbench(r.cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	plan, sizes := planFor(r.cfg, wb, spec.Name)
+	b := &shardBench{wb: wb, plan: plan, sizes: sizes}
+	if r.cfg.Provenance {
+		b.probe = new(mem.Probe)
+	}
+	r.benches[spec.Name] = b
+	return b, nil
+}
+
+// RunShard executes plan slots [lo, hi) of the workload and returns their
+// outcomes in slot order plus the workload's meta. The first shard of a
+// workload pays the workbench setup (kernel boot, golden run, ladder
+// capture); later shards reuse it.
+func (r *ShardRunner) RunShard(spec bench.Spec, lo, hi int) ([]ShardOutcome, ShardMeta, error) {
+	b, err := r.bench(spec)
+	if err != nil {
+		return nil, ShardMeta{}, err
+	}
+	if lo < 0 || hi > len(b.plan) || lo >= hi {
+		return nil, ShardMeta{}, fmt.Errorf("gefin: shard [%d,%d) out of plan range [0,%d)", lo, hi, len(b.plan))
+	}
+	outs := make([]ShardOutcome, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		o := execPlanned(r.cfg, b.wb, spec.Name, b.probe, b.plan[i], r.Worker)
+		outs = append(outs, ShardOutcome{Class: o.class, Valid: o.valid, Kernel: o.kernel})
+	}
+	return outs, r.meta(b), nil
+}
+
+func (r *ShardRunner) meta(b *shardBench) ShardMeta {
+	return ShardMeta{
+		GoldenCycles: b.wb.Golden.Cycles,
+		GoldenInstrs: b.wb.Golden.Instructions,
+		SizeBits:     append([]uint64(nil), b.sizes...),
+	}
+}
+
+// Release drops the cached workbench of a finished workload (or all of
+// them for the empty string), freeing its simulated DRAM and ladder.
+func (r *ShardRunner) Release(workload string) {
+	if workload == "" {
+		r.benches = make(map[string]*shardBench)
+		return
+	}
+	delete(r.benches, workload)
+}
+
+// AssembleWorkload reassembles a workload result from per-slot shard
+// outcomes covering the full plan, in plan order. It runs the exact
+// aggregation of the in-process engine, so the result is bit-identical
+// to an uninterrupted run of the same Config and seed.
+func AssembleWorkload(cfg Config, workload string, meta ShardMeta, outs []ShardOutcome) (*WorkloadResult, error) {
+	cfg = cfg.withDefaults()
+	if want := len(cfg.Components) * cfg.FaultsPerComponent; len(outs) != want {
+		return nil, fmt.Errorf("gefin: assemble %s: %d outcomes, want %d", workload, len(outs), want)
+	}
+	if len(meta.SizeBits) != len(cfg.Components) {
+		return nil, fmt.Errorf("gefin: assemble %s: %d component sizes, want %d", workload, len(meta.SizeBits), len(cfg.Components))
+	}
+	outcomes := make([]outcome, len(outs))
+	for i, o := range outs {
+		outcomes[i] = outcome{class: o.Class, valid: o.Valid, kernel: o.Kernel}
+	}
+	return aggregate(cfg, workload, meta.GoldenCycles, meta.GoldenInstrs, meta.SizeBits, outcomes), nil
+}

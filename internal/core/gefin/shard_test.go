@@ -1,0 +1,111 @@
+package gefin
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+)
+
+// TestShardAssemblyMatchesRun pins the campaign service's determinism
+// foundation: executing the plan as shards (in a scrambled order, as a
+// resumed or multi-node campaign would) and reassembling must reproduce
+// the in-process WorkloadResult bit-for-bit — including after a JSON
+// round-trip, the wire format shard results actually cross.
+func TestShardAssemblyMatchesRun(t *testing.T) {
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		t.Fatal("crc32 missing")
+	}
+	cfg := Config{
+		FaultsPerComponent: faultsN(9),
+		Seed:               123,
+		Components:         []fault.Component{fault.CompRegFile, fault.CompL1D, fault.CompDTLB},
+	}
+	direct, err := RunWorkload(cfg, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	planLen := PlanLen(cfg)
+	if planLen != 3*cfg.FaultsPerComponent {
+		t.Fatalf("PlanLen = %d", planLen)
+	}
+	// Uneven shard cuts, executed out of order — the claim pattern of a
+	// multi-node campaign with one node dying mid-run.
+	cuts := [][2]int{{planLen - 4, planLen}, {0, 5}, {5, planLen - 4}}
+	r := NewShardRunner(cfg)
+	outs := make([]ShardOutcome, planLen)
+	var meta ShardMeta
+	for _, c := range cuts {
+		part, m, err := r.RunShard(spec, c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// JSON round-trip: shard results cross process boundaries.
+		wire, err := json.Marshal(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back []ShardOutcome
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatal(err)
+		}
+		copy(outs[c[0]:c[1]], back)
+		if meta.GoldenCycles == 0 {
+			meta = m
+		} else if !reflect.DeepEqual(meta, m) {
+			t.Fatalf("shard meta diverged: %+v vs %+v", meta, m)
+		}
+	}
+	assembled, err := AssembleWorkload(cfg, spec.Name, meta, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, _ := json.Marshal(direct)
+	aj, _ := json.Marshal(assembled)
+	if string(dj) != string(aj) {
+		t.Fatalf("assembled result diverges from direct run:\n direct    %s\n assembled %s", dj, aj)
+	}
+}
+
+// TestShardRunnerBounds pins range validation and workbench reuse.
+func TestShardRunnerBounds(t *testing.T) {
+	spec, _ := bench.ByName("crc32")
+	cfg := Config{FaultsPerComponent: 2, Seed: 9, Components: []fault.Component{fault.CompRegFile}}
+	r := NewShardRunner(cfg)
+	if _, _, err := r.RunShard(spec, -1, 1); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, _, err := r.RunShard(spec, 0, PlanLen(cfg)+1); err == nil {
+		t.Error("hi past plan end accepted")
+	}
+	if _, _, err := r.RunShard(spec, 1, 1); err == nil {
+		t.Error("empty shard accepted")
+	}
+	if _, _, err := r.RunShard(spec, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.benches) != 1 {
+		t.Fatalf("benches = %d", len(r.benches))
+	}
+	r.Release(spec.Name)
+	if len(r.benches) != 0 {
+		t.Fatalf("benches = %d after Release", len(r.benches))
+	}
+}
+
+// TestAssembleValidation pins the assembler's coverage checks.
+func TestAssembleValidation(t *testing.T) {
+	cfg := Config{FaultsPerComponent: 2, Seed: 1, Components: []fault.Component{fault.CompRegFile}}
+	meta := ShardMeta{GoldenCycles: 10, SizeBits: []uint64{1024}}
+	if _, err := AssembleWorkload(cfg, "x", meta, make([]ShardOutcome, 1)); err == nil {
+		t.Error("short outcome set accepted")
+	}
+	meta.SizeBits = nil
+	if _, err := AssembleWorkload(cfg, "x", meta, make([]ShardOutcome, 2)); err == nil {
+		t.Error("missing sizes accepted")
+	}
+}

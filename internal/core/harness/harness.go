@@ -77,6 +77,18 @@ func New(cfg soc.Config, model soc.ModelKind, built *bench.Built) (*Workbench, e
 	return w, nil
 }
 
+// Build assembles a workload spec at the given scale and prepares a
+// workbench for it — the spec.Build + New sequence every campaign engine
+// opens with, shared so the shard runners of the campaign service set up
+// workloads exactly like the in-process engines do.
+func Build(cfg soc.Config, model soc.ModelKind, spec bench.Spec, scale bench.Scale) (*Workbench, error) {
+	built, err := spec.Build(soc.UserAsmConfig(), scale)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return New(cfg, model, built)
+}
+
 // Clone builds a sibling workbench over the same built workload: a fresh
 // machine with the original's preset and model, booted to the same
 // post-boot point. Because the machine is deterministic, the sibling's

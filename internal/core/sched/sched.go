@@ -14,6 +14,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -46,6 +47,17 @@ func NewPool(n int) *Pool {
 // zero-capacity pool.
 func (p *Pool) Acquire() { p.tokens <- struct{}{} }
 
+// AcquireCtx blocks until a slot is free or ctx is done, reporting
+// ctx's error in the latter case (no slot is held on error).
+func (p *Pool) AcquireCtx(ctx context.Context) error {
+	select {
+	case p.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // TryAcquire claims a slot without blocking, reporting success.
 func (p *Pool) TryAcquire() bool {
 	select {
@@ -66,6 +78,33 @@ func (p *Pool) Cap() int { return cap(p.tokens) }
 // reading the observability gauges export. It is a racy snapshot by
 // nature (tokens move concurrently), which is fine for monitoring.
 func (p *Pool) InUse() int { return len(p.tokens) }
+
+// Drain gracefully shuts the pool down: it claims every slot itself, so
+// new Acquire/TryAcquire callers are starved while workers already
+// holding slots finish and Release them. It returns nil once all slots
+// are held (every in-flight worker has finished), or ctx's error if the
+// context expires first — in which case the slots claimed so far are
+// returned, leaving the pool usable again.
+//
+// A long-running service calls Drain on SIGTERM: it stops claiming new
+// shards, lets in-flight ones complete, and exits cleanly. After a
+// successful Drain the pool is permanently empty; it is the caller's
+// signal that no worker holds a slot.
+func (p *Pool) Drain(ctx context.Context) error {
+	held := 0
+	for held < cap(p.tokens) {
+		select {
+		case p.tokens <- struct{}{}:
+			held++
+		case <-ctx.Done():
+			for i := 0; i < held; i++ {
+				<-p.tokens
+			}
+			return ctx.Err()
+		}
+	}
+	return nil
+}
 
 // Snapshot is the aggregate state handed to a progress emission.
 type Snapshot struct {

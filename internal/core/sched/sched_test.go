@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -121,6 +122,53 @@ func TestPoolInUse(t *testing.T) {
 	p.Release()
 	if p.InUse() != 1 {
 		t.Errorf("in-use = %d after release", p.InUse())
+	}
+}
+
+// TestPoolDrain pins the graceful-shutdown contract: Drain waits for
+// every held slot to be released, then leaves the pool starved so no new
+// work can be admitted.
+func TestPoolDrain(t *testing.T) {
+	p := NewPool(3)
+	p.Acquire()
+	p.Acquire()
+	drained := make(chan error, 1)
+	go func() { drained <- p.Drain(context.Background()) }()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v while two workers still held slots", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	p.Release()
+	p.Release() // last in-flight worker finishes
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+	if p.TryAcquire() {
+		t.Fatal("drained pool granted a slot")
+	}
+	if p.InUse() != p.Cap() {
+		t.Fatalf("drained pool in-use = %d, want cap %d", p.InUse(), p.Cap())
+	}
+}
+
+// TestPoolDrainTimeout pins the bounded-shutdown path: an expired context
+// aborts the drain and returns the claimed slots, so the pool stays
+// usable (the service escalates to a hard stop instead of deadlocking).
+func TestPoolDrainTimeout(t *testing.T) {
+	p := NewPool(2)
+	p.Acquire() // a stuck worker never releases
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain = %v, want DeadlineExceeded", err)
+	}
+	if p.InUse() != 1 {
+		t.Fatalf("in-use = %d after aborted drain, want the stuck worker's 1", p.InUse())
+	}
+	p.Release()
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after release = %v", err)
 	}
 }
 

@@ -212,6 +212,61 @@ func (o *Observer) AceRun(workload string, comp fault.Component, avf float64, wa
 		DefaultLatencyBuckets()).Observe(wall.Seconds())
 }
 
+// ShardEvent traces one campaign-service shard lifecycle event
+// (claimed / completed / requeued) and updates the shard counters. It
+// bypasses the outcome grid — shards are scheduling units, not
+// experiments — but shares the tracer, so a campaign's JSONL trace
+// interleaves shard scheduling with the injections it covers.
+func (o *Observer) ShardEvent(campaign, workload, node, event string, shard, items int, wall time.Duration) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter("armsefi_serve_shard_events_total",
+		"campaign-service shard lifecycle events", "event", event).Inc()
+	if event == "completed" {
+		o.reg.Counter("armsefi_serve_items_total",
+			"experiments completed through the campaign service").Add(int64(items))
+	}
+	if o.trace != nil {
+		now := time.Now()
+		o.trace.Emit(&Record{
+			Kind:     KindShard,
+			Workload: workload,
+			Campaign: campaign,
+			Shard:    shard,
+			Node:     node,
+			Event:    event,
+			Items:    items,
+			StartNS:  now.Add(-wall).Sub(o.epoch).Nanoseconds(),
+			WallNS:   wall.Nanoseconds(),
+		})
+	}
+}
+
+// Lease records campaign-service lease-manager activity: grants, renews,
+// and expiries (an expiry requeues the shard for another node).
+func (o *Observer) Lease(event string) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter("armsefi_serve_leases_total",
+		"campaign-service shard lease events", "event", event).Inc()
+}
+
+// ObserveService binds the campaign-service gauges: admission-queue
+// depth, campaigns actively running, and live shard leases.
+func (o *Observer) ObserveService(queued, active, leases func() float64) {
+	if o == nil {
+		return
+	}
+	o.reg.GaugeFunc("armsefi_serve_queue_depth",
+		"campaigns waiting for admission", queued)
+	o.reg.GaugeFunc("armsefi_serve_active_campaigns",
+		"campaigns currently running", active)
+	o.reg.GaugeFunc("armsefi_serve_live_leases",
+		"shard leases currently held by worker nodes", leases)
+}
+
 // CloneTry records one clone-slot acquisition attempt; the granted/denied
 // ratio is the clone-acquire success rate.
 func (o *Observer) CloneTry(ok bool) {

@@ -28,6 +28,10 @@ const (
 	KindInjection = "injection"
 	// KindStrike marks a beam-simulator strike on the live board.
 	KindStrike = "strike"
+	// KindShard marks a campaign-service shard lifecycle event (claimed,
+	// completed, requeued); the fault fields are zero and the Campaign /
+	// Shard / Node fields locate the event instead.
+	KindShard = "shard"
 )
 
 // Record is one JSONL trace line: the full lifecycle of a single
@@ -86,6 +90,16 @@ type Record struct {
 	// counts events past the cap.
 	ProvEvents  []mem.ProbeEvent `json:"prov_events,omitempty"`
 	ProvDropped int              `json:"prov_dropped,omitempty"`
+	// Campaign, Shard, Node, and Event describe campaign-service shard
+	// lifecycle records (KindShard only): the campaign id, the shard index
+	// into its manifest, the worker node involved, and what happened
+	// ("claimed", "completed", "requeued"). Items counts the experiments
+	// the shard covers.
+	Campaign string `json:"campaign,omitempty"`
+	Shard    int    `json:"shard,omitempty"`
+	Node     string `json:"node,omitempty"`
+	Event    string `json:"event,omitempty"`
+	Items    int    `json:"items,omitempty"`
 	// DivergedAt/ConvergedAt are the ladder-rung cycles bounding the
 	// fault's architecturally-visible lifetime: the first rung whose
 	// fingerprint diverged from golden and the rung where the run

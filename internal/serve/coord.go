@@ -1,0 +1,625 @@
+// Campaign coordinator: owns the durable store, admits queued campaigns
+// against a bounded number of active slots, leases shards to worker
+// nodes (local goroutines and remote daemons use the same claim / renew
+// / complete path), requeues the shards of dead nodes when their leases
+// expire, and assembles completed campaigns into engine Results that are
+// bit-identical to an uninterrupted in-process run.
+
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+)
+
+// Campaign states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateComplete  = "complete"
+	StateCancelled = "cancelled"
+)
+
+// Defaults for CoordConfig zero values.
+const (
+	DefaultMaxActive = 2
+	DefaultLeaseTTL  = 30 * time.Second
+)
+
+// CoordConfig parameterises a Coordinator.
+type CoordConfig struct {
+	Store *Store
+	// MaxActive bounds how many campaigns run concurrently; submissions
+	// beyond it wait in the admission queue. Zero picks DefaultMaxActive.
+	MaxActive int
+	// LeaseTTL is how long a claimed shard stays assigned to a node
+	// without a renewal before it is requeued for another node. Zero
+	// picks DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Obs receives service metrics (queue depth, leases, shards/sec) and
+	// shard lifecycle trace records. Nil disables instrumentation.
+	Obs *obs.Observer
+	// Now is the clock; nil picks time.Now. Tests inject a fake clock to
+	// drive lease expiry deterministically.
+	Now func() time.Time
+}
+
+type lease struct {
+	node    string
+	expires time.Time
+	started time.Time
+}
+
+type campaign struct {
+	man    *Manifest
+	log    *Log
+	state  string
+	done   map[int]json.RawMessage
+	nodes  map[int]string
+	pend   []int // shard indices neither done nor leased, in claim order
+	leases map[int]*lease
+}
+
+// Coordinator schedules campaigns over the durable store. All methods
+// are safe for concurrent use.
+type Coordinator struct {
+	cfg CoordConfig
+
+	mu    sync.Mutex
+	camps map[string]*campaign
+	order []string // submission order (store order on resume)
+}
+
+// NewCoordinator opens the store, replays every stored campaign, and
+// resumes the incomplete ones: their undone shards go back to pending,
+// exactly as if the shards had simply not been claimed yet.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: coordinator needs a store")
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = DefaultMaxActive
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Coordinator{cfg: cfg, camps: make(map[string]*campaign)}
+	ids, err := cfg.Store.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		man, err := cfg.Store.LoadManifest(id)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := cfg.Store.Recover(id, man)
+		if err != nil {
+			return nil, err
+		}
+		camp := &campaign{man: man, done: rep.Done, nodes: rep.Nodes, leases: make(map[int]*lease)}
+		switch {
+		case rep.Cancelled:
+			camp.state = StateCancelled
+		case len(rep.Done) == len(man.Shards):
+			camp.state = StateComplete
+		default:
+			camp.state = StateQueued
+			for i := range man.Shards {
+				if _, ok := rep.Done[i]; !ok {
+					camp.pend = append(camp.pend, i)
+				}
+			}
+		}
+		c.camps[id] = camp
+		c.order = append(c.order, id)
+	}
+	cfg.Obs.ObserveService(
+		func() float64 { return float64(c.countState(StateQueued)) },
+		func() float64 { return float64(c.countState(StateRunning)) },
+		func() float64 { return float64(c.countLeases()) },
+	)
+	return c, nil
+}
+
+func (c *Coordinator) countState(state string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, camp := range c.camps {
+		if camp.state == state {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) countLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, camp := range c.camps {
+		n += len(camp.leases)
+	}
+	return n
+}
+
+// BuildManifest validates a submission and derives its deterministic
+// shard table. shardSize bounds injection shard length in plan slots
+// (zero picks one shard per component); beam campaigns always shard at
+// the component-chain boundary.
+func BuildManifest(kind string, inj *gefin.Config, bm *beam.Config, workloads []string, shardSize int) (*Manifest, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("serve: a campaign needs at least one workload")
+	}
+	for _, w := range workloads {
+		if _, ok := bench.ByName(w); !ok {
+			return nil, fmt.Errorf("serve: unknown workload %q", w)
+		}
+	}
+	man := &Manifest{Version: StoreVersion, Kind: kind, Workloads: workloads}
+	switch kind {
+	case KindInjection:
+		if inj == nil {
+			return nil, fmt.Errorf("serve: injection campaign needs an injection config")
+		}
+		man.Injection = inj
+		planLen := gefin.PlanLen(*inj)
+		comps := len(inj.Components)
+		if comps == 0 {
+			comps = fault.NumComponents
+		}
+		if shardSize <= 0 {
+			shardSize = planLen / comps // one shard per component
+		}
+		for _, w := range workloads {
+			for lo := 0; lo < planLen; lo += shardSize {
+				hi := lo + shardSize
+				if hi > planLen {
+					hi = planLen
+				}
+				man.Shards = append(man.Shards, Shard{Workload: w, Lo: lo, Hi: hi})
+			}
+		}
+	case KindBeam:
+		if bm == nil {
+			return nil, fmt.Errorf("serve: beam campaign needs a beam config")
+		}
+		man.Beam = bm
+		for _, w := range workloads {
+			for ci := 0; ci < beam.ShardsPerWorkload; ci++ {
+				man.Shards = append(man.Shards, Shard{Workload: w, Lo: ci, Hi: ci + 1})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown campaign kind %q", kind)
+	}
+	return man, nil
+}
+
+// Submit durably creates a campaign and queues it for admission. An
+// empty manifest ID is assigned a fresh one; the assigned ID is
+// returned.
+func (c *Coordinator) Submit(man *Manifest) (string, error) {
+	if man.ID == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "", fmt.Errorf("serve: %w", err)
+		}
+		man.ID = "c" + hex.EncodeToString(b[:])
+	}
+	man.Created = c.cfg.Now().UTC()
+	if err := c.cfg.Store.Create(man); err != nil {
+		return "", err
+	}
+	camp := &campaign{
+		man:    man,
+		state:  StateQueued,
+		done:   make(map[int]json.RawMessage),
+		nodes:  make(map[int]string),
+		leases: make(map[int]*lease),
+	}
+	for i := range man.Shards {
+		camp.pend = append(camp.pend, i)
+	}
+	c.mu.Lock()
+	c.camps[man.ID] = camp
+	c.order = append(c.order, man.ID)
+	c.mu.Unlock()
+	return man.ID, nil
+}
+
+// sweepLocked requeues the shards of expired leases and admits queued
+// campaigns into free active slots. Callers hold c.mu.
+func (c *Coordinator) sweepLocked() {
+	now := c.cfg.Now()
+	active := 0
+	for _, id := range c.order {
+		camp := c.camps[id]
+		if camp.state != StateRunning {
+			continue
+		}
+		for shard, l := range camp.leases {
+			if now.After(l.expires) {
+				delete(camp.leases, shard)
+				camp.pend = append(camp.pend, shard)
+				c.cfg.Obs.Lease("expired")
+				c.cfg.Obs.ShardEvent(id, camp.man.Shards[shard].Workload, l.node,
+					"requeued", shard, camp.man.Shards[shard].Items(), now.Sub(l.started))
+			}
+		}
+		active++
+	}
+	for _, id := range c.order {
+		if active >= c.cfg.MaxActive {
+			break
+		}
+		camp := c.camps[id]
+		if camp.state == StateQueued {
+			camp.state = StateRunning
+			active++
+		}
+	}
+}
+
+// Assignment is a leased shard handed to a worker node: everything the
+// node needs to execute the shard independently (the configs are small;
+// shipping them per-assignment keeps workers stateless).
+type Assignment struct {
+	Campaign  string        `json:"campaign"`
+	Kind      string        `json:"kind"`
+	Injection *gefin.Config `json:"injection,omitempty"`
+	Beam      *beam.Config  `json:"beam,omitempty"`
+	Shard     int           `json:"shard"`
+	Workload  string        `json:"workload"`
+	Lo        int           `json:"lo"`
+	Hi        int           `json:"hi"`
+	// LeaseMS is the lease TTL in milliseconds; the node must renew
+	// comfortably within it or the shard is requeued.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+// Claim leases the next pending shard to node, preferring earlier-
+// submitted campaigns. It returns nil when nothing is claimable (no
+// admitted campaign has pending shards).
+func (c *Coordinator) Claim(node string) (*Assignment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	now := c.cfg.Now()
+	for _, id := range c.order {
+		camp := c.camps[id]
+		if camp.state != StateRunning || len(camp.pend) == 0 {
+			continue
+		}
+		shard := camp.pend[0]
+		camp.pend = camp.pend[1:]
+		camp.leases[shard] = &lease{node: node, expires: now.Add(c.cfg.LeaseTTL), started: now}
+		sh := camp.man.Shards[shard]
+		c.cfg.Obs.Lease("granted")
+		c.cfg.Obs.ShardEvent(id, sh.Workload, node, "claimed", shard, sh.Items(), 0)
+		return &Assignment{
+			Campaign:  id,
+			Kind:      camp.man.Kind,
+			Injection: camp.man.Injection,
+			Beam:      camp.man.Beam,
+			Shard:     shard,
+			Workload:  sh.Workload,
+			Lo:        sh.Lo,
+			Hi:        sh.Hi,
+			LeaseMS:   c.cfg.LeaseTTL.Milliseconds(),
+		}, nil
+	}
+	return nil, nil
+}
+
+// Renew extends node's lease on a shard. Renewing a lease that has
+// already been requeued (or reassigned) fails — the node must abandon
+// the shard; its eventual Complete would be a harmless duplicate.
+func (c *Coordinator) Renew(node, id string, shard int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	camp, ok := c.camps[id]
+	if !ok {
+		return fmt.Errorf("serve: unknown campaign %s", id)
+	}
+	l, ok := camp.leases[shard]
+	if !ok || l.node != node {
+		return fmt.Errorf("serve: node %s holds no lease on %s shard %d", node, id, shard)
+	}
+	l.expires = c.cfg.Now().Add(c.cfg.LeaseTTL)
+	c.cfg.Obs.Lease("renewed")
+	return nil
+}
+
+// Complete durably records a shard result. It is idempotent: a
+// completion for an already-done shard (a node finishing after its lease
+// expired and another node re-ran the shard) is acknowledged and
+// discarded — by determinism the payloads are identical, and the first
+// durable record wins.
+func (c *Coordinator) Complete(node, id string, shard int, payload *ShardPayload) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	camp, ok := c.camps[id]
+	if !ok {
+		return fmt.Errorf("serve: unknown campaign %s", id)
+	}
+	if camp.state == StateCancelled {
+		return nil // late completion of a cancelled campaign: drop
+	}
+	if shard < 0 || shard >= len(camp.man.Shards) {
+		return fmt.Errorf("serve: shard %d outside campaign %s", shard, id)
+	}
+	if _, dup := camp.done[shard]; dup {
+		return nil
+	}
+	if camp.log == nil {
+		log, err := c.cfg.Store.OpenLog(id)
+		if err != nil {
+			return err
+		}
+		camp.log = log
+	}
+	// Durability first: the in-memory state only advances once the
+	// record is fsync'd, so a crash between the two replays cleanly.
+	if err := camp.log.AppendShard(shard, node, data); err != nil {
+		return err
+	}
+	camp.done[shard] = data
+	camp.nodes[shard] = node
+	var wall time.Duration
+	if l, ok := camp.leases[shard]; ok {
+		wall = c.cfg.Now().Sub(l.started)
+		delete(camp.leases, shard)
+	} else {
+		// The shard was requeued (lease expired) but this node finished
+		// first: pull it back out of pending.
+		for i, p := range camp.pend {
+			if p == shard {
+				camp.pend = append(camp.pend[:i], camp.pend[i+1:]...)
+				break
+			}
+		}
+	}
+	sh := camp.man.Shards[shard]
+	c.cfg.Obs.ShardEvent(id, sh.Workload, node, "completed", shard, sh.Items(), wall)
+	if len(camp.done) == len(camp.man.Shards) {
+		camp.state = StateComplete
+		camp.log.Close()
+		camp.log = nil
+	}
+	return nil
+}
+
+// Cancel durably cancels a campaign; its pending shards are dropped and
+// in-flight completions are discarded.
+func (c *Coordinator) Cancel(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	camp, ok := c.camps[id]
+	if !ok {
+		return fmt.Errorf("serve: unknown campaign %s", id)
+	}
+	if camp.state == StateComplete || camp.state == StateCancelled {
+		return fmt.Errorf("serve: campaign %s is already %s", id, camp.state)
+	}
+	if camp.log == nil {
+		log, err := c.cfg.Store.OpenLog(id)
+		if err != nil {
+			return err
+		}
+		camp.log = log
+	}
+	if err := camp.log.AppendEvent("cancelled"); err != nil {
+		return err
+	}
+	camp.state = StateCancelled
+	camp.pend = nil
+	camp.leases = make(map[int]*lease)
+	camp.log.Close()
+	camp.log = nil
+	return nil
+}
+
+// LeaseStatus describes one live shard lease.
+type LeaseStatus struct {
+	Shard     int    `json:"shard"`
+	Workload  string `json:"workload"`
+	Node      string `json:"node"`
+	ExpiresMS int64  `json:"expires_ms"`
+}
+
+// CampaignStatus is the public snapshot of one campaign.
+type CampaignStatus struct {
+	ID          string        `json:"id"`
+	Kind        string        `json:"kind"`
+	State       string        `json:"state"`
+	Workloads   []string      `json:"workloads"`
+	ShardsDone  int           `json:"shards_done"`
+	ShardsTotal int           `json:"shards_total"`
+	ItemsDone   int           `json:"items_done"`
+	ItemsTotal  int           `json:"items_total"`
+	Leases      []LeaseStatus `json:"leases,omitempty"`
+	Created     time.Time     `json:"created"`
+}
+
+// Status snapshots one campaign.
+func (c *Coordinator) Status(id string) (*CampaignStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	camp, ok := c.camps[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown campaign %s", id)
+	}
+	return c.statusLocked(id, camp), nil
+}
+
+// StatusAll snapshots every campaign in submission order.
+func (c *Coordinator) StatusAll() []*CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	out := make([]*CampaignStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.statusLocked(id, c.camps[id]))
+	}
+	return out
+}
+
+func (c *Coordinator) statusLocked(id string, camp *campaign) *CampaignStatus {
+	now := c.cfg.Now()
+	st := &CampaignStatus{
+		ID:          id,
+		Kind:        camp.man.Kind,
+		State:       camp.state,
+		Workloads:   camp.man.Workloads,
+		ShardsDone:  len(camp.done),
+		ShardsTotal: len(camp.man.Shards),
+		Created:     camp.man.Created,
+	}
+	for i, sh := range camp.man.Shards {
+		st.ItemsTotal += sh.Items()
+		if _, ok := camp.done[i]; ok {
+			st.ItemsDone += sh.Items()
+		}
+	}
+	shards := make([]int, 0, len(camp.leases))
+	for sh := range camp.leases {
+		shards = append(shards, sh)
+	}
+	sort.Ints(shards)
+	for _, sh := range shards {
+		l := camp.leases[sh]
+		st.Leases = append(st.Leases, LeaseStatus{
+			Shard:     sh,
+			Workload:  camp.man.Shards[sh].Workload,
+			Node:      l.node,
+			ExpiresMS: l.expires.Sub(now).Milliseconds(),
+		})
+	}
+	return st
+}
+
+// Results assembles a completed campaign into its engine Result —
+// bit-identical to an uninterrupted in-process run of the same Config
+// and seed, regardless of how execution was sharded, interrupted, or
+// spread over nodes. The returned value is *gefin.Result or
+// *beam.Result.
+func (c *Coordinator) Results(id string) (any, error) {
+	c.mu.Lock()
+	camp, ok := c.camps[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: unknown campaign %s", id)
+	}
+	if camp.state != StateComplete {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: campaign %s is %s, not complete", id, camp.state)
+	}
+	man := camp.man
+	done := make(map[int]json.RawMessage, len(camp.done))
+	for k, v := range camp.done {
+		done[k] = v
+	}
+	c.mu.Unlock()
+	return Assemble(man, done)
+}
+
+// Assemble reconstructs the engine Result of a fully completed campaign
+// from its manifest and durable shard payloads.
+func Assemble(man *Manifest, done map[int]json.RawMessage) (any, error) {
+	switch man.Kind {
+	case KindInjection:
+		res := &gefin.Result{Config: *man.Injection}
+		for _, w := range man.Workloads {
+			outs := make([]gefin.ShardOutcome, 0)
+			var meta *gefin.ShardMeta
+			// Manifest shard order within a workload is plan order.
+			for i, sh := range man.Shards {
+				if sh.Workload != w {
+					continue
+				}
+				raw, ok := done[i]
+				if !ok {
+					return nil, fmt.Errorf("serve: campaign %s: shard %d missing", man.ID, i)
+				}
+				var p ShardPayload
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return nil, fmt.Errorf("serve: campaign %s shard %d: %w", man.ID, i, err)
+				}
+				if len(outs) != sh.Lo {
+					return nil, fmt.Errorf("serve: campaign %s: shard %d starts at %d, have %d outcomes", man.ID, i, sh.Lo, len(outs))
+				}
+				outs = append(outs, p.Outcomes...)
+				if meta == nil {
+					meta = p.InjMeta
+				}
+			}
+			if meta == nil {
+				return nil, fmt.Errorf("serve: campaign %s: no shards for workload %s", man.ID, w)
+			}
+			wr, err := gefin.AssembleWorkload(*man.Injection, w, *meta, outs)
+			if err != nil {
+				return nil, err
+			}
+			res.Workloads = append(res.Workloads, *wr)
+		}
+		return res, nil
+	case KindBeam:
+		res := &beam.Result{Config: *man.Beam}
+		for _, w := range man.Workloads {
+			chains := make([]*beam.ChainOutcome, beam.ShardsPerWorkload)
+			var meta *beam.ShardMeta
+			for i, sh := range man.Shards {
+				if sh.Workload != w {
+					continue
+				}
+				raw, ok := done[i]
+				if !ok {
+					return nil, fmt.Errorf("serve: campaign %s: shard %d missing", man.ID, i)
+				}
+				var p ShardPayload
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return nil, fmt.Errorf("serve: campaign %s shard %d: %w", man.ID, i, err)
+				}
+				if sh.Lo < 0 || sh.Lo >= len(chains) {
+					return nil, fmt.Errorf("serve: campaign %s: chain shard %d out of range", man.ID, sh.Lo)
+				}
+				chains[sh.Lo] = p.Chain
+				if meta == nil {
+					meta = p.BeamMeta
+				}
+			}
+			if meta == nil {
+				return nil, fmt.Errorf("serve: campaign %s: no shards for workload %s", man.ID, w)
+			}
+			wr, err := beam.AssembleWorkload(*man.Beam, w, *meta, chains)
+			if err != nil {
+				return nil, err
+			}
+			res.Workloads = append(res.Workloads, *wr)
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown campaign kind %q", man.Kind)
+	}
+}

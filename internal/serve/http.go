@@ -1,0 +1,188 @@
+// HTTP surface of the campaign service. The API is a thin JSON wrapper
+// over the Coordinator — every endpoint is a single coordinator call —
+// so local (in-process) and remote (campaignd) operation share all
+// scheduling, durability, and assembly logic.
+//
+//	POST /api/v1/campaigns            submit a campaign     -> {"id": ...}
+//	GET  /api/v1/campaigns            list campaign status
+//	GET  /api/v1/campaigns/{id}       one campaign's status
+//	GET  /api/v1/campaigns/{id}/results  assembled Result (complete only)
+//	POST /api/v1/campaigns/{id}/cancel   cancel
+//	POST /api/v1/claim                worker: lease next shard (204 = none)
+//	POST /api/v1/renew                worker: extend a lease
+//	POST /api/v1/complete             worker: report a shard result
+//	GET  /metrics, /debug/*           service + campaign metrics, pprof
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+)
+
+// SubmitRequest is the campaign-submission body. Exactly one of
+// Injection / Beam must match Kind.
+type SubmitRequest struct {
+	// Kind is "injection" or "beam".
+	Kind string `json:"kind"`
+	// Injection is the gefin campaign config (injection kind). Its Seed
+	// pins the pre-drawn fault plan; Workers/Trace knobs are ignored —
+	// the service schedules execution itself.
+	Injection *gefin.Config `json:"injection,omitempty"`
+	// Beam is the beam campaign config (beam kind).
+	Beam *beam.Config `json:"beam,omitempty"`
+	// Workloads names the benchmarks to run.
+	Workloads []string `json:"workloads"`
+	// ShardSize bounds injection shard length in plan slots; zero picks
+	// one shard per component. Beam campaigns ignore it (always one
+	// shard per component chain).
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+type claimRequest struct {
+	Node string `json:"node"`
+}
+
+type leaseRequest struct {
+	Node     string `json:"node"`
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+}
+
+type completeRequest struct {
+	Node     string        `json:"node"`
+	Campaign string        `json:"campaign"`
+	Shard    int           `json:"shard"`
+	Payload  *ShardPayload `json:"payload"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler builds the service's HTTP mux over a coordinator. reg, when
+// non-nil, mounts the metrics endpoints.
+func Handler(c *Coordinator, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /api/v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
+			return
+		}
+		man, err := BuildManifest(req.Kind, req.Injection, req.Beam, req.Workloads, req.ShardSize)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := c.Submit(man)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.StatusAll())
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := c.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		res, err := c.Results(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /api/v1/campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Cancel(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"state": StateCancelled})
+	})
+
+	mux.HandleFunc("POST /api/v1/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req claimRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		a, err := c.Claim(req.Node)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if a == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, a)
+	})
+
+	mux.HandleFunc("POST /api/v1/renew", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := c.Renew(req.Node, req.Campaign, req.Shard); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /api/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Payload == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: completion without payload"))
+			return
+		}
+		if err := c.Complete(req.Node, req.Campaign, req.Shard, req.Payload); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	if reg != nil {
+		oh := obs.Handler(reg)
+		mux.Handle("/metrics", oh)
+		mux.Handle("/debug/", oh)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"armsefi/internal/bench"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+)
+
+// TestHTTPEndToEnd drives the full remote path: a campaign submitted
+// through the HTTP API, executed by a worker that only talks to the
+// coordinator through Client (exactly what a remote campaignd does), and
+// fetched back — with Workloads bytes identical to a direct in-process
+// run.
+func TestHTTPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real injection campaigns")
+	}
+	cfg := gefin.Config{
+		Seed:               55,
+		FaultsPerComponent: 3,
+		Components:         []fault.Component{fault.CompRegFile},
+		Workers:            1,
+	}
+	spec, _ := bench.ByName("crc32")
+	direct, err := gefin.Run(cfg, []bench.Spec{spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer := obs.New(obs.Options{})
+	coord, err := NewCoordinator(CoordConfig{Store: store, LeaseTTL: time.Minute, Obs: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(coord, observer.Registry()))
+	defer srv.Close()
+	client := &Client{Base: srv.URL}
+
+	id, err := client.Submit(SubmitRequest{
+		Kind:      KindInjection,
+		Injection: &cfg,
+		Workloads: []string{"crc32"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ItemsTotal != gefin.PlanLen(cfg) {
+		t.Fatalf("items total %d, want %d", st.ItemsTotal, gefin.PlanLen(cfg))
+	}
+
+	// A "remote node": RunWorker over the HTTP client.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		_, err := RunWorker(ctx, WorkerConfig{Node: "remote", Source: client, PollInterval: 20 * time.Millisecond})
+		workerDone <- err
+	}()
+
+	final, err := client.WaitComplete(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateComplete {
+		t.Fatalf("final state %s", final.State)
+	}
+	cancel()
+	if err := <-workerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := client.InjectionResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, _ := json.Marshal(direct.Workloads)
+	aj, _ := json.Marshal(res.Workloads)
+	if string(dj) != string(aj) {
+		t.Fatalf("remote run diverged from direct run:\n direct %s\n remote %s", dj, aj)
+	}
+
+	// Service metrics moved: shards were completed through the service.
+	var counted bool
+	observer.Registry().WritePrometheus(discardWriter{&counted})
+	if !counted {
+		t.Error("metrics registry wrote nothing")
+	}
+
+	// API error surfaces: unknown campaign, cancel-after-complete.
+	if _, err := client.Status("nope"); err == nil {
+		t.Error("unknown campaign status succeeded")
+	}
+	if err := client.Cancel(id); err == nil {
+		t.Error("cancel of a complete campaign succeeded")
+	}
+}
+
+type discardWriter struct{ wrote *bool }
+
+func (d discardWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		*d.wrote = true
+	}
+	return len(p), nil
+}
+
+// TestHTTPValidation pins the API's input validation without running any
+// campaign.
+func TestHTTPValidation(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(coord, nil))
+	defer srv.Close()
+	client := &Client{Base: srv.URL}
+
+	if _, err := client.Submit(SubmitRequest{Kind: "bogus"}); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if _, err := client.Submit(SubmitRequest{Kind: KindInjection, Injection: &gefin.Config{}}); err == nil {
+		t.Error("submission without workloads accepted")
+	}
+	if a, err := client.Claim("n"); err != nil || a != nil {
+		t.Errorf("claim on empty service = %+v, %v", a, err)
+	}
+	if err := client.Renew("n", "nope", 0); err == nil {
+		t.Error("renew on unknown campaign accepted")
+	}
+	if err := client.Complete("n", "nope", 0, &ShardPayload{}); err == nil {
+		t.Error("complete on unknown campaign accepted")
+	}
+}

@@ -1,0 +1,373 @@
+// Durable campaign store of the campaign service: one directory per
+// campaign holding an immutable manifest (the campaign as submitted,
+// with its deterministic shard table) and an append-only, fsync'd,
+// CRC-guarded shard-result log. The store is the service's source of
+// truth: a daemon killed at any instant — including mid-append — replays
+// the log on restart, drops at most the torn tail record, and resumes
+// the campaign from its last durably completed shard. Because shard
+// outcomes are deterministic, re-executing a lost tail shard reproduces
+// it exactly, so crash recovery never perturbs the final Results.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/gefin"
+)
+
+// StoreVersion is the on-disk format version stamped into every manifest
+// and log record; Open-time checks reject skewed stores instead of
+// misreading them.
+const StoreVersion = 1
+
+// Campaign kinds.
+const (
+	KindInjection = "injection"
+	KindBeam      = "beam"
+)
+
+// Shard is one schedulable, durably-completable unit of a campaign: a
+// contiguous pre-drawn plan range [Lo, Hi) of one workload for injection
+// campaigns, or a single component strike chain (Lo = component index,
+// Hi = Lo+1) for beam campaigns.
+type Shard struct {
+	Workload string `json:"workload"`
+	Lo       int    `json:"lo"`
+	Hi       int    `json:"hi"`
+}
+
+// Items returns the number of experiments the shard covers.
+func (s Shard) Items() int { return s.Hi - s.Lo }
+
+// Manifest is the immutable description of a campaign, written once at
+// submission. The shard table is part of the manifest, so the shard
+// decomposition can never drift between a crash and a resume.
+type Manifest struct {
+	Version   int           `json:"version"`
+	ID        string        `json:"id"`
+	Kind      string        `json:"kind"`
+	Injection *gefin.Config `json:"injection,omitempty"`
+	Beam      *beam.Config  `json:"beam,omitempty"`
+	Workloads []string      `json:"workloads"`
+	Shards    []Shard       `json:"shards"`
+	Created   time.Time     `json:"created"`
+}
+
+// ShardPayload is the wire/durable record of one completed shard.
+type ShardPayload struct {
+	// Injection shards: the workload meta and the per-slot outcomes of
+	// the shard's plan range.
+	InjMeta  *gefin.ShardMeta     `json:"inj_meta,omitempty"`
+	Outcomes []gefin.ShardOutcome `json:"outcomes,omitempty"`
+	// Beam shards: the workload meta and the chain outcome.
+	BeamMeta *beam.ShardMeta    `json:"beam_meta,omitempty"`
+	Chain    *beam.ChainOutcome `json:"chain,omitempty"`
+}
+
+// logRecord is one line of the append-only shard log. Type "shard"
+// carries a completed shard's payload; type "event" marks a campaign
+// lifecycle transition (cancelled). CRC is crc32-IEEE over the fields
+// the record's identity and payload comprise, so a corrupted-but-
+// parseable line is detected, not silently merged.
+type logRecord struct {
+	V       int             `json:"v"`
+	Type    string          `json:"type"`
+	Shard   int             `json:"shard,omitempty"`
+	Node    string          `json:"node,omitempty"`
+	Event   string          `json:"event,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	CRC     uint32          `json:"crc"`
+}
+
+func (r *logRecord) checksum() uint32 {
+	h := crc32.NewIEEE()
+	fmt.Fprintf(h, "%d|%s|%d|%s|%s|", r.V, r.Type, r.Shard, r.Node, r.Event)
+	h.Write(r.Payload)
+	return h.Sum32()
+}
+
+// Store is a root directory of campaign subdirectories.
+type Store struct {
+	root string
+}
+
+// OpenStore opens (creating if needed) a campaign store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) dir(id string) string      { return filepath.Join(s.root, id) }
+func (s *Store) manifest(id string) string { return filepath.Join(s.dir(id), "manifest.json") }
+func (s *Store) logPath(id string) string  { return filepath.Join(s.dir(id), "shards.log") }
+
+// Create durably records a new campaign: the manifest is written to a
+// temp file, fsync'd, renamed into place, and the directory entries are
+// fsync'd — after Create returns, a crash cannot lose or half-write the
+// campaign.
+func (s *Store) Create(man *Manifest) error {
+	if man.ID == "" || strings.ContainsAny(man.ID, "/\\.") {
+		return fmt.Errorf("serve: store: bad campaign id %q", man.ID)
+	}
+	man.Version = StoreVersion
+	dir := s.dir(man.ID)
+	if _, err := os.Stat(dir); err == nil {
+		return fmt.Errorf("serve: store: campaign %s already exists", man.ID)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	tmp := s.manifest(man.ID) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if err := os.Rename(tmp, s.manifest(man.ID)); err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// List returns the ids of all stored campaigns, oldest manifest first.
+func (s *Store) List() ([]string, error) {
+	ents, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	type stamped struct {
+		id string
+		t  time.Time
+	}
+	var found []stamped
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		man, err := s.LoadManifest(e.Name())
+		if err != nil {
+			continue // not a campaign directory
+		}
+		found = append(found, stamped{e.Name(), man.Created})
+	}
+	sort.Slice(found, func(a, b int) bool {
+		if !found[a].t.Equal(found[b].t) {
+			return found[a].t.Before(found[b].t)
+		}
+		return found[a].id < found[b].id
+	})
+	ids := make([]string, len(found))
+	for i, f := range found {
+		ids[i] = f.id
+	}
+	return ids, nil
+}
+
+// LoadManifest reads and version-checks a campaign manifest.
+func (s *Store) LoadManifest(id string) (*Manifest, error) {
+	data, err := os.ReadFile(s.manifest(id))
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("serve: store: manifest %s: %w", id, err)
+	}
+	if man.Version != StoreVersion {
+		return nil, fmt.Errorf("serve: store: manifest %s has version %d, this daemon speaks %d",
+			id, man.Version, StoreVersion)
+	}
+	if man.ID != id {
+		return nil, fmt.Errorf("serve: store: manifest id %q does not match directory %q", man.ID, id)
+	}
+	return &man, nil
+}
+
+// Replay is the crash-safe reading of a campaign's shard log.
+type Replay struct {
+	// Done maps completed shard indices to their durable payloads; on a
+	// duplicate completion the first record wins (later ones are
+	// byte-identical by determinism — Duplicates counts them).
+	Done       map[int]json.RawMessage
+	Nodes      map[int]string
+	Cancelled  bool
+	Duplicates int
+	// TornBytes is the length of a torn (crashed-mid-append) tail that
+	// was dropped; Recover truncates it off so appends can resume.
+	TornBytes int
+}
+
+// Replay reads the shard log, validating every record's version and CRC.
+// A torn or corrupt tail record — the signature of a crash mid-append —
+// is dropped and reported; corruption before the tail is an error, and a
+// record with an unknown version is an error everywhere (version skew is
+// never silently skipped: it means a newer daemon wrote this log).
+func (s *Store) Replay(id string, man *Manifest) (*Replay, error) {
+	data, err := os.ReadFile(s.logPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Replay{Done: map[int]json.RawMessage{}, Nodes: map[int]string{}}, nil
+		}
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	rep := &Replay{Done: map[int]json.RawMessage{}, Nodes: map[int]string{}}
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No terminator: the append was cut mid-line.
+			rep.TornBytes = len(data) - off
+			break
+		}
+		line := data[off : off+nl]
+		next := off + nl + 1
+		var rec logRecord
+		bad := ""
+		switch err := json.Unmarshal(line, &rec); {
+		case err != nil:
+			bad = fmt.Sprintf("unparseable record: %v", err)
+		case rec.V != StoreVersion:
+			return nil, fmt.Errorf("serve: store: log %s: record version %d, this daemon speaks %d (version skew)",
+				id, rec.V, StoreVersion)
+		case rec.CRC != rec.checksum():
+			bad = "checksum mismatch"
+		}
+		if bad != "" {
+			if next >= len(data) {
+				// Torn tail: the crash hit mid-append after the previous
+				// fsync; drop it (the shard will simply re-run).
+				rep.TornBytes = len(data) - off
+				off = len(data)
+				break
+			}
+			return nil, fmt.Errorf("serve: store: log %s: %s before the tail — store is corrupt", id, bad)
+		}
+		switch rec.Type {
+		case "shard":
+			if man != nil && (rec.Shard < 0 || rec.Shard >= len(man.Shards)) {
+				return nil, fmt.Errorf("serve: store: log %s: shard %d outside manifest's %d shards",
+					id, rec.Shard, len(man.Shards))
+			}
+			if _, dup := rep.Done[rec.Shard]; dup {
+				rep.Duplicates++
+			} else {
+				rep.Done[rec.Shard] = rec.Payload
+				rep.Nodes[rec.Shard] = rec.Node
+			}
+		case "event":
+			if rec.Event == "cancelled" {
+				rep.Cancelled = true
+			}
+		default:
+			return nil, fmt.Errorf("serve: store: log %s: unknown record type %q", id, rec.Type)
+		}
+		off = next
+	}
+	return rep, nil
+}
+
+// Recover replays the log and, when a torn tail is found, truncates it
+// off so the log ends on a record boundary and appends can resume.
+func (s *Store) Recover(id string, man *Manifest) (*Replay, error) {
+	rep, err := s.Replay(id, man)
+	if err != nil {
+		return nil, err
+	}
+	if rep.TornBytes > 0 {
+		info, err := os.Stat(s.logPath(id))
+		if err != nil {
+			return nil, fmt.Errorf("serve: store: %w", err)
+		}
+		if err := os.Truncate(s.logPath(id), info.Size()-int64(rep.TornBytes)); err != nil {
+			return nil, fmt.Errorf("serve: store: truncating torn tail: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// Log is an append handle on a campaign's shard log. Every append is a
+// single write of one JSON line followed by fsync, so a record is either
+// durable and complete or (after a crash) a torn tail the next Replay
+// drops.
+type Log struct {
+	f *os.File
+}
+
+// OpenLog opens the campaign's shard log for appending.
+func (s *Store) OpenLog(id string) (*Log, error) {
+	f, err := os.OpenFile(s.logPath(id), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	return &Log{f: f}, nil
+}
+
+// AppendShard durably records a completed shard.
+func (l *Log) AppendShard(shard int, node string, payload json.RawMessage) error {
+	return l.append(logRecord{V: StoreVersion, Type: "shard", Shard: shard, Node: node, Payload: payload})
+}
+
+// AppendEvent durably records a campaign lifecycle event.
+func (l *Log) AppendEvent(event string) error {
+	return l.append(logRecord{V: StoreVersion, Type: "event", Event: event})
+}
+
+func (l *Log) append(rec logRecord) error {
+	rec.CRC = rec.checksum()
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if _, err := l.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	return nil
+}
+
+// Close closes the append handle.
+func (l *Log) Close() error { return l.f.Close() }
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	return nil
+}

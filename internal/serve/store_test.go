@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+)
+
+func testManifest(t *testing.T, id string, shards int) *Manifest {
+	t.Helper()
+	man := &Manifest{
+		Version:   StoreVersion,
+		ID:        id,
+		Kind:      KindInjection,
+		Injection: &gefin.Config{Seed: 1, FaultsPerComponent: 2, Components: []fault.Component{fault.CompRegFile}},
+		Workloads: []string{"crc32"},
+		Created:   time.Unix(1700000000, 0).UTC(),
+	}
+	for i := 0; i < shards; i++ {
+		man.Shards = append(man.Shards, Shard{Workload: "crc32", Lo: i, Hi: i + 1})
+	}
+	return man
+}
+
+func payload(t *testing.T, marker uint64) json.RawMessage {
+	t.Helper()
+	data, err := json.Marshal(&ShardPayload{InjMeta: &gefin.ShardMeta{GoldenCycles: marker}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestStoreCrashRecovery is the crash-recovery table test: every row
+// mutilates a campaign's log in a specific way and pins what Replay /
+// Recover must do — drop only a torn tail, count duplicates with the
+// first record winning, and refuse corruption or version skew outright.
+func TestStoreCrashRecovery(t *testing.T) {
+	cases := []struct {
+		name string
+		// prepare writes the log (and may corrupt it) and returns the
+		// expected completed-shard count.
+		prepare func(t *testing.T, s *Store, man *Manifest) int
+		wantErr string // "" means recovery must succeed
+		dups    int
+		torn    bool
+		cancel  bool
+	}{
+		{
+			name: "clean log",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				l, _ := s.OpenLog(man.ID)
+				defer l.Close()
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				mustAppend(t, l, 1, "a", payload(t, 10))
+				return 2
+			},
+		},
+		{
+			name: "torn tail mid-line",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				l, _ := s.OpenLog(man.ID)
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				l.Close()
+				// A crash mid-append leaves a prefix of the next record
+				// with no terminating newline.
+				appendRaw(t, s.logPath(man.ID), `{"v":1,"type":"shard","shard":1,"pay`)
+				return 1
+			},
+			torn: true,
+		},
+		{
+			name: "torn tail garbage line",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				l, _ := s.OpenLog(man.ID)
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				l.Close()
+				appendRaw(t, s.logPath(man.ID), "not json at all\n")
+				return 1
+			},
+			torn: true,
+		},
+		{
+			name: "torn tail checksum mismatch",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				l, _ := s.OpenLog(man.ID)
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				l.Close()
+				// A parseable record whose CRC does not match its body:
+				// bit rot or a partially flushed page.
+				rec := logRecord{V: StoreVersion, Type: "shard", Shard: 1, Payload: payload(t, 11), CRC: 12345}
+				line, _ := json.Marshal(&rec)
+				appendRaw(t, s.logPath(man.ID), string(line)+"\n")
+				return 1
+			},
+			torn: true,
+		},
+		{
+			name: "duplicate shard completion first wins",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				l, _ := s.OpenLog(man.ID)
+				defer l.Close()
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				mustAppend(t, l, 0, "b", payload(t, 99)) // late double-completion
+				return 1
+			},
+			dups: 1,
+		},
+		{
+			name: "corruption before the tail",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				appendRaw(t, s.logPath(man.ID), "garbage\n")
+				l, _ := s.OpenLog(man.ID)
+				defer l.Close()
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				return 0
+			},
+			wantErr: "before the tail",
+		},
+		{
+			name: "log record version skew",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				rec := logRecord{V: StoreVersion + 1, Type: "shard", Shard: 0, Payload: payload(t, 10)}
+				rec.CRC = rec.checksum()
+				line, _ := json.Marshal(&rec)
+				appendRaw(t, s.logPath(man.ID), string(line)+"\n")
+				return 0
+			},
+			wantErr: "version skew",
+		},
+		{
+			name: "unknown record type",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				rec := logRecord{V: StoreVersion, Type: "mystery"}
+				rec.CRC = rec.checksum()
+				line, _ := json.Marshal(&rec)
+				appendRaw(t, s.logPath(man.ID), string(line)+"\n")
+				l, _ := s.OpenLog(man.ID)
+				defer l.Close()
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				return 0
+			},
+			wantErr: "unknown record type",
+		},
+		{
+			name: "shard outside manifest",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				l, _ := s.OpenLog(man.ID)
+				defer l.Close()
+				mustAppend(t, l, 7, "a", payload(t, 10))
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				return 0
+			},
+			wantErr: "outside manifest",
+		},
+		{
+			name: "cancellation event",
+			prepare: func(t *testing.T, s *Store, man *Manifest) int {
+				l, _ := s.OpenLog(man.ID)
+				defer l.Close()
+				mustAppend(t, l, 0, "a", payload(t, 10))
+				if err := l.AppendEvent("cancelled"); err != nil {
+					t.Fatal(err)
+				}
+				return 1
+			},
+			cancel: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			man := testManifest(t, "c1", 3)
+			if err := s.Create(man); err != nil {
+				t.Fatal(err)
+			}
+			want := tc.prepare(t, s, man)
+			rep, err := s.Recover(man.ID, man)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want contains %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Done) != want {
+				t.Errorf("completed shards = %d, want %d", len(rep.Done), want)
+			}
+			if rep.Duplicates != tc.dups {
+				t.Errorf("duplicates = %d, want %d", rep.Duplicates, tc.dups)
+			}
+			if rep.Cancelled != tc.cancel {
+				t.Errorf("cancelled = %v, want %v", rep.Cancelled, tc.cancel)
+			}
+			if tc.torn {
+				if rep.TornBytes == 0 {
+					t.Error("torn tail not reported")
+				}
+				// Recover truncated the tail: the log must now replay
+				// cleanly and accept new appends.
+				rep2, err := s.Replay(man.ID, man)
+				if err != nil {
+					t.Fatalf("replay after recovery: %v", err)
+				}
+				if rep2.TornBytes != 0 {
+					t.Error("torn tail survived recovery")
+				}
+				l, err := s.OpenLog(man.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustAppend(t, l, 2, "c", payload(t, 10))
+				l.Close()
+				rep3, err := s.Replay(man.ID, man)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := rep3.Done[2]; !ok {
+					t.Error("append after recovery lost")
+				}
+			}
+			if tc.dups > 0 {
+				// First record wins: the marker of the first append, not
+				// the duplicate's, must be durable.
+				var p ShardPayload
+				if err := json.Unmarshal(rep.Done[0], &p); err != nil {
+					t.Fatal(err)
+				}
+				if p.InjMeta == nil || p.InjMeta.GoldenCycles != 10 {
+					t.Errorf("duplicate overwrote the first record: %+v", p.InjMeta)
+				}
+			}
+		})
+	}
+}
+
+func mustAppend(t *testing.T, l *Log, shard int, node string, payload json.RawMessage) {
+	t.Helper()
+	if err := l.AppendShard(shard, node, payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendRaw(t *testing.T, path, s string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(s); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestStoreManifest pins manifest durability rules: bad ids rejected,
+// double-create rejected, version skew rejected, id/directory mismatch
+// rejected, List ordered by creation time.
+func TestStoreManifest(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "a/b", `a\b`, "a.b"} {
+		man := testManifest(t, id, 1)
+		if err := s.Create(man); err == nil {
+			t.Errorf("id %q accepted", id)
+		}
+	}
+	man := testManifest(t, "c1", 1)
+	if err := s.Create(man); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(testManifest(t, "c1", 1)); err == nil {
+		t.Error("double create accepted")
+	}
+
+	// A manifest written by a future daemon must be refused, not misread.
+	skew := testManifest(t, "c2", 1)
+	if err := s.Create(skew); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(s.manifest("c2"))
+	raw = []byte(strings.Replace(string(raw), `"version": 1`, `"version": 99`, 1))
+	if err := os.WriteFile(s.manifest("c2"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadManifest("c2"); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version skew not refused: %v", err)
+	}
+
+	// A manifest whose id disagrees with its directory is refused.
+	old := testManifest(t, "c3", 1)
+	if err := s.Create(old); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(s.manifest("c3"))
+	raw = []byte(strings.Replace(string(raw), `"id": "c3"`, `"id": "cX"`, 1))
+	if err := os.WriteFile(s.manifest("c3"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadManifest("c3"); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("id mismatch not refused: %v", err)
+	}
+
+	// List skips non-campaign directories and orders by Created.
+	if err := os.MkdirAll(filepath.Join(s.Root(), "not-a-campaign"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	late := testManifest(t, "b1", 1)
+	late.Created = man.Created.Add(time.Hour)
+	if err := s.Create(late); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "c1" || ids[1] != "b1" {
+		t.Errorf("List = %v, want [c1 b1]", ids)
+	}
+}
