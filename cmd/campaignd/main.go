@@ -1,19 +1,31 @@
 // Command campaignd is the campaign service daemon. In coordinator mode
 // (the default) it serves the campaign HTTP API over a durable on-disk
-// store, schedules shard leases, and optionally runs local worker loops
-// against its own coordinator. In worker mode (-coordinator URL) it
-// claims shard leases from a remote campaignd and executes them, so a
-// campaign fans out across machines.
+// store, schedules shard leases, merges worker telemetry into
+// per-campaign fleet traces, serves the live fleet dashboard, and
+// optionally runs local worker loops against its own coordinator. In
+// worker mode (-coordinator URL) it claims shard leases from a remote
+// campaignd, executes them, and federates its trace records and health
+// counters back to the coordinator, so a campaign fans out across
+// machines while the coordinator keeps one correlated view of the fleet.
 //
 // Usage:
 //
 //	campaignd -store DIR [-addr :8440] [-workers N] [-max-active 2]
-//	          [-lease-ttl 30s] [-trace trace.jsonl]
+//	          [-lease-ttl 30s] [-straggler-after 90s] [-stalled-after 15s]
+//	          [-trace trace.jsonl] [-metrics-addr :9100]
+//	          [-telemetry-every 1s]
 //	campaignd -coordinator http://host:8440 [-node NAME] [-workers N]
+//	          [-trace trace.jsonl] [-metrics-addr :9100]
+//	          [-telemetry-every 1s]
+//
+// The coordinator serves the fleet dashboard at /fleet, its JSON feed at
+// /api/v1/fleet, and each campaign's merged fleet trace at
+// /api/v1/campaigns/{id}/trace. -telemetry-every 0 disables federation.
 //
 // SIGINT/SIGTERM drain gracefully: workers stop claiming new shards,
-// in-flight shards finish and report, then the process exits. Interrupted
-// campaigns resume from the last durably completed shard on restart.
+// in-flight shards finish and report, queued telemetry is drained, then
+// the process exits. Interrupted campaigns resume from the last durably
+// completed shard on restart.
 package main
 
 import (
@@ -49,7 +61,11 @@ func run() error {
 		workers     = flag.Int("workers", 0, "local worker loops (0 in coordinator mode = API only)")
 		maxActive   = flag.Int("max-active", serve.DefaultMaxActive, "campaigns admitted concurrently")
 		leaseTTL    = flag.Duration("lease-ttl", serve.DefaultLeaseTTL, "shard lease TTL before requeue")
-		tracePath   = flag.String("trace", "", "write a JSONL trace of shard scheduling and injections")
+		straggler   = flag.Duration("straggler-after", 0, "flag a shard execution as a straggler after this long (0 = 3x lease TTL)")
+		stalled     = flag.Duration("stalled-after", serve.DefaultStalledAfter, "flag a quiet node as stalled after this long")
+		tracePath   = flag.String("trace", "", "write a local JSONL trace of shard scheduling and injections")
+		metricsAddr = flag.String("metrics-addr", "", "serve a standalone /metrics endpoint on this address")
+		telemEvery  = flag.Duration("telemetry-every", time.Second, "worker telemetry batch interval (0 disables federation)")
 		poll        = flag.Duration("poll", 200*time.Millisecond, "worker idle poll interval")
 	)
 	flag.Parse()
@@ -65,8 +81,34 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	ocli, err := obs.SetupCLI(*tracePath, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer ocli.Close()
+
 	if *coordinator != "" {
-		return runWorkers(ctx, &serve.Client{Base: *coordinator}, *node, max(*workers, 1), *poll, nil)
+		client := &serve.Client{Base: *coordinator}
+		src := serve.Source(client)
+		workerObs := ocli.Obs
+		var shipper *serve.Shipper
+		if *telemEvery > 0 {
+			if workerObs == nil {
+				workerObs = obs.New(obs.Options{})
+				defer workerObs.Close()
+			}
+			shipper = serve.NewShipper(*node, client, *telemEvery)
+			workerObs.Tee(shipper)
+			go shipper.Run(ctx)
+			src = shipper.WrapSource(client)
+		}
+		err := runWorkers(ctx, src, *node, max(*workers, 1), *poll, nil, workerObs)
+		if shipper != nil {
+			if derr := shipper.Drain(); derr != nil && err == nil {
+				err = derr
+			}
+		}
+		return err
 	}
 
 	if *storeDir == "" {
@@ -77,24 +119,19 @@ func run() error {
 		return err
 	}
 
-	var traceFile *os.File
-	obsOpts := obs.Options{}
-	if *tracePath != "" {
-		traceFile, err = os.Create(*tracePath)
-		if err != nil {
-			return fmt.Errorf("trace: %w", err)
-		}
-		defer traceFile.Close()
-		obsOpts.TraceWriter = traceFile
+	observer := ocli.Obs
+	if observer == nil {
+		observer = obs.New(obs.Options{})
+		defer observer.Close()
 	}
-	observer := obs.New(obsOpts)
-	defer observer.Close()
 
 	coord, err := serve.NewCoordinator(serve.CoordConfig{
-		Store:     store,
-		MaxActive: *maxActive,
-		LeaseTTL:  *leaseTTL,
-		Obs:       observer,
+		Store:          store,
+		MaxActive:      *maxActive,
+		LeaseTTL:       *leaseTTL,
+		StragglerAfter: *straggler,
+		StalledAfter:   *stalled,
+		Obs:            observer,
 	})
 	if err != nil {
 		return err
@@ -106,14 +143,28 @@ func run() error {
 	}
 	srv := &http.Server{Handler: serve.Handler(coord, observer.Registry())}
 	go srv.Serve(lis)
-	fmt.Fprintf(os.Stderr, "campaignd: serving on %s, store %s\n", lis.Addr(), *storeDir)
+	fmt.Fprintf(os.Stderr, "campaignd: serving on %s, store %s (dashboard at /fleet)\n", lis.Addr(), *storeDir)
 
 	var pool *sched.Pool
+	var shipper *serve.Shipper
 	workerErr := make(chan error, 1)
 	if *workers > 0 {
 		pool = sched.NewPool(*workers)
 		observer.ObservePool(pool)
-		go func() { workerErr <- runWorkers(ctx, coord, *node, *workers, *poll, pool) }()
+		src := serve.Source(coord)
+		workerObs := observer
+		if *telemEvery > 0 {
+			// Local workers federate through a separate observer sharing the
+			// coordinator's registry: their records reach the merged fleet
+			// trace via the telemetry path, exactly like a remote node's,
+			// without double-tracing the coordinator's own shard events.
+			workerObs = obs.New(obs.Options{Registry: observer.Registry()})
+			shipper = serve.NewShipper(*node, coord, *telemEvery)
+			workerObs.Tee(shipper)
+			go shipper.Run(ctx)
+			src = shipper.WrapSource(coord)
+		}
+		go func() { workerErr <- runWorkers(ctx, src, *node, *workers, *poll, pool, workerObs) }()
 	} else {
 		workerErr <- nil
 	}
@@ -121,6 +172,11 @@ func run() error {
 	<-ctx.Done()
 	fmt.Fprintln(os.Stderr, "campaignd: draining (in-flight shards finish, new claims stop)")
 	err = <-workerErr // workers observe ctx, stop claiming, finish in-flight
+	if shipper != nil {
+		if derr := shipper.Drain(); derr != nil && err == nil {
+			err = derr
+		}
+	}
 	if pool != nil {
 		// Belt and braces: hold every pool slot so nothing new can start
 		// while the HTTP server shuts down.
@@ -137,8 +193,10 @@ func run() error {
 }
 
 // runWorkers runs n worker loops against src until ctx cancels, sharing
-// one pool so the simulated-machine count stays bounded.
-func runWorkers(ctx context.Context, src serve.Source, node string, n int, poll time.Duration, pool *sched.Pool) error {
+// one pool so the simulated-machine count stays bounded. Every loop
+// claims as the same node name — the Worker index distinguishes loops in
+// trace records — so fleet health aggregates per machine, not per loop.
+func runWorkers(ctx context.Context, src serve.Source, node string, n int, poll time.Duration, pool *sched.Pool, o *obs.Observer) error {
 	if pool == nil {
 		pool = sched.NewPool(n)
 	}
@@ -149,10 +207,11 @@ func runWorkers(ctx context.Context, src serve.Source, node string, n int, poll 
 		go func(i int) {
 			defer wg.Done()
 			_, err := serve.RunWorker(ctx, serve.WorkerConfig{
-				Node:         fmt.Sprintf("%s/w%d", node, i),
+				Node:         node,
 				Source:       src,
 				Pool:         pool,
 				Worker:       i,
+				Obs:          o,
 				PollInterval: poll,
 			})
 			if err != nil {

@@ -1,16 +1,24 @@
-// Command tracestat recomputes campaign statistics from a JSONL lifecycle
-// trace (written by gefin/beamsim/fitcompare via -trace) and optionally
-// cross-checks them against the engine's own exported Result, exiting
-// nonzero on any disagreement. This closes the observability loop: the
-// trace is an independent record of every injection and strike, so exact
-// agreement with the aggregate Result certifies both.
+// Command tracestat recomputes campaign statistics from JSONL lifecycle
+// traces (written by gefin/beamsim/fitcompare via -trace, federated by
+// campaignd, or fetched from a coordinator) and optionally cross-checks
+// them against the engine's own exported Result, exiting nonzero on any
+// disagreement. This closes the observability loop: the trace is an
+// independent record of every injection and strike, so exact agreement
+// with the aggregate Result certifies both — including a multi-node
+// campaign's merged fleet trace against its distributed Result.
 //
 // Usage:
 //
 //	tracestat trace.jsonl
+//	tracestat node-a.jsonl node-b.jsonl          # merge several nodes' traces
 //	tracestat -against gefin-result.json trace.jsonl
 //	tracestat -against-beam beam-result.json trace.jsonl
 //	tracestat -require-prov -against gefin-result.json trace.jsonl
+//	tracestat -remote http://host:8440 -campaign ID
+//
+// With -remote and -campaign, the campaign's merged fleet trace and its
+// assembled Result are both fetched from the coordinator and verified
+// against each other (exact counts; bit-identical beam event sums).
 //
 // When the trace carries propagation provenance, the mechanism verdicts
 // are verified to partition the outcome classes exactly (always; the
@@ -18,6 +26,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +39,7 @@ import (
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/obs"
+	"armsefi/internal/serve"
 )
 
 func main() {
@@ -43,35 +53,62 @@ func run() error {
 	var (
 		against     = flag.String("against", "", "verify the trace against a gefin campaign Result JSON")
 		againstBeam = flag.String("against-beam", "", "verify the trace against a beam campaign Result JSON")
+		remote      = flag.String("remote", "", "coordinator URL: fetch the campaign's merged fleet trace and Result")
+		campaignID  = flag.String("campaign", "", "campaign id on the remote coordinator")
 		requireProv = flag.Bool("require-prov", false,
 			"fail unless every record carries a provenance mechanism verdict")
 		quiet = flag.Bool("quiet", false, "suppress the summary tables; print verification results only")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: tracestat [-against result.json | -against-beam result.json] trace.jsonl")
+	if (*remote == "") != (*campaignID == "") {
+		return fmt.Errorf("-remote and -campaign go together")
+	}
+	if flag.NArg() == 0 && *remote == "" {
+		return fmt.Errorf("usage: tracestat [-against result.json | -against-beam result.json] trace.jsonl...\n" +
+			"       tracestat -remote http://host:8440 -campaign ID")
 	}
 
-	var in io.Reader
-	if path := flag.Arg(0); path == "-" {
-		in = os.Stdin
-	} else {
+	var readers []io.Reader
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for _, path := range flag.Args() {
+		if path == "-" {
+			readers = append(readers, os.Stdin)
+			continue
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		in = f
+		closers = append(closers, f)
+		readers = append(readers, f)
 	}
-	sum, err := obs.ReadSummary(in)
+
+	var client *serve.Client
+	if *remote != "" {
+		client = &serve.Client{Base: *remote}
+		trace, err := client.Trace(*campaignID)
+		if err != nil {
+			return err
+		}
+		readers = append(readers, bytes.NewReader(trace))
+	}
+
+	sum, err := obs.ReadSummary(io.MultiReader(readers...))
 	if err != nil {
 		return err
 	}
-
 	if !*quiet {
 		printSummary(sum)
 	}
 	failures := verifyProvenance(sum, *requireProv)
+	if client != nil {
+		failures += verifyRemote(sum, client, *campaignID)
+	}
 	if *against != "" {
 		failures += verifyInjection(sum, *against)
 	}
@@ -82,6 +119,42 @@ func run() error {
 		return fmt.Errorf("%d verification failure(s)", failures)
 	}
 	return nil
+}
+
+// verifyRemote fetches the campaign's assembled Result from the
+// coordinator and cross-checks the merged trace against it, picking the
+// verifier by campaign kind.
+func verifyRemote(s *obs.Summary, client *serve.Client, id string) int {
+	st, err := client.Status(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		return 1
+	}
+	raw, err := client.RawResults(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		return 1
+	}
+	label := fmt.Sprintf("remote campaign %s", id)
+	switch st.Kind {
+	case serve.KindInjection:
+		var res gefin.Result
+		if err := json.Unmarshal(raw, &res); err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			return 1
+		}
+		return verifyInjectionResult(s, &res, label)
+	case serve.KindBeam:
+		var res beam.Result
+		if err := json.Unmarshal(raw, &res); err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			return 1
+		}
+		return verifyBeamResult(s, &res, label)
+	default:
+		fmt.Printf("MISMATCH %s: unknown campaign kind %q\n", id, st.Kind)
+		return 1
+	}
 }
 
 // verifyProvenance cross-checks the mechanism verdicts against the outcome
@@ -219,6 +292,10 @@ func verifyInjection(s *obs.Summary, path string) int {
 		fmt.Fprintln(os.Stderr, "tracestat:", err)
 		return 1
 	}
+	return verifyInjectionResult(s, &res, path)
+}
+
+func verifyInjectionResult(s *obs.Summary, res *gefin.Result, label string) int {
 	failures := 0
 	for _, w := range res.Workloads {
 		for _, cr := range w.Components {
@@ -238,7 +315,7 @@ func verifyInjection(s *obs.Summary, path string) int {
 		}
 	}
 	if failures == 0 {
-		fmt.Printf("OK: trace agrees with injection result %s (%d workloads)\n", path, len(res.Workloads))
+		fmt.Printf("OK: trace agrees with injection result %s (%d workloads)\n", label, len(res.Workloads))
 	}
 	return failures
 }
@@ -253,6 +330,10 @@ func verifyBeam(s *obs.Summary, path string) int {
 		fmt.Fprintln(os.Stderr, "tracestat:", err)
 		return 1
 	}
+	return verifyBeamResult(s, &res, path)
+}
+
+func verifyBeamResult(s *obs.Summary, res *beam.Result, label string) int {
 	failures := 0
 	for _, w := range res.Workloads {
 		records, masked := 0, 0
@@ -281,7 +362,7 @@ func verifyBeam(s *obs.Summary, path string) int {
 		}
 	}
 	if failures == 0 {
-		fmt.Printf("OK: trace agrees with beam result %s (%d workloads)\n", path, len(res.Workloads))
+		fmt.Printf("OK: trace agrees with beam result %s (%d workloads)\n", label, len(res.Workloads))
 	}
 	return failures
 }

@@ -299,9 +299,10 @@ func chainSeed(seed int64, workload string, comp fault.Component) int64 {
 // bringing the board to steady state, and corruption then persists across
 // its strikes until a crash forces a reboot — exactly the physics of the
 // sequential simulator, scoped to one component so chains can run
-// concurrently on sibling machines.
+// concurrently on sibling machines. tc stamps distributed trace context
+// onto emitted strike records; the zero context stamps nothing.
 func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Component,
-	perComp int, fluence float64, em *emitter, totalSims, worker int) chainResult {
+	perComp int, fluence float64, em *emitter, totalSims, worker int, tc obs.TraceContext) chainResult {
 	m := wb.Machine
 	built := wb.Built
 	bits := fault.SizeBits(m, comp)
@@ -399,6 +400,7 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 				rec.ProvEvents = append([]mem.ProbeEvent(nil), probe.Events()...)
 				rec.ProvDropped = probe.Dropped()
 			}
+			tc.Stamp(&rec)
 			cfg.Obs.Record(rec, start, time.Now())
 		}
 		if probe != nil {
@@ -569,7 +571,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			if ci >= int64(len(comps)) {
 				return
 			}
-			partial[ci] = runChain(cfg, w, spec, comps[ci], perComp, res.Fluence, em, totalSims, worker)
+			partial[ci] = runChain(cfg, w, spec, comps[ci], perComp, res.Fluence, em, totalSims, worker, obs.TraceContext{})
 		}
 	}
 	var wg sync.WaitGroup

@@ -14,6 +14,7 @@ import (
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/harness"
+	"armsefi/internal/obs"
 )
 
 // ShardsPerWorkload is the number of shards a beam workload decomposes
@@ -50,7 +51,11 @@ type ShardMeta struct {
 type ShardRunner struct {
 	cfg Config
 	// Worker tags trace records emitted during chain runs.
-	Worker  int
+	Worker int
+	// Ctx is stamped onto every strike record the chain emits
+	// (campaign/shard/node/span); the campaign-service worker sets it per
+	// assignment. The zero context stamps nothing.
+	Ctx     obs.TraceContext
 	benches map[string]*shardBench
 }
 
@@ -92,7 +97,7 @@ func (r *ShardRunner) RunShard(spec bench.Spec, comp int) (*ChainOutcome, ShardM
 	if comp < 0 || comp >= len(comps) {
 		return nil, ShardMeta{}, fmt.Errorf("beam: chain shard %d out of component range [0,%d)", comp, len(comps))
 	}
-	pr := runChain(r.cfg, b.wb, spec, comps[comp], b.perComp, b.res.Fluence, nil, 0, r.Worker)
+	pr := runChain(r.cfg, b.wb, spec, comps[comp], b.perComp, b.res.Fluence, nil, 0, r.Worker, r.Ctx)
 	out := &ChainOutcome{
 		Events:             pr.events,
 		Masked:             pr.masked,

@@ -232,26 +232,39 @@ func Classify(res soc.Result, golden []byte, timerPeriod uint32) Class {
 // maps readably in exported campaign results.
 func (c Component) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
 
-// UnmarshalText implements encoding.TextUnmarshaler.
+// UnmarshalText implements encoding.TextUnmarshaler. The numeric
+// fallback form String() prints for unnamed values ("component(N)") is
+// accepted too, so every value round-trips.
 func (c *Component) UnmarshalText(b []byte) error {
-	v, ok := ComponentByName(string(b))
-	if !ok {
-		return fmt.Errorf("fault: unknown component %q", b)
+	if v, ok := ComponentByName(string(b)); ok {
+		*c = v
+		return nil
 	}
-	*c = v
-	return nil
+	var n uint8
+	if _, err := fmt.Sscanf(string(b), "component(%d)", &n); err == nil {
+		*c = Component(n)
+		return nil
+	}
+	return fmt.Errorf("fault: unknown component %q", b)
 }
 
 // MarshalText implements encoding.TextMarshaler for outcome classes.
 func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
 
-// UnmarshalText implements encoding.TextUnmarshaler.
+// UnmarshalText implements encoding.TextUnmarshaler. The numeric
+// fallback form String() prints for unnamed values ("class(N)") is
+// accepted too, so every value round-trips.
 func (c *Class) UnmarshalText(b []byte) error {
 	for _, cls := range Classes() {
 		if cls.String() == string(b) {
 			*c = cls
 			return nil
 		}
+	}
+	var n uint8
+	if _, err := fmt.Sscanf(string(b), "class(%d)", &n); err == nil {
+		*c = Class(n)
+		return nil
 	}
 	return fmt.Errorf("fault: unknown class %q", b)
 }

@@ -99,8 +99,10 @@ func planFor(cfg Config, wb *harness.Workbench, name string) ([]plannedFault, []
 // emitting trace records and metrics when an observer is attached. It is
 // the single per-injection execution path: the in-process drain loop and
 // the shard runner both go through it, so a shard executed on a remote
-// node takes exactly the code path of a local run.
-func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.Probe, p plannedFault, worker int) outcome {
+// node takes exactly the code path of a local run. tc stamps distributed
+// trace context (campaign/shard/node/span) onto emitted records; the
+// zero context stamps nothing.
+func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.Probe, p plannedFault, worker int, tc obs.TraceContext) outcome {
 	var o outcome
 	switch {
 	case cfg.Provenance:
@@ -139,6 +141,7 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 				rec.ProvDropped = probe.Dropped()
 				rec.DivergedAt, rec.ConvergedAt = ls.DivergedAt, ls.ConvergedAt
 			}
+			tc.Stamp(&rec)
 			cfg.Obs.Record(rec, start, stop)
 		}
 	case cfg.Obs.On():
@@ -147,7 +150,7 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 		stop := time.Now()
 		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
 		cfg.Obs.LadderRun(ls)
-		cfg.Obs.Record(obs.Record{
+		rec := obs.Record{
 			Kind:       obs.KindInjection,
 			Workload:   workload,
 			Comp:       p.f.Comp,
@@ -161,7 +164,9 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 			Kernel:     ctx.KernelOwned(),
 			FFCycles:   ls.FastForwarded,
 			EarlyExit:  ls.EarlyExit,
-		}, start, stop)
+		}
+		tc.Stamp(&rec)
+		cfg.Obs.Record(rec, start, stop)
 	default:
 		class, ctx, _, _ := wb.RunFaultLadder(p.f, cfg.WarmCaches)
 		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
@@ -276,7 +281,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			}
 			i := order[n]
 			p := plan[i]
-			outcomes[i] = execPlanned(cfg, w, spec.Name, probe, p, worker)
+			outcomes[i] = execPlanned(cfg, w, spec.Name, probe, p, worker, obs.TraceContext{})
 			em.tick(spec.Name, cfg.Components[p.comp], cfg.FaultsPerComponent)
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"armsefi/internal/core/fault"
 	"armsefi/internal/core/harness"
 	"armsefi/internal/mem"
+	"armsefi/internal/obs"
 )
 
 // ShardOutcome is the wire record of one executed injection: everything
@@ -54,7 +55,11 @@ type ShardRunner struct {
 	cfg Config
 	// Worker tags trace records emitted during shard runs, so a node's
 	// runners are distinguishable in the campaign trace.
-	Worker  int
+	Worker int
+	// Ctx is stamped onto every trace record the shard's injections emit
+	// (campaign/shard/node/span); the campaign-service worker sets it per
+	// assignment. The zero context stamps nothing.
+	Ctx     obs.TraceContext
 	benches map[string]*shardBench
 }
 
@@ -103,7 +108,7 @@ func (r *ShardRunner) RunShard(spec bench.Spec, lo, hi int) ([]ShardOutcome, Sha
 	}
 	outs := make([]ShardOutcome, 0, hi-lo)
 	for i := lo; i < hi; i++ {
-		o := execPlanned(r.cfg, b.wb, spec.Name, b.probe, b.plan[i], r.Worker)
+		o := execPlanned(r.cfg, b.wb, spec.Name, b.probe, b.plan[i], r.Worker, r.Ctx)
 		outs = append(outs, ShardOutcome{Class: o.class, Valid: o.valid, Kernel: o.kernel})
 	}
 	return outs, r.meta(b), nil

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -104,6 +105,16 @@ func DefaultLatencyBuckets() []float64 {
 	return []float64{
 		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// RenewLatencyBuckets spans lease-renew round trips, from sub-microsecond
+// in-process coordinator calls to multi-second WAN hiccups. The
+// sub-microsecond bounds rely on formatFloat rendering tiny bounds
+// exactly ('g' format), not collapsing them to "0".
+func RenewLatencyBuckets() []float64 {
+	return []float64{
+		2.5e-7, 1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5,
 	}
 }
 
@@ -286,8 +297,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// formatFloat renders a histogram bucket bound exactly: shortest decimal
+// string that round-trips the float64. The %f-based formatting this
+// replaces collapsed sub-microsecond bounds to "0" (every lease-renew
+// bucket below 1e-6 became indistinguishable) and bloated large bounds
+// with trailing zero noise.
 func formatFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // WriteJSON renders the registry as an expvar-style JSON object: one key

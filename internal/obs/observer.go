@@ -108,8 +108,24 @@ func New(opts Options) *Observer {
 // record assembly entirely.
 func (o *Observer) On() bool { return o != nil }
 
-// Tracing reports whether a trace writer is attached.
+// Tracing reports whether a trace consumer (writer or teed sink) is
+// attached.
 func (o *Observer) Tracing() bool { return o != nil && o.trace != nil }
+
+// Tee routes a copy of every trace record this observer emits into s,
+// creating a sink-only tracer if no trace writer was configured. The
+// campaign-service worker tees its observer into the telemetry shipper
+// so records federate to the coordinator whether or not a local -trace
+// file is open. Attach before the campaign starts.
+func (o *Observer) Tee(s RecordSink) {
+	if o == nil || s == nil {
+		return
+	}
+	if o.trace == nil {
+		o.trace = NewTracer(nil)
+	}
+	o.trace.Tee(s)
+}
 
 // Registry returns the metrics registry (nil on a nil observer).
 func (o *Observer) Registry() *Registry {
@@ -217,7 +233,10 @@ func (o *Observer) AceRun(workload string, comp fault.Component, avf float64, wa
 // bypasses the outcome grid — shards are scheduling units, not
 // experiments — but shares the tracer, so a campaign's JSONL trace
 // interleaves shard scheduling with the injections it covers.
-func (o *Observer) ShardEvent(campaign, workload, node, event string, shard, items int, wall time.Duration) {
+// The metric labels carry only the event name — campaign ids, shard
+// indices, and node names are unbounded and belong in the trace record,
+// not in metric cardinality.
+func (o *Observer) ShardEvent(campaign, workload, node, event string, shard, items int, span int64, wall time.Duration) {
 	if o == nil {
 		return
 	}
@@ -235,6 +254,7 @@ func (o *Observer) ShardEvent(campaign, workload, node, event string, shard, ite
 			Campaign: campaign,
 			Shard:    shard,
 			Node:     node,
+			Span:     span,
 			Event:    event,
 			Items:    items,
 			StartNS:  now.Add(-wall).Sub(o.epoch).Nanoseconds(),
@@ -265,6 +285,49 @@ func (o *Observer) ObserveService(queued, active, leases func() float64) {
 		"campaigns currently running", active)
 	o.reg.GaugeFunc("armsefi_serve_live_leases",
 		"shard leases currently held by worker nodes", leases)
+}
+
+// FleetNode records one node's telemetry snapshot into the per-node
+// fleet gauges: reported throughput, cumulative experiments, and
+// cumulative shards. The coordinator calls it per telemetry batch, so
+// the node label cardinality is bounded by the fleet size.
+func (o *Observer) FleetNode(node string, rate float64, items, shards int64) {
+	if o == nil {
+		return
+	}
+	o.reg.Gauge("armsefi_fleet_node_rate",
+		"per-node experiment throughput reported via telemetry, experiments/sec",
+		"node", node).Set(rate)
+	o.reg.Gauge("armsefi_fleet_node_items",
+		"cumulative experiments a node has reported via telemetry",
+		"node", node).Set(float64(items))
+	o.reg.Gauge("armsefi_fleet_node_shards",
+		"cumulative shards a node has completed, as reported via telemetry",
+		"node", node).Set(float64(shards))
+}
+
+// FleetRenew records one lease-renew round-trip latency observed by a
+// worker node (shipped to the coordinator in its telemetry batches).
+func (o *Observer) FleetRenew(node string, seconds float64) {
+	if o == nil {
+		return
+	}
+	o.reg.Histogram("armsefi_fleet_renew_seconds",
+		"lease-renew round-trip latency by node",
+		RenewLatencyBuckets(), "node", node).Observe(seconds)
+}
+
+// ObserveFleet binds the fleet-health gauges: shard executions running
+// past the straggler threshold and telemetry-reporting nodes that have
+// gone quiet past the stalled threshold.
+func (o *Observer) ObserveFleet(stragglers, stalled func() float64) {
+	if o == nil {
+		return
+	}
+	o.reg.GaugeFunc("armsefi_fleet_stragglers",
+		"shard executions running past the straggler threshold", stragglers)
+	o.reg.GaugeFunc("armsefi_fleet_stalled_nodes",
+		"telemetry-reporting nodes not heard from within the stalled threshold", stalled)
 }
 
 // CloneTry records one clone-slot acquisition attempt; the granted/denied

@@ -47,10 +47,14 @@ type WorkloadSummary struct {
 	Components map[fault.Component]*ComponentSummary
 }
 
-// KindSummary aggregates all records of one kind (injection or strike).
+// KindSummary aggregates all records of one kind (injection, strike, or
+// shard).
 type KindSummary struct {
 	Records   int
 	Workloads map[string]*WorkloadSummary
+	// Events tallies KindShard records by lifecycle event (claimed /
+	// completed / requeued); empty for experiment kinds.
+	Events map[string]int
 }
 
 // Summary is the recomputed view of a whole trace file.
@@ -61,6 +65,9 @@ type Summary struct {
 	ByKind map[string]*KindSummary
 	// Workers counts records per executing workbench id.
 	Workers map[int]int
+	// Nodes counts records per fleet node (records without a node label —
+	// in-process campaigns — land under "").
+	Nodes map[string]int
 	// Wall holds every record's wall duration (ns), sorted ascending —
 	// the source for latency quantiles.
 	Wall []int64
@@ -71,7 +78,7 @@ func (s *Summary) Kind(kind string) *KindSummary {
 	if k, ok := s.ByKind[kind]; ok {
 		return k
 	}
-	return &KindSummary{Workloads: map[string]*WorkloadSummary{}}
+	return &KindSummary{Workloads: map[string]*WorkloadSummary{}, Events: map[string]int{}}
 }
 
 // Component returns the per-component tally for a kind, workload, and
@@ -145,17 +152,22 @@ func Summarize(recs []Record) *Summary {
 	s := &Summary{
 		ByKind:  make(map[string]*KindSummary),
 		Workers: make(map[int]int),
+		Nodes:   make(map[string]int),
 	}
 	for _, rec := range sorted {
 		s.Records++
 		s.Workers[rec.Worker]++
+		s.Nodes[rec.Node]++
 		s.Wall = append(s.Wall, rec.WallNS)
 		k, ok := s.ByKind[rec.Kind]
 		if !ok {
-			k = &KindSummary{Workloads: make(map[string]*WorkloadSummary)}
+			k = &KindSummary{Workloads: make(map[string]*WorkloadSummary), Events: make(map[string]int)}
 			s.ByKind[rec.Kind] = k
 		}
 		k.Records++
+		if rec.Event != "" {
+			k.Events[rec.Event]++
+		}
 		w, ok := k.Workloads[rec.Workload]
 		if !ok {
 			w = &WorkloadSummary{Components: make(map[fault.Component]*ComponentSummary)}

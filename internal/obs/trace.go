@@ -44,8 +44,10 @@ type Record struct {
 	Seq int64 `json:"seq"`
 	// Workload names the benchmark under test.
 	Workload string `json:"workload"`
-	// Comp, Bit, Cycle are the fault as drawn from the seeded RNG.
-	Comp  fault.Component `json:"comp"`
+	// Comp, Bit, Cycle are the fault as drawn from the seeded RNG. Comp
+	// is omitted when zero (shard lifecycle records have no component),
+	// so every record kind round-trips through JSON.
+	Comp  fault.Component `json:"comp,omitzero"`
 	Bit   uint64          `json:"bit"`
 	Cycle uint64          `json:"cycle"`
 	// Worker is the workbench that executed the experiment (0 is the
@@ -60,8 +62,9 @@ type Record struct {
 	// Outcome is the raw machine-level outcome (power-off, fatal,
 	// timeout) before host-side classification.
 	Outcome string `json:"outcome"`
-	// Class is the final Masked/SDC/AppCrash/SysCrash classification.
-	Class fault.Class `json:"class"`
+	// Class is the final Masked/SDC/AppCrash/SysCrash classification
+	// (omitted on shard lifecycle records, which classify nothing).
+	Class fault.Class `json:"class,omitzero"`
 	// Valid and Kernel report the injection-time strike context (gefin
 	// records only): live content, kernel-owned line.
 	Valid  bool `json:"valid,omitempty"`
@@ -90,14 +93,21 @@ type Record struct {
 	// counts events past the cap.
 	ProvEvents  []mem.ProbeEvent `json:"prov_events,omitempty"`
 	ProvDropped int              `json:"prov_dropped,omitempty"`
-	// Campaign, Shard, Node, and Event describe campaign-service shard
-	// lifecycle records (KindShard only): the campaign id, the shard index
-	// into its manifest, the worker node involved, and what happened
-	// ("claimed", "completed", "requeued"). Items counts the experiments
-	// the shard covers.
+	// Campaign, Shard, Node, and Span correlate the record across a
+	// distributed campaign: the campaign id, the shard index into its
+	// manifest, the worker node that executed it, and the coordinator-
+	// minted span id of the shard execution (every claim gets a fresh
+	// span, so the records of a re-executed shard are distinguishable
+	// from the execution whose Complete was accepted). Injection/strike
+	// records of federated campaigns carry all four via TraceContext;
+	// in-process campaigns leave them zero.
+	//
+	// Event and Items are KindShard extras: what happened ("claimed",
+	// "completed", "requeued") and how many experiments the shard covers.
 	Campaign string `json:"campaign,omitempty"`
 	Shard    int    `json:"shard,omitempty"`
 	Node     string `json:"node,omitempty"`
+	Span     int64  `json:"span,omitempty"`
 	Event    string `json:"event,omitempty"`
 	Items    int    `json:"items,omitempty"`
 	// DivergedAt/ConvergedAt are the ladder-rung cycles bounding the
@@ -108,13 +118,50 @@ type Record struct {
 	ConvergedAt uint64 `json:"converged_at,omitempty"`
 }
 
+// TraceContext correlates the trace records of one distributed shard
+// execution. The coordinator mints a monotonic span id per shard claim;
+// the worker carries the context into the engines, which stamp it onto
+// every injection/strike record they emit — so N nodes' trace streams
+// merge into one coherent campaign tree, and the records of a shard that
+// ran twice (lease expiry, requeue) are distinguishable by span.
+type TraceContext struct {
+	Campaign string
+	Shard    int
+	Node     string
+	Span     int64
+}
+
+// Stamp writes the context onto a record. The zero context — in-process,
+// non-federated campaigns — stamps nothing, keeping their records
+// byte-identical to pre-federation traces.
+func (tc TraceContext) Stamp(rec *Record) {
+	if tc.Campaign == "" {
+		return
+	}
+	rec.Campaign = tc.Campaign
+	rec.Shard = tc.Shard
+	rec.Node = tc.Node
+	rec.Span = tc.Span
+}
+
+// RecordSink receives every record a tracer emits, after sequence
+// assignment. Implementations must be safe for concurrent use; the
+// campaign service's telemetry shipper is one.
+type RecordSink interface {
+	EmitRecord(rec Record)
+}
+
 // traceFlushBytes is the buffered-writer batch size.
 const traceFlushBytes = 64 << 10
 
 // Tracer streams Records as JSON lines to a writer. Safe for concurrent
-// use by many campaign workers; a nil *Tracer discards everything.
+// use by many campaign workers; a nil *Tracer discards everything. A
+// tracer built over a nil writer only assigns sequence numbers and feeds
+// its sink — workers federating telemetry without a local trace file use
+// that shape.
 type Tracer struct {
-	seq atomic.Int64
+	seq  atomic.Int64
+	sink atomic.Pointer[RecordSink]
 
 	mu  sync.Mutex
 	w   io.Writer
@@ -122,10 +169,20 @@ type Tracer struct {
 	err error
 }
 
-// NewTracer builds a tracer over w. The caller owns w and closes it after
-// Flush.
+// NewTracer builds a tracer over w (nil for a sink-only tracer). The
+// caller owns w and closes it after Flush.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w, buf: make([]byte, 0, traceFlushBytes+4096)}
+}
+
+// Tee attaches a sink that receives a copy of every record emitted from
+// now on, in addition to (not instead of) the writer. Attach before the
+// campaign starts; the last sink attached wins.
+func (t *Tracer) Tee(s RecordSink) {
+	if t == nil || s == nil {
+		return
+	}
+	t.sink.Store(&s)
 }
 
 // Emit assigns the record its sequence number and queues it for writing.
@@ -134,6 +191,12 @@ func (t *Tracer) Emit(rec *Record) {
 		return
 	}
 	rec.Seq = t.seq.Add(1) - 1
+	if sp := t.sink.Load(); sp != nil {
+		(*sp).EmitRecord(*rec)
+	}
+	if t.w == nil {
+		return
+	}
 	line, err := json.Marshal(rec) // outside the lock: the expensive part
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"armsefi/internal/core/fault"
+)
+
+// TestFormatFloatPrecision pins the histogram bound rendering: the old
+// %f formatting collapsed every bound below 1e-6 to "0", making the
+// sub-microsecond lease-renew buckets indistinguishable. 'g' formatting
+// keeps them exact in both expositions while leaving integral bounds
+// rendered as before.
+func TestFormatFloatPrecision(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("renew_seconds", "", RenewLatencyBuckets())
+	h.Observe(5e-7) // lands in the 1e-6 bucket, not the 2.5e-7 one
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`renew_seconds_bucket{le="2.5e-07"} 0`,
+		`renew_seconds_bucket{le="1e-06"} 1`,
+		`renew_seconds_bucket{le="0.0001"} 1`,
+		`renew_seconds_bucket{le="5"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="0"`) {
+		t.Errorf("a sub-microsecond bound collapsed to 0:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("WriteJSON with tiny bounds is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "2.5e-07") {
+		t.Errorf("JSON exposition lost the 2.5e-07 bound:\n%s", buf.String())
+	}
+}
+
+// TestShardEventCardinality pins the metric-label contract: shard
+// lifecycle counters are labelled by event name only, so series count
+// grows with distinct events — never with campaigns, shards, or nodes.
+func TestShardEventCardinality(t *testing.T) {
+	o := New(Options{})
+	for i := 0; i < 50; i++ {
+		campaign := strings.Repeat("c", i%7+1)
+		node := strings.Repeat("n", i%5+1)
+		o.ShardEvent(campaign, "crc32", node, "claimed", i, 10, int64(i+1), 0)
+		o.ShardEvent(campaign, "crc32", node, "completed", i, 10, int64(i+1), time.Second)
+	}
+	var buf bytes.Buffer
+	if err := o.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "armsefi_serve_shard_events_total{") {
+			series++
+		}
+	}
+	if series != 2 {
+		t.Errorf("shard-event series = %d, want 2 (one per event name):\n%s", series, buf.String())
+	}
+	if v := o.Registry().Counter("armsefi_serve_shard_events_total", "", "event", "claimed").Value(); v != 50 {
+		t.Errorf("claimed counter = %d, want 50", v)
+	}
+	if v := o.Registry().Counter("armsefi_serve_items_total", "").Value(); v != 500 {
+		t.Errorf("items counter = %d, want 500", v)
+	}
+}
+
+// TestSummarizeShardRecords pins the summary's view of a federated
+// trace: shard lifecycle records tally under their own kind (events and
+// nodes), round-trip through JSON despite having no component or class,
+// and never pollute the experiment counts.
+func TestSummarizeShardRecords(t *testing.T) {
+	recs := []Record{
+		{Kind: KindInjection, Seq: 1, Workload: "crc32", Comp: fault.CompRegFile,
+			Class: fault.ClassSDC, Campaign: "c1", Shard: 0, Node: "a", Span: 1},
+		{Kind: KindInjection, Seq: 2, Workload: "crc32", Comp: fault.CompRegFile,
+			Class: fault.ClassMasked, Campaign: "c1", Shard: 1, Node: "b", Span: 2},
+		{Kind: KindShard, Seq: 3, Workload: "crc32", Campaign: "c1", Shard: 0, Node: "a", Span: 1, Event: "claimed", Items: 3},
+		{Kind: KindShard, Seq: 4, Workload: "crc32", Campaign: "c1", Shard: 0, Node: "a", Span: 1, Event: "requeued", Items: 3},
+		{Kind: KindShard, Seq: 5, Workload: "crc32", Campaign: "c1", Shard: 0, Node: "b", Span: 3, Event: "completed", Items: 3},
+	}
+
+	// Round-trip through JSONL exactly as a trace file or the telemetry
+	// path would.
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	sum, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatalf("a trace with shard records failed to read back: %v", err)
+	}
+
+	if sum.Records != 5 {
+		t.Fatalf("records = %d, want 5", sum.Records)
+	}
+	shard := sum.Kind(KindShard)
+	if shard.Records != 3 {
+		t.Errorf("shard records = %d, want 3", shard.Records)
+	}
+	for event, want := range map[string]int{"claimed": 1, "requeued": 1, "completed": 1} {
+		if shard.Events[event] != want {
+			t.Errorf("events[%s] = %d, want %d", event, shard.Events[event], want)
+		}
+	}
+	if got := sum.Nodes["a"]; got != 3 {
+		t.Errorf("node a records = %d, want 3", got)
+	}
+	if got := sum.Nodes["b"]; got != 2 {
+		t.Errorf("node b records = %d, want 2", got)
+	}
+
+	// Experiment tallies see only experiment records.
+	inj := sum.Component(KindInjection, "crc32", fault.CompRegFile)
+	if inj.Records != 2 || inj.Counts[fault.ClassSDC] != 1 || inj.Counts[fault.ClassMasked] != 1 {
+		t.Errorf("injection tally polluted by shard records: %+v", inj)
+	}
+}
+
+// TestTraceContextStamp pins the stamping contract: a zero context
+// leaves the record untouched (in-process campaigns emit byte-identical
+// traces), a populated one stamps all four correlation fields.
+func TestTraceContextStamp(t *testing.T) {
+	rec := Record{Kind: KindInjection, Workload: "crc32"}
+	(TraceContext{}).Stamp(&rec)
+	if rec.Campaign != "" || rec.Shard != 0 || rec.Node != "" || rec.Span != 0 {
+		t.Errorf("zero context stamped fields: %+v", rec)
+	}
+	tc := TraceContext{Campaign: "c9", Shard: 4, Node: "worker-1", Span: 17}
+	tc.Stamp(&rec)
+	if rec.Campaign != "c9" || rec.Shard != 4 || rec.Node != "worker-1" || rec.Span != 17 {
+		t.Errorf("stamp incomplete: %+v", rec)
+	}
+}
+
+type captureSink struct {
+	recs []Record
+}
+
+func (c *captureSink) EmitRecord(rec Record) { c.recs = append(c.recs, rec) }
+
+// TestTracerTee pins the federation tap: a teed sink sees every record
+// after sequence assignment, alongside (not instead of) the writer; a
+// sink-only tracer (nil writer) still assigns sequence numbers; and
+// Observer.Tee works on an observer that had no trace writer at all.
+func TestTracerTee(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sink := &captureSink{}
+	tr.Tee(sink)
+	tr.Emit(&Record{Kind: KindInjection, Workload: "crc32"})
+	tr.Emit(&Record{Kind: KindStrike, Workload: "crc32"})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.recs) != 2 {
+		t.Fatalf("sink saw %d records, want 2", len(sink.recs))
+	}
+	if sink.recs[0].Seq != 0 || sink.recs[1].Seq != 1 {
+		t.Errorf("sink records missing sequence numbers: %+v", sink.recs)
+	}
+	if recs, err := ReadRecords(&buf); err != nil || len(recs) != 2 {
+		t.Fatalf("writer lost records when teed: %d, %v", len(recs), err)
+	}
+
+	// Sink-only tracer: no writer, sequence numbers still flow.
+	tr2 := NewTracer(nil)
+	sink2 := &captureSink{}
+	tr2.Tee(sink2)
+	tr2.Emit(&Record{Kind: KindInjection})
+	if err := tr2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink2.recs) != 1 || tr2.Emitted() != 1 {
+		t.Fatalf("sink-only tracer: %d records, emitted %d", len(sink2.recs), tr2.Emitted())
+	}
+
+	// Observer without a trace writer: Tee retrofits a sink-only tracer,
+	// and Record()-emitted records reach the sink stamped and sequenced.
+	o := New(Options{})
+	if o.Tracing() {
+		t.Fatal("observer without writer should not be tracing yet")
+	}
+	sink3 := &captureSink{}
+	o.Tee(sink3)
+	if !o.Tracing() {
+		t.Fatal("teed observer must report tracing")
+	}
+	start := time.Now()
+	rec := Record{Kind: KindInjection, Workload: "crc32", Comp: fault.CompL1D, Class: fault.ClassSDC}
+	(TraceContext{Campaign: "c1", Shard: 2, Node: "n", Span: 5}).Stamp(&rec)
+	o.Record(rec, start, start.Add(time.Millisecond))
+	if len(sink3.recs) != 1 {
+		t.Fatalf("observer sink saw %d records, want 1", len(sink3.recs))
+	}
+	got := sink3.recs[0]
+	if got.Campaign != "c1" || got.Span != 5 || got.Node != "n" || got.Shard != 2 {
+		t.Errorf("federated record lost its trace context: %+v", got)
+	}
+	if got.WallNS != time.Millisecond.Nanoseconds() {
+		t.Errorf("federated record lost observer finalisation: wall %d", got.WallNS)
+	}
+}

@@ -186,6 +186,39 @@ func (c *Client) Renew(node, campaign string, shard int) error {
 }
 
 // Complete implements Source over HTTP.
-func (c *Client) Complete(node, campaign string, shard int, payload *ShardPayload) error {
-	return c.do("POST", "/api/v1/complete", completeRequest{Node: node, Campaign: campaign, Shard: shard, Payload: payload}, nil)
+func (c *Client) Complete(node, campaign string, shard int, span int64, payload *ShardPayload) error {
+	return c.do("POST", "/api/v1/complete", completeRequest{Node: node, Campaign: campaign, Shard: shard, Span: span, Payload: payload}, nil)
+}
+
+// Telemetry implements TelemetrySink over HTTP, so a remote worker's
+// Shipper federates its batches to the coordinator.
+func (c *Client) Telemetry(b *TelemetryBatch) error {
+	return c.do("POST", "/api/v1/telemetry", b, nil)
+}
+
+// Fleet fetches the coordinator's fleet snapshot.
+func (c *Client) Fleet() (*FleetStatus, error) {
+	var fs FleetStatus
+	if err := c.do("GET", "/api/v1/fleet", nil, &fs); err != nil {
+		return nil, err
+	}
+	return &fs, nil
+}
+
+// Trace fetches a campaign's merged fleet trace as JSONL, filtered to
+// winning executions.
+func (c *Client) Trace(id string) ([]byte, error) {
+	req, err := http.NewRequest("GET", strings.TrimRight(c.Base, "/")+"/api/v1/campaigns/"+id+"/trace", nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("serve: trace %s: HTTP %d", id, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
 }

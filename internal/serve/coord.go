@@ -8,10 +8,12 @@
 package serve
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -35,6 +37,9 @@ const (
 const (
 	DefaultMaxActive = 2
 	DefaultLeaseTTL  = 30 * time.Second
+	// DefaultStalledAfter is how long a telemetry-reporting node may go
+	// quiet before the fleet view flags it stalled.
+	DefaultStalledAfter = 15 * time.Second
 )
 
 // CoordConfig parameterises a Coordinator.
@@ -47,8 +52,17 @@ type CoordConfig struct {
 	// without a renewal before it is requeued for another node. Zero
 	// picks DefaultLeaseTTL.
 	LeaseTTL time.Duration
-	// Obs receives service metrics (queue depth, leases, shards/sec) and
-	// shard lifecycle trace records. Nil disables instrumentation.
+	// StragglerAfter is how long a shard execution may run before the
+	// fleet view flags it a straggler (the lease is still honoured — a
+	// straggler is slow, not dead). Zero picks 3x LeaseTTL.
+	StragglerAfter time.Duration
+	// StalledAfter is how long a node may go without telemetry or lease
+	// activity before the fleet view flags it stalled. Zero picks
+	// DefaultStalledAfter.
+	StalledAfter time.Duration
+	// Obs receives service metrics (queue depth, leases, shards/sec,
+	// fleet health) and shard lifecycle trace records. Nil disables
+	// instrumentation.
 	Obs *obs.Observer
 	// Now is the clock; nil picks time.Now. Tests inject a fake clock to
 	// drive lease expiry deterministically.
@@ -57,6 +71,7 @@ type CoordConfig struct {
 
 type lease struct {
 	node    string
+	span    int64 // coordinator-minted span id of this execution
 	expires time.Time
 	started time.Time
 }
@@ -67,8 +82,18 @@ type campaign struct {
 	state  string
 	done   map[int]json.RawMessage
 	nodes  map[int]string
-	pend   []int // shard indices neither done nor leased, in claim order
+	winner map[int]int64 // span of the accepted completion per done shard
+	pend   []int         // shard indices neither done nor leased, in claim order
 	leases map[int]*lease
+}
+
+// nodeHealth is the coordinator's view of one worker node, fed by
+// telemetry batches and lease activity.
+type nodeHealth struct {
+	lastSeen time.Time
+	rate     float64
+	items    int64
+	shards   int64
 }
 
 // Coordinator schedules campaigns over the durable store. All methods
@@ -76,9 +101,21 @@ type campaign struct {
 type Coordinator struct {
 	cfg CoordConfig
 
-	mu    sync.Mutex
-	camps map[string]*campaign
-	order []string // submission order (store order on resume)
+	mu       sync.Mutex
+	camps    map[string]*campaign
+	order    []string // submission order (store order on resume)
+	nextSpan int64    // next span id to mint (resumes past replayed spans)
+
+	// tmu guards the telemetry state: the merged per-campaign fleet
+	// traces, the per-node batch cursors and health, and the observed
+	// outcome tallies. It is ordered after mu (mu may be held when tmu is
+	// taken, never the reverse), so shard-event tracing under mu cannot
+	// deadlock against telemetry ingestion.
+	tmu      sync.Mutex
+	traceSeq int64 // merged-trace sequence numbers, arrival order
+	cursors  map[string]int64
+	nodes    map[string]*nodeHealth
+	tallies  map[string]map[fault.Class]int
 }
 
 // NewCoordinator opens the store, replays every stored campaign, and
@@ -94,10 +131,23 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = DefaultLeaseTTL
 	}
+	if cfg.StragglerAfter <= 0 {
+		cfg.StragglerAfter = 3 * cfg.LeaseTTL
+	}
+	if cfg.StalledAfter <= 0 {
+		cfg.StalledAfter = DefaultStalledAfter
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	c := &Coordinator{cfg: cfg, camps: make(map[string]*campaign)}
+	c := &Coordinator{
+		cfg:      cfg,
+		camps:    make(map[string]*campaign),
+		nextSpan: 1,
+		cursors:  cfg.Store.LoadTelemetryCursors(),
+		nodes:    make(map[string]*nodeHealth),
+		tallies:  make(map[string]map[fault.Class]int),
+	}
 	ids, err := cfg.Store.List()
 	if err != nil {
 		return nil, err
@@ -111,7 +161,17 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		if err != nil {
 			return nil, err
 		}
-		camp := &campaign{man: man, done: rep.Done, nodes: rep.Nodes, leases: make(map[int]*lease)}
+		camp := &campaign{man: man, done: rep.Done, nodes: rep.Nodes, winner: rep.Spans, leases: make(map[int]*lease)}
+		if camp.winner == nil {
+			camp.winner = make(map[int]int64)
+		}
+		// Span minting resumes past every durably recorded span, so a
+		// restarted coordinator never reissues a span id.
+		for _, sp := range camp.winner {
+			if sp >= c.nextSpan {
+				c.nextSpan = sp + 1
+			}
+		}
 		switch {
 		case rep.Cancelled:
 			camp.state = StateCancelled
@@ -133,7 +193,66 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		func() float64 { return float64(c.countState(StateRunning)) },
 		func() float64 { return float64(c.countLeases()) },
 	)
+	cfg.Obs.ObserveFleet(
+		func() float64 { return float64(c.countStragglers()) },
+		func() float64 { return float64(c.countStalled()) },
+	)
 	return c, nil
+}
+
+// touchNode refreshes a node's last-seen time from lease activity.
+// Callers may hold c.mu (tmu is ordered after mu).
+func (c *Coordinator) touchNode(node string) {
+	c.tmu.Lock()
+	nh := c.nodes[node]
+	if nh == nil {
+		nh = &nodeHealth{}
+		c.nodes[node] = nh
+	}
+	nh.lastSeen = c.cfg.Now()
+	c.tmu.Unlock()
+}
+
+// appendTraceRecords re-sequences records in arrival order and appends
+// them to the campaign's merged fleet trace. Per-node batches arrive in
+// each node's emission order, so within one worker goroutine the merged
+// trace preserves emission order — the property Summarize's Seq sort
+// relies on for bit-identical beam event sums. Best-effort: the merged
+// trace is an observability artifact, not the durable record.
+func (c *Coordinator) appendTraceRecords(id string, recs []obs.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	var buf []byte
+	for i := range recs {
+		c.traceSeq++
+		recs[i].Seq = c.traceSeq
+		line, err := json.Marshal(recs[i])
+		if err != nil {
+			continue
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	_ = c.cfg.Store.AppendTrace(id, buf)
+}
+
+// traceShardEvent mirrors one coordinator-side shard lifecycle event
+// into the campaign's merged fleet trace.
+func (c *Coordinator) traceShardEvent(id string, sh Shard, shard int, node, event string, span int64, wall time.Duration) {
+	c.appendTraceRecords(id, []obs.Record{{
+		Kind:     obs.KindShard,
+		Workload: sh.Workload,
+		Campaign: id,
+		Shard:    shard,
+		Node:     node,
+		Span:     span,
+		Event:    event,
+		Items:    sh.Items(),
+		WallNS:   wall.Nanoseconds(),
+	}})
 }
 
 func (c *Coordinator) countState(state string) int {
@@ -231,6 +350,7 @@ func (c *Coordinator) Submit(man *Manifest) (string, error) {
 		state:  StateQueued,
 		done:   make(map[int]json.RawMessage),
 		nodes:  make(map[int]string),
+		winner: make(map[int]int64),
 		leases: make(map[int]*lease),
 	}
 	for i := range man.Shards {
@@ -258,8 +378,10 @@ func (c *Coordinator) sweepLocked() {
 				delete(camp.leases, shard)
 				camp.pend = append(camp.pend, shard)
 				c.cfg.Obs.Lease("expired")
-				c.cfg.Obs.ShardEvent(id, camp.man.Shards[shard].Workload, l.node,
-					"requeued", shard, camp.man.Shards[shard].Items(), now.Sub(l.started))
+				sh := camp.man.Shards[shard]
+				c.cfg.Obs.ShardEvent(id, sh.Workload, l.node,
+					"requeued", shard, sh.Items(), l.span, now.Sub(l.started))
+				c.traceShardEvent(id, sh, shard, l.node, "requeued", l.span, now.Sub(l.started))
 			}
 		}
 		active++
@@ -291,6 +413,10 @@ type Assignment struct {
 	// LeaseMS is the lease TTL in milliseconds; the node must renew
 	// comfortably within it or the shard is requeued.
 	LeaseMS int64 `json:"lease_ms"`
+	// Span is the coordinator-minted span id of this execution; the node
+	// stamps it on every trace record the shard emits and echoes it back
+	// on Complete.
+	Span int64 `json:"span"`
 }
 
 // Claim leases the next pending shard to node, preferring earlier-
@@ -308,10 +434,14 @@ func (c *Coordinator) Claim(node string) (*Assignment, error) {
 		}
 		shard := camp.pend[0]
 		camp.pend = camp.pend[1:]
-		camp.leases[shard] = &lease{node: node, expires: now.Add(c.cfg.LeaseTTL), started: now}
+		span := c.nextSpan
+		c.nextSpan++
+		camp.leases[shard] = &lease{node: node, span: span, expires: now.Add(c.cfg.LeaseTTL), started: now}
 		sh := camp.man.Shards[shard]
 		c.cfg.Obs.Lease("granted")
-		c.cfg.Obs.ShardEvent(id, sh.Workload, node, "claimed", shard, sh.Items(), 0)
+		c.cfg.Obs.ShardEvent(id, sh.Workload, node, "claimed", shard, sh.Items(), span, 0)
+		c.traceShardEvent(id, sh, shard, node, "claimed", span, 0)
+		c.touchNode(node)
 		return &Assignment{
 			Campaign:  id,
 			Kind:      camp.man.Kind,
@@ -322,6 +452,7 @@ func (c *Coordinator) Claim(node string) (*Assignment, error) {
 			Lo:        sh.Lo,
 			Hi:        sh.Hi,
 			LeaseMS:   c.cfg.LeaseTTL.Milliseconds(),
+			Span:      span,
 		}, nil
 	}
 	return nil, nil
@@ -343,6 +474,7 @@ func (c *Coordinator) Renew(node, id string, shard int) error {
 	}
 	l.expires = c.cfg.Now().Add(c.cfg.LeaseTTL)
 	c.cfg.Obs.Lease("renewed")
+	c.touchNode(node)
 	return nil
 }
 
@@ -350,8 +482,10 @@ func (c *Coordinator) Renew(node, id string, shard int) error {
 // completion for an already-done shard (a node finishing after its lease
 // expired and another node re-ran the shard) is acknowledged and
 // discarded — by determinism the payloads are identical, and the first
-// durable record wins.
-func (c *Coordinator) Complete(node, id string, shard int, payload *ShardPayload) error {
+// durable record wins. span is the Assignment span the node is echoing
+// back; the accepted span becomes the shard's winner, and WriteTrace
+// filters the merged trace down to winning executions.
+func (c *Coordinator) Complete(node, id string, shard int, span int64, payload *ShardPayload) error {
 	data, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -380,11 +514,12 @@ func (c *Coordinator) Complete(node, id string, shard int, payload *ShardPayload
 	}
 	// Durability first: the in-memory state only advances once the
 	// record is fsync'd, so a crash between the two replays cleanly.
-	if err := camp.log.AppendShard(shard, node, data); err != nil {
+	if err := camp.log.AppendShard(shard, node, span, data); err != nil {
 		return err
 	}
 	camp.done[shard] = data
 	camp.nodes[shard] = node
+	camp.winner[shard] = span
 	var wall time.Duration
 	if l, ok := camp.leases[shard]; ok {
 		wall = c.cfg.Now().Sub(l.started)
@@ -400,7 +535,9 @@ func (c *Coordinator) Complete(node, id string, shard int, payload *ShardPayload
 		}
 	}
 	sh := camp.man.Shards[shard]
-	c.cfg.Obs.ShardEvent(id, sh.Workload, node, "completed", shard, sh.Items(), wall)
+	c.cfg.Obs.ShardEvent(id, sh.Workload, node, "completed", shard, sh.Items(), span, wall)
+	c.traceShardEvent(id, sh, shard, node, "completed", span, wall)
+	c.touchNode(node)
 	if len(camp.done) == len(camp.man.Shards) {
 		camp.state = StateComplete
 		camp.log.Close()
@@ -542,6 +679,60 @@ func (c *Coordinator) Results(id string) (any, error) {
 	}
 	c.mu.Unlock()
 	return Assemble(man, done)
+}
+
+// WriteTrace streams the campaign's merged fleet trace to w, filtered to
+// winning executions: shard lifecycle records always pass, and an
+// injection/strike record passes iff its span is the one whose Complete
+// the coordinator accepted for that shard. Records of a double-executed
+// shard (lease expiry, requeue, both nodes ran it) are thereby excluded
+// exactly once, so trace counts cross-check against assembled Results.
+func (c *Coordinator) WriteTrace(id string, w io.Writer) error {
+	c.mu.Lock()
+	camp, ok := c.camps[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("serve: unknown campaign %s", id)
+	}
+	winner := make(map[int]int64, len(camp.winner))
+	for sh, sp := range camp.winner {
+		winner[sh] = sp
+	}
+	c.mu.Unlock()
+	c.tmu.Lock()
+	data, err := c.cfg.Store.ReadTrace(id)
+	c.tmu.Unlock()
+	if err != nil {
+		return err
+	}
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec obs.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn tail of a crashed append: skip
+		}
+		if rec.Kind != obs.KindShard {
+			sp, done := winner[rec.Shard]
+			if !done || rec.Span != sp {
+				continue
+			}
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Assemble reconstructs the engine Result of a fully completed campaign

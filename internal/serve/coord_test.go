@@ -126,13 +126,13 @@ func TestLeaseExpiryTwoNodes(t *testing.T) {
 
 	// B completes one shard; A's zombie completion of the same shard is
 	// acknowledged and discarded (first durable record wins).
-	if err := c.Complete("nodeB", id, b1.Shard, fakePayload(t)); err != nil {
+	if err := c.Complete("nodeB", id, b1.Shard, b1.Span, fakePayload(t)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Complete("nodeA", id, b1.Shard, fakePayload(t)); err != nil {
+	if err := c.Complete("nodeA", id, b1.Shard, b1.Span, fakePayload(t)); err != nil {
 		t.Fatalf("duplicate completion not acknowledged: %v", err)
 	}
-	if err := c.Complete("nodeB", id, b2.Shard, fakePayload(t)); err != nil {
+	if err := c.Complete("nodeB", id, b2.Shard, b2.Span, fakePayload(t)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -159,7 +159,7 @@ func TestZombieCompletionBeatsRequeue(t *testing.T) {
 	if _, err := c.Status(id); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Complete("nodeA", id, a1.Shard, fakePayload(t)); err != nil {
+	if err := c.Complete("nodeA", id, a1.Shard, a1.Span, fakePayload(t)); err != nil {
 		t.Fatal(err)
 	}
 	// The completed shard must not be claimable again.
@@ -211,7 +211,7 @@ func TestAdmissionQueue(t *testing.T) {
 		t.Fatalf("campaign 2 is %s, want queued", st2.State)
 	}
 	for _, a := range claims {
-		if err := c.Complete("n", id1, a.Shard, fakePayload(t)); err != nil {
+		if err := c.Complete("n", id1, a.Shard, a.Span, fakePayload(t)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -241,7 +241,7 @@ func TestCoordinatorResume(t *testing.T) {
 	}
 	id, shards := submitTiny(t, c1)
 	a, _ := c1.Claim("n")
-	if err := c1.Complete("n", id, a.Shard, fakePayload(t)); err != nil {
+	if err := c1.Complete("n", id, a.Shard, a.Span, fakePayload(t)); err != nil {
 		t.Fatal(err)
 	}
 	// "Crash": c1 is dropped with one shard done and nothing closed
@@ -298,7 +298,7 @@ func TestCancel(t *testing.T) {
 	if err := c1.Cancel(id); err == nil {
 		t.Error("double cancel accepted")
 	}
-	if err := c1.Complete("n", id, a.Shard, fakePayload(t)); err != nil {
+	if err := c1.Complete("n", id, a.Shard, a.Span, fakePayload(t)); err != nil {
 		t.Fatalf("late completion after cancel should be discarded, got %v", err)
 	}
 	if got, _ := c1.Claim("n"); got != nil {

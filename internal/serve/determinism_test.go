@@ -22,8 +22,8 @@ type killSource struct {
 	kill      context.CancelFunc
 }
 
-func (k *killSource) Complete(node, campaign string, shard int, p *ShardPayload) error {
-	err := k.Source.Complete(node, campaign, shard, p)
+func (k *killSource) Complete(node, campaign string, shard int, span int64, p *ShardPayload) error {
+	err := k.Source.Complete(node, campaign, shard, span, p)
 	k.remaining--
 	if k.remaining == 0 {
 		k.kill()

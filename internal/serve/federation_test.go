@@ -1,0 +1,516 @@
+// Tests for the fleet observability layer: telemetry dedup under
+// at-least-once delivery, winner-span filtering of the merged trace,
+// straggler/stalled fleet health, and the end-to-end guarantee that a
+// two-node campaign's merged fleet trace cross-checks exactly against
+// its assembled Result.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+)
+
+func injRecord(id string, shard int, node string, span int64, cls fault.Class) obs.Record {
+	return obs.Record{
+		Kind:     obs.KindInjection,
+		Workload: "crc32",
+		Comp:     fault.CompRegFile,
+		Campaign: id,
+		Shard:    shard,
+		Node:     node,
+		Span:     span,
+		Class:    cls,
+	}
+}
+
+func traceRecords(t *testing.T, c *Coordinator, id string) []obs.Record {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteTrace(id, &buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestTelemetryDedup pins at-least-once safety: re-delivering a batch
+// (worker retry after a lost ack) must not duplicate its records in the
+// merged trace, and a stale sequence number must not regress the cursor.
+func TestTelemetryDedup(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, 2)
+	id, _ := submitTiny(t, c)
+
+	batch := &TelemetryBatch{
+		Node:    "n1",
+		Seq:     1,
+		Records: []obs.Record{injRecord(id, 0, "n1", 1, fault.ClassSDC)},
+		Items:   1,
+	}
+	if err := c.Telemetry(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Telemetry(batch); err != nil {
+		t.Fatalf("redelivered batch rejected: %v", err)
+	}
+	// A different payload under an already-applied sequence is also a
+	// duplicate: the sequence number is the identity.
+	if err := c.Telemetry(&TelemetryBatch{
+		Node:    "n1",
+		Seq:     1,
+		Records: []obs.Record{injRecord(id, 0, "n1", 1, fault.ClassMasked)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.cfg.Store.ReadTrace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("merged trace has %d records after duplicate delivery, want 1", len(recs))
+	}
+	if recs[0].Class != fault.ClassSDC {
+		t.Fatalf("duplicate overwrote the first delivery: %+v", recs[0])
+	}
+
+	// Fresh sequence applies.
+	if err := c.Telemetry(&TelemetryBatch{
+		Node:    "n1",
+		Seq:     2,
+		Records: []obs.Record{injRecord(id, 0, "n1", 1, fault.ClassMasked)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = c.cfg.Store.ReadTrace(id)
+	if recs, _ = obs.ReadRecords(bytes.NewReader(data)); len(recs) != 2 {
+		t.Fatalf("merged trace has %d records after seq 2, want 2", len(recs))
+	}
+}
+
+// TestTelemetryCursorsSurviveRestart pins that a restarted coordinator
+// still deduplicates batches a worker resends from before the restart.
+func TestTelemetryCursorsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	c1, err := NewCoordinator(CoordConfig{Store: store, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := submitTiny(t, c1)
+	batch := &TelemetryBatch{Node: "n1", Seq: 3,
+		Records: []obs.Record{injRecord(id, 0, "n1", 1, fault.ClassSDC)}}
+	if err := c1.Telemetry(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCoordinator(CoordConfig{Store: store2, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Telemetry(batch); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := c2.cfg.Store.ReadTrace(id)
+	if recs, _ := obs.ReadRecords(bytes.NewReader(data)); len(recs) != 1 {
+		t.Fatalf("restarted coordinator re-applied an old batch: %d records, want 1", len(recs))
+	}
+}
+
+// TestWinnerSpanFiltering pins the double-execution story: node A runs a
+// shard, its lease expires, node B re-runs it and completes. Both nodes'
+// records land in the merged trace, but WriteTrace keeps only the
+// winning span's experiments — so trace counts match the Result even
+// though the shard executed twice.
+func TestWinnerSpanFiltering(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, 2)
+	id, shards := submitTiny(t, c)
+	if shards != 2 {
+		t.Fatalf("want 2 shards, got %d", shards)
+	}
+
+	a1, _ := c.Claim("nodeA")
+	a2, _ := c.Claim("nodeA")
+	if a1 == nil || a2 == nil {
+		t.Fatal("nodeA could not claim both shards")
+	}
+	// Node A ships records for both shards, then goes silent.
+	if err := c.Telemetry(&TelemetryBatch{Node: "nodeA", Seq: 1, Records: []obs.Record{
+		injRecord(id, a1.Shard, "nodeA", a1.Span, fault.ClassSDC),
+		injRecord(id, a2.Shard, "nodeA", a2.Span, fault.ClassMasked),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(35 * time.Second) // past the 30s TTL: both leases expire
+	b1, _ := c.Claim("nodeB")
+	b2, _ := c.Claim("nodeB")
+	if b1 == nil || b2 == nil {
+		t.Fatal("nodeB could not claim the requeued shards")
+	}
+	if b1.Span == a1.Span || b1.Span == a2.Span {
+		t.Fatalf("re-claim reused a span: %d", b1.Span)
+	}
+	if err := c.Telemetry(&TelemetryBatch{Node: "nodeB", Seq: 1, Records: []obs.Record{
+		injRecord(id, b1.Shard, "nodeB", b1.Span, fault.ClassSDC),
+		injRecord(id, b2.Shard, "nodeB", b2.Span, fault.ClassMasked),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("nodeB", id, b1.Shard, b1.Span, fakePayload(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("nodeB", id, b2.Shard, b2.Span, fakePayload(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := traceRecords(t, c, id)
+	var exp, shardEvents int
+	spans := map[int64]bool{b1.Span: true, b2.Span: true}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case obs.KindInjection:
+			exp++
+			if !spans[rec.Span] {
+				t.Errorf("losing-span record survived the filter: %+v", rec)
+			}
+			if rec.Node != "nodeB" {
+				t.Errorf("record from dead node survived: %+v", rec)
+			}
+		case obs.KindShard:
+			shardEvents++
+		}
+	}
+	if exp != 2 {
+		t.Errorf("filtered trace has %d experiment records, want 2", exp)
+	}
+	// 4 claims + 2 requeues + 2 completes, all preserved for forensics.
+	if shardEvents != 8 {
+		t.Errorf("filtered trace has %d shard events, want 8", shardEvents)
+	}
+}
+
+// TestFleetStatus pins straggler and stalled detection against the fake
+// clock: a lease held (and renewed) past the straggler threshold is
+// flagged; a node quiet past the stalled threshold is flagged.
+func TestFleetStatus(t *testing.T) {
+	clk := newFakeClock()
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(CoordConfig{
+		Store:          store,
+		LeaseTTL:       30 * time.Second,
+		StragglerAfter: 60 * time.Second,
+		StalledAfter:   15 * time.Second,
+		Now:            clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := submitTiny(t, c)
+
+	a, _ := c.Claim("n1")
+	if a == nil {
+		t.Fatal("claim failed")
+	}
+	// n2 reports telemetry once at t=0, then goes quiet.
+	if err := c.Telemetry(&TelemetryBatch{Node: "n2", Seq: 1, Rate: 2.5, Items: 10, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := c.Fleet()
+	if len(fs.Campaigns) != 1 || len(fs.Campaigns[0].Stragglers) != 0 {
+		t.Fatalf("fresh claim already a straggler: %+v", fs.Campaigns)
+	}
+
+	// n1 keeps its lease alive across 65s of wall time.
+	for _, step := range []time.Duration{20 * time.Second, 20 * time.Second, 15 * time.Second} {
+		clk.Advance(step)
+		if err := c.Renew("n1", id, a.Shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(10 * time.Second) // t=65: running 65s > 60s threshold
+
+	fs = c.Fleet()
+	strag := fs.Campaigns[0].Stragglers
+	if len(strag) != 1 || strag[0].Shard != a.Shard || strag[0].Node != "n1" {
+		t.Fatalf("stragglers = %+v, want shard %d on n1", strag, a.Shard)
+	}
+	if strag[0].RunningMS < 60_000 {
+		t.Errorf("straggler running %dms, want >= 60000", strag[0].RunningMS)
+	}
+	nodes := map[string]NodeStatus{}
+	for _, n := range fs.Nodes {
+		nodes[n.Node] = n
+	}
+	if n1, ok := nodes["n1"]; !ok || n1.Stalled || n1.LeasesHeld != 1 {
+		t.Errorf("n1 status %+v, want live with 1 lease", nodes["n1"])
+	}
+	if n2, ok := nodes["n2"]; !ok || !n2.Stalled {
+		t.Errorf("n2 status %+v, want stalled", nodes["n2"])
+	} else if n2.Rate != 2.5 || n2.Items != 10 || n2.Shards != 1 {
+		t.Errorf("n2 telemetry %+v, want rate 2.5 items 10 shards 1", n2)
+	}
+	if c.countStragglers() != 1 {
+		t.Errorf("countStragglers = %d, want 1", c.countStragglers())
+	}
+	if c.countStalled() == 0 {
+		t.Error("countStalled = 0, want >= 1")
+	}
+}
+
+// flakySink fails the first n deliveries, then forwards to the
+// coordinator — the worker-retry path.
+type flakySink struct {
+	mu   sync.Mutex
+	fail int
+	c    *Coordinator
+}
+
+func (f *flakySink) Telemetry(b *TelemetryBatch) error {
+	f.mu.Lock()
+	if f.fail > 0 {
+		f.fail--
+		f.mu.Unlock()
+		return errors.New("transient")
+	}
+	f.mu.Unlock()
+	return f.c.Telemetry(b)
+}
+
+// TestShipperRetry pins the shipper's at-least-once delivery: a failed
+// batch is retained and resent with the same sequence number, and the
+// coordinator applies every record exactly once.
+func TestShipperRetry(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, 2)
+	id, _ := submitTiny(t, c)
+	sink := &flakySink{fail: 1, c: c}
+	s := NewShipper("n1", sink, time.Second)
+
+	s.EmitRecord(injRecord(id, 0, "n1", 1, fault.ClassSDC))
+	if err := s.Flush(); err == nil {
+		t.Fatal("first flush should have failed")
+	}
+	s.EmitRecord(injRecord(id, 1, "n1", 1, fault.ClassMasked))
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := c.cfg.Store.ReadTrace(id)
+	recs, err := obs.ReadRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("merged trace has %d records after retry, want 2", len(recs))
+	}
+	// Drained shipper stays drained: no heartbeat batches pile up.
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runFederatedCampaign drives a two-node federated campaign against a
+// real HTTP coordinator and returns the client and campaign id once the
+// campaign is complete and both shippers are drained.
+func runFederatedCampaign(t *testing.T, req SubmitRequest) (*Client, string) {
+	t.Helper()
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer := obs.New(obs.Options{})
+	coord, err := NewCoordinator(CoordConfig{Store: store, LeaseTTL: time.Minute, Obs: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(coord, observer.Registry()))
+	t.Cleanup(srv.Close)
+	client := &Client{Base: srv.URL}
+
+	id, err := client.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	var shippers []*Shipper
+	workerErrs := make(chan error, 2)
+	for _, node := range []string{"node-a", "node-b"} {
+		workerObs := obs.New(obs.Options{})
+		shipper := NewShipper(node, client, 20*time.Millisecond)
+		workerObs.Tee(shipper)
+		shippers = append(shippers, shipper)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			shipper.Run(ctx)
+		}()
+		go func(node string, o *obs.Observer, src Source) {
+			defer wg.Done()
+			_, err := RunWorker(ctx, WorkerConfig{
+				Node:         node,
+				Source:       src,
+				Obs:          o,
+				PollInterval: 10 * time.Millisecond,
+			})
+			workerErrs <- err
+		}(node, workerObs, shipper.WrapSource(client))
+	}
+
+	final, err := client.WaitComplete(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateComplete {
+		t.Fatalf("final state %s", final.State)
+	}
+	cancel()
+	wg.Wait()
+	close(workerErrs)
+	for err := range workerErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range shippers {
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return client, id
+}
+
+// TestFederatedTraceCrossCheckInjection is the closure guarantee for
+// injection campaigns: a two-node campaign's merged fleet trace, fetched
+// from the coordinator, must agree exactly — record counts and per-class
+// tallies — with the assembled distributed Result.
+func TestFederatedTraceCrossCheckInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real injection campaigns")
+	}
+	cfg := gefin.Config{
+		Seed:               55,
+		FaultsPerComponent: 3,
+		Components:         []fault.Component{fault.CompRegFile, fault.CompDTLB},
+		Workers:            1,
+	}
+	client, id := runFederatedCampaign(t, SubmitRequest{
+		Kind:      KindInjection,
+		Injection: &cfg,
+		Workloads: []string{"crc32"},
+		ShardSize: 2, // odd split: shards of 2,2,2 across 6 plan slots
+	})
+
+	trace, err := client.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ReadSummary(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.InjectionResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Workloads {
+		for _, cr := range w.Components {
+			c := sum.Component(obs.KindInjection, w.Workload, cr.Comp)
+			if c.Records != cr.N {
+				t.Errorf("%s/%s: trace has %d records, result expects %d", w.Workload, cr.Comp, c.Records, cr.N)
+			}
+			for _, cls := range fault.Classes() {
+				if c.Counts[cls] != cr.Counts[cls] {
+					t.Errorf("%s/%s/%s: trace %d, result %d", w.Workload, cr.Comp, cls, c.Counts[cls], cr.Counts[cls])
+				}
+			}
+		}
+	}
+	// Every federated record is span-stamped and campaign-correlated.
+	recs, _ := obs.ReadRecords(bytes.NewReader(trace))
+	for _, rec := range recs {
+		if rec.Campaign != id {
+			t.Fatalf("uncorrelated record in merged trace: %+v", rec)
+		}
+		if rec.Kind == obs.KindInjection && rec.Span == 0 {
+			t.Fatalf("injection record without a span: %+v", rec)
+		}
+	}
+}
+
+// TestFederatedTraceCrossCheckBeam extends the closure guarantee to beam
+// campaigns: the per-class weighted event sums recomputed from the
+// merged two-node trace must be bit-identical to the distributed
+// Result's ModeledEvents.
+func TestFederatedTraceCrossCheckBeam(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real beam campaigns")
+	}
+	cfg := beam.Config{Seed: 99, BeamHours: 1, StrikesPerComponent: 2, Workers: 1}
+	client, id := runFederatedCampaign(t, SubmitRequest{
+		Kind:      KindBeam,
+		Beam:      &cfg,
+		Workloads: []string{"crc32"},
+	})
+
+	trace, err := client.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ReadSummary(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.BeamResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Workloads {
+		records := 0
+		for _, comp := range fault.Components() {
+			records += sum.Component(obs.KindStrike, w.Workload, comp).Records
+		}
+		if records != w.SimulatedStrikes {
+			t.Errorf("%s: trace has %d strikes, result simulated %d", w.Workload, records, w.SimulatedStrikes)
+		}
+		modeled := sum.ModeledEvents(w.Workload)
+		for _, cls := range fault.Classes() {
+			if modeled[cls] != w.ModeledEvents[cls] {
+				t.Errorf("%s/%s: trace models %.17g events, result %.17g (not bit-identical)",
+					w.Workload, cls, modeled[cls], w.ModeledEvents[cls])
+			}
+		}
+	}
+}

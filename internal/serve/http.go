@@ -8,9 +8,13 @@
 //	GET  /api/v1/campaigns/{id}       one campaign's status
 //	GET  /api/v1/campaigns/{id}/results  assembled Result (complete only)
 //	POST /api/v1/campaigns/{id}/cancel   cancel
+//	GET  /api/v1/campaigns/{id}/trace    merged fleet trace (JSONL)
 //	POST /api/v1/claim                worker: lease next shard (204 = none)
 //	POST /api/v1/renew                worker: extend a lease
 //	POST /api/v1/complete             worker: report a shard result
+//	POST /api/v1/telemetry            worker: ship a telemetry batch
+//	GET  /api/v1/fleet                fleet snapshot (nodes, stragglers)
+//	GET  /fleet                       live HTML dashboard
 //	GET  /metrics, /debug/*           service + campaign metrics, pprof
 
 package serve
@@ -58,6 +62,7 @@ type completeRequest struct {
 	Node     string        `json:"node"`
 	Campaign string        `json:"campaign"`
 	Shard    int           `json:"shard"`
+	Span     int64         `json:"span"`
 	Payload  *ShardPayload `json:"payload"`
 }
 
@@ -160,11 +165,41 @@ func Handler(c *Coordinator, reg *obs.Registry) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: completion without payload"))
 			return
 		}
-		if err := c.Complete(req.Node, req.Campaign, req.Shard, req.Payload); err != nil {
+		if err := c.Complete(req.Node, req.Campaign, req.Shard, req.Span, req.Payload); err != nil {
 			httpError(w, http.StatusConflict, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /api/v1/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		var b TelemetryBatch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := c.Telemetry(&b); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := c.WriteTrace(r.PathValue("id"), w); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+	})
+
+	mux.HandleFunc("GET /api/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Fleet())
+	})
+
+	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, fleetHTML)
 	})
 
 	if reg != nil {

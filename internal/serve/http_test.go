@@ -146,7 +146,7 @@ func TestHTTPValidation(t *testing.T) {
 	if err := client.Renew("n", "nope", 0); err == nil {
 		t.Error("renew on unknown campaign accepted")
 	}
-	if err := client.Complete("n", "nope", 0, &ShardPayload{}); err == nil {
+	if err := client.Complete("n", "nope", 0, 0, &ShardPayload{}); err == nil {
 		t.Error("complete on unknown campaign accepted")
 	}
 }

@@ -79,10 +79,15 @@ type ShardPayload struct {
 // the record's identity and payload comprise, so a corrupted-but-
 // parseable line is detected, not silently merged.
 type logRecord struct {
-	V       int             `json:"v"`
-	Type    string          `json:"type"`
-	Shard   int             `json:"shard,omitempty"`
-	Node    string          `json:"node,omitempty"`
+	V     int    `json:"v"`
+	Type  string `json:"type"`
+	Shard int    `json:"shard,omitempty"`
+	Node  string `json:"node,omitempty"`
+	// Span is the coordinator-minted span id of the shard execution whose
+	// completion this record accepted; trace records stamped with the same
+	// span are the canonical records of the shard. Observability metadata,
+	// deliberately outside the CRC so pre-span logs replay unchanged.
+	Span    int64           `json:"span,omitempty"`
 	Event   string          `json:"event,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 	CRC     uint32          `json:"crc"`
@@ -214,8 +219,13 @@ type Replay struct {
 	// Done maps completed shard indices to their durable payloads; on a
 	// duplicate completion the first record wins (later ones are
 	// byte-identical by determinism — Duplicates counts them).
-	Done       map[int]json.RawMessage
-	Nodes      map[int]string
+	Done  map[int]json.RawMessage
+	Nodes map[int]string
+	// Spans maps completed shard indices to the span id of the accepted
+	// execution (zero for pre-span log records) — the winner set that
+	// filters a campaign's merged fleet trace down to its canonical
+	// records.
+	Spans      map[int]int64
 	Cancelled  bool
 	Duplicates int
 	// TornBytes is the length of a torn (crashed-mid-append) tail that
@@ -232,11 +242,11 @@ func (s *Store) Replay(id string, man *Manifest) (*Replay, error) {
 	data, err := os.ReadFile(s.logPath(id))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return &Replay{Done: map[int]json.RawMessage{}, Nodes: map[int]string{}}, nil
+			return &Replay{Done: map[int]json.RawMessage{}, Nodes: map[int]string{}, Spans: map[int]int64{}}, nil
 		}
 		return nil, fmt.Errorf("serve: store: %w", err)
 	}
-	rep := &Replay{Done: map[int]json.RawMessage{}, Nodes: map[int]string{}}
+	rep := &Replay{Done: map[int]json.RawMessage{}, Nodes: map[int]string{}, Spans: map[int]int64{}}
 	off := 0
 	for off < len(data) {
 		nl := bytes.IndexByte(data[off:], '\n')
@@ -279,6 +289,7 @@ func (s *Store) Replay(id string, man *Manifest) (*Replay, error) {
 			} else {
 				rep.Done[rec.Shard] = rec.Payload
 				rep.Nodes[rec.Shard] = rec.Node
+				rep.Spans[rec.Shard] = rec.Span
 			}
 		case "event":
 			if rec.Event == "cancelled" {
@@ -328,9 +339,10 @@ func (s *Store) OpenLog(id string) (*Log, error) {
 	return &Log{f: f}, nil
 }
 
-// AppendShard durably records a completed shard.
-func (l *Log) AppendShard(shard int, node string, payload json.RawMessage) error {
-	return l.append(logRecord{V: StoreVersion, Type: "shard", Shard: shard, Node: node, Payload: payload})
+// AppendShard durably records a completed shard, tagged with the span id
+// of the execution whose completion was accepted.
+func (l *Log) AppendShard(shard int, node string, span int64, payload json.RawMessage) error {
+	return l.append(logRecord{V: StoreVersion, Type: "shard", Shard: shard, Node: node, Span: span, Payload: payload})
 }
 
 // AppendEvent durably records a campaign lifecycle event.
@@ -355,6 +367,86 @@ func (l *Log) append(rec logRecord) error {
 
 // Close closes the append handle.
 func (l *Log) Close() error { return l.f.Close() }
+
+// TracePath is the campaign's merged fleet trace: JSONL records shipped
+// by worker telemetry plus the coordinator's own shard lifecycle
+// records, living next to the shard log.
+func (s *Store) TracePath(id string) string { return filepath.Join(s.dir(id), "trace.jsonl") }
+
+// AppendTrace appends pre-marshalled JSONL trace data to the campaign's
+// merged fleet trace. The trace is observability, not source of truth,
+// so appends are not fsync'd; ids are validated like Create because
+// worker-shipped records name the campaign.
+func (s *Store) AppendTrace(id string, data []byte) error {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return fmt.Errorf("serve: store: bad campaign id %q", id)
+	}
+	if _, err := os.Stat(s.dir(id)); err != nil {
+		return fmt.Errorf("serve: store: unknown campaign %s", id)
+	}
+	f, err := os.OpenFile(s.TracePath(id), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("serve: store: trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace returns the campaign's merged fleet trace, empty if no
+// telemetry has arrived yet.
+func (s *Store) ReadTrace(id string) ([]byte, error) {
+	data, err := os.ReadFile(s.TracePath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	return data, nil
+}
+
+// cursorsPath holds the telemetry dedup cursors (highest applied batch
+// sequence number per node).
+func (s *Store) cursorsPath() string { return filepath.Join(s.root, "telemetry-cursors.json") }
+
+// LoadTelemetryCursors restores the per-node telemetry batch cursors.
+// Best-effort: a missing or unreadable file yields an empty map (at
+// worst a redelivered batch duplicates trace records, which tracestat
+// detects; shard results are never affected).
+func (s *Store) LoadTelemetryCursors() map[string]int64 {
+	cur := make(map[string]int64)
+	data, err := os.ReadFile(s.cursorsPath())
+	if err != nil {
+		return cur
+	}
+	if json.Unmarshal(data, &cur) != nil {
+		return make(map[string]int64)
+	}
+	return cur
+}
+
+// SaveTelemetryCursors persists the per-node telemetry batch cursors via
+// temp-file rename (no fsync: cursors are best-effort dedup state).
+func (s *Store) SaveTelemetryCursors(cur map[string]int64) error {
+	data, err := json.Marshal(cur)
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	tmp := s.cursorsPath() + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if err := os.Rename(tmp, s.cursorsPath()); err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	return nil
+}
 
 // syncDir fsyncs a directory so renames and creations in it are durable.
 func syncDir(dir string) error {

@@ -247,7 +247,7 @@ func TestStoreCrashRecovery(t *testing.T) {
 
 func mustAppend(t *testing.T, l *Log, shard int, node string, payload json.RawMessage) {
 	t.Helper()
-	if err := l.AppendShard(shard, node, payload); err != nil {
+	if err := l.AppendShard(shard, node, int64(shard)+1, payload); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -17,15 +17,17 @@ import (
 	"armsefi/internal/core/beam"
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/core/sched"
+	"armsefi/internal/obs"
 )
 
 // Source is the coordinator surface a worker needs. *Coordinator
 // implements it directly (local workers), *Client implements it over
-// HTTP (remote workers).
+// HTTP (remote workers). Complete echoes the Assignment's span so the
+// coordinator can mark the winning execution in the merged fleet trace.
 type Source interface {
 	Claim(node string) (*Assignment, error)
 	Renew(node, campaign string, shard int) error
-	Complete(node, campaign string, shard int, payload *ShardPayload) error
+	Complete(node, campaign string, shard int, span int64, payload *ShardPayload) error
 }
 
 // WorkerConfig parameterises one worker loop.
@@ -41,6 +43,12 @@ type WorkerConfig struct {
 	Pool *sched.Pool
 	// Worker tags trace records emitted by this loop's shard runs.
 	Worker int
+	// Obs, when set, instruments shard execution: every injection/strike
+	// the shard runs is traced (and, when the observer is teed into a
+	// telemetry Shipper, federated to the coordinator) stamped with the
+	// assignment's trace context. Nil keeps execution unobserved — the
+	// engines pay zero.
+	Obs *obs.Observer
 	// PollInterval is the idle back-off when no shard is claimable.
 	// Zero picks 200ms.
 	PollInterval time.Duration
@@ -88,7 +96,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (int, error) {
 		}
 		payload, execErr := executeShard(ctx, cfg, a, injRunners, beamRunners)
 		if execErr == nil {
-			execErr = cfg.Source.Complete(cfg.Node, a.Campaign, a.Shard, payload)
+			execErr = cfg.Source.Complete(cfg.Node, a.Campaign, a.Shard, a.Span, payload)
 		}
 		if cfg.Pool != nil {
 			cfg.Pool.Release()
@@ -113,6 +121,10 @@ func executeShard(ctx context.Context, cfg WorkerConfig, a *Assignment,
 	stopRenew := renewLoop(ctx, cfg, a)
 	defer stopRenew()
 
+	// tc correlates every record the shard emits with this execution:
+	// campaign, shard index, this node, and the coordinator-minted span.
+	tc := obs.TraceContext{Campaign: a.Campaign, Shard: a.Shard, Node: cfg.Node, Span: a.Span}
+
 	switch a.Kind {
 	case KindInjection:
 		if a.Injection == nil {
@@ -120,10 +132,16 @@ func executeShard(ctx context.Context, cfg WorkerConfig, a *Assignment,
 		}
 		r, ok := injRunners[a.Campaign]
 		if !ok {
-			r = gefin.NewShardRunner(*a.Injection)
+			// Copy the config before attaching the worker's observer: the
+			// assignment may share the coordinator's manifest pointer when
+			// the source is in-process.
+			cc := *a.Injection
+			cc.Obs = cfg.Obs
+			r = gefin.NewShardRunner(cc)
 			r.Worker = cfg.Worker
 			injRunners[a.Campaign] = r
 		}
+		r.Ctx = tc
 		outs, meta, err := r.RunShard(spec, a.Lo, a.Hi)
 		if err != nil {
 			return nil, err
@@ -135,10 +153,13 @@ func executeShard(ctx context.Context, cfg WorkerConfig, a *Assignment,
 		}
 		r, ok := beamRunners[a.Campaign]
 		if !ok {
-			r = beam.NewShardRunner(*a.Beam)
+			cc := *a.Beam
+			cc.Obs = cfg.Obs
+			r = beam.NewShardRunner(cc)
 			r.Worker = cfg.Worker
 			beamRunners[a.Campaign] = r
 		}
+		r.Ctx = tc
 		chain, meta, err := r.RunShard(spec, a.Lo)
 		if err != nil {
 			return nil, err
