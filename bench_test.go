@@ -730,6 +730,61 @@ func BenchmarkCampaignCheckpointed(b *testing.B) {
 	b.Run("checkpointed", func(b *testing.B) { run(b, soc.DefaultCheckpointEvery) })
 }
 
+// BenchmarkCampaignPruned measures the ACE pre-filter's speedup on a
+// crc32 campaign over the prune-eligible components (caches and TLBs):
+// the same seeded fault plan with the checkpoint ladder on, once
+// simulating every injection and once pruning the provably-masked ones
+// to predicted verdicts. The aggregated Result is bit-identical in both
+// arms (pinned by TestPruneResultInvariance) — only the wall clock
+// moves. The headline acceptance ratio is cross-benchmark: the pruned
+// arm (96 planned injections) must land at least 3x under
+// BenchmarkCampaignCheckpointed/checkpointed (72 injections, no
+// pre-filter) from the same run, with ~10x the target against the
+// plain arm; the within-campaign ratio is bounded by the genuinely
+// undecided (live-hit, often crashing) injections that must always
+// simulate. Measured numbers and the predicted-fraction floor are
+// recorded in BENCH_prune.json.
+func BenchmarkCampaignPruned(b *testing.B) {
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		b.Fatal("crc32 missing")
+	}
+	specs := []bench.Spec{spec}
+	run := func(b *testing.B, prune bool) {
+		b.Helper()
+		var frac float64
+		for i := 0; i < b.N; i++ {
+			res, err := gefin.Run(gefin.Config{
+				Seed:               benchSeed,
+				FaultsPerComponent: 24,
+				Workers:            runtime.NumCPU(),
+				CheckpointEvery:    soc.DefaultCheckpointEvery,
+				Prune:              prune,
+				Components: []fault.Component{
+					fault.CompL1I, fault.CompL1D, fault.CompL2, fault.CompDTLB,
+				},
+			}, specs, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Workloads) == 0 || res.Workloads[0].GoldenCycles == 0 {
+				b.Fatal("empty campaign result")
+			}
+			if prune {
+				if res.Prune == nil || res.Prune.Predicted == 0 {
+					b.Fatal("pruned arm resolved no injections by prediction")
+				}
+				frac = res.Prune.PredictedFraction()
+			}
+		}
+		if prune {
+			b.ReportMetric(frac, "predicted-frac")
+		}
+	}
+	b.Run("checkpointed", func(b *testing.B) { run(b, false) })
+	b.Run("pruned", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkCampaignTraced measures the observability layer's overhead on
 // the BenchmarkCampaignParallel campaign: the untraced arm against full
 // instrumentation (JSONL trace to disk plus the metrics registry). The

@@ -113,9 +113,23 @@ func run() error {
 			"cross-check every incremental dirty-page convergence check against the exact full-image comparison (slow; panics on disagreement)")
 		remote = flag.String("remote", "",
 			"submit the campaign to a campaignd coordinator at this URL instead of running locally, wait for completion, and report its results")
+		// Flag parity with gefin: the flags are accepted so campaign scripts
+		// can pass one flag set to both tools, but beam strikes are never
+		// pre-filtered. The liveness pre-filter classifies a pre-drawn plan
+		// against one golden replay; beam strikes have no such plan — each
+		// strike is drawn from the machine's *current* residency mid-run,
+		// chains onto the corrupted state of the previous one, and the
+		// latent-corruption follow-up execution is itself the measurement.
+		prune = flag.Bool("prune", false,
+			"accepted for gefin flag parity; live-board strikes are never pre-filtered (see source)")
+		pruneVerify = flag.Bool("prune-verify", false,
+			"accepted for gefin flag parity; live-board strikes are never pre-filtered (see source)")
 	)
 	flag.Parse()
 
+	if (*prune || *pruneVerify) && !*quiet {
+		fmt.Fprintln(os.Stderr, "beamsim: note: -prune/-prune-verify have no effect on beam strikes (no pre-drawn plan to pre-filter); every strike executes")
+	}
 	scale := bench.ScaleTiny
 	switch *scaleFlag {
 	case "tiny":

@@ -98,6 +98,7 @@ func run() error {
 				defer workerObs.Close()
 			}
 			shipper = serve.NewShipper(*node, client, *telemEvery)
+			shipper.ObserveMemory(workerObs.LadderMemoryTotals)
 			workerObs.Tee(shipper)
 			go shipper.Run(ctx)
 			src = shipper.WrapSource(client)
@@ -160,6 +161,7 @@ func run() error {
 			// without double-tracing the coordinator's own shard events.
 			workerObs = obs.New(obs.Options{Registry: observer.Registry()})
 			shipper = serve.NewShipper(*node, coord, *telemEvery)
+			shipper.ObserveMemory(workerObs.LadderMemoryTotals)
 			workerObs.Tee(shipper)
 			go shipper.Run(ctx)
 			src = shipper.WrapSource(coord)

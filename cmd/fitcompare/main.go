@@ -60,6 +60,10 @@ func run() error {
 			"golden-run checkpoint-ladder rung spacing in cycles for both campaigns; 0 disables the ladder (results are bit-identical either way)")
 		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
 			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
+		prune = flag.Bool("prune", false,
+			"pre-filter the injection campaign's fault plan against a liveness replay and skip provably-masked injections (results are byte-identical either way; beam strikes always execute)")
+		pruneVerify = flag.Bool("prune-verify", false,
+			"shadow mode for the injection campaign: predict AND simulate every injection, failing on any disagreement (implies -prune)")
 	)
 	flag.Parse()
 
@@ -148,7 +152,7 @@ func run() error {
 	injCfg := gefin.Config{
 		Scale: scale, Seed: *seed, FaultsPerComponent: *faults, Workers: *workers,
 		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
-		Provenance: *prov,
+		Provenance: *prov, Prune: *prune, PruneVerify: *pruneVerify,
 	}
 	injRes, err := gefin.Run(injCfg, specs, gefinProg)
 	if err != nil {
@@ -160,6 +164,9 @@ func run() error {
 
 	fmt.Println(report.Fig3(beamRes))
 	fmt.Println(report.Fig4(injRes))
+	if s := injRes.Prune; s != nil {
+		fmt.Println(report.PruneSplit(s))
+	}
 
 	var injs []fit.Injection
 	var comparisons []fit.Comparison

@@ -146,6 +146,10 @@ func run() error {
 		memProf     = flag.String("memprofile", "", "write a heap profile at campaign end to this file")
 		ladderDebug = flag.Bool("ladder-debug", false,
 			"cross-check every incremental dirty-page convergence check against the exact full-image comparison (slow; panics on disagreement)")
+		prune = flag.Bool("prune", false,
+			"pre-filter the fault plan against a liveness replay and skip provably-masked injections (results are byte-identical either way)")
+		pruneVerify = flag.Bool("prune-verify", false,
+			"shadow mode: predict AND simulate every injection, failing the campaign on any disagreement (implies -prune; no speedup)")
 		remote = flag.String("remote", "",
 			"submit the campaign to a campaignd coordinator at this URL instead of running locally, wait for completion, and report its results")
 	)
@@ -191,6 +195,8 @@ func run() error {
 		LadderDebug:        *ladderDebug,
 		Obs:                ocli.Obs,
 		Provenance:         *prov,
+		Prune:              *prune,
+		PruneVerify:        *pruneVerify,
 	}
 	var progress gefin.Progress
 	if !*quiet {
@@ -227,6 +233,9 @@ func run() error {
 		return err
 	}
 	fmt.Println(report.Fig4(res))
+	if s := res.Prune; s != nil {
+		fmt.Println(report.PruneSplit(s))
+	}
 	injs := make([]fit.Injection, 0, len(res.Workloads))
 	for i := range res.Workloads {
 		injs = append(injs, fit.FromInjection(&res.Workloads[i], *fitRaw))

@@ -5,7 +5,9 @@
 // arm — so the check is independent of the host the CI job happens to
 // land on, and allocation guards pin allocs/op at exactly zero for the
 // steady-state cycle loop. A ratio more than -tolerance below the
-// recorded value fails the build.
+// recorded value fails the build. Metric floors additionally pin custom
+// b.ReportMetric columns (e.g. the pruned campaign's predicted-frac in
+// BENCH_prune.json) above absolute minimums.
 //
 // Usage:
 //
@@ -37,12 +39,28 @@ type RatioGuard struct {
 	Recorded float64 `json:"recorded"`
 }
 
+// MetricFloor asserts a custom benchmark metric (a b.ReportMetric
+// column, e.g. "predicted-frac") stays at or above an absolute floor.
+type MetricFloor struct {
+	Name string `json:"name"`
+	// Bench names the benchmark carrying the metric, without the
+	// -GOMAXPROCS suffix.
+	Bench string `json:"bench"`
+	// Metric is the unit column to check (everything after the value).
+	Metric string `json:"metric"`
+	// Floor is the absolute minimum — no tolerance is applied, so record
+	// floors with headroom, not measured values.
+	Floor float64 `json:"floor"`
+}
+
 // Guards is the machine-checked part of the baseline record.
 type Guards struct {
 	Ratios []RatioGuard `json:"ratios"`
 	// ZeroAllocs lists benchmarks whose allocs/op must be exactly zero
 	// (requires -benchmem or b.ReportAllocs in the benchmark).
 	ZeroAllocs []string `json:"zero_allocs"`
+	// MetricFloors pin custom reported metrics above absolute floors.
+	MetricFloors []MetricFloor `json:"metric_floors,omitempty"`
 }
 
 // Baseline is the subset of BENCH_kernel.json perfguard reads; the file
@@ -56,6 +74,9 @@ type measurement struct {
 	nsPerOp  float64
 	allocs   float64
 	hasAlloc bool
+	// metrics holds every other value/unit column (b.ReportMetric output);
+	// repeated lines keep the minimum, so floors check the worst run.
+	metrics map[string]float64
 }
 
 // parseBench extracts ns/op and allocs/op per benchmark name from go
@@ -93,6 +114,15 @@ func parseBench(r io.Reader) (map[string]measurement, error) {
 					m.allocs = v
 				}
 				m.hasAlloc = true
+			case "B/op", "MB/s":
+				// standard columns no guard reads
+			default:
+				if m.metrics == nil {
+					m.metrics = make(map[string]float64)
+				}
+				if prev, ok := m.metrics[fields[i+1]]; !ok || v < prev {
+					m.metrics[fields[i+1]] = v
+				}
 			}
 		}
 		out[name] = m
@@ -151,6 +181,23 @@ func run() error {
 			failed++
 		}
 		fmt.Printf("%s %s: %.2fx (recorded %.2fx, floor %.2fx)\n", verdict, g.Name, ratio, g.Recorded, floor)
+	}
+	for _, g := range base.Guards.MetricFloors {
+		m, ok := results[g.Bench]
+		v, has := m.metrics[g.Metric]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %s: benchmark %s not in input\n", g.Name, g.Bench)
+			failed++
+		case !has:
+			fmt.Printf("FAIL %s: %s reports no %q metric\n", g.Name, g.Bench, g.Metric)
+			failed++
+		case v < g.Floor:
+			fmt.Printf("FAIL %s: %s %s = %.4g, floor %.4g\n", g.Name, g.Bench, g.Metric, v, g.Floor)
+			failed++
+		default:
+			fmt.Printf("ok   %s: %s %s = %.4g (floor %.4g)\n", g.Name, g.Bench, g.Metric, v, g.Floor)
+		}
 	}
 	for _, name := range base.Guards.ZeroAllocs {
 		m, ok := results[name]

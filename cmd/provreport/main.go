@@ -6,6 +6,11 @@
 // trap, or a timeout — the "why was this fault masked?" decomposition the
 // paper's Section V discusses qualitatively.
 //
+// For pruned campaigns (gefin -prune) it additionally prints a
+// predicted-vs-simulated split table: per component, how many planned
+// injections the ACE pre-filter resolved without simulation, decomposed
+// by predicted mechanism, versus how many actually ran.
+//
 // Usage:
 //
 //	provreport trace.jsonl
@@ -41,6 +46,11 @@ type componentReport struct {
 	Comp       fault.Component         `json:"comp"`
 	Records    int                     `json:"records"`
 	Mechanisms map[fault.Mechanism]int `json:"mechanisms"`
+	// Predicted counts the records the ACE pre-filter resolved without
+	// simulation (pruned campaigns only); PredMechanisms splits them by
+	// the predicted masking mechanism.
+	Predicted      int                     `json:"predicted,omitempty"`
+	PredMechanisms map[fault.Mechanism]int `json:"pred_mechanisms,omitempty"`
 }
 
 func run() error {
@@ -83,12 +93,17 @@ func run() error {
 				if c.MechRecords == 0 {
 					continue
 				}
-				rows = append(rows, componentReport{
+				row := componentReport{
 					Workload:   name,
 					Comp:       comp,
 					Records:    c.MechRecords,
 					Mechanisms: c.Mechanisms,
-				})
+				}
+				if c.Predicted > 0 {
+					row.Predicted = c.Predicted
+					row.PredMechanisms = c.PredMechanisms
+				}
+				rows = append(rows, row)
 			}
 		}
 	}
@@ -103,6 +118,7 @@ func run() error {
 	})
 
 	printTables(rows)
+	printSplit(sum, *workload)
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rows, "", "  ")
@@ -151,6 +167,76 @@ func printTables(rows []componentReport) {
 		fmt.Printf("  %-10s %8d", "total", total.Records)
 		for _, m := range mechs {
 			fmt.Printf(" %12d (%6.2f%%)", total.Mechanisms[m], pct(total.Mechanisms[m], total.Records))
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}
+
+// printSplit renders the predicted-vs-simulated decomposition of a pruned
+// injection campaign: per component, how many planned injections the ACE
+// pre-filter resolved without simulation (split by predicted mechanism)
+// versus how many actually ran. Silent for unpruned traces.
+func printSplit(sum *obs.Summary, only string) {
+	k, ok := sum.ByKind[obs.KindInjection]
+	if !ok {
+		return
+	}
+	var names []string
+	for name, w := range k.Workloads {
+		if only != "" && name != only {
+			continue
+		}
+		for _, c := range w.Components {
+			if c.Predicted > 0 {
+				names = append(names, name)
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := k.Workloads[name]
+		// Columns: only the mechanisms the pre-filter actually predicted.
+		var mechs []fault.Mechanism
+		for _, m := range fault.Mechanisms() {
+			for _, c := range w.Components {
+				if c.PredMechanisms[m] > 0 {
+					mechs = append(mechs, m)
+					break
+				}
+			}
+		}
+		comps := make([]fault.Component, 0, len(w.Components))
+		for comp := range w.Components {
+			comps = append(comps, comp)
+		}
+		sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+		fmt.Printf("Pre-filter split: predicted vs simulated — %s\n", name)
+		fmt.Printf("  %-10s %9s %9s %10s", "component", "predicted", "simulated", "pred frac")
+		for _, m := range mechs {
+			fmt.Printf(" %22s", m)
+		}
+		fmt.Println()
+		var tPred, tSim int
+		tMech := make(map[fault.Mechanism]int)
+		for _, comp := range comps {
+			c := w.Components[comp]
+			sim := c.Records - c.Predicted
+			fmt.Printf("  %-10s %9d %9d %9.2f%%", comp, c.Predicted, sim, pct(c.Predicted, c.Records))
+			for _, m := range mechs {
+				fmt.Printf(" %12d (%6.2f%%)", c.PredMechanisms[m], pct(c.PredMechanisms[m], c.Records))
+			}
+			fmt.Println()
+			tPred += c.Predicted
+			tSim += sim
+			for _, m := range mechs {
+				tMech[m] += c.PredMechanisms[m]
+			}
+		}
+		fmt.Printf("  %-10s %9d %9d %9.2f%%", "total", tPred, tSim, pct(tPred, tPred+tSim))
+		for _, m := range mechs {
+			fmt.Printf(" %12d (%6.2f%%)", tMech[m], pct(tMech[m], tPred+tSim))
 		}
 		fmt.Println()
 		fmt.Println()

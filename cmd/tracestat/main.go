@@ -23,6 +23,11 @@
 // When the trace carries propagation provenance, the mechanism verdicts
 // are verified to partition the outcome classes exactly (always; the
 // -require-prov flag additionally fails traces without provenance).
+// Pruned campaigns (gefin -prune) are accepted: their predicted records
+// carry masking-mechanism verdicts even without -prov, are verified to
+// be consistent (masked class, masking mechanism, bounded by the masked
+// outcome count), and the trace's predicted/simulated split is
+// cross-checked against the assembled Result's prune summary.
 package main
 
 import (
@@ -184,7 +189,28 @@ func verifyProvenance(s *obs.Summary, require bool) int {
 					continue
 				}
 				withProv++
+				if c.PredBad > 0 {
+					fmt.Printf("MISMATCH %s/%s: %d predicted records are not masked with a masking mechanism\n",
+						name, comp, c.PredBad)
+					failures++
+				}
 				if c.MechRecords != c.Records {
+					if c.Predicted > 0 && c.MechRecords == c.Predicted {
+						// Pruned campaign without -prov: only the pre-filter's
+						// predicted records carry verdicts. Those must all be
+						// masking and bounded by the masked class count; the
+						// full partition check needs simulated provenance too.
+						predMasked := 0
+						for _, n := range c.PredMechanisms {
+							predMasked += n
+						}
+						if predMasked > c.Counts[fault.ClassMasked] {
+							fmt.Printf("MISMATCH %s/%s: %d predicted-masked records exceed the %d masked outcomes\n",
+								name, comp, predMasked, c.Counts[fault.ClassMasked])
+							failures++
+						}
+						continue
+					}
 					fmt.Printf("MISMATCH %s/%s: %d of %d records carry a mechanism verdict\n",
 						name, comp, c.MechRecords, c.Records)
 					failures++
@@ -297,9 +323,12 @@ func verifyInjection(s *obs.Summary, path string) int {
 
 func verifyInjectionResult(s *obs.Summary, res *gefin.Result, label string) int {
 	failures := 0
+	pred, sim := 0, 0
 	for _, w := range res.Workloads {
 		for _, cr := range w.Components {
 			c := s.Component(obs.KindInjection, w.Workload, cr.Comp)
+			pred += c.Predicted
+			sim += c.Records - c.Predicted
 			if c.Records != cr.N {
 				fmt.Printf("MISMATCH %s/%s: trace has %d records, result expects %d\n",
 					w.Workload, cr.Comp, c.Records, cr.N)
@@ -312,6 +341,19 @@ func verifyInjectionResult(s *obs.Summary, res *gefin.Result, label string) int 
 					failures++
 				}
 			}
+		}
+	}
+	// A pruned Result carries its predicted/simulated split outside the
+	// Workloads; the trace's predicted records must reproduce it exactly.
+	// (Shadow-verified campaigns simulate every slot, so the trace carries
+	// no predicted records there — nothing to cross-check.)
+	if ps := res.Prune; ps != nil && ps.Verified == 0 {
+		if pred != ps.Predicted || sim != ps.Simulated {
+			fmt.Printf("MISMATCH prune split: trace has %d predicted / %d simulated records, result summarises %d / %d\n",
+				pred, sim, ps.Predicted, ps.Simulated)
+			failures++
+		} else if pred > 0 {
+			fmt.Printf("OK: trace predicted/simulated split matches the result's prune summary (%d / %d)\n", pred, sim)
 		}
 	}
 	if failures == 0 {

@@ -30,11 +30,14 @@ type plannedFault struct {
 	f    fault.Fault
 }
 
-// outcome is the record of one executed injection.
+// outcome is the record of one executed injection. mech is the
+// provenance mechanism verdict when one was computed (provenance or
+// shadow-verify runs with an armed probe); aggregation ignores it.
 type outcome struct {
 	class  fault.Class
 	valid  bool
 	kernel bool
+	mech   fault.Mechanism
 }
 
 // sampleFaults pre-draws the full campaign plan for one workload,
@@ -65,8 +68,8 @@ func sampleFaults(cfg Config, sizes []uint64, goldenCycles uint64, rng *rand.Ran
 }
 
 // prepareWorkbench builds the workload's workbench (and its checkpoint
-// ladder when configured) — the setup shared by the in-process engine and
-// the campaign-service shard runner.
+// ladder and pre-filter liveness log when configured) — the setup shared
+// by the in-process engine and the campaign-service shard runner.
 func prepareWorkbench(cfg Config, spec bench.Spec) (*harness.Workbench, error) {
 	wb, err := harness.Build(cfg.Preset, cfg.Model, spec, cfg.Scale)
 	if err != nil {
@@ -76,6 +79,14 @@ func prepareWorkbench(cfg Config, spec bench.Spec) (*harness.Workbench, error) {
 		// One instrumented golden replay per workload; clones share the
 		// resulting ladder, so the capture cost is paid once.
 		if err := wb.BuildLadder(cfg.CheckpointEvery, cfg.MaxCheckpoints, cfg.WarmCaches); err != nil {
+			return nil, fmt.Errorf("gefin: %w", err)
+		}
+		cfg.Obs.LadderMemory(spec.Name, wb.Ladder.MemoryBytes(), wb.Ladder.SharedBytes())
+	}
+	if cfg.Prune {
+		// A second instrumented replay records the liveness log the
+		// pre-filter classifies against; clones share it too.
+		if err := wb.BuildLiveness(cfg.WarmCaches); err != nil {
 			return nil, fmt.Errorf("gefin: %w", err)
 		}
 	}
@@ -113,6 +124,9 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 		class, ctx, raw, ls := wb.RunFaultProv(p.f, cfg.WarmCaches, probe)
 		stop := time.Now()
 		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+		if probe.Armed() {
+			o.mech = fault.MechanismOf(class, raw, probe)
+		}
 		if cfg.Obs.On() {
 			cfg.Obs.LadderRun(ls)
 			rec := obs.Record{
@@ -131,9 +145,8 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 				EarlyExit:  ls.EarlyExit,
 			}
 			if probe.Armed() {
-				mech := fault.MechanismOf(class, raw, probe)
-				cfg.Obs.Mechanism(workload, p.f.Comp, mech)
-				rec.Mechanism = mech.String()
+				cfg.Obs.Mechanism(workload, p.f.Comp, o.mech)
+				rec.Mechanism = o.mech.String()
 				if ev, ok := probe.FirstRead(); ok {
 					rec.ReadCycle, rec.ReadPC, rec.ReadReg = ev.Cycle, ev.PC, ev.Reg
 				}
@@ -210,20 +223,50 @@ func aggregate(cfg Config, workload string, goldenCycles, goldenInstrs uint64, s
 
 // runWorkload builds the workload's primary workbench, pre-draws the fault
 // plan, and executes it across the primary plus as many clone workbenches
-// as the pool grants.
-func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
+// as the pool grants. With pruning on it also returns the workload's
+// predicted/simulated split (nil otherwise).
+func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, *PruneSummary, error) {
 	wb, err := prepareWorkbench(cfg, spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	plan, sizes := planFor(cfg, wb, spec.Name)
 	em.addTotal(len(plan))
 
+	// Pre-filter: classify the whole plan against the liveness log before
+	// any simulation. Decided slots resolve to their predicted outcome
+	// below; in shadow mode they are additionally simulated and checked.
+	var pp *prunePlan
+	if cfg.Prune {
+		pp = predictPlan(wb, plan)
+	}
+
+	// Execution order: the slots that go to the simulator. With the ladder
+	// on, workers drain it sorted by injection cycle (ties broken by plan
+	// index), so consecutive runs on a worker restore the same or a
+	// neighbouring rung and the short early-injection runs cluster instead
+	// of straggling. The order is a pure execution permutation: every
+	// outcome still lands in its plan slot and aggregation stays in plan
+	// order, so the Result is bit-identical at any worker count, pruned or
+	// not, sorted or not.
+	order := make([]int, 0, len(plan))
+	for i := range plan {
+		if pp == nil || cfg.PruneVerify || !pp.decided[i] {
+			order = append(order, i)
+		}
+	}
+	if cfg.CheckpointEvery > 0 {
+		sort.SliceStable(order, func(a, b int) bool {
+			return plan[order[a]].f.Cycle < plan[order[b]].f.Cycle
+		})
+	}
+	batches := batchByRung(wb.Ladder, plan, order)
+
 	// Claim extra workers up-front (a clone is one kernel boot each) so a
 	// boot failure surfaces before any injection runs.
 	extras := cfg.Workers - 1
-	if extras > len(plan)-1 {
-		extras = len(plan) - 1
+	if extras > len(order)-1 {
+		extras = len(order) - 1
 	}
 	var clones []*harness.Workbench
 	for len(clones) < extras {
@@ -238,32 +281,42 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			for range clones {
 				pool.Release()
 			}
-			return nil, fmt.Errorf("gefin: %w", err)
+			return nil, nil, fmt.Errorf("gefin: %w", err)
 		}
 		clones = append(clones, clone)
 	}
 
-	// Execution order: with the ladder on, workers drain the plan sorted by
-	// injection cycle (ties broken by plan index), so consecutive runs on a
-	// worker restore the same or a neighbouring rung and the short
-	// early-injection runs cluster instead of straggling. The order is a
-	// pure execution permutation: every outcome still lands in its plan
-	// slot and aggregation stays in plan order, so the Result is
-	// bit-identical at any worker count, sorted or not.
-	order := make([]int, len(plan))
-	for i := range order {
-		order[i] = i
-	}
-	if cfg.CheckpointEvery > 0 {
-		sort.SliceStable(order, func(a, b int) bool {
-			return plan[order[a]].f.Cycle < plan[order[b]].f.Cycle
-		})
+	outcomes := make([]outcome, len(plan))
+
+	// Resolve predicted slots without simulation (outside shadow mode):
+	// fill their outcomes, trace them as predicted, and tick progress.
+	if pp != nil && !cfg.PruneVerify {
+		for i := range plan {
+			if !pp.decided[i] {
+				continue
+			}
+			outcomes[i] = pp.outcome(i)
+			pp.emit(cfg, wb, spec.Name, i, plan[i], 0, obs.TraceContext{})
+			em.tick(spec.Name, cfg.Components[plan[i].comp], cfg.FaultsPerComponent)
+		}
 	}
 
-	// Dynamic sharding: workers race on an atomic cursor over the execution
-	// order, so load balances regardless of per-injection cost, while every
-	// outcome lands in its plan slot and aggregation order stays fixed.
-	outcomes := make([]outcome, len(plan))
+	// Shadow mode simulates everything with a provenance probe so every
+	// prediction can be checked against the probe's mechanism verdict.
+	execCfg := cfg
+	if cfg.PruneVerify {
+		execCfg.Provenance = true
+	}
+	var mismatchMu sync.Mutex
+	var mismatches []string
+
+	// Dynamic sharding: workers race on an atomic cursor over rung-sharing
+	// batches of the execution order (one-slot batches without a ladder),
+	// so load balances regardless of per-injection cost while consecutive
+	// runs on a worker restore the identical rung image — the
+	// copy-on-write DRAM restore then touches only the pages the previous
+	// run dirtied. Every outcome lands in its plan slot and aggregation
+	// order stays fixed.
 	var cursor int64
 	drain := func(worker int, w *harness.Workbench) {
 		em.workerStarted()
@@ -271,18 +324,32 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 		// Each worker owns its probe: arrays it taints are its own
 		// workbench's, so probes never cross goroutines.
 		var probe *mem.Probe
-		if cfg.Provenance {
+		if execCfg.Provenance {
 			probe = new(mem.Probe)
 		}
 		for {
 			n := atomic.AddInt64(&cursor, 1) - 1
-			if n >= int64(len(order)) {
+			if n >= int64(len(batches)) {
 				return
 			}
-			i := order[n]
-			p := plan[i]
-			outcomes[i] = execPlanned(cfg, w, spec.Name, probe, p, worker, obs.TraceContext{})
-			em.tick(spec.Name, cfg.Components[p.comp], cfg.FaultsPerComponent)
+			b := batches[n]
+			for k := b.lo; k < b.hi; k++ {
+				i := order[k]
+				p := plan[i]
+				o := execPlanned(execCfg, w, spec.Name, probe, p, worker, obs.TraceContext{})
+				outcomes[i] = o
+				if pp != nil && cfg.PruneVerify && pp.decided[i] {
+					if msg := pruneMismatch(p, pp.preds[i], o); msg != "" {
+						mismatchMu.Lock()
+						pp.summary.Mismatches++
+						if len(mismatches) < 8 {
+							mismatches = append(mismatches, msg)
+						}
+						mismatchMu.Unlock()
+					}
+				}
+				em.tick(spec.Name, cfg.Components[p.comp], cfg.FaultsPerComponent)
+			}
 		}
 	}
 	var wg sync.WaitGroup
@@ -297,7 +364,19 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	drain(0, wb) // the caller's own slot drives the primary
 	wg.Wait()
 
-	return aggregate(cfg, spec.Name, wb.Golden.Cycles, wb.Golden.Instructions, sizes, outcomes), nil
+	var summary *PruneSummary
+	if pp != nil {
+		pp.summary.Simulated = len(order)
+		if cfg.PruneVerify {
+			pp.summary.Verified = pp.summary.Predicted
+		}
+		summary = &pp.summary
+		if len(mismatches) > 0 {
+			return nil, summary, fmt.Errorf("gefin: prune-verify: %d predicted verdicts disagree with simulation on %s (first: %s)",
+				pp.summary.Mismatches, spec.Name, mismatches[0])
+		}
+	}
+	return aggregate(cfg, spec.Name, wb.Golden.Cycles, wb.Golden.Instructions, sizes, outcomes), summary, nil
 }
 
 // emitter adapts the shared meter to gefin progress events, adding the

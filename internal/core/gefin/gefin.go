@@ -67,6 +67,21 @@ type Config struct {
 	// default) disables all instrumentation at zero cost. Tracing does
 	// not perturb results: the fault plan and execution are unchanged.
 	Obs *obs.Observer `json:"-"`
+	// Prune enables the ACE-style campaign pre-filter: one instrumented
+	// golden replay per workload records per-location liveness, each
+	// planned injection is classified against the log, and injections
+	// proven masked (never-read, overwritten, evicted-clean, or latent at
+	// run end) skip the simulator — their predicted verdicts, which are by
+	// construction exactly what simulation would conclude, flow into the
+	// Result and into trace records tagged predicted=true. Results are
+	// byte-identical with pruning on or off, at any worker count.
+	Prune bool
+	// PruneVerify runs the pre-filter in shadow mode: every injection is
+	// predicted AND simulated (with a provenance probe), and any predicted
+	// verdict that disagrees with the simulated mechanism or outcome fails
+	// the campaign. Slow — the cross-validation harness for Prune; implies
+	// Prune.
+	PruneVerify bool
 	// Provenance attaches a propagation-provenance probe to every
 	// injection: the struck location is tainted at flip time, the memory
 	// and CPU models report its lifecycle (first consuming read,
@@ -96,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery > 0 && c.MaxCheckpoints == 0 {
 		c.MaxCheckpoints = soc.DefaultMaxCheckpoints
+	}
+	if c.PruneVerify {
+		c.Prune = true
 	}
 	if c.LadderDebug {
 		// One-way: never cleared here, so concurrent campaigns with the
@@ -173,10 +191,67 @@ func (w *WorkloadResult) Component(c fault.Component) (ComponentResult, bool) {
 	return ComponentResult{}, false
 }
 
+// PruneSummary reports what the campaign pre-filter did. It lives
+// beside Workloads, never inside them: the determinism contract pins
+// Workloads byte-identical with pruning on or off, and the summary is
+// exactly the part that differs.
+type PruneSummary struct {
+	// Predicted counts injections proven masked by the pre-filter and
+	// (outside shadow mode) excluded from simulation; Simulated counts
+	// the injections that ran on the simulator.
+	Predicted int `json:"predicted"`
+	Simulated int `json:"simulated"`
+	// ByMechanism counts predictions per masking-mechanism verdict.
+	ByMechanism map[string]int `json:"by_mechanism,omitempty"`
+	// Verified and Mismatches report shadow-mode cross-validation:
+	// predictions checked against their simulated mechanism/outcome, and
+	// disagreements found (any mismatch also fails the campaign).
+	Verified   int `json:"verified,omitempty"`
+	Mismatches int `json:"mismatches,omitempty"`
+}
+
+// merge folds another summary into s.
+func (s *PruneSummary) merge(o *PruneSummary) {
+	if o == nil {
+		return
+	}
+	s.Predicted += o.Predicted
+	s.Simulated += o.Simulated
+	s.Verified += o.Verified
+	s.Mismatches += o.Mismatches
+	for m, n := range o.ByMechanism {
+		if s.ByMechanism == nil {
+			s.ByMechanism = make(map[string]int)
+		}
+		s.ByMechanism[m] += n
+	}
+}
+
+// PredictedFraction returns the fraction of planned injections the
+// pre-filter decided. In shadow mode every injection simulates, so the
+// plan size is Simulated rather than the sum.
+func (s *PruneSummary) PredictedFraction() float64 {
+	if s == nil {
+		return 0
+	}
+	total := s.Predicted + s.Simulated
+	if s.Verified > 0 {
+		total = s.Simulated
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Predicted) / float64(total)
+}
+
 // Result is a full campaign: every workload x component x fault.
 type Result struct {
 	Config    Config
 	Workloads []WorkloadResult
+	// Prune summarises the pre-filter's predicted/simulated split (pruned
+	// campaigns only; nil otherwise). Deliberately outside Workloads,
+	// which stay byte-identical with pruning on or off.
+	Prune *PruneSummary `json:",omitempty"`
 }
 
 // Workload returns a workload's result by name.
@@ -223,7 +298,8 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 	// only the extra-worker slots.
 	pool := sched.NewPool(cfg.Workers - 1)
 	cfg.Obs.ObservePool(pool)
-	return runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
+	res, _, err := runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
+	return res, err
 }
 
 // Run executes the campaign for a set of workloads. Workloads run
@@ -235,6 +311,7 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 	cfg.Obs.ObservePool(pool)
 	em := newEmitter(progress, cfg.Obs)
 	results := make([]*WorkloadResult, len(specs))
+	prunes := make([]*PruneSummary, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for i, spec := range specs {
@@ -243,7 +320,7 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 			defer wg.Done()
 			pool.Acquire() // the workload's primary worker slot
 			defer pool.Release()
-			results[i], errs[i] = runWorkload(cfg, spec, pool, em)
+			results[i], prunes[i], errs[i] = runWorkload(cfg, spec, pool, em)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -253,6 +330,15 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 			return nil, errs[i]
 		}
 		res.Workloads = append(res.Workloads, *results[i])
+	}
+	// The prune split merges in spec order, outside Workloads, so pruned
+	// and unpruned campaigns stay byte-identical where CI diffs them.
+	if cfg.Prune {
+		total := &PruneSummary{ByMechanism: make(map[string]int)}
+		for _, p := range prunes {
+			total.merge(p)
+		}
+		res.Prune = total
 	}
 	return res, nil
 }

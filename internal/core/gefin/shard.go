@@ -26,6 +26,13 @@ type ShardOutcome struct {
 	Class  fault.Class `json:"class"`
 	Valid  bool        `json:"valid,omitempty"`
 	Kernel bool        `json:"kernel,omitempty"`
+	// Predicted marks a slot the pre-filter proved masked from the liveness
+	// log without simulating it (pruned campaigns only); Mechanism is the
+	// predicted masking mechanism. Both fields are bookkeeping for the
+	// coordinator's prune split — Class/Valid/Kernel already carry exactly
+	// what simulation would have concluded, so assembly ignores them.
+	Predicted bool   `json:"predicted,omitempty"`
+	Mechanism string `json:"mechanism,omitempty"`
 }
 
 // ShardMeta carries the per-workload constants aggregation needs. Every
@@ -68,6 +75,11 @@ type shardBench struct {
 	plan  []plannedFault
 	sizes []uint64
 	probe *mem.Probe
+	// pp holds the pre-filter verdicts over the whole plan (pruned
+	// campaigns only). Prediction is a pure function of the deterministic
+	// liveness replay and the pre-drawn plan, so every node of a
+	// distributed campaign derives identical verdicts for its shards.
+	pp *prunePlan
 }
 
 // NewShardRunner builds a runner for the campaign Config. The Config is
@@ -87,8 +99,11 @@ func (r *ShardRunner) bench(spec bench.Spec) (*shardBench, error) {
 	}
 	plan, sizes := planFor(r.cfg, wb, spec.Name)
 	b := &shardBench{wb: wb, plan: plan, sizes: sizes}
-	if r.cfg.Provenance {
+	if r.cfg.Provenance || r.cfg.PruneVerify {
 		b.probe = new(mem.Probe)
+	}
+	if r.cfg.Prune {
+		b.pp = predictPlan(wb, plan)
 	}
 	r.benches[spec.Name] = b
 	return b, nil
@@ -106,9 +121,30 @@ func (r *ShardRunner) RunShard(spec bench.Spec, lo, hi int) ([]ShardOutcome, Sha
 	if lo < 0 || hi > len(b.plan) || lo >= hi {
 		return nil, ShardMeta{}, fmt.Errorf("gefin: shard [%d,%d) out of plan range [0,%d)", lo, hi, len(b.plan))
 	}
+	execCfg := r.cfg
+	if r.cfg.PruneVerify {
+		execCfg.Provenance = true
+	}
 	outs := make([]ShardOutcome, 0, hi-lo)
 	for i := lo; i < hi; i++ {
-		o := execPlanned(r.cfg, b.wb, spec.Name, b.probe, b.plan[i], r.Worker, r.Ctx)
+		// Pre-filter: a decided slot resolves to its predicted outcome
+		// without touching the simulator (in shadow mode it simulates too,
+		// and a disagreement fails the shard so the coordinator surfaces it).
+		if b.pp != nil && b.pp.decided[i] && !r.cfg.PruneVerify {
+			pred := b.pp.preds[i]
+			b.pp.emit(r.cfg, b.wb, spec.Name, i, b.plan[i], r.Worker, r.Ctx)
+			outs = append(outs, ShardOutcome{
+				Class: pred.Class, Valid: pred.Valid, Kernel: pred.Kernel,
+				Predicted: true, Mechanism: pred.Mech.String(),
+			})
+			continue
+		}
+		o := execPlanned(execCfg, b.wb, spec.Name, b.probe, b.plan[i], r.Worker, r.Ctx)
+		if b.pp != nil && r.cfg.PruneVerify && b.pp.decided[i] {
+			if msg := pruneMismatch(b.plan[i], b.pp.preds[i], o); msg != "" {
+				return nil, ShardMeta{}, fmt.Errorf("gefin: prune-verify: prediction disagrees with simulation on %s: %s", spec.Name, msg)
+			}
+		}
 		outs = append(outs, ShardOutcome{Class: o.class, Valid: o.valid, Kernel: o.kernel})
 	}
 	return outs, r.meta(b), nil
@@ -130,6 +166,40 @@ func (r *ShardRunner) Release(workload string) {
 		return
 	}
 	delete(r.benches, workload)
+}
+
+// ShardPruneSummary derives a workload's predicted/simulated split from
+// its assembled shard outcomes. The coordinator calls it per workload and
+// merges the results into the campaign's PruneSummary — the split never
+// rides inside WorkloadResult, which stays byte-identical with pruning on
+// or off.
+func ShardPruneSummary(outs []ShardOutcome) *PruneSummary {
+	s := &PruneSummary{ByMechanism: make(map[string]int)}
+	for _, o := range outs {
+		if o.Predicted {
+			s.Predicted++
+			s.ByMechanism[o.Mechanism]++
+		} else {
+			s.Simulated++
+		}
+	}
+	return s
+}
+
+// MergePruneSummaries folds per-workload splits into one campaign-level
+// summary (nil when the slice is empty or all nil).
+func MergePruneSummaries(parts []*PruneSummary) *PruneSummary {
+	var total *PruneSummary
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if total == nil {
+			total = &PruneSummary{ByMechanism: make(map[string]int)}
+		}
+		total.merge(p)
+	}
+	return total
 }
 
 // AssembleWorkload reassembles a workload result from per-slot shard

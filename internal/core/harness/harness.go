@@ -41,6 +41,10 @@ type Workbench struct {
 	// fast-forward to the nearest rung below the injection cycle and exit
 	// early on golden convergence. Immutable once built; clones share it.
 	Ladder *soc.Ladder
+	// Liveness is the instrumented golden replay's liveness log, built on
+	// demand by BuildLiveness for campaigns that prune provably-masked
+	// injections before simulating. Immutable once built; clones share it.
+	Liveness *soc.LivenessLog
 }
 
 // New builds a machine for the preset and model, loads the workload, boots,
@@ -119,10 +123,11 @@ func (w *Workbench) Clone() (*Workbench, error) {
 		Snap:     m.SaveSnapshot(),
 		Golden:   w.Golden,
 		Watchdog: w.Watchdog,
-		// The ladder is immutable after capture and every restore path
-		// deep-copies state out of it, so siblings share one ladder (its
-		// base snapshot is bit-equal to the sibling's own).
-		Ladder: w.Ladder,
+		// The ladder and liveness log are immutable after capture and every
+		// restore path deep-copies state out of them, so siblings share one
+		// of each (their base snapshot is bit-equal to the sibling's own).
+		Ladder:   w.Ladder,
+		Liveness: w.Liveness,
 	}, nil
 }
 
@@ -165,6 +170,31 @@ func (w *Workbench) BuildLadder(every uint64, max int, warm bool) error {
 			w.Built.Spec.Name, w.Built.Scale, l.Final, w.Golden)
 	}
 	w.Ladder = l
+	return nil
+}
+
+// BuildLiveness performs the instrumented golden replay that records
+// per-location liveness for the campaign pre-filter, under the given warm
+// mode (which must match later fault runs'). Like BuildLadder, the
+// replay's Result is validated against the golden reference before the
+// log is installed, so a log can never be built from a diverged replay —
+// and since decided pre-filter verdicts are exactly what simulation would
+// conclude, pruning can then never change campaign results either.
+func (w *Workbench) BuildLiveness(warm bool) error {
+	log := w.Machine.ReplayLiveness(w.Snap, warm, GoldenBudget)
+	if !log.Final.CleanExit() {
+		return fmt.Errorf("harness: liveness replay of %s/%s did not exit cleanly: %v code=%#x",
+			w.Built.Spec.Name, w.Built.Scale, log.Final.Outcome, log.Final.ExitCode)
+	}
+	if !bytes.Equal(log.Final.Output, w.Built.Golden) {
+		return fmt.Errorf("harness: liveness replay output of %s/%s diverges from the native reference",
+			w.Built.Spec.Name, w.Built.Scale)
+	}
+	if !warm && !reflect.DeepEqual(log.Final, w.Golden) {
+		return fmt.Errorf("harness: liveness replay of %s/%s is not bit-identical to the golden run (%+v vs %+v)",
+			w.Built.Spec.Name, w.Built.Scale, log.Final, w.Golden)
+	}
+	w.Liveness = log
 	return nil
 }
 

@@ -78,6 +78,7 @@ type Cache struct {
 	tick    uint64
 	stats   CacheStats
 	life    *LifetimeTracker
+	rec     *CacheLiveness
 	offBits uint
 	setBits uint
 
@@ -215,6 +216,9 @@ func (c *Cache) fill(tag, set uint32, addr uint32) (int, int, bool) {
 	if c.life != nil && ln.valid {
 		c.life.evict(c.lifeIdx(set, w), ln.dirty)
 	}
+	if c.rec != nil && ln.valid {
+		c.rec.evict(set, w, ln.dirty)
+	}
 	var probe *Probe
 	var probeOff uint32
 	if c.taintAt(set, w) {
@@ -265,6 +269,9 @@ func (c *Cache) fill(tag, set uint32, addr uint32) (int, int, bool) {
 	if c.life != nil {
 		c.life.open(c.lifeIdx(set, w), false)
 	}
+	if c.rec != nil {
+		c.rec.fill(set, w, addr&^(c.cfg.LineBytes-1))
+	}
 	return w, lat, true
 }
 
@@ -297,6 +304,9 @@ func (c *Cache) access(addr uint32, buf []byte, write bool) (int, bool) {
 		if c.life != nil {
 			c.life.write(c.lifeIdx(set, w))
 		}
+		if c.rec != nil {
+			c.rec.access(set, w, off, uint32(len(buf)), true)
+		}
 		if c.taintAt(set, w) && off <= c.taintOff && c.taintOff < off+uint32(len(buf)) {
 			c.taintProbe.NoteOverwrite(c.cfg.Name)
 			c.ClearTaint()
@@ -305,6 +315,9 @@ func (c *Cache) access(addr uint32, buf []byte, write bool) (int, bool) {
 		copy(buf, ln.data[off:int(off)+len(buf)])
 		if c.life != nil {
 			c.life.read(c.lifeIdx(set, w))
+		}
+		if c.rec != nil {
+			c.rec.access(set, w, off, uint32(len(buf)), false)
 		}
 		if c.taintAt(set, w) && off <= c.taintOff && c.taintOff < off+uint32(len(buf)) {
 			c.taintProbe.NoteRead(c.cfg.Name)
@@ -360,6 +373,9 @@ func (c *Cache) FetchLine(addr uint32, buf []byte) (int, bool) {
 	if c.life != nil {
 		c.life.read(c.lifeIdx(set, w))
 	}
+	if c.rec != nil {
+		c.rec.access(set, w, 0, c.cfg.LineBytes, false)
+	}
 	if c.taintAt(set, w) {
 		// A whole-line fetch always covers the corrupted byte: the upper
 		// level (and ultimately the core) consumed the corruption.
@@ -393,6 +409,9 @@ func (c *Cache) WriteBackLine(addr uint32, buf []byte) (int, bool) {
 	if c.life != nil {
 		c.life.write(c.lifeIdx(set, w))
 	}
+	if c.rec != nil {
+		c.rec.access(set, w, 0, c.cfg.LineBytes, true)
+	}
 	if c.taintAt(set, w) {
 		// The upper level's writeback replaces the whole corrupted line.
 		c.taintProbe.NoteOverwrite(c.cfg.Name)
@@ -415,6 +434,11 @@ func (c *Cache) InvalidateAll() {
 			if c.life != nil && c.lines[s][w].valid {
 				c.life.evict(c.lifeIdx(uint32(s), w), false)
 			}
+			if c.rec != nil && c.lines[s][w].valid {
+				// Invalidation discards dirty data without writeback: a
+				// clean-discard event, matching the probe's verdict.
+				c.rec.evict(uint32(s), w, false)
+			}
 			c.lines[s][w].valid = false
 			c.lines[s][w].dirty = false
 		}
@@ -434,6 +458,9 @@ func (c *Cache) FlushAll() {
 	for s := range c.lines {
 		for w := range c.lines[s] {
 			ln := &c.lines[s][w]
+			if c.rec != nil && ln.valid {
+				c.rec.evict(uint32(s), w, ln.dirty)
+			}
 			if ln.valid && ln.dirty {
 				wbAddr := c.lineAddr(ln.tag, uint32(s))
 				c.below.WriteBackLine(wbAddr, ln.data)
@@ -664,6 +691,9 @@ func (c *Cache) InvalidateRange(base, size uint32) {
 			if addr >= base && addr < base+size {
 				if c.life != nil {
 					c.life.evict(c.lifeIdx(uint32(s), w), false)
+				}
+				if c.rec != nil {
+					c.rec.evict(uint32(s), w, false)
 				}
 				if c.taintAt(uint32(s), w) {
 					c.taintProbe.NoteCleanEvict(c.cfg.Name)

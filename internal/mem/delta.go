@@ -229,7 +229,25 @@ func (d *DRAM) RestoreDelta(base []byte, delta *Delta) {
 			clear(d.dirty)
 		}
 		d.trackedBase = &base[0]
+		d.lastImg = nil
 	} else {
+		if last := d.lastImg; last != nil {
+			// Pages still holding a copy-on-write image's payload are not
+			// marked dirty; revert them to base before plain tracking
+			// resumes its "non-dirty page equals base" invariant.
+			for _, p := range last.idx {
+				if d.dirty[p>>6]&(1<<(p&63)) != 0 {
+					continue
+				}
+				start := int(p) << pageShift
+				end := start + PageBytes
+				if end > len(d.data) {
+					end = len(d.data)
+				}
+				copy(d.data[start:end], base[start:end])
+			}
+			d.lastImg = nil
+		}
 		for i := range d.dirty {
 			w := d.dirty[i]
 			if w == 0 {
@@ -321,13 +339,28 @@ func (d *DRAM) Tracking(base []byte) bool {
 // golden image described by diffPages (the exact bitmap of pages where
 // the golden image differs from the tracked base) and pageFP (the golden
 // image's per-page fingerprints), touching only the pages dirtied since
-// the last RestoreDelta. The caller must ensure Tracking(base) holds for
-// the base both arguments were computed against: non-dirty pages are then
-// byte-identical to base, so a golden-differs page that is not dirty
-// proves divergence outright, and only dirty pages need rehashing.
+// the last restore. The caller must ensure Tracking(base) holds for the
+// base both arguments were computed against. Under plain delta tracking a
+// non-dirty page is byte-identical to base, so a golden-differs page that
+// is not dirty proves divergence outright; under copy-on-write restore a
+// non-dirty page holds lastImg's content, whose true fingerprint is
+// lastImg.fp — the fingerprint sets are compared directly wherever either
+// side deviates from base. Only dirty pages need rehashing either way.
 func (d *DRAM) ConvergedPages(diffPages, pageFP []uint64) bool {
+	last := d.lastImg
 	for i, w := range d.dirty {
-		if diffPages[i]&^w != 0 {
+		if last != nil {
+			// Non-dirty pages hold lastImg content: any page where either
+			// image deviates from base must have matching fingerprints.
+			for cand := (last.diff[i] | diffPages[i]) &^ w; cand != 0; {
+				b := bits.TrailingZeros64(cand)
+				cand &^= 1 << b
+				p := i<<6 + b
+				if last.fp[p] != pageFP[p] {
+					return false
+				}
+			}
+		} else if diffPages[i]&^w != 0 {
 			return false
 		}
 		for w != 0 {

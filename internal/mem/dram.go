@@ -29,6 +29,12 @@ type DRAM struct {
 	dirty       []uint64
 	trackedBase *byte
 
+	// lastImg is the copy-on-write page image last applied by RestorePages.
+	// While set, the tracking invariant generalises to: every page not
+	// marked dirty equals lastImg's payload for that page, or the base page
+	// where lastImg carries none. RestoreDelta reverts to plain tracking.
+	lastImg *PageImage
+
 	// Propagation provenance taint: the byte a dirty writeback deposited
 	// corruption into. DRAM is never a fault target itself (it sits
 	// outside the beam spot); it only absorbs migrated taint.

@@ -1,0 +1,323 @@
+// Liveness recorder for the ACE-style campaign pre-filter: during one
+// instrumented golden replay it records, per cache way / TLB entry, the
+// chronological event stream (covering reads, covering writes, refills,
+// evictions) and the generation history (which value occupied the slot
+// over which stamp interval, and at what physical address). A planned
+// injection can then be classified *without simulating it*: if the first
+// post-flip event covering the struck byte is a write, the fault is
+// provably overwritten; a clean eviction provably discards it; no event at
+// all leaves it latent; an invalid slot at the flip instant was never
+// read. Any covering read — or a dirty eviction, which migrates the
+// corruption down the hierarchy — leaves the verdict undecided and the
+// fault goes to the simulator.
+//
+// Stamps are the replay loop's top-of-loop cycle values (the loop sets
+// *clock before each StepCycle), the same instants at which the injection
+// loops fire inject(). An injection at cycle F therefore lands before
+// every event stamped >= F and after every event stamped < F, exactly;
+// no guard band is needed.
+package mem
+
+import (
+	"math"
+	"sort"
+)
+
+// LiveVerdict is the pre-filter's classification of one planned injection.
+type LiveVerdict uint8
+
+// Pre-filter verdicts. All decided verdicts imply a Masked outcome: the
+// corrupted bits provably never influence execution, so the run is
+// byte-identical to golden.
+const (
+	// LiveUndecided: the analysis cannot prove masking (a covering read,
+	// a dirty eviction, an unpredictable bit, or event overflow); the
+	// fault must be simulated.
+	LiveUndecided LiveVerdict = iota
+	// LiveNeverRead: the slot held no valid content at the flip instant.
+	LiveNeverRead
+	// LiveOverwritten: a write (or full refill) replaced the corrupted
+	// byte before anything read it.
+	LiveOverwritten
+	// LiveEvictedClean: the corrupted line/entry was dropped without
+	// writeback before any covering read.
+	LiveEvictedClean
+	// LiveLatent: no event ever touched the corrupted byte again; the
+	// corruption sits unread in the array when the run ends.
+	LiveLatent
+)
+
+// LiveQuery is the result of classifying one bit/cycle against the log.
+type LiveQuery struct {
+	Verdict LiveVerdict
+	// Valid reports whether the slot held live content at the flip
+	// instant (mirrors fault.Context.LineValid).
+	Valid bool
+	// LineAddr is the physical address of the struck line's content at
+	// the flip instant (caches only, valid slots only) — the input to
+	// kernel-ownership classification.
+	LineAddr uint32
+}
+
+// Event kinds of the per-way stream.
+const (
+	liveRead       uint8 = iota // covering read of [lo, hi)
+	liveWrite                   // covering write of [lo, hi)
+	liveFill                    // full refill: a new generation begins
+	liveEvictClean              // content dropped without writeback
+	liveEvictDirty              // dirty writeback: content migrated below
+)
+
+// liveEvent is one recorded event; lo/hi bound the covered byte range
+// within the line ([0, lineBytes) for whole-slot events).
+type liveEvent struct {
+	stamp  uint64
+	lo, hi uint16
+	kind   uint8
+}
+
+// liveGen is one value generation of a slot: content installed at stamp
+// birth (-1 for content already present when recording started), cleared
+// at stamp death (MaxUint64 while still live), holding the line at addr.
+type liveGen struct {
+	birth int64
+	death uint64
+	addr  uint32
+}
+
+// liveEventCap bounds the per-way event list. A way hot enough to
+// overflow it is read near-continuously, so its faults would classify
+// undecided anyway; overflow just makes that conservative answer
+// explicit.
+const liveEventCap = 16384
+
+// liveWay is the recording of one cache way or TLB entry.
+type liveWay struct {
+	events   []liveEvent
+	gens     []liveGen
+	overflow bool
+}
+
+func (w *liveWay) note(stamp uint64, kind uint8, lo, hi uint16) {
+	if w.overflow {
+		return
+	}
+	if len(w.events) >= liveEventCap {
+		w.overflow = true
+		return
+	}
+	w.events = append(w.events, liveEvent{stamp: stamp, kind: kind, lo: lo, hi: hi})
+}
+
+func (w *liveWay) open(stamp int64, addr uint32) {
+	w.gens = append(w.gens, liveGen{birth: stamp, death: math.MaxUint64, addr: addr})
+}
+
+func (w *liveWay) close(stamp uint64) {
+	if n := len(w.gens); n > 0 && w.gens[n-1].death == math.MaxUint64 {
+		w.gens[n-1].death = stamp
+	}
+}
+
+// query classifies a flip of byteOff at cycle flipAt against the way's
+// recording. Shared by the cache and TLB paths: only the event kinds each
+// recorder emits differ.
+func (w *liveWay) query(byteOff uint16, flipAt uint64) LiveQuery {
+	if w.overflow {
+		return LiveQuery{}
+	}
+	// The generation live at the flip: born strictly before it, cleared
+	// at or after it (a clearing event stamped == flipAt runs after the
+	// injection fires, so the flip still hits this generation).
+	gi := sort.Search(len(w.gens), func(i int) bool { return w.gens[i].birth >= int64(flipAt) }) - 1
+	if gi < 0 || flipAt > w.gens[gi].death {
+		return LiveQuery{Verdict: LiveNeverRead}
+	}
+	gen := w.gens[gi]
+	q := LiveQuery{Valid: true, LineAddr: gen.addr}
+	ei := sort.Search(len(w.events), func(i int) bool { return w.events[i].stamp >= flipAt })
+	for ; ei < len(w.events); ei++ {
+		ev := w.events[ei]
+		covers := ev.lo <= byteOff && byteOff < ev.hi
+		switch ev.kind {
+		case liveRead:
+			if covers {
+				return q // consumed: undecided
+			}
+		case liveWrite:
+			if covers {
+				q.Verdict = LiveOverwritten
+				return q
+			}
+		case liveFill:
+			// The generation's own death event always precedes its
+			// slot's refill, so this is defensive — and a full refill
+			// overwrites every byte regardless.
+			q.Verdict = LiveOverwritten
+			return q
+		case liveEvictClean:
+			q.Verdict = LiveEvictedClean
+			return q
+		case liveEvictDirty:
+			return q // corruption migrated below: undecided
+		}
+	}
+	q.Verdict = LiveLatent
+	return q
+}
+
+// --- Cache recorder --------------------------------------------------------
+
+// CacheLiveness records the liveness log of one cache during a golden
+// replay. Attach with AttachLiveness before the replay, detach after; the
+// recorder is then an immutable query structure shared by all workers.
+type CacheLiveness struct {
+	clock     *uint64
+	ways      []liveWay // set-major, way-minor
+	nways     int
+	sets      uint64
+	lineBytes uint64
+}
+
+// AttachLiveness instruments the cache with liveness recording. clock
+// points at the replay loop's top-of-loop cycle stamp. Content valid at
+// attach time is seeded as generations with birth -1 (live from before
+// recording started).
+func (c *Cache) AttachLiveness(clock *uint64) *CacheLiveness {
+	r := &CacheLiveness{
+		clock:     clock,
+		ways:      make([]liveWay, int(c.sets)*c.cfg.Ways),
+		nways:     c.cfg.Ways,
+		sets:      uint64(c.sets),
+		lineBytes: uint64(c.cfg.LineBytes),
+	}
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			if c.lines[s][w].valid {
+				r.ways[c.lifeIdx(uint32(s), w)].open(-1, c.lineAddr(c.lines[s][w].tag, uint32(s)))
+			}
+		}
+	}
+	c.rec = r
+	return r
+}
+
+// DetachLiveness stops recording; the returned log stays queryable.
+func (c *Cache) DetachLiveness() { c.rec = nil }
+
+func (r *CacheLiveness) evict(set uint32, way int, dirty bool) {
+	w := &r.ways[int(set)*r.nways+way]
+	kind := liveEvictClean
+	if dirty {
+		kind = liveEvictDirty
+	}
+	w.note(*r.clock, kind, 0, uint16(r.lineBytes))
+	w.close(*r.clock)
+}
+
+func (r *CacheLiveness) fill(set uint32, way int, addr uint32) {
+	w := &r.ways[int(set)*r.nways+way]
+	w.note(*r.clock, liveFill, 0, uint16(r.lineBytes))
+	w.open(int64(*r.clock), addr)
+}
+
+func (r *CacheLiveness) access(set uint32, way int, off, n uint32, write bool) {
+	kind := liveRead
+	if write {
+		kind = liveWrite
+	}
+	r.ways[int(set)*r.nways+way].note(*r.clock, kind, uint16(off), uint16(off+n))
+}
+
+// QueryBit classifies a data-array flip (FlipDataBit addressing) at cycle
+// flipAt against the recording.
+func (r *CacheLiveness) QueryBit(bit uint64, flipAt uint64) LiveQuery {
+	lineBits := r.lineBytes * 8
+	wayBits := lineBits * uint64(r.nways)
+	set := bit / wayBits % r.sets
+	way := bit % wayBits / lineBits
+	byteOff := uint16(bit % lineBits / 8)
+	return r.ways[set*uint64(r.nways)+way].query(byteOff, flipAt)
+}
+
+// Overflowed reports how many ways hit the event cap (diagnostics: their
+// faults classify undecided).
+func (r *CacheLiveness) Overflowed() int {
+	n := 0
+	for i := range r.ways {
+		if r.ways[i].overflow {
+			n++
+		}
+	}
+	return n
+}
+
+// --- TLB recorder ----------------------------------------------------------
+
+// TLBLiveness records the liveness log of one TLB during a golden replay.
+type TLBLiveness struct {
+	clock   *uint64
+	ways    []liveWay // one per entry
+	entries uint64
+}
+
+// AttachLiveness instruments the TLB with liveness recording; see
+// Cache.AttachLiveness.
+func (t *TLB) AttachLiveness(clock *uint64) *TLBLiveness {
+	r := &TLBLiveness{clock: clock, ways: make([]liveWay, len(t.entries)), entries: uint64(len(t.entries))}
+	for i := range t.entries {
+		if t.entries[i].Valid() {
+			r.ways[i].open(-1, 0)
+		}
+	}
+	t.rec = r
+	return r
+}
+
+// DetachLiveness stops recording; the returned log stays queryable.
+func (t *TLB) DetachLiveness() { t.rec = nil }
+
+func (r *TLBLiveness) read(i int) {
+	r.ways[i].note(*r.clock, liveRead, 0, TLBEntryBits)
+}
+
+func (r *TLBLiveness) insert(i int) {
+	w := &r.ways[i]
+	w.note(*r.clock, liveFill, 0, TLBEntryBits)
+	w.close(*r.clock)
+	w.open(int64(*r.clock), 0)
+}
+
+func (r *TLBLiveness) invalidate(i int) {
+	w := &r.ways[i]
+	w.note(*r.clock, liveEvictClean, 0, TLBEntryBits)
+	w.close(*r.clock)
+}
+
+// QueryBit classifies a TLB flip (FlipBit addressing) at cycle flipAt.
+// Only bits of the physical page and permission fields (PPN, user,
+// writable) are predictable: they never influence Lookup's match — a hit
+// that returns the entry is a consuming read the scan sees. Flips of the
+// VPN field or the valid bit change *which* entries match, which the
+// event stream cannot model, so they classify undecided unconditionally.
+func (r *TLBLiveness) QueryBit(bit uint64, flipAt uint64) LiveQuery {
+	b := bit % TLBEntryBits
+	if b < tlbPPNShift || b >= tlbValidBit {
+		return LiveQuery{}
+	}
+	idx := bit / TLBEntryBits % r.entries
+	q := r.ways[idx].query(uint16(b), flipAt)
+	q.LineAddr = 0 // TLB entries carry no owning line address
+	return q
+}
+
+// Overflowed reports how many entries hit the event cap.
+func (r *TLBLiveness) Overflowed() int {
+	n := 0
+	for i := range r.ways {
+		if r.ways[i].overflow {
+			n++
+		}
+	}
+	return n
+}

@@ -77,6 +77,7 @@ type TLB struct {
 	tick    uint64
 	stats   TLBStats
 	life    *LifetimeTracker
+	rec     *TLBLiveness
 
 	// mru remembers the index of the last hit so the steady-state case —
 	// the same page translated cycle after cycle — skips the associative
@@ -142,6 +143,9 @@ func (t *TLB) hit(i int) TLBEntry {
 	if t.life != nil {
 		t.life.read(i)
 	}
+	if t.rec != nil {
+		t.rec.read(i)
+	}
 	if t.taintProbe != nil && i == t.taintIdx {
 		// A hit on the corrupted entry consumes the (possibly wrong)
 		// translation. A corrupted VPN tag never reaches here: it fails
@@ -178,6 +182,9 @@ func (t *TLB) Insert(vpn, ppn uint32, user, writable bool) {
 	if t.life != nil {
 		t.life.open(victim, false)
 	}
+	if t.rec != nil {
+		t.rec.insert(victim)
+	}
 	if t.taintProbe != nil && victim == t.taintIdx {
 		// A fresh translation replaced the corrupted entry.
 		t.taintProbe.NoteOverwrite(t.name)
@@ -199,6 +206,9 @@ func (t *TLB) InvalidateAll() {
 	for i := range t.entries {
 		if t.life != nil && t.entries[i].Valid() {
 			t.life.evict(i, false)
+		}
+		if t.rec != nil && t.entries[i].Valid() {
+			t.rec.invalidate(i)
 		}
 		t.entries[i] = TLBEntry{}
 	}

@@ -13,6 +13,7 @@ package obs
 
 import (
 	"io"
+	"sync"
 	"time"
 
 	"armsefi/internal/core/fault"
@@ -37,6 +38,12 @@ type Observer struct {
 	trace *Tracer
 	reg   *Registry
 	epoch time.Time
+
+	// ladderMu guards the per-workload checkpoint-memory snapshot behind
+	// LadderMemoryTotals (telemetry reads it off the hot path).
+	ladderMu     sync.Mutex
+	ladderTotal  map[string]int
+	ladderShared map[string]int
 
 	outcomes   map[outcomeKey]*Counter
 	latency    map[string]*Histogram
@@ -210,6 +217,64 @@ func (o *Observer) Mechanism(workload string, comp fault.Component, m fault.Mech
 	o.reg.Counter("armsefi_mechanism_total",
 		"propagation-provenance mechanism verdicts by workload and component",
 		"workload", workload, "comp", comp.String(), "mechanism", m.String()).Inc()
+}
+
+// Predicted records one campaign pre-filter verdict: an injection proven
+// masked from the liveness log and excluded from simulation. It feeds
+// the predicted counter grid only — the outcome grid is updated by the
+// Record call the engine emits for the predicted record, keeping
+// armsefi_outcomes_total consistent with the (byte-identical) Result,
+// while armsefi_mechanism_total stays simulated-only so the
+// predicted/simulated split is recoverable from metrics alone.
+func (o *Observer) Predicted(workload string, comp fault.Component, m fault.Mechanism) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter("armsefi_predicted_total",
+		"injections proven masked by the campaign pre-filter, by workload, component, and mechanism",
+		"workload", workload, "comp", comp.String(), "mechanism", m.String()).Inc()
+}
+
+// LadderMemory publishes a workload ladder's checkpoint memory: total
+// retained bytes and the bytes shared across rungs by copy-on-write page
+// interning (bytes a delta-per-rung encoding would have duplicated —
+// and, because rung images are immutable, the same figure every
+// additional worker avoids re-materialising).
+func (o *Observer) LadderMemory(workload string, total, shared int) {
+	if o == nil {
+		return
+	}
+	o.reg.Gauge("armsefi_ladder_memory_bytes",
+		"checkpoint-ladder retained memory by workload", "workload", workload).Set(float64(total))
+	o.reg.Gauge("armsefi_ladder_shared_bytes",
+		"checkpoint-ladder bytes shared through copy-on-write page interning, by workload",
+		"workload", workload).Set(float64(shared))
+	o.ladderMu.Lock()
+	if o.ladderTotal == nil {
+		o.ladderTotal = make(map[string]int)
+		o.ladderShared = make(map[string]int)
+	}
+	o.ladderTotal[workload] = total
+	o.ladderShared[workload] = shared
+	o.ladderMu.Unlock()
+}
+
+// LadderMemoryTotals sums the latest per-workload checkpoint-memory
+// figures across workloads — the node-level numbers telemetry federates
+// to the fleet view.
+func (o *Observer) LadderMemoryTotals() (total, shared int64) {
+	if o == nil {
+		return 0, 0
+	}
+	o.ladderMu.Lock()
+	defer o.ladderMu.Unlock()
+	for _, n := range o.ladderTotal {
+		total += int64(n)
+	}
+	for _, n := range o.ladderShared {
+		shared += int64(n)
+	}
+	return total, shared
 }
 
 // AceRun records one ACE-analysis lifetime pass: the workload/component

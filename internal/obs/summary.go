@@ -40,6 +40,13 @@ type ComponentSummary struct {
 	// their outcome class (or failed to parse) — always zero for a
 	// healthy trace.
 	MechMismatch int
+	// Predicted counts records resolved by the ACE pre-filter without
+	// simulation; PredMechanisms tallies their mechanism verdicts. A
+	// predicted record must be ClassMasked with a valid mechanism —
+	// PredBad counts violations (always zero for a healthy trace).
+	Predicted      int
+	PredMechanisms map[fault.Mechanism]int
+	PredBad        int
 }
 
 // WorkloadSummary aggregates one workload's trace records.
@@ -90,9 +97,10 @@ func (s *Summary) Component(kind, workload string, comp fault.Component) *Compon
 		}
 	}
 	return &ComponentSummary{
-		Counts:     map[fault.Class]int{},
-		Weights:    map[fault.Class]float64{},
-		Mechanisms: map[fault.Mechanism]int{},
+		Counts:         map[fault.Class]int{},
+		Weights:        map[fault.Class]float64{},
+		Mechanisms:     map[fault.Mechanism]int{},
+		PredMechanisms: map[fault.Mechanism]int{},
 	}
 }
 
@@ -176,14 +184,23 @@ func Summarize(recs []Record) *Summary {
 		c, ok := w.Components[rec.Comp]
 		if !ok {
 			c = &ComponentSummary{
-				Counts:     make(map[fault.Class]int),
-				Weights:    make(map[fault.Class]float64),
-				Mechanisms: make(map[fault.Mechanism]int),
+				Counts:         make(map[fault.Class]int),
+				Weights:        make(map[fault.Class]float64),
+				Mechanisms:     make(map[fault.Mechanism]int),
+				PredMechanisms: make(map[fault.Mechanism]int),
 			}
 			w.Components[rec.Comp] = c
 		}
 		c.Records++
 		c.Counts[rec.Class]++
+		if rec.Predicted {
+			c.Predicted++
+			if m, ok := fault.MechanismByName(rec.Mechanism); ok && m.Masking() && rec.Class == fault.ClassMasked {
+				c.PredMechanisms[m]++
+			} else {
+				c.PredBad++
+			}
+		}
 		if rec.Mechanism != "" {
 			c.MechRecords++
 			if m, ok := fault.MechanismByName(rec.Mechanism); ok {

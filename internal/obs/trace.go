@@ -84,6 +84,12 @@ type Record struct {
 	// injected bit reached its class (provenance-enabled runs only; every
 	// traced record of a provenance campaign carries one).
 	Mechanism string `json:"mechanism,omitempty"`
+	// Predicted marks an injection the campaign pre-filter proved masked
+	// from the liveness log without simulating it (pruned campaigns only).
+	// The record's Class/Valid/Kernel/Mechanism are the predicted verdict —
+	// by construction exactly what simulation would have concluded — and
+	// ExecCycles/Outcome are the golden run's.
+	Predicted bool `json:"predicted,omitempty"`
 	// ReadCycle/ReadPC/ReadReg locate the first consuming read of the
 	// corrupted value (provenance records whose chain has a read event).
 	ReadCycle uint64 `json:"read_cycle,omitempty"`

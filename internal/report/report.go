@@ -5,6 +5,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"armsefi/internal/bench"
@@ -175,6 +176,41 @@ func Fig4(res *gefin.Result) string {
 				fmt.Sprintf("%.3f", c.ClassFraction(fault.ClassSysCrash)),
 				fmt.Sprintf("%.3f", c.AVF()))
 		}
+	}
+	return t.String()
+}
+
+// PruneSplit renders a pruned campaign's predicted/simulated split: how
+// many planned injections the liveness pre-filter proved masked without
+// simulation, by masking mechanism.
+func PruneSplit(s *gefin.PruneSummary) string {
+	t := Table{
+		Title:  "Campaign pre-filter: predicted vs simulated injections",
+		Header: []string{"Verdict", "Count", "Share"},
+	}
+	total := s.Predicted + s.Simulated
+	if s.Verified > 0 {
+		total = s.Simulated
+	}
+	pct := func(n int) string {
+		if total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f %%", 100*float64(n)/float64(total))
+	}
+	mechs := make([]string, 0, len(s.ByMechanism))
+	for m := range s.ByMechanism {
+		mechs = append(mechs, m)
+	}
+	sort.Strings(mechs)
+	for _, m := range mechs {
+		t.Add("predicted "+m, fmt.Sprintf("%d", s.ByMechanism[m]), pct(s.ByMechanism[m]))
+	}
+	t.Add("predicted (all)", fmt.Sprintf("%d", s.Predicted), pct(s.Predicted))
+	t.Add("simulated", fmt.Sprintf("%d", s.Simulated), pct(s.Simulated))
+	if s.Verified > 0 {
+		t.Add("shadow-verified", fmt.Sprintf("%d", s.Verified),
+			fmt.Sprintf("%d mismatches", s.Mismatches))
 	}
 	return t.String()
 }

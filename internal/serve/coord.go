@@ -90,10 +90,19 @@ type campaign struct {
 // nodeHealth is the coordinator's view of one worker node, fed by
 // telemetry batches and lease activity.
 type nodeHealth struct {
-	lastSeen time.Time
-	rate     float64
-	items    int64
-	shards   int64
+	lastSeen     time.Time
+	rate         float64
+	items        int64
+	shards       int64
+	ladderBytes  int64
+	ladderShared int64
+}
+
+// pruneTally is a campaign's observed predicted/simulated injection split,
+// accumulated from federated trace records.
+type pruneTally struct {
+	predicted int
+	simulated int
 }
 
 // Coordinator schedules campaigns over the durable store. All methods
@@ -116,6 +125,7 @@ type Coordinator struct {
 	cursors  map[string]int64
 	nodes    map[string]*nodeHealth
 	tallies  map[string]map[fault.Class]int
+	prunes   map[string]*pruneTally
 }
 
 // NewCoordinator opens the store, replays every stored campaign, and
@@ -147,6 +157,7 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cursors:  cfg.Store.LoadTelemetryCursors(),
 		nodes:    make(map[string]*nodeHealth),
 		tallies:  make(map[string]map[fault.Class]int),
+		prunes:   make(map[string]*pruneTally),
 	}
 	ids, err := cfg.Store.List()
 	if err != nil {
@@ -741,6 +752,7 @@ func Assemble(man *Manifest, done map[int]json.RawMessage) (any, error) {
 	switch man.Kind {
 	case KindInjection:
 		res := &gefin.Result{Config: *man.Injection}
+		var prunes []*gefin.PruneSummary
 		for _, w := range man.Workloads {
 			outs := make([]gefin.ShardOutcome, 0)
 			var meta *gefin.ShardMeta
@@ -773,7 +785,13 @@ func Assemble(man *Manifest, done map[int]json.RawMessage) (any, error) {
 				return nil, err
 			}
 			res.Workloads = append(res.Workloads, *wr)
+			if man.Injection.Prune || man.Injection.PruneVerify {
+				prunes = append(prunes, gefin.ShardPruneSummary(outs))
+			}
 		}
+		// The predicted/simulated split rides outside Workloads, so remote
+		// pruned campaigns assemble byte-identical Workloads to unpruned.
+		res.Prune = gefin.MergePruneSummaries(prunes)
 		return res, nil
 	case KindBeam:
 		res := &beam.Result{Config: *man.Beam}

@@ -24,6 +24,11 @@ type NodeStatus struct {
 	Shards int64   `json:"shards"`
 	// LeasesHeld counts the shard leases the node currently holds.
 	LeasesHeld int `json:"leases_held"`
+	// LadderBytes / LadderSharedBytes are the node's self-reported
+	// checkpoint-ladder memory: total retained bytes, and the bytes shared
+	// through copy-on-write page interning rather than copied per rung.
+	LadderBytes       int64 `json:"ladder_bytes,omitempty"`
+	LadderSharedBytes int64 `json:"ladder_shared_bytes,omitempty"`
 	// Stalled marks a node quiet for longer than the stalled threshold.
 	Stalled bool `json:"stalled"`
 }
@@ -47,6 +52,12 @@ type FleetCampaign struct {
 	// the assembled Result (workers without telemetry contribute nothing
 	// here but still complete shards).
 	Outcomes map[string]int `json:"outcomes,omitempty"`
+	// Predicted / Simulated split the campaign's observed injections into
+	// those the pre-filter proved masked without simulation and those that
+	// ran (pruned injection campaigns only; from federated trace records,
+	// like Outcomes).
+	Predicted int `json:"predicted,omitempty"`
+	Simulated int `json:"simulated,omitempty"`
 	// Stragglers lists this campaign's over-threshold shard executions.
 	Stragglers []Straggler `json:"stragglers,omitempty"`
 }
@@ -101,6 +112,10 @@ func (c *Coordinator) Fleet() *FleetStatus {
 				fc.Outcomes[cls.String()] = n
 			}
 		}
+		if pt := c.prunes[fc.ID]; pt != nil && pt.predicted > 0 {
+			fc.Predicted = pt.predicted
+			fc.Simulated = pt.simulated
+		}
 	}
 	names := make([]string, 0, len(c.nodes))
 	for name := range c.nodes {
@@ -121,6 +136,8 @@ func (c *Coordinator) Fleet() *FleetStatus {
 			ns.Rate = nh.rate
 			ns.Items = nh.items
 			ns.Shards = nh.shards
+			ns.LadderBytes = nh.ladderBytes
+			ns.LadderSharedBytes = nh.ladderShared
 			ns.Stalled = age > c.cfg.StalledAfter
 		}
 		fs.Nodes = append(fs.Nodes, ns)
@@ -184,11 +201,11 @@ small { color: #777; }
 <div id="err"></div>
 <h2>Campaigns</h2>
 <table id="camps"><thead><tr>
-<th>id</th><th>kind</th><th>state</th><th>progress</th><th>outcomes</th><th>stragglers</th>
+<th>id</th><th>kind</th><th>state</th><th>progress</th><th>outcomes</th><th>pre-filter</th><th>stragglers</th>
 </tr></thead><tbody></tbody></table>
 <h2>Nodes</h2>
 <table id="nodes"><thead><tr>
-<th>node</th><th>last seen</th><th>leases</th><th>rate (exp/s)</th><th>items</th><th>shards</th><th>health</th>
+<th>node</th><th>last seen</th><th>leases</th><th>rate (exp/s)</th><th>items</th><th>shards</th><th>ckpt mem</th><th>health</th>
 </tr></thead><tbody></tbody></table>
 <p><small>polls /api/v1/fleet every 2s · straggler &gt; <span id="strag"></span>ms · stalled &gt; <span id="stall"></span>ms</small></p>
 <script>
@@ -204,16 +221,19 @@ async function tick() {
     cb.innerHTML = (f.campaigns || []).map(c => {
       const pct = c.items_total ? Math.round(100 * c.items_done / c.items_total) : 0;
       const outs = Object.entries(c.outcomes || {}).map(([k, v]) => '<span class="chip">' + esc(k) + ' ' + v + '</span>').join('');
+      const pf = c.predicted ? '<span class="chip">predicted ' + c.predicted + '</span><span class="chip">simulated ' + (c.simulated || 0) + '</span>' : '<small>off</small>';
       const strag = (c.stragglers || []).map(s => '<span class="bad">#' + s.shard + '@' + esc(s.node) + '</span>').join(' ') || '<span class="ok">none</span>';
       return '<tr><td>' + esc(c.id) + '</td><td>' + esc(c.kind) + '</td><td>' + esc(c.state) +
         '</td><td><span class="bar"><i style="width:' + pct + '%"></i></span> ' +
         c.shards_done + '/' + c.shards_total + ' shards, ' + c.items_done + '/' + c.items_total + ' items</td><td>' +
-        outs + '</td><td>' + strag + '</td></tr>';
+        outs + '</td><td>' + pf + '</td><td>' + strag + '</td></tr>';
     }).join('');
+    const mb = b => b ? (b / 1048576).toFixed(1) + ' MiB' : '-';
     const nb = document.querySelector('#nodes tbody');
     nb.innerHTML = (f.nodes || []).map(n =>
       '<tr><td>' + esc(n.node) + '</td><td>' + (n.age_ms / 1000).toFixed(1) + 's ago</td><td>' + n.leases_held +
       '</td><td>' + n.rate.toFixed(2) + '</td><td>' + n.items + '</td><td>' + n.shards +
+      '</td><td>' + mb(n.ladder_bytes) + (n.ladder_shared_bytes ? ' <small>(' + mb(n.ladder_shared_bytes) + ' shared)</small>' : '') +
       '</td><td>' + (n.stalled ? '<span class="bad">stalled</span>' : '<span class="ok">live</span>') + '</td></tr>'
     ).join('');
   } catch (e) {

@@ -39,6 +39,11 @@ type TelemetryBatch struct {
 	// RenewNS are lease-renew round-trip latencies observed since the
 	// previous batch, in nanoseconds.
 	RenewNS []int64 `json:"renew_ns,omitempty"`
+	// LadderBytes / LadderSharedBytes snapshot the node's checkpoint-ladder
+	// memory across its cached workbenches: total retained bytes, and the
+	// bytes shared through copy-on-write page interning instead of copied.
+	LadderBytes       int64 `json:"ladder_bytes,omitempty"`
+	LadderSharedBytes int64 `json:"ladder_shared_bytes,omitempty"`
 }
 
 // TelemetrySink receives telemetry batches. *Coordinator implements it
@@ -69,6 +74,8 @@ func (c *Coordinator) Telemetry(b *TelemetryBatch) error {
 	nh.rate = b.Rate
 	nh.items = b.Items
 	nh.shards = b.Shards
+	nh.ladderBytes = b.LadderBytes
+	nh.ladderShared = b.LadderSharedBytes
 	c.cfg.Obs.FleetNode(b.Node, b.Rate, b.Items, b.Shards)
 	for _, ns := range b.RenewNS {
 		c.cfg.Obs.FleetRenew(b.Node, float64(ns)/1e9)
@@ -95,6 +102,18 @@ func (c *Coordinator) Telemetry(b *TelemetryBatch) error {
 				c.tallies[rec.Campaign] = t
 			}
 			t[rec.Class]++
+			if rec.Kind == obs.KindInjection {
+				pt := c.prunes[rec.Campaign]
+				if pt == nil {
+					pt = &pruneTally{}
+					c.prunes[rec.Campaign] = pt
+				}
+				if rec.Predicted {
+					pt.predicted++
+				} else {
+					pt.simulated++
+				}
+			}
 		}
 	}
 	for id, buf := range perCamp {
@@ -116,6 +135,9 @@ type Shipper struct {
 	node  string
 	sink  TelemetrySink
 	every time.Duration
+	// memStats, when set, is sampled at each flush to report the node's
+	// checkpoint-ladder memory (Observer.LadderMemoryTotals fits).
+	memStats func() (total, shared int64)
 
 	mu         sync.Mutex
 	buf        []obs.Record
@@ -136,6 +158,10 @@ func NewShipper(node string, sink TelemetrySink, every time.Duration) *Shipper {
 	}
 	return &Shipper{node: node, sink: sink, every: every, last: time.Now()}
 }
+
+// ObserveMemory attaches a checkpoint-memory sampler whose figures ride
+// in every batch. Attach before Run.
+func (s *Shipper) ObserveMemory(fn func() (total, shared int64)) { s.memStats = fn }
 
 // EmitRecord queues one trace record for the next batch (obs.RecordSink).
 func (s *Shipper) EmitRecord(rec obs.Record) {
@@ -183,6 +209,9 @@ func (s *Shipper) Flush() error {
 			Items:   s.items,
 			Shards:  s.shards,
 			RenewNS: s.renews,
+		}
+		if s.memStats != nil {
+			b.LadderBytes, b.LadderSharedBytes = s.memStats()
 		}
 		s.buf = nil
 		s.renews = nil

@@ -36,9 +36,10 @@ import (
 var LadderDebugCompare atomic.Bool
 
 // Checkpoint is one ladder rung: the complete machine state at a cycle
-// boundary of the golden run, with DRAM delta-encoded against the
-// post-boot snapshot image, plus the state fingerprint used for the
-// golden-convergence early exit.
+// boundary of the golden run, with DRAM stored as an immutable
+// copy-on-write page image against the post-boot snapshot (sharable
+// across every worker of a pool), plus the state fingerprint used for
+// the golden-convergence early exit.
 type Checkpoint struct {
 	// Cycle is the core cycle counter at capture (run-relative ==
 	// absolute: golden runs start from LoadArch at cycle zero).
@@ -65,7 +66,7 @@ type Checkpoint struct {
 	pageFP    []uint64
 	diffPages []uint64
 
-	dram  *mem.Delta
+	img   *mem.PageImage
 	micro *cpu.MicroState
 	l1i   *mem.CacheState
 	l1d   *mem.CacheState
@@ -124,15 +125,17 @@ func (l *Ladder) Rungs() int { return len(l.rungs) }
 // EffectiveEvery returns the rung spacing actually used.
 func (l *Ladder) EffectiveEvery() uint64 { return l.every }
 
-// MemoryBytes estimates the ladder's retained memory: DRAM deltas, cache
-// and TLB copies, UART backlogs, and fixed per-rung bookkeeping.
+// MemoryBytes estimates the ladder's retained memory: owned DRAM page
+// payloads, cache and TLB copies, UART backlogs, and fixed per-rung
+// bookkeeping. Page payloads interned from an earlier rung are counted
+// once, by the owning rung — see SharedBytes for the saving.
 func (l *Ladder) MemoryBytes() int {
 	total := 0
 	for _, c := range append(append([]*Checkpoint(nil), l.rungs...), l.end) {
 		if c == nil {
 			continue
 		}
-		total += c.dram.Bytes() + len(c.uart) + 1024
+		total += c.img.Bytes() + len(c.uart) + 1024
 		for _, cs := range []*mem.CacheState{c.l1i, c.l1d, c.l2} {
 			total += cs.MemoryBytes()
 		}
@@ -142,6 +145,28 @@ func (l *Ladder) MemoryBytes() int {
 	}
 	return total
 }
+
+// SharedBytes reports the DRAM payload bytes the ladder's rungs share
+// with earlier rungs through copy-on-write interning instead of copying —
+// memory a delta-per-rung encoding would have duplicated. Additionally,
+// because every rung image is immutable, all workers of a pool restore
+// from the same ladder with no per-worker rung copies at all; the
+// armsefi_ladder_shared_bytes metric surfaces this figure.
+func (l *Ladder) SharedBytes() int {
+	total := 0
+	for _, c := range append(append([]*Checkpoint(nil), l.rungs...), l.end) {
+		if c != nil {
+			total += c.img.SharedBytes()
+		}
+	}
+	return total
+}
+
+// RungCycleFor returns the cycle of the highest rung at or below cycle —
+// the rung RunLadderInjection would restore for an injection at that
+// cycle. The campaign engines use it to batch cycle-sorted injections
+// that share a restore point.
+func (l *Ladder) RungCycleFor(cycle uint64) uint64 { return l.rungFor(cycle).Cycle }
 
 // rungFor returns the highest rung at or below cycle; rung 0 sits at
 // cycle zero, so the result is always defined.
@@ -211,7 +236,9 @@ func (m *Machine) microFPSum() uint64 {
 // the base image's per-page fingerprints, computed once per ladder; the
 // rung's own page fingerprints are diffed against it to precompute the
 // exact differs-from-base page bitmap the early-exit check consumes.
-func (m *Machine) captureCheckpoint(base *Snapshot, basePF []uint64, lastBeatAbs uint64) *Checkpoint {
+// prev is the previously captured rung (nil for rung 0): page payloads
+// unchanged since it are interned — byte-verified — instead of copied.
+func (m *Machine) captureCheckpoint(base *Snapshot, basePF []uint64, lastBeatAbs uint64, prev *Checkpoint) *Checkpoint {
 	// One hasher pass yields both stages: microFP is the running sum
 	// before the DRAM page fingerprints are folded in, Fingerprint after.
 	// With dirty-page tracking active (CaptureLadder arms it), only pages
@@ -221,23 +248,25 @@ func (m *Machine) captureCheckpoint(base *Snapshot, basePF []uint64, lastBeatAbs
 	m.microFingerprint(h)
 	micro := h.Sum()
 	var pageFP []uint64
-	var dram *mem.Delta
 	if m.DRAM.Tracking(base.dram) {
 		pageFP = m.DRAM.HashPagesDirty(basePF)
-		dram = m.DRAM.DiffAgainstDirty(base.dram)
 	} else {
 		pageFP = m.DRAM.HashPages(make([]uint64, 0, len(basePF)))
-		dram = m.DRAM.DiffAgainst(base.dram)
 	}
 	foldPageFP(h, pageFP)
+	diffPages := mem.DiffPageBitmap(basePF, pageFP)
+	var prevImg *mem.PageImage
+	if prev != nil {
+		prevImg = prev.img
+	}
 	return &Checkpoint{
 		Cycle:       m.core.Cycles(),
 		Fingerprint: h.Sum(),
 		microFP:     micro,
 		lastBeatAbs: lastBeatAbs,
 		pageFP:      pageFP,
-		diffPages:   mem.DiffPageBitmap(basePF, pageFP),
-		dram:        dram,
+		diffPages:   diffPages,
+		img:         m.DRAM.BuildPageImage(base.dram, pageFP, diffPages, prevImg),
 		micro:       m.core.SaveMicro(),
 		l1i:         m.Mem.L1I.SaveState(),
 		l1d:         m.Mem.L1D.SaveState(),
@@ -254,7 +283,7 @@ func (m *Machine) captureCheckpoint(base *Snapshot, basePF []uint64, lastBeatAbs
 // rung. The core micro-state is loaded first (it sets the TTBR, which
 // may invalidate TLBs on change) and the TLB content after.
 func (m *Machine) RestoreCheckpoint(l *Ladder, c *Checkpoint) {
-	m.DRAM.RestoreDelta(l.base.dram, c.dram)
+	m.DRAM.RestorePages(l.base.dram, c.img)
 	m.core.LoadMicro(c.micro)
 	m.Mem.L1I.RestoreState(c.l1i)
 	m.Mem.L1D.RestoreState(c.l1d)
@@ -293,7 +322,7 @@ func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int
 	lastBeats := m.SysCtl.Beats()
 	lastBeatAbs := uint64(0)
 
-	l.rungs = append(l.rungs, m.captureCheckpoint(base, basePF, lastBeatAbs))
+	l.rungs = append(l.rungs, m.captureCheckpoint(base, basePF, lastBeatAbs, nil))
 	nextRung := every
 
 	res := Result{}
@@ -316,7 +345,7 @@ func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int
 			// The atomic model can step several cycles at once and skip a
 			// boundary; the rung lands on the first boundary actually
 			// reached, and faulty runs compare only on exact hits.
-			l.rungs = append(l.rungs, m.captureCheckpoint(base, basePF, lastBeatAbs))
+			l.rungs = append(l.rungs, m.captureCheckpoint(base, basePF, lastBeatAbs, l.rungs[len(l.rungs)-1]))
 			for nextRung <= abs {
 				nextRung += every
 			}
@@ -335,7 +364,7 @@ func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int
 	res.AppAlive = m.SysCtl.AppAlive() - aliveBase
 	res.LastBeatCycle = lastBeatAbs
 	l.Final = res
-	l.end = m.captureCheckpoint(base, basePF, lastBeatAbs)
+	l.end = m.captureCheckpoint(base, basePF, lastBeatAbs, l.rungs[len(l.rungs)-1])
 	return l
 }
 
@@ -348,11 +377,11 @@ func (m *Machine) CaptureLadder(base *Snapshot, warm bool, every uint64, max int
 // LadderDebugCompare cross-check.
 func (m *Machine) dramConverged(l *Ladder, r *Checkpoint) bool {
 	if !m.DRAM.Tracking(l.base.dram) {
-		return m.DRAM.EqualBaseDelta(l.base.dram, r.dram)
+		return m.DRAM.EqualBasePages(l.base.dram, r.img)
 	}
 	inc := m.DRAM.ConvergedPages(r.diffPages, r.pageFP)
 	if LadderDebugCompare.Load() {
-		full := m.DRAM.EqualBaseDelta(l.base.dram, r.dram)
+		full := m.DRAM.EqualBasePages(l.base.dram, r.img)
 		if inc != full {
 			panic(fmt.Sprintf(
 				"soc: incremental DRAM convergence (%v) disagrees with full comparison (%v) at rung cycle %d",

@@ -52,7 +52,7 @@ func BenchmarkRungConvergence(b *testing.B) {
 	})
 	b.Run("full-image", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if m.microFPSum() != r.microFP || !m.DRAM.EqualBaseDelta(l.base.dram, r.dram) {
+			if m.microFPSum() != r.microFP || !m.DRAM.EqualBasePages(l.base.dram, r.img) {
 				b.Fatal("restored rung must converge to itself")
 			}
 		}

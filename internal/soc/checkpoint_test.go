@@ -230,24 +230,31 @@ func TestLadderDebugCrossCheckAgrees(t *testing.T) {
 }
 
 // TestLadderDebugCrossCheckPanicsOnDisagreement seeds a disagreement —
-// a diffPages bit for a page the workload never touches, making the
+// a corrupted per-page fingerprint (with its diffPages bit set so the
+// check visits it) for a page the workload never touches, making the
 // incremental verdict false while the exact comparison still sees a
 // converged machine — and requires the debug cross-check to panic.
 func TestLadderDebugCrossCheckPanicsOnDisagreement(t *testing.T) {
 	LadderDebugCompare.Store(true)
 	t.Cleanup(func() { LadderDebugCompare.Store(false) })
 	m, _, l := captureLadder(t, ModelAtomic, false, 2_000)
+	watchdog := 2*l.Final.Cycles + 1_000_000
+	at := l.Final.Cycles / 3
 	last := (len(l.base.dram) - 1) / mem.PageBytes // top page: never written
 	for _, r := range l.rungs {
-		r.diffPages[last>>6] |= 1 << (last & 63)
+		// Corrupt only rungs past the injection point: the restored rung's
+		// fingerprints (shared with its page image) must stay true or the
+		// comparison would see two identically-corrupted sets agree.
+		if r.Cycle > at {
+			r.diffPages[last>>6] |= 1 << (last & 63)
+			r.pageFP[last] ^= 0xDEADBEEF
+		}
 	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("corrupted rung metadata did not trip the debug cross-check")
 		}
 	}()
-	watchdog := 2*l.Final.Cycles + 1_000_000
-	at := l.Final.Cycles / 3
 	m.RunLadderInjection(l, watchdog, at, func() {
 		m.Core().FlipRegFileBit(40)
 		m.Core().FlipRegFileBit(40)
