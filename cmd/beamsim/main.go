@@ -9,6 +9,7 @@
 //	        [-checkpoint-every 150000] [-max-checkpoints 64]
 //	        [-cpuprofile cpu.prof] [-memprofile mem.prof] [-ladder-debug]
 //	        [-remote http://host:8440]
+//	        [-target-margin 0.04] [-confidence 0.99] [-stop-shadow]
 //	beamsim -fitraw [-hours 20]
 package main
 
@@ -124,6 +125,12 @@ func run() error {
 			"accepted for gefin flag parity; live-board strikes are never pre-filtered (see source)")
 		pruneVerify = flag.Bool("prune-verify", false,
 			"accepted for gefin flag parity; live-board strikes are never pre-filtered (see source)")
+		targetMargin = flag.Float64("target-margin", 0,
+			"sequential early stopping: cut each component's strike chain at the first check boundary where every class estimate reaches this confidence-interval half-width (0 disables; surviving strikes are re-weighted so FIT rates stay unbiased)")
+		confidence = flag.Float64("confidence", 0,
+			"confidence level for -target-margin and reported margins (0 = 0.99, the paper's level)")
+		stopShadow = flag.Bool("stop-shadow", false,
+			"shadow mode: execute every strike while computing the same sequential cuts and emitting the truncated re-weighted result (CI cross-checks it byte-for-byte against a genuinely stopped run)")
 	)
 	flag.Parse()
 
@@ -153,7 +160,8 @@ func run() error {
 		Scale: scale, Seed: *seed, BeamHours: *hours, Workers: *workers,
 		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax,
 		LadderDebug: *ladderDebug, Obs: ocli.Obs,
-		Provenance: *prov,
+		Provenance:   *prov,
+		TargetMargin: *targetMargin, Confidence: *confidence, StopShadow: *stopShadow,
 	}
 	var progress beam.Progress
 	if !*quiet {
@@ -221,5 +229,8 @@ func run() error {
 		}
 	}
 	fmt.Println(report.Fig3(res))
+	if s := res.Stop; s != nil {
+		fmt.Println(report.StopBeam(s))
+	}
 	return nil
 }

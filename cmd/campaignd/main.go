@@ -13,14 +13,16 @@
 //	campaignd -store DIR [-addr :8440] [-workers N] [-max-active 2]
 //	          [-lease-ttl 30s] [-straggler-after 90s] [-stalled-after 15s]
 //	          [-trace trace.jsonl] [-metrics-addr :9100]
-//	          [-telemetry-every 1s]
+//	          [-telemetry-every 1s] [-target-margin 0.04] [-confidence 0.99]
 //	campaignd -coordinator http://host:8440 [-node NAME] [-workers N]
 //	          [-trace trace.jsonl] [-metrics-addr :9100]
 //	          [-telemetry-every 1s]
 //
 // The coordinator serves the fleet dashboard at /fleet, its JSON feed at
-// /api/v1/fleet, and each campaign's merged fleet trace at
-// /api/v1/campaigns/{id}/trace. -telemetry-every 0 disables federation.
+// /api/v1/fleet, each campaign's merged fleet trace at
+// /api/v1/campaigns/{id}/trace, and its merged convergence view at
+// /api/v1/campaigns/{id}/convergence (watch it live with convwatch).
+// -telemetry-every 0 disables federation.
 //
 // SIGINT/SIGTERM drain gracefully: workers stop claiming new shards,
 // in-flight shards finish and report, queued telemetry is drained, then
@@ -54,19 +56,23 @@ func main() {
 
 func run() error {
 	var (
-		storeDir    = flag.String("store", "", "campaign store directory (coordinator mode; required)")
-		addr        = flag.String("addr", ":8440", "HTTP listen address (coordinator mode)")
-		coordinator = flag.String("coordinator", "", "remote coordinator URL (worker mode)")
-		node        = flag.String("node", "", "worker node name (default: hostname-pid)")
-		workers     = flag.Int("workers", 0, "local worker loops (0 in coordinator mode = API only)")
-		maxActive   = flag.Int("max-active", serve.DefaultMaxActive, "campaigns admitted concurrently")
-		leaseTTL    = flag.Duration("lease-ttl", serve.DefaultLeaseTTL, "shard lease TTL before requeue")
-		straggler   = flag.Duration("straggler-after", 0, "flag a shard execution as a straggler after this long (0 = 3x lease TTL)")
-		stalled     = flag.Duration("stalled-after", serve.DefaultStalledAfter, "flag a quiet node as stalled after this long")
-		tracePath   = flag.String("trace", "", "write a local JSONL trace of shard scheduling and injections")
-		metricsAddr = flag.String("metrics-addr", "", "serve a standalone /metrics endpoint on this address")
-		telemEvery  = flag.Duration("telemetry-every", time.Second, "worker telemetry batch interval (0 disables federation)")
-		poll        = flag.Duration("poll", 200*time.Millisecond, "worker idle poll interval")
+		storeDir     = flag.String("store", "", "campaign store directory (coordinator mode; required)")
+		addr         = flag.String("addr", ":8440", "HTTP listen address (coordinator mode)")
+		coordinator  = flag.String("coordinator", "", "remote coordinator URL (worker mode)")
+		node         = flag.String("node", "", "worker node name (default: hostname-pid)")
+		workers      = flag.Int("workers", 0, "local worker loops (0 in coordinator mode = API only)")
+		maxActive    = flag.Int("max-active", serve.DefaultMaxActive, "campaigns admitted concurrently")
+		leaseTTL     = flag.Duration("lease-ttl", serve.DefaultLeaseTTL, "shard lease TTL before requeue")
+		straggler    = flag.Duration("straggler-after", 0, "flag a shard execution as a straggler after this long (0 = 3x lease TTL)")
+		stalled      = flag.Duration("stalled-after", serve.DefaultStalledAfter, "flag a quiet node as stalled after this long")
+		tracePath    = flag.String("trace", "", "write a local JSONL trace of shard scheduling and injections")
+		metricsAddr  = flag.String("metrics-addr", "", "serve a standalone /metrics endpoint on this address")
+		telemEvery   = flag.Duration("telemetry-every", time.Second, "worker telemetry batch interval (0 disables federation)")
+		poll         = flag.Duration("poll", 200*time.Millisecond, "worker idle poll interval")
+		targetMargin = flag.Float64("target-margin", 0,
+			"coordinator view rule: judge merged convergence views of campaigns that set no target margin of their own against this half-width (0 leaves them unjudged)")
+		confidence = flag.Float64("confidence", 0,
+			"confidence level of the coordinator view rule and its reported margins (0 = 0.99)")
 	)
 	flag.Parse()
 
@@ -127,12 +133,14 @@ func run() error {
 	}
 
 	coord, err := serve.NewCoordinator(serve.CoordConfig{
-		Store:          store,
-		MaxActive:      *maxActive,
-		LeaseTTL:       *leaseTTL,
-		StragglerAfter: *straggler,
-		StalledAfter:   *stalled,
-		Obs:            observer,
+		Store:            store,
+		MaxActive:        *maxActive,
+		LeaseTTL:         *leaseTTL,
+		StragglerAfter:   *straggler,
+		StalledAfter:     *stalled,
+		ConvTargetMargin: *targetMargin,
+		ConvConfidence:   *confidence,
+		Obs:              observer,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,97 @@
+// Command convwatch polls a live campaign's merged convergence view
+// from a campaignd coordinator and renders the streaming estimator
+// table: per-(workload, component, class) running fractions, their
+// confidence-interval half-widths, and — when a target margin is set —
+// which estimators have met it. With -follow it redraws until the
+// campaign completes or every estimator meets the target.
+//
+// Usage:
+//
+//	convwatch -remote http://host:8440 -campaign ID [-follow] [-every 2s]
+//	convwatch -remote http://host:8440        # list campaigns to watch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"armsefi/internal/report"
+	"armsefi/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "convwatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		remote   = flag.String("remote", "http://localhost:8440", "campaignd coordinator URL")
+		campaign = flag.String("campaign", "", "campaign id to watch (empty: list campaigns and exit)")
+		follow   = flag.Bool("follow", false, "keep polling until the campaign completes or every estimator meets the target margin")
+		every    = flag.Duration("every", 2*time.Second, "poll interval with -follow")
+	)
+	flag.Parse()
+
+	client := &serve.Client{Base: *remote}
+	if *campaign == "" {
+		sts, err := client.StatusAll()
+		if err != nil {
+			return err
+		}
+		if len(sts) == 0 {
+			fmt.Println("no campaigns")
+			return nil
+		}
+		for _, st := range sts {
+			fmt.Printf("%s  %-9s  %-9s  %d/%d shards  %d/%d items\n",
+				st.ID, st.Kind, st.State, st.ShardsDone, st.ShardsTotal, st.ItemsDone, st.ItemsTotal)
+		}
+		fmt.Println("\nwatch one with: convwatch -campaign ID")
+		return nil
+	}
+
+	if *every <= 0 {
+		*every = 2 * time.Second
+	}
+	for {
+		st, err := client.Status(*campaign)
+		if err != nil {
+			return err
+		}
+		cv, err := client.Convergence(*campaign)
+		if err != nil {
+			return err
+		}
+		fmt.Println(render(st, cv))
+		settled := st.State == serve.StateComplete || st.State == serve.StateCancelled ||
+			(cv.AllMet && len(cv.Estimators) > 0)
+		if !*follow || settled {
+			if cv.AllMet && len(cv.Estimators) > 0 {
+				fmt.Println("every estimator meets the target margin")
+			}
+			return nil
+		}
+		time.Sleep(*every)
+	}
+}
+
+// render formats one poll: a status line plus the estimator table.
+func render(st *serve.CampaignStatus, cv *serve.ConvView) string {
+	title := fmt.Sprintf("campaign %s [%s, %s] — %d/%d shards, %d/%d items — merged from %d node(s)",
+		st.ID, st.Kind, st.State, st.ShardsDone, st.ShardsTotal, st.ItemsDone, st.ItemsTotal, cv.Nodes)
+	if cv.TargetMargin > 0 {
+		title += fmt.Sprintf("\ntarget ±%.3g at %.0f%% confidence", cv.TargetMargin, 100*cv.Confidence)
+		if cv.AllMet {
+			title += " — ALL MET"
+		}
+	}
+	if len(cv.Estimators) == 0 {
+		return title + "\n(no convergence telemetry yet — workers ship estimates with -telemetry-every > 0)"
+	}
+	return title + "\n" + report.ConvergenceTable("", cv.Estimators, cv.TargetMargin)
+}

@@ -31,6 +31,7 @@ import (
 	"armsefi/internal/report"
 	"armsefi/internal/rtl"
 	"armsefi/internal/soc"
+	"armsefi/internal/stats"
 )
 
 func main() {
@@ -60,6 +61,8 @@ func run() error {
 			"golden-run checkpoint-ladder rung spacing in cycles for both campaigns; 0 disables the ladder (results are bit-identical either way)")
 		ckMax = flag.Int("max-checkpoints", soc.DefaultMaxCheckpoints,
 			"cap on checkpoint-ladder rungs per workload (spacing grows to fit)")
+		confidence = flag.Float64("confidence", 0.95,
+			"confidence level for the beam-vs-injection significance verdicts (Poisson vs Wilson interval overlap)")
 		prune = flag.Bool("prune", false,
 			"pre-filter the injection campaign's fault plan against a liveness replay and skip provably-masked injections (results are byte-identical either way; beam strikes always execute)")
 		pruneVerify = flag.Bool("prune-verify", false,
@@ -168,13 +171,14 @@ func run() error {
 		fmt.Println(report.PruneSplit(s))
 	}
 
+	z := stats.ConfidenceZ(*confidence)
 	var injs []fit.Injection
 	var comparisons []fit.Comparison
 	for i := range injRes.Workloads {
-		inj := fit.FromInjection(&injRes.Workloads[i], fit.DefaultFITRawPerBit)
-		injs = append(injs, inj)
-		if bw, ok := beamRes.Workload(inj.Workload); ok {
-			comparisons = append(comparisons, fit.Compare(bw, inj))
+		w := &injRes.Workloads[i]
+		injs = append(injs, fit.FromInjection(w, fit.DefaultFITRawPerBit))
+		if bw, ok := beamRes.Workload(w.Workload); ok {
+			comparisons = append(comparisons, fit.CompareCI(bw, w, fit.DefaultFITRawPerBit, z))
 		}
 	}
 	fmt.Println(report.Fig5(injs))
@@ -183,6 +187,9 @@ func run() error {
 	fmt.Println(report.FigRatio("Figure 8: System Crash FIT comparison", comparisons, fault.ClassSysCrash))
 	fmt.Println(report.Fig9(comparisons))
 	fmt.Println(report.Fig10(fit.AggregateComparisons(comparisons)))
+	if s := report.Significance(comparisons, *confidence); s != "" {
+		fmt.Println(s)
+	}
 	fmt.Println(report.TableIV(injRes))
 	if *jsonOut != "" {
 		payload := struct {

@@ -11,6 +11,7 @@
 //	      [-checkpoint-every 150000] [-max-checkpoints 64]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof] [-ladder-debug]
 //	      [-remote http://host:8440]
+//	      [-target-margin 0.04] [-confidence 0.99] [-stop-shadow]
 package main
 
 import (
@@ -152,6 +153,12 @@ func run() error {
 			"shadow mode: predict AND simulate every injection, failing the campaign on any disagreement (implies -prune; no speedup)")
 		remote = flag.String("remote", "",
 			"submit the campaign to a campaignd coordinator at this URL instead of running locally, wait for completion, and report its results")
+		targetMargin = flag.Float64("target-margin", 0,
+			"sequential early stopping: truncate each component's plan at the first check boundary where every class estimate reaches this confidence-interval half-width (0 disables; the stopped Result is byte-identical to the same plan-order prefix of a full run)")
+		confidence = flag.Float64("confidence", 0,
+			"confidence level for -target-margin and reported margins (0 = 0.99, the paper's level)")
+		stopShadow = flag.Bool("stop-shadow", false,
+			"shadow mode: execute the full plan while computing the same sequential cuts and emitting the truncated aggregation (CI cross-checks it byte-for-byte against a genuinely stopped run)")
 	)
 	flag.Parse()
 
@@ -197,6 +204,9 @@ func run() error {
 		Provenance:         *prov,
 		Prune:              *prune,
 		PruneVerify:        *pruneVerify,
+		TargetMargin:       *targetMargin,
+		Confidence:         *confidence,
+		StopShadow:         *stopShadow,
 	}
 	var progress gefin.Progress
 	if !*quiet {
@@ -235,6 +245,9 @@ func run() error {
 	fmt.Println(report.Fig4(res))
 	if s := res.Prune; s != nil {
 		fmt.Println(report.PruneSplit(s))
+	}
+	if s := res.Stop; s != nil {
+		fmt.Println(report.StopInjection(s))
 	}
 	injs := make([]fit.Injection, 0, len(res.Workloads))
 	for i := range res.Workloads {

@@ -6,6 +6,12 @@
 // trap, or a timeout — the "why was this fault masked?" decomposition the
 // paper's Section V discusses qualitatively.
 //
+// For convergence-observed campaigns (gefin/beamsim -target-margin, or
+// any campaign streaming estimates) it also prints the final streaming
+// estimators — achieved confidence-interval margins per workload x
+// component x class — and the faults saved by sequential early
+// stopping.
+//
 // For pruned campaigns (gefin -prune) it additionally prints a
 // predicted-vs-simulated split table: per component, how many planned
 // injections the ACE pre-filter resolved without simulation, decomposed
@@ -31,6 +37,7 @@ import (
 
 	"armsefi/internal/core/fault"
 	"armsefi/internal/obs"
+	"armsefi/internal/report"
 )
 
 func main() {
@@ -108,6 +115,11 @@ func run() error {
 		}
 	}
 	if len(rows) == 0 {
+		// A convergence-only trace (campaign run with -target-margin but
+		// without -prov) still has margins worth reporting.
+		if printConvergence(sum, *workload) {
+			return nil
+		}
 		return fmt.Errorf("trace carries no provenance fields (was the campaign run with -prov?)")
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -119,6 +131,7 @@ func run() error {
 
 	printTables(rows)
 	printSplit(sum, *workload)
+	printConvergence(sum, *workload)
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rows, "", "  ")
@@ -241,6 +254,52 @@ func printSplit(sum *obs.Summary, only string) {
 		fmt.Println()
 		fmt.Println()
 	}
+}
+
+// printConvergence renders the final streaming-estimator states of a
+// trace that carries convergence records (campaigns run with
+// -target-margin, or any observed campaign's streaming estimates):
+// every estimator's achieved margin, plus the faults saved by each
+// component the sequential rule stopped early. It reports whether it
+// printed anything.
+func printConvergence(sum *obs.Summary, only string) bool {
+	snaps := sum.LastConv()
+	if only != "" {
+		filtered := snaps[:0]
+		for _, s := range snaps {
+			if s.Workload == only {
+				filtered = append(filtered, s)
+			}
+		}
+		snaps = filtered
+	}
+	if len(snaps) == 0 {
+		return false
+	}
+	judged := 0.0
+	for _, s := range snaps {
+		if s.Met || s.Stopped {
+			judged = 1 // render the Met column: the campaign had a rule
+			break
+		}
+	}
+	fmt.Println(report.ConvergenceTable("Final convergence estimators (achieved margins)", snaps, judged))
+	// Faults saved by sequential stopping: the planned-vs-committed gap of
+	// each stopped component, counted once via its Masked-class estimator.
+	saved, planned := 0, 0
+	for _, s := range snaps {
+		if s.Class != fault.ClassMasked {
+			continue
+		}
+		planned += s.Planned
+		if s.Stopped {
+			saved += s.Planned - s.N
+		}
+	}
+	if saved > 0 {
+		fmt.Printf("sequential early stopping saved %d of %d planned faults (%.1f%%)\n\n", saved, planned, pct(saved, planned))
+	}
+	return true
 }
 
 func pct(n, total int) float64 {

@@ -35,6 +35,7 @@ import (
 	"armsefi/internal/mem"
 	"armsefi/internal/obs"
 	"armsefi/internal/soc"
+	"armsefi/internal/stats"
 )
 
 // Physical constants of the methodology.
@@ -130,6 +131,29 @@ type Config struct {
 	// default) disables all instrumentation at zero cost. Tracing does
 	// not perturb results: strike chains and their physics are unchanged.
 	Obs *obs.Observer `json:"-"`
+	// TargetMargin enables deterministic sequential early stopping: each
+	// component strike chain streams per-class fraction estimates and is
+	// truncated at the first check boundary where every class estimator's
+	// Wilson half-width — at an alpha-spending-corrected confidence — is
+	// at or below this margin. The chain is a self-contained sequential
+	// session, so its cut is a pure function of its own strike sequence
+	// and the stopped Result is byte-identical at any worker count.
+	// Truncated chains re-weight their surviving strikes by
+	// planned/executed, keeping the stratified estimator unbiased. Zero
+	// (the default) disables stopping.
+	TargetMargin float64
+	// Confidence is the two-sided level for the stopping rule and
+	// reported margins (zero defaults to 0.99).
+	Confidence float64
+	// StopCheckEvery is the strike-count check-boundary spacing of the
+	// sequential rule. Zero picks DefaultStopCheckEvery. Part of the
+	// determinism surface.
+	StopCheckEvery int
+	// StopShadow simulates every strike while still computing the
+	// sequential cuts, then emits the truncated re-weighted result: a
+	// shadow run's Workloads are byte-identical to a genuinely stopped
+	// run's, which is how tests cross-check the prefix property.
+	StopShadow bool
 	// Provenance attaches a propagation-provenance probe to every strike:
 	// the struck location is tainted at strike time and traced records
 	// carry the mechanism verdict plus the lifecycle event chain. The
@@ -168,6 +192,16 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery > 0 && c.MaxCheckpoints == 0 {
 		c.MaxCheckpoints = soc.DefaultMaxCheckpoints
 	}
+	if c.TargetMargin > 0 || c.StopShadow {
+		// Pin the stop rule's full determinism surface into the config, so
+		// a serialized manifest reproduces the identical cuts.
+		if c.Confidence == 0 {
+			c.Confidence = 0.99
+		}
+		if c.StopCheckEvery == 0 {
+			c.StopCheckEvery = DefaultStopCheckEvery
+		}
+	}
 	if c.LadderDebug {
 		// One-way: never cleared here, so concurrent campaigns with the
 		// knob off cannot race a debugging campaign's setting away.
@@ -194,6 +228,10 @@ type WorkloadResult struct {
 	MaskedStrikes int
 	// SimulatedStrikes counts machine runs with an injected strike.
 	SimulatedStrikes int
+	// StrikeCounts tallies the simulated modeled strikes by final class —
+	// raw unweighted counts (after any sequential truncation), the
+	// denominators behind the beam-side Poisson confidence intervals.
+	StrikeCounts map[fault.Class]int
 	// CacheSlack is the fraction of the L2 the workload leaves unused,
 	// which scales the resident-checker exposure.
 	CacheSlack float64
@@ -240,6 +278,10 @@ func (w *WorkloadResult) ErrorRatePerExecution() float64 {
 type Result struct {
 	Config    Config
 	Workloads []WorkloadResult
+	// Stop summarises the sequential stopping rule's chain cuts and
+	// achieved margins (campaigns with TargetMargin set only; nil
+	// otherwise). Deliberately outside Workloads.
+	Stop *StopSummary `json:",omitempty"`
 }
 
 // Workload returns a workload's result by name.
@@ -282,6 +324,15 @@ type chainResult struct {
 	sims               int
 	totalMismatches    uint64
 	weightedMismatches float64
+	// counts tallies the chain's strikes by final class (raw, unweighted;
+	// sims is their sum); the remaining fields report the
+	// sequential-stopping outcome (filled by chainStop.finishChain; zero
+	// without a monitor).
+	counts  [fault.NumClasses]int
+	planned int
+	looks   int
+	margin  float64
+	stopped bool
 }
 
 // chainSeed derives the per-(workload, component) RNG stream of one strike
@@ -302,13 +353,14 @@ func chainSeed(seed int64, workload string, comp fault.Component) int64 {
 // concurrently on sibling machines. tc stamps distributed trace context
 // onto emitted strike records; the zero context stamps nothing.
 func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Component,
-	perComp int, fluence float64, em *emitter, totalSims, worker int, tc obs.TraceContext) chainResult {
+	perComp int, fluence float64, conv *obs.ConvRegistry, em *emitter, totalSims, worker int, tc obs.TraceContext) chainResult {
 	m := wb.Machine
 	built := wb.Built
 	bits := fault.SizeBits(m, comp)
 	weight := fluence * float64(bits) * cfg.BitXS / float64(perComp)
 	rng := rand.New(rand.NewSource(chainSeed(cfg.Seed, spec.Name, comp)))
-	out := chainResult{events: make(map[fault.Class]float64, fault.NumClasses)}
+	out := chainResult{events: make(map[fault.Class]float64, fault.NumClasses), planned: perComp}
+	cs := newChainStop(cfg, spec.Name, comp, perComp, conv, tc)
 
 	// The board runs the workload in a loop from its warm post-boot state.
 	steadyState(cfg, wb)
@@ -370,6 +422,7 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 		if class != fault.ClassMasked {
 			out.events[class] += weight
 		}
+		out.counts[int(class)-1]++
 		if cfg.Obs.On() {
 			rec := obs.Record{
 				Kind:       obs.KindStrike,
@@ -408,6 +461,12 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 			// lifecycle events.
 			fault.Disarm(m)
 		}
+		if cs.record(&out) {
+			// The sequential rule truncated the chain; the next chain on
+			// this workbench starts from a fresh steady state anyway.
+			em.tick(spec.Name, totalSims)
+			break
+		}
 		if class == fault.ClassAppCrash || class == fault.ClassSysCrash {
 			// The host power-cycles the board and reboots Linux, then the
 			// board runs back to steady state.
@@ -416,6 +475,7 @@ func runChain(cfg Config, wb *harness.Workbench, spec bench.Spec, comp fault.Com
 		m.RestartApp(wb.Snap)
 		em.tick(spec.Name, totalSims)
 	}
+	cs.finishChain(&out)
 	return out
 }
 
@@ -439,7 +499,8 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 	cfg = cfg.withDefaults()
 	pool := sched.NewPool(cfg.Workers - 1)
 	cfg.Obs.ObservePool(pool)
-	return runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
+	res, _, err := runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
+	return res, err
 }
 
 // prepareWorkload builds the workload's workbench and the deterministic
@@ -476,6 +537,7 @@ func prepareWorkload(cfg Config, spec bench.Spec) (*harness.Workbench, *Workload
 		GoldenCycles:  wb.Golden.Cycles,
 		Events:        make(map[fault.Class]float64, fault.NumClasses),
 		ModeledEvents: make(map[fault.Class]float64, fault.NumClasses),
+		StrikeCounts:  make(map[fault.Class]int, fault.NumClasses),
 		CacheSlack:    slack,
 	}
 	res.ExecSeconds = float64(wb.Golden.Cycles) / cfg.ClockHz
@@ -517,6 +579,9 @@ func finishWorkload(cfg Config, res *WorkloadResult, partial []chainResult) {
 				res.Events[cls] += v
 				res.ModeledEvents[cls] += v
 			}
+			if n := pr.counts[int(cls)-1]; n > 0 {
+				res.StrikeCounts[cls] += n
+			}
 		}
 	}
 
@@ -529,14 +594,22 @@ func finishWorkload(cfg Config, res *WorkloadResult, partial []chainResult) {
 	res.Events[fault.ClassAppCrash] += res.Fluence * cfg.Platform.Checker * res.CacheSlack
 }
 
-func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, error) {
+func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, *StopSummary, error) {
 	wb, res, perComp, err := prepareWorkload(cfg, spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	comps := fault.Components()
 	totalSims := perComp * len(comps)
 	em.addTotal(totalSims)
+
+	// One estimator registry per workload run, shared by its chains (the
+	// registry locks internally); nil without a rule or an observer.
+	rule := stats.SeqRule{TargetMargin: cfg.TargetMargin, Confidence: cfg.Confidence}
+	var conv *obs.ConvRegistry
+	if rule.Enabled() || cfg.Obs.On() {
+		conv = obs.NewConvRegistry(rule)
+	}
 
 	// Shard the component chains across the primary workbench plus as many
 	// clones as the pool grants; chains are claimed off an atomic cursor.
@@ -557,7 +630,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			for range clones {
 				pool.Release()
 			}
-			return nil, fmt.Errorf("beam: %w", err)
+			return nil, nil, fmt.Errorf("beam: %w", err)
 		}
 		clones = append(clones, clone)
 	}
@@ -571,7 +644,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			if ci >= int64(len(comps)) {
 				return
 			}
-			partial[ci] = runChain(cfg, w, spec, comps[ci], perComp, res.Fluence, em, totalSims, worker, obs.TraceContext{})
+			partial[ci] = runChain(cfg, w, spec, comps[ci], perComp, res.Fluence, conv, em, totalSims, worker, obs.TraceContext{})
 		}
 	}
 	var wg sync.WaitGroup
@@ -587,7 +660,27 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	wg.Wait()
 
 	finishWorkload(cfg, res, partial)
-	return res, nil
+	cfg.Obs.Convergence(conv.Snapshots(), obs.TraceContext{})
+
+	var stop *StopSummary
+	if rule.Enabled() {
+		stop = &StopSummary{TargetMargin: cfg.TargetMargin, Confidence: cfg.Confidence, Shadow: cfg.StopShadow}
+		for ci, pr := range partial {
+			stop.Chains = append(stop.Chains, StopChain{
+				Workload: spec.Name,
+				Comp:     comps[ci],
+				Planned:  pr.planned,
+				Executed: pr.sims,
+				Looks:    pr.looks,
+				Margin:   pr.margin,
+				Stopped:  pr.stopped,
+			})
+			stop.Planned += pr.planned
+			stop.Executed += pr.sims
+		}
+		stop.Saved = stop.Planned - stop.Executed
+	}
+	return res, stop, nil
 }
 
 // Run exposes a set of workloads to the beam. Workloads run concurrently,
@@ -599,6 +692,7 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 	cfg.Obs.ObservePool(pool)
 	em := newEmitter(progress, cfg.Obs)
 	results := make([]*WorkloadResult, len(specs))
+	stops := make([]*StopSummary, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for i, spec := range specs {
@@ -607,7 +701,7 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 			defer wg.Done()
 			pool.Acquire() // the workload's primary worker slot
 			defer pool.Release()
-			results[i], errs[i] = runWorkload(cfg, spec, pool, em)
+			results[i], stops[i], errs[i] = runWorkload(cfg, spec, pool, em)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -617,6 +711,14 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 			return nil, errs[i]
 		}
 		res.Workloads = append(res.Workloads, *results[i])
+	}
+	// The stop summary merges in spec order, outside Workloads.
+	if cfg.TargetMargin > 0 {
+		total := &StopSummary{}
+		for _, s := range stops {
+			total.merge(s)
+		}
+		res.Stop = total
 	}
 	return res, nil
 }

@@ -32,6 +32,13 @@ type ChainOutcome struct {
 	Sims               int                     `json:"sims"`
 	TotalMismatches    uint64                  `json:"total_mismatches,omitempty"`
 	WeightedMismatches float64                 `json:"weighted_mismatches,omitempty"`
+	// Counts tallies the chain's strikes by final class (raw, unweighted);
+	// Planned and Stopped report the sequential stopping rule's verdict
+	// when the campaign set a target margin (Sims is then the truncated
+	// strike count).
+	Counts  map[fault.Class]int `json:"counts,omitempty"`
+	Planned int                 `json:"planned,omitempty"`
+	Stopped bool                `json:"stopped,omitempty"`
 }
 
 // ShardMeta carries the deterministic per-workload constants the
@@ -55,7 +62,11 @@ type ShardRunner struct {
 	// Ctx is stamped onto every strike record the chain emits
 	// (campaign/shard/node/span); the campaign-service worker sets it per
 	// assignment. The zero context stamps nothing.
-	Ctx     obs.TraceContext
+	Ctx obs.TraceContext
+	// Conv, when set, receives the chains' streaming convergence
+	// estimates (the campaign-service worker shares one registry across
+	// its runners and ships the snapshots in telemetry batches).
+	Conv    *obs.ConvRegistry
 	benches map[string]*shardBench
 }
 
@@ -97,13 +108,21 @@ func (r *ShardRunner) RunShard(spec bench.Spec, comp int) (*ChainOutcome, ShardM
 	if comp < 0 || comp >= len(comps) {
 		return nil, ShardMeta{}, fmt.Errorf("beam: chain shard %d out of component range [0,%d)", comp, len(comps))
 	}
-	pr := runChain(r.cfg, b.wb, spec, comps[comp], b.perComp, b.res.Fluence, nil, 0, r.Worker, r.Ctx)
+	pr := runChain(r.cfg, b.wb, spec, comps[comp], b.perComp, b.res.Fluence, r.Conv, nil, 0, r.Worker, r.Ctx)
 	out := &ChainOutcome{
 		Events:             pr.events,
 		Masked:             pr.masked,
 		Sims:               pr.sims,
 		TotalMismatches:    pr.totalMismatches,
 		WeightedMismatches: pr.weightedMismatches,
+		Counts:             make(map[fault.Class]int, fault.NumClasses),
+		Planned:            pr.planned,
+		Stopped:            pr.stopped,
+	}
+	for _, cls := range fault.Classes() {
+		if n := pr.counts[int(cls)-1]; n > 0 {
+			out.Counts[cls] = n
+		}
 	}
 	return out, r.meta(b), nil
 }
@@ -148,6 +167,7 @@ func AssembleWorkload(cfg Config, workload string, meta ShardMeta, chains []*Cha
 		CacheSlack:    meta.CacheSlack,
 		Events:        make(map[fault.Class]float64, fault.NumClasses),
 		ModeledEvents: make(map[fault.Class]float64, fault.NumClasses),
+		StrikeCounts:  make(map[fault.Class]int, fault.NumClasses),
 	}
 	partial := make([]chainResult, len(chains))
 	for i, c := range chains {
@@ -160,6 +180,11 @@ func AssembleWorkload(cfg Config, workload string, meta ShardMeta, chains []*Cha
 			sims:               c.Sims,
 			totalMismatches:    c.TotalMismatches,
 			weightedMismatches: c.WeightedMismatches,
+			planned:            c.Planned,
+			stopped:            c.Stopped,
+		}
+		for _, cls := range fault.Classes() {
+			partial[i].counts[int(cls)-1] = c.Counts[cls]
 		}
 		if partial[i].events == nil {
 			partial[i].events = make(map[fault.Class]float64)

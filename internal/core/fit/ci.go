@@ -1,0 +1,140 @@
+// Confidence intervals on the Figure 6-10 FIT comparisons, and the
+// significance verdict they support: the paper argues the two
+// methodologies agree, but a ratio alone cannot say whether a gap is
+// statistical noise or a real disagreement. Each side gets the interval
+// matching its sampling model — Wilson on the injection side (binomial
+// class fractions per component) and exact Poisson on the beam side
+// (discrete error events over a fixed fluence) — propagated through the
+// same FIT conversions as the point estimates.
+
+package fit
+
+import (
+	"fmt"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/stats"
+)
+
+// Interval is a two-sided confidence interval on a FIT rate.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Overlaps reports whether two intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo <= o.Hi && o.Lo <= iv.Hi
+}
+
+// Verdict classifies one beam-vs-injection comparison.
+type Verdict string
+
+const (
+	// VerdictConsistent: the intervals overlap — the observed FIT gap is
+	// within statistical noise at the chosen confidence.
+	VerdictConsistent Verdict = "consistent"
+	// VerdictBeamHigher / VerdictInjectionHigher: the intervals are
+	// disjoint — a significant methodological disagreement, the beam
+	// (resp. injection) estimate being the larger.
+	VerdictBeamHigher      Verdict = "beam significantly higher"
+	VerdictInjectionHigher Verdict = "injection significantly higher"
+	// VerdictNone: no intervals were computed for the class.
+	VerdictNone Verdict = ""
+)
+
+// CompareCI builds the per-workload comparison like Compare and
+// additionally fills both sides' per-class FIT confidence intervals at z
+// confidence (use stats.Z99/stats.Z95, or stats.ConfidenceZ).
+func CompareCI(b *beam.WorkloadResult, w *gefin.WorkloadResult, fitRawPerBit, z float64) Comparison {
+	inj := FromInjection(w, fitRawPerBit)
+	c := Compare(b, inj)
+	c.InjectionCI = injectionCI(w, fitRawPerBit, z)
+	c.BeamCI = beamCI(b, z)
+	return c
+}
+
+// Verdict judges one class: consistent when the two intervals overlap,
+// otherwise which methodology is significantly higher.
+func (c Comparison) Verdict(cls fault.Class) Verdict {
+	bi, ok1 := c.BeamCI[cls]
+	ii, ok2 := c.InjectionCI[cls]
+	if !ok1 || !ok2 {
+		return VerdictNone
+	}
+	if bi.Overlaps(ii) {
+		return VerdictConsistent
+	}
+	if bi.Lo > ii.Hi {
+		return VerdictBeamHigher
+	}
+	return VerdictInjectionHigher
+}
+
+// injectionCI propagates each component's Wilson class-fraction interval
+// through the FIT conversion (FIT = FIT_raw x bits x fraction, linear in
+// the fraction) and sums the endpoints across components. Summing
+// endpoints is conservative — the components are independent campaigns,
+// so the true sum interval is narrower — which only ever softens a
+// significance verdict, never fabricates one.
+func injectionCI(w *gefin.WorkloadResult, fitRawPerBit, z float64) map[fault.Class]Interval {
+	out := make(map[fault.Class]Interval, fault.NumClasses)
+	for _, comp := range w.Components {
+		scale := fitRawPerBit * float64(comp.SizeBits)
+		for _, cls := range fault.ErrorClasses() {
+			lo, hi := stats.WilsonCI(comp.Counts[cls], comp.N, z)
+			iv := out[cls]
+			iv.Lo += scale * lo
+			iv.Hi += scale * hi
+			out[cls] = iv
+		}
+	}
+	return out
+}
+
+// beamCI puts an exact Poisson interval on each class's raw simulated
+// strike count and rescales it to FIT by the class's mean stratification
+// weight (ModeledEvents/StrikeCounts — zero-count classes borrow the
+// campaign-wide mean weight so their upper bound stays informative). The
+// platform-overlay contribution (Events minus ModeledEvents) is an
+// analytic expectation with no Monte-Carlo variance, so it shifts both
+// endpoints as a constant.
+func beamCI(b *beam.WorkloadResult, z float64) map[fault.Class]Interval {
+	if b.Fluence == 0 {
+		return nil
+	}
+	toFIT := beam.FluxNYC * beam.FITHours / b.Fluence
+
+	var sumW float64
+	var sumK int
+	for _, cls := range fault.Classes() {
+		sumW += b.ModeledEvents[cls]
+		sumK += b.StrikeCounts[cls]
+	}
+	meanW := 1.0
+	if sumK > 0 {
+		meanW = sumW / float64(sumK)
+	}
+
+	out := make(map[fault.Class]Interval, fault.NumClasses)
+	for _, cls := range fault.ErrorClasses() {
+		k := b.StrikeCounts[cls]
+		w := meanW
+		if k > 0 {
+			w = b.ModeledEvents[cls] / float64(k)
+		}
+		lo, hi := stats.PoissonCI(k, z)
+		overlay := (b.Events[cls] - b.ModeledEvents[cls]) * toFIT
+		out[cls] = Interval{
+			Lo: lo*w*toFIT + overlay,
+			Hi: hi*w*toFIT + overlay,
+		}
+	}
+	return out
+}
+
+// String renders an interval for the report tables.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.1f, %.1f]", iv.Lo, iv.Hi)
+}

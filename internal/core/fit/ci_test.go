@@ -1,0 +1,161 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/stats"
+)
+
+// fakeBeam builds a beam result whose modeled events carry a uniform
+// stratification weight, so the CI rescaling is easy to check by hand.
+func fakeBeam(weight float64, counts map[fault.Class]int) *beam.WorkloadResult {
+	bw := &beam.WorkloadResult{
+		Workload:      "w",
+		Fluence:       1e9,
+		Events:        make(map[fault.Class]float64),
+		ModeledEvents: make(map[fault.Class]float64),
+		StrikeCounts:  counts,
+	}
+	for cls, k := range counts {
+		bw.ModeledEvents[cls] = weight * float64(k)
+		bw.Events[cls] = bw.ModeledEvents[cls]
+	}
+	return bw
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{1, 3}
+	for _, c := range []struct {
+		b    Interval
+		want bool
+	}{
+		{Interval{2, 4}, true},
+		{Interval{3, 5}, true}, // shared endpoint counts as overlap
+		{Interval{3.01, 5}, false},
+		{Interval{0, 0.99}, false},
+		{Interval{0, 1}, true},
+		{Interval{1.5, 2.5}, true}, // containment
+	} {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v vs %v", a, c.b)
+		}
+	}
+}
+
+// TestCompareCIIntervalsBracket checks both sides' intervals bracket
+// their own point estimates and that equal campaigns judge consistent.
+func TestCompareCIIntervalsBracket(t *testing.T) {
+	w := fakeWorkload()
+	inj := FromInjection(w, 0.001)
+	// A beam campaign tuned to land near the injection estimates: modeled
+	// weights chosen so FIT = events/fluence*13e9 matches PerClass.
+	counts := map[fault.Class]int{
+		fault.ClassSDC: 40, fault.ClassAppCrash: 30, fault.ClassSysCrash: 20,
+	}
+	bw := fakeBeam(1e-6, counts)
+	for cls, k := range counts {
+		// Rescale each class's weight so the point estimate equals the
+		// injection FIT exactly.
+		want := inj.PerClass[cls] * bw.Fluence / (beam.FluxNYC * beam.FITHours)
+		bw.ModeledEvents[cls] = want
+		bw.Events[cls] = want
+		_ = k
+	}
+	c := CompareCI(bw, w, 0.001, stats.Z95)
+	for _, cls := range fault.ErrorClasses() {
+		bi, ii := c.BeamCI[cls], c.InjectionCI[cls]
+		if bi.Lo > c.Beam[cls] || bi.Hi < c.Beam[cls] {
+			t.Errorf("%v: beam CI %v does not bracket %.3f", cls, bi, c.Beam[cls])
+		}
+		if ii.Lo > c.Injection[cls] || ii.Hi < c.Injection[cls] {
+			t.Errorf("%v: injection CI %v does not bracket %.3f", cls, ii, c.Injection[cls])
+		}
+		if v := c.Verdict(cls); v != VerdictConsistent {
+			t.Errorf("%v: equal-FIT campaigns judged %q, want consistent", cls, v)
+		}
+	}
+}
+
+// TestVerdictDirections drives the beam estimate far above and far below
+// the injection interval and checks the verdict direction flips.
+func TestVerdictDirections(t *testing.T) {
+	w := fakeWorkload()
+	hot := fakeBeam(1.0, map[fault.Class]int{fault.ClassSDC: 400})
+	c := CompareCI(hot, w, 0.001, stats.Z95)
+	if v := c.Verdict(fault.ClassSDC); v != VerdictBeamHigher {
+		t.Errorf("hot beam verdict = %q, want %q", v, VerdictBeamHigher)
+	}
+	// A tiny but precise beam rate far below the injection interval.
+	cold := fakeBeam(1e-12, map[fault.Class]int{fault.ClassSDC: 10000})
+	c = CompareCI(cold, w, 0.001, stats.Z95)
+	if v := c.Verdict(fault.ClassSDC); v != VerdictInjectionHigher {
+		t.Errorf("cold beam verdict = %q, want %q", v, VerdictInjectionHigher)
+	}
+	// Plain Compare carries no intervals: verdicts must be VerdictNone.
+	plain := Compare(hot, FromInjection(w, 0.001))
+	if v := plain.Verdict(fault.ClassSDC); v != VerdictNone {
+		t.Errorf("interval-free verdict = %q, want none", v)
+	}
+}
+
+// TestInjectionCISumsComponents pins the conservative endpoint-sum
+// construction: the workload interval is the FIT-scaled sum of the
+// component Wilson intervals.
+func TestInjectionCISumsComponents(t *testing.T) {
+	w := fakeWorkload()
+	ci := injectionCI(w, 0.001, stats.Z95)
+	var wantLo, wantHi float64
+	for _, comp := range w.Components {
+		lo, hi := stats.WilsonCI(comp.Counts[fault.ClassSDC], comp.N, stats.Z95)
+		wantLo += 0.001 * float64(comp.SizeBits) * lo
+		wantHi += 0.001 * float64(comp.SizeBits) * hi
+	}
+	got := ci[fault.ClassSDC]
+	if math.Abs(got.Lo-wantLo) > 1e-12 || math.Abs(got.Hi-wantHi) > 1e-12 {
+		t.Errorf("SDC interval %v, want [%v, %v]", got, wantLo, wantHi)
+	}
+}
+
+// TestBeamCIZeroCount: a class with no observed strikes still gets an
+// informative upper bound via the campaign-wide mean weight.
+func TestBeamCIZeroCount(t *testing.T) {
+	bw := fakeBeam(2e-6, map[fault.Class]int{fault.ClassSDC: 50})
+	ci := beamCI(bw, stats.Z95)
+	app := ci[fault.ClassAppCrash]
+	if app.Lo != 0 {
+		t.Errorf("zero-count lo = %v, want 0", app.Lo)
+	}
+	if app.Hi <= 0 {
+		t.Errorf("zero-count hi = %v, want > 0", app.Hi)
+	}
+	// hi = PoissonCI(0) upper x mean weight x FIT conversion.
+	_, hi0 := stats.PoissonCI(0, stats.Z95)
+	want := hi0 * 2e-6 * beam.FluxNYC * beam.FITHours / bw.Fluence
+	if math.Abs(app.Hi-want) > 1e-9*want {
+		t.Errorf("zero-count hi = %v, want %v", app.Hi, want)
+	}
+}
+
+// TestBeamCIOverlayShiftsConstant: the analytic platform-overlay events
+// shift both endpoints without widening the interval.
+func TestBeamCIOverlayShiftsConstant(t *testing.T) {
+	base := fakeBeam(1e-6, map[fault.Class]int{fault.ClassSysCrash: 30})
+	plain := beamCI(base, stats.Z95)[fault.ClassSysCrash]
+
+	shifted := fakeBeam(1e-6, map[fault.Class]int{fault.ClassSysCrash: 30})
+	shifted.Events[fault.ClassSysCrash] += 5e-5 // overlay expectation
+	withOverlay := beamCI(shifted, stats.Z95)[fault.ClassSysCrash]
+
+	off := 5e-5 * beam.FluxNYC * beam.FITHours / base.Fluence
+	if math.Abs((withOverlay.Lo-plain.Lo)-off) > 1e-9 ||
+		math.Abs((withOverlay.Hi-plain.Hi)-off) > 1e-9 {
+		t.Errorf("overlay shifted [%v, %v] -> [%v, %v], want constant +%v",
+			plain.Lo, plain.Hi, withOverlay.Lo, withOverlay.Hi, off)
+	}
+}

@@ -80,6 +80,11 @@ type Comparison struct {
 	Workload  string
 	Beam      map[fault.Class]float64
 	Injection map[fault.Class]float64
+	// BeamCI and InjectionCI are optional per-class FIT confidence
+	// intervals — Poisson on the beam side, Wilson on the injection side.
+	// Compare leaves them nil; CompareCI fills them.
+	BeamCI      map[fault.Class]Interval `json:",omitempty"`
+	InjectionCI map[fault.Class]Interval `json:",omitempty"`
 }
 
 // Compare builds the per-workload comparison from a beam result and an

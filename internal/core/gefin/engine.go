@@ -190,8 +190,12 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 // aggregate folds per-plan-slot outcomes into the workload result, always
 // in plan order (components outer, injections inner), so the aggregation
 // is identical whether the outcomes were produced by one process or
-// assembled from shards executed on many nodes.
-func aggregate(cfg Config, workload string, goldenCycles, goldenInstrs uint64, sizes []uint64, outcomes []outcome) *WorkloadResult {
+// assembled from shards executed on many nodes. cuts (nil for the full
+// plan) truncates each component to its sequential-stopping prefix:
+// slots at or past a component's cut are discarded — including outcomes
+// workers raced past the cut before it committed — so the truncated
+// aggregation is a pure function of the plan-order prefix.
+func aggregate(cfg Config, workload string, goldenCycles, goldenInstrs uint64, sizes []uint64, outcomes []outcome, cuts []int) *WorkloadResult {
 	out := &WorkloadResult{
 		Workload:     workload,
 		Scale:        cfg.Scale,
@@ -199,17 +203,25 @@ func aggregate(cfg Config, workload string, goldenCycles, goldenInstrs uint64, s
 		GoldenInstrs: goldenInstrs,
 	}
 	for ci, comp := range cfg.Components {
+		n := cfg.FaultsPerComponent
+		if cuts != nil {
+			n = cuts[ci]
+		}
 		out.Components = append(out.Components, ComponentResult{
 			Comp:         comp,
 			SizeBits:     sizes[ci],
-			N:            cfg.FaultsPerComponent,
+			N:            n,
 			Counts:       make(map[fault.Class]int, fault.NumClasses),
 			ValidStruck:  make(map[fault.Class]int, fault.NumClasses),
 			KernelStruck: make(map[fault.Class]int, fault.NumClasses),
 		})
 	}
 	for i, o := range outcomes {
-		res := &out.Components[i/cfg.FaultsPerComponent]
+		ci := i / cfg.FaultsPerComponent
+		if cuts != nil && i%cfg.FaultsPerComponent >= cuts[ci] {
+			continue
+		}
+		res := &out.Components[ci]
 		res.Counts[o.class]++
 		if o.valid {
 			res.ValidStruck[o.class]++
@@ -224,14 +236,20 @@ func aggregate(cfg Config, workload string, goldenCycles, goldenInstrs uint64, s
 // runWorkload builds the workload's primary workbench, pre-draws the fault
 // plan, and executes it across the primary plus as many clone workbenches
 // as the pool grants. With pruning on it also returns the workload's
-// predicted/simulated split (nil otherwise).
-func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, *PruneSummary, error) {
+// predicted/simulated split; with a target margin, the sequential
+// stopping summary (nil otherwise).
+func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, *PruneSummary, *StopSummary, error) {
 	wb, err := prepareWorkbench(cfg, spec)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	plan, sizes := planFor(cfg, wb, spec.Name)
 	em.addTotal(len(plan))
+
+	// The commit controller streams plan-order tallies into the
+	// convergence estimators and, with a target margin set, decides each
+	// component's truncation point. Nil when neither is wanted.
+	sc := newStopController(cfg, spec.Name, len(plan), obs.TraceContext{})
 
 	// Pre-filter: classify the whole plan against the liveness log before
 	// any simulation. Decided slots resolve to their predicted outcome
@@ -281,7 +299,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			for range clones {
 				pool.Release()
 			}
-			return nil, nil, fmt.Errorf("gefin: %w", err)
+			return nil, nil, nil, fmt.Errorf("gefin: %w", err)
 		}
 		clones = append(clones, clone)
 	}
@@ -292,10 +310,11 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	// fill their outcomes, trace them as predicted, and tick progress.
 	if pp != nil && !cfg.PruneVerify {
 		for i := range plan {
-			if !pp.decided[i] {
+			if !pp.decided[i] || sc.skip(i) {
 				continue
 			}
 			outcomes[i] = pp.outcome(i)
+			sc.commit(i, outcomes[i].class)
 			pp.emit(cfg, wb, spec.Name, i, plan[i], 0, obs.TraceContext{})
 			em.tick(spec.Name, cfg.Components[plan[i].comp], cfg.FaultsPerComponent)
 		}
@@ -335,9 +354,13 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			b := batches[n]
 			for k := b.lo; k < b.hi; k++ {
 				i := order[k]
+				if sc.skip(i) {
+					continue
+				}
 				p := plan[i]
 				o := execPlanned(execCfg, w, spec.Name, probe, p, worker, obs.TraceContext{})
 				outcomes[i] = o
+				sc.commit(i, o.class)
 				if pp != nil && cfg.PruneVerify && pp.decided[i] {
 					if msg := pruneMismatch(p, pp.preds[i], o); msg != "" {
 						mismatchMu.Lock()
@@ -364,19 +387,35 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	drain(0, wb) // the caller's own slot drives the primary
 	wg.Wait()
 
+	stop := sc.finish()
+	cuts := sc.cuts()
+
 	var summary *PruneSummary
 	if pp != nil {
 		pp.summary.Simulated = len(order)
+		if cuts != nil && !cfg.StopShadow {
+			// Early stopping truncates the execution order; report the
+			// deterministic truncated count (slots within the cuts), not
+			// however many slots workers raced past the cut before it
+			// committed.
+			sim := 0
+			for _, i := range order {
+				if i%cfg.FaultsPerComponent < cuts[i/cfg.FaultsPerComponent] {
+					sim++
+				}
+			}
+			pp.summary.Simulated = sim
+		}
 		if cfg.PruneVerify {
 			pp.summary.Verified = pp.summary.Predicted
 		}
 		summary = &pp.summary
 		if len(mismatches) > 0 {
-			return nil, summary, fmt.Errorf("gefin: prune-verify: %d predicted verdicts disagree with simulation on %s (first: %s)",
+			return nil, summary, nil, fmt.Errorf("gefin: prune-verify: %d predicted verdicts disagree with simulation on %s (first: %s)",
 				pp.summary.Mismatches, spec.Name, mismatches[0])
 		}
 	}
-	return aggregate(cfg, spec.Name, wb.Golden.Cycles, wb.Golden.Instructions, sizes, outcomes), summary, nil
+	return aggregate(cfg, spec.Name, wb.Golden.Cycles, wb.Golden.Instructions, sizes, outcomes, cuts), summary, stop, nil
 }
 
 // emitter adapts the shared meter to gefin progress events, adding the

@@ -82,6 +82,32 @@ type Config struct {
 	// the campaign. Slow — the cross-validation harness for Prune; implies
 	// Prune.
 	PruneVerify bool
+	// TargetMargin enables deterministic sequential early stopping: the
+	// engine streams per-(component, outcome-class) estimates over the
+	// committed plan-order prefix and truncates each component's plan at
+	// the first check boundary where every class estimator's Wilson
+	// half-width — at an alpha-spending-corrected confidence, so repeated
+	// looks stay honest — is at or below this margin. The truncation
+	// point is a pure function of the plan-order outcome prefix, so a
+	// stopped Result is byte-identical across worker counts and to the
+	// matching plan-order prefix of a full run. Zero (the default)
+	// disables stopping.
+	TargetMargin float64
+	// Confidence is the two-sided level for the stopping rule and for
+	// reported margins (zero defaults to 0.99, the paper's level).
+	Confidence float64
+	// StopCheckEvery is the plan-order check-boundary spacing: the
+	// sequential rule is evaluated each time a component's committed
+	// prefix grows by this many injections. Zero picks
+	// DefaultStopCheckEvery. Part of the determinism surface — the same
+	// value must be used to reproduce a stopped Result.
+	StopCheckEvery int
+	// StopShadow executes the entire plan while still computing the
+	// sequential cuts, then emits the truncated aggregation: the
+	// Workloads of a shadow run are byte-identical to a genuinely
+	// stopped run's, which is how CI cross-checks the prefix property
+	// without trusting the stop path itself.
+	StopShadow bool
 	// Provenance attaches a propagation-provenance probe to every
 	// injection: the struck location is tainted at flip time, the memory
 	// and CPU models report its lifecycle (first consuming read,
@@ -114,6 +140,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PruneVerify {
 		c.Prune = true
+	}
+	if c.TargetMargin > 0 || c.StopShadow {
+		// Pin the stop rule's full determinism surface into the config, so
+		// a serialized manifest reproduces the identical cuts.
+		if c.Confidence == 0 {
+			c.Confidence = 0.99
+		}
+		if c.StopCheckEvery == 0 {
+			c.StopCheckEvery = DefaultStopCheckEvery
+		}
 	}
 	if c.LadderDebug {
 		// One-way: never cleared here, so concurrent campaigns with the
@@ -252,6 +288,11 @@ type Result struct {
 	// campaigns only; nil otherwise). Deliberately outside Workloads,
 	// which stay byte-identical with pruning on or off.
 	Prune *PruneSummary `json:",omitempty"`
+	// Stop summarises the sequential stopping rule's cuts and achieved
+	// margins (campaigns with TargetMargin set only; nil otherwise).
+	// Also outside Workloads, which stay byte-identical to the matching
+	// plan-order prefix of a full run.
+	Stop *StopSummary `json:",omitempty"`
 }
 
 // Workload returns a workload's result by name.
@@ -298,7 +339,7 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 	// only the extra-worker slots.
 	pool := sched.NewPool(cfg.Workers - 1)
 	cfg.Obs.ObservePool(pool)
-	res, _, err := runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
+	res, _, _, err := runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
 	return res, err
 }
 
@@ -312,6 +353,7 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 	em := newEmitter(progress, cfg.Obs)
 	results := make([]*WorkloadResult, len(specs))
 	prunes := make([]*PruneSummary, len(specs))
+	stops := make([]*StopSummary, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for i, spec := range specs {
@@ -320,7 +362,7 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 			defer wg.Done()
 			pool.Acquire() // the workload's primary worker slot
 			defer pool.Release()
-			results[i], prunes[i], errs[i] = runWorkload(cfg, spec, pool, em)
+			results[i], prunes[i], stops[i], errs[i] = runWorkload(cfg, spec, pool, em)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -339,6 +381,14 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 			total.merge(p)
 		}
 		res.Prune = total
+	}
+	// The stop summary merges in spec order too, for the same reason.
+	if cfg.TargetMargin > 0 {
+		total := &StopSummary{}
+		for _, s := range stops {
+			total.merge(s)
+		}
+		res.Stop = total
 	}
 	return res, nil
 }

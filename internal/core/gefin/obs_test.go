@@ -88,6 +88,9 @@ func TestTraceStrikeContext(t *testing.T) {
 	valid := make(map[fault.Component]map[fault.Class]int)
 	kernel := make(map[fault.Component]map[fault.Class]int)
 	for _, rec := range recs {
+		if rec.Kind != obs.KindInjection {
+			continue // convergence records stream alongside injections
+		}
 		if rec.ExecCycles == 0 {
 			t.Fatalf("record without execution cycles: %+v", rec)
 		}

@@ -113,6 +113,9 @@ func TestProvenanceRecordFields(t *testing.T) {
 	}
 	reads := 0
 	for _, rec := range recs {
+		if rec.Kind != obs.KindInjection {
+			continue // convergence records stream alongside injections
+		}
 		m, ok := fault.MechanismByName(rec.Mechanism)
 		if !ok {
 			t.Fatalf("record carries unknown mechanism %q", rec.Mechanism)

@@ -53,6 +53,15 @@ func PlanLen(cfg Config) int {
 	return len(cfg.Components) * cfg.FaultsPerComponent
 }
 
+// PlanComponents returns the normalised component list and per-component
+// sample size of the Config's plan: slot i targets component
+// i/perComp in this order. Convergence tallies outside the engine (the
+// campaign-service worker) use it to map plan slots back to estimators.
+func PlanComponents(cfg Config) (comps []fault.Component, perComp int) {
+	cfg = cfg.withDefaults()
+	return cfg.Components, cfg.FaultsPerComponent
+}
+
 // ShardRunner executes plan shards for one campaign Config, caching one
 // prepared workbench (boot + golden run + optional checkpoint ladder)
 // per workload so consecutive shards of the same workload pay no setup.
@@ -218,5 +227,5 @@ func AssembleWorkload(cfg Config, workload string, meta ShardMeta, outs []ShardO
 	for i, o := range outs {
 		outcomes[i] = outcome{class: o.Class, valid: o.Valid, kernel: o.Kernel}
 	}
-	return aggregate(cfg, workload, meta.GoldenCycles, meta.GoldenInstrs, meta.SizeBits, outcomes), nil
+	return aggregate(cfg, workload, meta.GoldenCycles, meta.GoldenInstrs, meta.SizeBits, outcomes, nil), nil
 }

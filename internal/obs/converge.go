@@ -1,0 +1,172 @@
+// Statistical-convergence observability: a registry of streaming
+// binomial estimators — one per (workload, component, outcome class) —
+// that the campaign engines feed from their serialized plan-order
+// tallies (predicted and simulated verdicts both count). Snapshots flow
+// out three ways: periodic KindConvergence trace records, the
+// armsefi_avf / armsefi_margin gauges, and (through the telemetry
+// shipper) the coordinator's per-campaign merged convergence view.
+
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/stats"
+)
+
+// ConvKey identifies one streaming estimator.
+type ConvKey struct {
+	Workload string          `json:"workload"`
+	Comp     fault.Component `json:"comp"`
+	Class    fault.Class     `json:"class"`
+}
+
+// ConvSnapshot is one estimator's state at a look: the running class
+// fraction over the committed plan-order prefix, its Wilson half-width
+// at the campaign's confidence, and the sequential-stopping state. The
+// Masked-class snapshot doubles as the AVF estimator — AVF = 1 - Est
+// with the identical margin (the Wilson half-width is symmetric under
+// k -> n-k).
+type ConvSnapshot struct {
+	ConvKey
+	// K successes in N committed trials out of Planned drawn.
+	K       int `json:"k"`
+	N       int `json:"n"`
+	Planned int `json:"planned"`
+	// Est is K/N; Margin the Wilson half-width at the rule's confidence.
+	Est    float64 `json:"est"`
+	Margin float64 `json:"margin"`
+	// Look is the sequential look index the estimator last evaluated at;
+	// Met reports whether Margin is at or below the target; Stopped
+	// whether the component has been truncated by the stopping rule.
+	Look    int  `json:"look"`
+	Met     bool `json:"met,omitempty"`
+	Stopped bool `json:"stopped,omitempty"`
+}
+
+// ConvRegistry is the estimator registry of one campaign run. Engines
+// feed it from their serialized plan-order commit paths; readers pull
+// deterministic sorted snapshots for traces, gauges, and telemetry.
+type ConvRegistry struct {
+	rule stats.SeqRule
+
+	mu   sync.Mutex
+	est  map[ConvKey]*ConvSnapshot
+	keys []ConvKey
+}
+
+// NewConvRegistry builds a registry judging margins under rule.
+func NewConvRegistry(rule stats.SeqRule) *ConvRegistry {
+	return &ConvRegistry{rule: rule, est: make(map[ConvKey]*ConvSnapshot)}
+}
+
+// Rule returns the registry's stopping rule.
+func (r *ConvRegistry) Rule() stats.SeqRule {
+	if r == nil {
+		return stats.SeqRule{}
+	}
+	return r.rule
+}
+
+// Update records one estimator's plan-order tally — k occurrences of the
+// key's class in the first n committed slots of planned — and returns
+// the estimator's refreshed snapshot. Safe on a nil registry (campaigns
+// without convergence tracking pay nothing).
+func (r *ConvRegistry) Update(key ConvKey, k, n, planned, look int, stopped bool) ConvSnapshot {
+	if r == nil {
+		return ConvSnapshot{ConvKey: key}
+	}
+	margin := r.rule.Margin(k, n)
+	est := 0.0
+	if n > 0 {
+		est = float64(k) / float64(n)
+	}
+	r.mu.Lock()
+	s, ok := r.est[key]
+	if !ok {
+		s = &ConvSnapshot{ConvKey: key}
+		r.est[key] = s
+		r.keys = append(r.keys, key)
+	}
+	s.K, s.N, s.Planned, s.Look = k, n, planned, look
+	s.Est, s.Margin = est, margin
+	s.Met = r.rule.Enabled() && margin <= r.rule.TargetMargin
+	s.Stopped = stopped
+	snap := *s
+	r.mu.Unlock()
+	return snap
+}
+
+// Snapshots returns every estimator's latest state, sorted by workload,
+// component, class — a deterministic order for traces and tables.
+func (r *ConvRegistry) Snapshots() []ConvSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]ConvSnapshot, 0, len(r.keys))
+	for _, k := range r.keys {
+		out = append(out, *r.est[k])
+	}
+	r.mu.Unlock()
+	SortConvSnapshots(out)
+	return out
+}
+
+// SortConvSnapshots orders snapshots by workload, component, class —
+// the canonical order of convergence tables and merged views.
+func SortConvSnapshots(s []ConvSnapshot) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Workload != s[j].Workload {
+			return s[i].Workload < s[j].Workload
+		}
+		if s[i].Comp != s[j].Comp {
+			return s[i].Comp < s[j].Comp
+		}
+		return s[i].Class < s[j].Class
+	})
+}
+
+// Convergence publishes a batch of estimator snapshots: one
+// KindConvergence trace record per snapshot (stamped with tc) plus the
+// armsefi_avf{workload,comp} and armsefi_margin{workload,comp,class}
+// gauges. The AVF gauge is fed from the Masked-class snapshot (AVF is
+// its complement); the margin gauge covers every class.
+func (o *Observer) Convergence(snaps []ConvSnapshot, tc TraceContext) {
+	if o == nil || len(snaps) == 0 {
+		return
+	}
+	now := time.Now()
+	for _, s := range snaps {
+		if s.Class == fault.ClassMasked {
+			o.reg.Gauge("armsefi_avf",
+				"running AVF estimate over the committed plan-order prefix",
+				"workload", s.Workload, "comp", s.Comp.String()).Set(1 - s.Est)
+		}
+		o.reg.Gauge("armsefi_margin",
+			"confidence-interval half-width of the running class-fraction estimate",
+			"workload", s.Workload, "comp", s.Comp.String(), "class", s.Class.String()).Set(s.Margin)
+		if o.trace != nil {
+			rec := Record{
+				Kind:     KindConvergence,
+				Workload: s.Workload,
+				Comp:     s.Comp,
+				Class:    s.Class,
+				K:        s.K,
+				N:        s.N,
+				Planned:  s.Planned,
+				Est:      s.Est,
+				Margin:   s.Margin,
+				Look:     s.Look,
+				Met:      s.Met,
+				Stopped:  s.Stopped,
+				StartNS:  now.Sub(o.epoch).Nanoseconds(),
+			}
+			tc.Stamp(&rec)
+			o.trace.Emit(&rec)
+		}
+	}
+}

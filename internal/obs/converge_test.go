@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/stats"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test", "", []float64{1, 2, 4, 8})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	// 10 samples in (1,2], 10 in (2,4].
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	// Median rank = 10 lands exactly at the top of the (1,2] bucket.
+	if got := h.Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	// Rank 15 is halfway through the (2,4] bucket: 2 + 2*(5/10) = 3.
+	if got := h.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Quantile(0.75) = %v, want 3", got)
+	}
+	// Rank 5 is halfway through the (0,1]..(1,2]? No: first bucket (le=1)
+	// is empty, so rank 5 interpolates inside (1,2]: 1 + 1*(5/10) = 1.5.
+	if got := h.Quantile(0.25); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Quantile(0.25) = %v, want 1.5", got)
+	}
+	// Quantiles are monotone in q and clamped to [0,1].
+	prev := h.Quantile(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev-1e-12 {
+			t.Fatalf("quantile not monotone at q=%f: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("out-of-range q must clamp")
+	}
+}
+
+func TestHistogramQuantileOverflow(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_overflow", "", []float64{1, 2})
+	h.Observe(100) // lands in +Inf
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to last bound 2", got)
+	}
+}
+
+func TestConvRegistry(t *testing.T) {
+	rule := stats.SeqRule{TargetMargin: 0.04, Confidence: 0.99}
+	r := NewConvRegistry(rule)
+	key := ConvKey{Workload: "crc32", Comp: fault.CompRegFile, Class: fault.ClassMasked}
+	r.Update(key, 90, 100, 1000, 2, false)
+	snaps := r.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	s := snaps[0]
+	if s.K != 90 || s.N != 100 || s.Planned != 1000 || s.Look != 2 {
+		t.Errorf("snapshot tallies = %+v", s)
+	}
+	if math.Abs(s.Est-0.9) > 1e-12 {
+		t.Errorf("Est = %v", s.Est)
+	}
+	wLo, wHi := stats.WilsonCI(90, 100, stats.Z99)
+	if math.Abs(s.Margin-(wHi-wLo)/2) > 1e-12 {
+		t.Errorf("Margin = %v, want Wilson half-width %v", s.Margin, (wHi-wLo)/2)
+	}
+	if s.Met {
+		t.Error("half-width 0.079 at n=100 must not meet a 4% margin")
+	}
+	// Updates overwrite in place; a second key sorts after the first.
+	r.Update(key, 900, 1000, 1000, 5, true)
+	r.Update(ConvKey{Workload: "crc32", Comp: fault.CompRegFile, Class: fault.ClassSDC}, 50, 1000, 1000, 5, true)
+	snaps = r.Snapshots()
+	if len(snaps) != 2 || snaps[0].Class != fault.ClassMasked || !snaps[0].Stopped {
+		t.Errorf("snapshots = %+v", snaps)
+	}
+	if snaps[0].N != 1000 || snaps[0].Look != 5 {
+		t.Errorf("update did not overwrite: %+v", snaps[0])
+	}
+	// Nil registry is a no-op.
+	var nilReg *ConvRegistry
+	nilReg.Update(key, 1, 1, 1, 1, false)
+	if nilReg.Snapshots() != nil {
+		t.Error("nil registry must return nil snapshots")
+	}
+	if nilReg.Rule().Enabled() {
+		t.Error("nil registry rule must be disabled")
+	}
+}
+
+func TestObserverConvergence(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Options{TraceWriter: &buf})
+	snaps := []ConvSnapshot{
+		{
+			ConvKey: ConvKey{Workload: "crc32", Comp: fault.CompL1D, Class: fault.ClassMasked},
+			K:       80, N: 100, Planned: 1000, Est: 0.8, Margin: 0.1, Look: 1,
+		},
+		{
+			ConvKey: ConvKey{Workload: "crc32", Comp: fault.CompL1D, Class: fault.ClassSDC},
+			K:       5, N: 100, Planned: 1000, Est: 0.05, Margin: 0.06, Look: 1,
+		},
+	}
+	o.Convergence(snaps, TraceContext{Campaign: "c1", Shard: 2, Node: "n1", Span: 7})
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ReadSummary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Kind(KindConvergence).Records; got != 2 {
+		t.Fatalf("convergence records = %d, want 2", got)
+	}
+	last := sum.LastConv()
+	if len(last) != 2 {
+		t.Fatalf("LastConv = %d entries", len(last))
+	}
+	if last[0].Class != fault.ClassMasked || last[0].K != 80 || last[0].Est != 0.8 {
+		t.Errorf("LastConv[0] = %+v", last[0])
+	}
+	// Records carry the trace context.
+	recs, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Campaign != "c1" || rec.Node != "n1" || rec.Span != 7 {
+			t.Errorf("record missing trace context: %+v", rec)
+		}
+	}
+	// Gauges: armsefi_avf from the Masked snapshot, armsefi_margin per class.
+	var prom strings.Builder
+	if err := o.Registry().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	if !strings.Contains(text, `armsefi_avf{workload="crc32",comp="l1d"} 0.19`) {
+		t.Errorf("missing AVF gauge in:\n%s", text)
+	}
+	if !strings.Contains(text, `armsefi_margin{workload="crc32",comp="l1d",class="SDC"} 0.06`) {
+		t.Errorf("missing margin gauge in:\n%s", text)
+	}
+	// Nil observer no-op.
+	var nilObs *Observer
+	nilObs.Convergence(snaps, TraceContext{})
+}
+
+func TestConvergenceRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Options{TraceWriter: &buf})
+	// An injection record emitted alongside convergence records must stay
+	// free of the convergence-only JSON fields.
+	o.Convergence([]ConvSnapshot{{
+		ConvKey: ConvKey{Workload: "w", Comp: fault.CompRegFile, Class: fault.ClassMasked},
+		K:       1, N: 2, Planned: 10, Est: 0.5, Margin: 0.3, Look: 1,
+	}}, TraceContext{})
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	for _, want := range []string{`"kind":"convergence"`, `"k":1`, `"n":2`, `"planned":10`, `"est":0.5`, `"margin":0.3`, `"look":1`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("trace line missing %s: %s", want, line)
+		}
+	}
+	for _, reject := range []string{`"met"`, `"stopped"`} {
+		if strings.Contains(line, reject) {
+			t.Errorf("zero-valued %s must be omitted: %s", reject, line)
+		}
+	}
+}

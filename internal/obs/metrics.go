@@ -95,6 +95,48 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-th quantile (0..1) of the observed
+// distribution by linear interpolation over the cumulative bucket
+// counts, Prometheus histogram_quantile style: the target rank is
+// located in its bucket, then interpolated linearly between the
+// bucket's bounds. Estimates in the overflow bucket clamp to the
+// highest finite bound; an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		prev := cum
+		cum += h.counts[i].Load()
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			in := h.counts[i].Load()
+			if in == 0 {
+				return b
+			}
+			frac := (rank - float64(prev)) / float64(in)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (b-lower)*frac
+		}
+	}
+	// Rank falls in the +Inf overflow bucket: clamp to the last bound.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

@@ -78,6 +78,10 @@ type Summary struct {
 	// Wall holds every record's wall duration (ns), sorted ascending —
 	// the source for latency quantiles.
 	Wall []int64
+	// Conv holds the KindConvergence records in sequence order; the last
+	// record per (workload, comp, class) is each estimator's final state
+	// (see LastConv).
+	Conv []Record
 }
 
 // Kind returns the summary for one record kind, never nil.
@@ -102,6 +106,32 @@ func (s *Summary) Component(kind, workload string, comp fault.Component) *Compon
 		Mechanisms:     map[fault.Mechanism]int{},
 		PredMechanisms: map[fault.Mechanism]int{},
 	}
+}
+
+// LastConv returns each convergence estimator's final state: the
+// highest-sequence KindConvergence record per (workload, comp, class),
+// in canonical snapshot order.
+func (s *Summary) LastConv() []ConvSnapshot {
+	last := make(map[ConvKey]ConvSnapshot)
+	var keys []ConvKey
+	for _, rec := range s.Conv { // Conv is already sequence-sorted
+		key := ConvKey{Workload: rec.Workload, Comp: rec.Comp, Class: rec.Class}
+		if _, ok := last[key]; !ok {
+			keys = append(keys, key)
+		}
+		last[key] = ConvSnapshot{
+			ConvKey: key,
+			K:       rec.K, N: rec.N, Planned: rec.Planned,
+			Est: rec.Est, Margin: rec.Margin,
+			Look: rec.Look, Met: rec.Met, Stopped: rec.Stopped,
+		}
+	}
+	out := make([]ConvSnapshot, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, last[k])
+	}
+	SortConvSnapshots(out)
+	return out
 }
 
 // WallQuantile returns the q-th latency quantile (0..1) in nanoseconds.
@@ -175,6 +205,9 @@ func Summarize(recs []Record) *Summary {
 		k.Records++
 		if rec.Event != "" {
 			k.Events[rec.Event]++
+		}
+		if rec.Kind == KindConvergence {
+			s.Conv = append(s.Conv, rec)
 		}
 		w, ok := k.Workloads[rec.Workload]
 		if !ok {

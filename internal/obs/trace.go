@@ -32,6 +32,12 @@ const (
 	// completed, requeued); the fault fields are zero and the Campaign /
 	// Shard / Node fields locate the event instead.
 	KindShard = "shard"
+	// KindConvergence marks a streaming statistical-convergence snapshot:
+	// one (workload, component, outcome-class) estimator's running
+	// estimate, confidence-interval half-width, and sequential-stopping
+	// state, emitted periodically while a campaign runs. The fault fields
+	// are zero; Est/Margin/K/N and friends carry the estimator state.
+	KindConvergence = "convergence"
 )
 
 // Record is one JSONL trace line: the full lifecycle of a single
@@ -122,6 +128,22 @@ type Record struct {
 	// converged back (ladder-enabled provenance runs only).
 	DivergedAt  uint64 `json:"diverged_at,omitempty"`
 	ConvergedAt uint64 `json:"converged_at,omitempty"`
+	// Est, Margin, K, N, Planned, Look, Met, and Stopped are
+	// KindConvergence extras: the estimator's running class fraction, its
+	// Wilson half-width at the campaign's confidence, the class tally and
+	// committed plan-order prefix it was computed from, the planned total,
+	// the sequential look index, whether the target margin is met, and
+	// whether the estimator's component has been truncated by the
+	// sequential stopping rule. All omitted when zero, so other record
+	// kinds round-trip byte-identically.
+	Est     float64 `json:"est,omitempty"`
+	Margin  float64 `json:"margin,omitempty"`
+	K       int     `json:"k,omitempty"`
+	N       int     `json:"n,omitempty"`
+	Planned int     `json:"planned,omitempty"`
+	Look    int     `json:"look,omitempty"`
+	Met     bool    `json:"met,omitempty"`
+	Stopped bool    `json:"stopped,omitempty"`
 }
 
 // TraceContext correlates the trace records of one distributed shard

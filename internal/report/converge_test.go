@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"armsefi/internal/core/beam"
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/fit"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+	"armsefi/internal/stats"
+)
+
+func TestStopInjectionTable(t *testing.T) {
+	out := StopInjection(&gefin.StopSummary{
+		TargetMargin: 0.05,
+		Confidence:   0.99,
+		Planned:      1200,
+		Executed:     450,
+		Saved:        750,
+		Components: []gefin.StopComponent{
+			{Workload: "crc32", Comp: fault.CompRegFile, Planned: 200, Executed: 50,
+				Looks: 1, Margin: 0.086, Stopped: true},
+			{Workload: "crc32", Comp: fault.CompDTLB, Planned: 200, Executed: 200,
+				Looks: 4, Margin: 0.061},
+		},
+	})
+	for _, frag := range []string{
+		"target ±0.05 at 99% confidence",
+		"450 of 1200 injections executed, 750 saved",
+		"regfile", "±0.086", "yes",
+		"dtlb", "±0.061",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("StopInjection missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestStopBeamTable(t *testing.T) {
+	out := StopBeam(&beam.StopSummary{
+		TargetMargin: 0.1,
+		Confidence:   0.95,
+		Planned:      60,
+		Executed:     40,
+		Saved:        20,
+		Shadow:       true,
+		Chains: []beam.StopChain{
+			{Workload: "qsort", Comp: fault.CompL1D, Planned: 30, Executed: 10,
+				Looks: 1, Margin: 0.09, Stopped: true},
+		},
+	})
+	for _, frag := range []string{
+		"target ±0.1 at 95% confidence",
+		"40 of 60 strikes executed, 20 saved",
+		"[shadow: full plan executed, cuts cross-checked]",
+		"qsort", "l1d", "±0.090",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("StopBeam missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestConvergenceTable(t *testing.T) {
+	snaps := []obs.ConvSnapshot{
+		{ConvKey: obs.ConvKey{Workload: "crc32", Comp: fault.CompRegFile, Class: fault.ClassMasked},
+			K: 48, N: 50, Planned: 200, Est: 0.96, Margin: 0.086, Look: 1, Met: true, Stopped: true},
+		{ConvKey: obs.ConvKey{Workload: "crc32", Comp: fault.CompRegFile, Class: fault.ClassSDC},
+			K: 1, N: 50, Planned: 200, Est: 0.02, Margin: 0.074, Look: 1, Met: true},
+	}
+	// With a target, the Met column renders; stopped estimators say so.
+	out := ConvergenceTable("Final", snaps, 0.1)
+	for _, frag := range []string{"Final", "Met", "stopped", "yes", "±0.086", "48/50"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ConvergenceTable missing %q:\n%s", frag, out)
+		}
+	}
+	// Without a target, no Met column.
+	out = ConvergenceTable("", snaps, 0)
+	if strings.Contains(out, "Met") {
+		t.Errorf("target-free table grew a Met column:\n%s", out)
+	}
+}
+
+func TestSignificanceTable(t *testing.T) {
+	w := &gefin.WorkloadResult{
+		Workload: "crc32",
+		Components: []gefin.ComponentResult{{
+			Comp: fault.CompL1D, SizeBits: 262144, N: 100,
+			Counts: map[fault.Class]int{fault.ClassMasked: 90, fault.ClassSDC: 10},
+		}},
+	}
+	bw := &beam.WorkloadResult{
+		Workload:      "crc32",
+		Fluence:       1e9,
+		Events:        map[fault.Class]float64{fault.ClassSDC: 1},
+		ModeledEvents: map[fault.Class]float64{fault.ClassSDC: 1},
+		StrikeCounts:  map[fault.Class]int{fault.ClassSDC: 20},
+	}
+	cmp := fit.CompareCI(bw, w, fit.DefaultFITRawPerBit, stats.Z95)
+	out := Significance([]fit.Comparison{cmp}, 0.95)
+	for _, frag := range []string{"95% confidence", "crc32", "SDC", "Verdict"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Significance missing %q:\n%s", frag, out)
+		}
+	}
+	// Interval-free comparisons render nothing.
+	plain := fit.Compare(bw, fit.FromInjection(w, fit.DefaultFITRawPerBit))
+	if got := Significance([]fit.Comparison{plain}, 0.95); got != "" {
+		t.Errorf("interval-free Significance = %q, want empty", got)
+	}
+}

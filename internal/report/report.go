@@ -14,6 +14,7 @@ import (
 	"armsefi/internal/core/fit"
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/cpu"
+	"armsefi/internal/obs"
 	"armsefi/internal/soc"
 	"armsefi/internal/stats"
 )
@@ -281,6 +282,37 @@ func Fig10(a fit.Aggregate) string {
 	return t.String()
 }
 
+// Significance renders the interval-overlap verdicts behind the Figure
+// 6-10 ratios: per workload x class, the beam FIT with its Poisson
+// interval, the injection FIT with its Wilson interval, and whether the
+// two agree at the chosen confidence. Comparisons without intervals
+// (built by fit.Compare rather than fit.CompareCI) are skipped.
+func Significance(cs []fit.Comparison, confidence float64) string {
+	t := Table{
+		Title: fmt.Sprintf("Beam vs injection significance at %.0f%% confidence (interval overlap)",
+			100*confidence),
+		Header: []string{"Benchmark", "Class", "Beam FIT (Poisson CI)", "Injection FIT (Wilson CI)", "Verdict"},
+	}
+	rows := 0
+	for _, c := range cs {
+		for _, cls := range fault.ErrorClasses() {
+			v := c.Verdict(cls)
+			if v == fit.VerdictNone {
+				continue
+			}
+			rows++
+			t.Add(c.Workload, cls.String(),
+				fmt.Sprintf("%.2f %s", c.Beam[cls], c.BeamCI[cls]),
+				fmt.Sprintf("%.2f %s", c.Injection[cls], c.InjectionCI[cls]),
+				string(v))
+		}
+	}
+	if rows == 0 {
+		return ""
+	}
+	return t.String()
+}
+
 // CounterDeviation renders the Section IV-D perf-counter comparison
 // between the two platform presets.
 func CounterDeviation(workload string, zynq, model cpu.Counters) string {
@@ -362,6 +394,89 @@ func StrikeContext(res *gefin.Result) string {
 				fmt.Sprintf("%d/%d", c.KernelStruck[fault.ClassSysCrash], c.Counts[fault.ClassSysCrash]),
 				fmt.Sprintf("%d/%d", c.KernelStruck[fault.ClassSDC], c.Counts[fault.ClassSDC]))
 		}
+	}
+	return t.String()
+}
+
+func stopTitle(noun string, target, confidence float64, planned, executed, saved int, shadow bool) string {
+	mode := ""
+	if shadow {
+		mode = " [shadow: full plan executed, cuts cross-checked]"
+	}
+	return fmt.Sprintf("Sequential early stopping: target ±%.3g at %.0f%% confidence — %d of %d %s executed, %d saved%s",
+		target, 100*confidence, executed, planned, noun, saved, mode)
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "-"
+}
+
+// StopInjection renders what the sequential stopping rule did to an
+// injection campaign: per-component cuts, looks taken, and the achieved
+// margin at the campaign's plain confidence.
+func StopInjection(s *gefin.StopSummary) string {
+	t := Table{
+		Title:  stopTitle("injections", s.TargetMargin, s.Confidence, s.Planned, s.Executed, s.Saved, s.Shadow),
+		Header: []string{"Benchmark", "Component", "Planned", "Executed", "Looks", "Achieved", "Stopped"},
+	}
+	for _, c := range s.Components {
+		t.Add(c.Workload, c.Comp.String(),
+			fmt.Sprintf("%d", c.Planned),
+			fmt.Sprintf("%d", c.Executed),
+			fmt.Sprintf("%d", c.Looks),
+			fmt.Sprintf("±%.3f", c.Margin),
+			yn(c.Stopped))
+	}
+	return t.String()
+}
+
+// StopBeam renders what the sequential stopping rule did to a beam
+// campaign's strike chains.
+func StopBeam(s *beam.StopSummary) string {
+	t := Table{
+		Title:  stopTitle("strikes", s.TargetMargin, s.Confidence, s.Planned, s.Executed, s.Saved, s.Shadow),
+		Header: []string{"Benchmark", "Component", "Planned", "Executed", "Looks", "Achieved", "Stopped"},
+	}
+	for _, c := range s.Chains {
+		t.Add(c.Workload, c.Comp.String(),
+			fmt.Sprintf("%d", c.Planned),
+			fmt.Sprintf("%d", c.Executed),
+			fmt.Sprintf("%d", c.Looks),
+			fmt.Sprintf("±%.3f", c.Margin),
+			yn(c.Stopped))
+	}
+	return t.String()
+}
+
+// ConvergenceTable renders a set of streaming estimator snapshots — a
+// live campaign's merged convergence view, or the final estimators of a
+// finished run. A zero target leaves the "Met" column unjudged.
+func ConvergenceTable(title string, snaps []obs.ConvSnapshot, target float64) string {
+	header := []string{"Benchmark", "Component", "Class", "Est", "Margin", "k/n", "Planned", "Look"}
+	if target > 0 {
+		header = append(header, "Met")
+	}
+	t := Table{Title: title, Header: header}
+	for _, s := range snaps {
+		row := []string{
+			s.Workload, s.Comp.String(), s.Class.String(),
+			fmt.Sprintf("%.3f", s.Est),
+			fmt.Sprintf("±%.3f", s.Margin),
+			fmt.Sprintf("%d/%d", s.K, s.N),
+			fmt.Sprintf("%d", s.Planned),
+			fmt.Sprintf("%d", s.Look),
+		}
+		if target > 0 {
+			met := yn(s.Met)
+			if s.Stopped {
+				met = "stopped"
+			}
+			row = append(row, met)
+		}
+		t.Add(row...)
 	}
 	return t.String()
 }

@@ -139,6 +139,17 @@ func (c *Client) RawResults(id string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// Convergence fetches a campaign's merged convergence view: every
+// node's latest estimator tallies summed, margins judged under the
+// campaign's (or coordinator's) rule.
+func (c *Client) Convergence(id string) (*ConvView, error) {
+	var cv ConvView
+	if err := c.do("GET", "/api/v1/campaigns/"+id+"/convergence", nil, &cv); err != nil {
+		return nil, err
+	}
+	return &cv, nil
+}
+
 // Cancel cancels a campaign.
 func (c *Client) Cancel(id string) error {
 	return c.do("POST", "/api/v1/campaigns/"+id+"/cancel", struct{}{}, nil)

@@ -1,0 +1,240 @@
+// Convergence federation of the campaign service. Worker nodes track
+// per-(workload, component, class) running estimates as they execute
+// shards, ship the latest snapshots inside their telemetry batches, and
+// the coordinator merges every node's tallies into one per-campaign
+// convergence view — served at /api/v1/campaigns/{id}/convergence and
+// on the /fleet dashboard. The merged view is advisory: a requeued
+// shard whose first execution already shipped tallies double-counts
+// until the winning completion's node restates its totals, so the
+// byte-deterministic stopping decision stays inside the engines where
+// the plan-order prefix is authoritative.
+
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+	"armsefi/internal/stats"
+)
+
+// ConvUpdate is one estimator snapshot on the telemetry wire, tagged
+// with its campaign (a node may run shards of several campaigns inside
+// one batch interval).
+type ConvUpdate struct {
+	Campaign string `json:"campaign"`
+	obs.ConvSnapshot
+}
+
+// ConvView is the coordinator's merged convergence view of one
+// campaign: every node's latest per-estimator tallies summed, margins
+// recomputed under the campaign's rule (or the coordinator's view rule
+// when the campaign set none).
+type ConvView struct {
+	Campaign string `json:"campaign"`
+	// TargetMargin / Confidence echo the rule the view was judged under.
+	TargetMargin float64 `json:"target_margin,omitempty"`
+	Confidence   float64 `json:"confidence"`
+	// Estimators are the merged running estimates in canonical order
+	// (workload, component, class).
+	Estimators []obs.ConvSnapshot `json:"estimators"`
+	// AllMet reports whether every estimator meets the target margin
+	// (false when the rule is disabled or no tallies arrived yet).
+	AllMet bool `json:"all_met"`
+	// Nodes counts the worker nodes that contributed tallies.
+	Nodes int `json:"nodes"`
+}
+
+// convID keys a shipper's or coordinator's latest-estimator map.
+type convID struct {
+	campaign string
+	key      obs.ConvKey
+}
+
+// convRule builds the sequential rule a campaign config implies; zero
+// confidence defaults inside stats.SeqRule.
+func convRule(targetMargin, confidence float64) stats.SeqRule {
+	return stats.SeqRule{TargetMargin: targetMargin, Confidence: confidence}
+}
+
+// mergeConv folds every node's latest snapshots for one campaign into
+// the merged estimator list: counts sum across nodes, the look index
+// and planned denominator take the maximum (they restate the same
+// constants), and margins are recomputed from the merged counts under
+// rule.
+func mergeConv(nodes map[string]map[obs.ConvKey]obs.ConvSnapshot, rule stats.SeqRule) []obs.ConvSnapshot {
+	merged := make(map[obs.ConvKey]*obs.ConvSnapshot)
+	for _, byKey := range nodes {
+		for key, s := range byKey {
+			m := merged[key]
+			if m == nil {
+				m = &obs.ConvSnapshot{ConvKey: key}
+				merged[key] = m
+			}
+			m.K += s.K
+			m.N += s.N
+			if s.Planned > m.Planned {
+				m.Planned = s.Planned
+			}
+			if s.Look > m.Look {
+				m.Look = s.Look
+			}
+			m.Stopped = m.Stopped || s.Stopped
+		}
+	}
+	out := make([]obs.ConvSnapshot, 0, len(merged))
+	for _, m := range merged {
+		if m.N > 0 {
+			m.Est = float64(m.K) / float64(m.N)
+		}
+		m.Margin = rule.Margin(m.K, m.N)
+		m.Met = rule.Enabled() && m.Margin <= rule.TargetMargin
+		out = append(out, *m)
+	}
+	obs.SortConvSnapshots(out)
+	return out
+}
+
+// Convergence returns the coordinator's merged convergence view of one
+// campaign. The view judges margins under the campaign's own rule when
+// it set a target margin, else under the coordinator's view rule
+// (campaignd -target-margin / -confidence).
+func (c *Coordinator) Convergence(id string) (*ConvView, error) {
+	c.mu.Lock()
+	camp := c.camps[id]
+	if camp == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: unknown campaign %q", id)
+	}
+	rule := c.campaignRuleLocked(camp)
+	c.mu.Unlock()
+
+	view := &ConvView{
+		Campaign:     id,
+		TargetMargin: rule.TargetMargin,
+		Confidence:   rule.Confidence,
+	}
+	if view.Confidence == 0 {
+		view.Confidence = 0.99
+	}
+	c.tmu.Lock()
+	byNode := c.conv[id]
+	view.Nodes = len(byNode)
+	view.Estimators = mergeConv(byNode, rule)
+	c.tmu.Unlock()
+	view.AllMet = rule.Enabled() && len(view.Estimators) > 0
+	for _, e := range view.Estimators {
+		if !e.Met {
+			view.AllMet = false
+			break
+		}
+	}
+	return view, nil
+}
+
+// campaignRuleLocked picks the rule a campaign's convergence view is
+// judged under: the campaign's own, else the coordinator's. Callers
+// hold mu.
+func (c *Coordinator) campaignRuleLocked(camp *campaign) stats.SeqRule {
+	switch {
+	case camp.man.Injection != nil && camp.man.Injection.TargetMargin > 0:
+		return convRule(camp.man.Injection.TargetMargin, camp.man.Injection.Confidence)
+	case camp.man.Beam != nil && camp.man.Beam.TargetMargin > 0:
+		return convRule(camp.man.Beam.TargetMargin, camp.man.Beam.Confidence)
+	}
+	return convRule(c.cfg.ConvTargetMargin, c.cfg.ConvConfidence)
+}
+
+// applyConv ingests one telemetry batch's convergence updates. Callers
+// hold tmu. Latest-wins per (node, campaign, estimator): each update
+// restates the node's cumulative tallies, so replacement (never
+// addition) keeps at-least-once delivery safe.
+func (c *Coordinator) applyConv(node string, updates []ConvUpdate) {
+	for _, u := range updates {
+		if u.Campaign == "" {
+			continue
+		}
+		byNode := c.conv[u.Campaign]
+		if byNode == nil {
+			byNode = make(map[string]map[obs.ConvKey]obs.ConvSnapshot)
+			c.conv[u.Campaign] = byNode
+		}
+		byKey := byNode[node]
+		if byKey == nil {
+			byKey = make(map[obs.ConvKey]obs.ConvSnapshot)
+			byNode[node] = byKey
+		}
+		byKey[u.ConvKey] = u.ConvSnapshot
+	}
+}
+
+// injConvTally is a worker node's running convergence tally for one
+// injection campaign: cumulative per-(workload, component, class)
+// counts over the shards this node executed, feeding a shared registry
+// whose snapshots the telemetry shipper federates. Single worker-loop
+// use; campaigns sharding across nodes merge at the coordinator.
+type injConvTally struct {
+	reg     *obs.ConvRegistry
+	comps   []fault.Component
+	perComp int
+	n       map[convComp]int
+	k       map[obs.ConvKey]int
+	look    map[convComp]int
+}
+
+type convComp struct {
+	workload string
+	comp     fault.Component
+}
+
+// newInjConvTally builds the tally for one injection campaign config.
+func newInjConvTally(cfg gefin.Config) *injConvTally {
+	comps, perComp := gefin.PlanComponents(cfg)
+	return &injConvTally{
+		reg:     obs.NewConvRegistry(convRule(cfg.TargetMargin, cfg.Confidence)),
+		comps:   comps,
+		perComp: perComp,
+		n:       make(map[convComp]int),
+		k:       make(map[obs.ConvKey]int),
+		look:    make(map[convComp]int),
+	}
+}
+
+// record tallies one completed shard's outcomes (plan slots lo..lo+len)
+// — predicted and simulated verdicts both count — and returns refreshed
+// snapshots for every touched component, in canonical order.
+func (t *injConvTally) record(workload string, lo int, outs []gefin.ShardOutcome) []obs.ConvSnapshot {
+	touched := make(map[convComp]bool)
+	for idx, o := range outs {
+		ci := (lo + idx) / t.perComp
+		if ci < 0 || ci >= len(t.comps) {
+			continue
+		}
+		wc := convComp{workload, t.comps[ci]}
+		t.n[wc]++
+		t.k[obs.ConvKey{Workload: workload, Comp: wc.comp, Class: o.Class}]++
+		touched[wc] = true
+	}
+	order := make([]convComp, 0, len(touched))
+	for wc := range touched {
+		order = append(order, wc)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].workload != order[j].workload {
+			return order[i].workload < order[j].workload
+		}
+		return order[i].comp < order[j].comp
+	})
+	snaps := make([]obs.ConvSnapshot, 0, len(order)*fault.NumClasses)
+	for _, wc := range order {
+		t.look[wc]++
+		for _, cls := range fault.Classes() {
+			key := obs.ConvKey{Workload: wc.workload, Comp: wc.comp, Class: cls}
+			snaps = append(snaps, t.reg.Update(key, t.k[key], t.n[wc], t.perComp, t.look[wc], false))
+		}
+	}
+	return snaps
+}

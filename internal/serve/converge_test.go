@@ -1,0 +1,224 @@
+// Tests for the convergence federation: the shipper's latest-wins
+// interception of convergence records, the coordinator's cross-node
+// merge, and the end-to-end guarantee that a two-node campaign's merged
+// convergence view agrees with its assembled Result.
+
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+	"armsefi/internal/stats"
+)
+
+func convRecord(id string, key obs.ConvKey, k, n, planned, look int) obs.Record {
+	est := 0.0
+	if n > 0 {
+		est = float64(k) / float64(n)
+	}
+	return obs.Record{
+		Kind:     obs.KindConvergence,
+		Campaign: id,
+		Workload: key.Workload,
+		Comp:     key.Comp,
+		Class:    key.Class,
+		K:        k,
+		N:        n,
+		Planned:  planned,
+		Est:      est,
+		Look:     look,
+	}
+}
+
+// TestShipperConvergenceLatestWins pins the interception contract: a
+// convergence record never lands in the trace buffer, and only the
+// newest snapshot per (campaign, estimator) ships.
+func TestShipperConvergenceLatestWins(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, 2)
+	id, _ := submitTiny(t, c)
+	s := NewShipper("n1", c, time.Second)
+
+	key := obs.ConvKey{Workload: "crc32", Comp: fault.CompRegFile, Class: fault.ClassMasked}
+	s.EmitRecord(convRecord(id, key, 3, 10, 90, 1))
+	s.EmitRecord(convRecord(id, key, 12, 20, 90, 2))
+	s.EmitRecord(convRecord("", key, 1, 2, 90, 1)) // uncorrelated: plain trace record
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.tmu.Lock()
+	byKey := c.conv[id]["n1"]
+	c.tmu.Unlock()
+	if len(byKey) != 1 {
+		t.Fatalf("coordinator holds %d estimators, want 1", len(byKey))
+	}
+	snap := byKey[key]
+	if snap.K != 12 || snap.N != 20 || snap.Look != 2 {
+		t.Fatalf("stale snapshot survived latest-wins: %+v", snap)
+	}
+	// The correlated convergence records must not have reached the trace.
+	if data, _ := c.cfg.Store.ReadTrace(id); len(data) != 0 {
+		t.Fatalf("convergence records leaked into the merged trace: %q", data)
+	}
+}
+
+// TestConvergenceMerge pins the cross-node merge arithmetic: counts sum,
+// planned/look take the max, and margins are recomputed from the merged
+// counts — plus latest-wins replacement keeping retried batches safe.
+func TestConvergenceMerge(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, 2)
+	id, _ := submitTiny(t, c)
+
+	key := obs.ConvKey{Workload: "crc32", Comp: fault.CompRegFile, Class: fault.ClassMasked}
+	send := func(node string, seq int64, k, n int) {
+		t.Helper()
+		if err := c.Telemetry(&TelemetryBatch{
+			Node: node,
+			Seq:  seq,
+			Convergence: []ConvUpdate{{Campaign: id, ConvSnapshot: obs.ConvSnapshot{
+				ConvKey: key, K: k, N: n, Planned: 2, Look: int(seq),
+			}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send("n1", 1, 3, 10)
+	send("n2", 1, 5, 10)
+	// n1 restates its cumulative tally — replacement, not addition.
+	send("n1", 2, 6, 20)
+
+	cv, err := c.Convergence(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Nodes != 2 || len(cv.Estimators) != 1 {
+		t.Fatalf("view = %+v", cv)
+	}
+	e := cv.Estimators[0]
+	if e.K != 11 || e.N != 30 || e.Planned != 2 || e.Look != 2 {
+		t.Fatalf("merged estimator = %+v", e)
+	}
+	// submitTiny's campaign sets no rule, so the coordinator's view rule
+	// (zero margin) judges: margin still reported at the default 0.99.
+	rule := stats.SeqRule{}
+	if want := rule.Margin(11, 30); e.Margin != want {
+		t.Fatalf("merged margin %v, want %v", e.Margin, want)
+	}
+	if e.Met || cv.AllMet {
+		t.Fatalf("ruleless view judged met: %+v", cv)
+	}
+	if cv.Confidence != 0.99 {
+		t.Fatalf("view confidence %v", cv.Confidence)
+	}
+
+	// Unknown campaigns 404.
+	if _, err := c.Convergence("nope"); err == nil {
+		t.Fatal("unknown campaign produced a view")
+	}
+
+	// The fleet snapshot carries the same merged estimators.
+	fs := c.Fleet()
+	if len(fs.Campaigns) != 1 || len(fs.Campaigns[0].Conv) != 1 {
+		t.Fatalf("fleet conv missing: %+v", fs.Campaigns[0])
+	}
+	if fs.Campaigns[0].Conv[0] != e {
+		t.Fatalf("fleet conv %+v != view %+v", fs.Campaigns[0].Conv[0], e)
+	}
+}
+
+// TestConvergenceViewRule pins rule selection: a campaign that set its
+// own target margin is judged under it, and a loose margin over settled
+// tallies reports AllMet.
+func TestConvergenceViewRule(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, 2)
+	cfg := &gefin.Config{
+		Seed:               7,
+		FaultsPerComponent: 2,
+		Components:         []fault.Component{fault.CompRegFile},
+		TargetMargin:       0.9,
+	}
+	man, err := BuildManifest(KindInjection, cfg, nil, []string{"crc32"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := obs.ConvKey{Workload: "crc32", Comp: fault.CompRegFile, Class: fault.ClassMasked}
+	if err := c.Telemetry(&TelemetryBatch{
+		Node: "n1", Seq: 1,
+		Convergence: []ConvUpdate{{Campaign: id, ConvSnapshot: obs.ConvSnapshot{
+			ConvKey: key, K: 50, N: 100, Planned: 100, Look: 1,
+		}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cv, err := c.Convergence(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.TargetMargin != 0.9 || cv.Confidence != 0.99 {
+		t.Fatalf("rule echo = %+v", cv)
+	}
+	if !cv.Estimators[0].Met || !cv.AllMet {
+		t.Fatalf("loose margin not met: %+v", cv.Estimators[0])
+	}
+}
+
+// TestConvergenceEndToEnd drives a real two-node federated injection
+// campaign and checks the merged convergence view against the assembled
+// Result: every component's estimator tallies exactly the slots the
+// campaign executed.
+func TestConvergenceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real injection campaigns")
+	}
+	cfg := gefin.Config{
+		Seed:               55,
+		FaultsPerComponent: 3,
+		Components:         []fault.Component{fault.CompRegFile, fault.CompDTLB},
+		Workers:            1,
+	}
+	client, id := runFederatedCampaign(t, SubmitRequest{
+		Kind:      KindInjection,
+		Injection: &cfg,
+		Workloads: []string{"crc32"},
+		ShardSize: 2,
+	})
+
+	cv, err := client.Convergence(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.InjectionResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[obs.ConvKey]obs.ConvSnapshot, len(cv.Estimators))
+	for _, e := range cv.Estimators {
+		byKey[e.ConvKey] = e
+	}
+	for _, w := range res.Workloads {
+		for _, cr := range w.Components {
+			for _, cls := range fault.Classes() {
+				e, ok := byKey[obs.ConvKey{Workload: w.Workload, Comp: cr.Comp, Class: cls}]
+				if !ok {
+					t.Errorf("%s/%s/%s: no merged estimator", w.Workload, cr.Comp, cls)
+					continue
+				}
+				if e.K != cr.Counts[cls] || e.N != cr.N || e.Planned != 3 {
+					t.Errorf("%s/%s/%s: estimator k=%d n=%d planned=%d, result k=%d n=%d",
+						w.Workload, cr.Comp, cls, e.K, e.N, e.Planned, cr.Counts[cls], cr.N)
+				}
+			}
+		}
+	}
+}

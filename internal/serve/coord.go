@@ -60,6 +60,13 @@ type CoordConfig struct {
 	// activity before the fleet view flags it stalled. Zero picks
 	// DefaultStalledAfter.
 	StalledAfter time.Duration
+	// ConvTargetMargin / ConvConfidence are the coordinator's view rule:
+	// merged convergence views of campaigns that set no target margin of
+	// their own are judged against these (campaignd -target-margin /
+	// -confidence). Zero margin leaves Met unjudged; zero confidence
+	// defaults to 0.99.
+	ConvTargetMargin float64
+	ConvConfidence   float64
 	// Obs receives service metrics (queue depth, leases, shards/sec,
 	// fleet health) and shard lifecycle trace records. Nil disables
 	// instrumentation.
@@ -126,6 +133,9 @@ type Coordinator struct {
 	nodes    map[string]*nodeHealth
 	tallies  map[string]map[fault.Class]int
 	prunes   map[string]*pruneTally
+	// conv holds each node's latest estimator snapshots per campaign:
+	// campaign id -> node -> estimator key -> snapshot. Merged on read.
+	conv map[string]map[string]map[obs.ConvKey]obs.ConvSnapshot
 }
 
 // NewCoordinator opens the store, replays every stored campaign, and
@@ -158,6 +168,7 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		nodes:    make(map[string]*nodeHealth),
 		tallies:  make(map[string]map[fault.Class]int),
 		prunes:   make(map[string]*pruneTally),
+		conv:     make(map[string]map[string]map[obs.ConvKey]obs.ConvSnapshot),
 	}
 	ids, err := cfg.Store.List()
 	if err != nil {

@@ -9,6 +9,9 @@ package serve
 
 import (
 	"sort"
+
+	"armsefi/internal/obs"
+	"armsefi/internal/stats"
 )
 
 // NodeStatus is the fleet view of one worker node.
@@ -60,6 +63,10 @@ type FleetCampaign struct {
 	Simulated int `json:"simulated,omitempty"`
 	// Stragglers lists this campaign's over-threshold shard executions.
 	Stragglers []Straggler `json:"stragglers,omitempty"`
+	// Conv is the campaign's merged convergence view: every node's latest
+	// estimator tallies summed, margins judged under the campaign's (or
+	// coordinator's) rule. Advisory, like Outcomes.
+	Conv []obs.ConvSnapshot `json:"conv,omitempty"`
 }
 
 // FleetStatus is the full fleet snapshot.
@@ -84,8 +91,10 @@ func (c *Coordinator) Fleet() *FleetStatus {
 		StalledAfterMS:   c.cfg.StalledAfter.Milliseconds(),
 	}
 	leasesByNode := make(map[string]int)
+	rules := make(map[string]stats.SeqRule, len(c.order))
 	for _, id := range c.order {
 		camp := c.camps[id]
+		rules[id] = c.campaignRuleLocked(camp)
 		fc := &FleetCampaign{CampaignStatus: *c.statusLocked(id, camp)}
 		for shard, l := range camp.leases {
 			leasesByNode[l.node]++
@@ -115,6 +124,9 @@ func (c *Coordinator) Fleet() *FleetStatus {
 		if pt := c.prunes[fc.ID]; pt != nil && pt.predicted > 0 {
 			fc.Predicted = pt.predicted
 			fc.Simulated = pt.simulated
+		}
+		if byNode := c.conv[fc.ID]; len(byNode) > 0 {
+			fc.Conv = mergeConv(byNode, rules[fc.ID])
 		}
 	}
 	names := make([]string, 0, len(c.nodes))
@@ -192,6 +204,8 @@ th { border-bottom: 2px solid #999; }
 .chip { display: inline-block; padding: 0 .45rem; margin-right: .3rem; border-radius: .6rem; background: #eef; font-size: .85em; }
 .bad { color: #b00; font-weight: 600; }
 .ok { color: #2a7; }
+.spark { vertical-align: middle; margin-left: .2rem; }
+.conv { white-space: nowrap; }
 #err { color: #b00; }
 small { color: #777; }
 </style>
@@ -201,7 +215,7 @@ small { color: #777; }
 <div id="err"></div>
 <h2>Campaigns</h2>
 <table id="camps"><thead><tr>
-<th>id</th><th>kind</th><th>state</th><th>progress</th><th>outcomes</th><th>pre-filter</th><th>stragglers</th>
+<th>id</th><th>kind</th><th>state</th><th>progress</th><th>outcomes</th><th>pre-filter</th><th>convergence</th><th>stragglers</th>
 </tr></thead><tbody></tbody></table>
 <h2>Nodes</h2>
 <table id="nodes"><thead><tr>
@@ -210,6 +224,39 @@ small { color: #777; }
 <p><small>polls /api/v1/fleet every 2s · straggler &gt; <span id="strag"></span>ms · stalled &gt; <span id="stall"></span>ms</small></p>
 <script>
 function esc(s) { return String(s).replace(/[&<>"]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[c])); }
+// Margin history rings per (campaign, workload, component): each poll
+// appends the worst class margin, capped at 40 samples, rendered as an
+// inline SVG sparkline so convergence is visible at a glance.
+const hist = {};
+function spark(key, v) {
+  const h = hist[key] = (hist[key] || []).concat([v]).slice(-40);
+  const max = Math.max(...h, 1e-9);
+  const w = 60, ht = 14;
+  const step = h.length > 1 ? w / (h.length - 1) : 0;
+  const pts = h.map((m, i) => (i * step).toFixed(1) + ',' + (ht - 1 - (ht - 2) * m / max).toFixed(1)).join(' ');
+  return '<svg class="spark" width="' + w + '" height="' + ht + '"><polyline points="' + pts +
+    '" fill="none" stroke="#4a90d9" stroke-width="1"/></svg>';
+}
+function convCell(c) {
+  const by = {};
+  (c.conv || []).forEach(s => {
+    const k = s.workload + '/' + s.comp;
+    const b = by[k] = by[k] || { margin: 0, met: true, avf: null };
+    b.margin = Math.max(b.margin, s.margin);
+    b.met = b.met && !!s.met;
+    if (s.class === 'Masked') b.avf = 1 - s.est;
+  });
+  const keys = Object.keys(by).sort();
+  if (!keys.length) return '<small>-</small>';
+  return keys.map(k => {
+    const b = by[k];
+    return '<span class="conv"><span class="chip">' + esc(k) +
+      ' avf ' + (b.avf == null ? '?' : b.avf.toFixed(3)) +
+      ' &plusmn;' + b.margin.toFixed(3) +
+      (b.met ? ' <span class="ok">&#10003;</span>' : '') + '</span>' +
+      spark(c.id + '|' + k, b.margin) + '</span>';
+  }).join('<br>');
+}
 async function tick() {
   try {
     const r = await fetch('/api/v1/fleet');
@@ -226,7 +273,7 @@ async function tick() {
       return '<tr><td>' + esc(c.id) + '</td><td>' + esc(c.kind) + '</td><td>' + esc(c.state) +
         '</td><td><span class="bar"><i style="width:' + pct + '%"></i></span> ' +
         c.shards_done + '/' + c.shards_total + ' shards, ' + c.items_done + '/' + c.items_total + ' items</td><td>' +
-        outs + '</td><td>' + pf + '</td><td>' + strag + '</td></tr>';
+        outs + '</td><td>' + pf + '</td><td>' + convCell(c) + '</td><td>' + strag + '</td></tr>';
     }).join('');
     const mb = b => b ? (b / 1048576).toFixed(1) + ' MiB' : '-';
     const nb = document.querySelector('#nodes tbody');

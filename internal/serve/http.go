@@ -9,6 +9,7 @@
 //	GET  /api/v1/campaigns/{id}/results  assembled Result (complete only)
 //	POST /api/v1/campaigns/{id}/cancel   cancel
 //	GET  /api/v1/campaigns/{id}/trace    merged fleet trace (JSONL)
+//	GET  /api/v1/campaigns/{id}/convergence  merged convergence view
 //	POST /api/v1/claim                worker: lease next shard (204 = none)
 //	POST /api/v1/renew                worker: extend a lease
 //	POST /api/v1/complete             worker: report a shard result
@@ -183,6 +184,15 @@ func Handler(c *Coordinator, reg *obs.Registry) http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/convergence", func(w http.ResponseWriter, r *http.Request) {
+		cv, err := c.Convergence(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cv)
 	})
 
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/trace", func(w http.ResponseWriter, r *http.Request) {

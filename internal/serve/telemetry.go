@@ -13,6 +13,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,6 +40,10 @@ type TelemetryBatch struct {
 	// RenewNS are lease-renew round-trip latencies observed since the
 	// previous batch, in nanoseconds.
 	RenewNS []int64 `json:"renew_ns,omitempty"`
+	// Convergence carries the node's latest estimator snapshots per
+	// campaign — cumulative tallies restated whole each time, so the
+	// coordinator replaces (never adds) and retries stay safe.
+	Convergence []ConvUpdate `json:"convergence,omitempty"`
 	// LadderBytes / LadderSharedBytes snapshot the node's checkpoint-ladder
 	// memory across its cached workbenches: total retained bytes, and the
 	// bytes shared through copy-on-write page interning instead of copied.
@@ -119,6 +124,7 @@ func (c *Coordinator) Telemetry(b *TelemetryBatch) error {
 	for id, buf := range perCamp {
 		_ = c.cfg.Store.AppendTrace(id, buf) // best-effort observability artifact
 	}
+	c.applyConv(b.Node, b.Convergence)
 	if b.Seq > 0 {
 		c.cursors[b.Node] = b.Seq
 		_ = c.cfg.Store.SaveTelemetryCursors(c.cursors) // best-effort; loss re-applies idempotent-enough batches
@@ -142,7 +148,8 @@ type Shipper struct {
 	mu         sync.Mutex
 	buf        []obs.Record
 	renews     []int64
-	pending    *TelemetryBatch // built but unacknowledged: resend before building the next
+	conv       map[convID]obs.ConvSnapshot // latest estimator state per campaign
+	pending    *TelemetryBatch             // built but unacknowledged: resend before building the next
 	seq        int64
 	items      int64
 	shards     int64
@@ -164,8 +171,32 @@ func NewShipper(node string, sink TelemetrySink, every time.Duration) *Shipper {
 func (s *Shipper) ObserveMemory(fn func() (total, shared int64)) { s.memStats = fn }
 
 // EmitRecord queues one trace record for the next batch (obs.RecordSink).
+// Convergence records are intercepted rather than queued: only the
+// latest estimator state matters, so the shipper keeps one snapshot per
+// (campaign, estimator) and ships the survivors as ConvUpdates — a
+// chain emitting thousands of looks costs one wire entry per estimator
+// per batch instead of thousands of trace records.
 func (s *Shipper) EmitRecord(rec obs.Record) {
 	s.mu.Lock()
+	if rec.Kind == obs.KindConvergence && rec.Campaign != "" {
+		if s.conv == nil {
+			s.conv = make(map[convID]obs.ConvSnapshot)
+		}
+		key := obs.ConvKey{Workload: rec.Workload, Comp: rec.Comp, Class: rec.Class}
+		s.conv[convID{campaign: rec.Campaign, key: key}] = obs.ConvSnapshot{
+			ConvKey: key,
+			K:       rec.K,
+			N:       rec.N,
+			Planned: rec.Planned,
+			Est:     rec.Est,
+			Margin:  rec.Margin,
+			Look:    rec.Look,
+			Met:     rec.Met,
+			Stopped: rec.Stopped,
+		}
+		s.mu.Unlock()
+		return
+	}
 	s.buf = append(s.buf, rec)
 	if rec.Kind == obs.KindInjection || rec.Kind == obs.KindStrike {
 		s.items++
@@ -213,6 +244,26 @@ func (s *Shipper) Flush() error {
 		if s.memStats != nil {
 			b.LadderBytes, b.LadderSharedBytes = s.memStats()
 		}
+		if len(s.conv) > 0 {
+			b.Convergence = make([]ConvUpdate, 0, len(s.conv))
+			for id, snap := range s.conv {
+				b.Convergence = append(b.Convergence, ConvUpdate{Campaign: id.campaign, ConvSnapshot: snap})
+			}
+			sort.Slice(b.Convergence, func(i, j int) bool {
+				a, c := b.Convergence[i], b.Convergence[j]
+				if a.Campaign != c.Campaign {
+					return a.Campaign < c.Campaign
+				}
+				if a.Workload != c.Workload {
+					return a.Workload < c.Workload
+				}
+				if a.Comp != c.Comp {
+					return a.Comp < c.Comp
+				}
+				return a.Class < c.Class
+			})
+			s.conv = nil
+		}
 		s.buf = nil
 		s.renews = nil
 		s.itemsDelta = 0
@@ -251,7 +302,7 @@ func (s *Shipper) Drain() error {
 	fails := 0
 	for {
 		s.mu.Lock()
-		empty := s.pending == nil && len(s.buf) == 0 && len(s.renews) == 0
+		empty := s.pending == nil && len(s.buf) == 0 && len(s.renews) == 0 && len(s.conv) == 0
 		s.mu.Unlock()
 		if empty {
 			return nil

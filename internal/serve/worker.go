@@ -72,6 +72,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (int, error) {
 	// campaign and workload pay no setup.
 	injRunners := make(map[string]*gefin.ShardRunner)
 	beamRunners := make(map[string]*beam.ShardRunner)
+	// One convergence tally per injection campaign: the node's cumulative
+	// per-(workload, component, class) counts over the shards it executed,
+	// emitted through the observer after each shard (the telemetry shipper
+	// intercepts the records and federates the snapshots). Beam campaigns
+	// stream theirs from inside the chain via ShardRunner.Conv.
+	injConvs := make(map[string]*injConvTally)
 	done := 0
 	for {
 		if ctx.Err() != nil {
@@ -94,7 +100,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (int, error) {
 			}
 			continue
 		}
-		payload, execErr := executeShard(ctx, cfg, a, injRunners, beamRunners)
+		payload, execErr := executeShard(ctx, cfg, a, injRunners, beamRunners, injConvs)
 		if execErr == nil {
 			execErr = cfg.Source.Complete(cfg.Node, a.Campaign, a.Shard, a.Span, payload)
 		}
@@ -111,7 +117,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (int, error) {
 // executeShard runs one assignment, renewing the lease at a third of its
 // TTL while the simulated machine works.
 func executeShard(ctx context.Context, cfg WorkerConfig, a *Assignment,
-	injRunners map[string]*gefin.ShardRunner, beamRunners map[string]*beam.ShardRunner) (*ShardPayload, error) {
+	injRunners map[string]*gefin.ShardRunner, beamRunners map[string]*beam.ShardRunner,
+	injConvs map[string]*injConvTally) (*ShardPayload, error) {
 
 	spec, ok := bench.ByName(a.Workload)
 	if !ok {
@@ -146,6 +153,14 @@ func executeShard(ctx context.Context, cfg WorkerConfig, a *Assignment,
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Obs.On() {
+			ct, ok := injConvs[a.Campaign]
+			if !ok {
+				ct = newInjConvTally(*a.Injection)
+				injConvs[a.Campaign] = ct
+			}
+			cfg.Obs.Convergence(ct.record(a.Workload, a.Lo, outs), tc)
+		}
 		return &ShardPayload{InjMeta: &meta, Outcomes: outs}, nil
 	case KindBeam:
 		if a.Beam == nil {
@@ -157,6 +172,11 @@ func executeShard(ctx context.Context, cfg WorkerConfig, a *Assignment,
 			cc.Obs = cfg.Obs
 			r = beam.NewShardRunner(cc)
 			r.Worker = cfg.Worker
+			if cfg.Obs.On() {
+				// The chains stream their estimates into a campaign-wide
+				// registry; the observer's records carry them to the shipper.
+				r.Conv = obs.NewConvRegistry(convRule(cc.TargetMargin, cc.Confidence))
+			}
 			beamRunners[a.Campaign] = r
 		}
 		r.Ctx = tc

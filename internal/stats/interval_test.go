@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfidenceZ(t *testing.T) {
+	if z := ConfidenceZ(0.99); math.Abs(z-Z99) > 1e-6 {
+		t.Errorf("ConfidenceZ(0.99) = %v, want %v", z, Z99)
+	}
+	if z := ConfidenceZ(0.95); math.Abs(z-Z95) > 1e-6 {
+		t.Errorf("ConfidenceZ(0.95) = %v, want %v", z, Z95)
+	}
+}
+
+func TestNormalCI(t *testing.T) {
+	lo, hi := NormalCI(50, 100, Z95)
+	// Textbook Wald interval: 0.5 +/- 1.96*sqrt(0.25/100) ~ [0.402, 0.598].
+	if math.Abs(lo-0.402) > 0.002 || math.Abs(hi-0.598) > 0.002 {
+		t.Errorf("NormalCI = [%f,%f]", lo, hi)
+	}
+	// Degenerate at the boundary — the Wald pathology Wilson fixes.
+	lo, hi = NormalCI(0, 100, Z95)
+	if lo != 0 || hi != 0 {
+		t.Errorf("NormalCI(0,100) = [%f,%f], want [0,0]", lo, hi)
+	}
+	lo, hi = NormalCI(0, 0, Z95)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty NormalCI = [%f,%f]", lo, hi)
+	}
+}
+
+func TestClopperPearsonKnownValues(t *testing.T) {
+	// Published exact 95% interval for k=5, n=20: [0.0866, 0.4910].
+	lo, hi := ClopperPearsonCI(5, 20, Z95)
+	if math.Abs(lo-0.0866) > 5e-4 || math.Abs(hi-0.4910) > 5e-4 {
+		t.Errorf("ClopperPearsonCI(5,20) = [%f,%f], want ~[0.0866,0.4910]", lo, hi)
+	}
+	// k=0: lo must be exactly 0, hi = 1-(alpha/2)^(1/n).
+	lo, hi = ClopperPearsonCI(0, 20, Z95)
+	want := 1 - math.Pow(0.025, 1.0/20)
+	if lo != 0 || math.Abs(hi-want) > 1e-6 {
+		t.Errorf("ClopperPearsonCI(0,20) = [%f,%f], want [0,%f]", lo, hi, want)
+	}
+	// k=n mirrors k=0.
+	lo, hi = ClopperPearsonCI(20, 20, Z95)
+	if hi != 1 || math.Abs(lo-math.Pow(0.025, 1.0/20)) > 1e-6 {
+		t.Errorf("ClopperPearsonCI(20,20) = [%f,%f]", lo, hi)
+	}
+	lo, hi = ClopperPearsonCI(0, 0, Z95)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty ClopperPearsonCI = [%f,%f]", lo, hi)
+	}
+}
+
+// TestIntervalProperties pins the structural invariants of the two
+// estimators: both stay inside [0,1] and both contain the point
+// estimate at every (k, n).
+func TestIntervalProperties(t *testing.T) {
+	f := func(k, n uint16) bool {
+		nn := int(n)%500 + 1
+		kk := int(k) % (nn + 1)
+		p := float64(kk) / float64(nn)
+		wLo, wHi := WilsonCI(kk, nn, Z99)
+		cLo, cHi := ClopperPearsonCI(kk, nn, Z99)
+		if wLo < 0 || wHi > 1 || cLo < 0 || cHi > 1 {
+			return false
+		}
+		// Both contain the point estimate; width relationships between the
+		// two vary near the boundaries, so only containment is pinned here.
+		return p >= wLo-1e-12 && p <= wHi+1e-12 && p >= cLo-1e-9 && p <= cHi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWilsonVsNormalSmallN: at small n near the boundaries the Wald
+// interval collapses while Wilson stays honestly wide — Wilson's width
+// exceeds the normal approximation's.
+func TestWilsonVsNormalSmallN(t *testing.T) {
+	for _, n := range []int{5, 10, 20} {
+		for _, k := range []int{0, 1, n - 1, n} {
+			wLo, wHi := WilsonCI(k, n, Z99)
+			nLo, nHi := NormalCI(k, n, Z99)
+			if (wHi - wLo) <= (nHi - nLo) {
+				t.Errorf("k=%d n=%d: Wilson width %f not wider than normal %f",
+					k, n, wHi-wLo, nHi-nLo)
+			}
+		}
+	}
+}
+
+// TestWilsonVsNormalLargeN: away from the boundaries at large n the two
+// intervals agree to within a small relative tolerance.
+func TestWilsonVsNormalLargeN(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := 50000 + int(seed)%50000
+		k := n/4 + int(seed)%(n/2) // p in [0.25, 0.75)
+		wLo, wHi := WilsonCI(k, n, Z99)
+		nLo, nHi := NormalCI(k, n, Z99)
+		return math.Abs(wLo-nLo) < 1e-3 && math.Abs(wHi-nHi) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("regIncBeta(1,1,%f) = %f", x, got)
+		}
+	}
+	// I_x(2,2) = 3x^2 - 2x^3.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := 3*x*x - 2*x*x*x
+		if got := regIncBeta(2, 2, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("regIncBeta(2,2,%f) = %f, want %f", x, got, want)
+		}
+	}
+	if regIncBeta(3, 4, 0) != 0 || regIncBeta(3, 4, 1) != 1 {
+		t.Error("regIncBeta boundary values")
+	}
+}
+
+func TestBetaQuantileRoundTrip(t *testing.T) {
+	f := func(sa, sb, sp uint8) bool {
+		a := 1 + float64(sa%50)
+		b := 1 + float64(sb%50)
+		p := (float64(sp) + 0.5) / 256
+		x := betaQuantile(p, a, b)
+		return math.Abs(regIncBeta(a, b, x)-p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqRuleSpending(t *testing.T) {
+	r := SeqRule{TargetMargin: 0.04, Confidence: 0.99}
+	if !r.Enabled() {
+		t.Fatal("rule with target margin must be enabled")
+	}
+	if (SeqRule{}).Enabled() {
+		t.Fatal("zero rule must be disabled")
+	}
+	if math.Abs(r.Z()-Z99) > 1e-7 {
+		t.Errorf("Z() = %v, want Z99", r.Z())
+	}
+	// Corrected z always exceeds the plain z, and grows with the look
+	// index (later looks spend less alpha).
+	prev := r.Z()
+	for j := 1; j <= 6; j++ {
+		zj := r.ZAt(j)
+		if zj <= prev {
+			t.Errorf("ZAt(%d) = %f, want > %f", j, zj, prev)
+		}
+		prev = zj
+	}
+	// The schedule telescopes: sum over all looks of alpha/(j(j+1)) = alpha.
+	sum := 0.0
+	for j := 1; j <= 100000; j++ {
+		sum += 1 / (float64(j) * float64(j+1))
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Errorf("spending schedule sums to %f of alpha, want 1", sum)
+	}
+}
+
+func TestSeqRuleMet(t *testing.T) {
+	r := SeqRule{TargetMargin: 0.04, Confidence: 0.99}
+	if r.Met(1, 10, 1) {
+		t.Error("10 trials cannot meet a 4% margin")
+	}
+	// At n=5000 with a low rate, the corrected interval is well under 4%.
+	if !r.Met(250, 5000, 3) {
+		t.Error("5000 trials at p=0.05 should meet a 4% margin")
+	}
+	// A sequential stop implies the plain-confidence margin holds too.
+	if r.Met(250, 5000, 3) && r.Margin(250, 5000) > r.TargetMargin {
+		t.Error("stop decision must imply the reported margin is met")
+	}
+	if (SeqRule{}).Met(0, 100000, 1) {
+		t.Error("disabled rule must never report met")
+	}
+	if r.Met(0, 0, 1) {
+		t.Error("n=0 must never report met")
+	}
+	if m := r.Margin(0, 0); m != 1 {
+		t.Errorf("Margin(0,0) = %f, want 1", m)
+	}
+	// Margin is monotone decreasing in n at fixed rate.
+	if r.Margin(50, 1000) <= r.Margin(500, 10000) {
+		t.Error("margin must shrink as n grows")
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPoissonCIKnownValues pins the Garwood interval against the
+// standard textbook values at 95% confidence.
+func TestPoissonCIKnownValues(t *testing.T) {
+	cases := []struct {
+		k      int
+		lo, hi float64
+	}{
+		{0, 0, 3.6889},
+		{1, 0.0253, 5.5716},
+		{5, 1.6235, 11.6683},
+		{10, 4.7954, 18.3904},
+		{100, 81.3639, 121.6272},
+	}
+	for _, c := range cases {
+		lo, hi := PoissonCI(c.k, Z95)
+		if math.Abs(lo-c.lo) > 1e-3 || math.Abs(hi-c.hi) > 1e-3 {
+			t.Errorf("PoissonCI(%d, Z95) = [%.4f, %.4f], want [%.4f, %.4f]",
+				c.k, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// TestPoissonCIProperties checks the structural invariants: the interval
+// brackets the observed count, zero counts pin lo to 0, endpoints are
+// monotone in k, and higher confidence widens the interval.
+func TestPoissonCIProperties(t *testing.T) {
+	prevLo, prevHi := -1.0, 0.0
+	for k := 0; k <= 200; k++ {
+		lo, hi := PoissonCI(k, Z95)
+		if lo < 0 || hi <= lo {
+			t.Fatalf("PoissonCI(%d): degenerate [%.4f, %.4f]", k, lo, hi)
+		}
+		if k == 0 && lo != 0 {
+			t.Fatalf("PoissonCI(0): lo = %v, want 0", lo)
+		}
+		if k > 0 && (lo >= float64(k) || hi <= float64(k)) {
+			t.Fatalf("PoissonCI(%d): [%.4f, %.4f] does not bracket k", k, lo, hi)
+		}
+		if lo <= prevLo || hi <= prevHi {
+			t.Fatalf("PoissonCI(%d): endpoints not monotone in k", k)
+		}
+		prevLo, prevHi = lo, hi
+
+		lo99, hi99 := PoissonCI(k, Z99)
+		if lo99 > lo || hi99 < hi {
+			t.Fatalf("PoissonCI(%d): 99%% interval [%.4f, %.4f] not wider than 95%% [%.4f, %.4f]",
+				k, lo99, hi99, lo, hi)
+		}
+	}
+}
+
+// TestRegLowerGamma pins P(a, x) against exact closed forms: P(1, x) is
+// 1-exp(-x), and P(a, x) at the mean tends to 1/2 for large a.
+func TestRegLowerGamma(t *testing.T) {
+	for _, x := range []float64{0.1, 1, 2.5, 10} {
+		got := regLowerGamma(1, x)
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	if p := regLowerGamma(1000, 1000); math.Abs(p-0.5) > 0.02 {
+		t.Errorf("P(1000, 1000) = %v, want ~0.5", p)
+	}
+	// CDF monotonicity across the series/continued-fraction switchover.
+	prev := 0.0
+	for x := 0.5; x < 30; x += 0.5 {
+		p := regLowerGamma(10, x)
+		if p < prev {
+			t.Fatalf("P(10, %v) = %v < P at previous x (%v)", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+// TestGammaQuantileRoundTrip checks quantile/CDF inversion.
+func TestGammaQuantileRoundTrip(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 3, 20, 150} {
+		for _, p := range []float64{0.005, 0.1, 0.5, 0.9, 0.995} {
+			x := gammaQuantile(p, a)
+			if back := regLowerGamma(a, x); math.Abs(back-p) > 1e-9 {
+				t.Errorf("P(%v, GammaQuantile(%v)) = %v, want %v", a, p, back, p)
+			}
+		}
+	}
+}

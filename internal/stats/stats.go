@@ -70,36 +70,12 @@ func BinomialCI(k, n int, z float64) (lo, hi float64) {
 	return lo, hi
 }
 
-// PoissonCI returns an approximate two-sided confidence interval for the
-// mean of a Poisson count k, using the Wilson–Hilferty chi-square
-// approximation (adequate for the beam event counts involved here).
-func PoissonCI(k int, z float64) (lo, hi float64) {
-	kf := float64(k)
-	if k == 0 {
-		return 0, chiSquareQuantileWH(1-normalTail(z), 2) / 2
-	}
-	lo = chiSquareQuantileWH(normalTail(z), 2*kf) / 2
-	hi = chiSquareQuantileWH(1-normalTail(z), 2*kf+2) / 2
-	return lo, hi
-}
-
 // normalTail converts a two-sided z-score into its lower tail probability.
 func normalTail(z float64) float64 {
 	return (1 - erf(z/math.Sqrt2)) / 2
 }
 
 func erf(x float64) float64 { return math.Erf(x) }
-
-// chiSquareQuantileWH approximates the chi-square quantile with df degrees
-// of freedom at probability p via the Wilson–Hilferty transform.
-func chiSquareQuantileWH(p, df float64) float64 {
-	if df <= 0 {
-		return 0
-	}
-	z := normalQuantile(p)
-	t := 1 - 2/(9*df) + z*math.Sqrt(2/(9*df))
-	return df * t * t * t
-}
 
 // normalQuantile is the Acklam approximation of the standard normal
 // inverse CDF.
