@@ -785,6 +785,58 @@ func BenchmarkCampaignPruned(b *testing.B) {
 	b.Run("pruned", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkCampaignDeduped measures equivalence-class deduplication's
+// within-campaign speedup on an fft DTLB campaign riding on the ACE
+// pre-filter: the same seeded plan with the ladder and pruning on, once
+// simulating every prune-undecided injection and once resolving
+// equivalence-class members from their shard-local representative's
+// outcome. The aggregated Result is bit-identical in both arms (pinned
+// by TestDedupResultInvariance) — only the wall clock moves. At this
+// plan size over half of the undecided injections are class members
+// (the plan is dense enough that most (site, quiescent-window) pairs
+// repeat), so the deduped arm must land at least 1.8x under the pruned
+// arm — the ratio guard recorded in BENCH_dedup.json; the deduped-frac
+// metric records the member split.
+func BenchmarkCampaignDeduped(b *testing.B) {
+	spec, ok := bench.ByName("fft")
+	if !ok {
+		b.Fatal("fft missing")
+	}
+	specs := []bench.Spec{spec}
+	run := func(b *testing.B, dedup bool) {
+		b.Helper()
+		var frac float64
+		for i := 0; i < b.N; i++ {
+			res, err := gefin.Run(gefin.Config{
+				Seed:               benchSeed,
+				FaultsPerComponent: 120000,
+				Workers:            runtime.NumCPU(),
+				CheckpointEvery:    soc.DefaultCheckpointEvery,
+				Prune:              true,
+				Dedup:              dedup,
+				Components:         []fault.Component{fault.CompDTLB},
+			}, specs, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Workloads) == 0 || res.Workloads[0].GoldenCycles == 0 {
+				b.Fatal("empty campaign result")
+			}
+			if dedup {
+				if res.Dedup == nil || res.Dedup.Deduped == 0 {
+					b.Fatal("deduped arm resolved no injections from class representatives")
+				}
+				frac = res.Dedup.DedupedFraction()
+			}
+		}
+		if dedup {
+			b.ReportMetric(frac, "deduped-frac")
+		}
+	}
+	b.Run("pruned", func(b *testing.B) { run(b, false) })
+	b.Run("deduped", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkCampaignTraced measures the observability layer's overhead on
 // the BenchmarkCampaignParallel campaign: the untraced arm against full
 // instrumentation (JSONL trace to disk plus the metrics registry). The

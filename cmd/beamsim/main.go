@@ -134,8 +134,11 @@ func run() error {
 	)
 	flag.Parse()
 
-	if (*prune || *pruneVerify) && !*quiet {
-		fmt.Fprintln(os.Stderr, "beamsim: note: -prune/-prune-verify have no effect on beam strikes (no pre-drawn plan to pre-filter); every strike executes")
+	if w := pruneParityWarning(*prune, *pruneVerify); w != "" {
+		// Deliberately not gated on -quiet: a campaign script comparing a
+		// "pruned" beam arm against an unpruned one is measuring nothing,
+		// and that mistake must surface even in scripted quiet runs.
+		fmt.Fprintln(os.Stderr, w)
 	}
 	scale := bench.ScaleTiny
 	switch *scaleFlag {
@@ -233,4 +236,15 @@ func run() error {
 		fmt.Println(report.StopBeam(s))
 	}
 	return nil
+}
+
+// pruneParityWarning is the stderr note emitted when the gefin-parity
+// pre-filter flags are passed ("" when neither is set). The flags are
+// accepted so one flag set drives both tools, but they never prune beam
+// strikes, so the note is unconditional — not silenced by -quiet.
+func pruneParityWarning(prune, pruneVerify bool) string {
+	if !prune && !pruneVerify {
+		return ""
+	}
+	return "beamsim: note: -prune/-prune-verify have no effect on beam strikes (no pre-drawn plan to pre-filter); every strike executes"
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPruneParityWarning pins the no-op note for the gefin-parity
+// pre-filter flags: silent when neither flag is set, and present for any
+// combination of them. The helper takes no quiet parameter on purpose —
+// run() prints whatever it returns unconditionally, so -quiet cannot
+// suppress the note.
+func TestPruneParityWarning(t *testing.T) {
+	if w := pruneParityWarning(false, false); w != "" {
+		t.Fatalf("warning without pre-filter flags: %q", w)
+	}
+	for _, tc := range []struct {
+		name               string
+		prune, pruneVerify bool
+	}{
+		{"prune", true, false},
+		{"prune-verify", false, true},
+		{"both", true, true},
+	} {
+		w := pruneParityWarning(tc.prune, tc.pruneVerify)
+		if w == "" {
+			t.Errorf("%s: no warning", tc.name)
+			continue
+		}
+		for _, want := range []string{"-prune", "no effect", "every strike executes"} {
+			if !strings.Contains(w, want) {
+				t.Errorf("%s: warning %q missing %q", tc.name, w, want)
+			}
+		}
+	}
+}

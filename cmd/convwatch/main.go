@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -39,44 +40,56 @@ func run() error {
 
 	client := &serve.Client{Base: *remote}
 	if *campaign == "" {
-		sts, err := client.StatusAll()
-		if err != nil {
-			return err
-		}
-		if len(sts) == 0 {
-			fmt.Println("no campaigns")
-			return nil
-		}
-		for _, st := range sts {
-			fmt.Printf("%s  %-9s  %-9s  %d/%d shards  %d/%d items\n",
-				st.ID, st.Kind, st.State, st.ShardsDone, st.ShardsTotal, st.ItemsDone, st.ItemsTotal)
-		}
-		fmt.Println("\nwatch one with: convwatch -campaign ID")
+		return list(client, os.Stdout)
+	}
+	return watch(client, *campaign, *follow, *every, os.Stdout)
+}
+
+// list prints one line per known campaign, or a hint when there are none.
+func list(client *serve.Client, out io.Writer) error {
+	sts, err := client.StatusAll()
+	if err != nil {
+		return err
+	}
+	if len(sts) == 0 {
+		fmt.Fprintln(out, "no campaigns")
 		return nil
 	}
+	for _, st := range sts {
+		fmt.Fprintf(out, "%s  %-9s  %-9s  %d/%d shards  %d/%d items\n",
+			st.ID, st.Kind, st.State, st.ShardsDone, st.ShardsTotal, st.ItemsDone, st.ItemsTotal)
+	}
+	fmt.Fprintln(out, "\nwatch one with: convwatch -campaign ID")
+	return nil
+}
 
-	if *every <= 0 {
-		*every = 2 * time.Second
+// watch polls one campaign's status and convergence view, rendering a
+// table per poll. Without follow it renders once; with follow it keeps
+// polling until the campaign settles — completes, is cancelled, or every
+// estimator meets the target margin.
+func watch(client *serve.Client, campaign string, follow bool, every time.Duration, out io.Writer) error {
+	if every <= 0 {
+		every = 2 * time.Second
 	}
 	for {
-		st, err := client.Status(*campaign)
+		st, err := client.Status(campaign)
 		if err != nil {
 			return err
 		}
-		cv, err := client.Convergence(*campaign)
+		cv, err := client.Convergence(campaign)
 		if err != nil {
 			return err
 		}
-		fmt.Println(render(st, cv))
+		fmt.Fprintln(out, render(st, cv))
 		settled := st.State == serve.StateComplete || st.State == serve.StateCancelled ||
 			(cv.AllMet && len(cv.Estimators) > 0)
-		if !*follow || settled {
+		if !follow || settled {
 			if cv.AllMet && len(cv.Estimators) > 0 {
-				fmt.Println("every estimator meets the target margin")
+				fmt.Fprintln(out, "every estimator meets the target margin")
 			}
 			return nil
 		}
-		time.Sleep(*every)
+		time.Sleep(every)
 	}
 }
 

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/obs"
+	"armsefi/internal/serve"
+)
+
+// fakeCoord is an httptest stand-in for campaignd's read endpoints: a
+// mutable CampaignStatus + ConvView pair served at the paths the client
+// polls, counting polls so the follow loop's exit conditions can be
+// pinned deterministically.
+type fakeCoord struct {
+	mu    sync.Mutex
+	st    serve.CampaignStatus
+	cv    serve.ConvView
+	polls int
+	// onPoll mutates the served state before each convergence response —
+	// the test's way of flipping a campaign to converged mid-follow.
+	onPoll func(n int, st *serve.CampaignStatus, cv *serve.ConvView)
+}
+
+func (f *fakeCoord) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		json.NewEncoder(w).Encode([]*serve.CampaignStatus{&f.st})
+	})
+	mux.HandleFunc("/api/v1/campaigns/"+f.st.ID, func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		json.NewEncoder(w).Encode(&f.st)
+	})
+	mux.HandleFunc("/api/v1/campaigns/"+f.st.ID+"/convergence", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.polls++
+		if f.onPoll != nil {
+			f.onPoll(f.polls, &f.st, &f.cv)
+		}
+		json.NewEncoder(w).Encode(&f.cv)
+	})
+	return mux
+}
+
+func snapshot(workload string, comp fault.Component, class fault.Class, k, n int, margin float64, met bool) obs.ConvSnapshot {
+	return obs.ConvSnapshot{
+		ConvKey: obs.ConvKey{Workload: workload, Comp: comp, Class: class},
+		K:       k, N: n, Planned: n,
+		Est: float64(k) / float64(n), Margin: margin, Look: 1, Met: met,
+	}
+}
+
+func runningFake() *fakeCoord {
+	return &fakeCoord{
+		st: serve.CampaignStatus{
+			ID: "c1", Kind: "injection", State: serve.StateRunning,
+			ShardsDone: 1, ShardsTotal: 4, ItemsDone: 50, ItemsTotal: 200,
+		},
+		cv: serve.ConvView{
+			Campaign: "c1", TargetMargin: 0.05, Confidence: 0.99, Nodes: 2,
+			Estimators: []obs.ConvSnapshot{
+				snapshot("crc32", fault.CompRegFile, fault.ClassMasked, 40, 50, 0.12, false),
+			},
+		},
+	}
+}
+
+// TestList pins the campaign listing (no -campaign): one line per
+// campaign plus the usage hint, and the empty-store message.
+func TestList(t *testing.T) {
+	f := runningFake()
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+	var out strings.Builder
+	if err := list(&serve.Client{Base: srv.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"c1", "injection", "running", "1/4 shards", "50/200 items", "convwatch -campaign ID"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("listing missing %q:\n%s", want, got)
+		}
+	}
+
+	empty := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "[]")
+	}))
+	defer empty.Close()
+	out.Reset()
+	if err := list(&serve.Client{Base: empty.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no campaigns") {
+		t.Errorf("empty listing = %q", out.String())
+	}
+}
+
+// TestWatchRendersTable pins one non-follow poll: the title line with
+// shard/item progress and node count, the target-margin line, and the
+// estimator table with the running fraction.
+func TestWatchRendersTable(t *testing.T) {
+	f := runningFake()
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+	var out strings.Builder
+	if err := watch(&serve.Client{Base: srv.URL}, "c1", false, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"campaign c1 [injection, running]",
+		"1/4 shards, 50/200 items",
+		"merged from 2 node(s)",
+		"target ±0.05 at 99% confidence",
+		"crc32",
+		"0.800", // 40/50 running fraction in the table
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("render missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "ALL MET") {
+		t.Errorf("unconverged view rendered ALL MET:\n%s", got)
+	}
+	if f.polls != 1 {
+		t.Errorf("non-follow watch polled %d times, want 1", f.polls)
+	}
+}
+
+// TestWatchNoTelemetry pins the placeholder when no tallies arrived yet.
+func TestWatchNoTelemetry(t *testing.T) {
+	f := runningFake()
+	f.cv.Estimators = nil
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+	var out strings.Builder
+	if err := watch(&serve.Client{Base: srv.URL}, "c1", false, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no convergence telemetry yet") {
+		t.Errorf("missing placeholder:\n%s", out.String())
+	}
+}
+
+// TestFollowExitsOnAllMet pins the follow loop's convergence exit: the
+// campaign stays running, but once the view reports every estimator met,
+// the loop renders the ALL MET banner and returns instead of polling on.
+func TestFollowExitsOnAllMet(t *testing.T) {
+	f := runningFake()
+	f.onPoll = func(n int, st *serve.CampaignStatus, cv *serve.ConvView) {
+		if n >= 3 {
+			cv.AllMet = true
+			cv.Estimators[0].Margin = 0.04
+			cv.Estimators[0].Met = true
+		}
+	}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+	var out strings.Builder
+	if err := watch(&serve.Client{Base: srv.URL}, "c1", true, time.Millisecond, &out); err != nil {
+		t.Fatal(err)
+	}
+	if f.polls != 3 {
+		t.Errorf("follow polled %d times, want 3 (exit on the ALL MET poll)", f.polls)
+	}
+	got := out.String()
+	if !strings.Contains(got, "ALL MET") || !strings.Contains(got, "every estimator meets the target margin") {
+		t.Errorf("converged follow missing ALL MET banner:\n%s", got)
+	}
+}
+
+// TestFollowExitsOnComplete pins the follow loop's completion exit.
+func TestFollowExitsOnComplete(t *testing.T) {
+	f := runningFake()
+	f.onPoll = func(n int, st *serve.CampaignStatus, cv *serve.ConvView) {
+		if n >= 2 {
+			st.State = serve.StateComplete
+			st.ShardsDone, st.ItemsDone = 4, 200
+		}
+	}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+	var out strings.Builder
+	if err := watch(&serve.Client{Base: srv.URL}, "c1", true, time.Millisecond, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Status is fetched before convergence, so the flip lands on poll 2's
+	// status read only after poll 2's convergence bump — one more loop.
+	if !strings.Contains(out.String(), "complete") {
+		t.Errorf("follow never rendered the complete state:\n%s", out.String())
+	}
+	if f.polls > 3 {
+		t.Errorf("follow polled %d times after completion", f.polls)
+	}
+}

@@ -67,6 +67,8 @@ func run() error {
 			"pre-filter the injection campaign's fault plan against a liveness replay and skip provably-masked injections (results are byte-identical either way; beam strikes always execute)")
 		pruneVerify = flag.Bool("prune-verify", false,
 			"shadow mode for the injection campaign: predict AND simulate every injection, failing on any disagreement (implies -prune)")
+		dedup = flag.Bool("dedup", false,
+			"collapse the injection campaign's plan into equivalence classes and simulate one representative per class (results are byte-identical either way; beam strikes always execute)")
 	)
 	flag.Parse()
 
@@ -155,7 +157,7 @@ func run() error {
 	injCfg := gefin.Config{
 		Scale: scale, Seed: *seed, FaultsPerComponent: *faults, Workers: *workers,
 		CheckpointEvery: *ckEvery, MaxCheckpoints: *ckMax, Obs: ocli.Obs,
-		Provenance: *prov, Prune: *prune, PruneVerify: *pruneVerify,
+		Provenance: *prov, Prune: *prune, PruneVerify: *pruneVerify, Dedup: *dedup,
 	}
 	injRes, err := gefin.Run(injCfg, specs, gefinProg)
 	if err != nil {
@@ -169,6 +171,9 @@ func run() error {
 	fmt.Println(report.Fig4(injRes))
 	if s := injRes.Prune; s != nil {
 		fmt.Println(report.PruneSplit(s))
+	}
+	if s := injRes.Dedup; s != nil {
+		fmt.Println(report.DedupSplit(s))
 	}
 
 	z := stats.ConfidenceZ(*confidence)

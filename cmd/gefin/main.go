@@ -7,9 +7,11 @@
 //
 //	gefin [-workloads crc32,qsort] [-faults 1000] [-scale tiny]
 //	      [-seed 1] [-workers N] [-warm] [-tlb-full] [-model detailed] [-quiet]
-//	      [-trace trace.jsonl] [-prov] [-metrics-addr 127.0.0.1:9100]
+//	      [-components l1d,dtlb] [-trace trace.jsonl] [-prov]
+//	      [-metrics-addr 127.0.0.1:9100]
 //	      [-checkpoint-every 150000] [-max-checkpoints 64]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof] [-ladder-debug]
+//	      [-prune] [-prune-verify] [-dedup] [-dedup-verify] [-exhaustive]
 //	      [-remote http://host:8440]
 //	      [-target-margin 0.04] [-confidence 0.99] [-stop-shadow]
 package main
@@ -26,6 +28,7 @@ import (
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/ace"
+	"armsefi/internal/core/fault"
 	"armsefi/internal/core/fit"
 	"armsefi/internal/core/gefin"
 	"armsefi/internal/obs"
@@ -151,6 +154,14 @@ func run() error {
 			"pre-filter the fault plan against a liveness replay and skip provably-masked injections (results are byte-identical either way)")
 		pruneVerify = flag.Bool("prune-verify", false,
 			"shadow mode: predict AND simulate every injection, failing the campaign on any disagreement (implies -prune; no speedup)")
+		dedup = flag.Bool("dedup", false,
+			"collapse planned injections into equivalence classes (same fault site, same quiescent window) and simulate one representative per class (results are byte-identical either way)")
+		dedupVerify = flag.Bool("dedup-verify", false,
+			"shadow mode: simulate every class member and compare against its representative, failing the campaign on any disagreement (implies -dedup; no speedup)")
+		exhaustive = flag.Bool("exhaustive", false,
+			"enumerate every (fault site x quiescent window) of the selected components instead of sampling, for a population-exact AVF (local only; use -components to pick liveness-covered targets)")
+		components = flag.String("components", "",
+			"comma-separated component targets (regfile,l1i,l1d,l2,itlb,dtlb; default: all six)")
 		remote = flag.String("remote", "",
 			"submit the campaign to a campaignd coordinator at this URL instead of running locally, wait for completion, and report its results")
 		targetMargin = flag.Float64("target-margin", 0,
@@ -189,10 +200,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var comps []fault.Component
+	if *components != "" {
+		for _, name := range strings.Split(*components, ",") {
+			c, ok := fault.ComponentByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown component %q", name)
+			}
+			comps = append(comps, c)
+		}
+	}
 	cfg := gefin.Config{
 		Model:              model,
 		Scale:              scale,
 		FaultsPerComponent: *faults,
+		Components:         comps,
 		Seed:               *seed,
 		Workers:            *workers,
 		WarmCaches:         *warm,
@@ -204,6 +226,9 @@ func run() error {
 		Provenance:         *prov,
 		Prune:              *prune,
 		PruneVerify:        *pruneVerify,
+		Dedup:              *dedup,
+		DedupVerify:        *dedupVerify,
+		Exhaustive:         *exhaustive,
 		TargetMargin:       *targetMargin,
 		Confidence:         *confidence,
 		StopShadow:         *stopShadow,
@@ -226,6 +251,9 @@ func run() error {
 	}
 	var res *gefin.Result
 	if *remote != "" {
+		if *exhaustive {
+			return fmt.Errorf("-exhaustive runs locally only: the sweep plan is enumerated from each workload's liveness replay, so the campaign service cannot cut shard ranges at submission time")
+		}
 		res, err = runRemote(*remote, cfg, specs, *quiet)
 	} else {
 		res, err = gefin.Run(cfg, specs, progress)
@@ -245,6 +273,12 @@ func run() error {
 	fmt.Println(report.Fig4(res))
 	if s := res.Prune; s != nil {
 		fmt.Println(report.PruneSplit(s))
+	}
+	if s := res.Dedup; s != nil {
+		fmt.Println(report.DedupSplit(s))
+	}
+	if s := res.Sweep; s != nil {
+		fmt.Println(report.SweepTable(s))
 	}
 	if s := res.Stop; s != nil {
 		fmt.Println(report.StopInjection(s))

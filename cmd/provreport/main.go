@@ -58,6 +58,9 @@ type componentReport struct {
 	// the predicted masking mechanism.
 	Predicted      int                     `json:"predicted,omitempty"`
 	PredMechanisms map[fault.Mechanism]int `json:"pred_mechanisms,omitempty"`
+	// Deduped counts the records materialized from an equivalence-class
+	// representative without simulation (deduplicated campaigns only).
+	Deduped int `json:"deduped,omitempty"`
 }
 
 func run() error {
@@ -109,6 +112,9 @@ func run() error {
 				if c.Predicted > 0 {
 					row.Predicted = c.Predicted
 					row.PredMechanisms = c.PredMechanisms
+				}
+				if c.Deduped > 0 {
+					row.Deduped = c.Deduped
 				}
 				rows = append(rows, row)
 			}
@@ -186,10 +192,11 @@ func printTables(rows []componentReport) {
 	}
 }
 
-// printSplit renders the predicted-vs-simulated decomposition of a pruned
-// injection campaign: per component, how many planned injections the ACE
-// pre-filter resolved without simulation (split by predicted mechanism)
-// versus how many actually ran. Silent for unpruned traces.
+// printSplit renders the predicted/deduped/simulated decomposition of an
+// optimised injection campaign: per component, how many planned
+// injections the ACE pre-filter resolved without simulation (split by
+// predicted mechanism), how many materialized from an equivalence-class
+// representative, and how many actually ran. Silent for plain traces.
 func printSplit(sum *obs.Summary, only string) {
 	k, ok := sum.ByKind[obs.KindInjection]
 	if !ok {
@@ -201,7 +208,7 @@ func printSplit(sum *obs.Summary, only string) {
 			continue
 		}
 		for _, c := range w.Components {
-			if c.Predicted > 0 {
+			if c.Predicted > 0 || c.Deduped > 0 {
 				names = append(names, name)
 				break
 			}
@@ -225,31 +232,33 @@ func printSplit(sum *obs.Summary, only string) {
 			comps = append(comps, comp)
 		}
 		sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
-		fmt.Printf("Pre-filter split: predicted vs simulated — %s\n", name)
-		fmt.Printf("  %-10s %9s %9s %10s", "component", "predicted", "simulated", "pred frac")
+		fmt.Printf("Campaign split: predicted vs deduped vs simulated — %s\n", name)
+		fmt.Printf("  %-10s %9s %9s %9s %10s", "component", "predicted", "deduped", "simulated", "sim frac")
 		for _, m := range mechs {
 			fmt.Printf(" %22s", m)
 		}
 		fmt.Println()
-		var tPred, tSim int
+		var tPred, tDedup, tSim int
 		tMech := make(map[fault.Mechanism]int)
 		for _, comp := range comps {
 			c := w.Components[comp]
-			sim := c.Records - c.Predicted
-			fmt.Printf("  %-10s %9d %9d %9.2f%%", comp, c.Predicted, sim, pct(c.Predicted, c.Records))
+			sim := c.Records - c.Predicted - c.Deduped
+			fmt.Printf("  %-10s %9d %9d %9d %9.2f%%", comp, c.Predicted, c.Deduped, sim, pct(sim, c.Records))
 			for _, m := range mechs {
 				fmt.Printf(" %12d (%6.2f%%)", c.PredMechanisms[m], pct(c.PredMechanisms[m], c.Records))
 			}
 			fmt.Println()
 			tPred += c.Predicted
+			tDedup += c.Deduped
 			tSim += sim
 			for _, m := range mechs {
 				tMech[m] += c.PredMechanisms[m]
 			}
 		}
-		fmt.Printf("  %-10s %9d %9d %9.2f%%", "total", tPred, tSim, pct(tPred, tPred+tSim))
+		total := tPred + tDedup + tSim
+		fmt.Printf("  %-10s %9d %9d %9d %9.2f%%", "total", tPred, tDedup, tSim, pct(tSim, total))
 		for _, m := range mechs {
-			fmt.Printf(" %12d (%6.2f%%)", tMech[m], pct(tMech[m], tPred+tSim))
+			fmt.Printf(" %12d (%6.2f%%)", tMech[m], pct(tMech[m], total))
 		}
 		fmt.Println()
 		fmt.Println()

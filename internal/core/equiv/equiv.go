@@ -1,0 +1,133 @@
+// Package equiv partitions planned injections into outcome-equivalence
+// classes against the golden liveness replay. Two injections are
+// provably equivalent when they strike the SAME fault site (component
+// and bit) and their injection cycles fall in the same inter-event
+// quiescent window of that site's recorded live-interval stream: the
+// faulted machine evolves exactly like golden until the first event
+// covering the struck byte, and at that instant its state is
+// golden-plus-flip in both cases — so the remainder of the run, and
+// therefore the outcome class, context observables, mechanism verdict,
+// and final output, are bit-identical. The gefin engine simulates one
+// canonical representative per class (the lowest plan slot) and
+// materializes its outcome onto every member.
+//
+// Equivalence is deliberately NOT claimed across distinct sites, even
+// with byte-identical event streams: the value consumed at the first
+// covering read differs per site, so outcomes may differ. The canonical
+// signature therefore pins the exact site and adds the site's
+// covering-event fingerprint defensively — a signature mismatch can only
+// split classes, never merge inequivalent ones.
+package equiv
+
+import (
+	"sort"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/soc"
+)
+
+// Key is the canonical signature of one planned injection: the exact
+// fault site, the quiescent-window index its cycle falls in, and the
+// site's covering-event fingerprint. Two injections with equal Keys are
+// provably outcome-equivalent.
+type Key struct {
+	Comp   fault.Component
+	Bit    uint64
+	Window int
+	Sig    uint64
+}
+
+// KeyOf computes the canonical signature of one planned injection
+// against the liveness log. ok is false when the site is undedupable:
+// register-file faults (the log covers the memory hierarchy only), TLB
+// flips outside the physical-page/permission region (they change which
+// entries match, which the event stream cannot model), and sites whose
+// event recording overflowed.
+func KeyOf(log *soc.LivenessLog, f fault.Fault) (Key, bool) {
+	var (
+		win int
+		sig uint64
+		ok  bool
+	)
+	switch f.Comp {
+	case fault.CompL1I:
+		win, sig, ok = log.L1I.WindowOf(f.Bit, f.Cycle)
+	case fault.CompL1D:
+		win, sig, ok = log.L1D.WindowOf(f.Bit, f.Cycle)
+	case fault.CompL2:
+		win, sig, ok = log.L2.WindowOf(f.Bit, f.Cycle)
+	case fault.CompITLB:
+		win, sig, ok = log.ITLB.WindowOf(f.Bit, f.Cycle)
+	case fault.CompDTLB:
+		win, sig, ok = log.DTLB.WindowOf(f.Bit, f.Cycle)
+	default:
+		return Key{}, false
+	}
+	if !ok {
+		return Key{}, false
+	}
+	return Key{Comp: f.Comp, Bit: f.Bit, Window: win, Sig: sig}, true
+}
+
+// Class is one multi-member equivalence class over plan slots.
+type Class struct {
+	// Rep is the canonical representative: the lowest plan slot of the
+	// class — deterministic, so every node of a distributed campaign
+	// picks the same one.
+	Rep int
+	// Members are all slots of the class including Rep, ascending.
+	Members []int
+}
+
+// Partition groups the plan's injections into equivalence classes.
+// faults is indexed by plan slot; eligible (nil for all) filters the
+// slots considered — the engine passes the pre-filter's undecided set,
+// since a slot already resolved by prediction gains nothing from a
+// representative. Only classes with two or more members are returned,
+// ordered by representative slot; the partition is a pure function of
+// (log, faults, eligible), so every node derives the identical classes.
+func Partition(log *soc.LivenessLog, faults []fault.Fault, eligible func(slot int) bool) []Class {
+	byKey := make(map[Key][]int)
+	for i, f := range faults {
+		if eligible != nil && !eligible(i) {
+			continue
+		}
+		k, ok := KeyOf(log, f)
+		if !ok {
+			continue
+		}
+		byKey[k] = append(byKey[k], i) // ascending: i is increasing
+	}
+	classes := make([]Class, 0, len(byKey))
+	for _, members := range byKey {
+		if len(members) < 2 {
+			continue
+		}
+		classes = append(classes, Class{Rep: members[0], Members: members})
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a].Rep < classes[b].Rep })
+	return classes
+}
+
+// Stats summarises a partition's class sizes.
+type Stats struct {
+	// Classes counts the multi-member classes; Deduped the member slots
+	// resolved from a representative (Σ size-1); MaxClass the largest
+	// class size (0 when there are no classes).
+	Classes  int
+	Deduped  int
+	MaxClass int
+}
+
+// StatsOf computes size statistics over a partition.
+func StatsOf(classes []Class) Stats {
+	var s Stats
+	s.Classes = len(classes)
+	for _, c := range classes {
+		s.Deduped += len(c.Members) - 1
+		if n := len(c.Members); n > s.MaxClass {
+			s.MaxClass = n
+		}
+	}
+	return s
+}

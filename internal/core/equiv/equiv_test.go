@@ -1,0 +1,149 @@
+package equiv
+
+import (
+	"testing"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/mem"
+	"armsefi/internal/soc"
+)
+
+// syntheticLog builds a LivenessLog around one tiny instrumented cache
+// (as L1D) and one instrumented TLB (as DTLB), driving the clock stamps
+// directly: the L1D's set-0 slot is filled at 10 and read at 10, 30 and
+// 60, giving bit 0 four quiescent windows over [0,100); the DTLB's
+// filled entry is looked up once at 40.
+func syntheticLog(t *testing.T) (*soc.LivenessLog, uint64) {
+	t.Helper()
+	var now uint64
+	dram := mem.NewDRAM(1 << 16)
+	c := mem.NewCache(mem.CacheConfig{Name: "l1d", SizeBytes: 1 << 10, LineBytes: 32, Ways: 2, HitCycles: 1}, mem.NewBus(dram))
+	cl := c.AttachLiveness(&now)
+	tlb := mem.NewTLB("dtlb", 4)
+	tl := tlb.AttachLiveness(&now)
+
+	now = 10
+	c.Read(0, 4)
+	now = 30
+	c.Read(0, 4)
+	tlb.Insert(1, 0x40, true, false)
+	now = 40
+	if _, ok := tlb.Lookup(1); !ok {
+		t.Fatal("lookup missed")
+	}
+	now = 60
+	c.Read(0, 4)
+
+	entry := -1
+	for i := 0; i < tlb.Entries(); i++ {
+		if tlb.EntryValid(i) {
+			entry = i
+		}
+	}
+	if entry < 0 {
+		t.Fatal("insert left no valid entry")
+	}
+	return &soc.LivenessLog{L1D: cl, DTLB: tl}, uint64(entry)
+}
+
+func TestKeyOfUndedupableSites(t *testing.T) {
+	log, entry := syntheticLog(t)
+	base := entry * mem.TLBEntryBits
+	cases := []struct {
+		name string
+		f    fault.Fault
+		want bool
+	}{
+		{"regfile", fault.Fault{Comp: fault.CompRegFile, Bit: 3, Cycle: 20}, false},
+		{"tlb vpn tag", fault.Fault{Comp: fault.CompDTLB, Bit: base, Cycle: 20}, false},
+		{"tlb valid bit", fault.Fault{Comp: fault.CompDTLB, Bit: base + mem.TLBPhysRegionStart + mem.TLBModelBits, Cycle: 20}, false},
+		{"tlb ppn bit", fault.Fault{Comp: fault.CompDTLB, Bit: base + mem.TLBPhysRegionStart, Cycle: 20}, true},
+		{"cache data bit", fault.Fault{Comp: fault.CompL1D, Bit: 0, Cycle: 20}, true},
+	}
+	for _, c := range cases {
+		if _, ok := KeyOf(log, c.f); ok != c.want {
+			t.Errorf("%s: KeyOf ok = %v, want %v", c.name, ok, c.want)
+		}
+	}
+}
+
+// TestKeyWindowSemantics: same site, same inter-event window → equal
+// keys; a covering event between two cycles splits them; distinct sites
+// never share a key even with identical event streams.
+func TestKeyWindowSemantics(t *testing.T) {
+	log, _ := syntheticLog(t)
+	at := func(bit, cycle uint64) Key {
+		t.Helper()
+		k, ok := KeyOf(log, fault.Fault{Comp: fault.CompL1D, Bit: bit, Cycle: cycle})
+		if !ok {
+			t.Fatalf("KeyOf refused bit %d cycle %d", bit, cycle)
+		}
+		return k
+	}
+	// Cycles 11..30 sit between the reads at 10 and 30 (a flip at the
+	// stamp itself lands before the event).
+	if a, b := at(0, 11), at(0, 30); a != b {
+		t.Fatalf("same quiescent window, different keys: %+v vs %+v", a, b)
+	}
+	if a, b := at(0, 30), at(0, 31); a == b {
+		t.Fatalf("flips across a covering read share key %+v", a)
+	}
+	// Bits 0 and 1 share the byte's event stream but are distinct sites.
+	if a, b := at(0, 11), at(1, 11); a == b {
+		t.Fatalf("distinct sites share key %+v", a)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	log, entry := syntheticLog(t)
+	ppn := entry*mem.TLBEntryBits + mem.TLBPhysRegionStart
+	faults := []fault.Fault{
+		0: {Comp: fault.CompL1D, Bit: 0, Cycle: 15},    // window (10,30]
+		1: {Comp: fault.CompRegFile, Bit: 1, Cycle: 5}, // undedupable
+		2: {Comp: fault.CompL1D, Bit: 0, Cycle: 20},    // same window as 0
+		3: {Comp: fault.CompL1D, Bit: 0, Cycle: 45},    // window (30,60]
+		4: {Comp: fault.CompDTLB, Bit: ppn, Cycle: 20},
+		5: {Comp: fault.CompL1D, Bit: 0, Cycle: 25},    // same window as 0
+		6: {Comp: fault.CompDTLB, Bit: ppn, Cycle: 30}, // same window as 4
+		7: {Comp: fault.CompL1D, Bit: 0, Cycle: 50},    // same window as 3
+	}
+	classes := Partition(log, faults, nil)
+	if len(classes) != 3 {
+		t.Fatalf("got %d classes, want 3: %+v", len(classes), classes)
+	}
+	want := [][]int{{0, 2, 5}, {3, 7}, {4, 6}}
+	for i, c := range classes {
+		if c.Rep != want[i][0] {
+			t.Errorf("class %d rep = %d, want lowest slot %d", i, c.Rep, want[i][0])
+		}
+		if len(c.Members) != len(want[i]) {
+			t.Fatalf("class %d members = %v, want %v", i, c.Members, want[i])
+		}
+		for j, m := range c.Members {
+			if m != want[i][j] {
+				t.Errorf("class %d members = %v, want %v", i, c.Members, want[i])
+				break
+			}
+		}
+	}
+
+	s := StatsOf(classes)
+	if s.Classes != 3 || s.Deduped != 4 || s.MaxClass != 3 {
+		t.Fatalf("stats = %+v, want 3 classes, 4 deduped, max 3", s)
+	}
+
+	// Excluding the representative slots re-forms the classes around the
+	// next-lowest members; singletons vanish.
+	excluded := map[int]bool{0: true, 3: true, 4: true}
+	classes = Partition(log, faults, func(slot int) bool { return !excluded[slot] })
+	if len(classes) != 1 {
+		t.Fatalf("filtered partition = %+v, want only the {2,5} class", classes)
+	}
+	if classes[0].Rep != 2 || len(classes[0].Members) != 2 || classes[0].Members[1] != 5 {
+		t.Fatalf("filtered class = %+v, want rep 2 members [2 5]", classes[0])
+	}
+
+	if s := StatsOf(nil); s.Classes != 0 || s.Deduped != 0 || s.MaxClass != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}

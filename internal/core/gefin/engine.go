@@ -33,11 +33,24 @@ type plannedFault struct {
 // outcome is the record of one executed injection. mech is the
 // provenance mechanism verdict when one was computed (provenance or
 // shadow-verify runs with an armed probe); aggregation ignores it.
+// cycles and outstr carry the raw run observables so a deduplicated
+// member's trace record can reproduce its representative's skeleton.
 type outcome struct {
 	class  fault.Class
 	valid  bool
 	kernel bool
 	mech   fault.Mechanism
+	cycles uint64
+	outstr string
+}
+
+// sideSummaries carries one workload's optional side reports — the parts
+// of a Result that live beside Workloads rather than inside them.
+type sideSummaries struct {
+	prune *PruneSummary
+	dedup *DedupSummary
+	sweep *SweepSummary
+	stop  *StopSummary
 }
 
 // sampleFaults pre-draws the full campaign plan for one workload,
@@ -83,9 +96,10 @@ func prepareWorkbench(cfg Config, spec bench.Spec) (*harness.Workbench, error) {
 		}
 		cfg.Obs.LadderMemory(spec.Name, wb.Ladder.MemoryBytes(), wb.Ladder.SharedBytes())
 	}
-	if cfg.Prune {
+	if cfg.Prune || cfg.Dedup || cfg.Exhaustive {
 		// A second instrumented replay records the liveness log the
-		// pre-filter classifies against; clones share it too.
+		// pre-filter, the equivalence-class partitioner, and the exhaustive
+		// enumerator all classify against; clones share it too.
 		if err := wb.BuildLiveness(cfg.WarmCaches); err != nil {
 			return nil, fmt.Errorf("gefin: %w", err)
 		}
@@ -123,7 +137,7 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 		start := time.Now()
 		class, ctx, raw, ls := wb.RunFaultProv(p.f, cfg.WarmCaches, probe)
 		stop := time.Now()
-		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned(), cycles: raw.Cycles, outstr: raw.Outcome.String()}
 		if probe.Armed() {
 			o.mech = fault.MechanismOf(class, raw, probe)
 		}
@@ -161,7 +175,7 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 		start := time.Now()
 		class, ctx, raw, ls := wb.RunFaultLadder(p.f, cfg.WarmCaches)
 		stop := time.Now()
-		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned(), cycles: raw.Cycles, outstr: raw.Outcome.String()}
 		cfg.Obs.LadderRun(ls)
 		rec := obs.Record{
 			Kind:       obs.KindInjection,
@@ -181,8 +195,8 @@ func execPlanned(cfg Config, wb *harness.Workbench, workload string, probe *mem.
 		tc.Stamp(&rec)
 		cfg.Obs.Record(rec, start, stop)
 	default:
-		class, ctx, _, _ := wb.RunFaultLadder(p.f, cfg.WarmCaches)
-		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned()}
+		class, ctx, raw, _ := wb.RunFaultLadder(p.f, cfg.WarmCaches)
+		o = outcome{class: class, valid: ctx.LineValid, kernel: ctx.KernelOwned(), cycles: raw.Cycles, outstr: raw.Outcome.String()}
 	}
 	return o
 }
@@ -234,17 +248,39 @@ func aggregate(cfg Config, workload string, goldenCycles, goldenInstrs uint64, s
 }
 
 // runWorkload builds the workload's primary workbench, pre-draws the fault
-// plan, and executes it across the primary plus as many clone workbenches
-// as the pool grants. With pruning on it also returns the workload's
-// predicted/simulated split; with a target margin, the sequential
-// stopping summary (nil otherwise).
-func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, *PruneSummary, *StopSummary, error) {
+// plan (or enumerates it, for an exhaustive sweep), and executes it across
+// the primary plus as many clone workbenches as the pool grants. The side
+// summaries carry whichever optional reports the configuration produced.
+func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*WorkloadResult, sideSummaries, error) {
+	var side sideSummaries
 	wb, err := prepareWorkbench(cfg, spec)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, side, err
 	}
-	plan, sizes := planFor(cfg, wb, spec.Name)
+	var (
+		plan  []plannedFault
+		sizes []uint64
+		ep    *exhaustivePlan
+	)
+	if cfg.Exhaustive {
+		if ep, sizes, err = exhaustivePlanFor(cfg, wb); err != nil {
+			return nil, side, err
+		}
+		plan = ep.plan
+	} else {
+		plan, sizes = planFor(cfg, wb, spec.Name)
+	}
 	em.addTotal(len(plan))
+
+	// totals feeds the per-component progress denominators: uniform for a
+	// sampled campaign, the enumerated window counts for a sweep.
+	totals := make([]int, len(cfg.Components))
+	for ci := range totals {
+		totals[ci] = cfg.FaultsPerComponent
+		if ep != nil {
+			totals[ci] = ep.perComp[ci]
+		}
+	}
 
 	// The commit controller streams plan-order tallies into the
 	// convergence estimators and, with a target margin set, decides each
@@ -259,6 +295,15 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 		pp = predictPlan(wb, plan)
 	}
 
+	// Equivalence-class partition over the pre-filter's undecided
+	// remainder: member slots resolve from their representative's outcome.
+	// An exhaustive plan already enumerates one injection per class, so
+	// there is nothing left to collapse.
+	var dd *dedupPlan
+	if cfg.Dedup && !cfg.Exhaustive {
+		dd = buildDedup(cfg, wb, spec.Name, plan, pp)
+	}
+
 	// Execution order: the slots that go to the simulator. With the ladder
 	// on, workers drain it sorted by injection cycle (ties broken by plan
 	// index), so consecutive runs on a worker restore the same or a
@@ -266,12 +311,16 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 	// of straggling. The order is a pure execution permutation: every
 	// outcome still lands in its plan slot and aggregation stays in plan
 	// order, so the Result is bit-identical at any worker count, pruned or
-	// not, sorted or not.
+	// not, deduplicated or not, sorted or not.
 	order := make([]int, 0, len(plan))
 	for i := range plan {
-		if pp == nil || cfg.PruneVerify || !pp.decided[i] {
-			order = append(order, i)
+		if pp != nil && !cfg.PruneVerify && pp.decided[i] {
+			continue
 		}
+		if dd != nil && !cfg.DedupVerify && dd.member[i] {
+			continue
+		}
+		order = append(order, i)
 	}
 	if cfg.CheckpointEvery > 0 {
 		sort.SliceStable(order, func(a, b int) bool {
@@ -299,7 +348,7 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			for range clones {
 				pool.Release()
 			}
-			return nil, nil, nil, fmt.Errorf("gefin: %w", err)
+			return nil, side, fmt.Errorf("gefin: %w", err)
 		}
 		clones = append(clones, clone)
 	}
@@ -316,14 +365,15 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 			outcomes[i] = pp.outcome(i)
 			sc.commit(i, outcomes[i].class)
 			pp.emit(cfg, wb, spec.Name, i, plan[i], 0, obs.TraceContext{})
-			em.tick(spec.Name, cfg.Components[plan[i].comp], cfg.FaultsPerComponent)
+			em.tick(spec.Name, cfg.Components[plan[i].comp], totals[plan[i].comp])
 		}
 	}
 
-	// Shadow mode simulates everything with a provenance probe so every
-	// prediction can be checked against the probe's mechanism verdict.
+	// Shadow modes simulate everything with a provenance probe so every
+	// prediction (or materialized member) can be checked against the
+	// probe's mechanism verdict.
 	execCfg := cfg
-	if cfg.PruneVerify {
+	if cfg.PruneVerify || cfg.DedupVerify {
 		execCfg.Provenance = true
 	}
 	var mismatchMu sync.Mutex
@@ -371,7 +421,25 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 						mismatchMu.Unlock()
 					}
 				}
-				em.tick(spec.Name, cfg.Components[p.comp], cfg.FaultsPerComponent)
+				em.tick(spec.Name, cfg.Components[p.comp], totals[p.comp])
+				// A class representative materializes its outcome onto every
+				// member right here on its own worker: member slots are
+				// excluded from the execution order, so no other goroutine
+				// touches them, and the materialized outcome is by
+				// construction what simulating the member would produce.
+				if dd != nil && !cfg.DedupVerify {
+					if ci := dd.classOf[i]; ci >= 0 && dd.classes[ci].Rep == i {
+						for _, m := range dd.classes[ci].Members {
+							if m == i || sc.skip(m) {
+								continue
+							}
+							outcomes[m] = o
+							sc.commit(m, o.class)
+							dd.emit(cfg, spec.Name, plan[m], o, worker, obs.TraceContext{})
+							em.tick(spec.Name, cfg.Components[plan[m].comp], totals[plan[m].comp])
+						}
+					}
+				}
 			}
 		}
 	}
@@ -381,41 +449,83 @@ func runWorkload(cfg Config, spec bench.Spec, pool *sched.Pool, em *emitter) (*W
 		go func(worker int, clone *harness.Workbench) {
 			defer wg.Done()
 			defer pool.Release()
-			drain(worker, clone)
+			harness.Phased("shard-execution", func() { drain(worker, clone) })
 		}(ci+1, clone)
 	}
-	drain(0, wb) // the caller's own slot drives the primary
+	// The caller's own slot drives the primary.
+	harness.Phased("shard-execution", func() { drain(0, wb) })
 	wg.Wait()
 
-	stop := sc.finish()
+	side.stop = sc.finish()
 	cuts := sc.cuts()
 
-	var summary *PruneSummary
-	if pp != nil {
-		pp.summary.Simulated = len(order)
-		if cuts != nil && !cfg.StopShadow {
-			// Early stopping truncates the execution order; report the
-			// deterministic truncated count (slots within the cuts), not
-			// however many slots workers raced past the cut before it
-			// committed.
-			sim := 0
-			for _, i := range order {
-				if i%cfg.FaultsPerComponent < cuts[i/cfg.FaultsPerComponent] {
-					sim++
-				}
+	// Early stopping truncates the execution order; report the
+	// deterministic truncated count (slots within the cuts), not however
+	// many slots workers raced past the cut before it committed.
+	simulated := len(order)
+	if cuts != nil && !cfg.StopShadow {
+		sim := 0
+		for _, i := range order {
+			if i%cfg.FaultsPerComponent < cuts[i/cfg.FaultsPerComponent] {
+				sim++
 			}
-			pp.summary.Simulated = sim
 		}
+		simulated = sim
+	}
+	beyondCut := func(i int) bool {
+		return cuts != nil && i%cfg.FaultsPerComponent >= cuts[i/cfg.FaultsPerComponent]
+	}
+
+	if pp != nil {
+		pp.summary.Simulated = simulated
 		if cfg.PruneVerify {
 			pp.summary.Verified = pp.summary.Predicted
 		}
-		summary = &pp.summary
+		side.prune = &pp.summary
 		if len(mismatches) > 0 {
-			return nil, summary, nil, fmt.Errorf("gefin: prune-verify: %d predicted verdicts disagree with simulation on %s (first: %s)",
+			return nil, side, fmt.Errorf("gefin: prune-verify: %d predicted verdicts disagree with simulation on %s (first: %s)",
 				pp.summary.Mismatches, spec.Name, mismatches[0])
 		}
 	}
-	return aggregate(cfg, spec.Name, wb.Golden.Cycles, wb.Golden.Instructions, sizes, outcomes, cuts), summary, stop, nil
+	if dd != nil {
+		dd.summary.Simulated = simulated
+		if cfg.DedupVerify {
+			// Shadow mode simulated every member above; check each against
+			// its representative now that all slots are final. Slots beyond
+			// a stopping cut never simulated, so they cannot be compared.
+			var dedupMismatches []string
+			for _, cl := range dd.classes {
+				if beyondCut(cl.Rep) {
+					continue
+				}
+				want := outcomes[cl.Rep]
+				for _, m := range cl.Members {
+					if m == cl.Rep || beyondCut(m) {
+						continue
+					}
+					dd.summary.Verified++
+					if msg := dedupMismatch(plan[m], plan[cl.Rep], want, outcomes[m]); msg != "" {
+						dd.summary.Mismatches++
+						if len(dedupMismatches) < 8 {
+							dedupMismatches = append(dedupMismatches, msg)
+						}
+					}
+				}
+			}
+			if len(dedupMismatches) > 0 {
+				side.dedup = &dd.summary
+				return nil, side, fmt.Errorf("gefin: dedup-verify: %d materialized verdicts disagree with simulation on %s (first: %s)",
+					dd.summary.Mismatches, spec.Name, dedupMismatches[0])
+			}
+		}
+		side.dedup = &dd.summary
+	}
+	if cfg.Exhaustive {
+		res, sweep := aggregateExhaustive(cfg, spec.Name, wb.Golden.Cycles, wb.Golden.Instructions, sizes, ep, outcomes)
+		side.sweep = sweep
+		return res, side, nil
+	}
+	return aggregate(cfg, spec.Name, wb.Golden.Cycles, wb.Golden.Instructions, sizes, outcomes, cuts), side, nil
 }
 
 // emitter adapts the shared meter to gefin progress events, adding the

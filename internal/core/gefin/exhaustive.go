@@ -1,0 +1,153 @@
+// Exhaustive-sweep planning: instead of sampling FaultsPerComponent
+// injections per component, enumerate every (fault site x quiescent
+// window) the liveness replay can model — one planned injection per
+// window, executed at the window's first cycle and weighted by the
+// window's width — so the weighted aggregation measures the full
+// site x cycle population exactly. This is the equivalence-class idea
+// turned around: a sampled campaign collapses colliding draws into
+// classes, an exhaustive sweep enumerates the classes directly.
+
+package gefin
+
+import (
+	"fmt"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/harness"
+	"armsefi/internal/mem"
+)
+
+// exhaustivePlan is the data-dependent plan of a full sweep.
+type exhaustivePlan struct {
+	plan []plannedFault
+	// weights holds each slot's window width in cycles (its equivalence
+	// class size over the cycle axis); perComp the slot count per
+	// cfg.Components entry; sites the enumerated site count per entry.
+	weights []uint64
+	perComp []int
+	sites   []uint64
+}
+
+// exhaustivePlanFor enumerates the full sweep plan from the liveness
+// replay. Like planFor it is a pure function of (cfg, workload
+// liveness), so reruns derive the identical plan; unlike planFor the
+// plan size is data-dependent. Sites whose event recording overflowed
+// are an error — a truncated stream cannot tile the cycle range, so the
+// sweep would silently stop being population-exact. TLB bits outside
+// the modelable physical-page/permission region (the VPN field and the
+// valid bit, whose flips change which entries match) are excluded from
+// the enumerable population by construction.
+func exhaustivePlanFor(cfg Config, wb *harness.Workbench) (*exhaustivePlan, []uint64, error) {
+	log := wb.Liveness
+	maxCycle := wb.Golden.Cycles
+	sizes := make([]uint64, len(cfg.Components))
+	ep := &exhaustivePlan{
+		perComp: make([]int, len(cfg.Components)),
+		sites:   make([]uint64, len(cfg.Components)),
+	}
+	for ci, comp := range cfg.Components {
+		ci, comp := ci, comp
+		sizes[ci] = fault.SizeBits(wb.Machine, comp)
+		site := func(bit uint64) func(start, width uint64) {
+			return func(start, width uint64) {
+				ep.plan = append(ep.plan, plannedFault{comp: ci, f: fault.Fault{Comp: comp, Bit: bit, Cycle: start}})
+				ep.weights = append(ep.weights, width)
+				ep.perComp[ci]++
+			}
+		}
+		switch comp {
+		case fault.CompL1I, fault.CompL1D, fault.CompL2:
+			var r *mem.CacheLiveness
+			switch comp {
+			case fault.CompL1I:
+				r = log.L1I
+			case fault.CompL1D:
+				r = log.L1D
+			default:
+				r = log.L2
+			}
+			for bit := uint64(0); bit < sizes[ci]; bit++ {
+				if !r.EnumWindows(bit, maxCycle, site(bit)) {
+					return nil, nil, fmt.Errorf("gefin: exhaustive: %v liveness recording overflowed at bit %d; the sweep cannot cover this workload", comp, bit)
+				}
+				ep.sites[ci]++
+			}
+		case fault.CompITLB, fault.CompDTLB:
+			r := log.ITLB
+			if comp == fault.CompDTLB {
+				r = log.DTLB
+			}
+			entries := sizes[ci] / mem.TLBEntryBits
+			for e := uint64(0); e < entries; e++ {
+				for b := uint64(mem.TLBPhysRegionStart); b < mem.TLBPhysRegionStart+mem.TLBModelBits; b++ {
+					bit := e*mem.TLBEntryBits + b
+					if !r.EnumWindows(bit, maxCycle, site(bit)) {
+						return nil, nil, fmt.Errorf("gefin: exhaustive: %v liveness recording overflowed at entry %d; the sweep cannot cover this workload", comp, e)
+					}
+					ep.sites[ci]++
+				}
+			}
+		}
+	}
+	return ep, sizes, nil
+}
+
+// aggregateExhaustive folds per-slot outcomes into a population-exact
+// workload result: each window's outcome counts once unweighted (N and
+// Counts describe the simulated windows) and once weighted by its width
+// in cycles (WeightedCounts sums to Population = Sites x GoldenCycles
+// exactly, since the windows tile the cycle range per site). The sweep
+// summary reports the enumeration statistics beside it.
+func aggregateExhaustive(cfg Config, workload string, goldenCycles, goldenInstrs uint64, sizes []uint64, ep *exhaustivePlan, outcomes []outcome) (*WorkloadResult, *SweepSummary) {
+	out := &WorkloadResult{
+		Workload:     workload,
+		Scale:        cfg.Scale,
+		GoldenCycles: goldenCycles,
+		GoldenInstrs: goldenInstrs,
+	}
+	for ci, comp := range cfg.Components {
+		out.Components = append(out.Components, ComponentResult{
+			Comp:           comp,
+			SizeBits:       sizes[ci],
+			N:              ep.perComp[ci],
+			Sites:          ep.sites[ci],
+			Population:     ep.sites[ci] * goldenCycles,
+			Counts:         make(map[fault.Class]int, fault.NumClasses),
+			ValidStruck:    make(map[fault.Class]int, fault.NumClasses),
+			KernelStruck:   make(map[fault.Class]int, fault.NumClasses),
+			WeightedCounts: make(map[fault.Class]uint64, fault.NumClasses),
+		})
+	}
+	maxWidth := make([]uint64, len(cfg.Components))
+	for i, o := range outcomes {
+		res := &out.Components[ep.plan[i].comp]
+		res.Counts[o.class]++
+		res.WeightedCounts[o.class] += ep.weights[i]
+		if o.valid {
+			res.ValidStruck[o.class]++
+		}
+		if o.kernel {
+			res.KernelStruck[o.class]++
+		}
+		if w := ep.weights[i]; w > maxWidth[ep.plan[i].comp] {
+			maxWidth[ep.plan[i].comp] = w
+		}
+	}
+	sweep := &SweepSummary{}
+	for ci, res := range out.Components {
+		sc := SweepComponent{
+			Workload:   workload,
+			Comp:       res.Comp,
+			Sites:      res.Sites,
+			Windows:    res.N,
+			Population: res.Population,
+			MaxWidth:   maxWidth[ci],
+			AVF:        res.AVF(),
+		}
+		if res.N > 0 {
+			sc.MeanWidth = float64(res.Population) / float64(res.N)
+		}
+		sweep.Components = append(sweep.Components, sc)
+	}
+	return out, sweep
+}

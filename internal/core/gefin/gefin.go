@@ -6,6 +6,7 @@
 package gefin
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -82,6 +83,33 @@ type Config struct {
 	// the campaign. Slow — the cross-validation harness for Prune; implies
 	// Prune.
 	PruneVerify bool
+	// Dedup enables equivalence-class injection deduplication: planned
+	// injections striking the same fault site within the same inter-event
+	// quiescent window of the liveness replay are provably
+	// outcome-equivalent (see internal/core/equiv), so the engine
+	// simulates one canonical representative per class — the lowest plan
+	// slot — and materializes its outcome onto every member, tagged
+	// dedup=true in trace records. Results are byte-identical with
+	// deduplication on or off, at any worker count — the same invariance
+	// contract as Prune. Composes with Prune: classes form over the
+	// pre-filter's undecided remainder.
+	Dedup bool
+	// DedupVerify runs deduplication in shadow mode: every class member
+	// is simulated (with a provenance probe) and compared against its
+	// representative's outcome, mechanism, and context observables; any
+	// disagreement fails the campaign. Slow — the cross-validation
+	// harness for Dedup; implies Dedup.
+	DedupVerify bool
+	// Exhaustive replaces statistical sampling with a full sweep: every
+	// (fault site x quiescent window) of the selected components is
+	// enumerated from the liveness replay — one planned injection per
+	// window, weighted by the window's width in cycles — so the AVF is
+	// population-exact rather than estimated. FaultsPerComponent is
+	// ignored. Local execution only (the plan size is data-dependent, so
+	// the campaign service cannot cut shards at submission time), and
+	// only over liveness-covered components: the register file,
+	// TLBFullEntry sampling, and sequential stopping are rejected.
+	Exhaustive bool
 	// TargetMargin enables deterministic sequential early stopping: the
 	// engine streams per-(component, outcome-class) estimates over the
 	// committed plan-order prefix and truncates each component's plan at
@@ -141,6 +169,9 @@ func (c Config) withDefaults() Config {
 	if c.PruneVerify {
 		c.Prune = true
 	}
+	if c.DedupVerify {
+		c.Dedup = true
+	}
 	if c.TargetMargin > 0 || c.StopShadow {
 		// Pin the stop rule's full determinism surface into the config, so
 		// a serialized manifest reproduces the identical cuts.
@@ -173,11 +204,26 @@ type ComponentResult struct {
 	// live kernel-owned cache lines — the System-Crash mechanism the
 	// paper's Section V analysis identifies.
 	KernelStruck map[fault.Class]int
+	// Sites, Population, and WeightedCounts are set by exhaustive sweeps
+	// only (omitted for sampled campaigns, whose serialized form is
+	// unchanged): the enumerated fault-site count, the full
+	// site x cycle population (Sites x GoldenCycles), and each outcome
+	// class weighted by its (site, window) classes' widths in cycles.
+	// WeightedCounts sums to Population exactly — the windows tile the
+	// cycle range — so the AVF they imply is population-exact.
+	Sites          uint64                 `json:",omitempty"`
+	Population     uint64                 `json:",omitempty"`
+	WeightedCounts map[fault.Class]uint64 `json:",omitempty"`
 }
 
 // AVF returns the architectural vulnerability factor: the fraction of
-// injected faults with any non-masked outcome.
+// injected faults with any non-masked outcome. For an exhaustive sweep
+// it is population-exact — the window-width-weighted non-masked share of
+// the full site x cycle population.
 func (r ComponentResult) AVF() float64 {
+	if r.Population > 0 {
+		return float64(r.Population-r.WeightedCounts[fault.ClassMasked]) / float64(r.Population)
+	}
 	if r.N == 0 {
 		return 0
 	}
@@ -196,6 +242,9 @@ func (r ComponentResult) ClassFraction(c fault.Class) float64 {
 // p is the measured AVF shifted by the initial (p=0.5) margin, per the
 // paper's Table IV procedure.
 func (r ComponentResult) ErrorMargin() float64 {
+	if r.Population > 0 {
+		return 0 // an exhaustive sweep measures the population, not a sample
+	}
 	population := float64(r.SizeBits) * 1e6 // bits x cycles population (effectively infinite)
 	initial := stats.MarginOfError(float64(r.N), population, stats.Z99, 0.5)
 	p := r.AVF() + initial
@@ -280,6 +329,96 @@ func (s *PruneSummary) PredictedFraction() float64 {
 	return float64(s.Predicted) / float64(total)
 }
 
+// DedupSummary reports what equivalence-class deduplication did. Like
+// PruneSummary it lives beside Workloads, never inside them: Workloads
+// stay byte-identical with deduplication on or off, and the summary is
+// exactly the part that differs.
+type DedupSummary struct {
+	// Classes counts the multi-member equivalence classes; Deduped the
+	// member injections resolved from their class representative without
+	// simulation; Simulated the injections that ran on the simulator
+	// (representatives, singleton classes, and undedupable sites).
+	// MaxClass is the largest class size. Classes and MaxClass are zero
+	// for remotely assembled campaigns: shards keep per-shard class
+	// tables that do not reassemble into a global partition.
+	Classes   int `json:"classes,omitempty"`
+	Deduped   int `json:"deduped"`
+	Simulated int `json:"simulated"`
+	MaxClass  int `json:"max_class,omitempty"`
+	// Verified and Mismatches report shadow-mode cross-validation
+	// (DedupVerify): members simulated and compared against their
+	// representative's outcome, and disagreements found (any mismatch
+	// also fails the campaign).
+	Verified   int `json:"verified,omitempty"`
+	Mismatches int `json:"mismatches,omitempty"`
+}
+
+// merge folds another summary into s.
+func (s *DedupSummary) merge(o *DedupSummary) {
+	if o == nil {
+		return
+	}
+	s.Classes += o.Classes
+	s.Deduped += o.Deduped
+	s.Simulated += o.Simulated
+	s.Verified += o.Verified
+	s.Mismatches += o.Mismatches
+	if o.MaxClass > s.MaxClass {
+		s.MaxClass = o.MaxClass
+	}
+}
+
+// DedupedFraction returns the fraction of dedup-considered injections
+// resolved from a representative. In shadow mode every member simulates,
+// so the denominator is Simulated rather than the sum.
+func (s *DedupSummary) DedupedFraction() float64 {
+	if s == nil {
+		return 0
+	}
+	total := s.Deduped + s.Simulated
+	if s.Verified > 0 {
+		total = s.Simulated
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Deduped) / float64(total)
+}
+
+// SweepComponent reports one workload x component slice of an exhaustive
+// sweep's enumeration: how the full site x cycle population collapsed
+// into (site, window) equivalence classes.
+type SweepComponent struct {
+	Workload string          `json:"workload"`
+	Comp     fault.Component `json:"comp"`
+	// Sites is the enumerated fault-site count; Windows the (site,
+	// window) classes actually simulated; Population = Sites x
+	// GoldenCycles, the site x cycle pairs the windows tile exactly.
+	Sites      uint64 `json:"sites"`
+	Windows    int    `json:"windows"`
+	Population uint64 `json:"population"`
+	// MeanWidth and MaxWidth describe the class sizes in cycles —
+	// Population/Windows is the sweep's compression ratio over naive
+	// per-cycle enumeration.
+	MeanWidth float64 `json:"mean_width"`
+	MaxWidth  uint64  `json:"max_width"`
+	// AVF is the population-exact architectural vulnerability factor.
+	AVF float64 `json:"avf"`
+}
+
+// SweepSummary reports an exhaustive sweep's enumeration statistics,
+// beside Workloads like the other summaries.
+type SweepSummary struct {
+	Components []SweepComponent `json:"components"`
+}
+
+// merge appends another summary's components in call order.
+func (s *SweepSummary) merge(o *SweepSummary) {
+	if o != nil {
+		s.Components = append(s.Components, o.Components...)
+	}
+}
+
 // Result is a full campaign: every workload x component x fault.
 type Result struct {
 	Config    Config
@@ -288,6 +427,12 @@ type Result struct {
 	// campaigns only; nil otherwise). Deliberately outside Workloads,
 	// which stay byte-identical with pruning on or off.
 	Prune *PruneSummary `json:",omitempty"`
+	// Dedup summarises equivalence-class deduplication (deduped campaigns
+	// only; nil otherwise), outside Workloads for the same reason.
+	Dedup *DedupSummary `json:",omitempty"`
+	// Sweep reports an exhaustive sweep's enumeration statistics
+	// (exhaustive campaigns only; nil otherwise).
+	Sweep *SweepSummary `json:",omitempty"`
 	// Stop summarises the sequential stopping rule's cuts and achieved
 	// margins (campaigns with TargetMargin set only; nil otherwise).
 	// Also outside Workloads, which stay byte-identical to the matching
@@ -331,15 +476,40 @@ type ProgressEvent struct {
 // concurrency contract.
 type Progress func(ProgressEvent)
 
+// validate rejects configurations the engine cannot honour — today only
+// exhaustive-sweep constraints: the plan is data-dependent (no remote
+// sharding, no sequential stopping over a uniform per-component plan)
+// and enumeration only covers liveness-modelable sites.
+func (c Config) validate() error {
+	if !c.Exhaustive {
+		return nil
+	}
+	if c.TargetMargin > 0 || c.StopShadow {
+		return fmt.Errorf("gefin: exhaustive sweeps measure the population exactly; sequential stopping does not apply")
+	}
+	if c.TLBFullEntry {
+		return fmt.Errorf("gefin: exhaustive sweeps cannot enumerate full TLB entries (virtual-tag flips change which entries match, which the liveness stream cannot model)")
+	}
+	for _, comp := range c.Components {
+		if comp == fault.CompRegFile {
+			return fmt.Errorf("gefin: exhaustive sweeps cover liveness-recorded components only (caches and TLBs); %v is not", comp)
+		}
+	}
+	return nil
+}
+
 // RunWorkload executes the campaign for a single workload, using up to
 // cfg.Workers parallel workbenches.
 func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	// The caller's goroutine drives the primary workbench; the pool holds
 	// only the extra-worker slots.
 	pool := sched.NewPool(cfg.Workers - 1)
 	cfg.Obs.ObservePool(pool)
-	res, _, _, err := runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
+	res, _, err := runWorkload(cfg, spec, pool, newEmitter(progress, cfg.Obs))
 	return res, err
 }
 
@@ -348,12 +518,14 @@ func RunWorkload(cfg Config, spec bench.Spec, progress Progress) (*WorkloadResul
 // by cfg.Workers total live machines.
 func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	pool := sched.NewPool(cfg.Workers)
 	cfg.Obs.ObservePool(pool)
 	em := newEmitter(progress, cfg.Obs)
 	results := make([]*WorkloadResult, len(specs))
-	prunes := make([]*PruneSummary, len(specs))
-	stops := make([]*StopSummary, len(specs))
+	sides := make([]sideSummaries, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for i, spec := range specs {
@@ -362,7 +534,7 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 			defer wg.Done()
 			pool.Acquire() // the workload's primary worker slot
 			defer pool.Release()
-			results[i], prunes[i], stops[i], errs[i] = runWorkload(cfg, spec, pool, em)
+			results[i], sides[i], errs[i] = runWorkload(cfg, spec, pool, em)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -373,20 +545,34 @@ func Run(cfg Config, specs []bench.Spec, progress Progress) (*Result, error) {
 		}
 		res.Workloads = append(res.Workloads, *results[i])
 	}
-	// The prune split merges in spec order, outside Workloads, so pruned
-	// and unpruned campaigns stay byte-identical where CI diffs them.
+	// Every side summary merges in spec order, outside Workloads, so
+	// optimised and plain campaigns stay byte-identical where CI diffs
+	// them.
 	if cfg.Prune {
 		total := &PruneSummary{ByMechanism: make(map[string]int)}
-		for _, p := range prunes {
-			total.merge(p)
+		for _, s := range sides {
+			total.merge(s.prune)
 		}
 		res.Prune = total
 	}
-	// The stop summary merges in spec order too, for the same reason.
+	if cfg.Dedup {
+		total := &DedupSummary{}
+		for _, s := range sides {
+			total.merge(s.dedup)
+		}
+		res.Dedup = total
+	}
+	if cfg.Exhaustive {
+		total := &SweepSummary{}
+		for _, s := range sides {
+			total.merge(s.sweep)
+		}
+		res.Sweep = total
+	}
 	if cfg.TargetMargin > 0 {
 		total := &StopSummary{}
-		for _, s := range stops {
-			total.merge(s)
+		for _, s := range sides {
+			total.merge(s.stop)
 		}
 		res.Stop = total
 	}

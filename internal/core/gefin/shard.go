@@ -33,6 +33,12 @@ type ShardOutcome struct {
 	// what simulation would have concluded, so assembly ignores them.
 	Predicted bool   `json:"predicted,omitempty"`
 	Mechanism string `json:"mechanism,omitempty"`
+	// Dedup marks a slot materialized from a shard-local equivalence-class
+	// representative without its own simulation (deduplicated campaigns
+	// only). Bookkeeping for the coordinator's dedup split — the
+	// materialized Class/Valid/Kernel are by construction exactly what
+	// simulating the slot would have produced, so assembly ignores it.
+	Dedup bool `json:"dedup,omitempty"`
 }
 
 // ShardMeta carries the per-workload constants aggregation needs. Every
@@ -89,6 +95,14 @@ type shardBench struct {
 	// liveness replay and the pre-drawn plan, so every node of a
 	// distributed campaign derives identical verdicts for its shards.
 	pp *prunePlan
+	// dd holds the equivalence-class partition over the whole plan
+	// (deduplicated campaigns only) — like pp, identical on every node.
+	// Each RunShard call elects shard-local representatives: the first
+	// member of a class inside [lo, hi) simulates, later members in the
+	// same range materialize its outcome. Different shards of one class
+	// each simulate their own representative — redundant across shards but
+	// provably outcome-identical, so assembly stays bit-exact.
+	dd *dedupPlan
 }
 
 // NewShardRunner builds a runner for the campaign Config. The Config is
@@ -108,11 +122,14 @@ func (r *ShardRunner) bench(spec bench.Spec) (*shardBench, error) {
 	}
 	plan, sizes := planFor(r.cfg, wb, spec.Name)
 	b := &shardBench{wb: wb, plan: plan, sizes: sizes}
-	if r.cfg.Provenance || r.cfg.PruneVerify {
+	if r.cfg.Provenance || r.cfg.PruneVerify || r.cfg.DedupVerify {
 		b.probe = new(mem.Probe)
 	}
 	if r.cfg.Prune {
 		b.pp = predictPlan(wb, plan)
+	}
+	if r.cfg.Dedup {
+		b.dd = buildDedup(r.cfg, wb, spec.Name, plan, b.pp)
 	}
 	r.benches[spec.Name] = b
 	return b, nil
@@ -131,9 +148,29 @@ func (r *ShardRunner) RunShard(spec bench.Spec, lo, hi int) ([]ShardOutcome, Sha
 		return nil, ShardMeta{}, fmt.Errorf("gefin: shard [%d,%d) out of plan range [0,%d)", lo, hi, len(b.plan))
 	}
 	execCfg := r.cfg
-	if r.cfg.PruneVerify {
+	if r.cfg.PruneVerify || r.cfg.DedupVerify {
 		execCfg.Provenance = true
 	}
+	var outs []ShardOutcome
+	var shardErr error
+	harness.Phased("shard-execution", func() { outs, shardErr = r.runRange(spec, b, execCfg, lo, hi) })
+	if shardErr != nil {
+		return nil, ShardMeta{}, shardErr
+	}
+	return outs, r.meta(b), nil
+}
+
+// repOutcome records a shard-local class representative: the first
+// simulated member of a class inside the shard's plan range.
+type repOutcome struct {
+	slot int
+	o    outcome
+}
+
+// runRange executes plan slots [lo, hi) — the profiled shard-execution
+// phase of RunShard.
+func (r *ShardRunner) runRange(spec bench.Spec, b *shardBench, execCfg Config, lo, hi int) ([]ShardOutcome, error) {
+	var reps map[int]repOutcome
 	outs := make([]ShardOutcome, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		// Pre-filter: a decided slot resolves to its predicted outcome
@@ -148,15 +185,43 @@ func (r *ShardRunner) RunShard(spec bench.Spec, lo, hi int) ([]ShardOutcome, Sha
 			})
 			continue
 		}
+		// Deduplication: a later member of a class whose representative
+		// already simulated in this range materializes its outcome.
+		ci := -1
+		if b.dd != nil {
+			ci = b.dd.classOf[i]
+		}
+		if ci >= 0 && !r.cfg.DedupVerify {
+			if rep, ok := reps[ci]; ok {
+				b.dd.emit(r.cfg, spec.Name, b.plan[i], rep.o, r.Worker, r.Ctx)
+				outs = append(outs, ShardOutcome{Class: rep.o.class, Valid: rep.o.valid, Kernel: rep.o.kernel, Dedup: true})
+				continue
+			}
+		}
 		o := execPlanned(execCfg, b.wb, spec.Name, b.probe, b.plan[i], r.Worker, r.Ctx)
 		if b.pp != nil && r.cfg.PruneVerify && b.pp.decided[i] {
 			if msg := pruneMismatch(b.plan[i], b.pp.preds[i], o); msg != "" {
-				return nil, ShardMeta{}, fmt.Errorf("gefin: prune-verify: prediction disagrees with simulation on %s: %s", spec.Name, msg)
+				return nil, fmt.Errorf("gefin: prune-verify: prediction disagrees with simulation on %s: %s", spec.Name, msg)
+			}
+		}
+		if ci >= 0 {
+			if rep, ok := reps[ci]; ok {
+				// Shadow mode (the representative path above is bypassed):
+				// compare the member's simulation against its shard-local
+				// representative and fail the shard on disagreement.
+				if msg := dedupMismatch(b.plan[i], b.plan[rep.slot], rep.o, o); msg != "" {
+					return nil, fmt.Errorf("gefin: dedup-verify: materialized verdict disagrees with simulation on %s: %s", spec.Name, msg)
+				}
+			} else {
+				if reps == nil {
+					reps = make(map[int]repOutcome)
+				}
+				reps[ci] = repOutcome{slot: i, o: o}
 			}
 		}
 		outs = append(outs, ShardOutcome{Class: o.class, Valid: o.valid, Kernel: o.kernel})
 	}
-	return outs, r.meta(b), nil
+	return outs, nil
 }
 
 func (r *ShardRunner) meta(b *shardBench) ShardMeta {
@@ -205,6 +270,39 @@ func MergePruneSummaries(parts []*PruneSummary) *PruneSummary {
 		}
 		if total == nil {
 			total = &PruneSummary{ByMechanism: make(map[string]int)}
+		}
+		total.merge(p)
+	}
+	return total
+}
+
+// ShardDedupSummary derives a workload's deduplicated/simulated split
+// from its assembled shard outcomes, like ShardPruneSummary. Class-count
+// statistics stay zero: shards elect local representatives, so per-shard
+// class tables do not reassemble into one global partition.
+func ShardDedupSummary(outs []ShardOutcome) *DedupSummary {
+	s := &DedupSummary{}
+	for _, o := range outs {
+		switch {
+		case o.Dedup:
+			s.Deduped++
+		case !o.Predicted:
+			s.Simulated++
+		}
+	}
+	return s
+}
+
+// MergeDedupSummaries folds per-workload splits into one campaign-level
+// summary (nil when the slice is empty or all nil).
+func MergeDedupSummaries(parts []*DedupSummary) *DedupSummary {
+	var total *DedupSummary
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if total == nil {
+			total = &DedupSummary{}
 		}
 		total.merge(p)
 	}

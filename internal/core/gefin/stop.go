@@ -109,10 +109,13 @@ type stopController struct {
 }
 
 // newStopController builds the controller for one workload, or nil when
-// neither early stopping nor convergence observability is wanted.
+// neither early stopping nor convergence observability is wanted. An
+// exhaustive sweep never gets one: its plan is not uniform per component
+// (the controller's slot-to-component indexing assumes FaultsPerComponent
+// slots each), and measuring the population leaves nothing to estimate.
 func newStopController(cfg Config, workload string, planLen int, tc obs.TraceContext) *stopController {
 	rule := stats.SeqRule{TargetMargin: cfg.TargetMargin, Confidence: cfg.Confidence}
-	if !rule.Enabled() && !cfg.Obs.On() {
+	if cfg.Exhaustive || (!rule.Enabled() && !cfg.Obs.On()) {
 		return nil
 	}
 	every := cfg.StopCheckEvery

@@ -8,14 +8,23 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
+	"runtime/pprof"
 
 	"armsefi/internal/bench"
 	"armsefi/internal/core/fault"
 	"armsefi/internal/mem"
 	"armsefi/internal/soc"
 )
+
+// Phased runs fn under a pprof "phase" label, so -cpuprofile output
+// attributes campaign time to its phase — golden replay, ladder capture,
+// liveness build, shard execution — instead of one flat profile.
+func Phased(phase string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", phase), func(context.Context) { fn() })
+}
 
 // Default cycle budgets.
 const (
@@ -67,8 +76,10 @@ func New(cfg soc.Config, model soc.ModelKind, built *bench.Built) (*Workbench, e
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	w := &Workbench{Machine: m, Built: built, Snap: m.SaveSnapshot()}
-	m.RestoreSnapshot(w.Snap, false)
-	w.Golden = m.Run(GoldenBudget)
+	Phased("golden-replay", func() {
+		m.RestoreSnapshot(w.Snap, false)
+		w.Golden = m.Run(GoldenBudget)
+	})
 	if !w.Golden.CleanExit() {
 		return nil, fmt.Errorf("harness: golden run of %s/%s did not exit cleanly: %v code=%#x",
 			built.Spec.Name, built.Scale, w.Golden.Outcome, w.Golden.ExitCode)
@@ -156,7 +167,10 @@ func (w *Workbench) BuildLadder(every uint64, max int, warm bool) error {
 			every = need
 		}
 	}
-	l := w.Machine.CaptureLadder(w.Snap, warm, every, max, GoldenBudget)
+	var l *soc.Ladder
+	Phased("ladder-capture", func() {
+		l = w.Machine.CaptureLadder(w.Snap, warm, every, max, GoldenBudget)
+	})
 	if !l.Final.CleanExit() {
 		return fmt.Errorf("harness: ladder capture run of %s/%s did not exit cleanly: %v code=%#x",
 			w.Built.Spec.Name, w.Built.Scale, l.Final.Outcome, l.Final.ExitCode)
@@ -181,7 +195,10 @@ func (w *Workbench) BuildLadder(every uint64, max int, warm bool) error {
 // and since decided pre-filter verdicts are exactly what simulation would
 // conclude, pruning can then never change campaign results either.
 func (w *Workbench) BuildLiveness(warm bool) error {
-	log := w.Machine.ReplayLiveness(w.Snap, warm, GoldenBudget)
+	var log *soc.LivenessLog
+	Phased("liveness-build", func() {
+		log = w.Machine.ReplayLiveness(w.Snap, warm, GoldenBudget)
+	})
 	if !log.Final.CleanExit() {
 		return fmt.Errorf("harness: liveness replay of %s/%s did not exit cleanly: %v code=%#x",
 			w.Built.Spec.Name, w.Built.Scale, log.Final.Outcome, log.Final.ExitCode)

@@ -166,6 +166,82 @@ func (w *liveWay) query(byteOff uint16, flipAt uint64) LiveQuery {
 	return q
 }
 
+// windowOf returns the index of the inter-event quiescent window that
+// contains flipAt for byteOff — the count of covering events stamped
+// strictly before the flip, so two flips share a window exactly when no
+// covering event separates them — plus an FNV-1a fingerprint of the
+// site's full covering-event sequence and generation history. Two flips
+// of the same site in the same window are provably equivalent: the
+// machine evolves identically up to the first covering event at or after
+// either flip, at which instant its state is golden-plus-flip in both
+// cases. ok is false when the recording overflowed (window membership
+// would be a guess).
+func (w *liveWay) windowOf(byteOff uint16, flipAt uint64) (win int, sig uint64, ok bool) {
+	if w.overflow {
+		return 0, 0, false
+	}
+	sig = sigInit
+	for _, ev := range w.events {
+		if ev.lo > byteOff || byteOff >= ev.hi {
+			continue
+		}
+		if ev.stamp < flipAt {
+			win++
+		}
+		sig = sigFold(sig, ev.stamp, uint64(ev.kind)<<32|uint64(ev.lo)<<16|uint64(ev.hi))
+	}
+	for _, g := range w.gens {
+		sig = sigFold(sig, uint64(g.birth), g.death^uint64(g.addr))
+	}
+	return win, sig, true
+}
+
+// enumWindows walks byteOff's quiescent windows over cycles [0, maxCycle):
+// fn receives each non-empty window's first cycle and width in cycles.
+// The windows tile [0, maxCycle) exactly (zero-width windows from
+// duplicate event stamps are skipped), so Σ width == maxCycle — the
+// invariant an exhaustive sweep's population-exact accounting rests on.
+// ok is false (fn never called) when the recording overflowed.
+func (w *liveWay) enumWindows(byteOff uint16, maxCycle uint64, fn func(start, width uint64)) bool {
+	if w.overflow {
+		return false
+	}
+	start := uint64(0)
+	for _, ev := range w.events {
+		if ev.lo > byteOff || byteOff >= ev.hi {
+			continue
+		}
+		// The window ends at the event's stamp inclusive: an injection at
+		// cycle F lands before every event stamped >= F, so flips at the
+		// stamp itself still precede the event.
+		end := ev.stamp + 1
+		if end > maxCycle {
+			end = maxCycle
+		}
+		if end > start {
+			fn(start, end-start)
+			start = end
+		}
+	}
+	if maxCycle > start {
+		fn(start, maxCycle-start)
+	}
+	return true
+}
+
+// sigInit/sigFold are the FNV-1a fingerprint the window signature uses.
+const sigInit = uint64(1469598103934665603)
+
+func sigFold(h, a, b uint64) uint64 {
+	for _, v := range [2]uint64{a, b} {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
 // --- Cache recorder --------------------------------------------------------
 
 // CacheLiveness records the liveness log of one cache during a golden
@@ -240,6 +316,32 @@ func (r *CacheLiveness) QueryBit(bit uint64, flipAt uint64) LiveQuery {
 	return r.ways[set*uint64(r.nways)+way].query(byteOff, flipAt)
 }
 
+// WindowOf returns the quiescent-window index containing flipAt for a
+// data-array bit, with the struck byte's covering-event fingerprint. Two
+// flips of the same bit are outcome-equivalent iff they share (window,
+// sig); ok is false when the way's recording overflowed.
+func (r *CacheLiveness) WindowOf(bit, flipAt uint64) (window int, sig uint64, ok bool) {
+	lineBits := r.lineBytes * 8
+	wayBits := lineBits * uint64(r.nways)
+	set := bit / wayBits % r.sets
+	way := bit % wayBits / lineBits
+	byteOff := uint16(bit % lineBits / 8)
+	return r.ways[set*uint64(r.nways)+way].windowOf(byteOff, flipAt)
+}
+
+// EnumWindows walks a data-array bit's quiescent windows over cycles
+// [0, maxCycle): fn receives each window's first cycle and width, tiling
+// the cycle range exactly. Returns false (fn never called) when the
+// way's recording overflowed.
+func (r *CacheLiveness) EnumWindows(bit, maxCycle uint64, fn func(start, width uint64)) bool {
+	lineBits := r.lineBytes * 8
+	wayBits := lineBits * uint64(r.nways)
+	set := bit / wayBits % r.sets
+	way := bit % wayBits / lineBits
+	byteOff := uint16(bit % lineBits / 8)
+	return r.ways[set*uint64(r.nways)+way].enumWindows(byteOff, maxCycle, fn)
+}
+
 // Overflowed reports how many ways hit the event cap (diagnostics: their
 // faults classify undecided).
 func (r *CacheLiveness) Overflowed() int {
@@ -309,6 +411,34 @@ func (r *TLBLiveness) QueryBit(bit uint64, flipAt uint64) LiveQuery {
 	q := r.ways[idx].query(uint16(b), flipAt)
 	q.LineAddr = 0 // TLB entries carry no owning line address
 	return q
+}
+
+// WindowOf returns the quiescent-window index containing flipAt for a
+// TLB entry bit, with the entry's covering-event fingerprint. Like
+// QueryBit, only the physical-page/permission bits are modelable — a
+// VPN or valid-bit flip changes which entries match, which the event
+// stream cannot express — so ok is false for any other bit, and for
+// overflowed recordings.
+func (r *TLBLiveness) WindowOf(bit, flipAt uint64) (window int, sig uint64, ok bool) {
+	b := bit % TLBEntryBits
+	if b < tlbPPNShift || b >= tlbValidBit {
+		return 0, 0, false
+	}
+	idx := bit / TLBEntryBits % r.entries
+	return r.ways[idx].windowOf(uint16(b), flipAt)
+}
+
+// EnumWindows walks a TLB entry bit's quiescent windows over cycles
+// [0, maxCycle); see CacheLiveness.EnumWindows. False for unmodelable
+// bits (outside the physical-page/permission region) and overflowed
+// recordings.
+func (r *TLBLiveness) EnumWindows(bit, maxCycle uint64, fn func(start, width uint64)) bool {
+	b := bit % TLBEntryBits
+	if b < tlbPPNShift || b >= tlbValidBit {
+		return false
+	}
+	idx := bit / TLBEntryBits % r.entries
+	return r.ways[idx].enumWindows(uint16(b), maxCycle, fn)
 }
 
 // Overflowed reports how many entries hit the event cap.

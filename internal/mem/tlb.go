@@ -290,6 +290,13 @@ const (
 	TLBPhysRegionBits  = TLBEntryBits - tlbPPNShift
 )
 
+// TLBModelBits is the number of physical-region bits per entry whose
+// liveness intervals the recorder models: the PPN and permission bits.
+// The valid bit (the last physical-region bit) toggles entry existence
+// itself, so live-interval equivalence does not apply to it and
+// WindowOf/EnumWindows decline it.
+const TLBModelBits = tlbValidBit - tlbPPNShift
+
 // EntryValid reports whether the indexed entry currently holds a
 // translation (injection-context observability).
 func (t *TLB) EntryValid(i int) bool { return t.entries[i].Valid() }

@@ -235,6 +235,37 @@ func (o *Observer) Predicted(workload string, comp fault.Component, m fault.Mech
 		"workload", workload, "comp", comp.String(), "mechanism", m.String()).Inc()
 }
 
+// Deduped records one equivalence-class materialization: a class member
+// resolved from its representative's simulated outcome. Like Predicted
+// it feeds its own counter grid only — the outcome grid is updated by
+// the dedup-tagged Record the engine emits — so the
+// simulated/deduplicated split is recoverable from metrics alone.
+func (o *Observer) Deduped(workload string, comp fault.Component) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter("armsefi_dedup_total",
+		"injections resolved from an equivalence-class representative, by workload and component",
+		"workload", workload, "comp", comp.String()).Inc()
+}
+
+// DedupClasses publishes a workload plan's equivalence-class size
+// distribution: one histogram observation per multi-member class. The
+// buckets cover the plausible collision range of a sampled campaign —
+// classes bigger than the top bound land in +Inf.
+func (o *Observer) DedupClasses(workload string, sizes []int) {
+	if o == nil || len(sizes) == 0 {
+		return
+	}
+	h := o.reg.Histogram("armsefi_dedup_class_size",
+		"equivalence-class sizes (members per multi-member class) of deduplicated campaign plans",
+		[]float64{2, 3, 4, 6, 8, 12, 16, 24, 32, 64},
+		"workload", workload)
+	for _, n := range sizes {
+		h.Observe(float64(n))
+	}
+}
+
 // LadderMemory publishes a workload ladder's checkpoint memory: total
 // retained bytes and the bytes shared across rungs by copy-on-write page
 // interning (bytes a delta-per-rung encoding would have duplicated —

@@ -47,6 +47,9 @@ type ComponentSummary struct {
 	Predicted      int
 	PredMechanisms map[fault.Mechanism]int
 	PredBad        int
+	// Deduped counts records materialized from an equivalence-class
+	// representative without simulation.
+	Deduped int
 }
 
 // WorkloadSummary aggregates one workload's trace records.
@@ -233,6 +236,9 @@ func Summarize(recs []Record) *Summary {
 			} else {
 				c.PredBad++
 			}
+		}
+		if rec.Dedup {
+			c.Deduped++
 		}
 		if rec.Mechanism != "" {
 			c.MechRecords++

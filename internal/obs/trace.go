@@ -96,6 +96,13 @@ type Record struct {
 	// by construction exactly what simulation would have concluded — and
 	// ExecCycles/Outcome are the golden run's.
 	Predicted bool `json:"predicted,omitempty"`
+	// Dedup marks a class member resolved from its equivalence-class
+	// representative without simulation (deduplicated campaigns only).
+	// The record's own Bit/Cycle locate the member's planned injection;
+	// Class/Valid/Kernel/Mechanism/ExecCycles/Outcome are the
+	// representative's — by construction exactly what simulating the
+	// member would have produced.
+	Dedup bool `json:"dedup,omitempty"`
 	// ReadCycle/ReadPC/ReadReg locate the first consuming read of the
 	// corrupted value (provenance records whose chain has a read event).
 	ReadCycle uint64 `json:"read_cycle,omitempty"`

@@ -216,6 +216,57 @@ func PruneSplit(s *gefin.PruneSummary) string {
 	return t.String()
 }
 
+// DedupSplit renders a deduplicated campaign's materialized/simulated
+// split: how many planned injections resolved from an equivalence-class
+// representative instead of their own simulation.
+func DedupSplit(s *gefin.DedupSummary) string {
+	t := Table{
+		Title:  "Equivalence-class deduplication: materialized vs simulated injections",
+		Header: []string{"Verdict", "Count", "Share"},
+	}
+	total := s.Deduped + s.Simulated
+	if s.Verified > 0 {
+		total = s.Simulated
+	}
+	pct := func(n int) string {
+		if total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f %%", 100*float64(n)/float64(total))
+	}
+	t.Add("deduplicated", fmt.Sprintf("%d", s.Deduped), pct(s.Deduped))
+	t.Add("simulated", fmt.Sprintf("%d", s.Simulated), pct(s.Simulated))
+	if s.Classes > 0 {
+		t.Add("classes", fmt.Sprintf("%d", s.Classes),
+			fmt.Sprintf("max size %d", s.MaxClass))
+	}
+	if s.Verified > 0 {
+		t.Add("shadow-verified", fmt.Sprintf("%d", s.Verified),
+			fmt.Sprintf("%d mismatches", s.Mismatches))
+	}
+	return t.String()
+}
+
+// SweepTable renders an exhaustive sweep's enumeration statistics: how
+// each component's full site x cycle population collapsed into (site,
+// quiescent-window) classes, and the population-exact AVF they measure.
+func SweepTable(s *gefin.SweepSummary) string {
+	t := Table{
+		Title:  "Exhaustive sweep: site x window enumeration (population-exact AVF)",
+		Header: []string{"Benchmark", "Component", "Sites", "Windows", "Population", "Mean width", "Max width", "AVF"},
+	}
+	for _, c := range s.Components {
+		t.Add(c.Workload, c.Comp.String(),
+			fmt.Sprintf("%d", c.Sites),
+			fmt.Sprintf("%d", c.Windows),
+			fmt.Sprintf("%d", c.Population),
+			fmt.Sprintf("%.1f", c.MeanWidth),
+			fmt.Sprintf("%d", c.MaxWidth),
+			fmt.Sprintf("%.6f", c.AVF))
+	}
+	return t.String()
+}
+
 // Fig5 renders the injection-predicted FIT rates.
 func Fig5(injs []fit.Injection) string {
 	t := Table{

@@ -105,11 +105,12 @@ type nodeHealth struct {
 	ladderShared int64
 }
 
-// pruneTally is a campaign's observed predicted/simulated injection split,
-// accumulated from federated trace records.
+// pruneTally is a campaign's observed predicted/deduplicated/simulated
+// injection split, accumulated from federated trace records.
 type pruneTally struct {
 	predicted int
 	simulated int
+	deduped   int
 }
 
 // Coordinator schedules campaigns over the durable store. All methods
@@ -317,6 +318,9 @@ func BuildManifest(kind string, inj *gefin.Config, bm *beam.Config, workloads []
 	case KindInjection:
 		if inj == nil {
 			return nil, fmt.Errorf("serve: injection campaign needs an injection config")
+		}
+		if inj.Exhaustive {
+			return nil, fmt.Errorf("serve: exhaustive sweeps run locally only (the plan is enumerated from each workload's liveness replay, so shard ranges cannot be cut at submission time)")
 		}
 		man.Injection = inj
 		planLen := gefin.PlanLen(*inj)
@@ -764,6 +768,7 @@ func Assemble(man *Manifest, done map[int]json.RawMessage) (any, error) {
 	case KindInjection:
 		res := &gefin.Result{Config: *man.Injection}
 		var prunes []*gefin.PruneSummary
+		var dedups []*gefin.DedupSummary
 		for _, w := range man.Workloads {
 			outs := make([]gefin.ShardOutcome, 0)
 			var meta *gefin.ShardMeta
@@ -799,10 +804,15 @@ func Assemble(man *Manifest, done map[int]json.RawMessage) (any, error) {
 			if man.Injection.Prune || man.Injection.PruneVerify {
 				prunes = append(prunes, gefin.ShardPruneSummary(outs))
 			}
+			if man.Injection.Dedup || man.Injection.DedupVerify {
+				dedups = append(dedups, gefin.ShardDedupSummary(outs))
+			}
 		}
-		// The predicted/simulated split rides outside Workloads, so remote
-		// pruned campaigns assemble byte-identical Workloads to unpruned.
+		// The predicted/deduplicated/simulated splits ride outside
+		// Workloads, so remote optimised campaigns assemble byte-identical
+		// Workloads to plain ones.
 		res.Prune = gefin.MergePruneSummaries(prunes)
+		res.Dedup = gefin.MergeDedupSummaries(dedups)
 		return res, nil
 	case KindBeam:
 		res := &beam.Result{Config: *man.Beam}

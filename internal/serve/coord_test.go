@@ -339,6 +339,10 @@ func TestBuildManifestValidation(t *testing.T) {
 	if _, err := BuildManifest("other", inj, nil, []string{"crc32"}, 0); err == nil {
 		t.Error("unknown kind accepted")
 	}
+	exh := &gefin.Config{Seed: 1, Exhaustive: true}
+	if _, err := BuildManifest(KindInjection, exh, nil, []string{"crc32"}, 0); err == nil {
+		t.Error("exhaustive sweep accepted for remote fan-out (its plan is data-dependent, not derivable from the manifest)")
+	}
 	man, err := BuildManifest(KindInjection, inj, nil, []string{"crc32"}, 3)
 	if err != nil {
 		t.Fatal(err)

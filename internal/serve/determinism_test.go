@@ -138,6 +138,83 @@ func TestKillResumeDeterminism(t *testing.T) {
 	}
 }
 
+// TestDedupServiceDeterminism pins the deduplicator through the
+// campaign service: a deduplicating remote run assembles to the same
+// Workloads bytes as a plain (non-dedup) local run, and the wire
+// outcomes reassemble the dedup split for the coordinator's summary.
+func TestDedupServiceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real injection campaigns")
+	}
+	plain := gefin.Config{
+		Seed:               5,
+		FaultsPerComponent: 150,
+		Components:         []fault.Component{fault.CompDTLB},
+		Workers:            1,
+	}
+	spec, ok := bench.ByName("crc32")
+	if !ok {
+		t.Fatal("crc32 missing")
+	}
+	direct, err := gefin.Run(plain, []bench.Spec{spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	c, err := NewCoordinator(CoordConfig{Store: store, LeaseTTL: time.Hour, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := plain
+	dcfg.Dedup = true
+	// One full-plan shard: the shard-local partition then equals the
+	// campaign partition, so the wire split carries every class.
+	man, err := BuildManifest(KindInjection, &dcfg, nil, []string{"crc32"}, gefin.PlanLen(dcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for {
+			if s, err := c.Status(id); err == nil && s.State == StateComplete {
+				cancel()
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	if _, err := RunWorker(ctx, WorkerConfig{Node: "n", Source: c, PollInterval: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	res, err := c.Results(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled := res.(*gefin.Result)
+	dj, _ := json.Marshal(direct.Workloads)
+	aj, _ := json.Marshal(assembled.Workloads)
+	if string(dj) != string(aj) {
+		t.Fatalf("service dedup run diverged from plain run:\n direct  %s\n service %s", dj, aj)
+	}
+	if assembled.Dedup == nil {
+		t.Fatal("assembled result carries no DedupSummary")
+	}
+	if s := assembled.Dedup; s.Deduped == 0 || s.Deduped+s.Simulated != gefin.PlanLen(dcfg) {
+		t.Fatalf("assembled dedup split %d/%d over plan %d", s.Deduped, s.Simulated, gefin.PlanLen(dcfg))
+	}
+}
+
 // TestBeamServiceDeterminism pins the beam half end to end through the
 // coordinator: chain shards executed through the service assemble to the
 // same Workloads bytes as beam.Run.

@@ -55,11 +55,13 @@ type FleetCampaign struct {
 	// the assembled Result (workers without telemetry contribute nothing
 	// here but still complete shards).
 	Outcomes map[string]int `json:"outcomes,omitempty"`
-	// Predicted / Simulated split the campaign's observed injections into
-	// those the pre-filter proved masked without simulation and those that
-	// ran (pruned injection campaigns only; from federated trace records,
-	// like Outcomes).
+	// Predicted / Deduped / Simulated split the campaign's observed
+	// injections into those the pre-filter proved masked without
+	// simulation, those materialized from an equivalence-class
+	// representative, and those that ran (optimised injection campaigns
+	// only; from federated trace records, like Outcomes).
 	Predicted int `json:"predicted,omitempty"`
+	Deduped   int `json:"deduped,omitempty"`
 	Simulated int `json:"simulated,omitempty"`
 	// Stragglers lists this campaign's over-threshold shard executions.
 	Stragglers []Straggler `json:"stragglers,omitempty"`
@@ -121,8 +123,9 @@ func (c *Coordinator) Fleet() *FleetStatus {
 				fc.Outcomes[cls.String()] = n
 			}
 		}
-		if pt := c.prunes[fc.ID]; pt != nil && pt.predicted > 0 {
+		if pt := c.prunes[fc.ID]; pt != nil && (pt.predicted > 0 || pt.deduped > 0) {
 			fc.Predicted = pt.predicted
+			fc.Deduped = pt.deduped
 			fc.Simulated = pt.simulated
 		}
 		if byNode := c.conv[fc.ID]; len(byNode) > 0 {
@@ -215,7 +218,7 @@ small { color: #777; }
 <div id="err"></div>
 <h2>Campaigns</h2>
 <table id="camps"><thead><tr>
-<th>id</th><th>kind</th><th>state</th><th>progress</th><th>outcomes</th><th>pre-filter</th><th>convergence</th><th>stragglers</th>
+<th>id</th><th>kind</th><th>state</th><th>progress</th><th>outcomes</th><th>pre-filter / dedup</th><th>convergence</th><th>stragglers</th>
 </tr></thead><tbody></tbody></table>
 <h2>Nodes</h2>
 <table id="nodes"><thead><tr>
@@ -268,7 +271,11 @@ async function tick() {
     cb.innerHTML = (f.campaigns || []).map(c => {
       const pct = c.items_total ? Math.round(100 * c.items_done / c.items_total) : 0;
       const outs = Object.entries(c.outcomes || {}).map(([k, v]) => '<span class="chip">' + esc(k) + ' ' + v + '</span>').join('');
-      const pf = c.predicted ? '<span class="chip">predicted ' + c.predicted + '</span><span class="chip">simulated ' + (c.simulated || 0) + '</span>' : '<small>off</small>';
+      const pf = (c.predicted || c.deduped)
+        ? ((c.predicted ? '<span class="chip">predicted ' + c.predicted + '</span>' : '') +
+           (c.deduped ? '<span class="chip">deduped ' + c.deduped + '</span>' : '') +
+           '<span class="chip">simulated ' + (c.simulated || 0) + '</span>')
+        : '<small>off</small>';
       const strag = (c.stragglers || []).map(s => '<span class="bad">#' + s.shard + '@' + esc(s.node) + '</span>').join(' ') || '<span class="ok">none</span>';
       return '<tr><td>' + esc(c.id) + '</td><td>' + esc(c.kind) + '</td><td>' + esc(c.state) +
         '</td><td><span class="bar"><i style="width:' + pct + '%"></i></span> ' +

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"armsefi/internal/core/fault"
+	"armsefi/internal/core/gefin"
+	"armsefi/internal/obs"
+)
+
+// BenchmarkTelemetryShip measures the telemetry shipping path end to
+// end in process: a worker shipper buffering a batch of injection
+// records and the coordinator ingesting it into the merged campaign
+// trace. The figure that matters is allocs/op — at steady state a
+// fleet's coordinator ingests thousands of records per second, and the
+// ingest path used to allocate a JSON line per record plus a fresh
+// merge buffer per campaign per batch; the pooled trace buffers encode
+// records straight into a reused merge buffer instead.
+func BenchmarkTelemetryShip(b *testing.B) {
+	store, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCoordinator(CoordConfig{Store: store, LeaseTTL: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	man, err := BuildManifest(KindInjection, &gefin.Config{
+		Seed:               7,
+		FaultsPerComponent: 2,
+		Components:         []fault.Component{fault.CompRegFile, fault.CompDTLB},
+	}, nil, []string{"crc32"}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := c.Submit(man)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewShipper("n1", c, time.Second)
+	rec := injRecord(id, 0, "n1", 1, fault.ClassSDC)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 256; j++ {
+			s.EmitRecord(rec)
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryIngest isolates the coordinator's merge path from
+// the shipper: one pre-built 256-record batch applied per iteration
+// (fresh sequence numbers so none deduplicate away).
+func BenchmarkTelemetryIngest(b *testing.B) {
+	store, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCoordinator(CoordConfig{Store: store, LeaseTTL: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	man, err := BuildManifest(KindInjection, &gefin.Config{
+		Seed:               7,
+		FaultsPerComponent: 2,
+		Components:         []fault.Component{fault.CompRegFile, fault.CompDTLB},
+	}, nil, []string{"crc32"}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := c.Submit(man)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]obs.Record, 256)
+	for i := range recs {
+		recs[i] = injRecord(id, 0, "n1", 1, fault.ClassSDC)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Telemetry(&TelemetryBatch{Node: "n1", Seq: int64(i + 1), Records: recs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
